@@ -1,0 +1,48 @@
+//! Criterion wrapper around the Fig. 7 experiment: measures the wall
+//! clock of the analytic evaluation per design per network, and checks
+//! the headline ratios on every run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eb_bitnn::BenchModel;
+use eb_core::perf::evaluate_model;
+use eb_core::report::run_fig7;
+use eb_core::Design;
+use std::hint::black_box;
+
+fn bench_fig7(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig7_latency_model");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for model in BenchModel::all() {
+        for (tag, design) in [
+            ("baseline", Design::baseline_epcm()),
+            ("tacitmap", Design::tacitmap_epcm()),
+            ("einstein", Design::einstein_barrier()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(tag, model.name()),
+                &model,
+                |b, &model| {
+                    b.iter(|| {
+                        black_box(evaluate_model(&design, model, 128).total_latency_ns())
+                    })
+                },
+            );
+        }
+    }
+    group.finish();
+
+    // One full-figure run with the paper-shape assertions.
+    let fig = run_fig7(128);
+    assert!(fig.mean_tacitmap_speedup() > 20.0);
+    assert!(fig.mean_einstein_speedup() > 300.0);
+    let eb_over_tm = fig.mean_eb_over_tm();
+    assert!(
+        (4.0..30.0).contains(&eb_over_tm),
+        "EB/TM gain {eb_over_tm} out of paper-shaped range"
+    );
+}
+
+criterion_group!(benches, bench_fig7);
+criterion_main!(benches);

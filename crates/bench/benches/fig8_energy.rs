@@ -1,0 +1,47 @@
+//! Criterion wrapper around the Fig. 8 experiment: measures the wall
+//! clock of the energy model per design per network, and checks the
+//! headline ratios on every run.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eb_bitnn::BenchModel;
+use eb_core::perf::evaluate_model;
+use eb_core::report::run_fig8;
+use eb_core::Design;
+use std::hint::black_box;
+
+fn bench_fig8(c: &mut Criterion) {
+    let mut group = c.benchmark_group("fig8_energy_model");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for model in BenchModel::all() {
+        for (tag, design) in [
+            ("baseline", Design::baseline_epcm()),
+            ("tacitmap", Design::tacitmap_epcm()),
+            ("einstein", Design::einstein_barrier()),
+        ] {
+            group.bench_with_input(
+                BenchmarkId::new(tag, model.name()),
+                &model,
+                |b, &model| {
+                    b.iter(|| black_box(evaluate_model(&design, model, 128).total_energy_j()))
+                },
+            );
+        }
+    }
+    group.finish();
+
+    let fig = run_fig8(128);
+    let tm = fig.mean_tacitmap_ratio();
+    assert!(
+        (2.0..15.0).contains(&tm),
+        "TacitMap energy ratio {tm} out of paper-shaped range (paper ~5.35x)"
+    );
+    assert!(
+        fig.mean_eb_over_tm() > 2.0,
+        "EinsteinBarrier must recover energy vs TacitMap"
+    );
+}
+
+criterion_group!(benches, bench_fig8);
+criterion_main!(benches);

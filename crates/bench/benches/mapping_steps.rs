@@ -1,0 +1,46 @@
+//! Criterion bench for the Fig. 3 concept: wall-clock of the functional
+//! mappers executing one XNOR+Popcount batch on simulated crossbars —
+//! TacitMap's single activation vs CustBinaryMap's row scan.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eb_bitnn::{BitMatrix, BitVec};
+use eb_mapping::{CustBinaryMapped, TacitMapped};
+use eb_xbar::XbarConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_mappers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("mapping_execute");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(800));
+    for &(m, n) in &[(64usize, 64usize), (128, 128)] {
+        let weights = BitMatrix::from_fn(n, m, |r, q| (r * 13 + q * 7) % 3 == 0);
+        let cfg = XbarConfig::new(256, 256);
+        let input = BitVec::from_bools(&(0..m).map(|i| i % 2 == 0).collect::<Vec<_>>());
+
+        group.bench_with_input(
+            BenchmarkId::new("tacitmap", format!("{m}x{n}")),
+            &weights,
+            |b, w| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut mapped = TacitMapped::program(w, &cfg, &mut rng).expect("fits");
+                b.iter(|| black_box(mapped.execute(&input, &mut rng).expect("execute")));
+            },
+        );
+        group.bench_with_input(
+            BenchmarkId::new("custbinary", format!("{m}x{n}")),
+            &weights,
+            |b, w| {
+                let mut rng = StdRng::seed_from_u64(1);
+                let mut mapped = CustBinaryMapped::program(w, &cfg, &mut rng).expect("fits");
+                b.iter(|| black_box(mapped.execute(&input, &mut rng).expect("execute")));
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_mappers);
+criterion_main!(benches);

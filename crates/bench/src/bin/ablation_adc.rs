@@ -1,0 +1,58 @@
+//! Ablation of the DESIGN.md calibration choices: how TacitMap-ePCM's
+//! headline speedup and energy overhead respond to (a) the number of
+//! shared column ADCs per crossbar and (b) the per-conversion ADC
+//! energy. This is the footnote-1 discussion of the paper ("we assumed
+//! that the columns could be read out in parallel and they do not share
+//! an ADC. We will revisit this in Section V") made quantitative.
+
+use eb_bench::banner;
+use eb_bitnn::BenchModel;
+use eb_core::perf::evaluate_model;
+use eb_core::report::{geomean, DEFAULT_BATCH};
+use eb_core::Design;
+
+fn main() {
+    banner(
+        "Ablation — ADC sharing and ADC energy in TacitMap-ePCM",
+        "Section III footnote 1 / Section V calibration",
+    );
+    let base = Design::baseline_epcm();
+    let batch = DEFAULT_BATCH;
+
+    println!("(a) Speedup vs number of column ADCs per crossbar (geomean over 6 BNNs):");
+    for n_adcs in [1usize, 2, 4, 8, 16, 32, 64, 256] {
+        let mut tm = Design::tacitmap_epcm();
+        tm.xbar.n_adcs = n_adcs;
+        let speedups: Vec<f64> = BenchModel::all()
+            .into_iter()
+            .map(|m| {
+                evaluate_model(&base, m, batch).total_latency_ns()
+                    / evaluate_model(&tm, m, batch).total_latency_ns()
+            })
+            .collect();
+        let g = geomean(speedups);
+        let bar = "#".repeat((g / 2.0) as usize);
+        println!("  {n_adcs:>4} ADCs: {g:>7.1}x {bar}");
+    }
+    println!("  (fully parallel readout — one ADC per column — recovers the paper's");
+    println!("   'theoretical n×' regime; heavy sharing serializes conversions.)");
+
+    println!();
+    println!("(b) Energy overhead vs per-conversion ADC energy (geomean over 6 BNNs):");
+    for e_adc_pj in [0.5f64, 1.0, 2.0, 4.0, 8.0] {
+        let mut tm = Design::tacitmap_epcm();
+        tm.xbar.energies.e_adc_pj = e_adc_pj;
+        let ratios: Vec<f64> = BenchModel::all()
+            .into_iter()
+            .map(|m| {
+                evaluate_model(&tm, m, batch).total_energy_j()
+                    / evaluate_model(&base, m, batch).total_energy_j()
+            })
+            .collect();
+        println!(
+            "  {e_adc_pj:>4.1} pJ/conversion: TacitMap-ePCM burns {:>5.2}x the baseline energy",
+            geomean(ratios)
+        );
+    }
+    println!("  (the Fig. 8 'observation 1' penalty is directly the ADC energy price.)");
+}

@@ -1,0 +1,50 @@
+//! Extension experiment: the area side of the paper's Section V-A
+//! accounting ("power and area overheads introduced by extra components
+//! of oPCM cores"). Prints the per-crossbar breakdown and whole-chip area
+//! of the three designs.
+
+use eb_bench::banner;
+use eb_core::{chip_area_mm2, crossbar_area, AreaParams, Design};
+
+fn main() {
+    banner(
+        "Area accounting — per-crossbar breakdown and whole-chip totals",
+        "Section V-A (area overheads of the oPCM components)",
+    );
+    let p = AreaParams::default();
+    println!(
+        "{:<18} {:>12} {:>14} {:>12} {:>14} {:>12} {:>12}",
+        "design", "array µm²", "converters µm²", "sense µm²", "photonics µm²", "xbar mm²", "chip mm²"
+    );
+    for design in [
+        Design::baseline_epcm(),
+        Design::tacitmap_epcm(),
+        Design::einstein_barrier(),
+    ] {
+        let b = crossbar_area(&design, &p);
+        println!(
+            "{:<18} {:>12.0} {:>14.0} {:>12.0} {:>14.0} {:>12.3} {:>12.1}",
+            design.kind.to_string(),
+            b.array_um2,
+            b.converters_um2,
+            b.sense_um2,
+            b.photonics_um2,
+            b.total_mm2(),
+            chip_area_mm2(&design, &p)
+        );
+    }
+    println!();
+    println!("Observations (mirroring the paper's qualitative claims):");
+    let base = crossbar_area(&Design::baseline_epcm(), &p).total_um2();
+    let tm = crossbar_area(&Design::tacitmap_epcm(), &p).total_um2();
+    let eb = crossbar_area(&Design::einstein_barrier(), &p).total_um2();
+    println!(
+        "  TacitMap-ePCM trades the baseline's PCSA+popcount logic for ADCs: {:.2}× baseline area",
+        tm / base
+    );
+    println!(
+        "  EinsteinBarrier pays photonic pitch + transmitter + receivers: {:.1}× baseline area \
+         — the area cost of WDM parallelism",
+        eb / base
+    );
+}

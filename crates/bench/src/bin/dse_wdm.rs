@@ -1,0 +1,58 @@
+//! Extension experiment (the paper's Section VI-C future work): a design
+//! space exploration of EinsteinBarrier over WDM capacity `K` and
+//! crossbar array size, reporting the achieved speedup over
+//! TacitMap-ePCM per network.
+//!
+//! The paper observes the achieved gain stays below the WDM capacity
+//! (avg ~15× at K = 16) and expects larger networks to close the gap —
+//! this sweep quantifies exactly that.
+
+use eb_bench::banner;
+use eb_bitnn::BenchModel;
+use eb_core::perf::evaluate_model;
+use eb_core::report::DEFAULT_BATCH;
+use eb_core::Design;
+
+fn main() {
+    banner(
+        "DSE — EinsteinBarrier gain vs WDM capacity and array size",
+        "Section VI-C (future work, reproduced as an extension)",
+    );
+    let batch = DEFAULT_BATCH;
+    println!("Gain of EinsteinBarrier over TacitMap-ePCM (latency), batch {batch}:");
+    print!("{:<8}", "K");
+    for model in BenchModel::all() {
+        print!("{:>10}", model.name());
+    }
+    println!();
+    let tm = Design::tacitmap_epcm();
+    for k in [1usize, 2, 4, 8, 16, 32] {
+        let eb = Design::einstein_barrier_with_capacity(k);
+        print!("{k:<8}");
+        for model in BenchModel::all() {
+            let t = evaluate_model(&tm, model, batch).total_latency_ns();
+            let e = evaluate_model(&eb, model, batch).total_latency_ns();
+            print!("{:>9.1}x", t / e);
+        }
+        println!();
+    }
+
+    println!();
+    println!("EinsteinBarrier speedup over Baseline-ePCM vs array size (K = 16):");
+    print!("{:<10}", "array");
+    for model in BenchModel::all() {
+        print!("{:>10}", model.name());
+    }
+    println!();
+    for size in [128usize, 256, 512] {
+        let base = Design::baseline_epcm().with_array_size(size, size);
+        let eb = Design::einstein_barrier().with_array_size(size, size);
+        print!("{:<10}", format!("{size}×{size}"));
+        for model in BenchModel::all() {
+            let b = evaluate_model(&base, model, batch).total_latency_ns();
+            let e = evaluate_model(&eb, model, batch).total_latency_ns();
+            print!("{:>9.0}x", b / e);
+        }
+        println!();
+    }
+}

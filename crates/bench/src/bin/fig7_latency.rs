@@ -1,0 +1,61 @@
+//! Regenerates the paper's Fig. 7: normalized latency improvements of
+//! TacitMap-ePCM and EinsteinBarrier over Baseline-ePCM across the six
+//! benchmark BNNs, with the Baseline-GPU reference.
+//!
+//! Paper headline numbers: TacitMap-ePCM ~78× average (up to ~154×),
+//! EinsteinBarrier ~1205× average (~22×–~3113×), EinsteinBarrier over
+//! TacitMap-ePCM ~15×; Baseline-ePCM ~4× faster than the GPU on the
+//! first CNN but ~27× slower on MLP-L.
+
+use eb_bench::{banner, paper_factor};
+use eb_core::report::{run_fig7, DEFAULT_BATCH};
+
+fn main() {
+    banner(
+        "Fig. 7 — Normalized latency improvement over Baseline-ePCM",
+        "Section VI-A, Fig. 7",
+    );
+    let fig = run_fig7(DEFAULT_BATCH);
+    print!("{}", fig.to_table());
+    println!();
+    println!("Paper vs reproduction:");
+    println!(
+        "  TacitMap-ePCM average:   paper ~78x   | measured {}",
+        paper_factor(fig.mean_tacitmap_speedup())
+    );
+    println!(
+        "  EinsteinBarrier average: paper ~1205x | measured {}",
+        paper_factor(fig.mean_einstein_speedup())
+    );
+    println!(
+        "  EinsteinBarrier/TacitMap: paper ~15x  | measured {}",
+        paper_factor(fig.mean_eb_over_tm())
+    );
+    let max_tm = fig
+        .rows
+        .iter()
+        .map(|r| r.tacitmap_speedup)
+        .fold(0.0f64, f64::max);
+    let (max_eb, min_eb) = fig.rows.iter().fold((0.0f64, f64::INFINITY), |(mx, mn), r| {
+        (mx.max(r.einstein_speedup), mn.min(r.einstein_speedup))
+    });
+    println!(
+        "  TacitMap-ePCM max:        paper ~154x | measured {}",
+        paper_factor(max_tm)
+    );
+    println!(
+        "  EinsteinBarrier range:    paper ~22x–~3113x | measured {}–{}",
+        paper_factor(min_eb),
+        paper_factor(max_eb)
+    );
+    let gpu_cnn = fig.rows[0].gpu_speedup;
+    let gpu_mlpl = fig.rows[5].gpu_speedup;
+    println!(
+        "  GPU on first CNN: paper baseline ~4x faster | measured baseline {} faster",
+        paper_factor(1.0 / gpu_cnn)
+    );
+    println!(
+        "  GPU on MLP-L:     paper baseline ~27x slower | measured baseline {} slower",
+        paper_factor(gpu_mlpl)
+    );
+}

@@ -1,0 +1,49 @@
+//! Evaluates the paper's power model verbatim: Eq. 2 (crossbar receiver
+//! power, `N × 2 mW` of TIAs) and Eq. 3 (transmitter power: laser +
+//! modulators + tuning) across WDM capacities and array sizes, plus the
+//! duty-cycled per-step energy used by the energy model (DESIGN.md).
+
+use eb_bench::banner;
+use eb_photonics::power::{crossbar_receiver_power_mw, TransmitterPowerModel};
+use eb_photonics::OpticalCost;
+
+fn main() {
+    banner(
+        "Eq. 2 / Eq. 3 — oPCM receiver and transmitter power",
+        "Section IV-B",
+    );
+    println!("Eq. 2: P_crossbar = N × 2 mW");
+    for n in [64usize, 128, 256, 512] {
+        println!("  N = {n:>4} columns: {:>8.1} mW", crossbar_receiver_power_mw(n));
+    }
+    println!();
+    let model = TransmitterPowerModel::paper_default();
+    println!("Eq. 3: P_total = P_laser + 3·K·M mW + 3·(K·M+1)/K · 45 mW  (P_laser = 10 mW)");
+    println!(
+        "{:>4} {:>6} {:>14} {:>14} {:>14}",
+        "K", "M", "modulators mW", "tuning mW", "total mW"
+    );
+    for k in [1usize, 4, 8, 16] {
+        for m in [128usize, 256] {
+            println!(
+                "{:>4} {:>6} {:>14.0} {:>14.0} {:>14.0}",
+                k,
+                m,
+                model.modulators_mw(k, m),
+                model.tuning_mw(k, m),
+                model.total_mw(k, m)
+            );
+        }
+    }
+    println!();
+    let cost = OpticalCost::default();
+    println!(
+        "Duty-cycled step energy (symbol time {} ns), K=16, 256×256 crossbar: {:.2} nJ",
+        cost.timings.t_symbol_ns,
+        cost.step_energy_j(16, 256, 256) * 1e9
+    );
+    println!(
+        "For reference, the electronic TacitMap step converts 256 columns at 2 pJ: {:.2} nJ",
+        256.0 * 2.0e-12 * 1e9
+    );
+}

@@ -1,0 +1,279 @@
+//! Batch normalization and its folding into integer thresholds.
+//!
+//! In a BNN hidden layer the sequence `binary-dot → batch-norm → sign`
+//! collapses into a single integer comparison on the XNOR popcount
+//! (the standard "threshold trick"): with pre-activation
+//! `p = 2·pop − m` and batch-norm `y = γ·(p − μ)/σ + β`, the output bit
+//! `y ≥ 0` is equivalent to `pop ≥ T` (or `pop < T` when `γ < 0`).
+//!
+//! This is what lets the paper's crossbar read the *final* binary
+//! activation with nothing more than an ADC compare after the popcount.
+
+/// Per-neuron batch normalization parameters (inference form).
+#[derive(Debug, Clone, PartialEq)]
+pub struct BatchNorm {
+    /// Scale `γ` per neuron.
+    pub gamma: Vec<f32>,
+    /// Shift `β` per neuron.
+    pub beta: Vec<f32>,
+    /// Running mean `μ` per neuron.
+    pub mean: Vec<f32>,
+    /// Running variance per neuron.
+    pub var: Vec<f32>,
+    /// Numerical-stability epsilon.
+    pub eps: f32,
+}
+
+impl BatchNorm {
+    /// Identity batch norm (`γ = 1, β = 0, μ = 0, σ² = 1`) over `n` neurons.
+    ///
+    /// Folding an identity batch norm over fan-in `m` yields the natural
+    /// majority threshold `pop ≥ ⌈m/2⌉`.
+    pub fn identity(n: usize) -> Self {
+        Self {
+            gamma: vec![1.0; n],
+            beta: vec![0.0; n],
+            mean: vec![0.0; n],
+            var: vec![1.0; n],
+            eps: 1e-5,
+        }
+    }
+
+    /// Number of neurons covered.
+    pub fn len(&self) -> usize {
+        self.gamma.len()
+    }
+
+    /// Returns `true` when the batch norm covers zero neurons.
+    pub fn is_empty(&self) -> bool {
+        self.gamma.is_empty()
+    }
+
+    /// Normalizes a pre-activation value for neuron `i`.
+    pub fn apply(&self, i: usize, x: f32) -> f32 {
+        self.gamma[i] * (x - self.mean[i]) / (self.var[i] + self.eps).sqrt() + self.beta[i]
+    }
+
+    /// Folds `batch-norm → sign` over bipolar pre-activations of fan-in `m`
+    /// into popcount-domain thresholds.
+    ///
+    /// The returned spec for neuron `i` satisfies: for any popcount `pop`,
+    /// `spec.fire(pop) == (self.apply(i, 2·pop − m) ≥ 0)`.
+    pub fn fold_popcount(&self, m: usize) -> Vec<ThresholdSpec> {
+        (0..self.len())
+            .map(|i| {
+                let sigma = (self.var[i] + self.eps).sqrt();
+                let g = self.gamma[i];
+                if g.abs() < 1e-20 {
+                    // Degenerate: output is sign(beta) independent of input.
+                    return if self.beta[i] >= 0.0 {
+                        ThresholdSpec::always_fire()
+                    } else {
+                        ThresholdSpec::never_fire()
+                    };
+                }
+                // y >= 0  <=>  (p - mu)*sign(g) >= -beta*sigma/|g| * sign(g)... solve directly:
+                // y = g*(p-mu)/sigma + beta >= 0
+                //   g > 0:  p >= mu - beta*sigma/g      =: tau
+                //   g < 0:  p <= mu - beta*sigma/g      =: tau
+                let tau = self.mean[i] - self.beta[i] * sigma / g;
+                // p = 2*pop - m; p >= tau <=> pop >= (tau + m)/2
+                let pop_bound = (tau + m as f32) / 2.0;
+                if g > 0.0 {
+                    ThresholdSpec::fire_at_or_above(pop_bound.ceil() as i64)
+                } else {
+                    // p <= tau <=> pop <= (tau+m)/2 <=> pop < floor(..)+1
+                    ThresholdSpec::fire_below(pop_bound.floor() as i64 + 1)
+                }
+            })
+            .collect()
+    }
+
+    /// Folds `batch-norm → sign` over *raw integer* pre-activations (the
+    /// fixed-point first layer) into integer thresholds on the
+    /// pre-activation itself.
+    ///
+    /// `scale` converts the integer accumulator to the real-valued domain
+    /// the batch norm was trained in (`real ≈ scale · int`).
+    pub fn fold_fixed(&self, scale: f32) -> Vec<ThresholdSpec> {
+        (0..self.len())
+            .map(|i| {
+                let sigma = (self.var[i] + self.eps).sqrt();
+                let g = self.gamma[i];
+                if g.abs() < 1e-20 {
+                    return if self.beta[i] >= 0.0 {
+                        ThresholdSpec::always_fire()
+                    } else {
+                        ThresholdSpec::never_fire()
+                    };
+                }
+                let tau = (self.mean[i] - self.beta[i] * sigma / g) / scale;
+                if g > 0.0 {
+                    ThresholdSpec::fire_at_or_above(tau.ceil() as i64)
+                } else {
+                    ThresholdSpec::fire_below(tau.floor() as i64 + 1)
+                }
+            })
+            .collect()
+    }
+}
+
+/// A folded `batch-norm → sign` decision: fires (outputs bit 1) when the
+/// integer statistic is on the configured side of the threshold.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct ThresholdSpec {
+    threshold: i64,
+    /// `false`: fire when `x ≥ threshold`; `true`: fire when `x < threshold`.
+    flipped: bool,
+}
+
+impl ThresholdSpec {
+    /// Fires when the statistic is `≥ t`.
+    pub fn fire_at_or_above(t: i64) -> Self {
+        Self {
+            threshold: t,
+            flipped: false,
+        }
+    }
+
+    /// Fires when the statistic is `< t` (negative-γ batch norm).
+    pub fn fire_below(t: i64) -> Self {
+        Self {
+            threshold: t,
+            flipped: true,
+        }
+    }
+
+    /// Fires for every input.
+    pub fn always_fire() -> Self {
+        Self::fire_at_or_above(i64::MIN)
+    }
+
+    /// Fires for no input.
+    pub fn never_fire() -> Self {
+        Self::fire_at_or_above(i64::MAX)
+    }
+
+    /// The majority threshold `pop ≥ ⌈m/2⌉` — what identity batch norm
+    /// folds to over fan-in `m` (i.e. `sign(2·pop − m)` with ties firing).
+    pub fn majority(m: usize) -> Self {
+        Self::fire_at_or_above((m as i64).div_euclid(2) + (m as i64 % 2))
+    }
+
+    /// Raw threshold value.
+    pub fn threshold(&self) -> i64 {
+        self.threshold
+    }
+
+    /// Whether the comparison is flipped (`x < t` fires).
+    pub fn is_flipped(&self) -> bool {
+        self.flipped
+    }
+
+    /// Evaluates the decision on an integer statistic.
+    #[inline]
+    pub fn fire(&self, x: i64) -> bool {
+        if self.flipped {
+            x < self.threshold
+        } else {
+            x >= self.threshold
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn identity_folds_to_majority() {
+        let bn = BatchNorm::identity(3);
+        let specs = bn.fold_popcount(10);
+        // p = 2*pop - 10 >= 0 <=> pop >= 5
+        for s in &specs {
+            assert!(!s.fire(4));
+            assert!(s.fire(5));
+            assert!(s.fire(10));
+        }
+        assert_eq!(specs[0], ThresholdSpec::majority(10));
+    }
+
+    #[test]
+    fn majority_odd_fanin() {
+        // m = 9: p = 2*pop - 9 >= 0 <=> pop >= 4.5 <=> pop >= 5
+        let s = ThresholdSpec::majority(9);
+        assert!(!s.fire(4));
+        assert!(s.fire(5));
+        let bn = BatchNorm::identity(1);
+        assert_eq!(bn.fold_popcount(9)[0], s);
+    }
+
+    #[test]
+    fn fold_matches_float_reference_dense_sweep() {
+        // Sweep a grid of BN parameters and all popcounts, check the folded
+        // integer decision equals the float sign decision.
+        let m = 17usize;
+        for &gamma in &[2.0f32, 0.7, -1.3, -0.4] {
+            for &beta in &[-1.5f32, 0.0, 2.2] {
+                for &mu in &[-3.0f32, 0.0, 4.5] {
+                    for &var in &[0.25f32, 1.0, 9.0] {
+                        let bn = BatchNorm {
+                            gamma: vec![gamma],
+                            beta: vec![beta],
+                            mean: vec![mu],
+                            var: vec![var],
+                            eps: 1e-5,
+                        };
+                        let spec = bn.fold_popcount(m)[0];
+                        for pop in 0..=m {
+                            let p = 2.0 * pop as f32 - m as f32;
+                            let want = bn.apply(0, p) >= 0.0;
+                            assert_eq!(
+                                spec.fire(pop as i64),
+                                want,
+                                "gamma={gamma} beta={beta} mu={mu} var={var} pop={pop}"
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn degenerate_gamma_fires_on_beta_sign() {
+        let bn = BatchNorm {
+            gamma: vec![0.0, 0.0],
+            beta: vec![1.0, -1.0],
+            mean: vec![0.0; 2],
+            var: vec![1.0; 2],
+            eps: 1e-5,
+        };
+        let specs = bn.fold_popcount(8);
+        assert!(specs[0].fire(0) && specs[0].fire(8));
+        assert!(!specs[1].fire(0) && !specs[1].fire(8));
+    }
+
+    #[test]
+    fn fold_fixed_scales_threshold() {
+        let bn = BatchNorm {
+            gamma: vec![1.0],
+            beta: vec![-2.0],
+            mean: vec![4.0],
+            var: vec![1.0 - 1e-5],
+            eps: 1e-5,
+        };
+        // tau(real) = mu - beta*sigma/gamma = 4 + 2 = 6; scale 0.5 => int >= 12
+        let spec = bn.fold_fixed(0.5)[0];
+        assert!(!spec.fire(11));
+        assert!(spec.fire(12));
+    }
+
+    #[test]
+    fn flipped_spec_orders_correctly() {
+        let s = ThresholdSpec::fire_below(3);
+        assert!(s.fire(2));
+        assert!(!s.fire(3));
+        assert!(s.is_flipped());
+    }
+}

@@ -1,0 +1,314 @@
+//! Shaped binary activation tensors for convolutional BNN layers.
+
+use crate::bits::BitVec;
+use crate::matrix::BitMatrix;
+use std::fmt;
+
+/// A binary activation tensor with shape `(channels, height, width)`.
+///
+/// Element order is channel-major (`c`, then `h`, then `w`), matching the
+/// flattening used when a conv feature map feeds a fully connected layer.
+///
+/// # Examples
+///
+/// ```
+/// use eb_bitnn::BitTensor;
+///
+/// let mut t = BitTensor::zeros(2, 3, 3);
+/// t.set(1, 2, 0, true);
+/// assert_eq!(t.get(1, 2, 0), Some(true));
+/// assert_eq!(t.flatten().len(), 18);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct BitTensor {
+    channels: usize,
+    height: usize,
+    width: usize,
+    bits: BitVec,
+}
+
+impl BitTensor {
+    /// Creates an all-zero tensor.
+    pub fn zeros(channels: usize, height: usize, width: usize) -> Self {
+        Self {
+            channels,
+            height,
+            width,
+            bits: BitVec::zeros(channels * height * width),
+        }
+    }
+
+    /// Wraps a flat bit vector as a shaped tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `bits.len() != channels * height * width`.
+    pub fn from_bits(channels: usize, height: usize, width: usize, bits: BitVec) -> Self {
+        assert_eq!(
+            bits.len(),
+            channels * height * width,
+            "bit count does not match shape"
+        );
+        Self {
+            channels,
+            height,
+            width,
+            bits,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.channels
+    }
+
+    /// Spatial height.
+    pub fn height(&self) -> usize {
+        self.height
+    }
+
+    /// Spatial width.
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.bits.len()
+    }
+
+    /// Returns `true` when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.bits.is_empty()
+    }
+
+    fn index(&self, c: usize, h: usize, w: usize) -> usize {
+        (c * self.height + h) * self.width + w
+    }
+
+    /// Reads the bit at `(c, h, w)`, or `None` when out of range.
+    pub fn get(&self, c: usize, h: usize, w: usize) -> Option<bool> {
+        if c >= self.channels || h >= self.height || w >= self.width {
+            return None;
+        }
+        self.bits.get(self.index(c, h, w))
+    }
+
+    /// Sets the bit at `(c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the index is out of range.
+    pub fn set(&mut self, c: usize, h: usize, w: usize, value: bool) {
+        assert!(
+            c < self.channels && h < self.height && w < self.width,
+            "({c}, {h}, {w}) out of range"
+        );
+        let i = self.index(c, h, w);
+        self.bits.set(i, value);
+    }
+
+    /// Flattens to a channel-major [`BitVec`] (cheap clone of the storage).
+    pub fn flatten(&self) -> BitVec {
+        self.bits.clone()
+    }
+
+    /// im2col for binary tensors: extracts every `k×k` sliding window at
+    /// stride `stride` with zero padding `pad` (pad bits read as 0, i.e.
+    /// bipolar −1) into the rows of a [`BitMatrix`].
+    ///
+    /// Each output row has length `channels · k · k`; rows are ordered
+    /// top-to-bottom, left-to-right. The returned matrix multiplied against
+    /// flattened filters reproduces the direct convolution.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input.
+    pub fn im2col(&self, k: usize, stride: usize, pad: usize) -> BitMatrix {
+        let (oh, ow) = conv_output_dims(self.height, self.width, k, stride, pad);
+        let mut m = BitMatrix::zeros(oh * ow, self.channels * k * k);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = oy * ow + ox;
+                for c in 0..self.channels {
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = (oy * stride + ky) as isize - pad as isize;
+                            let ix = (ox * stride + kx) as isize - pad as isize;
+                            if iy < 0 || ix < 0 {
+                                continue;
+                            }
+                            let (iy, ix) = (iy as usize, ix as usize);
+                            if iy >= self.height || ix >= self.width {
+                                continue;
+                            }
+                            if self.get(c, iy, ix) == Some(true) {
+                                m.set(row, (c * k + ky) * k + kx, true);
+                            }
+                        }
+                    }
+                }
+            }
+        }
+        m
+    }
+
+    /// 2×2 max pooling with stride 2 (logical OR of the window, since in
+    /// the {0,1} encoding `max` over bipolar values is OR over bits).
+    ///
+    /// Odd trailing rows/columns are truncated, as in common BNN stacks.
+    pub fn max_pool_2x2(&self) -> Self {
+        let oh = self.height / 2;
+        let ow = self.width / 2;
+        let mut out = Self::zeros(self.channels, oh, ow);
+        for c in 0..self.channels {
+            for y in 0..oh {
+                for x in 0..ow {
+                    let any = self.get(c, 2 * y, 2 * x) == Some(true)
+                        || self.get(c, 2 * y, 2 * x + 1) == Some(true)
+                        || self.get(c, 2 * y + 1, 2 * x) == Some(true)
+                        || self.get(c, 2 * y + 1, 2 * x + 1) == Some(true);
+                    if any {
+                        out.set(c, y, x, true);
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Fraction of set bits, useful as a quick activation statistic.
+    pub fn density(&self) -> f64 {
+        if self.bits.is_empty() {
+            0.0
+        } else {
+            f64::from(self.bits.popcount()) / self.bits.len() as f64
+        }
+    }
+}
+
+impl fmt::Debug for BitTensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "BitTensor({}×{}×{}, density={:.2})",
+            self.channels,
+            self.height,
+            self.width,
+            self.density()
+        )
+    }
+}
+
+/// Output spatial dimensions of a convolution.
+///
+/// # Panics
+///
+/// Panics if the kernel does not fit the padded input or `stride == 0`.
+pub fn conv_output_dims(
+    height: usize,
+    width: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> (usize, usize) {
+    assert!(stride > 0, "stride must be positive");
+    assert!(
+        height + 2 * pad >= k && width + 2 * pad >= k,
+        "kernel {k} does not fit padded input {height}×{width} (pad {pad})"
+    );
+    (
+        (height + 2 * pad - k) / stride + 1,
+        (width + 2 * pad - k) / stride + 1,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ops;
+
+    #[test]
+    fn shape_and_indexing() {
+        let mut t = BitTensor::zeros(3, 4, 5);
+        assert_eq!(t.len(), 60);
+        t.set(2, 3, 4, true);
+        assert_eq!(t.get(2, 3, 4), Some(true));
+        assert_eq!(t.get(2, 3, 5), None);
+        assert_eq!(t.flatten().popcount(), 1);
+        // channel-major flattening: last element of the flat vector.
+        assert_eq!(t.flatten().get(59), Some(true));
+    }
+
+    #[test]
+    fn conv_dims() {
+        assert_eq!(conv_output_dims(28, 28, 5, 1, 0), (24, 24));
+        assert_eq!(conv_output_dims(32, 32, 3, 1, 1), (32, 32));
+        assert_eq!(conv_output_dims(8, 8, 2, 2, 0), (4, 4));
+    }
+
+    #[test]
+    fn im2col_valid_matches_direct_conv() {
+        // One channel, 4x4 input, 3x3 kernel: check im2col rows reproduce
+        // the direct sliding-window XNOR popcounts.
+        let mut t = BitTensor::zeros(1, 4, 4);
+        for (i, (y, x)) in [(0, 1), (1, 2), (2, 0), (3, 3), (2, 2)].iter().enumerate() {
+            let _ = i;
+            t.set(0, *y, *x, true);
+        }
+        let kernel = BitVec::from_bools(&[
+            true, false, true, false, true, false, true, false, true,
+        ]);
+        let cols = t.im2col(3, 1, 0);
+        assert_eq!(cols.rows(), 4); // 2x2 output
+        for oy in 0..2 {
+            for ox in 0..2 {
+                // direct window extraction
+                let mut win = BitVec::zeros(9);
+                for ky in 0..3 {
+                    for kx in 0..3 {
+                        if t.get(0, oy + ky, ox + kx) == Some(true) {
+                            win.set(ky * 3 + kx, true);
+                        }
+                    }
+                }
+                let direct = ops::xnor_popcount(&win, &kernel);
+                let via_cols = ops::xnor_popcount(&cols.row(oy * 2 + ox), &kernel);
+                assert_eq!(direct, via_cols);
+            }
+        }
+    }
+
+    #[test]
+    fn im2col_padding_reads_zero() {
+        let mut t = BitTensor::zeros(1, 2, 2);
+        t.set(0, 0, 0, true);
+        let cols = t.im2col(3, 1, 1);
+        assert_eq!(cols.rows(), 4);
+        // Window centred at (0,0): the padded positions contribute 0 bits,
+        // so the only set bit is the centre.
+        let w00 = cols.row(0);
+        assert_eq!(w00.popcount(), 1);
+        assert_eq!(w00.get(4), Some(true)); // centre of 3x3
+    }
+
+    #[test]
+    fn max_pool_is_or() {
+        let mut t = BitTensor::zeros(1, 4, 4);
+        t.set(0, 0, 1, true); // window (0,0)
+        t.set(0, 3, 3, true); // window (1,1)
+        let p = t.max_pool_2x2();
+        assert_eq!(p.height(), 2);
+        assert_eq!(p.get(0, 0, 0), Some(true));
+        assert_eq!(p.get(0, 0, 1), Some(false));
+        assert_eq!(p.get(0, 1, 0), Some(false));
+        assert_eq!(p.get(0, 1, 1), Some(true));
+    }
+
+    #[test]
+    fn density_counts_fraction() {
+        let mut t = BitTensor::zeros(1, 2, 2);
+        t.set(0, 0, 0, true);
+        assert!((t.density() - 0.25).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,201 @@
+//! Synthetic stand-ins for MNIST and CIFAR-10.
+//!
+//! The paper's mappings and accelerator "simply accelerate" BNN inference
+//! and do not affect accuracy (Section V-C), so datasets only provide
+//! realistically-shaped workloads. These generators produce
+//! class-conditional procedural images — each class has a distinct
+//! frequency/orientation signature plus per-sample noise — which are
+//! learnable by a small BNN and have the exact MNIST/CIFAR-10 shapes.
+
+use crate::models::DatasetKind;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Number of classes in both synthetic datasets (matches MNIST/CIFAR-10).
+pub const NUM_CLASSES: usize = 10;
+
+/// A labelled synthetic dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dataset {
+    name: String,
+    kind: DatasetKind,
+    samples: Vec<(Tensor, usize)>,
+}
+
+impl Dataset {
+    /// Generates `n` samples of the given dataset kind, cycling through the
+    /// ten classes, with reproducible per-sample noise from `seed`.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eb_bitnn::{Dataset, DatasetKind};
+    /// let d = Dataset::generate(DatasetKind::Mnist, 20, 42);
+    /// assert_eq!(d.len(), 20);
+    /// assert_eq!(d.samples()[0].0.shape(), &[1, 28, 28]);
+    /// ```
+    pub fn generate(kind: DatasetKind, n: usize, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let samples = (0..n)
+            .map(|i| {
+                let class = i % NUM_CLASSES;
+                (synth_image(kind, class, &mut rng), class)
+            })
+            .collect();
+        Self {
+            name: match kind {
+                DatasetKind::Mnist => "synthetic-mnist".to_string(),
+                DatasetKind::Cifar10 => "synthetic-cifar10".to_string(),
+            },
+            kind,
+            samples,
+        }
+    }
+
+    /// Dataset name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Dataset kind.
+    pub fn kind(&self) -> DatasetKind {
+        self.kind
+    }
+
+    /// Number of samples.
+    pub fn len(&self) -> usize {
+        self.samples.len()
+    }
+
+    /// Returns `true` when the dataset holds no samples.
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty()
+    }
+
+    /// Labelled samples as `(image, class)` pairs.
+    pub fn samples(&self) -> &[(Tensor, usize)] {
+        &self.samples
+    }
+
+    /// Samples with images flattened to rank-1 tensors (for MLPs).
+    pub fn flattened(&self) -> Vec<(Tensor, usize)> {
+        self.samples
+            .iter()
+            .map(|(t, y)| {
+                let len = t.len();
+                (t.clone().reshape(&[len]), *y)
+            })
+            .collect()
+    }
+
+    /// Splits into `(train, test)` at `train_fraction`.
+    pub fn split(&self, train_fraction: f64) -> (Vec<(Tensor, usize)>, Vec<(Tensor, usize)>) {
+        let cut = ((self.samples.len() as f64) * train_fraction).round() as usize;
+        let cut = cut.min(self.samples.len());
+        (
+            self.samples[..cut].to_vec(),
+            self.samples[cut..].to_vec(),
+        )
+    }
+}
+
+/// Generates one class-conditional synthetic image.
+///
+/// Class `c` gets a sinusoidal texture with class-specific spatial
+/// frequency and orientation, corrupted by uniform noise; values lie in
+/// `[-1, 1]`.
+pub fn synth_image(kind: DatasetKind, class: usize, rng: &mut impl Rng) -> Tensor {
+    let (c, h, w) = match kind {
+        DatasetKind::Mnist => (1usize, 28usize, 28usize),
+        DatasetKind::Cifar10 => (3, 32, 32),
+    };
+    let fx = 1.0 + (class % 5) as f32;
+    let fy = 1.0 + (class / 5) as f32 * 2.0;
+    let phase = class as f32 * 0.7;
+    let mut data = Vec::with_capacity(c * h * w);
+    for ch in 0..c {
+        let chf = ch as f32 * 0.5;
+        for y in 0..h {
+            for x in 0..w {
+                let u = x as f32 / w as f32;
+                let v = y as f32 / h as f32;
+                let signal = (2.0 * std::f32::consts::PI * (fx * u + fy * v) + phase + chf).sin();
+                let noise = rng.gen::<f32>() * 0.4 - 0.2;
+                data.push((signal * 0.8 + noise).clamp(-1.0, 1.0));
+            }
+        }
+    }
+    Tensor::from_vec(&[c, h, w], data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shapes_match_real_datasets() {
+        let m = Dataset::generate(DatasetKind::Mnist, 5, 0);
+        assert_eq!(m.samples()[0].0.shape(), &[1, 28, 28]);
+        let c = Dataset::generate(DatasetKind::Cifar10, 5, 0);
+        assert_eq!(c.samples()[0].0.shape(), &[3, 32, 32]);
+    }
+
+    #[test]
+    fn labels_cycle_through_classes() {
+        let d = Dataset::generate(DatasetKind::Mnist, 25, 1);
+        for (i, (_, y)) in d.samples().iter().enumerate() {
+            assert_eq!(*y, i % NUM_CLASSES);
+        }
+    }
+
+    #[test]
+    fn generation_is_reproducible() {
+        let a = Dataset::generate(DatasetKind::Mnist, 10, 7);
+        let b = Dataset::generate(DatasetKind::Mnist, 10, 7);
+        assert_eq!(a, b);
+        let c = Dataset::generate(DatasetKind::Mnist, 10, 8);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn values_bounded() {
+        let d = Dataset::generate(DatasetKind::Cifar10, 4, 3);
+        for (img, _) in d.samples() {
+            assert!(img.as_slice().iter().all(|&x| (-1.0..=1.0).contains(&x)));
+        }
+    }
+
+    #[test]
+    fn classes_are_distinguishable() {
+        // The class signal should dominate the noise: two samples of the
+        // same class correlate more than samples of different classes.
+        let mut rng = StdRng::seed_from_u64(5);
+        let a0 = synth_image(DatasetKind::Mnist, 0, &mut rng);
+        let a1 = synth_image(DatasetKind::Mnist, 0, &mut rng);
+        let b0 = synth_image(DatasetKind::Mnist, 7, &mut rng);
+        let corr = |x: &Tensor, y: &Tensor| -> f32 {
+            x.as_slice()
+                .iter()
+                .zip(y.as_slice())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
+        };
+        assert!(corr(&a0, &a1) > corr(&a0, &b0));
+    }
+
+    #[test]
+    fn split_partitions_samples() {
+        let d = Dataset::generate(DatasetKind::Mnist, 10, 2);
+        let (train, test) = d.split(0.8);
+        assert_eq!(train.len(), 8);
+        assert_eq!(test.len(), 2);
+    }
+
+    #[test]
+    fn flattened_reshapes() {
+        let d = Dataset::generate(DatasetKind::Mnist, 2, 2);
+        let f = d.flattened();
+        assert_eq!(f[0].0.shape(), &[784]);
+    }
+}

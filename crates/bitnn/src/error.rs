@@ -1,0 +1,79 @@
+//! Error types for BNN construction and inference.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while building or running a BNN.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum BitnnError {
+    /// A layer received an activation whose kind (real / flat binary /
+    /// spatial binary) does not match what it consumes.
+    ActivationKind {
+        /// Layer that rejected the activation.
+        layer: String,
+        /// What the layer expected.
+        expected: &'static str,
+        /// What it received.
+        got: &'static str,
+    },
+    /// A layer received an activation of the wrong dimensions.
+    ShapeMismatch {
+        /// Layer that rejected the activation.
+        layer: String,
+        /// Expected dimension description.
+        expected: String,
+        /// Received dimension description.
+        got: String,
+    },
+    /// A network was built with inconsistent consecutive layers.
+    InvalidNetwork(String),
+}
+
+impl fmt::Display for BitnnError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::ActivationKind {
+                layer,
+                expected,
+                got,
+            } => write!(
+                f,
+                "layer `{layer}` expected a {expected} activation but received {got}"
+            ),
+            Self::ShapeMismatch {
+                layer,
+                expected,
+                got,
+            } => write!(
+                f,
+                "layer `{layer}` expected input of shape {expected} but received {got}"
+            ),
+            Self::InvalidNetwork(msg) => write!(f, "invalid network: {msg}"),
+        }
+    }
+}
+
+impl Error for BitnnError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = BitnnError::ShapeMismatch {
+            layer: "fc1".into(),
+            expected: "784".into(),
+            got: "100".into(),
+        };
+        let msg = e.to_string();
+        assert!(msg.contains("fc1") && msg.contains("784") && msg.contains("100"));
+    }
+
+    #[test]
+    fn implements_error_trait() {
+        fn assert_err<E: Error + Send + Sync>() {}
+        assert_err::<BitnnError>();
+    }
+}

@@ -1,0 +1,55 @@
+//! # eb-bitnn — Binary Neural Network substrate
+//!
+//! The BNN foundation for the EinsteinBarrier reproduction: bit-packed
+//! binary vectors/matrices/tensors, the XNOR+popcount arithmetic of the
+//! paper's Eq. 1, BNN layers with folded batch-norm thresholds, the six
+//! MlBench-style benchmark networks, synthetic MNIST/CIFAR-10 stand-ins,
+//! and a BinaryConnect-style trainer.
+//!
+//! Everything in this crate is *software reference*: the crossbar mappings
+//! (`eb-mapping`) and the accelerator simulator (`eb-core`) are tested to
+//! reproduce these kernels bit-exactly.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use eb_bitnn::{ops, BitVec};
+//!
+//! // Paper Eq. 1: In ⊛ W = 2·Popcount(In' ⊙ W') − len
+//! let input = BitVec::from_bipolar(&[1, -1, 1, 1]);
+//! let weight = BitVec::from_bipolar(&[1, 1, -1, 1]);
+//! let pop = ops::xnor_popcount(&input, &weight);
+//! assert_eq!(ops::bipolar_dot(&input, &weight), 2 * pop as i32 - 4);
+//! ```
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod batchnorm;
+mod bits;
+mod bittensor;
+mod data;
+mod error;
+mod layers;
+mod matrix;
+mod models;
+mod network;
+pub mod ops;
+pub mod summary;
+mod tensor;
+mod train;
+
+pub use batchnorm::{BatchNorm, ThresholdSpec};
+pub use bits::{BitVec, Iter as BitIter, WORD_BITS};
+pub use bittensor::{conv_output_dims, BitTensor};
+pub use data::{synth_image, Dataset, NUM_CLASSES};
+pub use error::BitnnError;
+pub use layers::{
+    Activation, BinConv, BinLinear, FixedConv, FixedLinear, Layer, LayerDims, LayerKind,
+    OutputLinear, Shape,
+};
+pub use matrix::BitMatrix;
+pub use models::{BenchModel, DatasetKind};
+pub use network::Bnn;
+pub use tensor::Tensor;
+pub use train::{MlpTrainer, TrainConfig};

@@ -1,0 +1,313 @@
+//! Bit-packed binary matrices.
+//!
+//! A [`BitMatrix`] stores `rows × cols` bits row-major, one packed
+//! [`BitVec`]-style lane per row. BNN weight matrices are stored with one
+//! *weight vector per row* (length = fan-in); the mapping crates decide how
+//! rows/columns are physically laid out on a crossbar.
+
+use crate::bits::{BitVec, WORD_BITS};
+use std::fmt;
+
+/// A dense binary matrix packed 64 bits per word, row-major.
+///
+/// # Examples
+///
+/// ```
+/// use eb_bitnn::{BitMatrix, BitVec};
+///
+/// let mut m = BitMatrix::zeros(2, 3);
+/// m.set(0, 2, true);
+/// m.set(1, 0, true);
+/// assert_eq!(m.row(0).to_bools(), vec![false, false, true]);
+/// assert_eq!(m.col(0).to_bools(), vec![false, true]);
+/// ```
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct BitMatrix {
+    rows: usize,
+    cols: usize,
+    words_per_row: usize,
+    data: Vec<u64>,
+}
+
+impl BitMatrix {
+    /// Creates an all-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        let words_per_row = cols.div_ceil(WORD_BITS);
+        Self {
+            rows,
+            cols,
+            words_per_row,
+            data: vec![0; rows * words_per_row],
+        }
+    }
+
+    /// Builds a matrix from row vectors.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the rows have differing lengths.
+    pub fn from_rows(rows: &[BitVec]) -> Self {
+        if rows.is_empty() {
+            return Self::zeros(0, 0);
+        }
+        let cols = rows[0].len();
+        let mut m = Self::zeros(rows.len(), cols);
+        for (r, row) in rows.iter().enumerate() {
+            assert_eq!(row.len(), cols, "row {r} has inconsistent length");
+            m.set_row(r, row);
+        }
+        m
+    }
+
+    /// Builds a matrix from a closure evaluated at every `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                if f(r, c) {
+                    m.set(r, c, true);
+                }
+            }
+        }
+        m
+    }
+
+    /// Number of rows.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of columns.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Reads the bit at `(r, c)`, or `None` when out of range.
+    pub fn get(&self, r: usize, c: usize) -> Option<bool> {
+        if r >= self.rows || c >= self.cols {
+            return None;
+        }
+        let w = r * self.words_per_row + c / WORD_BITS;
+        Some((self.data[w] >> (c % WORD_BITS)) & 1 == 1)
+    }
+
+    /// Sets the bit at `(r, c)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `(r, c)` is out of range.
+    pub fn set(&mut self, r: usize, c: usize, value: bool) {
+        assert!(r < self.rows && c < self.cols, "({r}, {c}) out of range");
+        let w = r * self.words_per_row + c / WORD_BITS;
+        let b = c % WORD_BITS;
+        if value {
+            self.data[w] |= 1 << b;
+        } else {
+            self.data[w] &= !(1 << b);
+        }
+    }
+
+    /// Copies `row` into row `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range or the lengths differ.
+    pub fn set_row(&mut self, r: usize, row: &BitVec) {
+        assert!(r < self.rows, "row {r} out of range");
+        assert_eq!(row.len(), self.cols, "row length mismatch");
+        let start = r * self.words_per_row;
+        self.data[start..start + self.words_per_row].copy_from_slice(row.words());
+    }
+
+    /// Extracts row `r` as an owned [`BitVec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    pub fn row(&self, r: usize) -> BitVec {
+        assert!(r < self.rows, "row {r} out of range");
+        let start = r * self.words_per_row;
+        BitVec::from_words(
+            self.data[start..start + self.words_per_row].to_vec(),
+            self.cols,
+        )
+    }
+
+    /// Extracts column `c` as an owned [`BitVec`].
+    ///
+    /// # Panics
+    ///
+    /// Panics if `c` is out of range.
+    pub fn col(&self, c: usize) -> BitVec {
+        assert!(c < self.cols, "column {c} out of range");
+        let mut v = BitVec::zeros(self.rows);
+        for r in 0..self.rows {
+            if self.get(r, c) == Some(true) {
+                v.set(r, true);
+            }
+        }
+        v
+    }
+
+    /// Returns the transpose.
+    pub fn transpose(&self) -> Self {
+        Self::from_fn(self.cols, self.rows, |r, c| self.get(c, r) == Some(true))
+    }
+
+    /// Element-wise complement.
+    pub fn complement(&self) -> Self {
+        Self::from_fn(self.rows, self.cols, |r, c| self.get(r, c) == Some(false))
+    }
+
+    /// Total number of set bits.
+    pub fn popcount(&self) -> u64 {
+        (0..self.rows).map(|r| u64::from(self.row(r).popcount())).sum()
+    }
+
+    /// Iterator over rows as owned [`BitVec`]s.
+    pub fn iter_rows(&self) -> impl Iterator<Item = BitVec> + '_ {
+        (0..self.rows).map(move |r| self.row(r))
+    }
+
+    /// Vertical sub-matrix: rows `[start, start + n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the matrix.
+    pub fn row_slice(&self, start: usize, n: usize) -> Self {
+        assert!(start + n <= self.rows, "row slice out of range");
+        let rows: Vec<BitVec> = (start..start + n).map(|r| self.row(r)).collect();
+        Self::from_rows(&rows)
+    }
+
+    /// Horizontal sub-matrix: columns `[start, start + n)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the range exceeds the matrix.
+    pub fn col_slice(&self, start: usize, n: usize) -> Self {
+        assert!(start + n <= self.cols, "column slice out of range");
+        Self::from_fn(self.rows, n, |r, c| self.get(r, start + c) == Some(true))
+    }
+}
+
+impl fmt::Debug for BitMatrix {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(f, "BitMatrix[{}×{}]", self.rows, self.cols)?;
+        for r in 0..self.rows.min(16) {
+            writeln!(f, "  {}", self.row(r))?;
+        }
+        if self.rows > 16 {
+            writeln!(f, "  …")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn checker(rows: usize, cols: usize) -> BitMatrix {
+        BitMatrix::from_fn(rows, cols, |r, c| (r + c) % 2 == 0)
+    }
+
+    #[test]
+    fn zeros_shape_and_popcount() {
+        let m = BitMatrix::zeros(3, 70);
+        assert_eq!(m.rows(), 3);
+        assert_eq!(m.cols(), 70);
+        assert_eq!(m.popcount(), 0);
+    }
+
+    #[test]
+    fn set_get_roundtrip() {
+        let mut m = BitMatrix::zeros(4, 100);
+        m.set(2, 99, true);
+        m.set(0, 0, true);
+        assert_eq!(m.get(2, 99), Some(true));
+        assert_eq!(m.get(0, 0), Some(true));
+        assert_eq!(m.get(1, 50), Some(false));
+        assert_eq!(m.get(4, 0), None);
+        assert_eq!(m.get(0, 100), None);
+        assert_eq!(m.popcount(), 2);
+    }
+
+    #[test]
+    fn row_and_col_extraction_agree_with_get() {
+        let m = checker(5, 67);
+        for r in 0..5 {
+            let row = m.row(r);
+            for c in 0..67 {
+                assert_eq!(row.get(c), m.get(r, c));
+            }
+        }
+        for c in [0usize, 1, 63, 64, 66] {
+            let col = m.col(c);
+            for r in 0..5 {
+                assert_eq!(col.get(r), m.get(r, c));
+            }
+        }
+    }
+
+    #[test]
+    fn transpose_involution() {
+        let m = checker(7, 130);
+        let t = m.transpose();
+        assert_eq!(t.rows(), 130);
+        assert_eq!(t.cols(), 7);
+        assert_eq!(t.transpose(), m);
+    }
+
+    #[test]
+    fn complement_popcount_sums_to_area() {
+        let m = checker(6, 65);
+        let c = m.complement();
+        assert_eq!(m.popcount() + c.popcount(), 6 * 65);
+    }
+
+    #[test]
+    fn from_rows_roundtrip() {
+        let rows: Vec<BitVec> = vec![
+            BitVec::from_bools(&[true, false, true]),
+            BitVec::from_bools(&[false, true, true]),
+        ];
+        let m = BitMatrix::from_rows(&rows);
+        assert_eq!(m.row(0), rows[0]);
+        assert_eq!(m.row(1), rows[1]);
+        let collected: Vec<BitVec> = m.iter_rows().collect();
+        assert_eq!(collected, rows);
+    }
+
+    #[test]
+    fn slices_extract_windows() {
+        let m = checker(8, 100);
+        let rs = m.row_slice(2, 3);
+        assert_eq!(rs.rows(), 3);
+        assert_eq!(rs.row(0), m.row(2));
+        let cs = m.col_slice(60, 10);
+        assert_eq!(cs.cols(), 10);
+        for r in 0..8 {
+            for c in 0..10 {
+                assert_eq!(cs.get(r, c), m.get(r, 60 + c));
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "inconsistent length")]
+    fn from_rows_rejects_ragged_input() {
+        let _ = BitMatrix::from_rows(&[BitVec::zeros(3), BitVec::zeros(4)]);
+    }
+
+    #[test]
+    fn set_row_copies_words() {
+        let mut m = BitMatrix::zeros(2, 130);
+        let mut v = BitVec::zeros(130);
+        v.set(129, true);
+        v.set(0, true);
+        m.set_row(1, &v);
+        assert_eq!(m.row(1), v);
+        assert_eq!(m.row(0).popcount(), 0);
+    }
+}

@@ -1,0 +1,374 @@
+//! The six MlBench/PRIME-style benchmark BNNs evaluated in the paper.
+//!
+//! The paper (Section V-C) evaluates three multilayer perceptrons and
+//! three convolutional networks "with various sizes from MlBench", on
+//! MNIST and CIFAR-10. The exact layer tables are not reproduced in the
+//! paper, so we use the canonical MlBench/PRIME topologies: MLP-S/M/L on
+//! MNIST-shaped inputs and LeNet/VGG-style CNNs (CNN-S on MNIST,
+//! CNN-M/CNN-L on CIFAR-10). Latency and energy depend only on these
+//! dimensions, not on the trained weight values.
+
+use crate::error::BitnnError;
+use crate::layers::{
+    BinConv, BinLinear, FixedConv, FixedLinear, Layer, LayerDims, LayerKind, OutputLinear, Shape,
+};
+use crate::network::Bnn;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Dataset a benchmark network runs on (controls the input shape).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetKind {
+    /// 1×28×28 grayscale digits.
+    Mnist,
+    /// 3×32×32 color images.
+    Cifar10,
+}
+
+impl DatasetKind {
+    /// Input shape of one sample.
+    pub fn input_shape(&self) -> Shape {
+        match self {
+            Self::Mnist => Shape::Img(1, 28, 28),
+            Self::Cifar10 => Shape::Img(3, 32, 32),
+        }
+    }
+}
+
+/// One of the six benchmark networks.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BenchModel {
+    /// MLP 784-500-250-10 (MNIST).
+    MlpS,
+    /// MLP 784-1500-1000-500-10 (MNIST).
+    MlpM,
+    /// MLP 784-2000-1500-1000-500-10 (MNIST).
+    MlpL,
+    /// LeNet-style CNN (MNIST).
+    CnnS,
+    /// VGG-style CNN, 64–256 channels (CIFAR-10).
+    CnnM,
+    /// VGG-style CNN, 128–512 channels (CIFAR-10).
+    CnnL,
+}
+
+impl BenchModel {
+    /// All six models in the order used by the paper's figures
+    /// (CNNs first, then MLPs).
+    pub fn all() -> [Self; 6] {
+        [
+            Self::CnnS,
+            Self::CnnM,
+            Self::CnnL,
+            Self::MlpS,
+            Self::MlpM,
+            Self::MlpL,
+        ]
+    }
+
+    /// Short display name used in figures.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::MlpS => "MLP-S",
+            Self::MlpM => "MLP-M",
+            Self::MlpL => "MLP-L",
+            Self::CnnS => "CNN-S",
+            Self::CnnM => "CNN-M",
+            Self::CnnL => "CNN-L",
+        }
+    }
+
+    /// Dataset the model runs on.
+    pub fn dataset(&self) -> DatasetKind {
+        match self {
+            Self::MlpS | Self::MlpM | Self::MlpL | Self::CnnS => DatasetKind::Mnist,
+            Self::CnnM | Self::CnnL => DatasetKind::Cifar10,
+        }
+    }
+
+    /// Whether the model is an MLP (flattened input).
+    pub fn is_mlp(&self) -> bool {
+        matches!(self, Self::MlpS | Self::MlpM | Self::MlpL)
+    }
+
+    /// Input shape fed to the network (MLPs consume the flattened image).
+    pub fn input_shape(&self) -> Shape {
+        if self.is_mlp() {
+            Shape::Flat(self.dataset().input_shape().len())
+        } else {
+            self.dataset().input_shape()
+        }
+    }
+
+    /// Builds the network with seeded pseudo-random weights.
+    ///
+    /// Weight values do not affect latency/energy (only dimensions do);
+    /// seeded weights make every functional test reproducible.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network construction errors (none expected for the
+    /// built-in topologies).
+    pub fn build(&self, seed: u64) -> Result<Bnn, BitnnError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let r = &mut rng;
+        let layers: Vec<Layer> = match self {
+            Self::MlpS => mlp_layers(&[784, 500, 250, 10], r),
+            Self::MlpM => mlp_layers(&[784, 1500, 1000, 500, 10], r),
+            Self::MlpL => mlp_layers(&[784, 2000, 1500, 1000, 500, 10], r),
+            Self::CnnS => vec![
+                Layer::FixedConv(FixedConv::random("conv1", 1, 6, 5, 1, 0, r)),
+                Layer::MaxPool2,
+                Layer::BinConv(BinConv::random("conv2", 6, 16, 5, 1, 0, r)),
+                Layer::MaxPool2,
+                Layer::Flatten,
+                Layer::BinLinear(BinLinear::random("fc1", 16 * 4 * 4, 120, r)),
+                Layer::BinLinear(BinLinear::random("fc2", 120, 84, r)),
+                Layer::Output(OutputLinear::random("out", 84, 10, r)),
+            ],
+            Self::CnnM => vec![
+                Layer::FixedConv(FixedConv::random("conv1", 3, 64, 3, 1, 1, r)),
+                Layer::BinConv(BinConv::random("conv2", 64, 64, 3, 1, 1, r)),
+                Layer::MaxPool2,
+                Layer::BinConv(BinConv::random("conv3", 64, 128, 3, 1, 1, r)),
+                Layer::BinConv(BinConv::random("conv4", 128, 128, 3, 1, 1, r)),
+                Layer::MaxPool2,
+                Layer::BinConv(BinConv::random("conv5", 128, 256, 3, 1, 1, r)),
+                Layer::BinConv(BinConv::random("conv6", 256, 256, 3, 1, 1, r)),
+                Layer::MaxPool2,
+                Layer::Flatten,
+                Layer::BinLinear(BinLinear::random("fc1", 256 * 4 * 4, 1024, r)),
+                Layer::Output(OutputLinear::random("out", 1024, 10, r)),
+            ],
+            Self::CnnL => vec![
+                Layer::FixedConv(FixedConv::random("conv1", 3, 128, 3, 1, 1, r)),
+                Layer::BinConv(BinConv::random("conv2", 128, 128, 3, 1, 1, r)),
+                Layer::MaxPool2,
+                Layer::BinConv(BinConv::random("conv3", 128, 256, 3, 1, 1, r)),
+                Layer::BinConv(BinConv::random("conv4", 256, 256, 3, 1, 1, r)),
+                Layer::MaxPool2,
+                Layer::BinConv(BinConv::random("conv5", 256, 512, 3, 1, 1, r)),
+                Layer::BinConv(BinConv::random("conv6", 512, 512, 3, 1, 1, r)),
+                Layer::MaxPool2,
+                Layer::Flatten,
+                Layer::BinLinear(BinLinear::random("fc1", 512 * 4 * 4, 1024, r)),
+                Layer::BinLinear(BinLinear::random("fc2", 1024, 1024, r)),
+                Layer::Output(OutputLinear::random("out", 1024, 10, r)),
+            ],
+        };
+        Bnn::new(self.name(), self.input_shape(), layers)
+    }
+
+    /// Crossbar workload dimensions without building weights.
+    ///
+    /// Equal to `self.build(seed)?.layer_dims()` (checked by a test), but
+    /// computed from the topology tables alone — the performance models in
+    /// `eb-core` call this in hot loops.
+    pub fn dims(&self) -> Vec<LayerDims> {
+        match self {
+            Self::MlpS => mlp_dims(&[784, 500, 250, 10]),
+            Self::MlpM => mlp_dims(&[784, 1500, 1000, 500, 10]),
+            Self::MlpL => mlp_dims(&[784, 2000, 1500, 1000, 500, 10]),
+            Self::CnnS => {
+                let mut d = vec![
+                    conv_dims("conv1", LayerKind::FirstFixed, 1, 6, 5, 24, 24),
+                    conv_dims("conv2", LayerKind::HiddenBinary, 6, 16, 5, 8, 8),
+                ];
+                d.push(linear_dims("fc1", LayerKind::HiddenBinary, 256, 120));
+                d.push(linear_dims("fc2", LayerKind::HiddenBinary, 120, 84));
+                d.push(linear_dims("out", LayerKind::OutputFixed, 84, 10));
+                d
+            }
+            Self::CnnM => vec![
+                conv_dims("conv1", LayerKind::FirstFixed, 3, 64, 3, 32, 32),
+                conv_dims("conv2", LayerKind::HiddenBinary, 64, 64, 3, 32, 32),
+                conv_dims("conv3", LayerKind::HiddenBinary, 64, 128, 3, 16, 16),
+                conv_dims("conv4", LayerKind::HiddenBinary, 128, 128, 3, 16, 16),
+                conv_dims("conv5", LayerKind::HiddenBinary, 128, 256, 3, 8, 8),
+                conv_dims("conv6", LayerKind::HiddenBinary, 256, 256, 3, 8, 8),
+                linear_dims("fc1", LayerKind::HiddenBinary, 4096, 1024),
+                linear_dims("out", LayerKind::OutputFixed, 1024, 10),
+            ],
+            Self::CnnL => vec![
+                conv_dims("conv1", LayerKind::FirstFixed, 3, 128, 3, 32, 32),
+                conv_dims("conv2", LayerKind::HiddenBinary, 128, 128, 3, 32, 32),
+                conv_dims("conv3", LayerKind::HiddenBinary, 128, 256, 3, 16, 16),
+                conv_dims("conv4", LayerKind::HiddenBinary, 256, 256, 3, 16, 16),
+                conv_dims("conv5", LayerKind::HiddenBinary, 256, 512, 3, 8, 8),
+                conv_dims("conv6", LayerKind::HiddenBinary, 512, 512, 3, 8, 8),
+                linear_dims("fc1", LayerKind::HiddenBinary, 8192, 1024),
+                linear_dims("fc2", LayerKind::HiddenBinary, 1024, 1024),
+                linear_dims("out", LayerKind::OutputFixed, 1024, 10),
+            ],
+        }
+    }
+}
+
+impl std::fmt::Display for BenchModel {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+fn linear_dims(name: &str, kind: LayerKind, fan_in: usize, out: usize) -> LayerDims {
+    LayerDims {
+        name: name.to_string(),
+        kind,
+        fan_in,
+        out_vectors: out,
+        input_vectors: 1,
+        input_bits: if kind == LayerKind::FirstFixed { 8 } else { 1 },
+        weight_bits: if kind == LayerKind::OutputFixed { 8 } else { 1 },
+    }
+}
+
+fn conv_dims(
+    name: &str,
+    kind: LayerKind,
+    in_ch: usize,
+    out_ch: usize,
+    k: usize,
+    oh: usize,
+    ow: usize,
+) -> LayerDims {
+    LayerDims {
+        name: name.to_string(),
+        kind,
+        fan_in: in_ch * k * k,
+        out_vectors: out_ch,
+        input_vectors: oh * ow,
+        input_bits: if kind == LayerKind::FirstFixed { 8 } else { 1 },
+        weight_bits: 1,
+    }
+}
+
+fn mlp_dims(widths: &[usize]) -> Vec<LayerDims> {
+    let n = widths.len();
+    (0..n - 1)
+        .map(|i| {
+            let kind = if i == 0 {
+                LayerKind::FirstFixed
+            } else if i == n - 2 {
+                LayerKind::OutputFixed
+            } else {
+                LayerKind::HiddenBinary
+            };
+            let name = if i == n - 2 {
+                "out".to_string()
+            } else {
+                format!("fc{}", i + 1)
+            };
+            LayerDims {
+                name,
+                kind,
+                fan_in: widths[i],
+                out_vectors: widths[i + 1],
+                input_vectors: 1,
+                input_bits: if i == 0 { 8 } else { 1 },
+                weight_bits: if i == n - 2 { 8 } else { 1 },
+            }
+        })
+        .collect()
+}
+
+fn mlp_layers(dims: &[usize], rng: &mut StdRng) -> Vec<Layer> {
+    let mut layers = Vec::new();
+    let n = dims.len();
+    for i in 0..n - 1 {
+        let (fan_in, fan_out) = (dims[i], dims[i + 1]);
+        if i == 0 {
+            layers.push(Layer::FixedLinear(FixedLinear::random(
+                format!("fc{}", i + 1),
+                fan_in,
+                fan_out,
+                rng,
+            )));
+        } else if i == n - 2 {
+            layers.push(Layer::Output(OutputLinear::random(
+                "out", fan_in, fan_out, rng,
+            )));
+        } else {
+            layers.push(Layer::BinLinear(BinLinear::random(
+                format!("fc{}", i + 1),
+                fan_in,
+                fan_out,
+                rng,
+            )));
+        }
+    }
+    layers
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::LayerKind;
+
+    #[test]
+    fn all_six_models_build_and_validate() {
+        for model in BenchModel::all() {
+            let net = model.build(3).unwrap();
+            assert_eq!(net.output_shape(), Shape::Flat(10), "{model}");
+            let dims = net.layer_dims();
+            assert!(!dims.is_empty(), "{model}");
+            assert_eq!(dims[0].kind, LayerKind::FirstFixed, "{model}");
+            assert_eq!(dims.last().unwrap().kind, LayerKind::OutputFixed, "{model}");
+        }
+    }
+
+    #[test]
+    fn table_dims_match_built_networks() {
+        // The fast topology tables must agree with the dimensions derived
+        // from actually-built networks.
+        for model in BenchModel::all() {
+            let fast = model.dims();
+            let built = model.build(1).unwrap().layer_dims();
+            assert_eq!(fast, built, "{model}");
+        }
+    }
+
+    #[test]
+    fn mlp_s_dims_match_topology() {
+        let dims = BenchModel::MlpS.dims();
+        assert_eq!(dims.len(), 3);
+        assert_eq!((dims[0].fan_in, dims[0].out_vectors), (784, 500));
+        assert_eq!((dims[1].fan_in, dims[1].out_vectors), (500, 250));
+        assert_eq!((dims[2].fan_in, dims[2].out_vectors), (250, 10));
+        assert!(dims.iter().all(|d| d.input_vectors == 1));
+    }
+
+    #[test]
+    fn cnn_s_window_counts() {
+        let dims = BenchModel::CnnS.dims();
+        // conv1: 24x24 windows; conv2: 8x8 windows
+        assert_eq!(dims[0].input_vectors, 24 * 24);
+        assert_eq!(dims[1].input_vectors, 8 * 8);
+        assert_eq!(dims[1].fan_in, 6 * 25);
+    }
+
+    #[test]
+    fn models_ordered_by_size_within_family() {
+        let macs =
+            |m: BenchModel| m.dims().iter().map(|d| d.macs()).sum::<u64>();
+        assert!(macs(BenchModel::MlpS) < macs(BenchModel::MlpM));
+        assert!(macs(BenchModel::MlpM) < macs(BenchModel::MlpL));
+        assert!(macs(BenchModel::CnnS) < macs(BenchModel::CnnM));
+        assert!(macs(BenchModel::CnnM) < macs(BenchModel::CnnL));
+    }
+
+    #[test]
+    fn cnn_s_runs_forward() {
+        let net = BenchModel::CnnS.build(1).unwrap();
+        let x = crate::tensor::Tensor::from_fn(&[1, 28, 28], |i| ((i % 7) as f32 - 3.0) / 3.0);
+        let logits = net.forward(&x).unwrap();
+        assert_eq!(logits.len(), 10);
+    }
+
+    #[test]
+    fn same_seed_same_network() {
+        let a = BenchModel::MlpS.build(9).unwrap();
+        let b = BenchModel::MlpS.build(9).unwrap();
+        let x = crate::tensor::Tensor::from_fn(&[784], |i| (i as f32).sin());
+        assert_eq!(a.forward(&x).unwrap(), b.forward(&x).unwrap());
+    }
+}

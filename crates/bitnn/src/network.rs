@@ -1,0 +1,268 @@
+//! Whole-network container and reference inference.
+
+use crate::error::BitnnError;
+use crate::layers::{Activation, Layer, LayerDims, Shape};
+use crate::ops;
+use crate::tensor::Tensor;
+
+/// A feed-forward BNN: an input shape plus a validated layer stack.
+///
+/// `Bnn` is the golden software reference. The crossbar mappings and the
+/// EinsteinBarrier simulator are tested to reproduce its outputs bit-exactly
+/// in their noiseless configurations.
+///
+/// # Examples
+///
+/// ```
+/// use eb_bitnn::{Bnn, Layer, BinLinear, FixedLinear, OutputLinear, Shape};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let net = Bnn::new(
+///     "tiny",
+///     Shape::Flat(16),
+///     vec![
+///         Layer::FixedLinear(FixedLinear::random("in", 16, 8, &mut rng)),
+///         Layer::BinLinear(BinLinear::random("h1", 8, 8, &mut rng)),
+///         Layer::Output(OutputLinear::random("out", 8, 4, &mut rng)),
+///     ],
+/// )?;
+/// assert_eq!(net.output_shape(), Shape::Flat(4));
+/// # Ok::<(), eb_bitnn::BitnnError>(())
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct Bnn {
+    name: String,
+    input_shape: Shape,
+    layers: Vec<Layer>,
+    shapes: Vec<Shape>,
+}
+
+impl Bnn {
+    /// Builds and shape-checks a network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::InvalidNetwork`] if consecutive layers have
+    /// incompatible shapes.
+    pub fn new(
+        name: impl Into<String>,
+        input_shape: Shape,
+        layers: Vec<Layer>,
+    ) -> Result<Self, BitnnError> {
+        let mut shapes = Vec::with_capacity(layers.len() + 1);
+        shapes.push(input_shape);
+        let mut cur = input_shape;
+        for layer in &layers {
+            cur = layer.out_shape(cur)?;
+            shapes.push(cur);
+        }
+        Ok(Self {
+            name: name.into(),
+            input_shape,
+            layers,
+            shapes,
+        })
+    }
+
+    /// Network name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Input shape.
+    pub fn input_shape(&self) -> Shape {
+        self.input_shape
+    }
+
+    /// Output shape (logits length for classifier networks).
+    pub fn output_shape(&self) -> Shape {
+        *self.shapes.last().unwrap_or(&self.input_shape)
+    }
+
+    /// The layer stack.
+    pub fn layers(&self) -> &[Layer] {
+        &self.layers
+    }
+
+    /// Activation shape entering layer `i` (index 0 = network input).
+    pub fn shape_at(&self, i: usize) -> Shape {
+        self.shapes[i]
+    }
+
+    /// Full forward pass from a real-valued input tensor to logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape/kind errors.
+    pub fn forward(&self, input: &Tensor) -> Result<Tensor, BitnnError> {
+        let mut act = Activation::Real(input.clone());
+        for layer in &self.layers {
+            act = layer.forward(&act)?;
+        }
+        match act {
+            Activation::Real(t) => Ok(t),
+            other => Err(BitnnError::InvalidNetwork(format!(
+                "network `{}` ended on a {} activation instead of logits",
+                self.name,
+                match other {
+                    Activation::Binary(_) => "binary",
+                    Activation::BinaryMap(_) => "binary map",
+                    Activation::Real(_) => unreachable!(),
+                }
+            ))),
+        }
+    }
+
+    /// Forward pass returning every intermediate activation (input excluded,
+    /// one entry per layer). Used by the crossbar equivalence tests.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape/kind errors.
+    pub fn forward_trace(&self, input: &Tensor) -> Result<Vec<Activation>, BitnnError> {
+        let mut act = Activation::Real(input.clone());
+        let mut trace = Vec::with_capacity(self.layers.len());
+        for layer in &self.layers {
+            act = layer.forward(&act)?;
+            trace.push(act.clone());
+        }
+        Ok(trace)
+    }
+
+    /// Predicted class (argmax of logits).
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape/kind errors.
+    pub fn predict(&self, input: &Tensor) -> Result<usize, BitnnError> {
+        let logits = self.forward(input)?;
+        Ok(ops::argmax(logits.as_slice()).unwrap_or(0))
+    }
+
+    /// Classification accuracy over a labelled set.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape/kind errors.
+    pub fn accuracy(&self, samples: &[(Tensor, usize)]) -> Result<f64, BitnnError> {
+        if samples.is_empty() {
+            return Ok(0.0);
+        }
+        let mut correct = 0usize;
+        for (x, y) in samples {
+            if self.predict(x)? == *y {
+                correct += 1;
+            }
+        }
+        Ok(correct as f64 / samples.len() as f64)
+    }
+
+    /// Crossbar workload dimensions for every matrix layer, in order.
+    ///
+    /// This is the interface the mapping and accelerator crates consume: it
+    /// is independent of the weight values, only the topology matters.
+    pub fn layer_dims(&self) -> Vec<LayerDims> {
+        let mut dims = Vec::new();
+        for (i, layer) in self.layers.iter().enumerate() {
+            if let Ok(Some(d)) = layer.dims(self.shapes[i]) {
+                dims.push(d);
+            }
+        }
+        dims
+    }
+
+    /// Total binary-equivalent MAC count per sample.
+    pub fn total_macs(&self) -> u64 {
+        self.layer_dims().iter().map(LayerDims::macs).sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::layers::{BinLinear, FixedLinear, OutputLinear};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny() -> Bnn {
+        let mut rng = StdRng::seed_from_u64(7);
+        Bnn::new(
+            "tiny",
+            Shape::Flat(12),
+            vec![
+                Layer::FixedLinear(FixedLinear::random("in", 12, 6, &mut rng)),
+                Layer::BinLinear(BinLinear::random("h1", 6, 6, &mut rng)),
+                Layer::Output(OutputLinear::random("out", 6, 3, &mut rng)),
+            ],
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn forward_produces_logits() {
+        let net = tiny();
+        let x = Tensor::from_fn(&[12], |i| (i as f32 - 6.0) / 6.0);
+        let logits = net.forward(&x).unwrap();
+        assert_eq!(logits.len(), 3);
+        let class = net.predict(&x).unwrap();
+        assert!(class < 3);
+    }
+
+    #[test]
+    fn forward_is_deterministic() {
+        let net = tiny();
+        let x = Tensor::from_fn(&[12], |i| (i % 3) as f32 - 1.0);
+        assert_eq!(net.forward(&x).unwrap(), net.forward(&x).unwrap());
+    }
+
+    #[test]
+    fn invalid_chain_rejected() {
+        let mut rng = StdRng::seed_from_u64(7);
+        let err = Bnn::new(
+            "bad",
+            Shape::Flat(12),
+            vec![
+                Layer::FixedLinear(FixedLinear::random("in", 12, 6, &mut rng)),
+                Layer::BinLinear(BinLinear::random("h1", 7, 6, &mut rng)), // wrong fan-in
+            ],
+        )
+        .unwrap_err();
+        assert!(matches!(err, BitnnError::InvalidNetwork(_)));
+    }
+
+    #[test]
+    fn trace_covers_all_layers() {
+        let net = tiny();
+        let x = Tensor::zeros(&[12]);
+        let trace = net.forward_trace(&x).unwrap();
+        assert_eq!(trace.len(), 3);
+        assert!(matches!(trace[0], Activation::Binary(_)));
+        assert!(matches!(trace[2], Activation::Real(_)));
+    }
+
+    #[test]
+    fn dims_and_macs() {
+        let net = tiny();
+        let dims = net.layer_dims();
+        assert_eq!(dims.len(), 3);
+        assert_eq!(dims[0].fan_in, 12);
+        assert_eq!(dims[1].out_vectors, 6);
+        assert_eq!(net.total_macs(), (12 * 6 + 6 * 6 + 6 * 3) as u64);
+    }
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let net = tiny();
+        let samples: Vec<(Tensor, usize)> = (0..8)
+            .map(|i| {
+                let x = Tensor::from_fn(&[12], |j| ((i * j) % 5) as f32 / 5.0 - 0.4);
+                let y = net.predict(&x).unwrap();
+                (x, y)
+            })
+            .collect();
+        // Labels chosen as the network's own predictions => accuracy 1.
+        assert_eq!(net.accuracy(&samples).unwrap(), 1.0);
+        assert_eq!(net.accuracy(&[]).unwrap(), 0.0);
+    }
+}

@@ -1,0 +1,252 @@
+//! BNN arithmetic: Eq. 1 of the paper and reference (software) kernels.
+//!
+//! The central identity (paper Eq. 1) relates the bipolar dot product used
+//! by BNN theory to the XNOR + popcount realized in hardware:
+//!
+//! ```text
+//! In ⊛ W = 2 × Popcount(In' ⊙ W') − VectorLength
+//! ```
+//!
+//! where `In'`/`W'` are the {0,1} encodings of the bipolar {−1,+1} vectors
+//! and `⊙` is element-wise XNOR. These functions are the golden reference
+//! that every crossbar mapping in the workspace is tested against.
+
+use crate::bits::BitVec;
+use crate::matrix::BitMatrix;
+
+/// `Popcount(a ⊙ b)`: the number of agreeing positions.
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// use eb_bitnn::{ops, BitVec};
+/// let a = BitVec::from_bools(&[true, false, true, true]);
+/// let b = BitVec::from_bools(&[true, true, true, false]);
+/// assert_eq!(ops::xnor_popcount(&a, &b), 2);
+/// ```
+pub fn xnor_popcount(a: &BitVec, b: &BitVec) -> u32 {
+    a.xnor(b).popcount()
+}
+
+/// The bipolar dot product `Σ aᵢ·bᵢ` with `aᵢ, bᵢ ∈ {−1, +1}`, computed via
+/// Eq. 1 (`2·popcount(a ⊙ b) − len`).
+///
+/// # Panics
+///
+/// Panics if the lengths differ.
+///
+/// # Examples
+///
+/// ```
+/// use eb_bitnn::{ops, BitVec};
+/// let a = BitVec::from_bipolar(&[1, -1, 1]);
+/// let b = BitVec::from_bipolar(&[1, 1, 1]);
+/// assert_eq!(ops::bipolar_dot(&a, &b), 1); // 1 - 1 + 1
+/// ```
+pub fn bipolar_dot(a: &BitVec, b: &BitVec) -> i32 {
+    2 * xnor_popcount(a, b) as i32 - a.len() as i32
+}
+
+/// Naive scalar-by-scalar bipolar dot product, used only to cross-check
+/// [`bipolar_dot`] in tests (no packing tricks).
+pub fn bipolar_dot_naive(a: &BitVec, b: &BitVec) -> i32 {
+    assert_eq!(a.len(), b.len(), "length mismatch");
+    a.to_bipolar()
+        .iter()
+        .zip(b.to_bipolar())
+        .map(|(&x, y)| i32::from(x) * i32::from(y))
+        .sum()
+}
+
+/// Reference binary linear kernel: for each weight vector (row of
+/// `weights`, fan-in = `input.len()`), the XNOR popcount with `input`.
+///
+/// This is what one TacitMap crossbar activation computes across its
+/// columns in a single step.
+///
+/// # Panics
+///
+/// Panics if `weights.cols() != input.len()`.
+pub fn binary_linear_popcounts(input: &BitVec, weights: &BitMatrix) -> Vec<u32> {
+    assert_eq!(weights.cols(), input.len(), "fan-in mismatch");
+    weights.iter_rows().map(|w| xnor_popcount(input, &w)).collect()
+}
+
+/// Reference binary linear kernel in the bipolar domain (pre-activation
+/// values fed to batch-norm + sign in a BNN hidden layer).
+///
+/// # Panics
+///
+/// Panics if `weights.cols() != input.len()`.
+pub fn binary_linear_preacts(input: &BitVec, weights: &BitMatrix) -> Vec<i32> {
+    assert_eq!(weights.cols(), input.len(), "fan-in mismatch");
+    weights.iter_rows().map(|w| bipolar_dot(input, &w)).collect()
+}
+
+/// Reference binary matrix–matrix kernel: `inputs` (one input vector per
+/// row) against `weights` (one weight vector per row). Element `(i, j)` is
+/// `popcount(inputs[i] ⊙ weights[j])`.
+///
+/// This is what one WDM-enabled EinsteinBarrier MMM step computes when
+/// `inputs.rows() ≤ K`.
+///
+/// # Panics
+///
+/// Panics if the fan-ins differ.
+pub fn binary_mmm_popcounts(inputs: &BitMatrix, weights: &BitMatrix) -> Vec<Vec<u32>> {
+    assert_eq!(inputs.cols(), weights.cols(), "fan-in mismatch");
+    inputs
+        .iter_rows()
+        .map(|inp| binary_linear_popcounts(&inp, weights))
+        .collect()
+}
+
+/// Fixed-point linear kernel for the (non-binarized) first layer: 8-bit
+/// activations against bipolar (±1) weights. Returns integer accumulators.
+///
+/// # Panics
+///
+/// Panics if `weights.cols() != input.len()`.
+pub fn fixed_linear_preacts(input: &[i16], weights: &BitMatrix) -> Vec<i32> {
+    assert_eq!(weights.cols(), input.len(), "fan-in mismatch");
+    weights
+        .iter_rows()
+        .map(|w| {
+            input
+                .iter()
+                .enumerate()
+                .map(|(i, &x)| {
+                    let sign = if w.get(i) == Some(true) { 1 } else { -1 };
+                    i32::from(x) * sign
+                })
+                .sum()
+        })
+        .collect()
+}
+
+/// Fixed-point output kernel for the last layer: binary activations against
+/// real-valued weights, producing logits.
+///
+/// # Panics
+///
+/// Panics if `weights` rows do not have `input.len()` entries.
+pub fn output_logits(input: &BitVec, weights: &[Vec<f32>], bias: &[f32]) -> Vec<f32> {
+    assert_eq!(weights.len(), bias.len(), "weight/bias count mismatch");
+    weights
+        .iter()
+        .zip(bias)
+        .map(|(row, &b)| {
+            assert_eq!(row.len(), input.len(), "fan-in mismatch");
+            let acc: f32 = row
+                .iter()
+                .enumerate()
+                .map(|(i, &w)| if input.get(i) == Some(true) { w } else { -w })
+                .sum();
+            acc + b
+        })
+        .collect()
+}
+
+/// Index of the maximum element (argmax); ties resolve to the first.
+///
+/// Returns `None` for an empty slice.
+pub fn argmax(values: &[f32]) -> Option<usize> {
+    let mut best: Option<(usize, f32)> = None;
+    for (i, &v) in values.iter().enumerate() {
+        match best {
+            Some((_, b)) if v <= b => {}
+            _ => best = Some((i, v)),
+        }
+    }
+    best.map(|(i, _)| i)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn eq1_identity_on_examples() {
+        let a = BitVec::from_bools(&[true, false, true, true, false]);
+        let b = BitVec::from_bools(&[true, true, false, true, false]);
+        assert_eq!(bipolar_dot(&a, &b), bipolar_dot_naive(&a, &b));
+    }
+
+    #[test]
+    fn eq1_identity_exhaustive_small() {
+        // Exhaust all pairs of 6-bit vectors: 4096 combinations.
+        for x in 0u64..64 {
+            for y in 0u64..64 {
+                let a = BitVec::from_words(vec![x], 6);
+                let b = BitVec::from_words(vec![y], 6);
+                assert_eq!(bipolar_dot(&a, &b), bipolar_dot_naive(&a, &b));
+            }
+        }
+    }
+
+    #[test]
+    fn self_dot_is_length() {
+        let v = BitVec::from_bools(&[true, false, true, false, false, true, true]);
+        assert_eq!(bipolar_dot(&v, &v), v.len() as i32);
+        assert_eq!(bipolar_dot(&v, &v.complement()), -(v.len() as i32));
+    }
+
+    #[test]
+    fn linear_popcounts_match_rowwise() {
+        let w = BitMatrix::from_fn(4, 9, |r, c| (r * c) % 3 == 1);
+        let x = BitVec::from_bools(&[true, true, false, true, false, false, true, false, true]);
+        let pops = binary_linear_popcounts(&x, &w);
+        for (r, p) in pops.iter().enumerate() {
+            assert_eq!(*p, xnor_popcount(&x, &w.row(r)));
+        }
+        let pre = binary_linear_preacts(&x, &w);
+        for (r, v) in pre.iter().enumerate() {
+            assert_eq!(*v, 2 * pops[r] as i32 - 9);
+        }
+    }
+
+    #[test]
+    fn mmm_equals_stacked_vmms() {
+        let w = BitMatrix::from_fn(5, 16, |r, c| (r + 2 * c) % 4 == 0);
+        let xs = BitMatrix::from_fn(3, 16, |r, c| (r * 7 + c) % 5 < 2);
+        let mmm = binary_mmm_popcounts(&xs, &w);
+        assert_eq!(mmm.len(), 3);
+        for (i, row) in mmm.iter().enumerate() {
+            assert_eq!(*row, binary_linear_popcounts(&xs.row(i), &w));
+        }
+    }
+
+    #[test]
+    fn fixed_linear_matches_manual() {
+        let w = BitMatrix::from_rows(&[
+            BitVec::from_bools(&[true, false, true]),
+            BitVec::from_bools(&[false, false, true]),
+        ]);
+        let x = [10i16, -3, 5];
+        let pre = fixed_linear_preacts(&x, &w);
+        assert_eq!(pre, vec![10 + 3 + 5, -10 + 3 + 5]);
+    }
+
+    #[test]
+    fn output_logits_sign_weighted() {
+        let x = BitVec::from_bools(&[true, false]);
+        let w = vec![vec![0.5f32, 1.0], vec![-1.0, 2.0]];
+        let b = vec![0.1f32, -0.2];
+        let logits = output_logits(&x, &w, &b);
+        assert!((logits[0] - (0.5 - 1.0 + 0.1)).abs() < 1e-6);
+        assert!((logits[1] - (-1.0 - 2.0 - 0.2)).abs() < 1e-6);
+        assert_eq!(argmax(&logits), Some(0));
+    }
+
+    #[test]
+    fn argmax_edge_cases() {
+        assert_eq!(argmax(&[]), None);
+        assert_eq!(argmax(&[1.0]), Some(0));
+        assert_eq!(argmax(&[1.0, 1.0]), Some(0));
+        assert_eq!(argmax(&[-1.0, 3.0, 2.0]), Some(1));
+    }
+}

@@ -1,0 +1,95 @@
+//! Network summary tables (the "model card" printer used by examples and
+//! the harness).
+
+use crate::layers::LayerKind;
+use crate::network::Bnn;
+
+/// Renders a per-layer summary table of a network: kind, dimensions,
+/// window counts, MACs, and binary weight storage.
+///
+/// # Examples
+///
+/// ```
+/// use eb_bitnn::{summary, BenchModel};
+/// let net = BenchModel::MlpS.build(0)?;
+/// let table = summary::network_table(&net);
+/// assert!(table.contains("MLP-S"));
+/// assert!(table.contains("fc1"));
+/// # Ok::<(), eb_bitnn::BitnnError>(())
+/// ```
+pub fn network_table(net: &Bnn) -> String {
+    let dims = net.layer_dims();
+    let mut s = format!(
+        "{} — input {}, {} matrix layers, {:.2} M binary-equivalent MACs/sample\n",
+        net.name(),
+        net.input_shape(),
+        dims.len(),
+        net.total_macs() as f64 / 1e6
+    );
+    s.push_str(&format!(
+        "{:<10} {:<8} {:>8} {:>8} {:>9} {:>12} {:>12}\n",
+        "layer", "kind", "fan-in", "outputs", "windows", "MACs/sample", "weights(KiB)"
+    ));
+    for d in &dims {
+        let kind = match d.kind {
+            LayerKind::FirstFixed => "first8b",
+            LayerKind::HiddenBinary => "binary",
+            LayerKind::OutputFixed => "out8b",
+            LayerKind::Pool => "pool",
+        };
+        let weight_bits = d.fan_in as u64 * d.out_vectors as u64 * u64::from(d.weight_bits);
+        s.push_str(&format!(
+            "{:<10} {:<8} {:>8} {:>8} {:>9} {:>12} {:>12.1}\n",
+            d.name,
+            kind,
+            d.fan_in,
+            d.out_vectors,
+            d.input_vectors,
+            d.macs(),
+            weight_bits as f64 / 8.0 / 1024.0
+        ));
+    }
+    s
+}
+
+/// One-line summary: `name: L layers, X MMACs, Y KiB binary weights`.
+pub fn network_line(net: &Bnn) -> String {
+    let weights_bits: u64 = net
+        .layer_dims()
+        .iter()
+        .map(|d| d.fan_in as u64 * d.out_vectors as u64 * u64::from(d.weight_bits))
+        .sum();
+    format!(
+        "{}: {} matrix layers, {:.2} MMACs/sample, {:.1} KiB weights",
+        net.name(),
+        net.layer_dims().len(),
+        net.total_macs() as f64 / 1e6,
+        weights_bits as f64 / 8.0 / 1024.0
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::models::BenchModel;
+
+    #[test]
+    fn table_lists_every_matrix_layer() {
+        let net = BenchModel::CnnS.build(0).unwrap();
+        let t = network_table(&net);
+        for name in ["conv1", "conv2", "fc1", "fc2", "out"] {
+            assert!(t.contains(name), "missing {name} in:\n{t}");
+        }
+        assert!(t.contains("first8b"));
+        assert!(t.contains("binary"));
+        assert!(t.contains("out8b"));
+    }
+
+    #[test]
+    fn line_reports_macs() {
+        let net = BenchModel::MlpS.build(0).unwrap();
+        let line = network_line(&net);
+        assert!(line.contains("MLP-S"));
+        assert!(line.contains("3 matrix layers"));
+    }
+}

@@ -1,0 +1,251 @@
+//! Minimal dense `f32` tensor used by the trainer and the non-binarized
+//! first/last layers. Row-major, up to rank 4.
+
+use std::fmt;
+
+/// A dense, row-major `f32` tensor.
+///
+/// # Examples
+///
+/// ```
+/// use eb_bitnn::Tensor;
+///
+/// let t = Tensor::zeros(&[2, 3]);
+/// assert_eq!(t.shape(), &[2, 3]);
+/// assert_eq!(t.len(), 6);
+/// ```
+#[derive(Clone, PartialEq, Default)]
+pub struct Tensor {
+    shape: Vec<usize>,
+    data: Vec<f32>,
+}
+
+impl Tensor {
+    /// Creates an all-zero tensor with the given shape.
+    pub fn zeros(shape: &[usize]) -> Self {
+        Self {
+            shape: shape.to_vec(),
+            data: vec![0.0; shape.iter().product()],
+        }
+    }
+
+    /// Wraps existing data in a tensor.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `data.len()` does not equal the product of `shape`.
+    pub fn from_vec(shape: &[usize], data: Vec<f32>) -> Self {
+        assert_eq!(
+            data.len(),
+            shape.iter().product::<usize>(),
+            "data length does not match shape"
+        );
+        Self {
+            shape: shape.to_vec(),
+            data,
+        }
+    }
+
+    /// Builds a tensor by evaluating `f` at every flat index.
+    pub fn from_fn(shape: &[usize], mut f: impl FnMut(usize) -> f32) -> Self {
+        let n: usize = shape.iter().product();
+        Self {
+            shape: shape.to_vec(),
+            data: (0..n).map(&mut f).collect(),
+        }
+    }
+
+    /// Tensor shape.
+    pub fn shape(&self) -> &[usize] {
+        &self.shape
+    }
+
+    /// Total number of elements.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// Returns `true` when the tensor holds no elements.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Flat immutable view of the data.
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view of the data.
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Consumes the tensor and returns its backing storage.
+    pub fn into_vec(self) -> Vec<f32> {
+        self.data
+    }
+
+    /// Reinterprets the tensor with a new shape of equal element count.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the element counts differ.
+    pub fn reshape(mut self, shape: &[usize]) -> Self {
+        assert_eq!(
+            self.data.len(),
+            shape.iter().product::<usize>(),
+            "reshape changes element count"
+        );
+        self.shape = shape.to_vec();
+        self
+    }
+
+    /// Element at a rank-2 index.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 2 or the index is out of range.
+    pub fn at2(&self, i: usize, j: usize) -> f32 {
+        assert_eq!(self.shape.len(), 2, "at2 requires a rank-2 tensor");
+        self.data[i * self.shape[1] + j]
+    }
+
+    /// Element at a rank-3 index `(c, h, w)`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the tensor is not rank 3 or the index is out of range.
+    pub fn at3(&self, c: usize, h: usize, w: usize) -> f32 {
+        assert_eq!(self.shape.len(), 3, "at3 requires a rank-3 tensor");
+        self.data[(c * self.shape[1] + h) * self.shape[2] + w]
+    }
+
+    /// Applies `f` element-wise, returning a new tensor.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> Self {
+        Self {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// Element-wise addition.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the shapes differ.
+    pub fn add(&self, other: &Self) -> Self {
+        assert_eq!(self.shape, other.shape, "shape mismatch");
+        Self {
+            shape: self.shape.clone(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(a, b)| a + b)
+                .collect(),
+        }
+    }
+
+    /// Scales all elements by `s`.
+    pub fn scale(&self, s: f32) -> Self {
+        self.map(|x| x * s)
+    }
+
+    /// Mean of all elements (0 for an empty tensor).
+    pub fn mean(&self) -> f32 {
+        if self.data.is_empty() {
+            0.0
+        } else {
+            self.data.iter().sum::<f32>() / self.data.len() as f32
+        }
+    }
+
+    /// Maximum absolute value (0 for an empty tensor).
+    pub fn max_abs(&self) -> f32 {
+        self.data.iter().fold(0.0f32, |m, &x| m.max(x.abs()))
+    }
+
+    /// Quantizes to signed fixed point with `bits` total bits, mapping the
+    /// range `[-max_abs, max_abs]` onto the representable integers.
+    ///
+    /// This models the DAC input quantization of the higher-precision first
+    /// layer (paper Section II-B).
+    pub fn quantize(&self, bits: u8) -> Vec<i16> {
+        let max = self.max_abs().max(1e-12);
+        let q = f32::from((1i16 << (bits - 1)) - 1);
+        self.data
+            .iter()
+            .map(|&x| ((x / max * q).round().clamp(-q, q)) as i16)
+            .collect()
+    }
+}
+
+impl fmt::Debug for Tensor {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "Tensor(shape={:?}, first={:?})",
+            self.shape,
+            &self.data[..self.data.len().min(8)]
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn zeros_and_shape() {
+        let t = Tensor::zeros(&[2, 3, 4]);
+        assert_eq!(t.len(), 24);
+        assert_eq!(t.shape(), &[2, 3, 4]);
+        assert!(t.as_slice().iter().all(|&x| x == 0.0));
+    }
+
+    #[test]
+    fn from_vec_and_indexing() {
+        let t = Tensor::from_vec(&[2, 3], vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0]);
+        assert_eq!(t.at2(0, 0), 1.0);
+        assert_eq!(t.at2(1, 2), 6.0);
+    }
+
+    #[test]
+    fn at3_indexing() {
+        let t = Tensor::from_fn(&[2, 2, 2], |i| i as f32);
+        assert_eq!(t.at3(0, 0, 0), 0.0);
+        assert_eq!(t.at3(1, 1, 1), 7.0);
+        assert_eq!(t.at3(1, 0, 1), 5.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "does not match shape")]
+    fn from_vec_rejects_bad_length() {
+        let _ = Tensor::from_vec(&[2, 2], vec![1.0]);
+    }
+
+    #[test]
+    fn reshape_preserves_data() {
+        let t = Tensor::from_vec(&[4], vec![1.0, 2.0, 3.0, 4.0]).reshape(&[2, 2]);
+        assert_eq!(t.at2(1, 0), 3.0);
+    }
+
+    #[test]
+    fn arithmetic() {
+        let a = Tensor::from_vec(&[3], vec![1.0, 2.0, 3.0]);
+        let b = Tensor::from_vec(&[3], vec![0.5, 0.5, 0.5]);
+        assert_eq!(a.add(&b).as_slice(), &[1.5, 2.5, 3.5]);
+        assert_eq!(a.scale(2.0).as_slice(), &[2.0, 4.0, 6.0]);
+        assert!((a.mean() - 2.0).abs() < 1e-6);
+        assert_eq!(a.max_abs(), 3.0);
+    }
+
+    #[test]
+    fn quantize_symmetric() {
+        let t = Tensor::from_vec(&[3], vec![-1.0, 0.0, 1.0]);
+        let q = t.quantize(8);
+        assert_eq!(q, vec![-127, 0, 127]);
+        let q4 = t.quantize(4);
+        assert_eq!(q4, vec![-7, 0, 7]);
+    }
+}

@@ -1,0 +1,470 @@
+//! BinaryConnect-style training for MLP BNNs.
+//!
+//! Implements the two standard techniques the paper relies on
+//! (Section II-B): real-valued *shadow* weights are updated by SGD while
+//! the forward/backward passes use their binarized sign, and the
+//! sign activation gradient uses the straight-through estimator (STE,
+//! clipped to `|pre| ≤ 1`). The first layer consumes real inputs; the
+//! output layer keeps real weights.
+//!
+//! The trained model exports to a [`Bnn`] whose hidden layers are exactly
+//! the integer XNOR+popcount layers the crossbar mappings execute.
+
+use crate::batchnorm::ThresholdSpec;
+use crate::bits::BitVec;
+use crate::error::BitnnError;
+use crate::layers::{BinLinear, FixedLinear, Layer, OutputLinear, Shape};
+use crate::matrix::BitMatrix;
+use crate::network::Bnn;
+use crate::ops;
+use crate::tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Dense real-valued matrix used internally by the trainer.
+#[derive(Debug, Clone)]
+struct DenseMat {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMat {
+    fn random(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let scale = (2.0 / cols as f32).sqrt();
+        Self {
+            rows,
+            cols,
+            data: (0..rows * cols)
+                .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
+                .collect(),
+        }
+    }
+
+    #[inline]
+    fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Binarized (sign) view as a `BitMatrix` (bit 1 ⇔ weight ≥ 0).
+    fn binarize(&self) -> BitMatrix {
+        BitMatrix::from_fn(self.rows, self.cols, |r, c| self.at(r, c) >= 0.0)
+    }
+}
+
+/// Hyper-parameters for [`MlpTrainer`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct TrainConfig {
+    /// SGD learning rate.
+    pub learning_rate: f32,
+    /// Number of passes over the training set.
+    pub epochs: usize,
+    /// RNG seed for weight initialization and shuffling.
+    pub seed: u64,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self {
+            learning_rate: 0.01,
+            epochs: 5,
+            seed: 0xEB,
+        }
+    }
+}
+
+/// A BinaryConnect trainer for MLP topologies.
+///
+/// # Examples
+///
+/// ```
+/// use eb_bitnn::{Dataset, DatasetKind, MlpTrainer, TrainConfig};
+///
+/// let data = Dataset::generate(DatasetKind::Mnist, 60, 1);
+/// let (train, test) = data.split(0.8);
+/// let train: Vec<_> = train.iter().map(|(t, y)| (t.clone().reshape(&[784]), *y)).collect();
+/// let mut trainer = MlpTrainer::new(&[784, 32, 16, 10], TrainConfig::default());
+/// trainer.fit(&train);
+/// let net = trainer.to_bnn("demo")?;
+/// # let _ = (net, test);
+/// # Ok::<(), eb_bitnn::BitnnError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct MlpTrainer {
+    dims: Vec<usize>,
+    /// Shadow weights for first + hidden layers (binarized in forward).
+    shadow: Vec<DenseMat>,
+    /// Real-valued output layer.
+    out_w: DenseMat,
+    out_b: Vec<f32>,
+    cfg: TrainConfig,
+}
+
+impl MlpTrainer {
+    /// Creates a trainer for the layer widths `dims`
+    /// (e.g. `[784, 128, 64, 10]`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if fewer than three widths are given (input, ≥1 hidden-or-first
+    /// binarized layer, output).
+    pub fn new(dims: &[usize], cfg: TrainConfig) -> Self {
+        assert!(dims.len() >= 3, "need at least input, hidden, output widths");
+        let mut rng = StdRng::seed_from_u64(cfg.seed);
+        let n = dims.len();
+        let shadow = (0..n - 2)
+            .map(|i| DenseMat::random(dims[i + 1], dims[i], &mut rng))
+            .collect();
+        let out_w = DenseMat::random(dims[n - 1], dims[n - 2], &mut rng);
+        Self {
+            dims: dims.to_vec(),
+            shadow,
+            out_w,
+            out_b: vec![0.0; dims[n - 1]],
+            cfg,
+        }
+    }
+
+    /// Layer widths.
+    pub fn dims(&self) -> &[usize] {
+        &self.dims
+    }
+
+    /// Forward pass with binarized weights; returns per-layer
+    /// (pre-activations, binary activations) plus logits.
+    fn forward_full(&self, x: &[f32]) -> (Vec<Vec<f32>>, Vec<Vec<f32>>, Vec<f32>) {
+        let mut pres = Vec::with_capacity(self.shadow.len());
+        let mut acts: Vec<Vec<f32>> = Vec::with_capacity(self.shadow.len());
+        let mut cur: Vec<f32> = x.to_vec();
+        for w in &self.shadow {
+            let mut pre = vec![0.0f32; w.rows];
+            for (r, p) in pre.iter_mut().enumerate() {
+                let mut acc = 0.0;
+                for c in 0..w.cols {
+                    let wb = if w.at(r, c) >= 0.0 { 1.0 } else { -1.0 };
+                    acc += wb * cur[c];
+                }
+                *p = acc / (w.cols as f32).sqrt();
+            }
+            let act: Vec<f32> = pre.iter().map(|&p| if p >= 0.0 { 1.0 } else { -1.0 }).collect();
+            pres.push(pre);
+            acts.push(act.clone());
+            cur = act;
+        }
+        let mut logits = vec![0.0f32; self.out_w.rows];
+        for (r, l) in logits.iter_mut().enumerate() {
+            let mut acc = self.out_b[r];
+            for c in 0..self.out_w.cols {
+                acc += self.out_w.at(r, c) * cur[c];
+            }
+            *l = acc;
+        }
+        (pres, acts, logits)
+    }
+
+    /// One SGD step on a single `(input, label)` sample; returns the
+    /// cross-entropy loss before the update.
+    pub fn step(&mut self, x: &[f32], label: usize) -> f32 {
+        assert_eq!(x.len(), self.dims[0], "input width mismatch");
+        assert!(label < *self.dims.last().unwrap(), "label out of range");
+        let (pres, acts, logits) = self.forward_full(x);
+        let probs = softmax(&logits);
+        let loss = -probs[label].max(1e-12).ln();
+        let lr = self.cfg.learning_rate;
+
+        // dL/dlogits
+        let mut dlogits = probs;
+        dlogits[label] -= 1.0;
+
+        // Output layer update + gradient to last hidden activation.
+        let last_act = acts.last().expect("at least one binarized layer");
+        let mut dact = vec![0.0f32; last_act.len()];
+        for r in 0..self.out_w.rows {
+            for c in 0..self.out_w.cols {
+                dact[c] += self.out_w.at(r, c) * dlogits[r];
+                *self.out_w.at_mut(r, c) -= lr * dlogits[r] * last_act[c];
+            }
+            self.out_b[r] -= lr * dlogits[r];
+        }
+
+        // Backprop through binarized layers (reverse order).
+        for li in (0..self.shadow.len()).rev() {
+            let pre = &pres[li];
+            let scale = 1.0 / (self.shadow[li].cols as f32).sqrt();
+            // STE through sign, clipped.
+            let dpre: Vec<f32> = dact
+                .iter()
+                .zip(pre)
+                .map(|(&d, &p)| if p.abs() <= 1.0 { d } else { 0.0 })
+                .collect();
+            let input: Vec<f32> = if li == 0 {
+                x.to_vec()
+            } else {
+                acts[li - 1].clone()
+            };
+            let w = &self.shadow[li];
+            let mut dinput = vec![0.0f32; w.cols];
+            for r in 0..w.rows {
+                let g = dpre[r] * scale;
+                if g == 0.0 {
+                    continue;
+                }
+                for c in 0..w.cols {
+                    let wb = if w.at(r, c) >= 0.0 { 1.0 } else { -1.0 };
+                    dinput[c] += wb * g;
+                }
+            }
+            let w = &mut self.shadow[li];
+            for r in 0..w.rows {
+                let g = dpre[r] * scale;
+                if g == 0.0 {
+                    continue;
+                }
+                for c in 0..w.cols {
+                    let upd = w.at(r, c) - lr * g * input[c];
+                    // BinaryConnect weight clipping keeps shadows in [-1, 1].
+                    *w.at_mut(r, c) = upd.clamp(-1.0, 1.0);
+                }
+            }
+            dact = dinput;
+        }
+        loss
+    }
+
+    /// Trains over the labelled set for the configured number of epochs;
+    /// returns the mean loss of the final epoch.
+    pub fn fit(&mut self, samples: &[(Tensor, usize)]) -> f32 {
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5EED);
+        let mut last = 0.0;
+        for _ in 0..self.cfg.epochs {
+            // Fisher-Yates shuffle for SGD order.
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut total = 0.0;
+            for &i in &order {
+                let (x, y) = &samples[i];
+                total += self.step(x.as_slice(), *y);
+            }
+            last = total / samples.len().max(1) as f32;
+        }
+        last
+    }
+
+    /// Classification accuracy of the *trainer's* float-binarized forward.
+    pub fn accuracy(&self, samples: &[(Tensor, usize)]) -> f64 {
+        if samples.is_empty() {
+            return 0.0;
+        }
+        let correct = samples
+            .iter()
+            .filter(|(x, y)| {
+                let (_, _, logits) = self.forward_full(x.as_slice());
+                ops::argmax(&logits) == Some(*y)
+            })
+            .count();
+        correct as f64 / samples.len() as f64
+    }
+
+    /// Exports the trained model as an integer-exact [`Bnn`].
+    ///
+    /// The first layer becomes a [`FixedLinear`] (8-bit quantized input),
+    /// hidden layers become XNOR+popcount [`BinLinear`]s with majority
+    /// thresholds (`sign(pre) ⇔ pop ≥ ⌈m/2⌉`), and the output layer keeps
+    /// its real weights.
+    ///
+    /// # Errors
+    ///
+    /// Propagates network construction errors (none expected).
+    pub fn to_bnn(&self, name: impl Into<String>) -> Result<Bnn, BitnnError> {
+        let n = self.dims.len();
+        let mut layers: Vec<Layer> = Vec::with_capacity(n - 1);
+        for (i, w) in self.shadow.iter().enumerate() {
+            let bits = w.binarize();
+            if i == 0 {
+                let thresholds = vec![ThresholdSpec::fire_at_or_above(0); bits.rows()];
+                layers.push(Layer::FixedLinear(FixedLinear::new(
+                    format!("fc{}", i + 1),
+                    bits,
+                    thresholds,
+                )));
+            } else {
+                let thresholds = vec![ThresholdSpec::majority(bits.cols()); bits.rows()];
+                layers.push(Layer::BinLinear(BinLinear::new(
+                    format!("fc{}", i + 1),
+                    bits,
+                    thresholds,
+                )));
+            }
+        }
+        let out_w: Vec<Vec<f32>> = (0..self.out_w.rows)
+            .map(|r| (0..self.out_w.cols).map(|c| self.out_w.at(r, c)).collect())
+            .collect();
+        layers.push(Layer::Output(OutputLinear::new(
+            "out",
+            out_w,
+            self.out_b.clone(),
+        )));
+        Bnn::new(name, Shape::Flat(self.dims[0]), layers)
+    }
+
+    /// Binarized first+hidden weights, for inspection.
+    pub fn binarized_weights(&self) -> Vec<BitMatrix> {
+        self.shadow.iter().map(DenseMat::binarize).collect()
+    }
+
+    /// Binarized hidden activation for an input, useful for probing.
+    pub fn hidden_activation(&self, x: &[f32], layer: usize) -> BitVec {
+        let (_, acts, _) = self.forward_full(x);
+        BitVec::from_bools(
+            &acts[layer]
+                .iter()
+                .map(|&a| a > 0.0)
+                .collect::<Vec<_>>(),
+        )
+    }
+}
+
+fn softmax(logits: &[f32]) -> Vec<f32> {
+    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
+    let sum: f32 = exps.iter().sum();
+    exps.iter().map(|&e| e / sum).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::data::{Dataset, NUM_CLASSES};
+    use crate::models::DatasetKind;
+
+    fn small_data(n: usize) -> Vec<(Tensor, usize)> {
+        Dataset::generate(DatasetKind::Mnist, n, 11)
+            .flattened()
+    }
+
+    #[test]
+    fn softmax_normalizes() {
+        let p = softmax(&[1.0, 2.0, 3.0]);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+    }
+
+    #[test]
+    fn loss_decreases_with_training() {
+        let data = small_data(40);
+        let mut t = MlpTrainer::new(
+            &[784, 32, 10],
+            TrainConfig {
+                learning_rate: 0.02,
+                epochs: 1,
+                seed: 3,
+            },
+        );
+        let first: f32 = data
+            .iter()
+            .map(|(x, y)| t.step(x.as_slice(), *y))
+            .sum::<f32>()
+            / data.len() as f32;
+        for _ in 0..4 {
+            t.fit(&data);
+        }
+        let last: f32 = data
+            .iter()
+            .map(|(x, y)| {
+                let (_, _, logits) = t.forward_full(x.as_slice());
+                -softmax(&logits)[*y].max(1e-12).ln()
+            })
+            .sum::<f32>()
+            / data.len() as f32;
+        assert!(
+            last < first,
+            "training loss should drop: first={first}, last={last}"
+        );
+    }
+
+    #[test]
+    fn trains_above_chance_on_synthetic_data() {
+        let data = small_data(100);
+        let mut t = MlpTrainer::new(
+            &[784, 48, 10],
+            TrainConfig {
+                learning_rate: 0.02,
+                epochs: 8,
+                seed: 5,
+            },
+        );
+        t.fit(&data);
+        let acc = t.accuracy(&data);
+        assert!(
+            acc > 2.0 / NUM_CLASSES as f64,
+            "train accuracy {acc} should beat chance"
+        );
+    }
+
+    #[test]
+    fn exported_bnn_agrees_with_trainer_on_most_samples() {
+        // Export quantizes the first-layer input to 8 bits, so demand a high
+        // but not perfect agreement rate.
+        let data = small_data(30);
+        let mut t = MlpTrainer::new(&[784, 32, 10], TrainConfig::default());
+        t.fit(&data);
+        let net = t.to_bnn("exported").unwrap();
+        let agree = data
+            .iter()
+            .filter(|(x, _)| {
+                let (_, _, logits) = t.forward_full(x.as_slice());
+                let trainer_pred = ops::argmax(&logits).unwrap();
+                net.predict(x).unwrap() == trainer_pred
+            })
+            .count();
+        assert!(
+            agree * 10 >= data.len() * 7,
+            "only {agree}/{} predictions agree after quantization",
+            data.len()
+        );
+    }
+
+    #[test]
+    fn exported_hidden_layer_is_integer_exact() {
+        // The hidden BinLinear must reproduce the trainer's float sign path
+        // exactly (binary in, binary weights — no quantization involved).
+        let data = small_data(10);
+        let mut t = MlpTrainer::new(&[784, 24, 16, 10], TrainConfig::default());
+        t.fit(&data);
+        let net = t.to_bnn("exported").unwrap();
+        let hidden = match &net.layers()[1] {
+            Layer::BinLinear(l) => l.clone(),
+            other => panic!("expected BinLinear, got {other:?}"),
+        };
+        for (x, _) in &data {
+            let h0 = t.hidden_activation(x.as_slice(), 0);
+            let h1_trainer = t.hidden_activation(x.as_slice(), 1);
+            let mut out = BitVec::zeros(16);
+            for (j, (&p, spec)) in hidden
+                .popcounts(&h0)
+                .iter()
+                .zip(hidden.thresholds())
+                .enumerate()
+            {
+                if spec.fire(i64::from(p)) {
+                    out.set(j, true);
+                }
+            }
+            assert_eq!(out, h1_trainer);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least")]
+    fn rejects_too_few_layers() {
+        let _ = MlpTrainer::new(&[784, 10], TrainConfig::default());
+    }
+}

@@ -1,0 +1,181 @@
+//! Property-based tests for the BNN substrate invariants (DESIGN.md E4).
+
+use eb_bitnn::{ops, BatchNorm, BitMatrix, BitTensor, BitVec, ThresholdSpec};
+use proptest::prelude::*;
+
+/// Strategy: a random bit vector of length 1..=300.
+fn bitvec(max_len: usize) -> impl Strategy<Value = BitVec> {
+    prop::collection::vec(any::<bool>(), 1..=max_len).prop_map(|b| BitVec::from_bools(&b))
+}
+
+/// Strategy: a pair of equal-length random bit vectors.
+fn bitvec_pair(max_len: usize) -> impl Strategy<Value = (BitVec, BitVec)> {
+    (1..=max_len).prop_flat_map(|len| {
+        (
+            prop::collection::vec(any::<bool>(), len),
+            prop::collection::vec(any::<bool>(), len),
+        )
+            .prop_map(|(a, b)| (BitVec::from_bools(&a), BitVec::from_bools(&b)))
+    })
+}
+
+proptest! {
+    /// Paper Eq. 1: the bipolar dot product equals 2·popcount(xnor) − len.
+    #[test]
+    fn eq1_identity((a, b) in bitvec_pair(300)) {
+        prop_assert_eq!(ops::bipolar_dot(&a, &b), ops::bipolar_dot_naive(&a, &b));
+    }
+
+    /// XNOR is commutative and self-XNOR is all ones.
+    #[test]
+    fn xnor_properties((a, b) in bitvec_pair(300)) {
+        prop_assert_eq!(a.xnor(&b), b.xnor(&a));
+        prop_assert_eq!(a.xnor(&a).popcount() as usize, a.len());
+    }
+
+    /// Complement involution and popcount partition.
+    #[test]
+    fn complement_properties(a in bitvec(300)) {
+        prop_assert_eq!(a.complement().complement(), a.clone());
+        prop_assert_eq!(
+            (a.popcount() + a.complement().popcount()) as usize,
+            a.len()
+        );
+    }
+
+    /// The TacitMap trick: popcount(v ⊙ w) = AND-accumulate of [v ; v̄]
+    /// against [w ; w̄] stacked as a column. This is the algebra that lets a
+    /// plain analog crossbar (which computes Σ input·conductance, an AND
+    /// accumulation for binary operands) produce the XNOR popcount.
+    #[test]
+    fn tacitmap_and_accumulate_identity((v, w) in bitvec_pair(300)) {
+        let input = v.with_complement();           // crossbar row drive
+        let column = w.concat(&w.complement());    // stored column
+        // Analog column current ≈ Σ input_i AND cell_i
+        let and_acc = input.and(&column).popcount();
+        prop_assert_eq!(and_acc, ops::xnor_popcount(&v, &w));
+    }
+
+    /// Bit-packing round-trips through bools and bipolar encodings.
+    #[test]
+    fn packing_roundtrip(bits in prop::collection::vec(any::<bool>(), 0..200)) {
+        let v = BitVec::from_bools(&bits);
+        prop_assert_eq!(v.to_bools(), bits.clone());
+        let bip = v.to_bipolar();
+        prop_assert_eq!(BitVec::from_bipolar(&bip), v);
+    }
+
+    /// Matrix transpose involution; row/col duality.
+    #[test]
+    fn matrix_transpose(rows in 1usize..12, cols in 1usize..80, seed in any::<u64>()) {
+        let m = BitMatrix::from_fn(rows, cols, |r, c| {
+            (seed.wrapping_mul(r as u64 * 31 + c as u64 + 7)) % 3 == 0
+        });
+        let t = m.transpose();
+        prop_assert_eq!(t.transpose(), m.clone());
+        for r in 0..rows.min(4) {
+            prop_assert_eq!(m.row(r), t.col(r));
+        }
+    }
+
+    /// Folded batch-norm thresholds agree with the float decision for all
+    /// popcounts.
+    #[test]
+    fn bn_fold_matches_float(
+        gamma in -3.0f32..3.0,
+        beta in -3.0f32..3.0,
+        mu in -5.0f32..5.0,
+        var in 0.01f32..9.0,
+        m in 1usize..64,
+    ) {
+        // Skip near-degenerate gammas where float rounding at the boundary
+        // is ill-defined.
+        prop_assume!(gamma.abs() > 1e-3);
+        let bn = BatchNorm {
+            gamma: vec![gamma], beta: vec![beta], mean: vec![mu], var: vec![var], eps: 1e-5,
+        };
+        let spec = bn.fold_popcount(m)[0];
+        for pop in 0..=m {
+            let y = bn.apply(0, 2.0 * pop as f32 - m as f32);
+            // Only check decisions comfortably away from the boundary.
+            if y.abs() > 1e-3 {
+                prop_assert_eq!(spec.fire(pop as i64), y >= 0.0);
+            }
+        }
+    }
+
+    /// Majority threshold equals the sign of the bipolar pre-activation.
+    #[test]
+    fn majority_threshold_is_sign((a, w) in bitvec_pair(200)) {
+        let m = a.len();
+        let pop = ops::xnor_popcount(&a, &w);
+        let pre = ops::bipolar_dot(&a, &w);
+        let spec = ThresholdSpec::majority(m);
+        prop_assert_eq!(spec.fire(i64::from(pop)), pre >= 0);
+    }
+
+    /// im2col windows reproduce direct sliding-window extraction.
+    #[test]
+    fn im2col_matches_direct(
+        h in 3usize..10,
+        w in 3usize..10,
+        k in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(k <= h && k <= w);
+        let t = {
+            let mut t = BitTensor::zeros(2, h, w);
+            for c in 0..2 {
+                for y in 0..h {
+                    for x in 0..w {
+                        if (seed.wrapping_mul((c * h * w + y * w + x) as u64 + 13)) % 5 < 2 {
+                            t.set(c, y, x, true);
+                        }
+                    }
+                }
+            }
+            t
+        };
+        let cols = t.im2col(k, 1, 0);
+        let (oh, ow) = (h - k + 1, w - k + 1);
+        prop_assert_eq!(cols.rows(), oh * ow);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let row = cols.row(oy * ow + ox);
+                for c in 0..2 {
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            prop_assert_eq!(
+                                row.get((c * k + ky) * k + kx),
+                                t.get(c, oy + ky, ox + kx)
+                            );
+                        }
+                    }
+                }
+            }
+        }
+    }
+
+    /// Max pooling on {0,1} is OR: output bit set iff any window bit set.
+    #[test]
+    fn maxpool_is_or(h in 2usize..9, w in 2usize..9, seed in any::<u64>()) {
+        let mut t = BitTensor::zeros(1, h, w);
+        for y in 0..h {
+            for x in 0..w {
+                if (seed.wrapping_mul((y * w + x) as u64 + 3)) % 4 == 0 {
+                    t.set(0, y, x, true);
+                }
+            }
+        }
+        let p = t.max_pool_2x2();
+        for y in 0..h / 2 {
+            for x in 0..w / 2 {
+                let any = t.get(0, 2 * y, 2 * x) == Some(true)
+                    || t.get(0, 2 * y, 2 * x + 1) == Some(true)
+                    || t.get(0, 2 * y + 1, 2 * x) == Some(true)
+                    || t.get(0, 2 * y + 1, 2 * x + 1) == Some(true);
+                prop_assert_eq!(p.get(0, y, x), Some(any));
+            }
+        }
+    }
+}

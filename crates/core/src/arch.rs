@@ -1,0 +1,229 @@
+//! The EinsteinBarrier spatial hierarchy (paper Fig. 4):
+//! Nodes → Tiles → ECores → VCores, with chip-to-chip interconnect at the
+//! node level, an on-chip network between tiles, shared memory per tile,
+//! and one transmitter + VMM/MMM pipeline per ECore.
+//!
+//! The compiler allocates each layer's crossbar footprint onto physical
+//! VCore addresses; the allocation records where everything lives so
+//! occupancy and communication distances can be reported.
+
+use crate::configs::ChipConfig;
+use std::fmt;
+
+/// Physical address of one VCore (crossbar).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct VcoreAddr {
+    /// Node index.
+    pub node: usize,
+    /// Tile within the node.
+    pub tile: usize,
+    /// ECore within the tile.
+    pub ecore: usize,
+    /// VCore within the ECore.
+    pub vcore: usize,
+}
+
+impl fmt::Display for VcoreAddr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "n{}.t{}.e{}.v{}",
+            self.node, self.tile, self.ecore, self.vcore
+        )
+    }
+}
+
+/// Where one layer's crossbars landed.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPlacement {
+    /// Layer name.
+    pub layer: String,
+    /// Physical crossbars hosting the layer's weights (in chunk order;
+    /// entries repeat physical addresses when the chip is oversubscribed
+    /// and crossbars are time-multiplexed).
+    pub crossbars: Vec<VcoreAddr>,
+    /// Whether this layer reuses crossbars already assigned to earlier
+    /// layers (time-multiplexed execution).
+    pub oversubscribed: bool,
+}
+
+/// Sequential allocator of VCores over the chip hierarchy.
+#[derive(Debug, Clone)]
+pub struct ChipLayout {
+    config: ChipConfig,
+    next: usize,
+    placements: Vec<LayerPlacement>,
+}
+
+impl ChipLayout {
+    /// Creates an empty layout over a chip.
+    pub fn new(config: ChipConfig) -> Self {
+        Self {
+            config,
+            next: 0,
+            placements: Vec::new(),
+        }
+    }
+
+    /// The chip configuration.
+    pub fn config(&self) -> &ChipConfig {
+        &self.config
+    }
+
+    /// Address of the `i`-th VCore in allocation order (wrapping when the
+    /// chip is oversubscribed).
+    pub fn addr_of(&self, i: usize) -> VcoreAddr {
+        let budget = self.config.crossbar_budget().max(1);
+        let i = i % budget;
+        let per_node = self.config.tiles_per_node
+            * self.config.ecores_per_tile
+            * self.config.vcores_per_ecore;
+        let per_tile = self.config.ecores_per_tile * self.config.vcores_per_ecore;
+        let per_ecore = self.config.vcores_per_ecore;
+        VcoreAddr {
+            node: i / per_node,
+            tile: (i % per_node) / per_tile,
+            ecore: (i % per_tile) / per_ecore,
+            vcore: i % per_ecore,
+        }
+    }
+
+    /// Allocates `count` crossbars for a layer, wrapping (time-multiplexed
+    /// reuse) when the footprint exceeds the remaining budget.
+    pub fn allocate(&mut self, layer: impl Into<String>, count: usize) -> LayerPlacement {
+        let budget = self.config.crossbar_budget().max(1);
+        let oversubscribed = self.next + count > budget;
+        let crossbars = (0..count).map(|i| self.addr_of(self.next + i)).collect();
+        self.next += count;
+        let p = LayerPlacement {
+            layer: layer.into(),
+            crossbars,
+            oversubscribed,
+        };
+        self.placements.push(p.clone());
+        p
+    }
+
+    /// Crossbars allocated so far (may exceed the budget when
+    /// oversubscribed).
+    pub fn allocated(&self) -> usize {
+        self.next
+    }
+
+    /// Fraction of the physical budget in use (>1 when oversubscribed).
+    pub fn occupancy(&self) -> f64 {
+        self.next as f64 / self.config.crossbar_budget().max(1) as f64
+    }
+
+    /// All placements in allocation order.
+    pub fn placements(&self) -> &[LayerPlacement] {
+        &self.placements
+    }
+
+    /// Manhattan-style hop distance between two VCores on the on-chip
+    /// network (same ECore: 0; same tile: 1; same node: 2; cross-node: 3).
+    /// Used to estimate inter-layer communication latency.
+    pub fn hop_distance(a: VcoreAddr, b: VcoreAddr) -> u32 {
+        if a.node != b.node {
+            3
+        } else if a.tile != b.tile {
+            2
+        } else if a.ecore != b.ecore {
+            1
+        } else {
+            0
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn chip() -> ChipConfig {
+        ChipConfig {
+            nodes: 2,
+            tiles_per_node: 2,
+            ecores_per_tile: 2,
+            vcores_per_ecore: 2,
+        }
+    }
+
+    #[test]
+    fn addresses_enumerate_hierarchy() {
+        let layout = ChipLayout::new(chip());
+        assert_eq!(
+            layout.addr_of(0),
+            VcoreAddr {
+                node: 0,
+                tile: 0,
+                ecore: 0,
+                vcore: 0
+            }
+        );
+        assert_eq!(
+            layout.addr_of(1),
+            VcoreAddr {
+                node: 0,
+                tile: 0,
+                ecore: 0,
+                vcore: 1
+            }
+        );
+        assert_eq!(
+            layout.addr_of(8),
+            VcoreAddr {
+                node: 1,
+                tile: 0,
+                ecore: 0,
+                vcore: 0
+            }
+        );
+        // Wraps at the budget (16).
+        assert_eq!(layout.addr_of(16), layout.addr_of(0));
+    }
+
+    #[test]
+    fn allocation_tracks_occupancy_and_oversubscription() {
+        let mut layout = ChipLayout::new(chip());
+        let a = layout.allocate("l1", 10);
+        assert!(!a.oversubscribed);
+        assert_eq!(a.crossbars.len(), 10);
+        let b = layout.allocate("l2", 10);
+        assert!(b.oversubscribed);
+        assert!((layout.occupancy() - 20.0 / 16.0).abs() < 1e-12);
+        assert_eq!(layout.placements().len(), 2);
+    }
+
+    #[test]
+    fn hop_distances() {
+        let a = VcoreAddr {
+            node: 0,
+            tile: 0,
+            ecore: 0,
+            vcore: 0,
+        };
+        assert_eq!(ChipLayout::hop_distance(a, a), 0);
+        assert_eq!(
+            ChipLayout::hop_distance(a, VcoreAddr { vcore: 1, ..a }),
+            0
+        );
+        assert_eq!(
+            ChipLayout::hop_distance(a, VcoreAddr { ecore: 1, ..a }),
+            1
+        );
+        assert_eq!(ChipLayout::hop_distance(a, VcoreAddr { tile: 1, ..a }), 2);
+        assert_eq!(ChipLayout::hop_distance(a, VcoreAddr { node: 1, ..a }), 3);
+    }
+
+    #[test]
+    fn display_address() {
+        let a = VcoreAddr {
+            node: 1,
+            tile: 2,
+            ecore: 3,
+            vcore: 0,
+        };
+        assert_eq!(a.to_string(), "n1.t2.e3.v0");
+    }
+}

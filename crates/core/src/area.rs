@@ -1,0 +1,188 @@
+//! Area model for the three designs.
+//!
+//! The paper accounts for "power and area overheads introduced by extra
+//! components of oPCM cores" (Section V-A) but does not print an area
+//! table; we provide the model as a first-class output. Constants are
+//! representative of a 32 nm-class electronic node and standard silicon-
+//! photonics component footprints; as with timing/energy, the meaningful
+//! outputs are the *ratios* between designs.
+
+use crate::configs::{Design, DesignKind};
+
+/// Per-component area constants in µm².
+#[derive(Debug, Clone, PartialEq)]
+pub struct AreaParams {
+    /// One 1T1R cell (4F² + transistor, 32 nm class).
+    pub cell_1t1r_um2: f64,
+    /// One 2T2R cell (twice the devices and access transistors).
+    pub cell_2t2r_um2: f64,
+    /// One 8/9-bit SAR ADC.
+    pub adc_um2: f64,
+    /// One 1-bit DAC / row driver.
+    pub dac_um2: f64,
+    /// One precharge sense amplifier.
+    pub pcsa_um2: f64,
+    /// Digital popcount logic per column (5-bit counter + tree share).
+    pub popcount_col_um2: f64,
+    /// One oPCM cell on a waveguide crossing (photonic pitch dominates).
+    pub opcm_cell_um2: f64,
+    /// One microring (comb line or modulator).
+    pub ring_um2: f64,
+    /// One VOA.
+    pub voa_um2: f64,
+    /// One photodetector + TIA lane.
+    pub receiver_lane_um2: f64,
+    /// MUX/DMUX (AWG) per port.
+    pub awg_port_um2: f64,
+    /// Laser (off-chip coupled; its on-chip coupler footprint).
+    pub laser_um2: f64,
+}
+
+impl Default for AreaParams {
+    fn default() -> Self {
+        Self {
+            cell_1t1r_um2: 0.05,
+            cell_2t2r_um2: 0.10,
+            adc_um2: 1500.0,
+            dac_um2: 15.0,
+            pcsa_um2: 25.0,
+            popcount_col_um2: 40.0,
+            opcm_cell_um2: 100.0, // ~10 µm photonic pitch
+            ring_um2: 80.0,
+            voa_um2: 120.0,
+            receiver_lane_um2: 400.0,
+            awg_port_um2: 250.0,
+            laser_um2: 5000.0,
+        }
+    }
+}
+
+/// Area breakdown of one crossbar + periphery, in µm².
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct AreaBreakdown {
+    /// Memory cell array.
+    pub array_um2: f64,
+    /// Converters (ADCs + DACs).
+    pub converters_um2: f64,
+    /// Sense amplifiers + digital popcount (CustBinaryMap periphery).
+    pub sense_um2: f64,
+    /// Photonic components (rings, VOAs, AWGs, receivers, laser coupler).
+    pub photonics_um2: f64,
+}
+
+impl AreaBreakdown {
+    /// Total area in µm².
+    pub fn total_um2(&self) -> f64 {
+        self.array_um2 + self.converters_um2 + self.sense_um2 + self.photonics_um2
+    }
+
+    /// Total area in mm².
+    pub fn total_mm2(&self) -> f64 {
+        self.total_um2() / 1e6
+    }
+}
+
+/// Area of one crossbar (with periphery) under a design.
+pub fn crossbar_area(design: &Design, params: &AreaParams) -> AreaBreakdown {
+    let rows = design.xbar.rows;
+    let cols = design.xbar.cols;
+    let cells = rows * cols;
+    match design.kind {
+        DesignKind::BaselineEpcm => AreaBreakdown {
+            // 2T2R array: same device count but double-width cells per
+            // stored bit; PCSA per column pair + popcount logic.
+            array_um2: cells as f64 * params.cell_2t2r_um2 / 2.0,
+            converters_um2: rows as f64 * params.dac_um2,
+            sense_um2: (cols / 2) as f64 * (params.pcsa_um2 + params.popcount_col_um2),
+            photonics_um2: 0.0,
+        },
+        DesignKind::TacitMapEpcm => AreaBreakdown {
+            array_um2: cells as f64 * params.cell_1t1r_um2,
+            converters_um2: design.xbar.n_adcs as f64 * params.adc_um2
+                + rows as f64 * params.dac_um2,
+            sense_um2: 0.0,
+            photonics_um2: 0.0,
+        },
+        DesignKind::EinsteinBarrier => {
+            let k = design.wdm_capacity.max(1) as f64;
+            AreaBreakdown {
+                // Photonic array pitch dominates the oPCM crossbar.
+                array_um2: cells as f64 * params.opcm_cell_um2,
+                converters_um2: design.xbar.n_adcs as f64 * params.adc_um2,
+                sense_um2: 0.0,
+                // Transmitter: K·M modulator rings + VOAs, comb rings,
+                // AWG ports; receiver lane per column (Eq. 2's TIAs).
+                photonics_um2: k * rows as f64 * (params.ring_um2 + params.voa_um2)
+                    + k * params.ring_um2
+                    + 2.0 * k * params.awg_port_um2
+                    + cols as f64 * params.receiver_lane_um2
+                    + params.laser_um2,
+            }
+        }
+    }
+}
+
+/// Whole-chip area (crossbar budget × per-crossbar area), in mm².
+pub fn chip_area_mm2(design: &Design, params: &AreaParams) -> f64 {
+    crossbar_area(design, params).total_mm2() * design.crossbar_budget() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::Design;
+
+    #[test]
+    fn breakdown_totals_sum_components() {
+        let b = AreaBreakdown {
+            array_um2: 1.0,
+            converters_um2: 2.0,
+            sense_um2: 3.0,
+            photonics_um2: 4.0,
+        };
+        assert!((b.total_um2() - 10.0).abs() < 1e-12);
+        assert!((b.total_mm2() - 10.0e-6).abs() < 1e-18);
+    }
+
+    #[test]
+    fn optical_crossbar_is_largest() {
+        // Photonic pitch dominates: the oPCM core costs more area than
+        // either electronic design — the price of WDM parallelism.
+        let p = AreaParams::default();
+        let base = crossbar_area(&Design::baseline_epcm(), &p).total_um2();
+        let tm = crossbar_area(&Design::tacitmap_epcm(), &p).total_um2();
+        let eb = crossbar_area(&Design::einstein_barrier(), &p).total_um2();
+        assert!(eb > tm, "eb {eb} vs tm {tm}");
+        assert!(eb > base, "eb {eb} vs base {base}");
+    }
+
+    #[test]
+    fn tacitmap_pays_adc_area_baseline_pays_sense_area() {
+        let p = AreaParams::default();
+        let base = crossbar_area(&Design::baseline_epcm(), &p);
+        let tm = crossbar_area(&Design::tacitmap_epcm(), &p);
+        assert!(tm.converters_um2 > base.converters_um2);
+        assert!(base.sense_um2 > 0.0);
+        assert_eq!(tm.sense_um2, 0.0);
+    }
+
+    #[test]
+    fn transmitter_area_scales_with_wdm_capacity() {
+        let p = AreaParams::default();
+        let eb4 = crossbar_area(&Design::einstein_barrier_with_capacity(4), &p);
+        let eb16 = crossbar_area(&Design::einstein_barrier_with_capacity(16), &p);
+        assert!(eb16.photonics_um2 > eb4.photonics_um2);
+        // Array area is capacity-independent.
+        assert_eq!(eb16.array_um2, eb4.array_um2);
+    }
+
+    #[test]
+    fn chip_area_scales_with_budget() {
+        let p = AreaParams::default();
+        let d = Design::tacitmap_epcm();
+        let full = chip_area_mm2(&d, &p);
+        let mut half = d.clone();
+        half.chip.tiles_per_node = 4;
+        assert!((chip_area_mm2(&half, &p) - full / 2.0).abs() < 1e-9);
+    }
+}

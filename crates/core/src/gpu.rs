@@ -1,0 +1,162 @@
+//! The analytic Baseline-GPU model (paper Section V-B).
+//!
+//! Real-GPU substitution (see DESIGN.md): a roofline-style model of a
+//! PhoneBit/XNOR-kernel BNN running on a datacenter GPU. Each layer costs
+//! a kernel launch plus the max of compute time (packed XNOR/popcount
+//! throughput for binary layers, int8 throughput for fixed layers) and
+//! memory time (weights + activations over HBM bandwidth). This
+//! reproduces the paper's crossover: the CIM baseline wins on conv-heavy
+//! nets (weights stay resident, no launch overhead) and loses on large
+//! MLPs where it serializes row reads while the GPU runs few big GEMMs.
+
+use eb_bitnn::{BenchModel, LayerDims};
+
+/// GPU model parameters.
+#[derive(Debug, Clone, PartialEq)]
+pub struct GpuModel {
+    /// Kernel launch + framework overhead per layer, microseconds.
+    pub launch_overhead_us: f64,
+    /// Effective binary-op throughput for XNOR+popcount GEMMs, ops/s.
+    pub binary_ops_per_s: f64,
+    /// Effective int8 MAC throughput for fixed-point layers, MAC/s.
+    pub int8_macs_per_s: f64,
+    /// Memory bandwidth, bytes/s.
+    pub mem_bytes_per_s: f64,
+    /// Board power while active, watts (for energy accounting).
+    pub board_power_w: f64,
+    /// GEMM-size at which the GPU reaches full utilization: layers with
+    /// `fan_in × outputs` below this run at proportionally lower
+    /// efficiency (small convolutions underutilize the SMs — the reason
+    /// the CIM baseline beats the GPU on the first CNN, paper Fig. 7
+    /// observation 4).
+    pub full_util_gemm: f64,
+    /// Utilization floor.
+    pub min_utilization: f64,
+}
+
+impl GpuModel {
+    /// A V100-class part running optimized binary kernels.
+    pub fn datacenter_default() -> Self {
+        Self {
+            launch_overhead_us: 5.0,
+            binary_ops_per_s: 40e12,
+            int8_macs_per_s: 15e12,
+            mem_bytes_per_s: 600e9,
+            board_power_w: 250.0,
+            full_util_gemm: 512.0 * 512.0,
+            min_utilization: 1e-4,
+        }
+    }
+
+    /// Achieved-throughput factor for a layer's GEMM shape.
+    pub fn utilization(&self, dims: &LayerDims) -> f64 {
+        let gemm = dims.fan_in as f64 * dims.out_vectors as f64;
+        (gemm / self.full_util_gemm).clamp(self.min_utilization, 1.0)
+    }
+
+    /// Latency of one layer over a batch, nanoseconds.
+    pub fn layer_latency_ns(&self, dims: &LayerDims, batch: u64) -> f64 {
+        let macs = dims.macs() as f64 * batch as f64;
+        let util = self.utilization(dims);
+        let compute_s = if dims.input_bits == 1 && dims.weight_bits == 1 {
+            // XNOR + popcount: 2 binary ops per MAC.
+            2.0 * macs / (self.binary_ops_per_s * util)
+        } else {
+            macs / (self.int8_macs_per_s * util)
+        };
+        let weight_bytes =
+            dims.fan_in as f64 * dims.out_vectors as f64 * f64::from(dims.weight_bits) / 8.0;
+        let act_bytes = (dims.fan_in as f64 * f64::from(dims.input_bits) / 8.0
+            + dims.out_vectors as f64)
+            * dims.input_vectors as f64
+            * batch as f64;
+        let mem_s = (weight_bytes + act_bytes) / self.mem_bytes_per_s;
+        self.launch_overhead_us * 1e3 + compute_s.max(mem_s) * 1e9
+    }
+
+    /// Latency of a whole network over a batch, nanoseconds.
+    pub fn network_latency_ns(&self, dims: &[LayerDims], batch: u64) -> f64 {
+        dims.iter().map(|d| self.layer_latency_ns(d, batch)).sum()
+    }
+
+    /// Latency of one of the benchmark models, nanoseconds.
+    pub fn model_latency_ns(&self, model: BenchModel, batch: u64) -> f64 {
+        self.network_latency_ns(&model.dims(), batch)
+    }
+
+    /// Energy of a network run: board power × active time, joules.
+    pub fn network_energy_j(&self, dims: &[LayerDims], batch: u64) -> f64 {
+        self.network_latency_ns(dims, batch) * 1e-9 * self.board_power_w
+    }
+}
+
+impl Default for GpuModel {
+    fn default() -> Self {
+        Self::datacenter_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn launch_overhead_dominates_tiny_layers() {
+        let gpu = GpuModel::datacenter_default();
+        let tiny = LayerDims {
+            name: "tiny".into(),
+            kind: eb_bitnn::LayerKind::HiddenBinary,
+            fan_in: 64,
+            out_vectors: 64,
+            input_vectors: 1,
+            input_bits: 1,
+            weight_bits: 1,
+        };
+        let t = gpu.layer_latency_ns(&tiny, 1);
+        assert!((t - 5000.0).abs() / 5000.0 < 0.01, "t = {t}");
+    }
+
+    #[test]
+    fn compute_bound_layers_scale_with_batch() {
+        let gpu = GpuModel::datacenter_default();
+        let big = LayerDims {
+            name: "big".into(),
+            kind: eb_bitnn::LayerKind::HiddenBinary,
+            fan_in: 4096,
+            out_vectors: 4096,
+            input_vectors: 64,
+            input_bits: 1,
+            weight_bits: 1,
+        };
+        let t1 = gpu.layer_latency_ns(&big, 64);
+        let t2 = gpu.layer_latency_ns(&big, 128);
+        assert!(t2 > 1.5 * t1, "t1={t1} t2={t2}");
+    }
+
+    #[test]
+    fn int8_layers_cost_more_per_mac() {
+        let gpu = GpuModel::datacenter_default();
+        let mk = |ib: u8| LayerDims {
+            name: "l".into(),
+            kind: eb_bitnn::LayerKind::FirstFixed,
+            fan_in: 4096,
+            out_vectors: 4096,
+            input_vectors: 256,
+            input_bits: ib,
+            weight_bits: 1,
+        };
+        let bin = gpu.layer_latency_ns(&mk(1), 64);
+        let fixed = gpu.layer_latency_ns(&mk(8), 64);
+        assert!(fixed > bin);
+    }
+
+    #[test]
+    fn network_latency_sums_layers() {
+        let gpu = GpuModel::datacenter_default();
+        let dims = BenchModel::MlpS.dims();
+        let total = gpu.network_latency_ns(&dims, 16);
+        let sum: f64 = dims.iter().map(|d| gpu.layer_latency_ns(d, 16)).sum();
+        assert!((total - sum).abs() < 1e-6);
+        assert!(gpu.network_energy_j(&dims, 16) > 0.0);
+    }
+}

@@ -1,0 +1,336 @@
+//! TacitMap on optical crossbars: the functional model of an
+//! EinsteinBarrier VCore, executing up to `K` input vectors per step via
+//! WDM (paper Fig. 5-(b)).
+//!
+//! Mirrors [`eb_mapping::TacitMapped`] but hosts the weights on
+//! [`eb_photonics::OpticalCrossbar`]s behind a [`Transmitter`]/[`Receiver`]
+//! pair, so the full optical chain (comb → VOA encode → crossbar
+//! attenuation → photodetector + TIA → count recovery) is exercised.
+
+use eb_bitnn::{BitMatrix, BitVec};
+use eb_mapping::MappingError;
+use eb_photonics::{OpcmParams, OpticalCrossbar, PhotonicsError, Receiver, Transmitter};
+use rand::Rng;
+
+/// A binary weight matrix programmed in TacitMap layout on oPCM crossbars.
+///
+/// # Examples
+///
+/// ```
+/// use eb_core::OpticalTacitMapped;
+/// use eb_bitnn::{ops, BitMatrix, BitVec};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let weights = BitMatrix::from_fn(4, 6, |r, c| (r + 2 * c) % 3 == 0);
+/// let mut mapped = OpticalTacitMapped::program(&weights, 16, 8, 4, &mut rng)?;
+/// let inputs: Vec<BitVec> = (0..3)
+///     .map(|k| BitVec::from_bools(&(0..6).map(|i| (i + k) % 2 == 0).collect::<Vec<_>>()))
+///     .collect();
+/// let counts = mapped.execute_wdm(&inputs, &mut rng)?;
+/// for (k, v) in inputs.iter().enumerate() {
+///     assert_eq!(counts[k], ops::binary_linear_popcounts(v, &weights));
+/// }
+/// # Ok::<(), eb_core::OpticalMapError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpticalTacitMapped {
+    /// `xbars[row_chunk][col_chunk]`.
+    xbars: Vec<Vec<OpticalCrossbar>>,
+    transmitter: Transmitter,
+    receiver: Receiver,
+    m: usize,
+    n: usize,
+    chunk_len: usize,
+    rows: usize,
+    cols: usize,
+    steps: u64,
+}
+
+/// Errors from the optical mapping.
+#[derive(Debug, Clone, PartialEq)]
+#[non_exhaustive]
+pub enum OpticalMapError {
+    /// Re-used mapping errors (empty weights, fan-in mismatch...).
+    Mapping(MappingError),
+    /// Underlying photonics errors (WDM capacity, bounds...).
+    Photonics(PhotonicsError),
+}
+
+impl std::fmt::Display for OpticalMapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Self::Mapping(e) => write!(f, "{e}"),
+            Self::Photonics(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl std::error::Error for OpticalMapError {}
+
+impl From<MappingError> for OpticalMapError {
+    fn from(e: MappingError) -> Self {
+        Self::Mapping(e)
+    }
+}
+
+impl From<PhotonicsError> for OpticalMapError {
+    fn from(e: PhotonicsError) -> Self {
+        Self::Photonics(e)
+    }
+}
+
+impl OpticalTacitMapped {
+    /// Programs `weights` (one weight vector per row) onto `rows × cols`
+    /// optical crossbars with WDM capacity `k`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for empty weights or a degenerate crossbar.
+    pub fn program(
+        weights: &BitMatrix,
+        rows: usize,
+        cols: usize,
+        k: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Self, OpticalMapError> {
+        if weights.rows() == 0 || weights.cols() == 0 {
+            return Err(MappingError::EmptyWeights.into());
+        }
+        let chunk_len = rows / 2;
+        if chunk_len == 0 || cols == 0 {
+            return Err(MappingError::CrossbarTooSmall { rows, cols }.into());
+        }
+        let m = weights.cols();
+        let n = weights.rows();
+        let row_chunks = m.div_ceil(chunk_len);
+        let col_chunks = n.div_ceil(cols);
+        let mut xbars = Vec::with_capacity(row_chunks);
+        for rc in 0..row_chunks {
+            let lo = rc * chunk_len;
+            let hi = (lo + chunk_len).min(m);
+            let len = hi - lo;
+            let mut row = Vec::with_capacity(col_chunks);
+            for cc in 0..col_chunks {
+                let jlo = cc * cols;
+                let jhi = (jlo + cols).min(n);
+                let block = BitMatrix::from_fn(2 * len, jhi - jlo, |r, j| {
+                    let w = weights.row(jlo + j);
+                    if r < len {
+                        w.get(lo + r) == Some(true)
+                    } else {
+                        w.get(lo + r - len) == Some(false)
+                    }
+                });
+                let mut xbar = OpticalCrossbar::new(rows, cols, OpcmParams::ideal_binary());
+                xbar.program_matrix(&block, rng)?;
+                row.push(xbar);
+            }
+            xbars.push(row);
+        }
+        Ok(Self {
+            xbars,
+            transmitter: Transmitter::with_capacity(k),
+            receiver: Receiver::ideal(),
+            m,
+            n,
+            chunk_len,
+            rows,
+            cols,
+            steps: 0,
+        })
+    }
+
+    /// WDM capacity of the transmitter.
+    pub fn capacity(&self) -> usize {
+        self.transmitter.capacity()
+    }
+
+    /// Fan-in.
+    pub fn fan_in(&self) -> usize {
+        self.m
+    }
+
+    /// Stored weight vectors.
+    pub fn out_vectors(&self) -> usize {
+        self.n
+    }
+
+    /// Optical crossbars occupied.
+    pub fn footprint(&self) -> usize {
+        self.xbars.iter().map(Vec::len).sum()
+    }
+
+    /// MMM steps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.steps
+    }
+
+    /// Switches to a noisy receiver (for robustness experiments).
+    pub fn set_receiver(&mut self, receiver: Receiver) {
+        self.receiver = receiver;
+    }
+
+    /// One WDM step over up to `K` input vectors: returns
+    /// `counts[k][j] = popcount(inputs[k] ⊙ Wⱼ)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on fan-in mismatch or when more than `K` vectors
+    /// are offered.
+    pub fn execute_wdm(
+        &mut self,
+        inputs: &[BitVec],
+        rng: &mut impl Rng,
+    ) -> Result<Vec<Vec<u32>>, OpticalMapError> {
+        let lanes: Vec<(BitVec, BitVec)> = inputs
+            .iter()
+            .map(|v| (v.clone(), v.complement()))
+            .collect();
+        self.execute_wdm_raw(&lanes, rng)
+    }
+
+    /// Low-level WDM step with independent `(pos, neg)` half drives per
+    /// lane (see [`eb_mapping::TacitMapped::execute_raw`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on fan-in mismatch or WDM over-capacity.
+    pub fn execute_wdm_raw(
+        &mut self,
+        lanes: &[(BitVec, BitVec)],
+        rng: &mut impl Rng,
+    ) -> Result<Vec<Vec<u32>>, OpticalMapError> {
+        for (pos, neg) in lanes {
+            if pos.len() != self.m || neg.len() != self.m {
+                return Err(MappingError::InputLength {
+                    expected: self.m,
+                    got: pos.len().max(neg.len()),
+                }
+                .into());
+            }
+        }
+        let mut acc = vec![vec![0u32; self.n]; lanes.len()];
+        for (rc, row) in self.xbars.iter().enumerate() {
+            let lo = rc * self.chunk_len;
+            let hi = (lo + self.chunk_len).min(self.m);
+            let len = hi - lo;
+            // Build the per-lane physical drives [pos ; neg ; 0…].
+            let drives: Vec<BitVec> = lanes
+                .iter()
+                .map(|(pos, neg)| {
+                    let mut d = BitVec::zeros(self.rows);
+                    for i in 0..len {
+                        if pos.get(lo + i) == Some(true) {
+                            d.set(i, true);
+                        }
+                        if neg.get(lo + i) == Some(true) {
+                            d.set(len + i, true);
+                        }
+                    }
+                    d
+                })
+                .collect();
+            let frame = self.transmitter.encode(&drives)?;
+            for (cc, xbar) in row.iter().enumerate() {
+                let jlo = cc * self.cols;
+                let jhi = (jlo + self.cols).min(self.n);
+                let counts = xbar.mmm_counts(&frame, &self.receiver, rng)?;
+                for (k, lane_counts) in counts.iter().enumerate() {
+                    for j in 0..(jhi - jlo) {
+                        acc[k][j + jlo] += lane_counts[j];
+                    }
+                }
+            }
+        }
+        self.steps += 1;
+        Ok(acc)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eb_bitnn::ops;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(77)
+    }
+
+    fn random_bits(rows: usize, cols: usize, seed: u64) -> BitMatrix {
+        BitMatrix::from_fn(rows, cols, |r, c| {
+            (seed.wrapping_mul((r * cols + c) as u64 + 41)) % 4 < 2
+        })
+    }
+
+    #[test]
+    fn chunked_wdm_matches_reference() {
+        let mut r = rng();
+        let w = random_bits(20, 50, 3);
+        // 16-row crossbars (chunk 8) × 8 cols: 7 × 3 footprint.
+        let mut mapped = OpticalTacitMapped::program(&w, 16, 8, 4, &mut r).unwrap();
+        assert_eq!(mapped.footprint(), 21);
+        let inputs: Vec<BitVec> = (0..4)
+            .map(|k| {
+                BitVec::from_bools(&(0..50).map(|i| (i * (k + 3)) % 7 < 3).collect::<Vec<_>>())
+            })
+            .collect();
+        let counts = mapped.execute_wdm(&inputs, &mut r).unwrap();
+        for (k, v) in inputs.iter().enumerate() {
+            assert_eq!(counts[k], ops::binary_linear_popcounts(v, &w), "lane {k}");
+        }
+        assert_eq!(mapped.steps_taken(), 1);
+    }
+
+    #[test]
+    fn over_capacity_rejected() {
+        let mut r = rng();
+        let w = random_bits(4, 8, 1);
+        let mut mapped = OpticalTacitMapped::program(&w, 16, 8, 2, &mut r).unwrap();
+        let inputs: Vec<BitVec> = (0..3).map(|_| BitVec::ones(8)).collect();
+        assert!(matches!(
+            mapped.execute_wdm(&inputs, &mut r),
+            Err(OpticalMapError::Photonics(
+                PhotonicsError::WdmOverCapacity { .. }
+            ))
+        ));
+    }
+
+    #[test]
+    fn raw_halves_enable_bit_serial() {
+        let mut r = rng();
+        let w = random_bits(3, 12, 9);
+        let mut mapped = OpticalTacitMapped::program(&w, 32, 8, 4, &mut r).unwrap();
+        let p = BitVec::from_bools(&(0..12).map(|i| i % 3 == 0).collect::<Vec<_>>());
+        let zero = BitVec::zeros(12);
+        let counts = mapped
+            .execute_wdm_raw(&[(p.clone(), zero.clone()), (zero, p.clone())], &mut r)
+            .unwrap();
+        for j in 0..3 {
+            let signed: i32 = (0..12)
+                .map(|i| {
+                    if p.get(i) == Some(true) {
+                        if w.get(j, i) == Some(true) {
+                            1
+                        } else {
+                            -1
+                        }
+                    } else {
+                        0
+                    }
+                })
+                .sum();
+            assert_eq!(counts[0][j] as i32 - counts[1][j] as i32, signed);
+        }
+    }
+
+    #[test]
+    fn fan_in_checked() {
+        let mut r = rng();
+        let w = random_bits(2, 6, 2);
+        let mut mapped = OpticalTacitMapped::program(&w, 16, 4, 2, &mut r).unwrap();
+        assert!(mapped.execute_wdm(&[BitVec::zeros(7)], &mut r).is_err());
+    }
+}

@@ -1,0 +1,608 @@
+//! The instruction-level simulator: executes a [`CompiledNetwork`]
+//! functionally (bit-exact against the `eb-bitnn` reference in noiseless
+//! configurations) while accumulating per-instruction latency and energy
+//! from the design's cost constants.
+
+use crate::compiler::{CompiledNetwork, MappedVcore};
+use crate::configs::{Design, DesignKind};
+use crate::isa::Instruction;
+use eb_bitnn::{ops, BitVec, Tensor};
+use rand::Rng;
+use std::collections::HashMap;
+use std::error::Error;
+use std::fmt;
+
+/// Execution statistics of one simulated inference.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct SimStats {
+    /// Instructions retired.
+    pub instructions: u64,
+    /// Crossbar activations (VMM steps; an MMM counts once).
+    pub crossbar_steps: u64,
+    /// WDM lanes carried across all MMMs.
+    pub wdm_lanes: u64,
+    /// Scalar/vector FU operations.
+    pub scalar_ops: u64,
+    /// Modeled latency, nanoseconds.
+    pub latency_ns: f64,
+    /// Modeled energy, joules.
+    pub energy_j: f64,
+    /// Per-opcode retired counts.
+    pub per_opcode: HashMap<&'static str, u64>,
+}
+
+/// Simulation errors.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum SimError {
+    /// An instruction referenced an out-of-range or empty register.
+    BadRegister(usize),
+    /// Crossbar or optical execution failed.
+    Execution(String),
+    /// The input tensor does not match the compiled network.
+    BadInput {
+        /// Expected element count.
+        expected: usize,
+        /// Received element count.
+        got: usize,
+    },
+    /// The program ended without a `Halt`.
+    NoHalt,
+}
+
+impl fmt::Display for SimError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadRegister(r) => write!(f, "register r{r} read before write"),
+            Self::Execution(s) => write!(f, "crossbar execution failed: {s}"),
+            Self::BadInput { expected, got } => {
+                write!(f, "input has {got} elements, network expects {expected}")
+            }
+            Self::NoHalt => write!(f, "program ended without halt"),
+        }
+    }
+}
+
+impl Error for SimError {}
+
+/// The simulated ECore machine.
+#[derive(Debug)]
+pub struct Machine<'a, R: Rng> {
+    net: &'a mut CompiledNetwork,
+    design: Design,
+    regs: Vec<Option<Vec<f64>>>,
+    rng: &'a mut R,
+    stats: SimStats,
+}
+
+impl<'a, R: Rng> Machine<'a, R> {
+    /// Prepares a machine for a compiled network.
+    pub fn new(net: &'a mut CompiledNetwork, design: &Design, rng: &'a mut R) -> Self {
+        let regs = vec![None; net.register_count.max(1)];
+        Self {
+            net,
+            design: design.clone(),
+            regs,
+            rng,
+            stats: SimStats::default(),
+        }
+    }
+
+    fn reg(&self, r: usize) -> Result<&Vec<f64>, SimError> {
+        self.regs
+            .get(r)
+            .and_then(Option::as_ref)
+            .ok_or(SimError::BadRegister(r))
+    }
+
+    fn set_reg(&mut self, r: usize, v: Vec<f64>) {
+        if r >= self.regs.len() {
+            self.regs.resize(r + 1, None);
+        }
+        self.regs[r] = Some(v);
+    }
+
+    fn bits_of(&self, r: usize) -> Result<BitVec, SimError> {
+        Ok(self
+            .reg(r)?
+            .iter()
+            .map(|&x| x >= 0.5)
+            .collect())
+    }
+
+    fn charge_scalar(&mut self, elems: usize) {
+        // ECore vector FU: 8 lanes at 1 GHz, ~0.1 pJ per element op.
+        self.stats.scalar_ops += elems as u64;
+        self.stats.latency_ns += elems.div_ceil(8) as f64;
+        self.stats.energy_j += elems as f64 * 0.1e-12;
+    }
+
+    fn charge_crossbar(&mut self, out_vectors: usize, footprint: usize, lanes: usize) {
+        let xbar = &self.design.xbar;
+        let cols = out_vectors.min(xbar.cols);
+        let step_ns = xbar.timings.vmm_step_ns(cols * lanes.max(1), xbar.n_adcs);
+        self.stats.crossbar_steps += 1;
+        self.stats.wdm_lanes += lanes as u64;
+        self.stats.latency_ns += step_ns;
+        let energy = match (&self.design.kind, &self.design.optical) {
+            (DesignKind::EinsteinBarrier, Some(opt)) => {
+                opt.step_energy_j(lanes.max(1), xbar.rows, cols)
+                    + (cols * lanes.max(1)) as f64 * xbar.energies.e_adc_pj * 1e-12
+            }
+            _ => xbar.energies.vmm_step_joules(
+                xbar.rows,
+                xbar.rows * cols / 2,
+                cols * lanes.max(1),
+            ),
+        };
+        self.stats.energy_j += energy * footprint as f64;
+    }
+
+    /// Runs the program on one input, returning the logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`SimError`] on malformed programs or execution failures.
+    pub fn run(&mut self, input: &Tensor) -> Result<Tensor, SimError> {
+        let expected = self.net.input_shape.len();
+        if input.len() != expected {
+            return Err(SimError::BadInput {
+                expected,
+                got: input.len(),
+            });
+        }
+        let program = self.net.program.clone();
+        for instr in program.instructions() {
+            self.stats.instructions += 1;
+            *self
+                .stats
+                .per_opcode
+                .entry(opcode_name(instr))
+                .or_default() += 1;
+            match instr {
+                Instruction::LoadInput { dst, bits } => {
+                    // Quantize then offset to unsigned (x' = q + 127).
+                    let q = input.quantize(*bits);
+                    let v: Vec<f64> = q.iter().map(|&x| f64::from(x) + 127.0).collect();
+                    let n = v.len();
+                    self.set_reg(*dst, v);
+                    self.charge_scalar(n);
+                }
+                Instruction::Mov { dst, src } => {
+                    let v = self.reg(*src)?.clone();
+                    self.set_reg(*dst, v);
+                }
+                Instruction::Fill { dst, value, len } => {
+                    self.set_reg(*dst, vec![*value; *len]);
+                }
+                Instruction::Const { dst, values } => {
+                    self.set_reg(*dst, values.clone());
+                }
+                Instruction::Not { dst, src } => {
+                    let v: Vec<f64> = self
+                        .reg(*src)?
+                        .iter()
+                        .map(|&x| if x >= 0.5 { 0.0 } else { 1.0 })
+                        .collect();
+                    let n = v.len();
+                    self.set_reg(*dst, v);
+                    self.charge_scalar(n);
+                }
+                Instruction::BitSlice { dst, src, bit } => {
+                    let v: Vec<f64> = self
+                        .reg(*src)?
+                        .iter()
+                        .map(|&x| {
+                            let i = x.max(0.0).round() as u64;
+                            f64::from(((i >> bit) & 1) as u32)
+                        })
+                        .collect();
+                    let n = v.len();
+                    self.set_reg(*dst, v);
+                    self.charge_scalar(n);
+                }
+                Instruction::ShiftAdd { dst, src, shift } => {
+                    let add = self.reg(*src)?.clone();
+                    let scale = 2f64.powi(*shift);
+                    let mut acc = self.reg(*dst)?.clone();
+                    if acc.len() != add.len() {
+                        return Err(SimError::Execution(format!(
+                            "shift-add length mismatch: {} vs {}",
+                            acc.len(),
+                            add.len()
+                        )));
+                    }
+                    for (a, b) in acc.iter_mut().zip(&add) {
+                        *a += b * scale;
+                    }
+                    let n = acc.len();
+                    self.set_reg(*dst, acc);
+                    self.charge_scalar(n);
+                }
+                Instruction::Alu { op, dst, a, b } => {
+                    let x = self.reg(*a)?.clone();
+                    let y = self.reg(*b)?.clone();
+                    if x.len() != y.len() {
+                        return Err(SimError::Execution(format!(
+                            "alu length mismatch: {} vs {}",
+                            x.len(),
+                            y.len()
+                        )));
+                    }
+                    let v: Vec<f64> = x
+                        .iter()
+                        .zip(&y)
+                        .map(|(&p, &q)| match op {
+                            crate::isa::AluOp::Add => p + q,
+                            crate::isa::AluOp::Sub => p - q,
+                            crate::isa::AluOp::Max => p.max(q),
+                        })
+                        .collect();
+                    let n = v.len();
+                    self.set_reg(*dst, v);
+                    self.charge_scalar(n);
+                }
+                Instruction::Scale { dst, src, scale } => {
+                    let v: Vec<f64> = self.reg(*src)?.iter().map(|&x| x * scale).collect();
+                    let n = v.len();
+                    self.set_reg(*dst, v);
+                    self.charge_scalar(n);
+                }
+                Instruction::Window {
+                    dst,
+                    src,
+                    channels,
+                    height,
+                    width,
+                    kernel,
+                    stride,
+                    pad,
+                    oy,
+                    ox,
+                } => {
+                    let map = self.reg(*src)?.clone();
+                    let mut v = vec![0.0; channels * kernel * kernel];
+                    for c in 0..*channels {
+                        for ky in 0..*kernel {
+                            for kx in 0..*kernel {
+                                let iy = (oy * stride + ky) as isize - *pad as isize;
+                                let ix = (ox * stride + kx) as isize - *pad as isize;
+                                if iy < 0 || ix < 0 {
+                                    continue;
+                                }
+                                let (iy, ix) = (iy as usize, ix as usize);
+                                if iy >= *height || ix >= *width {
+                                    continue;
+                                }
+                                v[(c * kernel + ky) * kernel + kx] =
+                                    map[(c * height + iy) * width + ix];
+                            }
+                        }
+                    }
+                    let n = v.len();
+                    self.set_reg(*dst, v);
+                    self.charge_scalar(n);
+                }
+                Instruction::Scatter {
+                    dst,
+                    src,
+                    out_channels,
+                    oh,
+                    ow,
+                    oy,
+                    ox,
+                } => {
+                    let bits = self.reg(*src)?.clone();
+                    let mut map = self.reg(*dst)?.clone();
+                    for f in 0..*out_channels {
+                        map[(f * oh + oy) * ow + ox] = bits[f];
+                    }
+                    self.set_reg(*dst, map);
+                    self.charge_scalar(*out_channels);
+                }
+                Instruction::Vmm {
+                    vcore,
+                    dst,
+                    pos,
+                    neg,
+                } => {
+                    let p = self.bits_of(*pos)?;
+                    let n = self.bits_of(*neg)?;
+                    let counts = match &mut self.net.vcores[*vcore] {
+                        MappedVcore::Electronic(m) => m
+                            .execute_raw(&p, &n, self.rng)
+                            .map_err(|e| SimError::Execution(e.to_string()))?,
+                        MappedVcore::Optical(m) => m
+                            .execute_wdm_raw(&[(p, n)], self.rng)
+                            .map_err(|e| SimError::Execution(e.to_string()))?
+                            .remove(0),
+                    };
+                    self.set_reg(*dst, counts.iter().map(|&c| f64::from(c)).collect());
+                    let (ov, fp) = {
+                        let v = &self.net.vcores[*vcore];
+                        (v.out_vectors(), v.footprint())
+                    };
+                    self.charge_crossbar(ov, fp, 1);
+                }
+                Instruction::Mmm { vcore, lanes } => {
+                    let drives: Vec<(BitVec, BitVec)> = lanes
+                        .iter()
+                        .map(|l| Ok((self.bits_of(l.pos)?, self.bits_of(l.neg)?)))
+                        .collect::<Result<_, SimError>>()?;
+                    let counts = match &mut self.net.vcores[*vcore] {
+                        MappedVcore::Optical(m) => m
+                            .execute_wdm_raw(&drives, self.rng)
+                            .map_err(|e| SimError::Execution(e.to_string()))?,
+                        MappedVcore::Electronic(m) => {
+                            // Electronic fallback: serialize the lanes.
+                            let mut out = Vec::with_capacity(drives.len());
+                            for (p, n) in &drives {
+                                out.push(
+                                    m.execute_raw(p, n, self.rng)
+                                        .map_err(|e| SimError::Execution(e.to_string()))?,
+                                );
+                            }
+                            out
+                        }
+                    };
+                    for (lane, lane_counts) in lanes.iter().zip(counts) {
+                        self.set_reg(
+                            lane.dst,
+                            lane_counts.iter().map(|&c| f64::from(c)).collect(),
+                        );
+                    }
+                    let (ov, fp) = {
+                        let v = &self.net.vcores[*vcore];
+                        (v.out_vectors(), v.footprint())
+                    };
+                    self.charge_crossbar(ov, fp, lanes.len());
+                }
+                Instruction::Threshold { dst, src, table } => {
+                    let specs = self.net.tables[*table].clone();
+                    let v: Vec<f64> = self
+                        .reg(*src)?
+                        .iter()
+                        .zip(&specs)
+                        .map(|(&x, spec)| {
+                            if spec.fire(x.round() as i64) {
+                                1.0
+                            } else {
+                                0.0
+                            }
+                        })
+                        .collect();
+                    let n = v.len();
+                    self.set_reg(*dst, v);
+                    self.charge_scalar(n);
+                }
+                Instruction::MaxPool2 {
+                    dst,
+                    src,
+                    channels,
+                    height,
+                    width,
+                } => {
+                    let map = self.reg(*src)?.clone();
+                    let (oh, ow) = (height / 2, width / 2);
+                    let mut v = vec![0.0; channels * oh * ow];
+                    for c in 0..*channels {
+                        for y in 0..oh {
+                            for x in 0..ow {
+                                let mut m = 0.0f64;
+                                for dy in 0..2 {
+                                    for dx in 0..2 {
+                                        m = m.max(
+                                            map[(c * height + 2 * y + dy) * width + 2 * x + dx],
+                                        );
+                                    }
+                                }
+                                v[(c * oh + y) * ow + x] = m;
+                            }
+                        }
+                    }
+                    let n = v.len();
+                    self.set_reg(*dst, v);
+                    self.charge_scalar(n);
+                }
+                Instruction::OutputFc { dst, src, layer } => {
+                    let bits = self.bits_of(*src)?;
+                    let (w, b) = &self.net.output_layers[*layer];
+                    let logits = ops::output_logits(&bits, w, b);
+                    let n = logits.len() * bits.len();
+                    self.set_reg(*dst, logits.iter().map(|&x| f64::from(x)).collect());
+                    self.charge_scalar(n);
+                }
+                Instruction::Halt { result } => {
+                    let v = self.reg(*result)?.clone();
+                    let out: Vec<f32> = v.iter().map(|&x| x as f32).collect();
+                    return Ok(Tensor::from_vec(&[out.len()], out));
+                }
+            }
+        }
+        Err(SimError::NoHalt)
+    }
+
+    /// Statistics accumulated so far.
+    pub fn stats(&self) -> &SimStats {
+        &self.stats
+    }
+}
+
+fn opcode_name(i: &Instruction) -> &'static str {
+    match i {
+        Instruction::LoadInput { .. } => "ldin",
+        Instruction::Mov { .. } => "mov",
+        Instruction::Fill { .. } => "fill",
+        Instruction::Const { .. } => "const",
+        Instruction::Not { .. } => "not",
+        Instruction::Window { .. } => "window",
+        Instruction::Scatter { .. } => "scatter",
+        Instruction::BitSlice { .. } => "bits",
+        Instruction::ShiftAdd { .. } => "shadd",
+        Instruction::Alu { .. } => "alu",
+        Instruction::Scale { .. } => "scale",
+        Instruction::Vmm { .. } => "vmm",
+        Instruction::Mmm { .. } => "mmm",
+        Instruction::Threshold { .. } => "thr",
+        Instruction::MaxPool2 { .. } => "pool2",
+        Instruction::OutputFc { .. } => "outfc",
+        Instruction::Halt { .. } => "halt",
+    }
+}
+
+/// Compiles and runs one input on a design, returning
+/// `(logits, statistics)` — the top-level "simulate an inference" entry
+/// point.
+///
+/// # Errors
+///
+/// Propagates compile and simulation errors (boxed, since they come from
+/// different stages).
+pub fn simulate_inference(
+    design: &Design,
+    net: &eb_bitnn::Bnn,
+    input: &Tensor,
+    rng: &mut impl Rng,
+) -> Result<(Tensor, SimStats), Box<dyn Error>> {
+    let mut compiled = crate::compiler::compile(design, net, rng)?;
+    let mut machine = Machine::new(&mut compiled, design, rng);
+    let logits = machine.run(input)?;
+    let stats = machine.stats().clone();
+    Ok((logits, stats))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::configs::Design;
+    use eb_bitnn::{BinLinear, Bnn, FixedLinear, Layer, OutputLinear, Shape};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn tiny_mlp(seed: u64) -> Bnn {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Bnn::new(
+            "tiny",
+            Shape::Flat(20),
+            vec![
+                Layer::FixedLinear(FixedLinear::random("in", 20, 12, &mut rng)),
+                Layer::BinLinear(BinLinear::random("h1", 12, 10, &mut rng)),
+                Layer::BinLinear(BinLinear::random("h2", 10, 8, &mut rng)),
+                Layer::Output(OutputLinear::random("out", 8, 4, &mut rng)),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn test_input(seed: u64) -> Tensor {
+        Tensor::from_fn(&[20], |i| ((i as f32 + seed as f32) * 0.37).sin())
+    }
+
+    #[test]
+    fn electronic_simulation_matches_reference() {
+        let net = tiny_mlp(1);
+        let design = Design::tacitmap_epcm();
+        let mut rng = StdRng::seed_from_u64(2);
+        for s in 0..5u64 {
+            let x = test_input(s);
+            let want = net.forward(&x).unwrap();
+            let (got, _) = simulate_inference(&design, &net, &x, &mut rng).unwrap();
+            assert_eq!(got, want, "input {s}");
+        }
+    }
+
+    #[test]
+    fn optical_simulation_matches_reference() {
+        let net = tiny_mlp(3);
+        let design = Design::einstein_barrier();
+        let mut rng = StdRng::seed_from_u64(5);
+        for s in 0..5u64 {
+            let x = test_input(s);
+            let want = net.forward(&x).unwrap();
+            let (got, _) = simulate_inference(&design, &net, &x, &mut rng).unwrap();
+            assert_eq!(got, want, "input {s}");
+        }
+    }
+
+    #[test]
+    fn stats_accumulate_and_eb_uses_fewer_steps() {
+        let net = tiny_mlp(7);
+        let x = test_input(0);
+        let mut rng = StdRng::seed_from_u64(8);
+        let (_, tm) = simulate_inference(&Design::tacitmap_epcm(), &net, &x, &mut rng).unwrap();
+        let (_, eb) = simulate_inference(&Design::einstein_barrier(), &net, &x, &mut rng).unwrap();
+        assert!(tm.instructions > 0 && tm.crossbar_steps > 0);
+        assert!(tm.latency_ns > 0.0 && tm.energy_j > 0.0);
+        // The bit-serial (plane, 0)/(0, plane) pairs ride one MMM on EB.
+        assert!(
+            eb.crossbar_steps < tm.crossbar_steps,
+            "EB {} vs TM {}",
+            eb.crossbar_steps,
+            tm.crossbar_steps
+        );
+        assert!(eb.per_opcode.contains_key("mmm"));
+        assert!(tm.per_opcode.contains_key("vmm"));
+    }
+
+    #[test]
+    fn cnn_simulation_matches_reference_on_both_designs() {
+        // Small LeNet-style CNN: FixedConv (bit-serial) + pool + BinConv +
+        // flatten + BinLinear + output, on a 12×12 synthetic image.
+        let mut rng = StdRng::seed_from_u64(21);
+        let net = Bnn::new(
+            "mini-cnn",
+            Shape::Img(1, 12, 12),
+            vec![
+                Layer::FixedConv(eb_bitnn::FixedConv::random("c1", 1, 4, 3, 1, 0, &mut rng)),
+                Layer::MaxPool2,
+                Layer::BinConv(eb_bitnn::BinConv::random("c2", 4, 6, 3, 1, 0, &mut rng)),
+                Layer::Flatten,
+                Layer::BinLinear(BinLinear::random("fc1", 6 * 3 * 3, 16, &mut rng)),
+                Layer::Output(OutputLinear::random("out", 16, 4, &mut rng)),
+            ],
+        )
+        .unwrap();
+        let x = Tensor::from_fn(&[1, 12, 12], |i| ((i as f32) * 0.21).sin());
+        let want = net.forward(&x).unwrap();
+        for design in [Design::tacitmap_epcm(), Design::einstein_barrier()] {
+            let (got, stats) = simulate_inference(&design, &net, &x, &mut rng).unwrap();
+            assert_eq!(got, want, "{}", design.kind);
+            assert!(stats.crossbar_steps > 0);
+        }
+    }
+
+    #[test]
+    fn padded_cnn_simulation_is_exact() {
+        // Same-padded convs exercise the per-window offset correction of
+        // the bit-serial lowering (pad positions never carry the +127
+        // quantization offset).
+        let mut rng = StdRng::seed_from_u64(31);
+        let net = Bnn::new(
+            "pad-cnn",
+            Shape::Img(2, 6, 6),
+            vec![
+                Layer::FixedConv(eb_bitnn::FixedConv::random("c1", 2, 4, 3, 1, 1, &mut rng)),
+                Layer::BinConv(eb_bitnn::BinConv::random("c2", 4, 4, 3, 1, 1, &mut rng)),
+                Layer::MaxPool2,
+                Layer::Flatten,
+                Layer::Output(OutputLinear::random("out", 4 * 3 * 3, 3, &mut rng)),
+            ],
+        )
+        .unwrap();
+        let x = Tensor::from_fn(&[2, 6, 6], |i| ((i as f32) * 0.43).cos());
+        let want = net.forward(&x).unwrap();
+        for design in [Design::tacitmap_epcm(), Design::einstein_barrier()] {
+            let (got, _) = simulate_inference(&design, &net, &x, &mut rng).unwrap();
+            assert_eq!(got, want, "{}", design.kind);
+        }
+    }
+
+    #[test]
+    fn bad_input_rejected() {
+        let net = tiny_mlp(9);
+        let design = Design::tacitmap_epcm();
+        let mut rng = StdRng::seed_from_u64(1);
+        let err = simulate_inference(&design, &net, &Tensor::zeros(&[21]), &mut rng);
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,344 @@
+//! Functional TacitMap: programs binary weight matrices onto 1T1R
+//! crossbars in the paper's vertical layout and executes XNOR+popcount
+//! through real analog VMM simulation.
+//!
+//! Layout (paper Fig. 2-(b)/Fig. 3-(b)): weight vector `Wⱼ` occupies
+//! column `j`; its first `m` rows hold `Wⱼ` and the next `m` rows hold
+//! `W̄ⱼ`. The input drive is `[In ; Īn]`. The column's AND-accumulation
+//! then equals `popcount(In ⊙ Wⱼ)`, read in **one step** from the ADC.
+//!
+//! Layers larger than one crossbar are chunked: row chunks produce
+//! additive partial popcounts (summed digitally), column chunks extend
+//! the output range, and all chunks fire in the same step.
+
+use crate::error::MappingError;
+use eb_bitnn::{ops, BitMatrix, BitVec};
+use eb_xbar::{CrossbarArray, VmmEngine, XbarConfig};
+use rand::Rng;
+
+/// A binary weight matrix programmed onto crossbars in TacitMap layout.
+///
+/// # Examples
+///
+/// ```
+/// use eb_mapping::TacitMapped;
+/// use eb_bitnn::{ops, BitMatrix, BitVec};
+/// use eb_xbar::XbarConfig;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let weights = BitMatrix::from_fn(4, 6, |r, c| (r + c) % 2 == 0);
+/// let mut mapped = TacitMapped::program(&weights, &XbarConfig::new(16, 8), &mut rng)?;
+/// let input = BitVec::from_bools(&[true, false, true, true, false, true]);
+/// let pops = mapped.execute(&input, &mut rng)?;
+/// assert_eq!(pops, ops::binary_linear_popcounts(&input, &weights));
+/// # Ok::<(), eb_mapping::MappingError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct TacitMapped {
+    /// `engines[row_chunk][col_chunk]`.
+    engines: Vec<Vec<VmmEngine>>,
+    m: usize,
+    n: usize,
+    chunk_len: usize,
+    cfg: XbarConfig,
+    executions: u64,
+}
+
+impl TacitMapped {
+    /// Programs `weights` (one weight vector per row, fan-in = columns)
+    /// onto as many crossbars as the layout needs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::EmptyWeights`] for an empty matrix or
+    /// [`MappingError::CrossbarTooSmall`] when a crossbar cannot hold even
+    /// one weight bit and its complement.
+    pub fn program(
+        weights: &BitMatrix,
+        cfg: &XbarConfig,
+        rng: &mut impl Rng,
+    ) -> Result<Self, MappingError> {
+        if weights.rows() == 0 || weights.cols() == 0 {
+            return Err(MappingError::EmptyWeights);
+        }
+        let chunk_len = cfg.tacitmap_chunk_rows();
+        if chunk_len == 0 || cfg.cols == 0 {
+            return Err(MappingError::CrossbarTooSmall {
+                rows: cfg.rows,
+                cols: cfg.cols,
+            });
+        }
+        let m = weights.cols();
+        let n = weights.rows();
+        let row_chunks = m.div_ceil(chunk_len);
+        let col_chunks = n.div_ceil(cfg.cols);
+        let mut engines = Vec::with_capacity(row_chunks);
+        for rc in 0..row_chunks {
+            let lo = rc * chunk_len;
+            let hi = (lo + chunk_len).min(m);
+            let len = hi - lo;
+            let mut row = Vec::with_capacity(col_chunks);
+            for cc in 0..col_chunks {
+                let jlo = cc * cfg.cols;
+                let jhi = (jlo + cfg.cols).min(n);
+                // Build the [w ; w̄] column block for vectors jlo..jhi.
+                let block = BitMatrix::from_fn(2 * len, jhi - jlo, |r, j| {
+                    let w = weights.row(jlo + j);
+                    if r < len {
+                        w.get(lo + r) == Some(true)
+                    } else {
+                        w.get(lo + r - len) == Some(false)
+                    }
+                });
+                let mut array = CrossbarArray::new(cfg.rows, cfg.cols, cfg.device.clone());
+                array
+                    .program_matrix(&block, rng)
+                    .map_err(MappingError::Xbar)?;
+                row.push(VmmEngine::with_defaults(array));
+            }
+            engines.push(row);
+        }
+        Ok(Self {
+            engines,
+            m,
+            n,
+            chunk_len,
+            cfg: cfg.clone(),
+            executions: 0,
+        })
+    }
+
+    /// Fan-in (weight-vector length).
+    pub fn fan_in(&self) -> usize {
+        self.m
+    }
+
+    /// Number of stored weight vectors.
+    pub fn out_vectors(&self) -> usize {
+        self.n
+    }
+
+    /// Crossbars occupied (the footprint).
+    pub fn footprint(&self) -> usize {
+        self.engines.iter().map(Vec::len).sum()
+    }
+
+    /// Crossbar steps taken so far (one per executed input vector — the
+    /// paper's single-step XNOR+Popcount).
+    pub fn steps_taken(&self) -> u64 {
+        self.executions
+    }
+
+    /// Executes one input vector: a single parallel crossbar activation
+    /// across all chunks, returning `popcount(input ⊙ Wⱼ)` for every `j`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::InputLength`] on fan-in mismatch.
+    pub fn execute(&mut self, input: &BitVec, rng: &mut impl Rng) -> Result<Vec<u32>, MappingError> {
+        let complement = input.complement();
+        self.execute_raw(input, &complement, rng)
+    }
+
+    /// Low-level activation with independent drives on the weight half
+    /// (`pos`) and the complement half (`neg`) of each column.
+    ///
+    /// `execute(v)` equals `execute_raw(v, v̄)`. Bit-serial fixed-point
+    /// layers instead drive `(plane, 0)` and `(0, plane)` to read
+    /// `popcount(plane ∧ w)` and `popcount(plane ∧ w̄)` separately, whose
+    /// difference is the signed bit-plane contribution `Σ plane_i·wᵢ`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::InputLength`] when either half's length
+    /// differs from the fan-in.
+    pub fn execute_raw(
+        &mut self,
+        pos: &BitVec,
+        neg: &BitVec,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<u32>, MappingError> {
+        if pos.len() != self.m || neg.len() != self.m {
+            return Err(MappingError::InputLength {
+                expected: self.m,
+                got: if pos.len() != self.m {
+                    pos.len()
+                } else {
+                    neg.len()
+                },
+            });
+        }
+        let mut acc = vec![0u32; self.n];
+        for (rc, row) in self.engines.iter().enumerate() {
+            let lo = rc * self.chunk_len;
+            let hi = (lo + self.chunk_len).min(self.m);
+            let len = hi - lo;
+            // Drive [pos ; neg] padded with zeros to the physical rows.
+            let mut drive = BitVec::zeros(self.cfg.rows);
+            for i in 0..len {
+                if pos.get(lo + i) == Some(true) {
+                    drive.set(i, true);
+                }
+                if neg.get(lo + i) == Some(true) {
+                    drive.set(len + i, true);
+                }
+            }
+            for (cc, engine) in row.iter().enumerate() {
+                let jlo = cc * self.cfg.cols;
+                let jhi = (jlo + self.cfg.cols).min(self.n);
+                let counts = engine
+                    .vmm_counts_cols(&drive, 0, jhi - jlo, rng)
+                    .map_err(MappingError::Xbar)?;
+                for (j, c) in counts.into_iter().enumerate() {
+                    acc[jlo + j] += c;
+                }
+            }
+        }
+        self.executions += 1;
+        Ok(acc)
+    }
+
+    /// Reference check: executes and compares against the software kernel.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::Mismatch`] when any column disagrees with
+    /// [`ops::binary_linear_popcounts`] (expected only under injected
+    /// noise).
+    pub fn execute_verified(
+        &mut self,
+        input: &BitVec,
+        weights: &BitMatrix,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<u32>, MappingError> {
+        let got = self.execute(input, rng)?;
+        let want = ops::binary_linear_popcounts(input, weights);
+        if got != want {
+            return Err(MappingError::Mismatch {
+                mapping: "TacitMap",
+            });
+        }
+        Ok(got)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(21)
+    }
+
+    fn random_bits(rows: usize, cols: usize, seed: u64) -> BitMatrix {
+        BitMatrix::from_fn(rows, cols, |r, c| {
+            (seed.wrapping_mul((r * cols + c) as u64 + 11)) % 3 == 0
+        })
+    }
+
+    #[test]
+    fn single_crossbar_exact() {
+        let mut r = rng();
+        let w = random_bits(8, 16, 5);
+        let mut mapped = TacitMapped::program(&w, &XbarConfig::new(64, 16), &mut r).unwrap();
+        assert_eq!(mapped.footprint(), 1);
+        for seed in 0..5u64 {
+            let input =
+                BitVec::from_bools(&(0..16).map(|i| (i as u64 * seed) % 4 < 2).collect::<Vec<_>>());
+            let got = mapped.execute(&input, &mut r).unwrap();
+            assert_eq!(got, ops::binary_linear_popcounts(&input, &w));
+        }
+        assert_eq!(mapped.steps_taken(), 5);
+    }
+
+    #[test]
+    fn row_chunked_layer_exact() {
+        // fan-in 100 on a 64-row crossbar (chunk 32): 4 row chunks.
+        let mut r = rng();
+        let w = random_bits(10, 100, 9);
+        let cfg = XbarConfig::new(64, 16);
+        let mut mapped = TacitMapped::program(&w, &cfg, &mut r).unwrap();
+        assert_eq!(mapped.footprint(), 4);
+        let input = BitVec::from_bools(&(0..100).map(|i| i % 3 != 1).collect::<Vec<_>>());
+        let got = mapped.execute(&input, &mut r).unwrap();
+        assert_eq!(got, ops::binary_linear_popcounts(&input, &w));
+    }
+
+    #[test]
+    fn col_chunked_layer_exact() {
+        // 40 outputs on 16-column crossbars: 3 column chunks.
+        let mut r = rng();
+        let w = random_bits(40, 20, 13);
+        let cfg = XbarConfig::new(64, 16);
+        let mut mapped = TacitMapped::program(&w, &cfg, &mut r).unwrap();
+        assert_eq!(mapped.footprint(), 3);
+        let input = BitVec::from_bools(&(0..20).map(|i| i % 2 == 0).collect::<Vec<_>>());
+        let got = mapped.execute_verified(&input, &w, &mut r).unwrap();
+        assert_eq!(got.len(), 40);
+    }
+
+    #[test]
+    fn both_dimensions_chunked_exact() {
+        let mut r = rng();
+        let w = random_bits(37, 75, 17);
+        let cfg = XbarConfig::new(32, 16); // chunk 16 rows, 16 cols
+        let mut mapped = TacitMapped::program(&w, &cfg, &mut r).unwrap();
+        assert_eq!(mapped.footprint(), 5 * 3);
+        let input = BitVec::from_bools(&(0..75).map(|i| (i * 7) % 5 < 3).collect::<Vec<_>>());
+        let got = mapped.execute(&input, &mut r).unwrap();
+        assert_eq!(got, ops::binary_linear_popcounts(&input, &w));
+    }
+
+    #[test]
+    fn execute_raw_splits_pos_neg() {
+        // popcount(p ∧ w) via (p, 0) and popcount(p ∧ w̄) via (0, p): the
+        // difference is the signed binary-weighted sum Σ pᵢ·wᵢ (w ∈ ±1).
+        let mut r = rng();
+        let w = random_bits(5, 40, 23);
+        let cfg = XbarConfig::new(32, 8);
+        let mut mapped = TacitMapped::program(&w, &cfg, &mut r).unwrap();
+        let p = BitVec::from_bools(&(0..40).map(|i| i % 4 == 0).collect::<Vec<_>>());
+        let zero = BitVec::zeros(40);
+        let plus = mapped.execute_raw(&p, &zero, &mut r).unwrap();
+        let minus = mapped.execute_raw(&zero, &p, &mut r).unwrap();
+        for j in 0..5 {
+            let expect: i32 = (0..40)
+                .map(|i| {
+                    if p.get(i) == Some(true) {
+                        if w.get(j, i) == Some(true) {
+                            1
+                        } else {
+                            -1
+                        }
+                    } else {
+                        0
+                    }
+                })
+                .sum();
+            assert_eq!(plus[j] as i32 - minus[j] as i32, expect, "output {j}");
+        }
+    }
+
+    #[test]
+    fn input_length_checked() {
+        let mut r = rng();
+        let w = random_bits(4, 8, 1);
+        let mut mapped = TacitMapped::program(&w, &XbarConfig::new(32, 8), &mut r).unwrap();
+        assert!(matches!(
+            mapped.execute(&BitVec::zeros(9), &mut r),
+            Err(MappingError::InputLength { .. })
+        ));
+    }
+
+    #[test]
+    fn empty_weights_rejected() {
+        let mut r = rng();
+        assert!(matches!(
+            TacitMapped::program(&BitMatrix::zeros(0, 0), &XbarConfig::default(), &mut r),
+            Err(MappingError::EmptyWeights)
+        ));
+    }
+}

@@ -1,0 +1,35 @@
+//! # eb-photonics — Integrated-photonics substrate
+//!
+//! The optical half of EinsteinBarrier (paper Section IV):
+//!
+//! * [`WdmGrid`] — wavelength-division-multiplexing channel grids
+//!   (capacity `K = 16` by default, as the paper assumes).
+//! * [`OpcmParams`]/[`OpcmDevice`] — optical PCM devices in binary (or,
+//!   for the robustness study, multi-level) transmission mode.
+//! * [`Transmitter`] — the Fig. 6 chain: CW laser → microresonator comb →
+//!   DMUX → VOAs → MUX, encoding up to `K` input vectors into one
+//!   [`WdmFrame`].
+//! * [`Receiver`] — photodetector + TIA with shot/thermal/RIN noise.
+//! * [`OpticalCrossbar`] — the oPCM grid computing WDM-parallel MMMs.
+//! * [`power`] — Eq. 2 and Eq. 3 implemented verbatim, plus the
+//!   duty-cycled energy integration documented in DESIGN.md.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod error;
+pub mod noise;
+mod ocrossbar;
+mod opcm;
+pub mod power;
+mod receiver;
+mod transmitter;
+mod wavelength;
+
+pub use error::PhotonicsError;
+pub use ocrossbar::OpticalCrossbar;
+pub use opcm::{OpcmDevice, OpcmParams};
+pub use power::{OpticalCost, OpticalTimings, TransmitterPowerModel, TIA_POWER_MW};
+pub use receiver::{Photodetector, Receiver, Tia};
+pub use transmitter::{Laser, MicroresonatorComb, MuxDemux, Transmitter, Voa, WdmFrame};
+pub use wavelength::{WdmGrid, PAPER_WDM_CAPACITY};

@@ -1,0 +1,101 @@
+//! Optical receiver noise models: shot, thermal and relative intensity
+//! noise. These bound the usable WDM capacity and the number of PCM
+//! levels (the paper's Section II-C robustness argument).
+
+use rand::Rng;
+
+/// Elementary charge (C).
+pub const Q_ELECTRON: f64 = 1.602_176_634e-19;
+/// Boltzmann constant (J/K).
+pub const K_BOLTZMANN: f64 = 1.380_649e-23;
+
+/// Standard normal sample via Box–Muller.
+pub fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// RMS shot-noise current (A) for photocurrent `i_photo` (A) over
+/// bandwidth `bw_hz`: `√(2·q·I·B)`.
+pub fn shot_noise_sigma(i_photo: f64, bw_hz: f64) -> f64 {
+    (2.0 * Q_ELECTRON * i_photo.max(0.0) * bw_hz).sqrt()
+}
+
+/// RMS thermal (Johnson) noise current (A) of load `r_ohm` at `temp_k`
+/// over bandwidth `bw_hz`: `√(4·k·T·B/R)`.
+pub fn thermal_noise_sigma(temp_k: f64, r_ohm: f64, bw_hz: f64) -> f64 {
+    (4.0 * K_BOLTZMANN * temp_k * bw_hz / r_ohm).sqrt()
+}
+
+/// RMS relative-intensity-noise current (A): `I·10^(RIN_dB/20)·√B`
+/// with RIN specified per Hz.
+pub fn rin_noise_sigma(i_photo: f64, rin_db_hz: f64, bw_hz: f64) -> f64 {
+    i_photo.max(0.0) * 10f64.powf(rin_db_hz / 20.0) * bw_hz.sqrt()
+}
+
+/// Aggregate RMS noise current combining the three mechanisms in
+/// quadrature.
+pub fn total_noise_sigma(
+    i_photo: f64,
+    bw_hz: f64,
+    temp_k: f64,
+    r_ohm: f64,
+    rin_db_hz: f64,
+) -> f64 {
+    let s = shot_noise_sigma(i_photo, bw_hz);
+    let t = thermal_noise_sigma(temp_k, r_ohm, bw_hz);
+    let r = rin_noise_sigma(i_photo, rin_db_hz, bw_hz);
+    (s * s + t * t + r * r).sqrt()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn shot_noise_scales_with_sqrt_current() {
+        let a = shot_noise_sigma(1e-6, 1e9);
+        let b = shot_noise_sigma(4e-6, 1e9);
+        assert!((b / a - 2.0).abs() < 1e-9);
+        assert_eq!(shot_noise_sigma(-1.0, 1e9), 0.0);
+    }
+
+    #[test]
+    fn thermal_noise_at_room_temperature_is_plausible() {
+        // 50 Ω load, 10 GHz: tens of µA-class RMS — sanity-check the order.
+        let s = thermal_noise_sigma(300.0, 50.0, 10e9);
+        assert!(s > 1e-7 && s < 1e-4, "σ_thermal = {s}");
+    }
+
+    #[test]
+    fn noise_grows_with_bandwidth() {
+        // The paper's point (via Cardoso et al.): higher operating frequency
+        // ⇒ more noise ⇒ fewer usable levels.
+        let low = total_noise_sigma(10e-6, 1e9, 300.0, 1e4, -140.0);
+        let high = total_noise_sigma(10e-6, 25e9, 300.0, 1e4, -140.0);
+        assert!(high > 2.0 * low);
+    }
+
+    #[test]
+    fn quadrature_combination_bounds() {
+        let s = shot_noise_sigma(5e-6, 5e9);
+        let t = thermal_noise_sigma(300.0, 1e4, 5e9);
+        let r = rin_noise_sigma(5e-6, -145.0, 5e9);
+        let tot = total_noise_sigma(5e-6, 5e9, 300.0, 1e4, -145.0);
+        assert!(tot >= s.max(t).max(r));
+        assert!(tot <= s + t + r);
+    }
+
+    #[test]
+    fn gaussian_is_roughly_standard() {
+        let mut r = StdRng::seed_from_u64(4);
+        let xs: Vec<f64> = (0..20000).map(|_| gaussian(&mut r)).collect();
+        let mean = xs.iter().sum::<f64>() / xs.len() as f64;
+        let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f64>() / xs.len() as f64;
+        assert!(mean.abs() < 0.03, "mean {mean}");
+        assert!((var - 1.0).abs() < 0.05, "var {var}");
+    }
+}

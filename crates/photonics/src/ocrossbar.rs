@@ -1,0 +1,318 @@
+//! The optical crossbar: an oPCM device grid performing WDM-parallel
+//! matrix–matrix multiplication (the paper's MMM, Fig. 5-(b)).
+//!
+//! Each wavelength carries one input vector; every device attenuates all
+//! wavelengths identically (GST absorption is broadband across the C
+//! band); per-column wavelength demultiplexing recovers one accumulated
+//! popcount per (wavelength, column) pair in a single time step.
+
+use crate::error::PhotonicsError;
+use crate::opcm::{OpcmDevice, OpcmParams};
+use crate::receiver::Receiver;
+use crate::transmitter::WdmFrame;
+use eb_bitnn::BitMatrix;
+use rand::Rng;
+
+/// An optical crossbar of binary oPCM devices.
+///
+/// # Examples
+///
+/// ```
+/// use eb_photonics::{OpticalCrossbar, OpcmParams, Transmitter, Receiver};
+/// use eb_bitnn::{BitMatrix, BitVec};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut xbar = OpticalCrossbar::new(4, 2, OpcmParams::ideal_binary());
+/// xbar.program_matrix(&BitMatrix::from_fn(4, 2, |r, _| r % 2 == 0), &mut rng)?;
+/// let tx = Transmitter::with_capacity(4);
+/// let frame = tx.encode(&[BitVec::ones(4)])?;
+/// let counts = xbar.mmm_counts(&frame, &Receiver::ideal(), &mut rng)?;
+/// assert_eq!(counts, vec![vec![2, 2]]);
+/// # Ok::<(), eb_photonics::PhotonicsError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct OpticalCrossbar {
+    rows: usize,
+    cols: usize,
+    params: OpcmParams,
+    devices: Vec<Option<OpcmDevice>>,
+    writes: u64,
+}
+
+impl OpticalCrossbar {
+    /// Creates an unprogrammed optical crossbar.
+    pub fn new(rows: usize, cols: usize, params: OpcmParams) -> Self {
+        Self {
+            rows,
+            cols,
+            params,
+            devices: vec![None; rows * cols],
+            writes: 0,
+        }
+    }
+
+    /// Rows (input waveguides).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Columns (output waveguides).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Device parameters.
+    pub fn params(&self) -> &OpcmParams {
+        &self.params
+    }
+
+    /// Total device writes (endurance accounting).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    fn idx(&self, r: usize, c: usize) -> usize {
+        r * self.cols + c
+    }
+
+    /// Programs one device to a binary state.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::OutOfBounds`] outside the array.
+    pub fn program_bit(
+        &mut self,
+        r: usize,
+        c: usize,
+        bit: bool,
+        rng: &mut impl Rng,
+    ) -> Result<(), PhotonicsError> {
+        if r >= self.rows || c >= self.cols {
+            return Err(PhotonicsError::OutOfBounds {
+                row: r,
+                col: c,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let i = self.idx(r, c);
+        self.devices[i] = Some(OpcmDevice::program_bit(bit, &self.params, rng));
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Programs a bit matrix anchored at the origin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::OutOfBounds`] if the matrix exceeds the
+    /// array.
+    pub fn program_matrix(
+        &mut self,
+        bits: &BitMatrix,
+        rng: &mut impl Rng,
+    ) -> Result<(), PhotonicsError> {
+        if bits.rows() > self.rows || bits.cols() > self.cols {
+            return Err(PhotonicsError::OutOfBounds {
+                row: bits.rows(),
+                col: bits.cols(),
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        for r in 0..bits.rows() {
+            for c in 0..bits.cols() {
+                self.program_bit(r, c, bits.get(r, c) == Some(true), rng)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// Stored bit of a device (`None` if unprogrammed or out of range).
+    pub fn stored_bit(&self, r: usize, c: usize) -> Option<bool> {
+        if r >= self.rows || c >= self.cols {
+            return None;
+        }
+        self.devices[self.idx(r, c)]
+            .as_ref()
+            .map(OpcmDevice::stored_bit)
+    }
+
+    fn transmission(&self, r: usize, c: usize) -> f64 {
+        match &self.devices[self.idx(r, c)] {
+            Some(d) => d.transmission(),
+            // Pristine GST is amorphous (transparent).
+            None => self.params.t_high,
+        }
+    }
+
+    /// One WDM MMM step: all wavelengths of `frame` traverse the crossbar
+    /// simultaneously; returns `counts[k][c]` = recovered AND-accumulation
+    /// of input `k` against column `c`.
+    ///
+    /// The readout is offset-calibrated: the controller knows each input's
+    /// popcount, so the `t_low` leakage of crystalline devices is
+    /// subtracted before rounding (see DESIGN.md).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::DimensionMismatch`] if the frame row count
+    /// differs from the crossbar rows.
+    pub fn mmm_counts(
+        &self,
+        frame: &WdmFrame,
+        receiver: &Receiver,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<Vec<u32>>, PhotonicsError> {
+        if frame.rows() != self.rows {
+            return Err(PhotonicsError::DimensionMismatch {
+                what: "WDM frame rows",
+                expected: self.rows,
+                got: frame.rows(),
+            });
+        }
+        let p_on = frame.on_power_mw();
+        let unit_v = receiver.tia.gain_ohm
+            * receiver.detector.responsivity
+            * (p_on * 1e-3)
+            * (self.params.t_high - self.params.t_low);
+        let mut out = Vec::with_capacity(frame.wavelengths());
+        for (k, row_powers) in frame.powers().iter().enumerate() {
+            let mut counts = Vec::with_capacity(self.cols);
+            for c in 0..self.cols {
+                let power_mw: f64 = (0..self.rows)
+                    .map(|r| row_powers[r] * self.transmission(r, c))
+                    .sum();
+                let v = receiver.receive_mw(power_mw, rng);
+                // Subtract the known offsets: dark current and the t_low
+                // leakage of the input's active rows.
+                let v_dark = receiver.tia.gain_ohm * receiver.detector.dark_current_a;
+                let v_leak = receiver.tia.gain_ohm
+                    * receiver.detector.responsivity
+                    * (p_on * 1e-3)
+                    * self.params.t_low
+                    * frame.active_rows(k) as f64;
+                let count = ((v - v_dark - v_leak) / unit_v).round();
+                counts.push(count.clamp(0.0, self.rows as f64) as u32);
+            }
+            out.push(counts);
+        }
+        Ok(out)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::transmitter::Transmitter;
+    use eb_bitnn::{ops, BitVec};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(8)
+    }
+
+    #[test]
+    fn single_wavelength_vmm_matches_and_accumulate() {
+        let mut r = rng();
+        let bits = BitMatrix::from_fn(8, 3, |a, b| (a * 3 + b) % 4 != 1);
+        let mut xbar = OpticalCrossbar::new(8, 3, OpcmParams::ideal_binary());
+        xbar.program_matrix(&bits, &mut r).unwrap();
+        let tx = Transmitter::with_capacity(4);
+        let v = BitVec::from_bools(&[true, false, true, true, false, false, true, true]);
+        let frame = tx.encode(std::slice::from_ref(&v)).unwrap();
+        let counts = xbar.mmm_counts(&frame, &Receiver::ideal(), &mut r).unwrap();
+        for c in 0..3 {
+            assert_eq!(counts[0][c], v.and(&bits.col(c)).popcount(), "col {c}");
+        }
+    }
+
+    #[test]
+    fn wdm_mmm_equals_stacked_vmms() {
+        // The core WDM claim (Fig. 5): K vectors in one step produce the
+        // same counts as K sequential single-vector steps.
+        let mut r = rng();
+        let bits = BitMatrix::from_fn(16, 5, |a, b| (a + 7 * b) % 3 == 0);
+        let mut xbar = OpticalCrossbar::new(16, 5, OpcmParams::ideal_binary());
+        xbar.program_matrix(&bits, &mut r).unwrap();
+        let tx = Transmitter::with_capacity(4);
+        let vs: Vec<BitVec> = (0..4)
+            .map(|k| BitVec::from_bools(&(0..16).map(|i| (i * (k + 2)) % 5 < 2).collect::<Vec<_>>()))
+            .collect();
+        let frame = tx.encode(&vs).unwrap();
+        let mmm = xbar.mmm_counts(&frame, &Receiver::ideal(), &mut r).unwrap();
+        for (k, v) in vs.iter().enumerate() {
+            let single = tx.encode(std::slice::from_ref(v)).unwrap();
+            let vmm = xbar.mmm_counts(&single, &Receiver::ideal(), &mut r).unwrap();
+            assert_eq!(mmm[k], vmm[0], "wavelength {k}");
+        }
+    }
+
+    #[test]
+    fn tacitmap_on_opcm_recovers_xnor_popcount() {
+        // Full stack: TacitMap column layout + WDM input = Fig. 5-(b).
+        let mut r = rng();
+        let w = BitVec::from_bools(&[true, false, false, true, true]);
+        let column = w.concat(&w.complement());
+        let bits = BitMatrix::from_fn(10, 1, |row, _| column.get(row) == Some(true));
+        let mut xbar = OpticalCrossbar::new(10, 1, OpcmParams::ideal_binary());
+        xbar.program_matrix(&bits, &mut r).unwrap();
+        let tx = Transmitter::with_capacity(8);
+        let inputs: Vec<BitVec> = (0..3)
+            .map(|k| {
+                BitVec::from_bools(&(0..5).map(|i| (i + k) % 2 == 0).collect::<Vec<_>>())
+                    .with_complement()
+            })
+            .collect();
+        let frame = tx.encode(&inputs).unwrap();
+        let counts = xbar.mmm_counts(&frame, &Receiver::ideal(), &mut r).unwrap();
+        for (k, _) in inputs.iter().enumerate() {
+            let v = BitVec::from_bools(&(0..5).map(|i| (i + k) % 2 == 0).collect::<Vec<_>>());
+            assert_eq!(counts[k][0], ops::xnor_popcount(&v, &w), "input {k}");
+        }
+    }
+
+    #[test]
+    fn full_size_column_reads_exactly() {
+        // 256 rows (128-bit chunks + complement) must still read exactly
+        // under the high-extinction defaults.
+        let mut r = rng();
+        let w = BitVec::from_bools(&(0..128).map(|i| i % 3 == 0).collect::<Vec<_>>());
+        let column = w.concat(&w.complement());
+        let bits = BitMatrix::from_fn(256, 1, |row, _| column.get(row) == Some(true));
+        let mut xbar = OpticalCrossbar::new(256, 1, OpcmParams::ideal_binary());
+        xbar.program_matrix(&bits, &mut r).unwrap();
+        let tx = Transmitter::with_capacity(16);
+        let v = BitVec::from_bools(&(0..128).map(|i| i % 2 == 0).collect::<Vec<_>>());
+        let frame = tx.encode(&[v.with_complement()]).unwrap();
+        let counts = xbar.mmm_counts(&frame, &Receiver::ideal(), &mut r).unwrap();
+        assert_eq!(counts[0][0], ops::xnor_popcount(&v, &w));
+    }
+
+    #[test]
+    fn dimension_and_bounds_errors() {
+        let mut r = rng();
+        let mut xbar = OpticalCrossbar::new(4, 2, OpcmParams::ideal_binary());
+        assert!(xbar.program_bit(4, 0, true, &mut r).is_err());
+        let tx = Transmitter::with_capacity(2);
+        let frame = tx.encode(&[BitVec::ones(3)]).unwrap();
+        assert!(matches!(
+            xbar.mmm_counts(&frame, &Receiver::ideal(), &mut r),
+            Err(PhotonicsError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn noisy_receiver_stays_close() {
+        let mut r = rng();
+        let bits = BitMatrix::from_fn(32, 1, |a, _| a % 2 == 0);
+        let mut xbar = OpticalCrossbar::new(32, 1, OpcmParams::ideal_binary());
+        xbar.program_matrix(&bits, &mut r).unwrap();
+        let tx = Transmitter::with_capacity(2);
+        let frame = tx.encode(&[BitVec::ones(32)]).unwrap();
+        let noisy = xbar.mmm_counts(&frame, &Receiver::noisy(), &mut r).unwrap();
+        assert!((i64::from(noisy[0][0]) - 16).abs() <= 3, "count {}", noisy[0][0]);
+    }
+}

@@ -1,0 +1,220 @@
+//! Optical phase-change memory (oPCM) device model.
+//!
+//! A GST-on-waveguide patch attenuates passing light according to its
+//! phase state: crystalline absorbs (low transmission), amorphous is
+//! transparent (high transmission). Used in *binary* mode — the paper's
+//! key robustness argument (Section II-C, citing Cardoso et al. DATE'23):
+//! with realistic noise, multi-level operation degrades accuracy, while
+//! two well-separated levels remain robust.
+
+use crate::error::PhotonicsError;
+use rand::Rng;
+
+/// Optical and non-ideality parameters of an oPCM device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpcmParams {
+    /// Transmission of the fully amorphous (bit 1) state, in `[0, 1]`.
+    pub t_high: f64,
+    /// Transmission of the fully crystalline (bit 0) state, in `[0, 1]`.
+    pub t_low: f64,
+    /// Number of programmable levels (2 = binary, the paper's choice).
+    pub levels: usize,
+    /// Gaussian programming error σ on the transmission (absolute).
+    pub write_sigma: f64,
+}
+
+impl OpcmParams {
+    /// Ideal binary device with high extinction (~25 dB), as required for
+    /// exact binary readout.
+    pub fn ideal_binary() -> Self {
+        Self {
+            t_high: 0.6,
+            t_low: 0.002,
+            levels: 2,
+            write_sigma: 0.0,
+        }
+    }
+
+    /// A realistic device with the given number of levels and programming
+    /// noise — used by the multi-level robustness experiment (DESIGN.md E8).
+    pub fn with_levels(levels: usize, write_sigma: f64) -> Self {
+        Self {
+            levels,
+            write_sigma,
+            ..Self::ideal_binary()
+        }
+    }
+
+    /// Extinction ratio in dB.
+    pub fn extinction_db(&self) -> f64 {
+        10.0 * (self.t_high / self.t_low).log10()
+    }
+
+    /// Nominal transmission of level `l` out of `self.levels` (linearly
+    /// interpolated between `t_low` and `t_high`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `l >= self.levels`.
+    pub fn level_transmission(&self, l: usize) -> f64 {
+        assert!(l < self.levels, "level {l} out of range");
+        if self.levels == 1 {
+            return self.t_high;
+        }
+        self.t_low + (self.t_high - self.t_low) * l as f64 / (self.levels - 1) as f64
+    }
+}
+
+impl Default for OpcmParams {
+    fn default() -> Self {
+        Self::ideal_binary()
+    }
+}
+
+/// One programmed oPCM device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct OpcmDevice {
+    level: usize,
+    transmission: f64,
+}
+
+impl OpcmDevice {
+    /// Programs a binary bit (level 0 or `levels-1`).
+    pub fn program_bit(bit: bool, params: &OpcmParams, rng: &mut impl Rng) -> Self {
+        let level = if bit { params.levels - 1 } else { 0 };
+        Self::program_level(level, params, rng).expect("level derived from params is valid")
+    }
+
+    /// Programs an arbitrary level.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::InvalidLevel`] if `level >= params.levels`.
+    pub fn program_level(
+        level: usize,
+        params: &OpcmParams,
+        rng: &mut impl Rng,
+    ) -> Result<Self, PhotonicsError> {
+        if level >= params.levels {
+            return Err(PhotonicsError::InvalidLevel {
+                level,
+                levels: params.levels,
+            });
+        }
+        let nominal = params.level_transmission(level);
+        let transmission = if params.write_sigma > 0.0 {
+            (nominal + crate::noise::gaussian(rng) * params.write_sigma).clamp(0.0, 1.0)
+        } else {
+            nominal
+        };
+        Ok(Self {
+            level,
+            transmission,
+        })
+    }
+
+    /// Programmed level index.
+    pub fn level(&self) -> usize {
+        self.level
+    }
+
+    /// Stored bit for binary devices (level > 0 reads as 1).
+    pub fn stored_bit(&self) -> bool {
+        self.level > 0
+    }
+
+    /// Optical power transmission factor of the device.
+    pub fn transmission(&self) -> f64 {
+        self.transmission
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(2)
+    }
+
+    #[test]
+    fn binary_levels_are_extremes() {
+        let p = OpcmParams::ideal_binary();
+        let mut r = rng();
+        let d1 = OpcmDevice::program_bit(true, &p, &mut r);
+        let d0 = OpcmDevice::program_bit(false, &p, &mut r);
+        assert_eq!(d1.transmission(), p.t_high);
+        assert_eq!(d0.transmission(), p.t_low);
+        assert!(d1.stored_bit());
+        assert!(!d0.stored_bit());
+    }
+
+    #[test]
+    fn extinction_is_high_for_ideal() {
+        assert!(OpcmParams::ideal_binary().extinction_db() > 20.0);
+    }
+
+    #[test]
+    fn multilevel_interpolates() {
+        let p = OpcmParams::with_levels(4, 0.0);
+        let t: Vec<f64> = (0..4).map(|l| p.level_transmission(l)).collect();
+        assert_eq!(t[0], p.t_low);
+        assert_eq!(t[3], p.t_high);
+        assert!(t[1] < t[2]);
+        // Evenly spaced.
+        assert!(((t[2] - t[1]) - (t[1] - t[0])).abs() < 1e-12);
+    }
+
+    #[test]
+    fn invalid_level_rejected() {
+        let p = OpcmParams::with_levels(4, 0.0);
+        let mut r = rng();
+        assert!(matches!(
+            OpcmDevice::program_level(4, &p, &mut r),
+            Err(PhotonicsError::InvalidLevel { .. })
+        ));
+    }
+
+    #[test]
+    fn write_noise_blurs_levels() {
+        // The Cardoso et al. observation: with programming noise, adjacent
+        // multi-level states overlap while binary states stay separated.
+        let sigma = 0.05;
+        let p8 = OpcmParams::with_levels(8, sigma);
+        let p2 = OpcmParams::with_levels(2, sigma);
+        let mut r = rng();
+        let mut overlap8 = 0;
+        for _ in 0..300 {
+            let a = OpcmDevice::program_level(3, &p8, &mut r).unwrap();
+            let b = OpcmDevice::program_level(4, &p8, &mut r).unwrap();
+            if a.transmission() >= b.transmission() {
+                overlap8 += 1;
+            }
+        }
+        let mut overlap2 = 0;
+        for _ in 0..300 {
+            let a = OpcmDevice::program_level(0, &p2, &mut r).unwrap();
+            let b = OpcmDevice::program_level(1, &p2, &mut r).unwrap();
+            if a.transmission() >= b.transmission() {
+                overlap2 += 1;
+            }
+        }
+        assert!(overlap8 > 30, "8-level neighbours should overlap: {overlap8}");
+        assert_eq!(overlap2, 0, "binary states must stay separable");
+    }
+
+    #[test]
+    fn transmission_clamped_to_physical_range() {
+        let p = OpcmParams {
+            write_sigma: 1.0,
+            ..OpcmParams::ideal_binary()
+        };
+        let mut r = rng();
+        for _ in 0..100 {
+            let d = OpcmDevice::program_bit(true, &p, &mut r);
+            assert!((0.0..=1.0).contains(&d.transmission()));
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! The receiver chain: photodetector + transimpedance amplifier (TIA).
+//!
+//! EinsteinBarrier adds TIAs on every crossbar output to feed the ADCs,
+//! "acting as a deserialization stage" (paper Section IV-A1). Each TIA
+//! consumes 2 mW (the `N × 2 mW` of Eq. 2 — see [`crate::power`]).
+
+use crate::noise;
+use rand::Rng;
+
+/// A PIN photodetector.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Photodetector {
+    /// Responsivity in A/W.
+    pub responsivity: f64,
+    /// Dark current in amps.
+    pub dark_current_a: f64,
+}
+
+impl Photodetector {
+    /// A 0.8 A/W detector with negligible dark current.
+    pub fn pin() -> Self {
+        Self {
+            responsivity: 0.8,
+            dark_current_a: 1e-9,
+        }
+    }
+
+    /// Photocurrent (A) for incident optical power in milliwatts.
+    pub fn photocurrent_a(&self, power_mw: f64) -> f64 {
+        self.responsivity * power_mw * 1e-3 + self.dark_current_a
+    }
+}
+
+/// A transimpedance amplifier converting photocurrent to voltage.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Tia {
+    /// Transimpedance gain in ohms.
+    pub gain_ohm: f64,
+    /// Electrical bandwidth in hertz (sets the noise floor).
+    pub bandwidth_hz: f64,
+    /// Static power draw in milliwatts (Eq. 2 charges 2 mW per TIA).
+    pub power_mw: f64,
+    /// Operating temperature in kelvin.
+    pub temp_k: f64,
+    /// Laser relative intensity noise in dB/Hz.
+    pub rin_db_hz: f64,
+}
+
+impl Tia {
+    /// The paper's TIA: 2 mW, 10 GHz class.
+    pub fn paper_default() -> Self {
+        Self {
+            gain_ohm: 10e3,
+            bandwidth_hz: 10e9,
+            power_mw: 2.0,
+            temp_k: 300.0,
+            rin_db_hz: -150.0,
+        }
+    }
+
+    /// Output voltage for a photocurrent, with receiver noise applied.
+    pub fn amplify(&self, i_photo_a: f64, rng: &mut impl Rng) -> f64 {
+        let sigma = noise::total_noise_sigma(
+            i_photo_a,
+            self.bandwidth_hz,
+            self.temp_k,
+            self.gain_ohm,
+            self.rin_db_hz,
+        );
+        (i_photo_a + noise::gaussian(rng) * sigma) * self.gain_ohm
+    }
+
+    /// Output voltage without noise (ideal reference).
+    pub fn amplify_ideal(&self, i_photo_a: f64) -> f64 {
+        i_photo_a * self.gain_ohm
+    }
+}
+
+impl Default for Tia {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+/// A complete receiver lane: detector + TIA.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Receiver {
+    /// Photodetector stage.
+    pub detector: Photodetector,
+    /// Amplifier stage.
+    pub tia: Tia,
+    /// When `true`, receiver noise is disabled (golden functional mode).
+    pub noiseless: bool,
+}
+
+impl Default for Photodetector {
+    fn default() -> Self {
+        Self::pin()
+    }
+}
+
+impl Receiver {
+    /// A noiseless receiver for functional (bit-exact) simulation.
+    pub fn ideal() -> Self {
+        Self {
+            detector: Photodetector::pin(),
+            tia: Tia::paper_default(),
+            noiseless: true,
+        }
+    }
+
+    /// A noisy receiver with the paper-default TIA.
+    pub fn noisy() -> Self {
+        Self {
+            noiseless: false,
+            ..Self::ideal()
+        }
+    }
+
+    /// Receives optical power (mW) and returns the TIA output voltage.
+    pub fn receive_mw(&self, power_mw: f64, rng: &mut impl Rng) -> f64 {
+        let i = self.detector.photocurrent_a(power_mw);
+        if self.noiseless {
+            self.tia.amplify_ideal(i)
+        } else {
+            self.tia.amplify(i, rng)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(33)
+    }
+
+    #[test]
+    fn photocurrent_linear_in_power() {
+        let d = Photodetector::pin();
+        let i1 = d.photocurrent_a(1.0);
+        let i2 = d.photocurrent_a(2.0);
+        assert!(((i2 - d.dark_current_a) / (i1 - d.dark_current_a) - 2.0).abs() < 1e-9);
+        assert!((i1 - (0.8e-3 + 1e-9)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn ideal_receiver_is_deterministic() {
+        let r = Receiver::ideal();
+        let mut g = rng();
+        let a = r.receive_mw(0.5, &mut g);
+        let b = r.receive_mw(0.5, &mut g);
+        assert_eq!(a, b);
+        assert!(a > 0.0);
+    }
+
+    #[test]
+    fn noisy_receiver_fluctuates_around_ideal() {
+        let ideal = Receiver::ideal();
+        let noisy = Receiver::noisy();
+        let mut g = rng();
+        let truth = ideal.receive_mw(0.2, &mut g);
+        let reads: Vec<f64> = (0..500).map(|_| noisy.receive_mw(0.2, &mut g)).collect();
+        let mean = reads.iter().sum::<f64>() / reads.len() as f64;
+        assert!(
+            (mean - truth).abs() / truth < 0.05,
+            "mean {mean} vs truth {truth}"
+        );
+        assert!(reads.iter().any(|&v| (v - truth).abs() > 0.0));
+    }
+
+    #[test]
+    fn paper_tia_draws_2mw() {
+        assert_eq!(Tia::paper_default().power_mw, 2.0);
+    }
+}

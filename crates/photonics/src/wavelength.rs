@@ -1,0 +1,124 @@
+//! WDM channel grids.
+//!
+//! Wavelength-division multiplexing is the extra parallelism dimension of
+//! the oPCM design (paper Section IV-A2): up to `K` input vectors ride on
+//! `K` distinct wavelengths through the *same* crossbar simultaneously.
+//! The paper takes `K = 16` as the current technology limit
+//! (Feldmann et al., Nature 2021).
+
+/// The WDM capacity the paper assumes current technology supports.
+pub const PAPER_WDM_CAPACITY: usize = 16;
+
+/// A fixed-spacing WDM channel grid around a C-band centre.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WdmGrid {
+    /// Centre wavelength in nanometres.
+    pub center_nm: f64,
+    /// Channel spacing in gigahertz.
+    pub spacing_ghz: f64,
+    /// Number of channels (the WDM capacity `K`).
+    pub channels: usize,
+}
+
+impl WdmGrid {
+    /// A standard 100 GHz-spaced C-band grid with `k` channels.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eb_photonics::WdmGrid;
+    /// let grid = WdmGrid::c_band(16);
+    /// assert_eq!(grid.channels, 16);
+    /// assert!(grid.wavelength_nm(0) < grid.wavelength_nm(15));
+    /// ```
+    pub fn c_band(k: usize) -> Self {
+        Self {
+            center_nm: 1550.0,
+            spacing_ghz: 100.0,
+            channels: k,
+        }
+    }
+
+    /// The paper's configuration: 16 channels.
+    pub fn paper_default() -> Self {
+        Self::c_band(PAPER_WDM_CAPACITY)
+    }
+
+    /// Wavelength of channel `i` in nanometres.
+    ///
+    /// Channels are spread symmetrically around the centre; frequency
+    /// spacing is converted to wavelength spacing at the centre.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `i >= self.channels`.
+    pub fn wavelength_nm(&self, i: usize) -> f64 {
+        assert!(i < self.channels, "channel {i} out of range");
+        // Δλ ≈ λ²·Δf/c. With λ in nm and Δf in GHz, Δλ_nm = λ_nm²·Δf_GHz/c
+        // (c in m/s): the 1e-18 (nm²→m²), 1e9 (GHz→Hz) and 1e9 (m→nm)
+        // factors cancel to exactly 1.
+        let dlambda_per_ghz = self.center_nm * self.center_nm / 299_792_458.0;
+        let offset = i as f64 - (self.channels as f64 - 1.0) / 2.0;
+        self.center_nm + offset * self.spacing_ghz * dlambda_per_ghz
+    }
+
+    /// Total optical band occupied, in nanometres.
+    pub fn span_nm(&self) -> f64 {
+        if self.channels < 2 {
+            0.0
+        } else {
+            self.wavelength_nm(self.channels - 1) - self.wavelength_nm(0)
+        }
+    }
+}
+
+impl Default for WdmGrid {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_default_has_16_channels() {
+        let g = WdmGrid::paper_default();
+        assert_eq!(g.channels, PAPER_WDM_CAPACITY);
+        assert!((g.center_nm - 1550.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn channels_are_monotonic_and_centred() {
+        let g = WdmGrid::c_band(8);
+        let lams: Vec<f64> = (0..8).map(|i| g.wavelength_nm(i)).collect();
+        for w in lams.windows(2) {
+            assert!(w[1] > w[0]);
+        }
+        let mid = (lams[3] + lams[4]) / 2.0;
+        assert!((mid - 1550.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn spacing_is_about_0_8_nm_at_100ghz() {
+        // 100 GHz at 1550 nm is the classic 0.8 nm DWDM spacing.
+        let g = WdmGrid::c_band(2);
+        let d = g.wavelength_nm(1) - g.wavelength_nm(0);
+        assert!((d - 0.8).abs() < 0.01, "spacing {d} nm");
+    }
+
+    #[test]
+    fn span_scales_with_channels() {
+        assert_eq!(WdmGrid::c_band(1).span_nm(), 0.0);
+        let s16 = WdmGrid::c_band(16).span_nm();
+        let s8 = WdmGrid::c_band(8).span_nm();
+        assert!(s16 > s8);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn channel_bounds_checked() {
+        let _ = WdmGrid::c_band(4).wavelength_nm(4);
+    }
+}

@@ -1,0 +1,320 @@
+//! The crossbar array: a grid of programmed PCM devices with analog
+//! current summation along columns (Kirchhoff accumulation).
+
+use crate::device::{DeviceParams, EpcmDevice};
+use crate::error::XbarError;
+use eb_bitnn::{BitMatrix, BitVec};
+use rand::Rng;
+
+/// Cell structure of a crossbar.
+///
+/// The paper's Fig. 2/3 contrasts the conventional 1T1R structure used by
+/// TacitMap with the 2T2R structure (device + complement device per cell)
+/// required by CustBinaryMap.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellKind {
+    /// One transistor + one resistive device per cell.
+    OneT1R,
+    /// Two transistors + two devices per cell (stores bit and complement).
+    TwoT2R,
+}
+
+impl CellKind {
+    /// Physical devices consumed per stored bit.
+    pub fn devices_per_bit(&self) -> usize {
+        match self {
+            Self::OneT1R => 1,
+            Self::TwoT2R => 2,
+        }
+    }
+}
+
+/// A crossbar array of binary PCM devices.
+///
+/// Rows are word lines (inputs), columns are bit lines (outputs). The
+/// array itself is mapping-agnostic: `eb-mapping` decides what bits land
+/// where.
+///
+/// # Examples
+///
+/// ```
+/// use eb_xbar::{CrossbarArray, DeviceParams};
+/// use eb_bitnn::BitMatrix;
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut xbar = CrossbarArray::new(4, 4, DeviceParams::ideal());
+/// let bits = BitMatrix::from_fn(4, 4, |r, c| r == c);
+/// xbar.program_matrix(&bits, &mut rng)?;
+/// assert_eq!(xbar.stored_bit(2, 2), Some(true));
+/// # Ok::<(), eb_xbar::XbarError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct CrossbarArray {
+    rows: usize,
+    cols: usize,
+    params: DeviceParams,
+    devices: Vec<Option<EpcmDevice>>,
+    writes: u64,
+}
+
+impl CrossbarArray {
+    /// Creates an unprogrammed array.
+    pub fn new(rows: usize, cols: usize, params: DeviceParams) -> Self {
+        Self {
+            rows,
+            cols,
+            params,
+            devices: vec![None; rows * cols],
+            writes: 0,
+        }
+    }
+
+    /// Number of word lines (rows).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Number of bit lines (columns).
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Device parameters in use.
+    pub fn params(&self) -> &DeviceParams {
+        &self.params
+    }
+
+    /// Total device writes performed (endurance accounting).
+    pub fn write_count(&self) -> u64 {
+        self.writes
+    }
+
+    fn idx(&self, r: usize, c: usize) -> usize {
+        r * self.cols + c
+    }
+
+    /// Programs one device.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::OutOfBounds`] if the coordinates exceed the array.
+    pub fn program(
+        &mut self,
+        r: usize,
+        c: usize,
+        bit: bool,
+        rng: &mut impl Rng,
+    ) -> Result<(), XbarError> {
+        if r >= self.rows || c >= self.cols {
+            return Err(XbarError::OutOfBounds {
+                row: r,
+                col: c,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        let i = self.idx(r, c);
+        self.devices[i] = Some(EpcmDevice::program(bit, &self.params, rng));
+        self.writes += 1;
+        Ok(())
+    }
+
+    /// Programs a full bit matrix anchored at the origin.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::OutOfBounds`] if the matrix exceeds the array.
+    pub fn program_matrix(&mut self, bits: &BitMatrix, rng: &mut impl Rng) -> Result<(), XbarError> {
+        self.program_matrix_at(bits, 0, 0, rng)
+    }
+
+    /// Programs a bit matrix with its top-left corner at `(row0, col0)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::OutOfBounds`] if the matrix exceeds the array.
+    pub fn program_matrix_at(
+        &mut self,
+        bits: &BitMatrix,
+        row0: usize,
+        col0: usize,
+        rng: &mut impl Rng,
+    ) -> Result<(), XbarError> {
+        if row0 + bits.rows() > self.rows || col0 + bits.cols() > self.cols {
+            return Err(XbarError::OutOfBounds {
+                row: row0 + bits.rows(),
+                col: col0 + bits.cols(),
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        for r in 0..bits.rows() {
+            for c in 0..bits.cols() {
+                self.program(row0 + r, col0 + c, bits.get(r, c) == Some(true), rng)?;
+            }
+        }
+        Ok(())
+    }
+
+    /// The bit a device was programmed with (`None` if unprogrammed or out
+    /// of range).
+    pub fn stored_bit(&self, r: usize, c: usize) -> Option<bool> {
+        if r >= self.rows || c >= self.cols {
+            return None;
+        }
+        self.devices[self.idx(r, c)]
+            .as_ref()
+            .map(EpcmDevice::stored_bit)
+    }
+
+    /// One-device conductance read with read noise; unprogrammed devices
+    /// read as `g_off` (a pristine PCM device is highly resistive).
+    pub fn read_conductance(&self, r: usize, c: usize, rng: &mut impl Rng) -> f64 {
+        match &self.devices[self.idx(r, c)] {
+            Some(d) => d.read(&self.params, rng),
+            None => self.params.g_off,
+        }
+    }
+
+    /// Analog column current for a binary row drive: rows with bit 1 get
+    /// `v_read` volts, rows with bit 0 get 0 V. Returns amps.
+    ///
+    /// This is the Kirchhoff accumulation of the paper's Fig. 1: each
+    /// active row contributes `V·G(r, c)` to column `c`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::DimensionMismatch`] if the drive length differs
+    /// from the row count.
+    pub fn column_current(
+        &self,
+        input: &BitVec,
+        col: usize,
+        v_read: f64,
+        rng: &mut impl Rng,
+    ) -> Result<f64, XbarError> {
+        if input.len() != self.rows {
+            return Err(XbarError::DimensionMismatch {
+                what: "row drive",
+                expected: self.rows,
+                got: input.len(),
+            });
+        }
+        let mut current = 0.0;
+        for r in 0..self.rows {
+            if input.get(r) == Some(true) {
+                current += v_read * self.read_conductance(r, col, rng);
+            }
+        }
+        Ok(current)
+    }
+
+    /// Column currents for all columns under one binary row drive.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::DimensionMismatch`] if the drive length differs
+    /// from the row count.
+    pub fn all_column_currents(
+        &self,
+        input: &BitVec,
+        v_read: f64,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<f64>, XbarError> {
+        (0..self.cols)
+            .map(|c| self.column_current(input, c, v_read, rng))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(1)
+    }
+
+    #[test]
+    fn program_and_readback() {
+        let mut r = rng();
+        let mut x = CrossbarArray::new(3, 3, DeviceParams::ideal());
+        let bits = BitMatrix::from_fn(3, 3, |a, b| (a + b) % 2 == 0);
+        x.program_matrix(&bits, &mut r).unwrap();
+        for a in 0..3 {
+            for b in 0..3 {
+                assert_eq!(x.stored_bit(a, b), bits.get(a, b));
+            }
+        }
+        assert_eq!(x.write_count(), 9);
+    }
+
+    #[test]
+    fn out_of_bounds_rejected() {
+        let mut r = rng();
+        let mut x = CrossbarArray::new(2, 2, DeviceParams::ideal());
+        assert!(matches!(
+            x.program(2, 0, true, &mut r),
+            Err(XbarError::OutOfBounds { .. })
+        ));
+        let big = BitMatrix::zeros(3, 2);
+        assert!(x.program_matrix(&big, &mut r).is_err());
+    }
+
+    #[test]
+    fn column_current_counts_on_cells() {
+        let mut r = rng();
+        let p = DeviceParams::ideal();
+        let mut x = CrossbarArray::new(4, 2, p.clone());
+        // Column 0: bits 1,1,0,0; column 1: all 1.
+        let bits = BitMatrix::from_fn(4, 2, |row, col| col == 1 || row < 2);
+        x.program_matrix(&bits, &mut r).unwrap();
+        let drive = BitVec::ones(4);
+        let i0 = x.column_current(&drive, 0, 0.2, &mut r).unwrap();
+        let i1 = x.column_current(&drive, 1, 0.2, &mut r).unwrap();
+        // Column 0: 2 on + 2 off cells.
+        let expect0 = 0.2 * (2.0 * p.g_on + 2.0 * p.g_off);
+        let expect1 = 0.2 * 4.0 * p.g_on;
+        assert!((i0 - expect0).abs() < 1e-12);
+        assert!((i1 - expect1).abs() < 1e-12);
+    }
+
+    #[test]
+    fn partial_drive_selects_rows() {
+        let mut r = rng();
+        let p = DeviceParams::ideal();
+        let mut x = CrossbarArray::new(4, 1, p.clone());
+        x.program_matrix(&BitMatrix::from_fn(4, 1, |_, _| true), &mut r)
+            .unwrap();
+        let drive = BitVec::from_bools(&[true, false, true, false]);
+        let i = x.column_current(&drive, 0, 1.0, &mut r).unwrap();
+        assert!((i - 2.0 * p.g_on).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dimension_mismatch_rejected() {
+        let x = CrossbarArray::new(4, 1, DeviceParams::ideal());
+        let mut r = rng();
+        assert!(matches!(
+            x.column_current(&BitVec::zeros(3), 0, 1.0, &mut r),
+            Err(XbarError::DimensionMismatch { .. })
+        ));
+    }
+
+    #[test]
+    fn unprogrammed_reads_as_off() {
+        let x = CrossbarArray::new(2, 2, DeviceParams::ideal());
+        let mut r = rng();
+        assert_eq!(x.stored_bit(0, 0), None);
+        assert_eq!(x.read_conductance(0, 0, &mut r), DeviceParams::ideal().g_off);
+    }
+
+    #[test]
+    fn cell_kind_device_counts() {
+        assert_eq!(CellKind::OneT1R.devices_per_bit(), 1);
+        assert_eq!(CellKind::TwoT2R.devices_per_bit(), 2);
+    }
+}

@@ -1,0 +1,126 @@
+//! Crossbar configuration bundles.
+
+use crate::array::CellKind;
+use crate::cost::{XbarEnergies, XbarTimings};
+use crate::device::DeviceParams;
+
+/// Full configuration of one electronic crossbar instance.
+///
+/// Built with a builder-style API:
+///
+/// ```
+/// use eb_xbar::{CellKind, XbarConfig};
+///
+/// let cfg = XbarConfig::new(128, 128)
+///     .with_cell(CellKind::TwoT2R)
+///     .with_adcs(8);
+/// assert_eq!(cfg.rows, 128);
+/// assert_eq!(cfg.cell, CellKind::TwoT2R);
+/// ```
+#[derive(Debug, Clone, PartialEq)]
+pub struct XbarConfig {
+    /// Word lines.
+    pub rows: usize,
+    /// Bit lines.
+    pub cols: usize,
+    /// Cell structure.
+    pub cell: CellKind,
+    /// Read voltage (volts).
+    pub v_read: f64,
+    /// ADC resolution in bits.
+    pub adc_bits: u8,
+    /// Number of column ADCs per crossbar (shared across columns).
+    pub n_adcs: usize,
+    /// Device model.
+    pub device: DeviceParams,
+    /// Latency constants.
+    pub timings: XbarTimings,
+    /// Energy constants.
+    pub energies: XbarEnergies,
+}
+
+impl XbarConfig {
+    /// A `rows × cols` 1T1R crossbar with default periphery: 0.2 V reads,
+    /// 9-bit ADCs, 16 ADCs per crossbar, ideal devices.
+    pub fn new(rows: usize, cols: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            cell: CellKind::OneT1R,
+            v_read: 0.2,
+            adc_bits: 9,
+            n_adcs: 16,
+            device: DeviceParams::ideal(),
+            timings: XbarTimings::default(),
+            energies: XbarEnergies::default(),
+        }
+    }
+
+    /// Sets the cell structure.
+    pub fn with_cell(mut self, cell: CellKind) -> Self {
+        self.cell = cell;
+        self
+    }
+
+    /// Sets the ADC count.
+    pub fn with_adcs(mut self, n: usize) -> Self {
+        self.n_adcs = n;
+        self
+    }
+
+    /// Sets the device model.
+    pub fn with_device(mut self, device: DeviceParams) -> Self {
+        self.device = device;
+        self
+    }
+
+    /// Usable weight bits per column under 1T1R TacitMap layout (half the
+    /// rows, since each weight vector is stored with its complement).
+    pub fn tacitmap_chunk_rows(&self) -> usize {
+        self.rows / 2
+    }
+
+    /// Usable weight bits per row under 2T2R CustBinaryMap layout (half the
+    /// columns, since each bit occupies a complementary device pair).
+    pub fn custbinary_chunk_cols(&self) -> usize {
+        self.cols / 2
+    }
+
+    /// Total devices in the array (independent of cell kind; a 2T2R array
+    /// of the same physical device count has half the logical cells).
+    pub fn device_count(&self) -> usize {
+        self.rows * self.cols
+    }
+}
+
+impl Default for XbarConfig {
+    fn default() -> Self {
+        Self::new(256, 256)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_is_256x256_1t1r() {
+        let c = XbarConfig::default();
+        assert_eq!((c.rows, c.cols), (256, 256));
+        assert_eq!(c.cell, CellKind::OneT1R);
+        assert_eq!(c.tacitmap_chunk_rows(), 128);
+        assert_eq!(c.custbinary_chunk_cols(), 128);
+        assert_eq!(c.device_count(), 65536);
+    }
+
+    #[test]
+    fn builder_chain() {
+        let c = XbarConfig::new(64, 32)
+            .with_cell(CellKind::TwoT2R)
+            .with_adcs(4)
+            .with_device(DeviceParams::noisy());
+        assert_eq!(c.n_adcs, 4);
+        assert_eq!(c.cell, CellKind::TwoT2R);
+        assert!(c.device.read_sigma > 0.0);
+    }
+}

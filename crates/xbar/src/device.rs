@@ -1,0 +1,213 @@
+//! Electronic phase-change memory (ePCM) device model.
+//!
+//! A binary ePCM cell stores one bit as its conductance state:
+//! crystalline (SET, high conductance `g_on`) for bit 1 and amorphous
+//! (RESET, low conductance `g_off`) for bit 0. Real devices additionally
+//! exhibit programming variability, read noise, and resistance drift —
+//! all of which the paper cites as reasons to prefer the *binary* operating
+//! point (Section II-C) and which the oPCM design sidesteps.
+
+use rand::Rng;
+
+/// Electrical and non-ideality parameters of a binary ePCM device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DeviceParams {
+    /// SET-state (bit 1) conductance in siemens.
+    pub g_on: f64,
+    /// RESET-state (bit 0) conductance in siemens.
+    pub g_off: f64,
+    /// Log-normal programming variability σ (0 = ideal programming).
+    pub program_sigma: f64,
+    /// Gaussian read-noise σ as a fraction of `g_on` (0 = noiseless reads).
+    pub read_sigma: f64,
+    /// Resistance-drift exponent ν in `G(t) = G₀·(t/t₀)^(−ν)`; the
+    /// amorphous state drifts, the crystalline state is taken as stable.
+    pub drift_nu: f64,
+}
+
+impl DeviceParams {
+    /// Ideal binary device: on/off ratio 1000, no variability or drift.
+    ///
+    /// Defaults follow the MNEMOSENE-style characterisation the paper
+    /// references: `g_on = 100 µS`, `g_off = 0.1 µS`.
+    pub fn ideal() -> Self {
+        Self {
+            g_on: 100e-6,
+            g_off: 0.1e-6,
+            program_sigma: 0.0,
+            read_sigma: 0.0,
+            drift_nu: 0.0,
+        }
+    }
+
+    /// A realistic noisy device: 5% programming spread, 2% read noise and
+    /// typical amorphous drift (ν ≈ 0.05).
+    pub fn noisy() -> Self {
+        Self {
+            program_sigma: 0.05,
+            read_sigma: 0.02,
+            drift_nu: 0.05,
+            ..Self::ideal()
+        }
+    }
+
+    /// On/off conductance ratio.
+    pub fn on_off_ratio(&self) -> f64 {
+        self.g_on / self.g_off
+    }
+}
+
+impl Default for DeviceParams {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+/// One programmed binary ePCM device.
+#[derive(Debug, Clone, PartialEq)]
+pub struct EpcmDevice {
+    stored: bool,
+    conductance: f64,
+}
+
+impl EpcmDevice {
+    /// Programs a device to `bit`, applying log-normal programming
+    /// variability from `params`.
+    pub fn program(bit: bool, params: &DeviceParams, rng: &mut impl Rng) -> Self {
+        let nominal = if bit { params.g_on } else { params.g_off };
+        let conductance = if params.program_sigma > 0.0 {
+            nominal * lognormal(params.program_sigma, rng)
+        } else {
+            nominal
+        };
+        Self {
+            stored: bit,
+            conductance,
+        }
+    }
+
+    /// The bit this device was programmed with.
+    pub fn stored_bit(&self) -> bool {
+        self.stored
+    }
+
+    /// Programmed conductance (post-variability), in siemens.
+    pub fn conductance(&self) -> f64 {
+        self.conductance
+    }
+
+    /// Conductance observed by one read: programmed value plus Gaussian
+    /// read noise, floored at zero.
+    pub fn read(&self, params: &DeviceParams, rng: &mut impl Rng) -> f64 {
+        if params.read_sigma > 0.0 {
+            (self.conductance + gaussian(rng) * params.read_sigma * params.g_on).max(0.0)
+        } else {
+            self.conductance
+        }
+    }
+
+    /// Conductance after `t_ratio = t/t₀` of amorphous drift. Only the
+    /// RESET (bit 0) state drifts; drift *lowers* the off conductance,
+    /// which for binary sensing is benign — the paper's argument for
+    /// binary PCM operation.
+    pub fn after_drift(&self, t_ratio: f64, params: &DeviceParams) -> f64 {
+        if self.stored || params.drift_nu == 0.0 || t_ratio <= 1.0 {
+            self.conductance
+        } else {
+            self.conductance * t_ratio.powf(-params.drift_nu)
+        }
+    }
+}
+
+/// Standard normal sample via Box–Muller.
+pub(crate) fn gaussian(rng: &mut impl Rng) -> f64 {
+    let u1: f64 = rng.gen_range(f64::EPSILON..1.0);
+    let u2: f64 = rng.gen::<f64>();
+    (-2.0 * u1.ln()).sqrt() * (2.0 * std::f64::consts::PI * u2).cos()
+}
+
+/// Log-normal multiplicative factor with log-σ `sigma` and unit median.
+pub(crate) fn lognormal(sigma: f64, rng: &mut impl Rng) -> f64 {
+    (gaussian(rng) * sigma).exp()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(99)
+    }
+
+    #[test]
+    fn ideal_programming_is_exact() {
+        let p = DeviceParams::ideal();
+        let d1 = EpcmDevice::program(true, &p, &mut rng());
+        let d0 = EpcmDevice::program(false, &p, &mut rng());
+        assert_eq!(d1.conductance(), p.g_on);
+        assert_eq!(d0.conductance(), p.g_off);
+        assert!(d1.stored_bit());
+        assert!(!d0.stored_bit());
+    }
+
+    #[test]
+    fn ideal_read_is_noiseless() {
+        let p = DeviceParams::ideal();
+        let d = EpcmDevice::program(true, &p, &mut rng());
+        let mut r = rng();
+        assert_eq!(d.read(&p, &mut r), d.conductance());
+        assert_eq!(d.read(&p, &mut r), d.conductance());
+    }
+
+    #[test]
+    fn noisy_programming_spreads_but_separates_states() {
+        let p = DeviceParams::noisy();
+        let mut r = rng();
+        let ons: Vec<f64> = (0..200)
+            .map(|_| EpcmDevice::program(true, &p, &mut r).conductance())
+            .collect();
+        let offs: Vec<f64> = (0..200)
+            .map(|_| EpcmDevice::program(false, &p, &mut r).conductance())
+            .collect();
+        let min_on = ons.iter().cloned().fold(f64::INFINITY, f64::min);
+        let max_off = offs.iter().cloned().fold(0.0, f64::max);
+        // Binary states stay separable despite 5% spread — the robustness
+        // argument of Section II-C.
+        assert!(min_on > 10.0 * max_off);
+        // And the spread is real.
+        let max_on = ons.iter().cloned().fold(0.0, f64::max);
+        assert!(max_on > min_on);
+    }
+
+    #[test]
+    fn read_noise_has_roughly_correct_scale() {
+        let p = DeviceParams {
+            read_sigma: 0.02,
+            ..DeviceParams::ideal()
+        };
+        let d = EpcmDevice::program(true, &p, &mut rng());
+        let mut r = rng();
+        let reads: Vec<f64> = (0..2000).map(|_| d.read(&p, &mut r)).collect();
+        let mean = reads.iter().sum::<f64>() / reads.len() as f64;
+        let var = reads.iter().map(|x| (x - mean).powi(2)).sum::<f64>() / reads.len() as f64;
+        let sigma = var.sqrt() / p.g_on;
+        assert!((sigma - 0.02).abs() < 0.005, "σ={sigma}");
+    }
+
+    #[test]
+    fn drift_only_affects_reset_state() {
+        let p = DeviceParams::noisy();
+        let mut r = rng();
+        let d1 = EpcmDevice::program(true, &p, &mut r);
+        let d0 = EpcmDevice::program(false, &p, &mut r);
+        assert_eq!(d1.after_drift(1000.0, &p), d1.conductance());
+        assert!(d0.after_drift(1000.0, &p) < d0.conductance());
+    }
+
+    #[test]
+    fn on_off_ratio() {
+        assert!((DeviceParams::ideal().on_off_ratio() - 1000.0).abs() < 1.0);
+    }
+}

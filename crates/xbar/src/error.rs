@@ -1,0 +1,75 @@
+//! Error types for crossbar operations.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced by crossbar programming and readout.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum XbarError {
+    /// A coordinate or sub-array exceeded the physical array.
+    OutOfBounds {
+        /// Requested row extent.
+        row: usize,
+        /// Requested column extent.
+        col: usize,
+        /// Physical row count.
+        rows: usize,
+        /// Physical column count.
+        cols: usize,
+    },
+    /// A vector operand had the wrong length.
+    DimensionMismatch {
+        /// What operand mismatched.
+        what: &'static str,
+        /// Expected length.
+        expected: usize,
+        /// Received length.
+        got: usize,
+    },
+}
+
+impl fmt::Display for XbarError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::OutOfBounds {
+                row,
+                col,
+                rows,
+                cols,
+            } => write!(
+                f,
+                "access at ({row}, {col}) exceeds {rows}×{cols} crossbar"
+            ),
+            Self::DimensionMismatch {
+                what,
+                expected,
+                got,
+            } => write!(f, "{what} has length {got}, expected {expected}"),
+        }
+    }
+}
+
+impl Error for XbarError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_mentions_bounds() {
+        let e = XbarError::OutOfBounds {
+            row: 5,
+            col: 2,
+            rows: 4,
+            cols: 4,
+        };
+        assert!(e.to_string().contains("4×4"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<E: Error + Send + Sync>() {}
+        check::<XbarError>();
+    }
+}

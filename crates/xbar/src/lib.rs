@@ -1,0 +1,34 @@
+//! # eb-xbar — Electronic PCM crossbar substrate
+//!
+//! Models the memristor-style crossbar that hosts both the paper's
+//! baseline mapping (CustBinaryMap on 2T2R cells with PCSA readout) and
+//! TacitMap (1T1R cells with ADC readout):
+//!
+//! * [`DeviceParams`]/[`EpcmDevice`] — binary ePCM devices with
+//!   programming variability, read noise and amorphous drift.
+//! * [`CrossbarArray`] — the device grid with Kirchhoff column-current
+//!   accumulation.
+//! * [`Dac`], [`Adc`], [`Pcsa`], [`PopcountTree`] — the two readout styles
+//!   whose asymmetric cost drives the paper's results.
+//! * [`VmmEngine`] — array + periphery, computing whole VMMs per step.
+//! * [`XbarTimings`]/[`XbarEnergies`]/[`XbarConfig`] — calibrated latency
+//!   and energy constants consumed by the accelerator models in `eb-core`.
+
+#![warn(missing_docs)]
+#![warn(missing_debug_implementations)]
+
+mod array;
+mod config;
+mod cost;
+mod device;
+mod error;
+mod periphery;
+mod vmm;
+
+pub use array::{CellKind, CrossbarArray};
+pub use config::XbarConfig;
+pub use cost::{XbarEnergies, XbarTimings};
+pub use device::{DeviceParams, EpcmDevice};
+pub use error::XbarError;
+pub use periphery::{Adc, Dac, Pcsa, PopcountTree};
+pub use vmm::VmmEngine;

@@ -1,0 +1,267 @@
+//! Crossbar periphery: DACs, ADCs, and the precharge sense amplifier.
+//!
+//! TacitMap reads XNOR+popcount results through **ADCs** (one analog
+//! conversion yields the whole popcount); CustBinaryMap reads single XNOR
+//! bits through **PCSAs** (differential sense amplifiers) and popcounts
+//! digitally. The asymmetric cost of those two readout styles is the root
+//! of the paper's latency/energy trade-off (Figs. 7 and 8).
+
+use crate::device::gaussian;
+use rand::Rng;
+
+/// A digital-to-analog converter driving a word line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Dac {
+    /// Resolution in bits (1 for binary row drives).
+    pub bits: u8,
+    /// Full-scale output voltage.
+    pub v_full: f64,
+}
+
+impl Dac {
+    /// A 1-bit DAC (binary row driver) with the given read voltage.
+    pub fn binary(v_read: f64) -> Self {
+        Self {
+            bits: 1,
+            v_full: v_read,
+        }
+    }
+
+    /// Converts a digital code to a voltage.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `code` exceeds the DAC resolution.
+    pub fn convert(&self, code: u32) -> f64 {
+        let max = (1u32 << self.bits) - 1;
+        assert!(code <= max, "code {code} exceeds {}-bit DAC", self.bits);
+        self.v_full * f64::from(code) / f64::from(max)
+    }
+}
+
+/// A successive-approximation ADC digitizing a column current.
+///
+/// The ADC is configured with a *unit current* (the current of one active
+/// on-cell) and returns the nearest integer count — exactly the popcount
+/// when noise and off-currents are small.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Adc {
+    /// Resolution in bits.
+    pub bits: u8,
+    /// Current of a single active on-cell (amps), the LSB of the count.
+    pub i_unit: f64,
+    /// Input-referred RMS noise as a fraction of `i_unit`.
+    pub noise_sigma: f64,
+}
+
+impl Adc {
+    /// Creates an ADC with the given resolution and unit current, noiseless.
+    pub fn new(bits: u8, i_unit: f64) -> Self {
+        Self {
+            bits,
+            i_unit,
+            noise_sigma: 0.0,
+        }
+    }
+
+    /// Sets the input-referred noise (fraction of one LSB).
+    pub fn with_noise(mut self, sigma: f64) -> Self {
+        self.noise_sigma = sigma;
+        self
+    }
+
+    /// Maximum representable count.
+    pub fn max_code(&self) -> u32 {
+        (1u32 << self.bits) - 1
+    }
+
+    /// Digitizes a current into an integer count.
+    pub fn convert(&self, current: f64, rng: &mut impl Rng) -> u32 {
+        let noisy = if self.noise_sigma > 0.0 {
+            current + gaussian(rng) * self.noise_sigma * self.i_unit
+        } else {
+            current
+        };
+        let code = (noisy / self.i_unit).round();
+        code.clamp(0.0, f64::from(self.max_code())) as u32
+    }
+}
+
+/// A precharge sense amplifier (PCSA): the differential, single-bit sense
+/// used by the CustBinaryMap baseline (Hirtzlin et al.).
+///
+/// It compares the currents of a complementary 2T2R device pair and
+/// resolves a single bit; offset noise models sense-margin failures.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Pcsa {
+    /// Input-referred offset noise in amps RMS (0 = ideal).
+    pub offset_sigma: f64,
+}
+
+impl Pcsa {
+    /// An ideal PCSA.
+    pub fn ideal() -> Self {
+        Self { offset_sigma: 0.0 }
+    }
+
+    /// A PCSA with the given RMS offset (amps).
+    pub fn with_offset(offset_sigma: f64) -> Self {
+        Self { offset_sigma }
+    }
+
+    /// Resolves the differential pair: `true` when the positive branch
+    /// carries more current.
+    pub fn sense(&self, i_pos: f64, i_neg: f64, rng: &mut impl Rng) -> bool {
+        let offset = if self.offset_sigma > 0.0 {
+            gaussian(rng) * self.offset_sigma
+        } else {
+            0.0
+        };
+        i_pos + offset > i_neg
+    }
+}
+
+impl Default for Pcsa {
+    fn default() -> Self {
+        Self::ideal()
+    }
+}
+
+/// The digital popcount pipeline of CustBinaryMap: a 5-bit ripple counter
+/// per column feeding a tree adder across columns/crossbars.
+///
+/// Functionally this is just a sum; the struct exists so the energy/latency
+/// of the *digital* popcount (which TacitMap does not need) has an explicit
+/// home and so tests can exercise the tree structure.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PopcountTree {
+    /// Counter width per leaf (the paper specifies five bits).
+    pub counter_bits: u8,
+}
+
+impl PopcountTree {
+    /// The paper's configuration: 5-bit local counters.
+    pub fn paper_default() -> Self {
+        Self { counter_bits: 5 }
+    }
+
+    /// Maximum value a single leaf counter can accumulate.
+    pub fn counter_max(&self) -> u32 {
+        (1u32 << self.counter_bits) - 1
+    }
+
+    /// Reduces per-column XNOR bits to a popcount via a binary adder tree,
+    /// returning `(popcount, tree_depth)`.
+    ///
+    /// The depth is `ceil(log2(n))` adder stages, which the timing model
+    /// charges per reduction.
+    pub fn reduce(&self, bits: &[bool]) -> (u32, u32) {
+        let n = bits.len();
+        let pop = bits.iter().filter(|&&b| b).count() as u32;
+        let depth = if n <= 1 {
+            0
+        } else {
+            usize::BITS - (n - 1).leading_zeros()
+        };
+        (pop, depth)
+    }
+}
+
+impl Default for PopcountTree {
+    fn default() -> Self {
+        Self::paper_default()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(5)
+    }
+
+    #[test]
+    fn dac_binary_levels() {
+        let d = Dac::binary(0.2);
+        assert_eq!(d.convert(0), 0.0);
+        assert!((d.convert(1) - 0.2).abs() < 1e-15);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds")]
+    fn dac_rejects_overflow_code() {
+        let _ = Dac::binary(0.2).convert(2);
+    }
+
+    #[test]
+    fn adc_recovers_exact_counts() {
+        let adc = Adc::new(9, 1e-6);
+        let mut r = rng();
+        for count in [0u32, 1, 7, 200, 511] {
+            let i = f64::from(count) * 1e-6;
+            assert_eq!(adc.convert(i, &mut r), count);
+        }
+    }
+
+    #[test]
+    fn adc_tolerates_off_current_offset() {
+        // 256 rows with on/off ratio 1000: worst-case off-current offset is
+        // 0.256 LSB, which must still round to the right count.
+        let adc = Adc::new(9, 1e-6);
+        let mut r = rng();
+        let i = 100.0 * 1e-6 + 156.0 * 1e-9; // 100 on-cells + 156 off-cells
+        assert_eq!(adc.convert(i, &mut r), 100);
+    }
+
+    #[test]
+    fn adc_clamps_to_range() {
+        let adc = Adc::new(4, 1e-6);
+        let mut r = rng();
+        assert_eq!(adc.convert(100e-6, &mut r), 15);
+        assert_eq!(adc.convert(-5e-6, &mut r), 0);
+    }
+
+    #[test]
+    fn adc_noise_perturbs_counts() {
+        let adc = Adc::new(9, 1e-6).with_noise(2.0);
+        let mut r = rng();
+        let counts: Vec<u32> = (0..200).map(|_| adc.convert(50e-6, &mut r)).collect();
+        assert!(counts.iter().any(|&c| c != 50), "expected noisy misreads");
+        let mean: f64 = counts.iter().map(|&c| f64::from(c)).sum::<f64>() / 200.0;
+        assert!((mean - 50.0).abs() < 2.0, "noise should be zero-mean");
+    }
+
+    #[test]
+    fn pcsa_resolves_differential() {
+        let p = Pcsa::ideal();
+        let mut r = rng();
+        assert!(p.sense(2e-6, 1e-6, &mut r));
+        assert!(!p.sense(1e-6, 2e-6, &mut r));
+    }
+
+    #[test]
+    fn pcsa_offset_can_flip_marginal_senses() {
+        let p = Pcsa::with_offset(5e-6);
+        let mut r = rng();
+        let flips = (0..500)
+            .filter(|_| !p.sense(1.05e-6, 1.0e-6, &mut r))
+            .count();
+        assert!(flips > 50, "expected marginal flips, got {flips}");
+    }
+
+    #[test]
+    fn popcount_tree_counts_and_depth() {
+        let t = PopcountTree::paper_default();
+        assert_eq!(t.counter_max(), 31);
+        let bits = vec![true, false, true, true, false, true, true, false];
+        let (pop, depth) = t.reduce(&bits);
+        assert_eq!(pop, 5);
+        assert_eq!(depth, 3); // log2(8)
+        assert_eq!(t.reduce(&[]).0, 0);
+        assert_eq!(t.reduce(&[true]), (1, 0));
+        assert_eq!(t.reduce(&vec![true; 9]).1, 4); // ceil(log2(9))
+    }
+}

@@ -1,0 +1,217 @@
+//! The analog VMM engine: crossbar + DAC row drive + ADC column readout.
+
+use crate::array::CrossbarArray;
+use crate::error::XbarError;
+use crate::periphery::{Adc, Dac};
+use eb_bitnn::BitVec;
+use rand::Rng;
+
+/// A VMM-capable crossbar: the array plus its read periphery.
+///
+/// Drives a binary input vector onto the word lines and digitizes every
+/// bit-line current. With the TacitMap layout programmed into the array,
+/// one [`VmmEngine::vmm_counts`] call returns `popcount(In ⊙ Wⱼ)` for every
+/// stored weight vector `j` — the paper's single-step XNOR+Popcount.
+///
+/// # Examples
+///
+/// ```
+/// use eb_xbar::{CrossbarArray, DeviceParams, VmmEngine};
+/// use eb_bitnn::{BitMatrix, BitVec};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(0);
+/// let mut xbar = CrossbarArray::new(4, 2, DeviceParams::ideal());
+/// xbar.program_matrix(&BitMatrix::from_fn(4, 2, |r, _| r % 2 == 0), &mut rng)?;
+/// let engine = VmmEngine::with_defaults(xbar);
+/// let counts = engine.vmm_counts(&BitVec::ones(4), &mut rng)?;
+/// assert_eq!(counts, vec![2, 2]);
+/// # Ok::<(), eb_xbar::XbarError>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct VmmEngine {
+    array: CrossbarArray,
+    dac: Dac,
+    adc: Adc,
+}
+
+impl VmmEngine {
+    /// Wraps an array with explicit periphery.
+    pub fn new(array: CrossbarArray, dac: Dac, adc: Adc) -> Self {
+        Self { array, dac, adc }
+    }
+
+    /// Wraps an array with a 0.2 V binary DAC and a 9-bit ADC whose unit
+    /// current matches one on-cell at that read voltage.
+    pub fn with_defaults(array: CrossbarArray) -> Self {
+        let v_read = 0.2;
+        let i_unit = v_read * array.params().g_on;
+        Self {
+            dac: Dac::binary(v_read),
+            adc: Adc::new(9, i_unit),
+            array,
+        }
+    }
+
+    /// The underlying array.
+    pub fn array(&self) -> &CrossbarArray {
+        &self.array
+    }
+
+    /// Mutable access to the underlying array (for programming).
+    pub fn array_mut(&mut self) -> &mut CrossbarArray {
+        &mut self.array
+    }
+
+    /// The column ADC.
+    pub fn adc(&self) -> &Adc {
+        &self.adc
+    }
+
+    /// Replaces the ADC (e.g. to inject conversion noise).
+    pub fn set_adc(&mut self, adc: Adc) {
+        self.adc = adc;
+    }
+
+    /// One crossbar activation: drives `input` on the word lines and
+    /// digitizes every column. Returns one integer count per column.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::DimensionMismatch`] if `input.len()` differs
+    /// from the row count.
+    pub fn vmm_counts(&self, input: &BitVec, rng: &mut impl Rng) -> Result<Vec<u32>, XbarError> {
+        let v_read = self.dac.convert(1);
+        let currents = self.array.all_column_currents(input, v_read, rng)?;
+        Ok(currents
+            .into_iter()
+            .map(|i| self.adc.convert(i, rng))
+            .collect())
+    }
+
+    /// Like [`Self::vmm_counts`] but restricted to columns
+    /// `[col0, col0 + n)`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::DimensionMismatch`] on drive-length mismatch or
+    /// [`XbarError::OutOfBounds`] if the column range exceeds the array.
+    pub fn vmm_counts_cols(
+        &self,
+        input: &BitVec,
+        col0: usize,
+        n: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<u32>, XbarError> {
+        if col0 + n > self.array.cols() {
+            return Err(XbarError::OutOfBounds {
+                row: 0,
+                col: col0 + n,
+                rows: self.array.rows(),
+                cols: self.array.cols(),
+            });
+        }
+        let v_read = self.dac.convert(1);
+        (col0..col0 + n)
+            .map(|c| {
+                self.array
+                    .column_current(input, c, v_read, rng)
+                    .map(|i| self.adc.convert(i, rng))
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::device::DeviceParams;
+    use eb_bitnn::{ops, BitMatrix};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(17)
+    }
+
+    fn engine_from_bits(bits: &BitMatrix) -> VmmEngine {
+        let mut r = rng();
+        let mut array = CrossbarArray::new(bits.rows(), bits.cols(), DeviceParams::ideal());
+        array.program_matrix(bits, &mut r).unwrap();
+        VmmEngine::with_defaults(array)
+    }
+
+    #[test]
+    fn vmm_counts_equal_and_accumulate() {
+        // Column c stores column bits; AND-accumulate with the drive.
+        let bits = BitMatrix::from_fn(8, 3, |r, c| (r + c) % 3 != 0);
+        let engine = engine_from_bits(&bits);
+        let mut r = rng();
+        let drive = BitVec::from_bools(&[true, false, true, true, false, true, false, true]);
+        let counts = engine.vmm_counts(&drive, &mut r).unwrap();
+        for c in 0..3 {
+            let expect = drive.and(&bits.col(c)).popcount();
+            assert_eq!(counts[c], expect, "column {c}");
+        }
+    }
+
+    #[test]
+    fn tacitmap_layout_recovers_xnor_popcount() {
+        // Store [w ; w̄] vertically, drive [v ; v̄]: the analog count is the
+        // XNOR popcount (paper Fig. 2-(b)).
+        let w = BitVec::from_bools(&[true, false, true, true, false]);
+        let v = BitVec::from_bools(&[false, false, true, true, true]);
+        let column = w.concat(&w.complement());
+        let bits = BitMatrix::from_fn(10, 1, |r, _| column.get(r) == Some(true));
+        let engine = engine_from_bits(&bits);
+        let mut r = rng();
+        let counts = engine.vmm_counts(&v.with_complement(), &mut r).unwrap();
+        assert_eq!(counts[0], ops::xnor_popcount(&v, &w));
+    }
+
+    #[test]
+    fn counts_exact_with_realistic_off_current() {
+        // Full 256-row column with realistic on/off ratio still reads the
+        // exact popcount (off-current offset < 0.5 LSB).
+        let bits = BitMatrix::from_fn(256, 1, |r, _| r % 3 == 0);
+        let engine = engine_from_bits(&bits);
+        let mut r = rng();
+        let counts = engine.vmm_counts(&BitVec::ones(256), &mut r).unwrap();
+        assert_eq!(counts[0], bits.col(0).popcount());
+    }
+
+    #[test]
+    fn column_range_readout() {
+        let bits = BitMatrix::from_fn(4, 6, |r, c| r == c % 4);
+        let engine = engine_from_bits(&bits);
+        let mut r = rng();
+        let all = engine.vmm_counts(&BitVec::ones(4), &mut r).unwrap();
+        let mid = engine
+            .vmm_counts_cols(&BitVec::ones(4), 2, 3, &mut r)
+            .unwrap();
+        assert_eq!(mid, all[2..5].to_vec());
+        assert!(engine
+            .vmm_counts_cols(&BitVec::ones(4), 5, 3, &mut r)
+            .is_err());
+    }
+
+    #[test]
+    fn noisy_adc_degrades_gracefully() {
+        let bits = BitMatrix::from_fn(64, 1, |r, _| r % 2 == 0);
+        let mut engine = engine_from_bits(&bits);
+        let i_unit = engine.adc().i_unit;
+        engine.set_adc(Adc::new(9, i_unit).with_noise(1.5));
+        let mut r = rng();
+        let mut errs = 0usize;
+        for _ in 0..100 {
+            let c = engine.vmm_counts(&BitVec::ones(64), &mut r).unwrap()[0];
+            if c != 32 {
+                errs += 1;
+            }
+        }
+        assert!(errs > 0, "1.5 LSB noise should cause misreads");
+        // But reads stay near the truth.
+        let c = engine.vmm_counts(&BitVec::ones(64), &mut r).unwrap()[0];
+        assert!((i64::from(c) - 32).abs() < 10);
+    }
+}

@@ -1,0 +1,71 @@
+//! Convolutional BNN on the synthetic CIFAR-10 stand-in: compiles a
+//! small VGG-style binary CNN to the accelerator and runs it through the
+//! functional simulator on both designs, then evaluates the full CNN-M /
+//! CNN-L benchmark shapes through the analytic model (the same per-layer
+//! breakdown the Fig. 7/8 harness aggregates).
+//!
+//! Run with `cargo run --release --example cifar_cnn`.
+
+use eb_bitnn::{BenchModel, BinConv, BinLinear, Bnn, FixedConv, Layer, OutputLinear, Shape, Tensor};
+use eb_core::{evaluate_model, report_table, simulate_inference, Design};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(303);
+
+    // A scaled-down CIFAR-style CNN small enough for full functional
+    // simulation (3×16×16 input instead of 3×32×32).
+    let net = Bnn::new(
+        "mini-vgg",
+        Shape::Img(3, 16, 16),
+        vec![
+            Layer::FixedConv(FixedConv::random("conv1", 3, 8, 3, 1, 1, &mut rng)),
+            Layer::MaxPool2,
+            Layer::BinConv(BinConv::random("conv2", 8, 16, 3, 1, 1, &mut rng)),
+            Layer::MaxPool2,
+            Layer::Flatten,
+            Layer::BinLinear(BinLinear::random("fc1", 16 * 4 * 4, 64, &mut rng)),
+            Layer::Output(OutputLinear::random("out", 64, 10, &mut rng)),
+        ],
+    )?;
+
+    let image = eb_bitnn::synth_image(eb_bitnn::DatasetKind::Cifar10, 3, &mut rng);
+    // Crop the synthetic 32×32 image to 16×16 for the mini network.
+    let crop = Tensor::from_fn(&[3, 16, 16], |i| {
+        let (c, rest) = (i / 256, i % 256);
+        let (y, x) = (rest / 16, rest % 16);
+        image.at3(c, y, x)
+    });
+
+    let want = net.forward(&crop)?;
+    println!("software logits: {:?}", want.as_slice());
+    for (name, design) in [
+        ("TacitMap-ePCM", Design::tacitmap_epcm()),
+        ("EinsteinBarrier", Design::einstein_barrier()),
+    ] {
+        let (got, stats) = simulate_inference(&design, &net, &crop, &mut rng)?;
+        assert_eq!(got, want, "{name} diverged from the reference");
+        println!(
+            "{name}: bit-exact; {} instructions, {} crossbar steps, {:.2} µs modeled latency",
+            stats.instructions,
+            stats.crossbar_steps,
+            stats.latency_ns / 1e3
+        );
+    }
+
+    // The full-size benchmark CNNs through the analytic model.
+    println!();
+    for model in [BenchModel::CnnM, BenchModel::CnnL] {
+        for design in [
+            Design::baseline_epcm(),
+            Design::tacitmap_epcm(),
+            Design::einstein_barrier(),
+        ] {
+            let report = evaluate_model(&design, model, 128);
+            print!("{}", report_table(&report));
+            println!();
+        }
+    }
+    Ok(())
+}

@@ -1,0 +1,89 @@
+//! ASCII visualization of the two data mappings (the paper's Fig. 2):
+//! how the same 4-bit weight vectors land on a crossbar under
+//! CustBinaryMap (horizontal, 2T2R interleaved) and TacitMap (vertical,
+//! complement below), and what one step reads out of each.
+//!
+//! Run with `cargo run --example mapping_visualizer`.
+
+use eb_bitnn::{ops, BitMatrix, BitVec};
+use eb_mapping::{CustBinaryMapped, TacitMapped};
+use eb_xbar::XbarConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn bit(b: bool) -> char {
+    if b {
+        '1'
+    } else {
+        '0'
+    }
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let weights = BitMatrix::from_rows(&[
+        BitVec::from_bools(&[true, false, true, true]),   // W1
+        BitVec::from_bools(&[false, false, true, false]), // W2
+        BitVec::from_bools(&[true, true, false, false]),  // W3
+    ]);
+    let input = BitVec::from_bools(&[true, true, false, true]);
+
+    println!("weight vectors (m = 4 bits):");
+    for (i, w) in weights.iter_rows().enumerate() {
+        println!("  W{} = {w}", i + 1);
+    }
+    println!("input In = {input}\n");
+
+    println!("CustBinaryMap (Fig. 2-(a)): one weight vector per 2T2R row,");
+    println!("bits interleaved with complements; PCSA reads ONE row per step:");
+    println!("      dev: w0 w̄0 w1 w̄1 w2 w̄2 w3 w̄3");
+    for (i, w) in weights.iter_rows().enumerate() {
+        print!("  row {} :  ", i + 1);
+        for b in 0..4 {
+            let s = w.get(b) == Some(true);
+            print!("{}  {}  ", bit(s), bit(!s));
+        }
+        println!();
+    }
+
+    println!();
+    println!("TacitMap (Fig. 2-(b)): weight vectors vertical, complement below;");
+    println!("ONE activation of the input [In ; Īn] reads ALL columns:");
+    println!("          col: W1 W2 W3   <- row drive");
+    let drive = input.with_complement();
+    for r in 0..8 {
+        let label = if r < 4 {
+            format!("w{r}  ")
+        } else {
+            format!("w̄{} ", r - 4)
+        };
+        print!("  {label}: ");
+        for w in weights.iter_rows() {
+            let stored = if r < 4 {
+                w.get(r) == Some(true)
+            } else {
+                w.get(r - 4) == Some(false)
+            };
+            print!("  {}", bit(stored));
+        }
+        println!("      {}", bit(drive.get(r) == Some(true)));
+    }
+
+    // Execute both on simulated crossbars and show the readouts.
+    let mut rng = StdRng::seed_from_u64(1);
+    let cfg = XbarConfig::new(8, 8);
+    let mut tacit = TacitMapped::program(&weights, &cfg, &mut rng)?;
+    let mut cust = CustBinaryMapped::program(&weights, &cfg, &mut rng)?;
+    let t = tacit.execute(&input, &mut rng)?;
+    let c = cust.execute(&input, &mut rng)?;
+    let reference = ops::binary_linear_popcounts(&input, &weights);
+
+    println!();
+    println!("ADC readout (TacitMap, 1 step):        {t:?}");
+    println!("PCSA+popcount (CustBinaryMap, 3 steps): {c:?}");
+    println!("software reference:                     {reference:?}");
+    assert_eq!(t, reference);
+    assert_eq!(c, reference);
+    println!("\nEq. 1 bipolar pre-activations: {:?}",
+        ops::binary_linear_preacts(&input, &weights));
+    Ok(())
+}

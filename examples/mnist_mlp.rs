@@ -1,0 +1,64 @@
+//! MNIST-class workflow: train a BinaryConnect MLP on the synthetic
+//! MNIST stand-in, export it to an integer-exact BNN, and run inference
+//! through the *simulated hardware* — the compiled instruction stream
+//! executing on analog TacitMap-ePCM crossbars and on optical
+//! EinsteinBarrier crossbars — verifying bit-exact agreement with the
+//! software reference.
+//!
+//! Run with `cargo run --release --example mnist_mlp`.
+
+use eb_bitnn::{Dataset, DatasetKind, MlpTrainer, TrainConfig};
+use eb_core::{simulate_inference, Design};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // Synthetic MNIST (see DESIGN.md: the mappings do not affect accuracy;
+    // the dataset provides realistic shapes).
+    let data = Dataset::generate(DatasetKind::Mnist, 240, 7);
+    let samples = data.flattened();
+    let (train, test) = (&samples[..200], &samples[200..]);
+
+    println!("training a 784-64-32-10 BinaryConnect MLP on {} samples…", train.len());
+    let mut trainer = MlpTrainer::new(
+        &[784, 64, 32, 10],
+        TrainConfig {
+            learning_rate: 0.02,
+            epochs: 10,
+            seed: 99,
+        },
+    );
+    let loss = trainer.fit(train);
+    println!("final epoch mean loss: {loss:.3}");
+
+    let net = trainer.to_bnn("mnist-mlp")?;
+    let train_acc = net.accuracy(train)?;
+    let test_acc = net.accuracy(test)?;
+    println!("exported BNN accuracy: train {train_acc:.2}, test {test_acc:.2} (chance = 0.10)");
+
+    // Run the first test samples through both simulated designs.
+    let mut rng = StdRng::seed_from_u64(5);
+    for (name, design) in [
+        ("TacitMap-ePCM", Design::tacitmap_epcm()),
+        ("EinsteinBarrier", Design::einstein_barrier()),
+    ] {
+        let mut agree = 0usize;
+        let mut stats_sum = 0u64;
+        let n = test.len().min(10);
+        for (x, _) in &test[..n] {
+            let want = net.forward(x)?;
+            let (got, stats) = simulate_inference(&design, &net, x, &mut rng)?;
+            if got == want {
+                agree += 1;
+            }
+            stats_sum += stats.crossbar_steps;
+        }
+        println!(
+            "{name}: {agree}/{n} inferences bit-exact vs software; \
+             avg crossbar steps per inference: {:.0}",
+            stats_sum as f64 / n as f64
+        );
+        assert_eq!(agree, n, "noiseless hardware must match the reference");
+    }
+    Ok(())
+}

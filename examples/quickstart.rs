@@ -1,0 +1,74 @@
+//! Quickstart: the paper in five minutes.
+//!
+//! 1. Eq. 1 — the XNOR+popcount identity BNNs run on.
+//! 2. TacitMap — one crossbar activation computes every popcount.
+//! 3. EinsteinBarrier — WDM executes K input vectors per activation.
+//! 4. The headline numbers — Fig. 7/Fig. 8 regenerated.
+//!
+//! Run with `cargo run --release --example quickstart`.
+
+use eb_bitnn::{ops, BitMatrix, BitVec};
+use eb_core::report::{run_fig7, run_fig8};
+use eb_core::OpticalTacitMapped;
+use eb_mapping::{CustBinaryMapped, TacitMapped};
+use eb_xbar::XbarConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut rng = StdRng::seed_from_u64(2024);
+
+    // ── 1. Eq. 1: In ⊛ W = 2·Popcount(In' ⊙ W') − len ────────────────
+    let input = BitVec::from_bipolar(&[1, -1, 1, 1, -1, 1, -1, -1]);
+    let weight = BitVec::from_bipolar(&[1, 1, -1, 1, -1, -1, 1, -1]);
+    let pop = ops::xnor_popcount(&input, &weight);
+    println!(
+        "Eq. 1: popcount(In ⊙ W) = {pop}; bipolar dot = 2·{pop} − 8 = {}",
+        ops::bipolar_dot(&input, &weight)
+    );
+
+    // ── 2. TacitMap vs CustBinaryMap on simulated analog crossbars ───
+    let weights = BitMatrix::from_fn(32, 64, |r, c| (r * 17 + c * 5) % 3 == 0);
+    let cfg = XbarConfig::new(128, 64);
+    let mut tacit = TacitMapped::program(&weights, &cfg, &mut rng)?;
+    let mut cust = CustBinaryMapped::program(&weights, &cfg, &mut rng)?;
+    let x = BitVec::from_bools(&(0..64).map(|i| i % 2 == 0).collect::<Vec<_>>());
+    let reference = ops::binary_linear_popcounts(&x, &weights);
+    assert_eq!(tacit.execute(&x, &mut rng)?, reference);
+    assert_eq!(cust.execute(&x, &mut rng)?, reference);
+    println!(
+        "TacitMap: {} step for 32 XNOR+popcounts; CustBinaryMap: {} sequential steps",
+        tacit.steps_taken(),
+        cust.steps_taken()
+    );
+
+    // ── 3. EinsteinBarrier: K inputs per optical step via WDM ────────
+    let mut optical = OpticalTacitMapped::program(&weights, 128, 64, 16, &mut rng)?;
+    let inputs: Vec<BitVec> = (0..16)
+        .map(|k| BitVec::from_bools(&(0..64).map(|i| (i * (k + 1)) % 5 < 2).collect::<Vec<_>>()))
+        .collect();
+    let counts = optical.execute_wdm(&inputs, &mut rng)?;
+    for (k, v) in inputs.iter().enumerate() {
+        assert_eq!(counts[k], ops::binary_linear_popcounts(v, &weights));
+    }
+    println!(
+        "EinsteinBarrier: {} optical step for {} input vectors (all bit-exact)",
+        optical.steps_taken(),
+        inputs.len()
+    );
+
+    // ── 4. The six benchmark networks ─────────────────────────────────
+    println!();
+    for model in eb_bitnn::BenchModel::all() {
+        println!("{}", eb_bitnn::summary::network_line(&model.build(0)?));
+    }
+
+    // ── 5. The paper's evaluation, regenerated ────────────────────────
+    println!();
+    let fig7 = run_fig7(128);
+    print!("{}", fig7.to_table());
+    println!();
+    let fig8 = run_fig8(128);
+    print!("{}", fig8.to_table());
+    Ok(())
+}

@@ -1,0 +1,54 @@
+//! Design-space exploration with the public API (the paper's Section
+//! VI-C future work): how does EinsteinBarrier's gain scale with WDM
+//! capacity, batch size, and chip budget — and where does the achieved
+//! gain fall below the theoretical K?
+//!
+//! Run with `cargo run --release --example wdm_explore`.
+
+use eb_bitnn::BenchModel;
+use eb_core::{evaluate_model, ChipConfig, Design};
+
+fn main() {
+    let model = BenchModel::MlpL;
+    println!("network: {model} — EinsteinBarrier gain over TacitMap-ePCM\n");
+
+    println!("1) Gain vs WDM capacity K (batch 128): the paper's observation 3 —");
+    println!("   achieved gain < K because replication already covers part of the batch.");
+    let tm = Design::tacitmap_epcm();
+    for k in [1usize, 2, 4, 8, 16, 32, 64] {
+        let eb = Design::einstein_barrier_with_capacity(k);
+        let t = evaluate_model(&tm, model, 128).total_latency_ns();
+        let e = evaluate_model(&eb, model, 128).total_latency_ns();
+        let bar = "#".repeat(((t / e) as usize).min(60));
+        println!("   K = {k:>3}: {:>6.1}x {bar}", t / e);
+    }
+
+    println!();
+    println!("2) Gain vs batch size (K = 16): larger batches fill the wavelengths.");
+    let eb = Design::einstein_barrier();
+    for batch in [1u64, 4, 16, 64, 256, 1024] {
+        let t = evaluate_model(&tm, model, batch).total_latency_ns();
+        let e = evaluate_model(&eb, model, batch).total_latency_ns();
+        println!("   batch = {batch:>5}: {:>6.1}x", t / e);
+    }
+
+    println!();
+    println!("3) Gain vs chip budget (K = 16, batch 128): more replicas compete with WDM.");
+    for tiles in [2usize, 4, 8, 16] {
+        let chip = ChipConfig {
+            nodes: 1,
+            tiles_per_node: tiles,
+            ecores_per_tile: 8,
+            vcores_per_ecore: 2,
+        };
+        let tm_c = Design::tacitmap_epcm().with_chip(chip.clone());
+        let eb_c = Design::einstein_barrier().with_chip(chip);
+        let t = evaluate_model(&tm_c, model, 128).total_latency_ns();
+        let e = evaluate_model(&eb_c, model, 128).total_latency_ns();
+        println!(
+            "   {tiles} tiles ({} crossbars): {:>6.1}x",
+            tm_c.crossbar_budget(),
+            t / e
+        );
+    }
+}

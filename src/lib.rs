@@ -1,0 +1,21 @@
+//! # einstein-barrier — facade crate
+//!
+//! Re-exports the full EinsteinBarrier reproduction workspace:
+//!
+//! * [`bitnn`] — BNN substrate (bit-packed tensors, Eq. 1 arithmetic,
+//!   layers, benchmark networks, trainer, synthetic datasets).
+//! * [`xbar`] — electronic PCM crossbar substrate.
+//! * [`photonics`] — integrated-photonics substrate (WDM, oPCM,
+//!   transmitter/receiver, power models).
+//! * [`mapping`] — TacitMap and CustBinaryMap data mappings.
+//! * [`core`] — the EinsteinBarrier accelerator: ISA, compiler,
+//!   architecture model, simulator, and baselines.
+//!
+//! See the repository `README.md` for a quickstart and `DESIGN.md` for the
+//! full system inventory.
+
+pub use eb_bitnn as bitnn;
+pub use eb_core as core;
+pub use eb_mapping as mapping;
+pub use eb_photonics as photonics;
+pub use eb_xbar as xbar;

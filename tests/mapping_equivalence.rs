@@ -1,0 +1,107 @@
+//! DESIGN.md E1 (paper Fig. 1/2): both mappings reproduce the software
+//! XNOR+popcount kernel bit-exactly on simulated analog crossbars,
+//! including the paper's own 2-bit worked example.
+
+use eb_bitnn::{ops, BitMatrix, BitVec};
+use eb_mapping::{CustBinaryMapped, TacitMapped};
+use eb_xbar::XbarConfig;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn rng() -> StdRng {
+    StdRng::seed_from_u64(0xF16)
+}
+
+#[test]
+fn paper_fig2_two_bit_example() {
+    // Fig. 2: In1 and W1 of length 2; both mappings must produce
+    // Popcount(In1 ⊙ W1) for every combination of 2-bit vectors.
+    let mut r = rng();
+    for w_bits in 0u8..4 {
+        for in_bits in 0u8..4 {
+            let w = BitVec::from_bools(&[w_bits & 1 == 1, w_bits & 2 == 2]);
+            let x = BitVec::from_bools(&[in_bits & 1 == 1, in_bits & 2 == 2]);
+            let weights = BitMatrix::from_rows(std::slice::from_ref(&w));
+            let cfg = XbarConfig::new(4, 4);
+            let mut tacit = TacitMapped::program(&weights, &cfg, &mut r).unwrap();
+            let mut cust = CustBinaryMapped::program(&weights, &cfg, &mut r).unwrap();
+            let want = ops::xnor_popcount(&x, &w);
+            assert_eq!(tacit.execute(&x, &mut r).unwrap(), vec![want]);
+            assert_eq!(cust.execute(&x, &mut r).unwrap(), vec![want]);
+        }
+    }
+}
+
+#[test]
+fn randomized_layers_agree_across_mappings_and_reference() {
+    let mut r = rng();
+    for seed in 0..10u64 {
+        let m = 16 + (seed as usize * 13) % 120;
+        let n = 4 + (seed as usize * 7) % 60;
+        let weights = BitMatrix::from_fn(n, m, |a, b| {
+            (seed.wrapping_mul((a * m + b) as u64 + 3)) % 3 == 0
+        });
+        let cfg = XbarConfig::new(64, 32);
+        let mut tacit = TacitMapped::program(&weights, &cfg, &mut r).unwrap();
+        let mut cust = CustBinaryMapped::program(&weights, &cfg, &mut r).unwrap();
+        for t in 0..3u64 {
+            let x = BitVec::from_bools(
+                &(0..m).map(|i| (i as u64 * (t + 2) + seed) % 5 < 2).collect::<Vec<_>>(),
+            );
+            let want = ops::binary_linear_popcounts(&x, &weights);
+            assert_eq!(tacit.execute(&x, &mut r).unwrap(), want, "tacit seed {seed}");
+            assert_eq!(cust.execute(&x, &mut r).unwrap(), want, "cust seed {seed}");
+        }
+    }
+}
+
+#[test]
+fn step_counts_match_paper_claim() {
+    // Section III: TacitMap takes 1 step where CustBinaryMap takes n.
+    let mut r = rng();
+    let n = 40usize;
+    let weights = BitMatrix::from_fn(n, 30, |a, b| (a + b) % 4 == 0);
+    let cfg = XbarConfig::new(64, 64);
+    let mut tacit = TacitMapped::program(&weights, &cfg, &mut r).unwrap();
+    let mut cust = CustBinaryMapped::program(&weights, &cfg, &mut r).unwrap();
+    let x = BitVec::ones(30);
+    tacit.execute(&x, &mut r).unwrap();
+    cust.execute(&x, &mut r).unwrap();
+    assert_eq!(tacit.steps_taken(), 1);
+    assert_eq!(cust.steps_taken(), n as u64);
+}
+
+#[test]
+fn device_noise_perturbs_but_ideal_does_not() {
+    use eb_xbar::DeviceParams;
+    let mut r = rng();
+    let weights = BitMatrix::from_fn(32, 64, |a, b| (a * b) % 3 == 1);
+    let x = BitVec::from_bools(&(0..64).map(|i| i % 2 == 1).collect::<Vec<_>>());
+    let want = ops::binary_linear_popcounts(&x, &weights);
+
+    // Ideal devices: always exact.
+    let cfg = XbarConfig::new(128, 64);
+    let mut ideal = TacitMapped::program(&weights, &cfg, &mut r).unwrap();
+    for _ in 0..5 {
+        assert_eq!(ideal.execute(&x, &mut r).unwrap(), want);
+    }
+
+    // Heavily noisy devices: reads wander (but stay near the truth).
+    let noisy_cfg = XbarConfig::new(128, 64).with_device(DeviceParams {
+        program_sigma: 0.3,
+        read_sigma: 0.1,
+        ..DeviceParams::ideal()
+    });
+    let mut noisy = TacitMapped::program(&weights, &noisy_cfg, &mut r).unwrap();
+    let mut diverged = false;
+    for _ in 0..10 {
+        let got = noisy.execute(&x, &mut r).unwrap();
+        if got != want {
+            diverged = true;
+        }
+        for (g, w) in got.iter().zip(&want) {
+            assert!((i64::from(*g) - i64::from(*w)).abs() < 16, "far off: {g} vs {w}");
+        }
+    }
+    assert!(diverged, "30% programming noise should perturb counts");
+}
