@@ -1,0 +1,143 @@
+//! Criterion bench for the bit-parallel inference engine: the packed
+//! im2col + word-level XNOR-GEMM convolution path against the naive
+//! per-pixel reference it is property-tested against, plus the raw GEMM
+//! kernel and the batched analog VMM.
+//!
+//! The headline comparison is a 128-channel 3×3 binary conv layer
+//! (`binconv/*_128ch_3x3`): the acceptance bar for this engine is ≥5×
+//! packed-over-naive on that shape.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eb_bitnn::{ops, BinConv, BitMatrix, BitTensor, BitVec, FixedConv, Tensor};
+use eb_xbar::{CrossbarArray, DeviceParams, VmmEngine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn feature_map(c: usize, h: usize, w: usize) -> BitTensor {
+    let mut t = BitTensor::zeros(c, h, w);
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                if (ci * 31 + y * 7 + x * 3) % 5 < 2 {
+                    t.set(ci, y, x, true);
+                }
+            }
+        }
+    }
+    t
+}
+
+fn bench_binconv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(2);
+    // The acceptance-criteria shape: 128 input channels, 3×3 kernel,
+    // 128 filters on a 16×16 map (196 sliding windows, fan-in 1152).
+    let conv = BinConv::random("c", 128, 128, 3, 1, 0, &mut rng);
+    let t = feature_map(128, 16, 16);
+    assert_eq!(
+        conv.forward(&t).expect("packed"),
+        conv.forward_naive(&t).expect("naive"),
+        "packed conv must be bit-exact against the naive oracle"
+    );
+    let mut group = c.benchmark_group("binconv");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1500));
+    group.bench_function("naive_128ch_3x3", |b| {
+        b.iter(|| black_box(conv.forward_naive(&t).expect("naive")))
+    });
+    group.bench_function("packed_128ch_3x3", |b| {
+        b.iter(|| black_box(conv.forward(&t).expect("packed")))
+    });
+    group.finish();
+}
+
+fn bench_fixed_conv(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(3);
+    let conv = FixedConv::random("c1", 3, 64, 3, 1, 1, &mut rng);
+    let t = Tensor::from_fn(&[3, 32, 32], |i| ((i as f32) * 0.113).sin());
+    assert_eq!(
+        conv.forward(&t).expect("packed"),
+        conv.forward_naive(&t).expect("naive"),
+        "packed fixed conv must be bit-exact against the naive oracle"
+    );
+    let mut group = c.benchmark_group("fixedconv");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1000));
+    group.bench_function("naive_3ch_32x32", |b| {
+        b.iter(|| black_box(conv.forward_naive(&t).expect("naive")))
+    });
+    group.bench_function("packed_3ch_32x32", |b| {
+        b.iter(|| black_box(conv.forward(&t).expect("packed")))
+    });
+    group.finish();
+}
+
+fn bench_gemm_kernel(c: &mut Criterion) {
+    // Raw kernel comparison on the im2col shape of the conv above:
+    // 196 windows × (128 filters × 1152 fan-in).
+    let windows = BitMatrix::from_fn(196, 1152, |r, q| (r * 17 + q * 5) % 7 < 3);
+    let filters = BitMatrix::from_fn(128, 1152, |r, q| (r + q) % 3 == 0);
+    let mut group = c.benchmark_group("xnor_gemm");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1000));
+    group.bench_function("rowwise_bitvec_196x128x1152", |b| {
+        b.iter(|| {
+            // The pre-refactor shape of the kernel: one owned BitVec per
+            // matrix row, XNOR through an allocated intermediate.
+            let out: Vec<Vec<u32>> = windows
+                .iter_rows()
+                .map(|inp| {
+                    filters
+                        .iter_rows()
+                        .map(|f| inp.xnor(&f).popcount())
+                        .collect()
+                })
+                .collect();
+            black_box(out)
+        })
+    });
+    group.bench_function("blocked_words_196x128x1152", |b| {
+        b.iter(|| black_box(ops::binary_mmm_popcounts(&windows, &filters)))
+    });
+    group.finish();
+}
+
+fn bench_vmm_batch(c: &mut Criterion) {
+    let mut rng = StdRng::seed_from_u64(5);
+    let bits = BitMatrix::from_fn(256, 256, |r, q| (r * q) % 3 == 0);
+    let mut array = CrossbarArray::new(256, 256, DeviceParams::ideal());
+    array.program_matrix(&bits, &mut rng).expect("fits");
+    let engine = VmmEngine::with_defaults(array);
+    let inputs: Vec<BitVec> = (0..64)
+        .map(|k| BitVec::from_bools(&(0..256).map(|i| (i + k) % 3 == 0).collect::<Vec<_>>()))
+        .collect();
+    let mut group = c.benchmark_group("analog_vmm");
+    group.sample_size(10);
+    group.warm_up_time(std::time::Duration::from_millis(300));
+    group.measurement_time(std::time::Duration::from_millis(1000));
+    group.bench_function("repeated_singles_64x256x256", |b| {
+        b.iter(|| {
+            let out: Vec<Vec<u32>> = inputs
+                .iter()
+                .map(|v| engine.vmm_counts(v, &mut rng).expect("vmm"))
+                .collect();
+            black_box(out)
+        })
+    });
+    group.bench_function("batched_64x256x256", |b| {
+        b.iter(|| black_box(engine.vmm_counts_batch(&inputs, &mut rng).expect("vmm")))
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_binconv,
+    bench_fixed_conv,
+    bench_gemm_kernel,
+    bench_vmm_batch
+);
+criterion_main!(benches);

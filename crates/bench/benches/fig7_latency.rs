@@ -20,15 +20,9 @@ fn bench_fig7(c: &mut Criterion) {
             ("tacitmap", Design::tacitmap_epcm()),
             ("einstein", Design::einstein_barrier()),
         ] {
-            group.bench_with_input(
-                BenchmarkId::new(tag, model.name()),
-                &model,
-                |b, &model| {
-                    b.iter(|| {
-                        black_box(evaluate_model(&design, model, 128).total_latency_ns())
-                    })
-                },
-            );
+            group.bench_with_input(BenchmarkId::new(tag, model.name()), &model, |b, &model| {
+                b.iter(|| black_box(evaluate_model(&design, model, 128).total_latency_ns()))
+            });
         }
     }
     group.finish();

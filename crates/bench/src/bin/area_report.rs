@@ -14,7 +14,13 @@ fn main() {
     let p = AreaParams::default();
     println!(
         "{:<18} {:>12} {:>14} {:>12} {:>14} {:>12} {:>12}",
-        "design", "array µm²", "converters µm²", "sense µm²", "photonics µm²", "xbar mm²", "chip mm²"
+        "design",
+        "array µm²",
+        "converters µm²",
+        "sense µm²",
+        "photonics µm²",
+        "xbar mm²",
+        "chip mm²"
     );
     for design in [
         Design::baseline_epcm(),

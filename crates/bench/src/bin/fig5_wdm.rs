@@ -48,8 +48,7 @@ fn main() {
     println!();
 
     // (b) TacitMap on oPCM with WDM: one time-step.
-    let mut opcm =
-        OpticalTacitMapped::program(&kernels, 4, 3, 16, &mut rng).expect("kernels fit");
+    let mut opcm = OpticalTacitMapped::program(&kernels, 4, 3, 16, &mut rng).expect("kernels fit");
     let counts = opcm
         .execute_wdm(&activations, &mut rng)
         .expect("one WDM step");

@@ -36,9 +36,12 @@ fn main() {
         .iter()
         .map(|r| r.tacitmap_speedup)
         .fold(0.0f64, f64::max);
-    let (max_eb, min_eb) = fig.rows.iter().fold((0.0f64, f64::INFINITY), |(mx, mn), r| {
-        (mx.max(r.einstein_speedup), mn.min(r.einstein_speedup))
-    });
+    let (max_eb, min_eb) = fig
+        .rows
+        .iter()
+        .fold((0.0f64, f64::INFINITY), |(mx, mn), r| {
+            (mx.max(r.einstein_speedup), mn.min(r.einstein_speedup))
+        });
     println!(
         "  TacitMap-ePCM max:        paper ~154x | measured {}",
         paper_factor(max_tm)

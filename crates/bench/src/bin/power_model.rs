@@ -14,7 +14,10 @@ fn main() {
     );
     println!("Eq. 2: P_crossbar = N × 2 mW");
     for n in [64usize, 128, 256, 512] {
-        println!("  N = {n:>4} columns: {:>8.1} mW", crossbar_receiver_power_mw(n));
+        println!(
+            "  N = {n:>4} columns: {:>8.1} mW",
+            crossbar_receiver_power_mw(n)
+        );
     }
     println!();
     let model = TransmitterPowerModel::paper_default();

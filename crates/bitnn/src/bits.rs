@@ -13,6 +13,20 @@ use std::fmt;
 /// Number of bits stored per backing word.
 pub const WORD_BITS: usize = 64;
 
+/// Walks the set bits of packed `words` in increasing index order, one
+/// `trailing_zeros` per set bit. Shared by [`BitVec::iter_ones`] and the
+/// word-level kernels in [`crate::ops`] that walk matrix rows directly.
+pub(crate) fn iter_set_bits(words: &[u64]) -> impl Iterator<Item = usize> + '_ {
+    words.iter().enumerate().flat_map(|(wi, &word)| {
+        let base = wi * WORD_BITS;
+        std::iter::successors((word != 0).then_some(word), |&m| {
+            let next = m & (m - 1);
+            (next != 0).then_some(next)
+        })
+        .map(move |m| base + m.trailing_zeros() as usize)
+    })
+}
+
 /// A bit-packed binary vector over {0, 1}.
 ///
 /// Bit `1` encodes bipolar `+1`, bit `0` encodes bipolar `-1`.
@@ -129,6 +143,23 @@ impl BitVec {
         &self.words
     }
 
+    /// Iterator over the indices of set bits, in increasing order.
+    ///
+    /// Walks the packed words directly (one `trailing_zeros` per set bit),
+    /// so sparse vectors iterate in `O(popcount)` word operations — the
+    /// primitive behind the word-level fixed-point and batch-VMM kernels.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use eb_bitnn::BitVec;
+    /// let v = BitVec::from_bools(&[true, false, false, true]);
+    /// assert_eq!(v.iter_ones().collect::<Vec<_>>(), vec![0, 3]);
+    /// ```
+    pub fn iter_ones(&self) -> impl Iterator<Item = usize> + '_ {
+        iter_set_bits(&self.words)
+    }
+
     /// Reads bit `i`, or `None` when out of range.
     pub fn get(&self, i: usize) -> Option<bool> {
         if i >= self.len {
@@ -143,7 +174,11 @@ impl BitVec {
     ///
     /// Panics if `i >= self.len()`.
     pub fn set(&mut self, i: usize, value: bool) {
-        assert!(i < self.len, "bit index {i} out of range for length {}", self.len);
+        assert!(
+            i < self.len,
+            "bit index {i} out of range for length {}",
+            self.len
+        );
         let w = i / WORD_BITS;
         let b = i % WORD_BITS;
         if value {
@@ -195,7 +230,12 @@ impl BitVec {
     pub fn and(&self, other: &Self) -> Self {
         assert_eq!(self.len, other.len, "and length mismatch");
         Self {
-            words: self.words.iter().zip(&other.words).map(|(a, b)| a & b).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a & b)
+                .collect(),
             len: self.len,
         }
     }
@@ -208,7 +248,12 @@ impl BitVec {
     pub fn or(&self, other: &Self) -> Self {
         assert_eq!(self.len, other.len, "or length mismatch");
         Self {
-            words: self.words.iter().zip(&other.words).map(|(a, b)| a | b).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a | b)
+                .collect(),
             len: self.len,
         }
     }
@@ -221,7 +266,12 @@ impl BitVec {
     pub fn xor(&self, other: &Self) -> Self {
         assert_eq!(self.len, other.len, "xor length mismatch");
         Self {
-            words: self.words.iter().zip(&other.words).map(|(a, b)| a ^ b).collect(),
+            words: self
+                .words
+                .iter()
+                .zip(&other.words)
+                .map(|(a, b)| a ^ b)
+                .collect(),
             len: self.len,
         }
     }
@@ -295,7 +345,9 @@ impl BitVec {
 
     /// Converts to a vector of booleans.
     pub fn to_bools(&self) -> Vec<bool> {
-        (0..self.len).map(|i| self.get(i).unwrap_or(false)).collect()
+        (0..self.len)
+            .map(|i| self.get(i).unwrap_or(false))
+            .collect()
     }
 
     /// Converts to bipolar values (+1 for bit 1, -1 for bit 0).
@@ -512,5 +564,19 @@ mod tests {
         let v = BitVec::from_bools(&[true, false, true]);
         assert_eq!(v.to_string(), "101");
         assert!(!format!("{v:?}").is_empty());
+    }
+
+    #[test]
+    fn iter_ones_matches_scalar_scan() {
+        for len in [0usize, 1, 63, 64, 65, 130, 200] {
+            let mut v = BitVec::zeros(len);
+            for i in (0..len).step_by(7) {
+                v.set(i, true);
+            }
+            let expect: Vec<usize> = (0..len).filter(|&i| v.get(i) == Some(true)).collect();
+            assert_eq!(v.iter_ones().collect::<Vec<_>>(), expect, "len {len}");
+        }
+        assert_eq!(BitVec::ones(70).iter_ones().count(), 70);
+        assert_eq!(BitVec::zeros(70).iter_ones().count(), 0);
     }
 }

@@ -127,25 +127,31 @@ impl BitTensor {
     pub fn im2col(&self, k: usize, stride: usize, pad: usize) -> BitMatrix {
         let (oh, ow) = conv_output_dims(self.height, self.width, k, stride, pad);
         let mut m = BitMatrix::zeros(oh * ow, self.channels * k * k);
+        let words = self.bits.words();
         for oy in 0..oh {
             for ox in 0..ow {
                 let row = oy * ow + ox;
+                // The kx range whose source column stays inside the map:
+                // everything else is zero padding and stays cleared.
+                let x0 = (ox * stride) as isize - pad as isize;
+                let kx_lo = (-x0).clamp(0, k as isize) as usize;
+                let kx_hi = (self.width as isize - x0).clamp(0, k as isize) as usize;
+                if kx_lo >= kx_hi {
+                    continue;
+                }
                 for c in 0..self.channels {
                     for ky in 0..k {
-                        for kx in 0..k {
-                            let iy = (oy * stride + ky) as isize - pad as isize;
-                            let ix = (ox * stride + kx) as isize - pad as isize;
-                            if iy < 0 || ix < 0 {
-                                continue;
-                            }
-                            let (iy, ix) = (iy as usize, ix as usize);
-                            if iy >= self.height || ix >= self.width {
-                                continue;
-                            }
-                            if self.get(c, iy, ix) == Some(true) {
-                                m.set(row, (c * k + ky) * k + kx, true);
-                            }
+                        let iy = (oy * stride + ky) as isize - pad as isize;
+                        if iy < 0 || iy as usize >= self.height {
+                            continue;
                         }
+                        // One contiguous run of kx_hi − kx_lo source bits
+                        // per (channel, kernel-row): a word-level OR copy
+                        // instead of per-bit get/set.
+                        let src_off = (c * self.height + iy as usize) * self.width
+                            + (x0 + kx_lo as isize) as usize;
+                        let dst_off = (c * k + ky) * k + kx_lo;
+                        m.or_bits_into_row(row, dst_off, words, src_off, kx_hi - kx_lo);
                     }
                 }
             }
@@ -256,9 +262,8 @@ mod tests {
             let _ = i;
             t.set(0, *y, *x, true);
         }
-        let kernel = BitVec::from_bools(&[
-            true, false, true, false, true, false, true, false, true,
-        ]);
+        let kernel =
+            BitVec::from_bools(&[true, false, true, false, true, false, true, false, true]);
         let cols = t.im2col(3, 1, 0);
         assert_eq!(cols.rows(), 4); // 2x2 output
         for oy in 0..2 {

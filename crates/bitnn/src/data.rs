@@ -15,6 +15,9 @@ use rand::{Rng, SeedableRng};
 /// Number of classes in both synthetic datasets (matches MNIST/CIFAR-10).
 pub const NUM_CLASSES: usize = 10;
 
+/// Labelled samples as `(image, class)` pairs.
+pub type LabelledSamples = Vec<(Tensor, usize)>;
+
 /// A labelled synthetic dataset.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Dataset {
@@ -90,13 +93,10 @@ impl Dataset {
     }
 
     /// Splits into `(train, test)` at `train_fraction`.
-    pub fn split(&self, train_fraction: f64) -> (Vec<(Tensor, usize)>, Vec<(Tensor, usize)>) {
+    pub fn split(&self, train_fraction: f64) -> (LabelledSamples, LabelledSamples) {
         let cut = ((self.samples.len() as f64) * train_fraction).round() as usize;
         let cut = cut.min(self.samples.len());
-        (
-            self.samples[..cut].to_vec(),
-            self.samples[cut..].to_vec(),
-        )
+        (self.samples[..cut].to_vec(), self.samples[cut..].to_vec())
     }
 }
 

@@ -127,7 +127,11 @@ impl FixedLinear {
     /// # Panics
     ///
     /// Panics if `thresholds.len() != weights.rows()`.
-    pub fn new(name: impl Into<String>, weights: BitMatrix, thresholds: Vec<ThresholdSpec>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        weights: BitMatrix,
+        thresholds: Vec<ThresholdSpec>,
+    ) -> Self {
         assert_eq!(weights.rows(), thresholds.len(), "threshold count mismatch");
         Self {
             name: name.into(),
@@ -139,7 +143,12 @@ impl FixedLinear {
 
     /// Random weights with majority thresholds centred for sign-balanced
     /// 8-bit inputs (threshold 0 on the integer pre-activation).
-    pub fn random(name: impl Into<String>, inputs: usize, outputs: usize, rng: &mut impl Rng) -> Self {
+    pub fn random(
+        name: impl Into<String>,
+        inputs: usize,
+        outputs: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         let weights = BitMatrix::from_fn(outputs, inputs, |_, _| rng.gen::<bool>());
         let thresholds = vec![ThresholdSpec::fire_at_or_above(0); outputs];
         Self::new(name, weights, thresholds)
@@ -192,7 +201,11 @@ impl BinLinear {
     /// # Panics
     ///
     /// Panics if `thresholds.len() != weights.rows()`.
-    pub fn new(name: impl Into<String>, weights: BitMatrix, thresholds: Vec<ThresholdSpec>) -> Self {
+    pub fn new(
+        name: impl Into<String>,
+        weights: BitMatrix,
+        thresholds: Vec<ThresholdSpec>,
+    ) -> Self {
         assert_eq!(weights.rows(), thresholds.len(), "threshold count mismatch");
         Self {
             name: name.into(),
@@ -208,7 +221,12 @@ impl BinLinear {
     }
 
     /// Random weights with majority thresholds.
-    pub fn random(name: impl Into<String>, inputs: usize, outputs: usize, rng: &mut impl Rng) -> Self {
+    pub fn random(
+        name: impl Into<String>,
+        inputs: usize,
+        outputs: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         let weights = BitMatrix::from_fn(outputs, inputs, |_, _| rng.gen::<bool>());
         let thresholds = vec![ThresholdSpec::majority(inputs); outputs];
         Self::new(name, weights, thresholds)
@@ -277,7 +295,11 @@ impl FixedConv {
         stride: usize,
         pad: usize,
     ) -> Self {
-        assert_eq!(filters.cols(), in_channels * kernel * kernel, "filter fan-in mismatch");
+        assert_eq!(
+            filters.cols(),
+            in_channels * kernel * kernel,
+            "filter fan-in mismatch"
+        );
         assert_eq!(filters.rows(), thresholds.len(), "threshold count mismatch");
         Self {
             name: name.into(),
@@ -302,8 +324,9 @@ impl FixedConv {
         pad: usize,
         rng: &mut impl Rng,
     ) -> Self {
-        let filters =
-            BitMatrix::from_fn(out_channels, in_channels * kernel * kernel, |_, _| rng.gen::<bool>());
+        let filters = BitMatrix::from_fn(out_channels, in_channels * kernel * kernel, |_, _| {
+            rng.gen::<bool>()
+        });
         let thresholds = vec![ThresholdSpec::fire_at_or_above(0); out_channels];
         Self::new(name, filters, thresholds, in_channels, kernel, stride, pad)
     }
@@ -338,7 +361,7 @@ impl FixedConv {
         &self.thresholds
     }
 
-    fn forward(&self, t: &Tensor) -> Result<BitTensor, BitnnError> {
+    fn check_input(&self, t: &Tensor) -> Result<(usize, usize, usize), BitnnError> {
         let shape = t.shape();
         if shape.len() != 3 || shape[0] != self.in_channels {
             return Err(BitnnError::ShapeMismatch {
@@ -347,7 +370,51 @@ impl FixedConv {
                 got: format!("{shape:?}"),
             });
         }
-        let (c, h, w) = (shape[0], shape[1], shape[2]);
+        Ok((shape[0], shape[1], shape[2]))
+    }
+
+    /// Packed-im2col forward pass: quantizes the input once, extracts
+    /// *all* sliding windows into a single patch matrix, and runs the
+    /// word-level fixed-point kernel over its rows. This is the hot path;
+    /// [`FixedConv::forward_naive`] is the per-pixel reference it is
+    /// tested against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::ShapeMismatch`] when the input is not a
+    /// `in_channels×H×W` tensor.
+    pub fn forward(&self, t: &Tensor) -> Result<BitTensor, BitnnError> {
+        let (c, h, w) = self.check_input(t)?;
+        let (oh, ow) = conv_output_dims(h, w, self.kernel, self.stride, self.pad);
+        let q = t.quantize(self.input_bits);
+        let fan_in = c * self.kernel * self.kernel;
+        let patches = im2col_i16(&q, c, h, w, self.kernel, self.stride, self.pad);
+        let mut out = BitTensor::zeros(self.filters.rows(), oh, ow);
+        // Indexed slicing (not `chunks_exact`) so a degenerate zero fan-in
+        // layer still thresholds every output pixel like the naive path.
+        for row in 0..oh * ow {
+            let patch = &patches[row * fan_in..(row + 1) * fan_in];
+            let pre = ops::fixed_linear_preacts(patch, &self.filters);
+            let (oy, ox) = (row / ow, row % ow);
+            for (f, (&p, spec)) in pre.iter().zip(&self.thresholds).enumerate() {
+                if spec.fire(i64::from(p)) {
+                    out.set(f, oy, ox, true);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Naive per-pixel reference: allocates one `c·k·k` window per output
+    /// position and runs the element-wise kernel — the oracle the packed
+    /// path is property-tested against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::ShapeMismatch`] when the input is not a
+    /// `in_channels×H×W` tensor.
+    pub fn forward_naive(&self, t: &Tensor) -> Result<BitTensor, BitnnError> {
+        let (c, h, w) = self.check_input(t)?;
         let (oh, ow) = conv_output_dims(h, w, self.kernel, self.stride, self.pad);
         let q = t.quantize(self.input_bits);
         let mut out = BitTensor::zeros(self.filters.rows(), oh, ow);
@@ -369,7 +436,7 @@ impl FixedConv {
                         }
                     }
                 }
-                let pre = ops::fixed_linear_preacts(&window, &self.filters);
+                let pre = ops::fixed_linear_preacts_naive(&window, &self.filters);
                 for (f, (&p, spec)) in pre.iter().zip(&self.thresholds).enumerate() {
                     if spec.fire(i64::from(p)) {
                         out.set(f, oy, ox, true);
@@ -379,6 +446,46 @@ impl FixedConv {
         }
         Ok(out)
     }
+}
+
+/// im2col for quantized fixed-point maps: every `k×k` window of the
+/// channel-major `c×h×w` map `q`, flattened into consecutive `c·k·k`
+/// rows of one contiguous buffer (padding positions stay 0). One
+/// allocation for the whole layer instead of one `Vec` per output pixel.
+fn im2col_i16(
+    q: &[i16],
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> Vec<i16> {
+    let (oh, ow) = conv_output_dims(h, w, k, stride, pad);
+    let fan_in = c * k * k;
+    let mut patches = vec![0i16; oh * ow * fan_in];
+    for oy in 0..oh {
+        for ox in 0..ow {
+            let base = (oy * ow + ox) * fan_in;
+            for ci in 0..c {
+                for ky in 0..k {
+                    let iy = (oy * stride + ky) as isize - pad as isize;
+                    if iy < 0 || iy as usize >= h {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for kx in 0..k {
+                        let ix = (ox * stride + kx) as isize - pad as isize;
+                        if ix < 0 || ix as usize >= w {
+                            continue;
+                        }
+                        patches[base + (ci * k + ky) * k + kx] = q[(ci * h + iy) * w + ix as usize];
+                    }
+                }
+            }
+        }
+    }
+    patches
 }
 
 /// A fully binary hidden convolutional layer.
@@ -409,7 +516,11 @@ impl BinConv {
         stride: usize,
         pad: usize,
     ) -> Self {
-        assert_eq!(filters.cols(), in_channels * kernel * kernel, "filter fan-in mismatch");
+        assert_eq!(
+            filters.cols(),
+            in_channels * kernel * kernel,
+            "filter fan-in mismatch"
+        );
         assert_eq!(filters.rows(), thresholds.len(), "threshold count mismatch");
         Self {
             name: name.into(),
@@ -469,7 +580,7 @@ impl BinConv {
         self.in_channels
     }
 
-    fn forward(&self, t: &BitTensor) -> Result<BitTensor, BitnnError> {
+    fn check_input(&self, t: &BitTensor) -> Result<(), BitnnError> {
         if t.channels() != self.in_channels {
             return Err(BitnnError::ShapeMismatch {
                 layer: self.name.clone(),
@@ -477,15 +588,74 @@ impl BinConv {
                 got: format!("{} channels", t.channels()),
             });
         }
+        Ok(())
+    }
+
+    /// Packed forward pass: builds one im2col patch matrix for the whole
+    /// layer and runs the blocked word-level XNOR-GEMM
+    /// ([`ops::binary_mmm_popcounts`]) against the filters — no per-pixel
+    /// window or per-row `BitVec` allocations. This is the hot path;
+    /// [`BinConv::forward_naive`] is the reference it is tested against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::ShapeMismatch`] on a channel-count mismatch.
+    pub fn forward(&self, t: &BitTensor) -> Result<BitTensor, BitnnError> {
+        self.check_input(t)?;
         let (oh, ow) = conv_output_dims(t.height(), t.width(), self.kernel, self.stride, self.pad);
         let windows = t.im2col(self.kernel, self.stride, self.pad);
+        let pops = ops::binary_mmm_popcounts(&windows, &self.filters);
         let mut out = BitTensor::zeros(self.filters.rows(), oh, ow);
-        for (row, window) in windows.iter_rows().enumerate() {
-            let pops = ops::binary_linear_popcounts(&window, &self.filters);
+        for (row, row_pops) in pops.iter().enumerate() {
             let (oy, ox) = (row / ow, row % ow);
-            for (f, (&p, spec)) in pops.iter().zip(&self.thresholds).enumerate() {
+            for (f, (&p, spec)) in row_pops.iter().zip(&self.thresholds).enumerate() {
                 if spec.fire(i64::from(p)) {
                     out.set(f, oy, ox, true);
+                }
+            }
+        }
+        Ok(out)
+    }
+
+    /// Naive per-pixel reference: extracts one window `BitVec` per output
+    /// position and dots it against every filter row bit-by-bit — the
+    /// oracle the packed path is property-tested against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::ShapeMismatch`] on a channel-count mismatch.
+    pub fn forward_naive(&self, t: &BitTensor) -> Result<BitTensor, BitnnError> {
+        self.check_input(t)?;
+        let (oh, ow) = conv_output_dims(t.height(), t.width(), self.kernel, self.stride, self.pad);
+        let k = self.kernel;
+        let c = self.in_channels;
+        let mut out = BitTensor::zeros(self.filters.rows(), oh, ow);
+        for oy in 0..oh {
+            for ox in 0..ow {
+                let mut window = BitVec::zeros(c * k * k);
+                for ci in 0..c {
+                    for ky in 0..k {
+                        for kx in 0..k {
+                            let iy = (oy * self.stride + ky) as isize - self.pad as isize;
+                            let ix = (ox * self.stride + kx) as isize - self.pad as isize;
+                            if iy < 0 || ix < 0 {
+                                continue;
+                            }
+                            if t.get(ci, iy as usize, ix as usize) == Some(true) {
+                                window.set((ci * k + ky) * k + kx, true);
+                            }
+                        }
+                    }
+                }
+                for (f, spec) in self.thresholds.iter().enumerate() {
+                    // Scalar bit-by-bit agreement count — no packing tricks,
+                    // mirroring `ops::bipolar_dot_naive`.
+                    let pop = (0..window.len())
+                        .filter(|&i| window.get(i) == self.filters.get(f, i))
+                        .count() as u32;
+                    if spec.fire(i64::from(pop)) {
+                        out.set(f, oy, ox, true);
+                    }
                 }
             }
         }
@@ -523,7 +693,12 @@ impl OutputLinear {
     }
 
     /// Random Gaussian-ish weights in `[-0.5, 0.5)` and zero bias.
-    pub fn random(name: impl Into<String>, inputs: usize, outputs: usize, rng: &mut impl Rng) -> Self {
+    pub fn random(
+        name: impl Into<String>,
+        inputs: usize,
+        outputs: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
         let weights = (0..outputs)
             .map(|_| (0..inputs).map(|_| rng.gen::<f32>() - 0.5).collect())
             .collect();
@@ -599,7 +774,9 @@ impl Layer {
             (Self::FixedLinear(l), Activation::Real(t)) => Ok(Activation::Binary(l.forward(t)?)),
             (Self::FixedConv(l), Activation::Real(t)) => Ok(Activation::BinaryMap(l.forward(t)?)),
             (Self::BinLinear(l), Activation::Binary(x)) => Ok(Activation::Binary(l.forward(x)?)),
-            (Self::BinConv(l), Activation::BinaryMap(t)) => Ok(Activation::BinaryMap(l.forward(t)?)),
+            (Self::BinConv(l), Activation::BinaryMap(t)) => {
+                Ok(Activation::BinaryMap(l.forward(t)?))
+            }
             (Self::MaxPool2, Activation::BinaryMap(t)) => {
                 Ok(Activation::BinaryMap(t.max_pool_2x2()))
             }
@@ -811,10 +988,7 @@ mod tests {
         let mut t = BitTensor::zeros(1, 5, 5);
         t.set(0, 2, 2, true);
         let out = conv.forward(&t).unwrap();
-        assert_eq!(
-            (out.channels(), out.height(), out.width()),
-            (2, 3, 3)
-        );
+        assert_eq!((out.channels(), out.height(), out.width()), (2, 3, 3));
         // Cross-check one output against the reference kernel.
         let windows = t.im2col(3, 1, 0);
         let pops = ops::binary_linear_popcounts(&windows.row(0), conv.filters());
@@ -861,11 +1035,7 @@ mod tests {
 
     #[test]
     fn output_layer_produces_logits() {
-        let out = OutputLinear::new(
-            "out",
-            vec![vec![1.0, -1.0], vec![0.5, 0.5]],
-            vec![0.0, 1.0],
-        );
+        let out = OutputLinear::new("out", vec![vec![1.0, -1.0], vec![0.5, 0.5]], vec![0.0, 1.0]);
         let layer = Layer::Output(out);
         let act = layer
             .forward(&Activation::Binary(BitVec::from_bools(&[true, true])))

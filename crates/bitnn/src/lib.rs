@@ -42,7 +42,7 @@ mod train;
 pub use batchnorm::{BatchNorm, ThresholdSpec};
 pub use bits::{BitVec, Iter as BitIter, WORD_BITS};
 pub use bittensor::{conv_output_dims, BitTensor};
-pub use data::{synth_image, Dataset, NUM_CLASSES};
+pub use data::{synth_image, Dataset, LabelledSamples, NUM_CLASSES};
 pub use error::BitnnError;
 pub use layers::{
     Activation, BinConv, BinLinear, FixedConv, FixedLinear, Layer, LayerDims, LayerKind,

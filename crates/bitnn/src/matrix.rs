@@ -119,18 +119,84 @@ impl BitMatrix {
         self.data[start..start + self.words_per_row].copy_from_slice(row.words());
     }
 
+    /// Packed words per row (`cols.div_ceil(64)`).
+    pub fn words_per_row(&self) -> usize {
+        self.words_per_row
+    }
+
+    /// Borrowed view of row `r`'s packed words; bits past `cols` in the
+    /// final word are guaranteed zero.
+    ///
+    /// This is the zero-copy accessor the word-level kernels in
+    /// [`crate::ops`] are built on — unlike [`BitMatrix::row`] it never
+    /// allocates.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` is out of range.
+    #[inline]
+    pub fn row_words(&self, r: usize) -> &[u64] {
+        assert!(r < self.rows, "row {r} out of range");
+        let start = r * self.words_per_row;
+        &self.data[start..start + self.words_per_row]
+    }
+
     /// Extracts row `r` as an owned [`BitVec`].
     ///
     /// # Panics
     ///
     /// Panics if `r` is out of range.
     pub fn row(&self, r: usize) -> BitVec {
+        BitVec::from_words(self.row_words(r).to_vec(), self.cols)
+    }
+
+    /// ORs `n` bits read from packed `src` words at bit offset `src_off`
+    /// into row `r` at bit offset `dst_off` — the word-level bulk copy
+    /// behind the packed im2col (a window row segment moves in a couple
+    /// of shifts instead of `n` get/set pairs).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the destination range exceeds the row or the source range
+    /// exceeds `src`.
+    pub fn or_bits_into_row(
+        &mut self,
+        r: usize,
+        mut dst_off: usize,
+        src: &[u64],
+        mut src_off: usize,
+        mut n: usize,
+    ) {
         assert!(r < self.rows, "row {r} out of range");
-        let start = r * self.words_per_row;
-        BitVec::from_words(
-            self.data[start..start + self.words_per_row].to_vec(),
-            self.cols,
-        )
+        assert!(dst_off + n <= self.cols, "destination range out of row");
+        assert!(
+            src_off + n <= src.len() * WORD_BITS,
+            "source range out of bounds"
+        );
+        let base = r * self.words_per_row;
+        while n > 0 {
+            let take = n.min(WORD_BITS);
+            // Extract `take` bits from src starting at src_off.
+            let sw = src_off / WORD_BITS;
+            let sb = src_off % WORD_BITS;
+            let mut v = src[sw] >> sb;
+            if sb != 0 && sw + 1 < src.len() {
+                v |= src[sw + 1] << (WORD_BITS - sb);
+            }
+            if take < WORD_BITS {
+                v &= (1u64 << take) - 1;
+            }
+            // OR them into the destination row at dst_off.
+            let dw = dst_off / WORD_BITS;
+            let db = dst_off % WORD_BITS;
+            self.data[base + dw] |= v << db;
+            if db != 0 && db + take > WORD_BITS {
+                self.data[base + dw + 1] |= v >> (WORD_BITS - db);
+            }
+            src_off += take;
+            dst_off += take;
+            n -= take;
+        }
     }
 
     /// Extracts column `c` as an owned [`BitVec`].
@@ -161,7 +227,7 @@ impl BitMatrix {
 
     /// Total number of set bits.
     pub fn popcount(&self) -> u64 {
-        (0..self.rows).map(|r| u64::from(self.row(r).popcount())).sum()
+        self.data.iter().map(|w| u64::from(w.count_ones())).sum()
     }
 
     /// Iterator over rows as owned [`BitVec`]s.
@@ -298,6 +364,46 @@ mod tests {
     #[should_panic(expected = "inconsistent length")]
     fn from_rows_rejects_ragged_input() {
         let _ = BitMatrix::from_rows(&[BitVec::zeros(3), BitVec::zeros(4)]);
+    }
+
+    #[test]
+    fn or_bits_into_row_matches_bitwise_copy() {
+        // Sweep offsets/lengths across word boundaries against a set-based
+        // reference.
+        let src_vec = BitVec::from_bools(&(0..200).map(|i| (i * 7) % 3 == 0).collect::<Vec<_>>());
+        let src = src_vec.words();
+        for &(dst_off, src_off, n) in &[
+            (0usize, 0usize, 5usize),
+            (3, 61, 10),
+            (60, 0, 64),
+            (63, 63, 2),
+            (1, 2, 130),
+            (0, 199, 1),
+            (70, 100, 100),
+        ] {
+            let mut fast = BitMatrix::zeros(2, 192);
+            fast.or_bits_into_row(1, dst_off, src, src_off, n);
+            let mut slow = BitMatrix::zeros(2, 192);
+            for i in 0..n {
+                if src_vec.get(src_off + i) == Some(true) {
+                    slow.set(1, dst_off + i, true);
+                }
+            }
+            assert_eq!(fast, slow, "dst {dst_off} src {src_off} n {n}");
+        }
+    }
+
+    #[test]
+    fn row_words_match_owned_rows() {
+        let m = checker(5, 130);
+        assert_eq!(m.words_per_row(), 3);
+        for r in 0..5 {
+            assert_eq!(m.row_words(r), m.row(r).words());
+        }
+        // Tail bits past `cols` stay zero — the invariant the word-level
+        // kernels rely on.
+        let last = m.row_words(0)[2];
+        assert_eq!(last >> (130 - 128), 0);
     }
 
     #[test]

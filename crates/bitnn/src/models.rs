@@ -348,8 +348,7 @@ mod tests {
 
     #[test]
     fn models_ordered_by_size_within_family() {
-        let macs =
-            |m: BenchModel| m.dims().iter().map(|d| d.macs()).sum::<u64>();
+        let macs = |m: BenchModel| m.dims().iter().map(|d| d.macs()).sum::<u64>();
         assert!(macs(BenchModel::MlpS) < macs(BenchModel::MlpM));
         assert!(macs(BenchModel::MlpM) < macs(BenchModel::MlpL));
         assert!(macs(BenchModel::CnnS) < macs(BenchModel::CnnM));

@@ -4,6 +4,7 @@ use crate::error::BitnnError;
 use crate::layers::{Activation, Layer, LayerDims, Shape};
 use crate::ops;
 use crate::tensor::Tensor;
+use rayon::prelude::*;
 
 /// A feed-forward BNN: an input shape plus a validated layer stack.
 ///
@@ -130,6 +131,34 @@ impl Bnn {
         Ok(trace)
     }
 
+    /// Batched forward pass: runs [`Bnn::forward`] over every input,
+    /// parallelized across samples with rayon. Weights are shared
+    /// read-only between workers; the per-sample activations live on each
+    /// worker's stack, so the batch scales with the available cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns a layer shape/kind error if any sample fails.
+    pub fn forward_batch(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, BitnnError> {
+        inputs.par_iter().map(|x| self.forward(x)).collect()
+    }
+
+    /// Batched prediction (argmax of logits per sample), parallelized
+    /// across samples.
+    ///
+    /// # Errors
+    ///
+    /// Returns a layer shape/kind error if any sample fails.
+    pub fn predict_batch(&self, inputs: &[Tensor]) -> Result<Vec<usize>, BitnnError> {
+        inputs
+            .par_iter()
+            .map(|x| {
+                self.forward(x)
+                    .map(|logits| ops::argmax(logits.as_slice()).unwrap_or(0))
+            })
+            .collect()
+    }
+
     /// Predicted class (argmax of logits).
     ///
     /// # Errors
@@ -140,7 +169,8 @@ impl Bnn {
         Ok(ops::argmax(logits.as_slice()).unwrap_or(0))
     }
 
-    /// Classification accuracy over a labelled set.
+    /// Classification accuracy over a labelled set (evaluated through the
+    /// parallel batch path).
     ///
     /// # Errors
     ///
@@ -149,12 +179,12 @@ impl Bnn {
         if samples.is_empty() {
             return Ok(0.0);
         }
-        let mut correct = 0usize;
-        for (x, y) in samples {
-            if self.predict(x)? == *y {
-                correct += 1;
-            }
-        }
+        let correct: usize = samples
+            .par_iter()
+            .map(|(x, y)| self.predict(x).map(|p| usize::from(p == *y)))
+            .collect::<Result<Vec<_>, _>>()?
+            .into_iter()
+            .sum();
         Ok(correct as f64 / samples.len() as f64)
     }
 
@@ -249,6 +279,30 @@ mod tests {
         assert_eq!(dims[0].fan_in, 12);
         assert_eq!(dims[1].out_vectors, 6);
         assert_eq!(net.total_macs(), (12 * 6 + 6 * 6 + 6 * 3) as u64);
+    }
+
+    #[test]
+    fn forward_batch_matches_sequential() {
+        let net = tiny();
+        let inputs: Vec<Tensor> = (0..9)
+            .map(|s| Tensor::from_fn(&[12], |i| ((i + s) as f32 * 0.31).sin()))
+            .collect();
+        let batch = net.forward_batch(&inputs).unwrap();
+        for (x, got) in inputs.iter().zip(&batch) {
+            assert_eq!(*got, net.forward(x).unwrap());
+        }
+        let preds = net.predict_batch(&inputs).unwrap();
+        for (x, p) in inputs.iter().zip(&preds) {
+            assert_eq!(*p, net.predict(x).unwrap());
+        }
+    }
+
+    #[test]
+    fn forward_batch_propagates_errors() {
+        let net = tiny();
+        let inputs = vec![Tensor::zeros(&[12]), Tensor::zeros(&[13])];
+        assert!(net.forward_batch(&inputs).is_err());
+        assert!(net.predict_batch(&inputs).is_err());
     }
 
     #[test]

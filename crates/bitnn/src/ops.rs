@@ -11,8 +11,95 @@
 //! and `⊙` is element-wise XNOR. These functions are the golden reference
 //! that every crossbar mapping in the workspace is tested against.
 
-use crate::bits::BitVec;
+use crate::bits::{iter_set_bits, BitVec, WORD_BITS};
 use crate::matrix::BitMatrix;
+
+/// Word-level `popcount(a ⊙ b)` over raw packed words.
+///
+/// Both slices must have their bits past `len` cleared (the invariant
+/// [`BitVec`] and [`BitMatrix`] maintain): XNOR turns the shared zero
+/// padding into ones, so the padding contribution is a compile-time
+/// constant (`words·64 − len`) subtracted at the end. No intermediate
+/// vector is materialized — this is the innermost loop of every binary
+/// kernel below. On x86-64 with `AVX512VPOPCNTDQ` the agreement count is
+/// computed eight words per instruction; elsewhere a scalar
+/// `count_ones` loop is used.
+///
+/// # Panics
+///
+/// Panics if the word counts differ (the SIMD path reads whole slices,
+/// so this must hold even in release builds).
+#[inline]
+pub fn xnor_popcount_words(a: &[u64], b: &[u64], len: usize) -> u32 {
+    assert_eq!(a.len(), b.len(), "word count mismatch");
+    xnor_agree_words(a, b) - (a.len() * WORD_BITS - len) as u32
+}
+
+/// Signature of an agreement-count kernel over equal-length word slices.
+type AgreeFn = fn(&[u64], &[u64]) -> u32;
+
+/// Picks the agreement kernel for rows of `words` packed words: the
+/// AVX-512 path when the CPU supports it and the rows are long enough to
+/// amortize the vector setup, the scalar loop otherwise. Feature
+/// detection is memoized, and the matrix kernels hoist this choice out
+/// of their row loops so the inner loop stays branch-free.
+fn agree_kernel(words: usize) -> AgreeFn {
+    #[cfg(target_arch = "x86_64")]
+    if words >= 8 && avx512_popcount_available() {
+        // SAFETY: both required features were detected at runtime.
+        return |a, b| unsafe { xnor_agree_avx512(a, b) };
+    }
+    let _ = words;
+    xnor_agree_scalar
+}
+
+/// Memoized runtime check for `avx512f` + `avx512vpopcntdq`.
+#[cfg(target_arch = "x86_64")]
+fn avx512_popcount_available() -> bool {
+    static AVAILABLE: std::sync::OnceLock<bool> = std::sync::OnceLock::new();
+    *AVAILABLE.get_or_init(|| {
+        is_x86_feature_detected!("avx512f") && is_x86_feature_detected!("avx512vpopcntdq")
+    })
+}
+
+/// Number of agreeing bit positions over whole words (padding included).
+#[inline]
+fn xnor_agree_words(a: &[u64], b: &[u64]) -> u32 {
+    agree_kernel(a.len())(a, b)
+}
+
+#[inline]
+fn xnor_agree_scalar(a: &[u64], b: &[u64]) -> u32 {
+    a.iter().zip(b).map(|(x, y)| (!(x ^ y)).count_ones()).sum()
+}
+
+/// AVX-512 agreement count: XNOR + vectorized popcount, 8 words/lane-op.
+///
+/// # Safety
+///
+/// Requires `avx512f` and `avx512vpopcntdq` at runtime.
+#[cfg(target_arch = "x86_64")]
+#[target_feature(enable = "avx512f,avx512vpopcntdq")]
+unsafe fn xnor_agree_avx512(a: &[u64], b: &[u64]) -> u32 {
+    use std::arch::x86_64::{
+        _mm512_add_epi64, _mm512_loadu_si512, _mm512_popcnt_epi64, _mm512_reduce_add_epi64,
+        _mm512_set1_epi64, _mm512_setzero_si512, _mm512_xor_si512,
+    };
+    let chunks = a.len() / 8;
+    let mut acc = _mm512_setzero_si512();
+    let ones = _mm512_set1_epi64(-1);
+    for i in 0..chunks {
+        let va = _mm512_loadu_si512(a.as_ptr().add(i * 8).cast());
+        let vb = _mm512_loadu_si512(b.as_ptr().add(i * 8).cast());
+        let xnor = _mm512_xor_si512(_mm512_xor_si512(va, vb), ones);
+        acc = _mm512_add_epi64(acc, _mm512_popcnt_epi64(xnor));
+    }
+    let mut total = _mm512_reduce_add_epi64(acc) as u64;
+    for i in chunks * 8..a.len() {
+        total += u64::from((!(a[i] ^ b[i])).count_ones());
+    }
+    total as u32
+}
 
 /// `Popcount(a ⊙ b)`: the number of agreeing positions.
 ///
@@ -29,7 +116,8 @@ use crate::matrix::BitMatrix;
 /// assert_eq!(ops::xnor_popcount(&a, &b), 2);
 /// ```
 pub fn xnor_popcount(a: &BitVec, b: &BitVec) -> u32 {
-    a.xnor(b).popcount()
+    assert_eq!(a.len(), b.len(), "xnor length mismatch");
+    xnor_popcount_words(a.words(), b.words(), a.len())
 }
 
 /// The bipolar dot product `Σ aᵢ·bᵢ` with `aᵢ, bᵢ ∈ {−1, +1}`, computed via
@@ -62,56 +150,103 @@ pub fn bipolar_dot_naive(a: &BitVec, b: &BitVec) -> i32 {
         .sum()
 }
 
-/// Reference binary linear kernel: for each weight vector (row of
-/// `weights`, fan-in = `input.len()`), the XNOR popcount with `input`.
+/// Binary linear kernel: for each weight vector (row of `weights`,
+/// fan-in = `input.len()`), the XNOR popcount with `input`.
 ///
 /// This is what one TacitMap crossbar activation computes across its
-/// columns in a single step.
+/// columns in a single step. Runs word-level over the borrowed matrix
+/// rows ([`BitMatrix::row_words`]) — no per-row `BitVec` is materialized.
 ///
 /// # Panics
 ///
 /// Panics if `weights.cols() != input.len()`.
 pub fn binary_linear_popcounts(input: &BitVec, weights: &BitMatrix) -> Vec<u32> {
     assert_eq!(weights.cols(), input.len(), "fan-in mismatch");
-    weights.iter_rows().map(|w| xnor_popcount(input, &w)).collect()
+    let words = input.words();
+    let pad = (words.len() * WORD_BITS - input.len()) as u32;
+    let agree = agree_kernel(words.len());
+    (0..weights.rows())
+        .map(|r| agree(words, weights.row_words(r)) - pad)
+        .collect()
 }
 
-/// Reference binary linear kernel in the bipolar domain (pre-activation
-/// values fed to batch-norm + sign in a BNN hidden layer).
+/// Binary linear kernel in the bipolar domain (pre-activation values fed
+/// to batch-norm + sign in a BNN hidden layer): `2·pop − m` per output.
 ///
 /// # Panics
 ///
 /// Panics if `weights.cols() != input.len()`.
 pub fn binary_linear_preacts(input: &BitVec, weights: &BitMatrix) -> Vec<i32> {
-    assert_eq!(weights.cols(), input.len(), "fan-in mismatch");
-    weights.iter_rows().map(|w| bipolar_dot(input, &w)).collect()
+    let m = input.len() as i32;
+    binary_linear_popcounts(input, weights)
+        .into_iter()
+        .map(|pop| 2 * pop as i32 - m)
+        .collect()
 }
 
-/// Reference binary matrix–matrix kernel: `inputs` (one input vector per
-/// row) against `weights` (one weight vector per row). Element `(i, j)` is
+/// Number of input rows processed per block of the blocked MMM kernel:
+/// small enough that a block of packed input rows stays resident in L1
+/// while the weight matrix streams through once per block.
+const MMM_ROW_BLOCK: usize = 8;
+
+/// Binary matrix–matrix kernel: `inputs` (one input vector per row)
+/// against `weights` (one weight vector per row). Element `(i, j)` is
 /// `popcount(inputs[i] ⊙ weights[j])`.
 ///
 /// This is what one WDM-enabled EinsteinBarrier MMM step computes when
-/// `inputs.rows() ≤ K`.
+/// `inputs.rows() ≤ K`, and the GEMM behind the packed-im2col convolution
+/// path. The loop is blocked over input rows ([`MMM_ROW_BLOCK`] at a
+/// time) so each streamed weight row is reused against a cache-resident
+/// block of inputs, and runs entirely on borrowed words.
 ///
 /// # Panics
 ///
 /// Panics if the fan-ins differ.
 pub fn binary_mmm_popcounts(inputs: &BitMatrix, weights: &BitMatrix) -> Vec<Vec<u32>> {
     assert_eq!(inputs.cols(), weights.cols(), "fan-in mismatch");
-    inputs
-        .iter_rows()
-        .map(|inp| binary_linear_popcounts(&inp, weights))
-        .collect()
+    let n = weights.rows();
+    let pad = (inputs.words_per_row() * WORD_BITS - inputs.cols()) as u32;
+    let agree = agree_kernel(inputs.words_per_row());
+    let mut out = vec![vec![0u32; n]; inputs.rows()];
+    for i0 in (0..inputs.rows()).step_by(MMM_ROW_BLOCK) {
+        let i1 = (i0 + MMM_ROW_BLOCK).min(inputs.rows());
+        for j in 0..n {
+            let w = weights.row_words(j);
+            for i in i0..i1 {
+                out[i][j] = agree(inputs.row_words(i), w) - pad;
+            }
+        }
+    }
+    out
 }
 
 /// Fixed-point linear kernel for the (non-binarized) first layer: 8-bit
 /// activations against bipolar (±1) weights. Returns integer accumulators.
 ///
+/// Uses the identity `Σ xᵢ·wᵢ = 2·Σ_{wᵢ=+1} xᵢ − Σ xᵢ` (with `wᵢ ∈ ±1`):
+/// the full input sum is computed once, and each weight row only touches
+/// the activations under its *set* bits, walked word-by-word with
+/// `trailing_zeros` — no per-element sign branch.
+///
 /// # Panics
 ///
 /// Panics if `weights.cols() != input.len()`.
 pub fn fixed_linear_preacts(input: &[i16], weights: &BitMatrix) -> Vec<i32> {
+    assert_eq!(weights.cols(), input.len(), "fan-in mismatch");
+    let total: i32 = input.iter().map(|&x| i32::from(x)).sum();
+    (0..weights.rows())
+        .map(|r| {
+            let plus: i32 = iter_set_bits(weights.row_words(r))
+                .map(|i| i32::from(input[i]))
+                .sum();
+            2 * plus - total
+        })
+        .collect()
+}
+
+/// Naive element-wise fixed-point kernel, used only to cross-check
+/// [`fixed_linear_preacts`] in tests (no packing tricks).
+pub fn fixed_linear_preacts_naive(input: &[i16], weights: &BitMatrix) -> Vec<i32> {
     assert_eq!(weights.cols(), input.len(), "fan-in mismatch");
     weights
         .iter_rows()
@@ -240,6 +375,66 @@ mod tests {
         assert!((logits[0] - (0.5 - 1.0 + 0.1)).abs() < 1e-6);
         assert!((logits[1] - (-1.0 - 2.0 - 0.2)).abs() < 1e-6);
         assert_eq!(argmax(&logits), Some(0));
+    }
+
+    #[test]
+    fn word_kernel_handles_tail_words_exactly() {
+        // Lengths straddling word boundaries: the padding correction must
+        // be exact for every residue.
+        for len in [1usize, 63, 64, 65, 127, 128, 129, 300] {
+            let a = BitVec::from_bools(&(0..len).map(|i| i % 3 == 0).collect::<Vec<_>>());
+            let b = BitVec::from_bools(&(0..len).map(|i| i % 5 != 1).collect::<Vec<_>>());
+            let agree = (0..len).filter(|&i| a.get(i) == b.get(i)).count() as u32;
+            assert_eq!(xnor_popcount(&a, &b), agree, "len {len}");
+            assert_eq!(
+                xnor_popcount_words(a.words(), b.words(), len),
+                agree,
+                "raw len {len}"
+            );
+        }
+    }
+
+    #[test]
+    fn simd_and_scalar_agreement_counts_match() {
+        // Word counts straddling the 8-word SIMD chunk boundary; the
+        // dispatcher must agree with the scalar loop everywhere.
+        for words in [1usize, 7, 8, 9, 15, 16, 17, 33] {
+            let a: Vec<u64> = (0..words)
+                .map(|i| (i as u64).wrapping_mul(0x9E37_79B9))
+                .collect();
+            let b: Vec<u64> = (0..words)
+                .map(|i| (i as u64).wrapping_mul(0x85EB_CA6B) ^ 0xFFFF)
+                .collect();
+            assert_eq!(
+                xnor_agree_words(&a, &b),
+                xnor_agree_scalar(&a, &b),
+                "words {words}"
+            );
+        }
+    }
+
+    #[test]
+    fn blocked_mmm_matches_rowwise_on_odd_shapes() {
+        // Shapes that are not multiples of the row block exercise the
+        // partial final block.
+        for rows in [1usize, 7, 8, 9, 17] {
+            let w = BitMatrix::from_fn(11, 70, |r, c| (r * 3 + c) % 4 == 0);
+            let xs = BitMatrix::from_fn(rows, 70, |r, c| (r * 13 + c * 7) % 5 < 2);
+            let mmm = binary_mmm_popcounts(&xs, &w);
+            for i in 0..rows {
+                assert_eq!(mmm[i], binary_linear_popcounts(&xs.row(i), &w), "row {i}");
+            }
+        }
+    }
+
+    #[test]
+    fn fixed_kernel_matches_naive_reference() {
+        let w = BitMatrix::from_fn(9, 131, |r, c| (r * 7 + c * 3) % 4 != 1);
+        let input: Vec<i16> = (0..131).map(|i| ((i * 37) % 255) as i16 - 127).collect();
+        assert_eq!(
+            fixed_linear_preacts(&input, &w),
+            fixed_linear_preacts_naive(&input, &w)
+        );
     }
 
     #[test]

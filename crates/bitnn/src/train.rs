@@ -20,6 +20,7 @@ use crate::ops;
 use crate::tensor::Tensor;
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::prelude::*;
 
 /// Dense real-valued matrix used internally by the trainer.
 #[derive(Debug, Clone)]
@@ -114,7 +115,10 @@ impl MlpTrainer {
     /// Panics if fewer than three widths are given (input, ≥1 hidden-or-first
     /// binarized layer, output).
     pub fn new(dims: &[usize], cfg: TrainConfig) -> Self {
-        assert!(dims.len() >= 3, "need at least input, hidden, output widths");
+        assert!(
+            dims.len() >= 3,
+            "need at least input, hidden, output widths"
+        );
         let mut rng = StdRng::seed_from_u64(cfg.seed);
         let n = dims.len();
         let shadow = (0..n - 2)
@@ -151,7 +155,10 @@ impl MlpTrainer {
                 }
                 *p = acc / (w.cols as f32).sqrt();
             }
-            let act: Vec<f32> = pre.iter().map(|&p| if p >= 0.0 { 1.0 } else { -1.0 }).collect();
+            let act: Vec<f32> = pre
+                .iter()
+                .map(|&p| if p >= 0.0 { 1.0 } else { -1.0 })
+                .collect();
             pres.push(pre);
             acts.push(act.clone());
             cur = act;
@@ -258,19 +265,36 @@ impl MlpTrainer {
         last
     }
 
-    /// Classification accuracy of the *trainer's* float-binarized forward.
+    /// Classification accuracy of the *trainer's* float-binarized forward,
+    /// evaluated through the parallel batch path.
     pub fn accuracy(&self, samples: &[(Tensor, usize)]) -> f64 {
+        let (correct, _) = self.evaluate(samples);
+        correct
+    }
+
+    /// Batched evaluation: `(accuracy, mean cross-entropy loss)` over a
+    /// labelled set, parallelized across samples with rayon. The forward
+    /// pass is read-only on the shadow weights, so workers share them
+    /// without synchronization.
+    pub fn evaluate(&self, samples: &[(Tensor, usize)]) -> (f64, f32) {
         if samples.is_empty() {
-            return 0.0;
+            return (0.0, 0.0);
         }
-        let correct = samples
-            .iter()
-            .filter(|(x, y)| {
+        let per_sample: Vec<(bool, f32)> = samples
+            .par_iter()
+            .map(|(x, y)| {
                 let (_, _, logits) = self.forward_full(x.as_slice());
-                ops::argmax(&logits) == Some(*y)
+                let hit = ops::argmax(&logits) == Some(*y);
+                let loss = -softmax(&logits)[*y].max(1e-12).ln();
+                (hit, loss)
             })
-            .count();
-        correct as f64 / samples.len() as f64
+            .collect();
+        let correct = per_sample.iter().filter(|(hit, _)| *hit).count();
+        let total_loss: f32 = per_sample.iter().map(|(_, loss)| loss).sum();
+        (
+            correct as f64 / samples.len() as f64,
+            total_loss / samples.len() as f32,
+        )
     }
 
     /// Exports the trained model as an integer-exact [`Bnn`].
@@ -323,12 +347,7 @@ impl MlpTrainer {
     /// Binarized hidden activation for an input, useful for probing.
     pub fn hidden_activation(&self, x: &[f32], layer: usize) -> BitVec {
         let (_, acts, _) = self.forward_full(x);
-        BitVec::from_bools(
-            &acts[layer]
-                .iter()
-                .map(|&a| a > 0.0)
-                .collect::<Vec<_>>(),
-        )
+        BitVec::from_bools(&acts[layer].iter().map(|&a| a > 0.0).collect::<Vec<_>>())
     }
 }
 
@@ -346,8 +365,7 @@ mod tests {
     use crate::models::DatasetKind;
 
     fn small_data(n: usize) -> Vec<(Tensor, usize)> {
-        Dataset::generate(DatasetKind::Mnist, n, 11)
-            .flattened()
+        Dataset::generate(DatasetKind::Mnist, n, 11).flattened()
     }
 
     #[test]
@@ -466,5 +484,31 @@ mod tests {
     #[should_panic(expected = "at least")]
     fn rejects_too_few_layers() {
         let _ = MlpTrainer::new(&[784, 10], TrainConfig::default());
+    }
+
+    #[test]
+    fn evaluate_matches_sequential_metrics() {
+        let data = small_data(20);
+        let mut t = MlpTrainer::new(&[784, 16, 10], TrainConfig::default());
+        t.fit(&data);
+        let (acc, loss) = t.evaluate(&data);
+        let seq_correct = data
+            .iter()
+            .filter(|(x, y)| {
+                let (_, _, logits) = t.forward_full(x.as_slice());
+                ops::argmax(&logits) == Some(*y)
+            })
+            .count();
+        assert!((acc - seq_correct as f64 / data.len() as f64).abs() < 1e-12);
+        let seq_loss: f32 = data
+            .iter()
+            .map(|(x, y)| {
+                let (_, _, logits) = t.forward_full(x.as_slice());
+                -softmax(&logits)[*y].max(1e-12).ln()
+            })
+            .sum::<f32>()
+            / data.len() as f32;
+        assert!((loss - seq_loss).abs() < 1e-4);
+        assert_eq!(t.evaluate(&[]), (0.0, 0.0));
     }
 }

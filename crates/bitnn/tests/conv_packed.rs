@@ -1,0 +1,86 @@
+//! Property tests for the packed-im2col convolution path: the word-level
+//! XNOR-GEMM forward must agree bit-for-bit with the naive per-pixel
+//! oracle (`forward_naive`) over randomized shapes, strides, paddings and
+//! contents.
+
+use eb_bitnn::{BinConv, BitTensor, FixedConv, Tensor};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn random_map(c: usize, h: usize, w: usize, seed: u64) -> BitTensor {
+    let mut t = BitTensor::zeros(c, h, w);
+    for ci in 0..c {
+        for y in 0..h {
+            for x in 0..w {
+                if seed.wrapping_mul((ci * h * w + y * w + x) as u64 + 19) % 5 < 2 {
+                    t.set(ci, y, x, true);
+                }
+            }
+        }
+    }
+    t
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Packed binary conv equals the naive per-pixel reference for
+    /// arbitrary channel counts, kernels, strides and paddings.
+    #[test]
+    fn bin_conv_packed_equals_naive(
+        c in 1usize..5,
+        oc in 1usize..6,
+        h in 3usize..12,
+        w in 3usize..12,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let conv = BinConv::random("c", c, oc, k, stride, pad, &mut rng);
+        let t = random_map(c, h, w, seed);
+        let packed = conv.forward(&t).expect("packed");
+        let naive = conv.forward_naive(&t).expect("naive");
+        prop_assert_eq!(packed, naive);
+    }
+
+    /// Packed fixed-point conv (8-bit input × binary filters) equals the
+    /// naive per-pixel reference.
+    #[test]
+    fn fixed_conv_packed_equals_naive(
+        c in 1usize..4,
+        oc in 1usize..6,
+        h in 3usize..10,
+        w in 3usize..10,
+        k in 1usize..4,
+        stride in 1usize..3,
+        pad in 0usize..2,
+        seed in any::<u64>(),
+    ) {
+        prop_assume!(h + 2 * pad >= k && w + 2 * pad >= k);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let conv = FixedConv::random("c1", c, oc, k, stride, pad, &mut rng);
+        let t = Tensor::from_fn(&[c, h, w], |i| {
+            (((i as u64 + 1).wrapping_mul(seed | 1) % 2048) as f32 / 1024.0) - 1.0
+        });
+        let packed = conv.forward(&t).expect("packed");
+        let naive = conv.forward_naive(&t).expect("naive");
+        prop_assert_eq!(packed, naive);
+    }
+
+    /// The 128-channel 3×3 acceptance shape stays bit-exact (one fixed
+    /// heavyweight case alongside the randomized small ones).
+    #[test]
+    fn bin_conv_acceptance_shape_exact(seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let conv = BinConv::random("c", 128, 8, 3, 1, 0, &mut rng);
+        let t = random_map(128, 6, 6, seed);
+        prop_assert_eq!(
+            conv.forward(&t).expect("packed"),
+            conv.forward_naive(&t).expect("naive")
+        );
+    }
+}

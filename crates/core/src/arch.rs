@@ -75,9 +75,8 @@ impl ChipLayout {
     pub fn addr_of(&self, i: usize) -> VcoreAddr {
         let budget = self.config.crossbar_budget().max(1);
         let i = i % budget;
-        let per_node = self.config.tiles_per_node
-            * self.config.ecores_per_tile
-            * self.config.vcores_per_ecore;
+        let per_node =
+            self.config.tiles_per_node * self.config.ecores_per_tile * self.config.vcores_per_ecore;
         let per_tile = self.config.ecores_per_tile * self.config.vcores_per_ecore;
         let per_ecore = self.config.vcores_per_ecore;
         VcoreAddr {
@@ -204,14 +203,8 @@ mod tests {
             vcore: 0,
         };
         assert_eq!(ChipLayout::hop_distance(a, a), 0);
-        assert_eq!(
-            ChipLayout::hop_distance(a, VcoreAddr { vcore: 1, ..a }),
-            0
-        );
-        assert_eq!(
-            ChipLayout::hop_distance(a, VcoreAddr { ecore: 1, ..a }),
-            1
-        );
+        assert_eq!(ChipLayout::hop_distance(a, VcoreAddr { vcore: 1, ..a }), 0);
+        assert_eq!(ChipLayout::hop_distance(a, VcoreAddr { ecore: 1, ..a }), 1);
         assert_eq!(ChipLayout::hop_distance(a, VcoreAddr { tile: 1, ..a }), 2);
         assert_eq!(ChipLayout::hop_distance(a, VcoreAddr { node: 1, ..a }), 3);
     }

@@ -126,7 +126,11 @@ impl Regs {
 ///
 /// Returns [`CompileError`] when a layer cannot be mapped or the topology
 /// is not representable.
-pub fn compile(design: &Design, net: &Bnn, rng: &mut impl Rng) -> Result<CompiledNetwork, CompileError> {
+pub fn compile(
+    design: &Design,
+    net: &Bnn,
+    rng: &mut impl Rng,
+) -> Result<CompiledNetwork, CompileError> {
     let mut c = Compiler {
         design: design.clone(),
         program: Program::new(),
@@ -217,12 +221,7 @@ impl Compiler {
     }
 
     /// Lowers a binary XNOR+popcount + threshold over a 0/1 register.
-    fn lower_binary_matvec(
-        &mut self,
-        vcore: VcoreId,
-        table: TableId,
-        input: RegId,
-    ) -> RegId {
+    fn lower_binary_matvec(&mut self, vcore: VcoreId, table: TableId, input: RegId) -> RegId {
         let not = self.regs.alloc();
         self.program.push(Instruction::Not {
             dst: not,
@@ -412,13 +411,7 @@ impl Compiler {
                 });
                 // Per-window weight sums over valid (non-pad) positions.
                 let sums = window_weight_sums(filters, (c, h, w), kernel, stride, pad, oy, ox);
-                let pre = self.lower_bitserial_preact(
-                    vcore,
-                    win,
-                    c * kernel * kernel,
-                    sums,
-                    8,
-                );
+                let pre = self.lower_bitserial_preact(vcore, win, c * kernel * kernel, sums, 8);
                 let bits = self.regs.alloc();
                 self.program.push(Instruction::Threshold {
                     dst: bits,
@@ -458,8 +451,7 @@ impl Compiler {
                         .collect();
                     let vcore = self.map_weights(layer.name(), &weights, rng)?;
                     let table = self.add_table(l.thresholds());
-                    let pre =
-                        self.lower_bitserial_preact(vcore, cur, weights.cols(), sums, 8);
+                    let pre = self.lower_bitserial_preact(vcore, cur, weights.cols(), sums, 8);
                     let out = self.regs.alloc();
                     self.program.push(Instruction::Threshold {
                         dst: out,
@@ -489,16 +481,8 @@ impl Compiler {
                     let filters = l.filters().clone();
                     let vcore = self.map_weights(layer.name(), &filters, rng)?;
                     let table = self.add_table(l.thresholds());
-                    let (out, shape) = self.lower_fixed_conv(
-                        vcore,
-                        table,
-                        cur,
-                        (c, h, w),
-                        &filters,
-                        k,
-                        s,
-                        p,
-                    );
+                    let (out, shape) =
+                        self.lower_fixed_conv(vcore, table, cur, (c, h, w), &filters, k, s, p);
                     cur = out;
                     cur_shape = Shape::Img(shape.0, shape.1, shape.2);
                 }
@@ -514,8 +498,7 @@ impl Compiler {
                     let (k, s, p, oc) = conv_params(l);
                     let vcore = self.map_weights(layer.name(), l.filters(), rng)?;
                     let table = self.add_table(l.thresholds());
-                    let (out, shape) =
-                        self.lower_conv(vcore, table, cur, (c, h, w), k, s, p, oc);
+                    let (out, shape) = self.lower_conv(vcore, table, cur, (c, h, w), k, s, p, oc);
                     cur = out;
                     cur_shape = Shape::Img(shape.0, shape.1, shape.2);
                 }

@@ -247,10 +247,19 @@ impl fmt::Display for Instruction {
             Self::BitSlice { dst, src, bit } => write!(f, "bits   r{dst}, r{src}[{bit}]"),
             Self::ShiftAdd { dst, src, shift } => write!(f, "shadd  r{dst}, r{src} << {shift}"),
             Self::Alu { op, dst, a, b } => {
-                write!(f, "{:<6} r{dst}, r{a}, r{b}", format!("{op:?}").to_lowercase())
+                write!(
+                    f,
+                    "{:<6} r{dst}, r{a}, r{b}",
+                    format!("{op:?}").to_lowercase()
+                )
             }
             Self::Scale { dst, src, scale } => write!(f, "scale  r{dst}, r{src}, {scale}"),
-            Self::Vmm { vcore, dst, pos, neg } => {
+            Self::Vmm {
+                vcore,
+                dst,
+                pos,
+                neg,
+            } => {
                 write!(f, "vmm    x{vcore}, r{dst}, r{pos}/r{neg}")
             }
             Self::Mmm { vcore, lanes } => {

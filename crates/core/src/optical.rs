@@ -183,10 +183,8 @@ impl OpticalTacitMapped {
         inputs: &[BitVec],
         rng: &mut impl Rng,
     ) -> Result<Vec<Vec<u32>>, OpticalMapError> {
-        let lanes: Vec<(BitVec, BitVec)> = inputs
-            .iter()
-            .map(|v| (v.clone(), v.complement()))
-            .collect();
+        let lanes: Vec<(BitVec, BitVec)> =
+            inputs.iter().map(|v| (v.clone(), v.complement())).collect();
         self.execute_wdm_raw(&lanes, rng)
     }
 

@@ -272,7 +272,12 @@ mod tests {
         let fig = run_fig7(32);
         assert_eq!(fig.rows.len(), 6);
         for r in &fig.rows {
-            assert!(r.tacitmap_speedup > 1.0, "{}: {}", r.network, r.tacitmap_speedup);
+            assert!(
+                r.tacitmap_speedup > 1.0,
+                "{}: {}",
+                r.network,
+                r.tacitmap_speedup
+            );
             assert!(
                 r.einstein_speedup > r.tacitmap_speedup,
                 "{}: EB {} vs TM {}",
@@ -296,7 +301,12 @@ mod tests {
             // the tiny LeNet-class CNN, where Eq. 3's transmitter power
             // floor dominates (documented in EXPERIMENTS.md).
             if r.network != BenchModel::CnnS {
-                assert!(r.einstein_ratio < 1.0, "{}: {}", r.network, r.einstein_ratio);
+                assert!(
+                    r.einstein_ratio < 1.0,
+                    "{}: {}",
+                    r.network,
+                    r.einstein_ratio
+                );
             }
         }
         // The five larger networks reproduce the paper's ~1.56× headline.

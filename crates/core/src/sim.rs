@@ -88,57 +88,15 @@ impl<'a, R: Rng> Machine<'a, R> {
         }
     }
 
-    fn reg(&self, r: usize) -> Result<&Vec<f64>, SimError> {
-        self.regs
-            .get(r)
-            .and_then(Option::as_ref)
-            .ok_or(SimError::BadRegister(r))
-    }
-
-    fn set_reg(&mut self, r: usize, v: Vec<f64>) {
-        if r >= self.regs.len() {
-            self.regs.resize(r + 1, None);
-        }
-        self.regs[r] = Some(v);
-    }
-
-    fn bits_of(&self, r: usize) -> Result<BitVec, SimError> {
-        Ok(self
-            .reg(r)?
-            .iter()
-            .map(|&x| x >= 0.5)
-            .collect())
-    }
-
-    fn charge_scalar(&mut self, elems: usize) {
-        // ECore vector FU: 8 lanes at 1 GHz, ~0.1 pJ per element op.
-        self.stats.scalar_ops += elems as u64;
-        self.stats.latency_ns += elems.div_ceil(8) as f64;
-        self.stats.energy_j += elems as f64 * 0.1e-12;
-    }
-
-    fn charge_crossbar(&mut self, out_vectors: usize, footprint: usize, lanes: usize) {
-        let xbar = &self.design.xbar;
-        let cols = out_vectors.min(xbar.cols);
-        let step_ns = xbar.timings.vmm_step_ns(cols * lanes.max(1), xbar.n_adcs);
-        self.stats.crossbar_steps += 1;
-        self.stats.wdm_lanes += lanes as u64;
-        self.stats.latency_ns += step_ns;
-        let energy = match (&self.design.kind, &self.design.optical) {
-            (DesignKind::EinsteinBarrier, Some(opt)) => {
-                opt.step_energy_j(lanes.max(1), xbar.rows, cols)
-                    + (cols * lanes.max(1)) as f64 * xbar.energies.e_adc_pj * 1e-12
-            }
-            _ => xbar.energies.vmm_step_joules(
-                xbar.rows,
-                xbar.rows * cols / 2,
-                cols * lanes.max(1),
-            ),
-        };
-        self.stats.energy_j += energy * footprint as f64;
-    }
-
     /// Runs the program on one input, returning the logits.
+    ///
+    /// The register file uses take-and-restore semantics: accumulating
+    /// instructions (`ShiftAdd`, `Scatter`) move their destination vector
+    /// out, mutate it in place, and move it back, and every read is a
+    /// borrow — no instruction clones a register it only reads. Holding
+    /// the program, VCores, and tables as disjoint borrows of the
+    /// compiled network also removes the per-run program clone and the
+    /// per-`Threshold` table clone the previous implementation paid.
     ///
     /// # Errors
     ///
@@ -151,46 +109,55 @@ impl<'a, R: Rng> Machine<'a, R> {
                 got: input.len(),
             });
         }
-        let program = self.net.program.clone();
+        let Machine {
+            net,
+            design,
+            regs,
+            rng,
+            stats,
+        } = self;
+        let CompiledNetwork {
+            program,
+            vcores,
+            tables,
+            output_layers,
+            ..
+        } = &mut **net;
+        let design: &Design = design;
         for instr in program.instructions() {
-            self.stats.instructions += 1;
-            *self
-                .stats
-                .per_opcode
-                .entry(opcode_name(instr))
-                .or_default() += 1;
+            stats.instructions += 1;
+            *stats.per_opcode.entry(opcode_name(instr)).or_default() += 1;
             match instr {
                 Instruction::LoadInput { dst, bits } => {
                     // Quantize then offset to unsigned (x' = q + 127).
                     let q = input.quantize(*bits);
                     let v: Vec<f64> = q.iter().map(|&x| f64::from(x) + 127.0).collect();
                     let n = v.len();
-                    self.set_reg(*dst, v);
-                    self.charge_scalar(n);
+                    set_reg(regs, *dst, v);
+                    charge_scalar(stats, n);
                 }
                 Instruction::Mov { dst, src } => {
-                    let v = self.reg(*src)?.clone();
-                    self.set_reg(*dst, v);
+                    // A genuine architectural copy: the one clone that stays.
+                    let v = reg(regs, *src)?.clone();
+                    set_reg(regs, *dst, v);
                 }
                 Instruction::Fill { dst, value, len } => {
-                    self.set_reg(*dst, vec![*value; *len]);
+                    set_reg(regs, *dst, vec![*value; *len]);
                 }
                 Instruction::Const { dst, values } => {
-                    self.set_reg(*dst, values.clone());
+                    set_reg(regs, *dst, values.clone());
                 }
                 Instruction::Not { dst, src } => {
-                    let v: Vec<f64> = self
-                        .reg(*src)?
+                    let v: Vec<f64> = reg(regs, *src)?
                         .iter()
                         .map(|&x| if x >= 0.5 { 0.0 } else { 1.0 })
                         .collect();
                     let n = v.len();
-                    self.set_reg(*dst, v);
-                    self.charge_scalar(n);
+                    set_reg(regs, *dst, v);
+                    charge_scalar(stats, n);
                 }
                 Instruction::BitSlice { dst, src, bit } => {
-                    let v: Vec<f64> = self
-                        .reg(*src)?
+                    let v: Vec<f64> = reg(regs, *src)?
                         .iter()
                         .map(|&x| {
                             let i = x.max(0.0).round() as u64;
@@ -198,30 +165,45 @@ impl<'a, R: Rng> Machine<'a, R> {
                         })
                         .collect();
                     let n = v.len();
-                    self.set_reg(*dst, v);
-                    self.charge_scalar(n);
+                    set_reg(regs, *dst, v);
+                    charge_scalar(stats, n);
                 }
                 Instruction::ShiftAdd { dst, src, shift } => {
-                    let add = self.reg(*src)?.clone();
                     let scale = 2f64.powi(*shift);
-                    let mut acc = self.reg(*dst)?.clone();
-                    if acc.len() != add.len() {
-                        return Err(SimError::Execution(format!(
-                            "shift-add length mismatch: {} vs {}",
-                            acc.len(),
-                            add.len()
-                        )));
-                    }
-                    for (a, b) in acc.iter_mut().zip(&add) {
-                        *a += b * scale;
+                    let mut acc = take_reg(regs, *dst)?;
+                    if *src == *dst {
+                        // x += x·2^s collapses to a scale by (1 + 2^s).
+                        for a in acc.iter_mut() {
+                            *a += *a * scale;
+                        }
+                    } else {
+                        let add = match reg(regs, *src) {
+                            Ok(add) => add,
+                            Err(e) => {
+                                regs[*dst] = Some(acc);
+                                return Err(e);
+                            }
+                        };
+                        if acc.len() != add.len() {
+                            let msg = format!(
+                                "shift-add length mismatch: {} vs {}",
+                                acc.len(),
+                                add.len()
+                            );
+                            regs[*dst] = Some(acc);
+                            return Err(SimError::Execution(msg));
+                        }
+                        for (a, b) in acc.iter_mut().zip(add) {
+                            *a += b * scale;
+                        }
                     }
                     let n = acc.len();
-                    self.set_reg(*dst, acc);
-                    self.charge_scalar(n);
+                    set_reg(regs, *dst, acc);
+                    charge_scalar(stats, n);
                 }
                 Instruction::Alu { op, dst, a, b } => {
-                    let x = self.reg(*a)?.clone();
-                    let y = self.reg(*b)?.clone();
+                    let x = reg(regs, *a)?;
+                    let y = reg(regs, *b)?;
                     if x.len() != y.len() {
                         return Err(SimError::Execution(format!(
                             "alu length mismatch: {} vs {}",
@@ -231,7 +213,7 @@ impl<'a, R: Rng> Machine<'a, R> {
                     }
                     let v: Vec<f64> = x
                         .iter()
-                        .zip(&y)
+                        .zip(y)
                         .map(|(&p, &q)| match op {
                             crate::isa::AluOp::Add => p + q,
                             crate::isa::AluOp::Sub => p - q,
@@ -239,14 +221,14 @@ impl<'a, R: Rng> Machine<'a, R> {
                         })
                         .collect();
                     let n = v.len();
-                    self.set_reg(*dst, v);
-                    self.charge_scalar(n);
+                    set_reg(regs, *dst, v);
+                    charge_scalar(stats, n);
                 }
                 Instruction::Scale { dst, src, scale } => {
-                    let v: Vec<f64> = self.reg(*src)?.iter().map(|&x| x * scale).collect();
+                    let v: Vec<f64> = reg(regs, *src)?.iter().map(|&x| x * scale).collect();
                     let n = v.len();
-                    self.set_reg(*dst, v);
-                    self.charge_scalar(n);
+                    set_reg(regs, *dst, v);
+                    charge_scalar(stats, n);
                 }
                 Instruction::Window {
                     dst,
@@ -260,7 +242,7 @@ impl<'a, R: Rng> Machine<'a, R> {
                     oy,
                     ox,
                 } => {
-                    let map = self.reg(*src)?.clone();
+                    let map = reg(regs, *src)?;
                     let mut v = vec![0.0; channels * kernel * kernel];
                     for c in 0..*channels {
                         for ky in 0..*kernel {
@@ -280,8 +262,8 @@ impl<'a, R: Rng> Machine<'a, R> {
                         }
                     }
                     let n = v.len();
-                    self.set_reg(*dst, v);
-                    self.charge_scalar(n);
+                    set_reg(regs, *dst, v);
+                    charge_scalar(stats, n);
                 }
                 Instruction::Scatter {
                     dst,
@@ -292,13 +274,30 @@ impl<'a, R: Rng> Machine<'a, R> {
                     oy,
                     ox,
                 } => {
-                    let bits = self.reg(*src)?.clone();
-                    let mut map = self.reg(*dst)?.clone();
-                    for f in 0..*out_channels {
-                        map[(f * oh + oy) * ow + ox] = bits[f];
+                    let mut map = take_reg(regs, *dst)?;
+                    if *src == *dst {
+                        // Aliased scatter: snapshot the source bits first so
+                        // the writes cannot shadow later reads (matching the
+                        // semantics of the former clone-based implementation).
+                        let bits: Vec<f64> = map[..*out_channels].to_vec();
+                        for (f, bit) in bits.into_iter().enumerate() {
+                            map[(f * oh + oy) * ow + ox] = bit;
+                        }
+                    } else {
+                        match reg(regs, *src) {
+                            Ok(bits) => {
+                                for f in 0..*out_channels {
+                                    map[(f * oh + oy) * ow + ox] = bits[f];
+                                }
+                            }
+                            Err(e) => {
+                                regs[*dst] = Some(map);
+                                return Err(e);
+                            }
+                        }
                     }
-                    self.set_reg(*dst, map);
-                    self.charge_scalar(*out_channels);
+                    set_reg(regs, *dst, map);
+                    charge_scalar(stats, *out_channels);
                 }
                 Instruction::Vmm {
                     vcore,
@@ -306,39 +305,36 @@ impl<'a, R: Rng> Machine<'a, R> {
                     pos,
                     neg,
                 } => {
-                    let p = self.bits_of(*pos)?;
-                    let n = self.bits_of(*neg)?;
-                    let counts = match &mut self.net.vcores[*vcore] {
+                    let p = bits_of(regs, *pos)?;
+                    let n = bits_of(regs, *neg)?;
+                    let counts = match &mut vcores[*vcore] {
                         MappedVcore::Electronic(m) => m
-                            .execute_raw(&p, &n, self.rng)
+                            .execute_raw(&p, &n, &mut **rng)
                             .map_err(|e| SimError::Execution(e.to_string()))?,
                         MappedVcore::Optical(m) => m
-                            .execute_wdm_raw(&[(p, n)], self.rng)
+                            .execute_wdm_raw(&[(p, n)], &mut **rng)
                             .map_err(|e| SimError::Execution(e.to_string()))?
                             .remove(0),
                     };
-                    self.set_reg(*dst, counts.iter().map(|&c| f64::from(c)).collect());
-                    let (ov, fp) = {
-                        let v = &self.net.vcores[*vcore];
-                        (v.out_vectors(), v.footprint())
-                    };
-                    self.charge_crossbar(ov, fp, 1);
+                    set_reg(regs, *dst, counts.iter().map(|&c| f64::from(c)).collect());
+                    let v = &vcores[*vcore];
+                    charge_crossbar(stats, design, v.out_vectors(), v.footprint(), 1);
                 }
                 Instruction::Mmm { vcore, lanes } => {
                     let drives: Vec<(BitVec, BitVec)> = lanes
                         .iter()
-                        .map(|l| Ok((self.bits_of(l.pos)?, self.bits_of(l.neg)?)))
+                        .map(|l| Ok((bits_of(regs, l.pos)?, bits_of(regs, l.neg)?)))
                         .collect::<Result<_, SimError>>()?;
-                    let counts = match &mut self.net.vcores[*vcore] {
+                    let counts = match &mut vcores[*vcore] {
                         MappedVcore::Optical(m) => m
-                            .execute_wdm_raw(&drives, self.rng)
+                            .execute_wdm_raw(&drives, &mut **rng)
                             .map_err(|e| SimError::Execution(e.to_string()))?,
                         MappedVcore::Electronic(m) => {
                             // Electronic fallback: serialize the lanes.
                             let mut out = Vec::with_capacity(drives.len());
                             for (p, n) in &drives {
                                 out.push(
-                                    m.execute_raw(p, n, self.rng)
+                                    m.execute_raw(p, n, &mut **rng)
                                         .map_err(|e| SimError::Execution(e.to_string()))?,
                                 );
                             }
@@ -346,23 +342,20 @@ impl<'a, R: Rng> Machine<'a, R> {
                         }
                     };
                     for (lane, lane_counts) in lanes.iter().zip(counts) {
-                        self.set_reg(
+                        set_reg(
+                            regs,
                             lane.dst,
                             lane_counts.iter().map(|&c| f64::from(c)).collect(),
                         );
                     }
-                    let (ov, fp) = {
-                        let v = &self.net.vcores[*vcore];
-                        (v.out_vectors(), v.footprint())
-                    };
-                    self.charge_crossbar(ov, fp, lanes.len());
+                    let v = &vcores[*vcore];
+                    charge_crossbar(stats, design, v.out_vectors(), v.footprint(), lanes.len());
                 }
                 Instruction::Threshold { dst, src, table } => {
-                    let specs = self.net.tables[*table].clone();
-                    let v: Vec<f64> = self
-                        .reg(*src)?
+                    let specs = &tables[*table];
+                    let v: Vec<f64> = reg(regs, *src)?
                         .iter()
-                        .zip(&specs)
+                        .zip(specs)
                         .map(|(&x, spec)| {
                             if spec.fire(x.round() as i64) {
                                 1.0
@@ -372,8 +365,8 @@ impl<'a, R: Rng> Machine<'a, R> {
                         })
                         .collect();
                     let n = v.len();
-                    self.set_reg(*dst, v);
-                    self.charge_scalar(n);
+                    set_reg(regs, *dst, v);
+                    charge_scalar(stats, n);
                 }
                 Instruction::MaxPool2 {
                     dst,
@@ -382,7 +375,7 @@ impl<'a, R: Rng> Machine<'a, R> {
                     height,
                     width,
                 } => {
-                    let map = self.reg(*src)?.clone();
+                    let map = reg(regs, *src)?;
                     let (oh, ow) = (height / 2, width / 2);
                     let mut v = vec![0.0; channels * oh * ow];
                     for c in 0..*channels {
@@ -401,20 +394,19 @@ impl<'a, R: Rng> Machine<'a, R> {
                         }
                     }
                     let n = v.len();
-                    self.set_reg(*dst, v);
-                    self.charge_scalar(n);
+                    set_reg(regs, *dst, v);
+                    charge_scalar(stats, n);
                 }
                 Instruction::OutputFc { dst, src, layer } => {
-                    let bits = self.bits_of(*src)?;
-                    let (w, b) = &self.net.output_layers[*layer];
+                    let bits = bits_of(regs, *src)?;
+                    let (w, b) = &output_layers[*layer];
                     let logits = ops::output_logits(&bits, w, b);
                     let n = logits.len() * bits.len();
-                    self.set_reg(*dst, logits.iter().map(|&x| f64::from(x)).collect());
-                    self.charge_scalar(n);
+                    set_reg(regs, *dst, logits.iter().map(|&x| f64::from(x)).collect());
+                    charge_scalar(stats, n);
                 }
                 Instruction::Halt { result } => {
-                    let v = self.reg(*result)?.clone();
-                    let out: Vec<f32> = v.iter().map(|&x| x as f32).collect();
+                    let out: Vec<f32> = reg(regs, *result)?.iter().map(|&x| x as f32).collect();
                     return Ok(Tensor::from_vec(&[out.len()], out));
                 }
             }
@@ -448,6 +440,67 @@ fn opcode_name(i: &Instruction) -> &'static str {
         Instruction::OutputFc { .. } => "outfc",
         Instruction::Halt { .. } => "halt",
     }
+}
+
+/// Borrows register `r`, or reports a read-before-write.
+fn reg(regs: &[Option<Vec<f64>>], r: usize) -> Result<&Vec<f64>, SimError> {
+    regs.get(r)
+        .and_then(Option::as_ref)
+        .ok_or(SimError::BadRegister(r))
+}
+
+/// Moves register `r` out for in-place mutation (take-and-restore).
+fn take_reg(regs: &mut [Option<Vec<f64>>], r: usize) -> Result<Vec<f64>, SimError> {
+    regs.get_mut(r)
+        .and_then(Option::take)
+        .ok_or(SimError::BadRegister(r))
+}
+
+/// Stores `v` into register `r`, growing the file if needed.
+fn set_reg(regs: &mut Vec<Option<Vec<f64>>>, r: usize, v: Vec<f64>) {
+    if r >= regs.len() {
+        regs.resize(r + 1, None);
+    }
+    regs[r] = Some(v);
+}
+
+/// Reads register `r` as a packed 0/1 vector (threshold at 0.5).
+fn bits_of(regs: &[Option<Vec<f64>>], r: usize) -> Result<BitVec, SimError> {
+    Ok(reg(regs, r)?.iter().map(|&x| x >= 0.5).collect())
+}
+
+/// Charges the scalar/vector FU for an element-wise op.
+fn charge_scalar(stats: &mut SimStats, elems: usize) {
+    // ECore vector FU: 8 lanes at 1 GHz, ~0.1 pJ per element op.
+    stats.scalar_ops += elems as u64;
+    stats.latency_ns += elems.div_ceil(8) as f64;
+    stats.energy_j += elems as f64 * 0.1e-12;
+}
+
+/// Charges one crossbar activation (VMM or WDM MMM step).
+fn charge_crossbar(
+    stats: &mut SimStats,
+    design: &Design,
+    out_vectors: usize,
+    footprint: usize,
+    lanes: usize,
+) {
+    let xbar = &design.xbar;
+    let cols = out_vectors.min(xbar.cols);
+    let step_ns = xbar.timings.vmm_step_ns(cols * lanes.max(1), xbar.n_adcs);
+    stats.crossbar_steps += 1;
+    stats.wdm_lanes += lanes as u64;
+    stats.latency_ns += step_ns;
+    let energy = match (&design.kind, &design.optical) {
+        (DesignKind::EinsteinBarrier, Some(opt)) => {
+            opt.step_energy_j(lanes.max(1), xbar.rows, cols)
+                + (cols * lanes.max(1)) as f64 * xbar.energies.e_adc_pj * 1e-12
+        }
+        _ => xbar
+            .energies
+            .vmm_step_joules(xbar.rows, xbar.rows * cols / 2, cols * lanes.max(1)),
+    };
+    stats.energy_j += energy * footprint as f64;
 }
 
 /// Compiles and runs one input on a design, returning

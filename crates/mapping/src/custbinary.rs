@@ -175,7 +175,11 @@ impl CustBinaryMapped {
     /// # Errors
     ///
     /// Returns [`MappingError::InputLength`] on fan-in mismatch.
-    pub fn execute(&mut self, input: &BitVec, rng: &mut impl Rng) -> Result<Vec<u32>, MappingError> {
+    pub fn execute(
+        &mut self,
+        input: &BitVec,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<u32>, MappingError> {
         if input.len() != self.m {
             return Err(MappingError::InputLength {
                 expected: self.m,

@@ -44,7 +44,10 @@ impl fmt::Display for MappingError {
                 write!(f, "input has length {got}, mapped fan-in is {expected}")
             }
             Self::Mismatch { mapping } => {
-                write!(f, "{mapping} execution disagreed with the software reference")
+                write!(
+                    f,
+                    "{mapping} execution disagreed with the software reference"
+                )
             }
             Self::Xbar(e) => write!(f, "crossbar error: {e}"),
         }

@@ -92,7 +92,7 @@ impl MappingPlan {
 /// Plans a workload under TacitMap (paper Fig. 3-(b)).
 ///
 /// Weight vectors sit vertically: `rows/2` weight bits per column (vector
-/// + complement), `cols` weight vectors per crossbar. One activation
+/// plus complement), `cols` weight vectors per crossbar. One activation
 /// computes every stored popcount, so a replica retires one input vector
 /// per step (× `input_bits` for bit-serial activations).
 ///
@@ -110,12 +110,7 @@ pub fn plan_tacitmap(w: &Workload, xbar: &XbarConfig, budget: usize) -> MappingP
 /// # Panics
 ///
 /// Panics if `k == 0` or the workload/budget is degenerate.
-pub fn plan_wdm_tacitmap(
-    w: &Workload,
-    xbar: &XbarConfig,
-    budget: usize,
-    k: usize,
-) -> MappingPlan {
+pub fn plan_wdm_tacitmap(w: &Workload, xbar: &XbarConfig, budget: usize, k: usize) -> MappingPlan {
     assert!(k > 0, "WDM capacity must be positive");
     plan_tacit_common(w, xbar, budget, k, MappingKind::WdmTacitMap)
 }
@@ -147,9 +142,8 @@ fn plan_tacit_common(
     // Every column of every active crossbar is converted once per step per
     // wavelength in flight.
     let k_eff = (w.vectors.min(k as u64)).max(1) as usize;
-    let conversions_per_step =
-        (col_slots.min(xbar.cols) as u64 * row_chunks as u64 * k_eff as u64)
-            .max(col_slots as u64 * row_chunks as u64);
+    let conversions_per_step = (col_slots.min(xbar.cols) as u64 * row_chunks as u64 * k_eff as u64)
+        .max(col_slots as u64 * row_chunks as u64);
 
     MappingPlan {
         kind,

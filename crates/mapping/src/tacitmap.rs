@@ -130,13 +130,42 @@ impl TacitMapped {
         self.executions
     }
 
+    /// Fan-in range `(lo, len)` covered by row chunk `rc`.
+    fn chunk_bounds(&self, rc: usize) -> (usize, usize) {
+        let lo = rc * self.chunk_len;
+        let hi = (lo + self.chunk_len).min(self.m);
+        (lo, hi - lo)
+    }
+
+    /// Builds the physical `[pos ; neg]` drive for one row chunk: the
+    /// weight half occupies rows `0..len`, the complement half rows
+    /// `len..2·len`, zero-padded to the crossbar height. This is the one
+    /// place the TacitMap drive layout lives — both the single-vector and
+    /// batched execution paths go through it.
+    fn chunk_drive(&self, pos: &BitVec, neg: &BitVec, lo: usize, len: usize) -> BitVec {
+        let mut drive = BitVec::zeros(self.cfg.rows);
+        for i in 0..len {
+            if pos.get(lo + i) == Some(true) {
+                drive.set(i, true);
+            }
+            if neg.get(lo + i) == Some(true) {
+                drive.set(len + i, true);
+            }
+        }
+        drive
+    }
+
     /// Executes one input vector: a single parallel crossbar activation
     /// across all chunks, returning `popcount(input ⊙ Wⱼ)` for every `j`.
     ///
     /// # Errors
     ///
     /// Returns [`MappingError::InputLength`] on fan-in mismatch.
-    pub fn execute(&mut self, input: &BitVec, rng: &mut impl Rng) -> Result<Vec<u32>, MappingError> {
+    pub fn execute(
+        &mut self,
+        input: &BitVec,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<u32>, MappingError> {
         let complement = input.complement();
         self.execute_raw(input, &complement, rng)
     }
@@ -171,19 +200,8 @@ impl TacitMapped {
         }
         let mut acc = vec![0u32; self.n];
         for (rc, row) in self.engines.iter().enumerate() {
-            let lo = rc * self.chunk_len;
-            let hi = (lo + self.chunk_len).min(self.m);
-            let len = hi - lo;
-            // Drive [pos ; neg] padded with zeros to the physical rows.
-            let mut drive = BitVec::zeros(self.cfg.rows);
-            for i in 0..len {
-                if pos.get(lo + i) == Some(true) {
-                    drive.set(i, true);
-                }
-                if neg.get(lo + i) == Some(true) {
-                    drive.set(len + i, true);
-                }
-            }
+            let (lo, len) = self.chunk_bounds(rc);
+            let drive = self.chunk_drive(pos, neg, lo, len);
             for (cc, engine) in row.iter().enumerate() {
                 let jlo = cc * self.cfg.cols;
                 let jhi = (jlo + self.cfg.cols).min(self.n);
@@ -196,6 +214,60 @@ impl TacitMapped {
             }
         }
         self.executions += 1;
+        Ok(acc)
+    }
+
+    /// Executes a batch of input vectors, one crossbar activation per
+    /// vector, amortizing the periphery setup and device resolution
+    /// across the batch ([`VmmEngine::vmm_counts_cols_batch`]). Drive
+    /// construction itself is still per `(input, chunk)`, same as the
+    /// single-vector path.
+    ///
+    /// In noiseless configurations this is bit-identical to calling
+    /// [`TacitMapped::execute`] per input (under noise the counts are
+    /// drawn from the same distribution, but the chunk-major draw order
+    /// differs). Each engine resolves its devices once per batch instead
+    /// of once per input.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::InputLength`] on any fan-in mismatch.
+    pub fn execute_batch(
+        &mut self,
+        inputs: &[BitVec],
+        rng: &mut impl Rng,
+    ) -> Result<Vec<Vec<u32>>, MappingError> {
+        for input in inputs {
+            if input.len() != self.m {
+                return Err(MappingError::InputLength {
+                    expected: self.m,
+                    got: input.len(),
+                });
+            }
+        }
+        let complements: Vec<BitVec> = inputs.iter().map(BitVec::complement).collect();
+        let mut acc = vec![vec![0u32; self.n]; inputs.len()];
+        for (rc, row) in self.engines.iter().enumerate() {
+            let (lo, len) = self.chunk_bounds(rc);
+            let drives: Vec<BitVec> = inputs
+                .iter()
+                .zip(&complements)
+                .map(|(input, comp)| self.chunk_drive(input, comp, lo, len))
+                .collect();
+            for (cc, engine) in row.iter().enumerate() {
+                let jlo = cc * self.cfg.cols;
+                let jhi = (jlo + self.cfg.cols).min(self.n);
+                let counts = engine
+                    .vmm_counts_cols_batch(&drives, 0, jhi - jlo, rng)
+                    .map_err(MappingError::Xbar)?;
+                for (k, input_counts) in counts.into_iter().enumerate() {
+                    for (j, c) in input_counts.into_iter().enumerate() {
+                        acc[k][jlo + j] += c;
+                    }
+                }
+            }
+        }
+        self.executions += inputs.len() as u64;
         Ok(acc)
     }
 
@@ -235,7 +307,8 @@ mod tests {
 
     fn random_bits(rows: usize, cols: usize, seed: u64) -> BitMatrix {
         BitMatrix::from_fn(rows, cols, |r, c| {
-            (seed.wrapping_mul((r * cols + c) as u64 + 11)) % 3 == 0
+            seed.wrapping_mul((r * cols + c) as u64 + 11)
+                .is_multiple_of(3)
         })
     }
 
@@ -246,8 +319,11 @@ mod tests {
         let mut mapped = TacitMapped::program(&w, &XbarConfig::new(64, 16), &mut r).unwrap();
         assert_eq!(mapped.footprint(), 1);
         for seed in 0..5u64 {
-            let input =
-                BitVec::from_bools(&(0..16).map(|i| (i as u64 * seed) % 4 < 2).collect::<Vec<_>>());
+            let input = BitVec::from_bools(
+                &(0..16)
+                    .map(|i| (i as u64 * seed) % 4 < 2)
+                    .collect::<Vec<_>>(),
+            );
             let got = mapped.execute(&input, &mut r).unwrap();
             assert_eq!(got, ops::binary_linear_popcounts(&input, &w));
         }
@@ -320,6 +396,32 @@ mod tests {
                 .sum();
             assert_eq!(plus[j] as i32 - minus[j] as i32, expect, "output {j}");
         }
+    }
+
+    #[test]
+    fn execute_batch_matches_per_input_execution() {
+        let mut r = rng();
+        // Chunked in both dimensions so the batch path crosses chunk
+        // boundaries.
+        let w = random_bits(37, 75, 17);
+        let cfg = XbarConfig::new(32, 16);
+        let mut mapped = TacitMapped::program(&w, &cfg, &mut r).unwrap();
+        let inputs: Vec<BitVec> = (0..6)
+            .map(|k| BitVec::from_bools(&(0..75).map(|i| (i * 7 + k) % 5 < 3).collect::<Vec<_>>()))
+            .collect();
+        let batch = mapped.execute_batch(&inputs, &mut r).unwrap();
+        for (k, input) in inputs.iter().enumerate() {
+            assert_eq!(
+                batch[k],
+                ops::binary_linear_popcounts(input, &w),
+                "input {k}"
+            );
+        }
+        assert_eq!(mapped.steps_taken(), 6);
+        assert!(matches!(
+            mapped.execute_batch(&[BitVec::zeros(9)], &mut r),
+            Err(MappingError::InputLength { .. })
+        ));
     }
 
     #[test]

@@ -36,13 +36,7 @@ pub fn rin_noise_sigma(i_photo: f64, rin_db_hz: f64, bw_hz: f64) -> f64 {
 
 /// Aggregate RMS noise current combining the three mechanisms in
 /// quadrature.
-pub fn total_noise_sigma(
-    i_photo: f64,
-    bw_hz: f64,
-    temp_k: f64,
-    r_ohm: f64,
-    rin_db_hz: f64,
-) -> f64 {
+pub fn total_noise_sigma(i_photo: f64, bw_hz: f64, temp_k: f64, r_ohm: f64, rin_db_hz: f64) -> f64 {
     let s = shot_noise_sigma(i_photo, bw_hz);
     let t = thermal_noise_sigma(temp_k, r_ohm, bw_hz);
     let r = rin_noise_sigma(i_photo, rin_db_hz, bw_hz);

@@ -239,13 +239,17 @@ mod tests {
         xbar.program_matrix(&bits, &mut r).unwrap();
         let tx = Transmitter::with_capacity(4);
         let vs: Vec<BitVec> = (0..4)
-            .map(|k| BitVec::from_bools(&(0..16).map(|i| (i * (k + 2)) % 5 < 2).collect::<Vec<_>>()))
+            .map(|k| {
+                BitVec::from_bools(&(0..16).map(|i| (i * (k + 2)) % 5 < 2).collect::<Vec<_>>())
+            })
             .collect();
         let frame = tx.encode(&vs).unwrap();
         let mmm = xbar.mmm_counts(&frame, &Receiver::ideal(), &mut r).unwrap();
         for (k, v) in vs.iter().enumerate() {
             let single = tx.encode(std::slice::from_ref(v)).unwrap();
-            let vmm = xbar.mmm_counts(&single, &Receiver::ideal(), &mut r).unwrap();
+            let vmm = xbar
+                .mmm_counts(&single, &Receiver::ideal(), &mut r)
+                .unwrap();
             assert_eq!(mmm[k], vmm[0], "wavelength {k}");
         }
     }
@@ -313,6 +317,10 @@ mod tests {
         let tx = Transmitter::with_capacity(2);
         let frame = tx.encode(&[BitVec::ones(32)]).unwrap();
         let noisy = xbar.mmm_counts(&frame, &Receiver::noisy(), &mut r).unwrap();
-        assert!((i64::from(noisy[0][0]) - 16).abs() <= 3, "count {}", noisy[0][0]);
+        assert!(
+            (i64::from(noisy[0][0]) - 16).abs() <= 3,
+            "count {}",
+            noisy[0][0]
+        );
     }
 }

@@ -201,7 +201,10 @@ mod tests {
                 overlap2 += 1;
             }
         }
-        assert!(overlap8 > 30, "8-level neighbours should overlap: {overlap8}");
+        assert!(
+            overlap8 > 30,
+            "8-level neighbours should overlap: {overlap8}"
+        );
         assert_eq!(overlap2, 0, "binary states must stay separable");
     }
 

@@ -154,10 +154,12 @@ mod tests {
         let want = 10.0 + 3.0 * 4096.0 + 3.0 * 4097.0 / 16.0 * 45.0;
         assert!((m.total_mw(16, 256) - want).abs() < 1e-9);
         assert!((m.modulators_mw(16, 256) - 12288.0).abs() < 1e-9);
-        assert!((m.total_mw(16, 256)
-            - (m.p_laser_mw + m.modulators_mw(16, 256) + m.tuning_mw(16, 256)))
-        .abs()
-            < 1e-9);
+        assert!(
+            (m.total_mw(16, 256)
+                - (m.p_laser_mw + m.modulators_mw(16, 256) + m.tuning_mw(16, 256)))
+            .abs()
+                < 1e-9
+        );
     }
 
     #[test]
@@ -188,8 +190,6 @@ mod tests {
     fn step_power_includes_both_equations() {
         let c = OpticalCost::default();
         let p = c.step_power_mw(16, 256, 256);
-        assert!(
-            (p - (c.transmitter.total_mw(16, 256) + 512.0)).abs() < 1e-9
-        );
+        assert!((p - (c.transmitter.total_mw(16, 256) + 512.0)).abs() < 1e-9);
     }
 }

@@ -125,7 +125,11 @@ impl CrossbarArray {
     /// # Errors
     ///
     /// Returns [`XbarError::OutOfBounds`] if the matrix exceeds the array.
-    pub fn program_matrix(&mut self, bits: &BitMatrix, rng: &mut impl Rng) -> Result<(), XbarError> {
+    pub fn program_matrix(
+        &mut self,
+        bits: &BitMatrix,
+        rng: &mut impl Rng,
+    ) -> Result<(), XbarError> {
         self.program_matrix_at(bits, 0, 0, rng)
     }
 
@@ -175,6 +179,30 @@ impl CrossbarArray {
             Some(d) => d.read(&self.params, rng),
             None => self.params.g_off,
         }
+    }
+
+    /// Returns `true` when reads are deterministic (no read noise), i.e.
+    /// when a conductance snapshot reproduces every future read exactly.
+    pub fn read_is_deterministic(&self) -> bool {
+        self.params.read_sigma <= 0.0
+    }
+
+    /// Row-major snapshot of the programmed conductances (`rows × cols`,
+    /// unprogrammed cells at `g_off`).
+    ///
+    /// Programming variability is baked into the stored devices, so when
+    /// [`CrossbarArray::read_is_deterministic`] holds, the snapshot equals
+    /// what every read would return — the batch VMM path samples it once
+    /// and reuses it for the whole batch instead of re-resolving each
+    /// device per input vector.
+    pub fn conductance_snapshot(&self) -> Vec<f64> {
+        self.devices
+            .iter()
+            .map(|d| {
+                d.as_ref()
+                    .map_or(self.params.g_off, EpcmDevice::conductance)
+            })
+            .collect()
     }
 
     /// Analog column current for a binary row drive: rows with bit 1 get
@@ -309,7 +337,10 @@ mod tests {
         let x = CrossbarArray::new(2, 2, DeviceParams::ideal());
         let mut r = rng();
         assert_eq!(x.stored_bit(0, 0), None);
-        assert_eq!(x.read_conductance(0, 0, &mut r), DeviceParams::ideal().g_off);
+        assert_eq!(
+            x.read_conductance(0, 0, &mut r),
+            DeviceParams::ideal().g_off
+        );
     }
 
     #[test]

@@ -37,10 +37,7 @@ impl fmt::Display for XbarError {
                 col,
                 rows,
                 cols,
-            } => write!(
-                f,
-                "access at ({row}, {col}) exceeds {rows}×{cols} crossbar"
-            ),
+            } => write!(f, "access at ({row}, {col}) exceeds {rows}×{cols} crossbar"),
             Self::DimensionMismatch {
                 what,
                 expected,

@@ -262,6 +262,6 @@ mod tests {
         assert_eq!(depth, 3); // log2(8)
         assert_eq!(t.reduce(&[]).0, 0);
         assert_eq!(t.reduce(&[true]), (1, 0));
-        assert_eq!(t.reduce(&vec![true; 9]).1, 4); // ceil(log2(9))
+        assert_eq!(t.reduce(&[true; 9]).1, 4); // ceil(log2(9))
     }
 }

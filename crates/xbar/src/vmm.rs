@@ -89,6 +89,125 @@ impl VmmEngine {
             .collect())
     }
 
+    /// Batched VMM: digitizes every input vector against the full array,
+    /// amortizing the periphery setup (DAC conversion, dimension checks,
+    /// device resolution) across the whole batch.
+    ///
+    /// When the device model has no read noise, the programmed
+    /// conductances are snapshotted **once** and each input reduces to a
+    /// dense accumulate over its set rows — identical results to calling
+    /// [`Self::vmm_counts`] per input, at a fraction of the cost. With
+    /// read noise (or ADC noise) present, the batch falls back to the
+    /// exact per-input path so the RNG draw sequence — and therefore every
+    /// sampled count — matches repeated `vmm_counts` calls bit-for-bit.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::DimensionMismatch`] if any input's length
+    /// differs from the row count.
+    pub fn vmm_counts_batch(
+        &self,
+        inputs: &[BitVec],
+        rng: &mut impl Rng,
+    ) -> Result<Vec<Vec<u32>>, XbarError> {
+        self.check_drive_lengths(inputs)?;
+        if !self.periphery_is_deterministic() {
+            // Noisy periphery: preserve the exact RNG draw order of
+            // repeated single-vector activations.
+            return inputs.iter().map(|v| self.vmm_counts(v, rng)).collect();
+        }
+        Ok(self.snapshot_counts(inputs, 0, self.array.cols(), rng))
+    }
+
+    /// Validates every drive against the row count.
+    fn check_drive_lengths(&self, inputs: &[BitVec]) -> Result<(), XbarError> {
+        let rows = self.array.rows();
+        for input in inputs {
+            if input.len() != rows {
+                return Err(XbarError::DimensionMismatch {
+                    what: "row drive",
+                    expected: rows,
+                    got: input.len(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// `true` when neither device reads nor ADC conversions draw noise,
+    /// i.e. when the snapshot fast path is exact.
+    fn periphery_is_deterministic(&self) -> bool {
+        self.array.read_is_deterministic() && self.adc.noise_sigma <= 0.0
+    }
+
+    /// Deterministic batch fast path over columns `[col0, col0 + n)`:
+    /// snapshots the programmed conductances once, then accumulates each
+    /// input's column currents over its set rows. Callers must have
+    /// validated drive lengths and checked [`Self::periphery_is_deterministic`]
+    /// (the ADC conversions draw no noise, so `rng` is untouched).
+    fn snapshot_counts(
+        &self,
+        inputs: &[BitVec],
+        col0: usize,
+        n: usize,
+        rng: &mut impl Rng,
+    ) -> Vec<Vec<u32>> {
+        let cols = self.array.cols();
+        let v_read = self.dac.convert(1);
+        let g = self.array.conductance_snapshot();
+        let mut out = Vec::with_capacity(inputs.len());
+        for input in inputs {
+            let mut currents = vec![0.0f64; n];
+            for r in input.iter_ones() {
+                let row = &g[r * cols + col0..r * cols + col0 + n];
+                for (acc, gg) in currents.iter_mut().zip(row) {
+                    *acc += v_read * gg;
+                }
+            }
+            out.push(
+                currents
+                    .into_iter()
+                    .map(|i| self.adc.convert(i, rng))
+                    .collect(),
+            );
+        }
+        out
+    }
+
+    /// Batched variant of [`Self::vmm_counts_cols`]: every input vector
+    /// against columns `[col0, col0 + n)`, with the same noiseless
+    /// snapshot fast path / noisy exact-order fallback as
+    /// [`Self::vmm_counts_batch`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::DimensionMismatch`] on drive-length mismatch or
+    /// [`XbarError::OutOfBounds`] if the column range exceeds the array.
+    pub fn vmm_counts_cols_batch(
+        &self,
+        inputs: &[BitVec],
+        col0: usize,
+        n: usize,
+        rng: &mut impl Rng,
+    ) -> Result<Vec<Vec<u32>>, XbarError> {
+        if col0 + n > self.array.cols() {
+            return Err(XbarError::OutOfBounds {
+                row: 0,
+                col: col0 + n,
+                rows: self.array.rows(),
+                cols: self.array.cols(),
+            });
+        }
+        self.check_drive_lengths(inputs)?;
+        if !self.periphery_is_deterministic() {
+            return inputs
+                .iter()
+                .map(|v| self.vmm_counts_cols(v, col0, n, rng))
+                .collect();
+        }
+        Ok(self.snapshot_counts(inputs, col0, n, rng))
+    }
+
     /// Like [`Self::vmm_counts`] but restricted to columns
     /// `[col0, col0 + n)`.
     ///
@@ -193,6 +312,81 @@ mod tests {
         assert!(engine
             .vmm_counts_cols(&BitVec::ones(4), 5, 3, &mut r)
             .is_err());
+    }
+
+    #[test]
+    fn batch_matches_repeated_single_vmms_ideal() {
+        let bits = BitMatrix::from_fn(64, 9, |r, c| (r * 5 + c) % 4 != 1);
+        let engine = engine_from_bits(&bits);
+        let inputs: Vec<BitVec> = (0..7)
+            .map(|k| BitVec::from_bools(&(0..64).map(|i| (i + k) % 3 == 0).collect::<Vec<_>>()))
+            .collect();
+        let mut r1 = rng();
+        let batch = engine.vmm_counts_batch(&inputs, &mut r1).unwrap();
+        let mut r2 = rng();
+        for (k, v) in inputs.iter().enumerate() {
+            assert_eq!(
+                batch[k],
+                engine.vmm_counts(v, &mut r2).unwrap(),
+                "input {k}"
+            );
+        }
+    }
+
+    #[test]
+    fn batch_matches_repeated_singles_under_noise_with_same_seed() {
+        // With read + ADC noise the batch falls back to the per-input
+        // path, so an identically seeded RNG must reproduce the exact
+        // noisy counts of repeated vmm_counts calls.
+        let mut r = rng();
+        let mut array = CrossbarArray::new(32, 4, DeviceParams::noisy());
+        array
+            .program_matrix(&BitMatrix::from_fn(32, 4, |a, b| (a + b) % 2 == 0), &mut r)
+            .unwrap();
+        let mut engine = VmmEngine::with_defaults(array);
+        let i_unit = engine.adc().i_unit;
+        engine.set_adc(Adc::new(9, i_unit).with_noise(0.8));
+        let inputs: Vec<BitVec> = (0..5)
+            .map(|k| {
+                BitVec::from_bools(&(0..32).map(|i| (i * (k + 2)) % 5 < 2).collect::<Vec<_>>())
+            })
+            .collect();
+        let mut r1 = StdRng::seed_from_u64(1234);
+        let batch = engine.vmm_counts_batch(&inputs, &mut r1).unwrap();
+        let mut r2 = StdRng::seed_from_u64(1234);
+        let singles: Vec<Vec<u32>> = inputs
+            .iter()
+            .map(|v| engine.vmm_counts(v, &mut r2).unwrap())
+            .collect();
+        assert_eq!(batch, singles);
+    }
+
+    #[test]
+    fn batch_cols_matches_column_range_readout() {
+        let bits = BitMatrix::from_fn(16, 8, |r, c| r == c % 16 || (r + c) % 3 == 0);
+        let engine = engine_from_bits(&bits);
+        let inputs: Vec<BitVec> = (0..4)
+            .map(|k| BitVec::from_bools(&(0..16).map(|i| (i + k) % 2 == 0).collect::<Vec<_>>()))
+            .collect();
+        let mut r = rng();
+        let batch = engine.vmm_counts_cols_batch(&inputs, 2, 5, &mut r).unwrap();
+        for (k, v) in inputs.iter().enumerate() {
+            let single = engine.vmm_counts_cols(v, 2, 5, &mut r).unwrap();
+            assert_eq!(batch[k], single, "input {k}");
+        }
+        assert!(engine.vmm_counts_cols_batch(&inputs, 5, 4, &mut r).is_err());
+    }
+
+    #[test]
+    fn batch_rejects_bad_lengths() {
+        let bits = BitMatrix::from_fn(8, 2, |r, _| r % 2 == 0);
+        let engine = engine_from_bits(&bits);
+        let mut r = rng();
+        let inputs = vec![BitVec::ones(8), BitVec::ones(7)];
+        assert!(matches!(
+            engine.vmm_counts_batch(&inputs, &mut r),
+            Err(XbarError::DimensionMismatch { .. })
+        ));
     }
 
     #[test]

@@ -6,7 +6,9 @@
 //!
 //! Run with `cargo run --release --example cifar_cnn`.
 
-use eb_bitnn::{BenchModel, BinConv, BinLinear, Bnn, FixedConv, Layer, OutputLinear, Shape, Tensor};
+use eb_bitnn::{
+    BenchModel, BinConv, BinLinear, Bnn, FixedConv, Layer, OutputLinear, Shape, Tensor,
+};
 use eb_core::{evaluate_model, report_table, simulate_inference, Design};
 use rand::rngs::StdRng;
 use rand::SeedableRng;

@@ -83,7 +83,9 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("software reference:                     {reference:?}");
     assert_eq!(t, reference);
     assert_eq!(c, reference);
-    println!("\nEq. 1 bipolar pre-activations: {:?}",
-        ops::binary_linear_preacts(&input, &weights));
+    println!(
+        "\nEq. 1 bipolar pre-activations: {:?}",
+        ops::binary_linear_preacts(&input, &weights)
+    );
     Ok(())
 }

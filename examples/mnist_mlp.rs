@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let samples = data.flattened();
     let (train, test) = (&samples[..200], &samples[200..]);
 
-    println!("training a 784-64-32-10 BinaryConnect MLP on {} samples…", train.len());
+    println!(
+        "training a 784-64-32-10 BinaryConnect MLP on {} samples…",
+        train.len()
+    );
     let mut trainer = MlpTrainer::new(
         &[784, 64, 32, 10],
         TrainConfig {

@@ -87,5 +87,8 @@ fn placements_respect_chip_hierarchy() {
             assert!(addr.vcore < design.chip.vcores_per_ecore);
         }
     }
-    assert!(total <= budget, "MLP-S fits the paper chip: {total}/{budget}");
+    assert!(
+        total <= budget,
+        "MLP-S fits the paper chip: {total}/{budget}"
+    );
 }

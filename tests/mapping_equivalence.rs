@@ -46,10 +46,16 @@ fn randomized_layers_agree_across_mappings_and_reference() {
         let mut cust = CustBinaryMapped::program(&weights, &cfg, &mut r).unwrap();
         for t in 0..3u64 {
             let x = BitVec::from_bools(
-                &(0..m).map(|i| (i as u64 * (t + 2) + seed) % 5 < 2).collect::<Vec<_>>(),
+                &(0..m)
+                    .map(|i| (i as u64 * (t + 2) + seed) % 5 < 2)
+                    .collect::<Vec<_>>(),
             );
             let want = ops::binary_linear_popcounts(&x, &weights);
-            assert_eq!(tacit.execute(&x, &mut r).unwrap(), want, "tacit seed {seed}");
+            assert_eq!(
+                tacit.execute(&x, &mut r).unwrap(),
+                want,
+                "tacit seed {seed}"
+            );
             assert_eq!(cust.execute(&x, &mut r).unwrap(), want, "cust seed {seed}");
         }
     }
@@ -100,7 +106,10 @@ fn device_noise_perturbs_but_ideal_does_not() {
             diverged = true;
         }
         for (g, w) in got.iter().zip(&want) {
-            assert!((i64::from(*g) - i64::from(*w)).abs() < 16, "far off: {g} vs {w}");
+            assert!(
+                (i64::from(*g) - i64::from(*w)).abs() < 16,
+                "far off: {g} vs {w}"
+            );
         }
     }
     assert!(diverged, "30% programming noise should perturb counts");

@@ -13,7 +13,11 @@ fn fig7_headline_factors_are_paper_shaped() {
     // Paper: TacitMap-ePCM ~78× average, up to ~154×.
     let tm_avg = fig.mean_tacitmap_speedup();
     assert!((30.0..160.0).contains(&tm_avg), "TM average {tm_avg}");
-    let tm_max = fig.rows.iter().map(|r| r.tacitmap_speedup).fold(0.0, f64::max);
+    let tm_max = fig
+        .rows
+        .iter()
+        .map(|r| r.tacitmap_speedup)
+        .fold(0.0, f64::max);
     assert!((90.0..260.0).contains(&tm_max), "TM max {tm_max}");
 
     // Paper: EinsteinBarrier ~1205× average, ~22×–~3113× range.

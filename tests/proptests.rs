@@ -1,7 +1,9 @@
 //! Cross-crate property tests: the mapping/accelerator invariants from
 //! DESIGN.md, driven by randomized layers, workloads, and networks.
 
-use eb_bitnn::{ops, BinLinear, BitMatrix, BitVec, Bnn, FixedLinear, Layer, OutputLinear, Shape, Tensor};
+use eb_bitnn::{
+    ops, BinLinear, BitMatrix, BitVec, Bnn, FixedLinear, Layer, OutputLinear, Shape, Tensor,
+};
 use eb_core::{simulate_inference, Design};
 use eb_mapping::{plan_custbinary, plan_tacitmap, plan_wdm_tacitmap, TacitMapped, Workload};
 use eb_xbar::XbarConfig;

@@ -29,7 +29,9 @@ fn mmm_equals_stacked_vmms_through_full_optical_chain() {
 
     for (k, v) in inputs.iter().enumerate() {
         let single = tx.encode(std::slice::from_ref(v)).unwrap();
-        let vmm = xbar.mmm_counts(&single, &Receiver::ideal(), &mut r).unwrap();
+        let vmm = xbar
+            .mmm_counts(&single, &Receiver::ideal(), &mut r)
+            .unwrap();
         assert_eq!(mmm[k], vmm[0], "wavelength {k} diverged");
         // And against the pure software AND-accumulate.
         for c in 0..8 {
@@ -45,9 +47,7 @@ fn wdm_tacitmap_layer_is_exact_for_every_lane_count() {
     let mut mapped = OpticalTacitMapped::program(&weights, 64, 16, 16, &mut r).unwrap();
     for lanes in [1usize, 2, 5, 16] {
         let inputs: Vec<BitVec> = (0..lanes)
-            .map(|k| {
-                BitVec::from_bools(&(0..40).map(|i| (i + 3 * k) % 4 < 2).collect::<Vec<_>>())
-            })
+            .map(|k| BitVec::from_bools(&(0..40).map(|i| (i + 3 * k) % 4 < 2).collect::<Vec<_>>()))
             .collect();
         let counts = mapped.execute_wdm(&inputs, &mut r).unwrap();
         for (k, v) in inputs.iter().enumerate() {

@@ -1,0 +1,333 @@
+//! Offline vendored stand-in for `criterion`.
+//!
+//! Implements the subset of the criterion 0.5 API this workspace's benches
+//! use: [`Criterion`], [`BenchmarkGroup`], [`Bencher::iter`],
+//! [`BenchmarkId`], and the [`criterion_group!`]/[`criterion_main!`]
+//! macros. Measurement is a plain wall-clock sampling loop: after a warm-up
+//! phase, `sample_size` samples are taken and the per-iteration median is
+//! reported.
+//!
+//! Set the environment variable `CRITERION_JSON=<path>` to additionally
+//! append one JSON line per benchmark (`{"id": .., "median_ns": ..}`) —
+//! the hook the repository's `BENCH_*.json` baselines are generated from.
+
+use std::fmt::{self, Display};
+use std::fs::OpenOptions;
+use std::hint;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Opaque value barrier preventing the optimizer from deleting benched code.
+pub fn black_box<T>(x: T) -> T {
+    hint::black_box(x)
+}
+
+/// Identifier for a parameterized benchmark (`function/parameter`).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BenchmarkId {
+    id: String,
+}
+
+impl BenchmarkId {
+    /// Builds an id from a function name and a parameter display value.
+    pub fn new(function: impl Display, parameter: impl Display) -> Self {
+        Self {
+            id: format!("{function}/{parameter}"),
+        }
+    }
+
+    /// Builds an id from a parameter alone.
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        Self {
+            id: parameter.to_string(),
+        }
+    }
+}
+
+impl Display for BenchmarkId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.id)
+    }
+}
+
+/// Timing loop handle passed to benchmark closures.
+#[derive(Debug, Default)]
+pub struct Bencher {
+    samples_ns: Vec<f64>,
+    warm_up: Duration,
+    measurement: Duration,
+    sample_size: usize,
+}
+
+impl Bencher {
+    /// Runs `f` repeatedly, recording per-iteration wall-clock times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        // Warm-up: run until the warm-up budget elapses, estimating the
+        // per-iteration cost for sample sizing.
+        let warm_start = Instant::now();
+        let mut iters_done = 0u64;
+        while warm_start.elapsed() < self.warm_up || iters_done == 0 {
+            black_box(f());
+            iters_done += 1;
+        }
+        let est_ns = (warm_start.elapsed().as_nanos() as f64 / iters_done as f64).max(1.0);
+
+        // Choose iterations per sample so the whole measurement fits the
+        // measurement-time budget.
+        let budget_ns = self.measurement.as_nanos() as f64;
+        let per_sample_ns = budget_ns / self.sample_size as f64;
+        let iters_per_sample = ((per_sample_ns / est_ns).floor() as u64).max(1);
+
+        self.samples_ns.clear();
+        for _ in 0..self.sample_size {
+            let t0 = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(f());
+            }
+            let dt = t0.elapsed().as_nanos() as f64;
+            self.samples_ns.push(dt / iters_per_sample as f64);
+        }
+    }
+
+    fn median_ns(&self) -> f64 {
+        if self.samples_ns.is_empty() {
+            return f64::NAN;
+        }
+        let mut s = self.samples_ns.clone();
+        s.sort_by(|a, b| a.partial_cmp(b).expect("NaN sample"));
+        s[s.len() / 2]
+    }
+}
+
+fn format_ns(ns: f64) -> String {
+    if ns >= 1e9 {
+        format!("{:.3} s", ns / 1e9)
+    } else if ns >= 1e6 {
+        format!("{:.3} ms", ns / 1e6)
+    } else if ns >= 1e3 {
+        format!("{:.3} µs", ns / 1e3)
+    } else {
+        format!("{ns:.1} ns")
+    }
+}
+
+fn report(id: &str, b: &Bencher) {
+    let med = b.median_ns();
+    let lo = b.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
+    let hi = b.samples_ns.iter().cloned().fold(0.0f64, f64::max);
+    println!(
+        "{id:<44} time: [{} {} {}]",
+        format_ns(lo),
+        format_ns(med),
+        format_ns(hi)
+    );
+    if let Ok(path) = std::env::var("CRITERION_JSON") {
+        if let Ok(mut f) = OpenOptions::new().create(true).append(true).open(path) {
+            let _ = writeln!(
+                f,
+                "{{\"id\": \"{id}\", \"median_ns\": {med:.1}, \"min_ns\": {lo:.1}, \"max_ns\": {hi:.1}, \"samples\": {}}}",
+                b.samples_ns.len()
+            );
+        }
+    }
+}
+
+/// The benchmark harness configuration and entry point.
+#[derive(Debug, Clone)]
+pub struct Criterion {
+    sample_size: usize,
+    warm_up: Duration,
+    measurement: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Self {
+            sample_size: 20,
+            warm_up: Duration::from_millis(300),
+            measurement: Duration::from_millis(800),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of samples per benchmark.
+    #[must_use]
+    pub fn sample_size(mut self, n: usize) -> Self {
+        self.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration.
+    #[must_use]
+    pub fn warm_up_time(mut self, d: Duration) -> Self {
+        self.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration.
+    #[must_use]
+    pub fn measurement_time(mut self, d: Duration) -> Self {
+        self.measurement = d;
+        self
+    }
+
+    /// Applies command-line/env configuration (no-op in this stand-in).
+    #[must_use]
+    pub fn configure_from_args(self) -> Self {
+        self
+    }
+
+    fn bencher(&self) -> Bencher {
+        Bencher {
+            samples_ns: Vec::new(),
+            warm_up: self.warm_up,
+            measurement: self.measurement,
+            sample_size: self.sample_size,
+        }
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, id: &str, mut f: F) -> &mut Self {
+        let mut b = self.bencher();
+        f(&mut b);
+        report(id, &b);
+        self
+    }
+
+    /// Opens a named benchmark group.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            name: name.into(),
+            config: self.clone(),
+            _parent: self,
+        }
+    }
+}
+
+/// A group of related benchmarks sharing configuration.
+#[derive(Debug)]
+pub struct BenchmarkGroup<'a> {
+    name: String,
+    config: Criterion,
+    _parent: &'a mut Criterion,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of samples for this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.config.sample_size = n.max(2);
+        self
+    }
+
+    /// Sets the warm-up duration for this group.
+    pub fn warm_up_time(&mut self, d: Duration) -> &mut Self {
+        self.config.warm_up = d;
+        self
+    }
+
+    /// Sets the measurement duration for this group.
+    pub fn measurement_time(&mut self, d: Duration) -> &mut Self {
+        self.config.measurement = d;
+        self
+    }
+
+    /// Runs one benchmark inside the group.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(
+        &mut self,
+        id: impl Display,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = self.config.bencher();
+        f(&mut b);
+        report(&format!("{}/{id}", self.name), &b);
+        self
+    }
+
+    /// Runs one benchmark parameterized by `input`.
+    pub fn bench_with_input<I: ?Sized, F: FnMut(&mut Bencher, &I)>(
+        &mut self,
+        id: BenchmarkId,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self {
+        let mut b = self.config.bencher();
+        f(&mut b, input);
+        report(&format!("{}/{id}", self.name), &b);
+        self
+    }
+
+    /// Ends the group.
+    pub fn finish(self) {}
+}
+
+/// Declares a group of benchmark functions, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config.configure_from_args();
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group! {
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        }
+    };
+}
+
+/// Declares the benchmark `main` function, mirroring criterion's macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fast_criterion() -> Criterion {
+        Criterion::default()
+            .sample_size(3)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(5))
+    }
+
+    #[test]
+    fn bench_function_records_samples() {
+        let mut c = fast_criterion();
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+
+    #[test]
+    fn groups_and_ids() {
+        let mut c = fast_criterion();
+        let mut g = c.benchmark_group("g");
+        g.sample_size(2)
+            .warm_up_time(Duration::from_millis(1))
+            .measurement_time(Duration::from_millis(4));
+        g.bench_with_input(BenchmarkId::new("f", "64"), &64usize, |b, &n| {
+            b.iter(|| black_box(n * 2))
+        });
+        g.bench_function("plain", |b| b.iter(|| black_box(3 * 3)));
+        g.finish();
+        assert_eq!(BenchmarkId::new("a", "b").to_string(), "a/b");
+        assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn median_is_sane() {
+        let b = Bencher {
+            samples_ns: vec![3.0, 1.0, 2.0],
+            ..Bencher::default()
+        };
+        assert_eq!(b.median_ns(), 2.0);
+    }
+}

@@ -1,0 +1,561 @@
+//! Offline vendored stand-in for `proptest`.
+//!
+//! Implements the subset of the proptest 1.x API this workspace's property
+//! tests use: the [`Strategy`] trait with `prop_map`/`prop_flat_map`,
+//! range and tuple strategies, [`arbitrary::any`], `collection::vec`, the
+//! [`proptest!`] macro and the `prop_assert*`/`prop_assume!` macros, and a
+//! deterministic [`test_runner::TestRunner`].
+//!
+//! Differences from upstream: failing cases are **not shrunk** — the
+//! failure message reports the case index and seed instead — and value
+//! generation is driven by the vendored `rand` xoshiro generator, so a
+//! given proptest version + seed always replays the same cases.
+
+pub mod strategy {
+    //! The [`Strategy`] trait and its combinators.
+
+    use rand::rngs::StdRng;
+
+    /// A recipe for generating random values of one type.
+    pub trait Strategy {
+        /// The type of generated values.
+        type Value;
+
+        /// Draws one value.
+        fn generate(&self, rng: &mut StdRng) -> Self::Value;
+
+        /// Maps generated values through `f`.
+        fn prop_map<U, F: Fn(Self::Value) -> U>(self, f: F) -> Map<Self, F>
+        where
+            Self: Sized,
+        {
+            Map { inner: self, f }
+        }
+
+        /// Builds a dependent strategy from each generated value.
+        fn prop_flat_map<S: Strategy, F: Fn(Self::Value) -> S>(self, f: F) -> FlatMap<Self, F>
+        where
+            Self: Sized,
+        {
+            FlatMap { inner: self, f }
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_map`].
+    #[derive(Debug, Clone)]
+    pub struct Map<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, U, F: Fn(S::Value) -> U> Strategy for Map<S, F> {
+        type Value = U;
+
+        fn generate(&self, rng: &mut StdRng) -> U {
+            (self.f)(self.inner.generate(rng))
+        }
+    }
+
+    /// Strategy returned by [`Strategy::prop_flat_map`].
+    #[derive(Debug, Clone)]
+    pub struct FlatMap<S, F> {
+        inner: S,
+        f: F,
+    }
+
+    impl<S: Strategy, T: Strategy, F: Fn(S::Value) -> T> Strategy for FlatMap<S, F> {
+        type Value = T::Value;
+
+        fn generate(&self, rng: &mut StdRng) -> T::Value {
+            (self.f)(self.inner.generate(rng)).generate(rng)
+        }
+    }
+
+    /// Strategy that always yields clones of one value.
+    #[derive(Debug, Clone)]
+    pub struct Just<T>(pub T);
+
+    impl<T: Clone> Strategy for Just<T> {
+        type Value = T;
+
+        fn generate(&self, _rng: &mut StdRng) -> T {
+            self.0.clone()
+        }
+    }
+
+    macro_rules! impl_range_strategy {
+        ($($t:ty),*) => {$(
+            impl Strategy for core::ops::Range<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+            impl Strategy for core::ops::RangeInclusive<$t> {
+                type Value = $t;
+                fn generate(&self, rng: &mut StdRng) -> $t {
+                    use rand::Rng;
+                    rng.gen_range(self.clone())
+                }
+            }
+        )*};
+    }
+
+    impl_range_strategy!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64);
+
+    macro_rules! impl_tuple_strategy {
+        ($($name:ident),+) => {
+            impl<$($name: Strategy),+> Strategy for ($($name,)+) {
+                type Value = ($($name::Value,)+);
+
+                #[allow(non_snake_case)]
+                fn generate(&self, rng: &mut StdRng) -> Self::Value {
+                    let ($($name,)+) = self;
+                    ($($name.generate(rng),)+)
+                }
+            }
+        };
+    }
+
+    impl_tuple_strategy!(A);
+    impl_tuple_strategy!(A, B);
+    impl_tuple_strategy!(A, B, C);
+    impl_tuple_strategy!(A, B, C, D);
+    impl_tuple_strategy!(A, B, C, D, E);
+    impl_tuple_strategy!(A, B, C, D, E, F);
+}
+
+pub mod arbitrary {
+    //! Default strategies per type ([`any`]).
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::marker::PhantomData;
+
+    /// Types with a canonical default strategy.
+    pub trait Arbitrary: Sized {
+        /// Draws one arbitrary value.
+        fn arbitrary(rng: &mut StdRng) -> Self;
+    }
+
+    impl Arbitrary for bool {
+        fn arbitrary(rng: &mut StdRng) -> Self {
+            rng.gen()
+        }
+    }
+
+    macro_rules! impl_arbitrary_int {
+        ($($t:ty),*) => {$(
+            impl Arbitrary for $t {
+                fn arbitrary(rng: &mut StdRng) -> Self {
+                    rng.gen()
+                }
+            }
+        )*};
+    }
+
+    impl_arbitrary_int!(u8, u16, u32, u64, usize, i8, i16, i32, i64, isize);
+
+    /// The strategy returned by [`any`].
+    #[derive(Debug)]
+    pub struct AnyStrategy<A> {
+        _marker: PhantomData<A>,
+    }
+
+    impl<A> Clone for AnyStrategy<A> {
+        fn clone(&self) -> Self {
+            Self {
+                _marker: PhantomData,
+            }
+        }
+    }
+
+    impl<A: Arbitrary> Strategy for AnyStrategy<A> {
+        type Value = A;
+
+        fn generate(&self, rng: &mut StdRng) -> A {
+            A::arbitrary(rng)
+        }
+    }
+
+    /// The canonical strategy for `A` (uniform over the whole type).
+    pub fn any<A: Arbitrary>() -> AnyStrategy<A> {
+        AnyStrategy {
+            _marker: PhantomData,
+        }
+    }
+}
+
+pub mod collection {
+    //! Collection strategies (`prop::collection::vec`).
+
+    use super::strategy::Strategy;
+    use rand::rngs::StdRng;
+    use rand::Rng;
+    use std::ops::{Range, RangeInclusive};
+
+    /// A length specification for [`vec`].
+    #[derive(Debug, Clone)]
+    pub struct SizeRange {
+        lo: usize,
+        hi_inclusive: usize,
+    }
+
+    impl From<usize> for SizeRange {
+        fn from(n: usize) -> Self {
+            Self {
+                lo: n,
+                hi_inclusive: n,
+            }
+        }
+    }
+
+    impl From<Range<usize>> for SizeRange {
+        fn from(r: Range<usize>) -> Self {
+            assert!(r.start < r.end, "empty size range");
+            Self {
+                lo: r.start,
+                hi_inclusive: r.end - 1,
+            }
+        }
+    }
+
+    impl From<RangeInclusive<usize>> for SizeRange {
+        fn from(r: RangeInclusive<usize>) -> Self {
+            Self {
+                lo: *r.start(),
+                hi_inclusive: *r.end(),
+            }
+        }
+    }
+
+    /// Strategy for `Vec<S::Value>` with length drawn from the size range.
+    #[derive(Debug, Clone)]
+    pub struct VecStrategy<S> {
+        element: S,
+        size: SizeRange,
+    }
+
+    impl<S: Strategy> Strategy for VecStrategy<S> {
+        type Value = Vec<S::Value>;
+
+        fn generate(&self, rng: &mut StdRng) -> Self::Value {
+            let len = rng.gen_range(self.size.lo..=self.size.hi_inclusive);
+            (0..len).map(|_| self.element.generate(rng)).collect()
+        }
+    }
+
+    /// A strategy producing vectors of `element` values with a length in
+    /// `size`.
+    pub fn vec<S: Strategy>(element: S, size: impl Into<SizeRange>) -> VecStrategy<S> {
+        VecStrategy {
+            element,
+            size: size.into(),
+        }
+    }
+}
+
+pub mod test_runner {
+    //! Deterministic case runner and configuration.
+
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::fmt;
+
+    /// Why a test case did not pass.
+    #[derive(Debug, Clone)]
+    pub enum TestCaseError {
+        /// `prop_assume!` rejected the generated inputs; try another case.
+        Reject,
+        /// A `prop_assert*!` failed.
+        Fail(String),
+    }
+
+    impl TestCaseError {
+        /// Builds a failure with the given message.
+        pub fn fail(msg: impl Into<String>) -> Self {
+            Self::Fail(msg.into())
+        }
+
+        /// Builds a rejection (assumption not met).
+        pub fn reject(_msg: impl Into<String>) -> Self {
+            Self::Reject
+        }
+    }
+
+    impl fmt::Display for TestCaseError {
+        fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+            match self {
+                Self::Reject => write!(f, "input rejected by prop_assume!"),
+                Self::Fail(m) => write!(f, "{m}"),
+            }
+        }
+    }
+
+    /// Proptest configuration (`#![proptest_config(..)]`).
+    #[derive(Debug, Clone, PartialEq, Eq)]
+    pub struct Config {
+        /// Number of successful cases required.
+        pub cases: u32,
+        /// Maximum consecutive `prop_assume!` rejections tolerated.
+        pub max_global_rejects: u32,
+    }
+
+    impl Config {
+        /// A config demanding `cases` successful cases.
+        pub fn with_cases(cases: u32) -> Self {
+            Self {
+                cases,
+                ..Self::default()
+            }
+        }
+    }
+
+    impl Default for Config {
+        fn default() -> Self {
+            Self {
+                cases: 256,
+                max_global_rejects: 65_536,
+            }
+        }
+    }
+
+    /// Runs one property over many generated cases.
+    #[derive(Debug)]
+    pub struct TestRunner {
+        config: Config,
+        salt: u64,
+    }
+
+    impl TestRunner {
+        /// Builds a runner; `name` salts the RNG stream so different tests
+        /// see different cases.
+        pub fn new(config: Config, name: &str) -> Self {
+            let mut salt = 0xEB00_5EED_u64;
+            for b in name.bytes() {
+                salt = salt
+                    .wrapping_mul(0x100_0000_01B3)
+                    .wrapping_add(u64::from(b));
+            }
+            Self { config, salt }
+        }
+
+        /// Runs `case` until `config.cases` cases pass. Panics with the
+        /// case index + seed on the first failure.
+        pub fn run(&mut self, mut case: impl FnMut(&mut StdRng) -> Result<(), TestCaseError>) {
+            let mut passed = 0u32;
+            let mut rejected = 0u32;
+            let mut index = 0u64;
+            while passed < self.config.cases {
+                let seed = self
+                    .salt
+                    .wrapping_add(index.wrapping_mul(0x9E37_79B9_7F4A_7C15));
+                let mut rng = StdRng::seed_from_u64(seed);
+                index += 1;
+                match case(&mut rng) {
+                    Ok(()) => passed += 1,
+                    Err(TestCaseError::Reject) => {
+                        rejected += 1;
+                        assert!(
+                            rejected <= self.config.max_global_rejects,
+                            "too many prop_assume! rejections ({rejected})"
+                        );
+                    }
+                    Err(TestCaseError::Fail(msg)) => {
+                        panic!("proptest case {} failed (seed {seed:#x}): {msg}", index - 1);
+                    }
+                }
+            }
+        }
+    }
+}
+
+/// Everything the property tests import.
+pub mod prelude {
+    pub use crate::arbitrary::any;
+    pub use crate::strategy::{Just, Strategy};
+    pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+
+    /// Alias letting `prop::collection::vec` resolve, as upstream's
+    /// prelude does.
+    pub use crate as prop;
+}
+
+/// Fails the current case unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assert {
+    ($cond:expr) => {
+        $crate::prop_assert!($cond, concat!("assertion failed: ", stringify!($cond)))
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        if !($cond) {
+            return ::core::result::Result::Err(
+                $crate::test_runner::TestCaseError::fail(format!($($fmt)*)),
+            );
+        }
+    };
+}
+
+/// Fails the current case unless `left == right`.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l == *r,
+            "assertion failed: `{} == {}` (left: `{:?}`, right: `{:?}`)",
+            stringify!($left), stringify!($right), l, r
+        );
+    }};
+    ($left:expr, $right:expr, $($fmt:tt)*) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(*l == *r, $($fmt)*);
+    }};
+}
+
+/// Fails the current case unless `left != right`.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($left:expr, $right:expr $(,)?) => {{
+        let (l, r) = (&$left, &$right);
+        $crate::prop_assert!(
+            *l != *r,
+            "assertion failed: `{} != {}` (both: `{:?}`)",
+            stringify!($left),
+            stringify!($right),
+            l
+        );
+    }};
+}
+
+/// Rejects the current case (generates a replacement) unless `cond` holds.
+#[macro_export]
+macro_rules! prop_assume {
+    ($cond:expr) => {
+        if !($cond) {
+            return ::core::result::Result::Err($crate::test_runner::TestCaseError::Reject);
+        }
+    };
+    ($cond:expr, $($fmt:tt)*) => {
+        $crate::prop_assume!($cond)
+    };
+}
+
+/// Declares property tests: each `fn name(pat in strategy, ..) { body }`
+/// becomes a `#[test]` running the body over generated cases.
+#[macro_export]
+macro_rules! proptest {
+    (
+        #![proptest_config($config:expr)]
+        $($rest:tt)*
+    ) => {
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_fns! {
+            config = $crate::test_runner::Config::default();
+            $($rest)*
+        }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_fns {
+    (config = $config:expr;) => {};
+    (
+        config = $config:expr;
+        $(#[$meta:meta])*
+        fn $name:ident($($pat:pat in $strat:expr),+ $(,)?) $body:block
+        $($rest:tt)*
+    ) => {
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::test_runner::Config = $config;
+            let mut runner = $crate::test_runner::TestRunner::new(config, stringify!($name));
+            runner.run(|__proptest_rng| {
+                $(
+                    let $pat = $crate::strategy::Strategy::generate(&($strat), __proptest_rng);
+                )+
+                (move || -> ::core::result::Result<(), $crate::test_runner::TestCaseError> {
+                    $body
+                    ::core::result::Result::Ok(())
+                })()
+            });
+        }
+        $crate::__proptest_fns! { config = $config; $($rest)* }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(64))]
+
+        #[test]
+        fn addition_commutes(a in 0u64..1000, b in 0u64..1000) {
+            prop_assert_eq!(a + b, b + a);
+        }
+
+        #[test]
+        fn vec_lengths_respected(v in prop::collection::vec(any::<bool>(), 3..=10)) {
+            prop_assert!(v.len() >= 3 && v.len() <= 10, "len {}", v.len());
+        }
+
+        #[test]
+        fn flat_map_pairs_equal_length(
+            (a, b) in (1usize..20).prop_flat_map(|n| {
+                (prop::collection::vec(any::<u8>(), n), prop::collection::vec(any::<u8>(), n))
+            })
+        ) {
+            prop_assert_eq!(a.len(), b.len());
+        }
+
+        #[test]
+        fn assume_skips_cases(n in 0u32..100) {
+            prop_assume!(n % 2 == 0);
+            prop_assert!(n % 2 == 0);
+        }
+
+        #[test]
+        fn mapped_strategy(x in (0i32..50).prop_map(|v| v * 2)) {
+            prop_assert!(x % 2 == 0 && x < 100);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "proptest case")]
+    fn failures_report_case_and_seed() {
+        let mut runner = crate::test_runner::TestRunner::new(
+            crate::test_runner::Config::with_cases(4),
+            "failing",
+        );
+        runner.run(|_| Err(crate::test_runner::TestCaseError::fail("boom")));
+    }
+
+    #[test]
+    fn runner_is_deterministic() {
+        use crate::strategy::Strategy;
+        let mut first = Vec::new();
+        let mut runner =
+            crate::test_runner::TestRunner::new(crate::test_runner::Config::with_cases(8), "det");
+        runner.run(|rng| {
+            first.push((0u64..u64::MAX).generate(rng));
+            Ok(())
+        });
+        let mut second = Vec::new();
+        let mut runner =
+            crate::test_runner::TestRunner::new(crate::test_runner::Config::with_cases(8), "det");
+        runner.run(|rng| {
+            second.push((0u64..u64::MAX).generate(rng));
+            Ok(())
+        });
+        assert_eq!(first, second);
+    }
+}

@@ -1,0 +1,192 @@
+//! Offline vendored stand-in for `rayon`.
+//!
+//! Implements the subset of the rayon API this workspace uses —
+//! [`ParallelSlice::par_iter`] + `map` + `collect`, and [`join`] — on top
+//! of `std::thread::scope`. Work is split into one contiguous chunk per
+//! available core; on a single-core machine everything degrades to the
+//! sequential path with no thread spawns.
+
+use std::marker::PhantomData;
+use std::num::NonZeroUsize;
+use std::thread;
+
+/// Number of worker threads parallel operations will use.
+pub fn current_num_threads() -> usize {
+    thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Runs two closures, potentially in parallel, returning both results.
+pub fn join<A, B, RA, RB>(a: A, b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() <= 1 {
+        return (a(), b());
+    }
+    thread::scope(|s| {
+        let hb = s.spawn(b);
+        let ra = a();
+        (ra, hb.join().expect("rayon::join worker panicked"))
+    })
+}
+
+/// Parallel map over `items`: applies `f` to every element, preserving
+/// order. The backbone of the iterator adapters below.
+pub fn par_map<T, U, F>(items: &[T], f: F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&T) -> U + Sync,
+{
+    run_map(items, &f)
+}
+
+/// Extension trait giving slices a `par_iter` entry point.
+pub trait ParallelSlice<T: Sync> {
+    /// A parallel iterator over the slice.
+    fn par_iter(&self) -> ParIter<'_, T>;
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for Vec<T> {
+    fn par_iter(&self) -> ParIter<'_, T> {
+        ParIter { items: self }
+    }
+}
+
+/// A parallel iterator over a slice (see [`ParallelSlice::par_iter`]).
+#[derive(Debug, Clone, Copy)]
+pub struct ParIter<'a, T> {
+    items: &'a [T],
+}
+
+impl<'a, T: Sync> ParIter<'a, T> {
+    /// Maps every element through `f` (evaluated when collected).
+    pub fn map<U, F>(self, f: F) -> ParMap<'a, T, U, F>
+    where
+        U: Send,
+        F: Fn(&'a T) -> U + Sync,
+    {
+        ParMap {
+            items: self.items,
+            f,
+            _item: PhantomData,
+        }
+    }
+}
+
+/// The result of [`ParIter::map`]: a lazily evaluated parallel map.
+#[derive(Debug)]
+pub struct ParMap<'a, T, U, F> {
+    items: &'a [T],
+    f: F,
+    _item: PhantomData<U>,
+}
+
+impl<'a, T: Sync, U: Send, F: Fn(&'a T) -> U + Sync> ParMap<'a, T, U, F> {
+    /// Runs the map in parallel and collects the results in order.
+    ///
+    /// Collecting into `Result<Vec<_>, E>` short-circuits like the
+    /// sequential `collect` (all elements are still evaluated).
+    pub fn collect<C: FromIterator<U>>(self) -> C {
+        run_map(self.items, &self.f).into_iter().collect()
+    }
+}
+
+fn run_map<'a, T, U, F>(items: &'a [T], f: &F) -> Vec<U>
+where
+    T: Sync,
+    U: Send,
+    F: Fn(&'a T) -> U + Sync,
+{
+    let n = items.len();
+    let threads = current_num_threads().min(n.max(1));
+    if threads <= 1 || n <= 1 {
+        return items.iter().map(f).collect();
+    }
+    let chunk = n.div_ceil(threads);
+    let mut out: Vec<Option<U>> = (0..n).map(|_| None).collect();
+    thread::scope(|s| {
+        for (slots, part) in out.chunks_mut(chunk).zip(items.chunks(chunk)) {
+            s.spawn(move || {
+                for (slot, item) in slots.iter_mut().zip(part) {
+                    *slot = Some(f(item));
+                }
+            });
+        }
+    });
+    out.into_iter()
+        .map(|slot| slot.expect("rayon worker panicked"))
+        .collect()
+}
+
+/// The rayon prelude: everything needed for `slice.par_iter().map(..)`.
+pub mod prelude {
+    pub use crate::{join, ParIter, ParMap, ParallelSlice};
+}
+
+#[cfg(test)]
+mod tests {
+    use super::par_map;
+    use super::prelude::*;
+
+    #[test]
+    fn par_map_preserves_order() {
+        let items: Vec<usize> = (0..1000).collect();
+        let doubled = par_map(&items, |&x| x * 2);
+        assert_eq!(doubled, (0..1000).map(|x| x * 2).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn par_iter_collect_vec() {
+        let items: Vec<i32> = (0..100).collect();
+        let squares: Vec<i64> = items
+            .par_iter()
+            .map(|&x| i64::from(x) * i64::from(x))
+            .collect();
+        assert_eq!(squares[99], 99 * 99);
+        assert_eq!(squares.len(), 100);
+    }
+
+    #[test]
+    fn par_iter_collect_result_short_circuits_value() {
+        let items: Vec<i32> = vec![1, 2, 3, 4];
+        let ok: Result<Vec<i32>, String> = items.par_iter().map(|&x| Ok(x + 1)).collect();
+        assert_eq!(ok.unwrap(), vec![2, 3, 4, 5]);
+        let err: Result<Vec<i32>, String> = items
+            .par_iter()
+            .map(|&x| {
+                if x == 3 {
+                    Err("three".to_string())
+                } else {
+                    Ok(x)
+                }
+            })
+            .collect();
+        assert_eq!(err.unwrap_err(), "three");
+    }
+
+    #[test]
+    fn join_returns_both() {
+        let (a, b) = join(|| 1 + 1, || "x".repeat(3));
+        assert_eq!(a, 2);
+        assert_eq!(b, "xxx");
+    }
+
+    #[test]
+    fn empty_slice_is_fine() {
+        let items: Vec<u8> = Vec::new();
+        let out: Vec<u8> = items.par_iter().map(|&x| x).collect();
+        assert!(out.is_empty());
+    }
+}
