@@ -1,0 +1,104 @@
+//! Criterion bench for the mini-batch GEMM training engine: one training
+//! epoch on the acceptance-criteria MLP (784-256-128-10) through
+//!
+//! * the seed per-sample path (`MlpTrainer::step` in a loop — scalar
+//!   branchy kernels, per-sample allocations, per-sample re-binarization),
+//! * the batched engine at `batch_size = 1` (strict seed-order kernels,
+//!   scratch reuse, binarize-once-per-step), and
+//! * the batched engine at `batch_size = 32` (8-lane GEMM kernels).
+//!
+//! The acceptance bar for this engine is ≥4× epoch throughput for the
+//! `minibatch32` path over the per-sample path. Every iteration trains
+//! one epoch from the same initial weights (the trainer is cloned per
+//! iteration) so the measured work is identical and state-independent;
+//! the `TrainScratch` persists across iterations, as in a real fit loop.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eb_bitnn::{Dataset, DatasetKind, MlpTrainer, Tensor, TrainConfig, TrainScratch};
+use std::hint::black_box;
+use std::time::Duration;
+
+const DIMS: &[usize] = &[784, 256, 128, 10];
+const N_SAMPLES: usize = 96;
+
+fn training_data() -> Vec<(Tensor, usize)> {
+    Dataset::generate(DatasetKind::Mnist, N_SAMPLES, 21).flattened()
+}
+
+/// One epoch through the seed per-sample path.
+fn per_sample_epoch(t: &mut MlpTrainer, samples: &[(Tensor, usize)], order: &[usize]) -> f32 {
+    let mut total = 0.0f32;
+    for &i in order {
+        let (x, y) = &samples[i];
+        total += t.step(x.as_slice(), *y);
+    }
+    total / samples.len() as f32
+}
+
+fn bench_train_epoch(c: &mut Criterion) {
+    let samples = training_data();
+    let order: Vec<usize> = (0..samples.len()).collect();
+
+    // Correctness gate: the batch-1 engine must reproduce the per-sample
+    // path bit for bit before any timing is trusted.
+    {
+        let cfg = TrainConfig {
+            learning_rate: 0.02,
+            epochs: 1,
+            batch_size: 1,
+            seed: 5,
+        };
+        let mut engine = MlpTrainer::new(&[784, 32, 10], cfg);
+        let mut reference = engine.clone();
+        let le = engine.train_epoch(&samples, &order, &mut TrainScratch::new());
+        let lr = per_sample_epoch(&mut reference, &samples, &order);
+        assert_eq!(
+            le.to_bits(),
+            lr.to_bits(),
+            "batch-1 engine must match the per-sample seed path bit for bit"
+        );
+        assert_eq!(engine.binarized_weights(), reference.binarized_weights());
+    }
+
+    let mut group = c.benchmark_group("train_epoch");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_millis(2500));
+
+    let cfg = |batch_size: usize| TrainConfig {
+        learning_rate: 0.01,
+        epochs: 1,
+        batch_size,
+        seed: 7,
+    };
+
+    let per_sample_init = MlpTrainer::new(DIMS, cfg(1));
+    group.bench_function("per_sample_784_256_128_10_n96", |b| {
+        b.iter(|| {
+            let mut t = per_sample_init.clone();
+            black_box(per_sample_epoch(&mut t, &samples, &order))
+        })
+    });
+
+    let strict_init = MlpTrainer::new(DIMS, cfg(1));
+    let mut strict_scratch = TrainScratch::new();
+    group.bench_function("minibatch1_strict_784_256_128_10_n96", |b| {
+        b.iter(|| {
+            let mut t = strict_init.clone();
+            black_box(t.train_epoch(&samples, &order, &mut strict_scratch))
+        })
+    });
+
+    let gemm_init = MlpTrainer::new(DIMS, cfg(32));
+    let mut gemm_scratch = TrainScratch::new();
+    group.bench_function("minibatch32_784_256_128_10_n96", |b| {
+        b.iter(|| {
+            let mut t = gemm_init.clone();
+            black_box(t.train_epoch(&samples, &order, &mut gemm_scratch))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_train_epoch);
+criterion_main!(benches);

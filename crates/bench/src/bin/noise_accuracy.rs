@@ -28,6 +28,7 @@ fn main() {
         TrainConfig {
             learning_rate: 0.02,
             epochs: 8,
+            batch_size: 1,
             seed: 77,
         },
     );

@@ -125,8 +125,21 @@ impl BitTensor {
     ///
     /// Panics if the kernel does not fit the padded input.
     pub fn im2col(&self, k: usize, stride: usize, pad: usize) -> BitMatrix {
+        let mut m = BitMatrix::default();
+        self.im2col_into(k, stride, pad, &mut m);
+        m
+    }
+
+    /// [`BitTensor::im2col`] writing into a caller-owned matrix, which is
+    /// [`BitMatrix::reset`] to the window shape and refilled — the
+    /// allocation-free form the scratch-reusing conv path runs on.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the kernel does not fit the padded input.
+    pub fn im2col_into(&self, k: usize, stride: usize, pad: usize, m: &mut BitMatrix) {
         let (oh, ow) = conv_output_dims(self.height, self.width, k, stride, pad);
-        let mut m = BitMatrix::zeros(oh * ow, self.channels * k * k);
+        m.reset(oh * ow, self.channels * k * k);
         let words = self.bits.words();
         for oy in 0..oh {
             for ox in 0..ow {
@@ -156,7 +169,6 @@ impl BitTensor {
                 }
             }
         }
-        m
     }
 
     /// 2×2 max pooling with stride 2 (logical OR of the window, since in

@@ -1,0 +1,314 @@
+//! Dense `f32` matrices and the cache-aware GEMM kernels behind the
+//! mini-batch trainer.
+//!
+//! The trainer's hot loops are all row-major matrix products against a
+//! weight matrix stored one weight vector per row, so every kernel here is
+//! the `A · Bᵀ` ("NT") shape: each output element is a dot product of two
+//! contiguous rows. Two dot kernels are provided:
+//!
+//! * a **strict** sequential kernel whose float summation order is exactly
+//!   the seed trainer's scalar loop — the batch-size-1 path uses it so the
+//!   mini-batch engine reproduces the per-sample SGD trajectory
+//!   bit-for-bit;
+//! * an **8-lane** kernel that keeps eight independent partial sums so the
+//!   reduction is no longer one serial dependency chain — LLVM turns it
+//!   into SIMD multiply-adds. Mini-batches (`B ≥ 2`) use it; they define a
+//!   different optimizer anyway, so the reassociation is free speed.
+//!
+//! [`matmul_nt`] splits its output rows into one contiguous block per
+//! rayon worker; each dot product stays sequential in `k`, so the result
+//! is identical no matter how many threads run.
+
+use crate::matrix::BitMatrix;
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Dense real-valued row-major matrix used by the trainer.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub(crate) struct DenseMat {
+    pub(crate) rows: usize,
+    pub(crate) cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMat {
+    /// He-style uniform init, identical to the seed trainer's.
+    pub(crate) fn random(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
+        let scale = (2.0 / cols as f32).sqrt();
+        Self {
+            rows,
+            cols,
+            data: (0..rows * cols)
+                .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
+                .collect(),
+        }
+    }
+
+    /// Re-shapes in place to `rows × cols`, zero-filled. Keeps the backing
+    /// allocation when capacity suffices — the scratch-reuse primitive.
+    pub(crate) fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.data.clear();
+        self.data.resize(rows * cols, 0.0);
+    }
+
+    #[inline]
+    pub(crate) fn at(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub(crate) fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
+        &mut self.data[r * self.cols + c]
+    }
+
+    /// Borrowed row `r`.
+    #[inline]
+    pub(crate) fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Mutable row `r`.
+    #[inline]
+    pub(crate) fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Flat immutable view.
+    #[inline]
+    pub(crate) fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    /// Flat mutable view.
+    #[inline]
+    pub(crate) fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    /// Overwrites `self` with the element-wise signs (`±1.0`) of `src`
+    /// (`+1.0 ⇔ value ≥ 0`), resizing as needed. This is the
+    /// binarize-once-per-step operation: one linear pass instead of the
+    /// seed's per-sample branch on every weight read.
+    pub(crate) fn fill_signs_of(&mut self, src: &DenseMat) {
+        self.rows = src.rows;
+        self.cols = src.cols;
+        self.data.clear();
+        self.data.extend(
+            src.data
+                .iter()
+                .map(|&w| if w >= 0.0 { 1.0f32 } else { -1.0 }),
+        );
+    }
+
+    /// Binarized (sign) view as a `BitMatrix` (bit 1 ⇔ value ≥ 0), built
+    /// word-level via [`BitMatrix::from_sign_slice`].
+    pub(crate) fn binarize(&self) -> BitMatrix {
+        BitMatrix::from_sign_slice(self.rows, self.cols, &self.data)
+    }
+}
+
+/// Strict sequential dot product starting from `init`: one accumulator,
+/// ascending index — the exact float summation order of the seed
+/// trainer's scalar loops.
+#[inline]
+pub(crate) fn dot_strict(init: f32, a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = init;
+    for (x, y) in a.iter().zip(b) {
+        acc += x * y;
+    }
+    acc
+}
+
+/// Number of independent partial sums in the fast dot kernel.
+const LANES: usize = 8;
+
+/// Fast dot product: eight independent accumulators hide the floating-add
+/// latency chain and vectorize. Reassociates the sum, so it is *not*
+/// bit-identical to [`dot_strict`].
+#[inline]
+pub(crate) fn dot_lanes(init: f32, a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; LANES];
+    let mut ca = a.chunks_exact(LANES);
+    let mut cb = b.chunks_exact(LANES);
+    for (xa, xb) in (&mut ca).zip(&mut cb) {
+        for l in 0..LANES {
+            acc[l] += xa[l] * xb[l];
+        }
+    }
+    let mut sum = init;
+    for &v in &acc {
+        sum += v;
+    }
+    for (x, y) in ca.remainder().iter().zip(cb.remainder()) {
+        sum += x * y;
+    }
+    sum
+}
+
+/// `out = a · bᵀ (+ bias)`: `out[i][j] = bias[j] + Σ_k a[i][k]·b[j][k]`.
+///
+/// `a` is `m × k` (one input vector per row), `b` is `n × k` (one weight
+/// vector per row — the layout every layer in this crate stores), `out`
+/// is resized to `m × n`. With `exact` set the strict sequential kernel
+/// is used (bias seeds the accumulator, then products are added in
+/// ascending `k`), reproducing the seed trainer's summation order;
+/// otherwise the 8-lane kernel runs.
+///
+/// Output rows are distributed over rayon workers in contiguous blocks;
+/// every dot product is sequential in `k`, so the result is independent
+/// of the thread count.
+///
+/// # Panics
+///
+/// Panics if the inner dimensions or the bias length disagree.
+pub(crate) fn matmul_nt(
+    out: &mut DenseMat,
+    a: &DenseMat,
+    b: &DenseMat,
+    bias: Option<&[f32]>,
+    exact: bool,
+) {
+    assert_eq!(a.cols, b.cols, "inner dimension mismatch");
+    if let Some(bs) = bias {
+        assert_eq!(bs.len(), b.rows, "bias length mismatch");
+    }
+    let (m, n) = (a.rows, b.rows);
+    out.reset(m, n);
+    if m == 0 || n == 0 {
+        return;
+    }
+    let block = m.div_ceil(rayon::current_num_threads().max(1)).max(1);
+    out.as_mut_slice()
+        .par_chunks_mut(block * n)
+        .enumerate()
+        .for_each(|(ci, chunk)| {
+            let row0 = ci * block;
+            for (ri, orow) in chunk.chunks_mut(n).enumerate() {
+                let arow = a.row(row0 + ri);
+                for (j, o) in orow.iter_mut().enumerate() {
+                    let init = bias.map_or(0.0, |bs| bs[j]);
+                    *o = if exact {
+                        dot_strict(init, arow, b.row(j))
+                    } else {
+                        dot_lanes(init, arow, b.row(j))
+                    };
+                }
+            }
+        });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mat_from_fn(rows: usize, cols: usize, f: impl Fn(usize, usize) -> f32) -> DenseMat {
+        let mut m = DenseMat::default();
+        m.reset(rows, cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                *m.at_mut(r, c) = f(r, c);
+            }
+        }
+        m
+    }
+
+    #[test]
+    fn strict_and_lane_dots_agree_closely() {
+        for len in [0usize, 1, 7, 8, 9, 31, 64, 100] {
+            let a: Vec<f32> = (0..len).map(|i| ((i * 13) % 7) as f32 - 3.0).collect();
+            let b: Vec<f32> = (0..len)
+                .map(|i| ((i * 5) % 11) as f32 * 0.25 - 1.0)
+                .collect();
+            let s = dot_strict(0.5, &a, &b);
+            let l = dot_lanes(0.5, &a, &b);
+            assert!((s - l).abs() < 1e-3, "len {len}: {s} vs {l}");
+        }
+    }
+
+    #[test]
+    fn strict_dot_matches_scalar_loop_bitwise() {
+        let a: Vec<f32> = (0..77).map(|i| (i as f32 * 0.37).sin()).collect();
+        let b: Vec<f32> = (0..77).map(|i| (i as f32 * 0.11).cos()).collect();
+        let mut acc = 0.25f32;
+        for i in 0..77 {
+            acc += a[i] * b[i];
+        }
+        assert_eq!(dot_strict(0.25, &a, &b).to_bits(), acc.to_bits());
+    }
+
+    #[test]
+    fn matmul_nt_matches_naive_reference() {
+        let a = mat_from_fn(5, 33, |r, c| ((r * 31 + c * 7) % 13) as f32 * 0.5 - 3.0);
+        let b = mat_from_fn(4, 33, |r, c| ((r * 17 + c * 3) % 9) as f32 * 0.25 - 1.0);
+        let bias = [0.1f32, -0.2, 0.3, -0.4];
+        for exact in [true, false] {
+            let mut out = DenseMat::default();
+            matmul_nt(&mut out, &a, &b, Some(&bias), exact);
+            assert_eq!((out.rows, out.cols), (5, 4));
+            for i in 0..5 {
+                for j in 0..4 {
+                    let mut want = bias[j];
+                    for k in 0..33 {
+                        want += a.at(i, k) * b.at(j, k);
+                    }
+                    let got = out.at(i, j);
+                    assert!((got - want).abs() < 1e-3, "({i},{j}): {got} vs {want}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exact_matmul_is_bitwise_seed_order() {
+        let a = mat_from_fn(3, 50, |r, c| ((r + c * 3) as f32 * 0.21).sin());
+        let b = mat_from_fn(6, 50, |r, c| ((r * 5 + c) as f32 * 0.13).cos());
+        let mut out = DenseMat::default();
+        matmul_nt(&mut out, &a, &b, None, true);
+        for i in 0..3 {
+            for j in 0..6 {
+                let mut acc = 0.0f32;
+                for k in 0..50 {
+                    acc += a.at(i, k) * b.at(j, k);
+                }
+                assert_eq!(out.at(i, j).to_bits(), acc.to_bits(), "({i},{j})");
+            }
+        }
+    }
+
+    #[test]
+    fn reset_reuses_capacity() {
+        let mut m = DenseMat::default();
+        m.reset(8, 8);
+        let cap = m.data.capacity();
+        *m.at_mut(3, 3) = 7.0;
+        m.reset(4, 4);
+        assert_eq!(
+            m.data.capacity(),
+            cap,
+            "reset must not reallocate when shrinking"
+        );
+        assert!(m.as_slice().iter().all(|&x| x == 0.0));
+        assert_eq!((m.rows, m.cols), (4, 4));
+    }
+
+    #[test]
+    fn fill_signs_and_binarize_agree() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let w = DenseMat::random(5, 70, &mut rng);
+        let mut s = DenseMat::default();
+        s.fill_signs_of(&w);
+        let bits = w.binarize();
+        for r in 0..5 {
+            for c in 0..70 {
+                assert_eq!(s.at(r, c) >= 0.0, bits.get(r, c) == Some(true));
+                assert_eq!(s.at(r, c).abs(), 1.0);
+            }
+        }
+    }
+}

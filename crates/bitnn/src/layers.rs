@@ -16,6 +16,36 @@ use crate::ops;
 use crate::tensor::Tensor;
 use rand::Rng;
 
+/// Reusable buffers for the inference hot path.
+///
+/// Every layer forward needs a handful of intermediate buffers (quantized
+/// input, im2col patches, integer pre-activations, XNOR popcounts). A
+/// `ForwardScratch` owns them all so a batch loop — or any caller running
+/// many samples through [`crate::Bnn::forward_with`] — pays the
+/// allocations once and then runs allocation-free; only the activations
+/// that flow between layers are still materialized. A fresh
+/// (`Default`) scratch is always valid: buffers grow on first use.
+#[derive(Debug, Clone, Default)]
+pub struct ForwardScratch {
+    /// Quantized 8-bit input (fixed-point first layers).
+    q: Vec<i16>,
+    /// Flattened fixed-point im2col patches ([`FixedConv`]).
+    patches: Vec<i16>,
+    /// Integer pre-activations (fixed-point layers).
+    preacts: Vec<i32>,
+    /// XNOR popcounts (binary layers), flat row-major for conv.
+    pops: Vec<u32>,
+    /// Packed im2col window matrix ([`BinConv`]).
+    windows: BitMatrix,
+}
+
+impl ForwardScratch {
+    /// An empty scratch; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
 /// An activation flowing between layers.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Activation {
@@ -169,7 +199,7 @@ impl FixedLinear {
         ops::fixed_linear_preacts(input, &self.weights)
     }
 
-    fn forward(&self, t: &Tensor) -> Result<BitVec, BitnnError> {
+    fn forward(&self, t: &Tensor, scratch: &mut ForwardScratch) -> Result<BitVec, BitnnError> {
         if t.len() != self.weights.cols() {
             return Err(BitnnError::ShapeMismatch {
                 layer: self.name.clone(),
@@ -177,9 +207,10 @@ impl FixedLinear {
                 got: t.len().to_string(),
             });
         }
-        let q = t.quantize(self.input_bits);
-        let pre = self.preacts(&q);
-        Ok(pre
+        t.quantize_into(self.input_bits, &mut scratch.q);
+        ops::fixed_linear_preacts_into(&scratch.q, &self.weights, &mut scratch.preacts);
+        Ok(scratch
+            .preacts
             .iter()
             .zip(&self.thresholds)
             .map(|(&p, spec)| spec.fire(i64::from(p)))
@@ -248,7 +279,7 @@ impl BinLinear {
         ops::binary_linear_popcounts(input, &self.weights)
     }
 
-    fn forward(&self, x: &BitVec) -> Result<BitVec, BitnnError> {
+    fn forward(&self, x: &BitVec, scratch: &mut ForwardScratch) -> Result<BitVec, BitnnError> {
         if x.len() != self.weights.cols() {
             return Err(BitnnError::ShapeMismatch {
                 layer: self.name.clone(),
@@ -256,8 +287,9 @@ impl BinLinear {
                 got: x.len().to_string(),
             });
         }
-        Ok(self
-            .popcounts(x)
+        ops::binary_linear_popcounts_into(x, &self.weights, &mut scratch.pops);
+        Ok(scratch
+            .pops
             .iter()
             .zip(&self.thresholds)
             .map(|(&p, spec)| spec.fire(i64::from(p)))
@@ -384,19 +416,45 @@ impl FixedConv {
     /// Returns [`BitnnError::ShapeMismatch`] when the input is not a
     /// `in_channels×H×W` tensor.
     pub fn forward(&self, t: &Tensor) -> Result<BitTensor, BitnnError> {
+        self.forward_with(t, &mut ForwardScratch::default())
+    }
+
+    /// [`FixedConv::forward`] reusing caller-owned scratch buffers: the
+    /// quantized input, the im2col patch matrix, and the per-window
+    /// pre-activations all live in `scratch`, so repeated calls are
+    /// allocation-free apart from the output map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::ShapeMismatch`] when the input is not a
+    /// `in_channels×H×W` tensor.
+    pub fn forward_with(
+        &self,
+        t: &Tensor,
+        scratch: &mut ForwardScratch,
+    ) -> Result<BitTensor, BitnnError> {
         let (c, h, w) = self.check_input(t)?;
         let (oh, ow) = conv_output_dims(h, w, self.kernel, self.stride, self.pad);
-        let q = t.quantize(self.input_bits);
+        t.quantize_into(self.input_bits, &mut scratch.q);
         let fan_in = c * self.kernel * self.kernel;
-        let patches = im2col_i16(&q, c, h, w, self.kernel, self.stride, self.pad);
+        im2col_i16_into(
+            &scratch.q,
+            c,
+            h,
+            w,
+            self.kernel,
+            self.stride,
+            self.pad,
+            &mut scratch.patches,
+        );
         let mut out = BitTensor::zeros(self.filters.rows(), oh, ow);
         // Indexed slicing (not `chunks_exact`) so a degenerate zero fan-in
         // layer still thresholds every output pixel like the naive path.
         for row in 0..oh * ow {
-            let patch = &patches[row * fan_in..(row + 1) * fan_in];
-            let pre = ops::fixed_linear_preacts(patch, &self.filters);
+            let patch = &scratch.patches[row * fan_in..(row + 1) * fan_in];
+            ops::fixed_linear_preacts_into(patch, &self.filters, &mut scratch.preacts);
             let (oy, ox) = (row / ow, row % ow);
-            for (f, (&p, spec)) in pre.iter().zip(&self.thresholds).enumerate() {
+            for (f, (&p, spec)) in scratch.preacts.iter().zip(&self.thresholds).enumerate() {
                 if spec.fire(i64::from(p)) {
                     out.set(f, oy, ox, true);
                 }
@@ -450,9 +508,11 @@ impl FixedConv {
 
 /// im2col for quantized fixed-point maps: every `k×k` window of the
 /// channel-major `c×h×w` map `q`, flattened into consecutive `c·k·k`
-/// rows of one contiguous buffer (padding positions stay 0). One
-/// allocation for the whole layer instead of one `Vec` per output pixel.
-fn im2col_i16(
+/// rows of the caller-owned `patches` buffer (cleared, zero-filled, and
+/// refilled; padding positions stay 0). No allocation at all once the
+/// buffer has grown to the layer's size.
+#[allow(clippy::too_many_arguments)]
+fn im2col_i16_into(
     q: &[i16],
     c: usize,
     h: usize,
@@ -460,10 +520,12 @@ fn im2col_i16(
     k: usize,
     stride: usize,
     pad: usize,
-) -> Vec<i16> {
+    patches: &mut Vec<i16>,
+) {
     let (oh, ow) = conv_output_dims(h, w, k, stride, pad);
     let fan_in = c * k * k;
-    let mut patches = vec![0i16; oh * ow * fan_in];
+    patches.clear();
+    patches.resize(oh * ow * fan_in, 0);
     for oy in 0..oh {
         for ox in 0..ow {
             let base = (oy * ow + ox) * fan_in;
@@ -485,7 +547,6 @@ fn im2col_i16(
             }
         }
     }
-    patches
 }
 
 /// A fully binary hidden convolutional layer.
@@ -601,12 +662,29 @@ impl BinConv {
     ///
     /// Returns [`BitnnError::ShapeMismatch`] on a channel-count mismatch.
     pub fn forward(&self, t: &BitTensor) -> Result<BitTensor, BitnnError> {
+        self.forward_with(t, &mut ForwardScratch::default())
+    }
+
+    /// [`BinConv::forward`] reusing caller-owned scratch buffers: the
+    /// packed im2col window matrix and the flat popcount buffer live in
+    /// `scratch`, so repeated calls are allocation-free apart from the
+    /// output map.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::ShapeMismatch`] on a channel-count mismatch.
+    pub fn forward_with(
+        &self,
+        t: &BitTensor,
+        scratch: &mut ForwardScratch,
+    ) -> Result<BitTensor, BitnnError> {
         self.check_input(t)?;
         let (oh, ow) = conv_output_dims(t.height(), t.width(), self.kernel, self.stride, self.pad);
-        let windows = t.im2col(self.kernel, self.stride, self.pad);
-        let pops = ops::binary_mmm_popcounts(&windows, &self.filters);
-        let mut out = BitTensor::zeros(self.filters.rows(), oh, ow);
-        for (row, row_pops) in pops.iter().enumerate() {
+        t.im2col_into(self.kernel, self.stride, self.pad, &mut scratch.windows);
+        ops::binary_mmm_popcounts_into(&scratch.windows, &self.filters, &mut scratch.pops);
+        let n = self.filters.rows();
+        let mut out = BitTensor::zeros(n, oh, ow);
+        for (row, row_pops) in scratch.pops.chunks(n.max(1)).enumerate() {
             let (oy, ox) = (row / ow, row % ow);
             for (f, (&p, spec)) in row_pops.iter().zip(&self.thresholds).enumerate() {
                 if spec.fire(i64::from(p)) {
@@ -770,12 +848,31 @@ impl Layer {
     /// Returns [`BitnnError::ActivationKind`] when fed the wrong activation
     /// kind and [`BitnnError::ShapeMismatch`] on dimension mismatch.
     pub fn forward(&self, input: &Activation) -> Result<Activation, BitnnError> {
+        self.forward_with(input, &mut ForwardScratch::default())
+    }
+
+    /// [`Layer::forward`] reusing caller-owned scratch buffers for the
+    /// layer's intermediate results — the allocation-free hot path behind
+    /// [`crate::Bnn::forward_with`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::ActivationKind`] when fed the wrong activation
+    /// kind and [`BitnnError::ShapeMismatch`] on dimension mismatch.
+    pub fn forward_with(
+        &self,
+        input: &Activation,
+        scratch: &mut ForwardScratch,
+    ) -> Result<Activation, BitnnError> {
         match (self, input) {
-            (Self::FixedLinear(l), Activation::Real(t)) => Ok(Activation::Binary(l.forward(t)?)),
-            (Self::FixedConv(l), Activation::Real(t)) => Ok(Activation::BinaryMap(l.forward(t)?)),
-            (Self::BinLinear(l), Activation::Binary(x)) => Ok(Activation::Binary(l.forward(x)?)),
+            (Self::FixedLinear(_) | Self::FixedConv(_), Activation::Real(t)) => {
+                self.forward_real(t, scratch)
+            }
+            (Self::BinLinear(l), Activation::Binary(x)) => {
+                Ok(Activation::Binary(l.forward(x, scratch)?))
+            }
             (Self::BinConv(l), Activation::BinaryMap(t)) => {
-                Ok(Activation::BinaryMap(l.forward(t)?))
+                Ok(Activation::BinaryMap(l.forward_with(t, scratch)?))
             }
             (Self::MaxPool2, Activation::BinaryMap(t)) => {
                 Ok(Activation::BinaryMap(t.max_pool_2x2()))
@@ -786,6 +883,32 @@ impl Layer {
                 layer: layer.name().to_string(),
                 expected: layer.expected_kind(),
                 got: act.kind(),
+            }),
+        }
+    }
+
+    /// Feeds a real-valued input tensor directly to a first layer without
+    /// wrapping it in an owned [`Activation::Real`] — the borrowed entry
+    /// point that lets [`crate::Bnn::forward`] skip the unconditional
+    /// input clone the seed engine paid on every sample.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`BitnnError::ActivationKind`] for layers that do not
+    /// consume real inputs and [`BitnnError::ShapeMismatch`] on dimension
+    /// mismatch.
+    pub fn forward_real(
+        &self,
+        t: &Tensor,
+        scratch: &mut ForwardScratch,
+    ) -> Result<Activation, BitnnError> {
+        match self {
+            Self::FixedLinear(l) => Ok(Activation::Binary(l.forward(t, scratch)?)),
+            Self::FixedConv(l) => Ok(Activation::BinaryMap(l.forward_with(t, scratch)?)),
+            layer => Err(BitnnError::ActivationKind {
+                layer: layer.name().to_string(),
+                expected: layer.expected_kind(),
+                got: "real",
             }),
         }
     }
@@ -943,14 +1066,16 @@ mod tests {
         let x = BitVec::from_bools(&[true, true, true, false]);
         // pops: row0 = 3 (pos0,1 agree + pos3 agrees) => fire (>=2)
         // row1: pos0 agree, pos2 agree, pos3 agree => 3 => fire
-        let out = layer.forward(&x).unwrap();
+        let out = layer.forward(&x, &mut ForwardScratch::new()).unwrap();
         assert_eq!(out.to_bools(), vec![true, true]);
     }
 
     #[test]
     fn bin_linear_shape_error() {
         let layer = BinLinear::random("fc", 8, 4, &mut rng());
-        let err = layer.forward(&BitVec::zeros(9)).unwrap_err();
+        let err = layer
+            .forward(&BitVec::zeros(9), &mut ForwardScratch::new())
+            .unwrap_err();
         assert!(matches!(err, BitnnError::ShapeMismatch { .. }));
     }
 
@@ -958,14 +1083,15 @@ mod tests {
     fn fixed_linear_quantizes_and_thresholds() {
         let w = BitMatrix::from_rows(&[BitVec::from_bools(&[true, false])]);
         let layer = FixedLinear::new("in", w, vec![ThresholdSpec::fire_at_or_above(0)]);
+        let mut scratch = ForwardScratch::new();
         // x = [1.0, -1.0] -> quantized [127, -127]; preact = 127 + 127 = 254 >= 0
         let out = layer
-            .forward(&Tensor::from_vec(&[2], vec![1.0, -1.0]))
+            .forward(&Tensor::from_vec(&[2], vec![1.0, -1.0]), &mut scratch)
             .unwrap();
         assert_eq!(out.to_bools(), vec![true]);
-        // x = [-1.0, 1.0] -> preact = -254 < 0
+        // x = [-1.0, 1.0] -> preact = -254 < 0 (scratch reused)
         let out = layer
-            .forward(&Tensor::from_vec(&[2], vec![-1.0, 1.0]))
+            .forward(&Tensor::from_vec(&[2], vec![-1.0, 1.0]), &mut scratch)
             .unwrap();
         assert_eq!(out.to_bools(), vec![false]);
     }

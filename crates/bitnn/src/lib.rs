@@ -29,6 +29,7 @@ mod batchnorm;
 mod bits;
 mod bittensor;
 mod data;
+mod dense;
 mod error;
 mod layers;
 mod matrix;
@@ -45,11 +46,11 @@ pub use bittensor::{conv_output_dims, BitTensor};
 pub use data::{synth_image, Dataset, LabelledSamples, NUM_CLASSES};
 pub use error::BitnnError;
 pub use layers::{
-    Activation, BinConv, BinLinear, FixedConv, FixedLinear, Layer, LayerDims, LayerKind,
-    OutputLinear, Shape,
+    Activation, BinConv, BinLinear, FixedConv, FixedLinear, ForwardScratch, Layer, LayerDims,
+    LayerKind, OutputLinear, Shape,
 };
 pub use matrix::BitMatrix;
 pub use models::{BenchModel, DatasetKind};
 pub use network::Bnn;
 pub use tensor::Tensor;
-pub use train::{MlpTrainer, TrainConfig};
+pub use train::{MlpTrainer, TrainConfig, TrainScratch};

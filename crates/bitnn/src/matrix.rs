@@ -59,6 +59,46 @@ impl BitMatrix {
         m
     }
 
+    /// Builds a matrix from the signs of a row-major `f32` slice: bit 1 ⇔
+    /// `values[r·cols + c] ≥ 0.0` — the binarization the BinaryConnect
+    /// trainer applies to its shadow weights.
+    ///
+    /// Whole `u64` words are assembled from 64 sign bits at a time, so an
+    /// entire weight matrix binarizes in one linear pass with no per-bit
+    /// read-modify-write — the word-level replacement for
+    /// [`BitMatrix::from_fn`] on the trainer's hot path.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `values.len() != rows * cols`.
+    pub fn from_sign_slice(rows: usize, cols: usize, values: &[f32]) -> Self {
+        assert_eq!(values.len(), rows * cols, "value count mismatch");
+        let mut m = Self::zeros(rows, cols);
+        for r in 0..rows {
+            let row = &values[r * cols..(r + 1) * cols];
+            let base = r * m.words_per_row;
+            for (w, chunk) in row.chunks(WORD_BITS).enumerate() {
+                let mut word = 0u64;
+                for (i, &v) in chunk.iter().enumerate() {
+                    word |= u64::from(v >= 0.0) << i;
+                }
+                m.data[base + w] = word;
+            }
+        }
+        m
+    }
+
+    /// Re-shapes in place to an all-zero `rows × cols` matrix, keeping the
+    /// backing allocation when capacity suffices. The scratch-reuse
+    /// primitive behind the allocation-free im2col path.
+    pub fn reset(&mut self, rows: usize, cols: usize) {
+        self.rows = rows;
+        self.cols = cols;
+        self.words_per_row = cols.div_ceil(WORD_BITS);
+        self.data.clear();
+        self.data.resize(rows * self.words_per_row, 0);
+    }
+
     /// Builds a matrix from a closure evaluated at every `(row, col)`.
     pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> bool) -> Self {
         let mut m = Self::zeros(rows, cols);
@@ -404,6 +444,36 @@ mod tests {
         // kernels rely on.
         let last = m.row_words(0)[2];
         assert_eq!(last >> (130 - 128), 0);
+    }
+
+    #[test]
+    fn from_sign_slice_matches_from_fn() {
+        // Widths straddling word boundaries, including negative zero.
+        for cols in [1usize, 63, 64, 65, 130] {
+            let vals: Vec<f32> = (0..3 * cols)
+                .map(|i| match i % 5 {
+                    0 => -1.5,
+                    1 => 0.0,
+                    2 => -0.0,
+                    3 => 2.5,
+                    _ => -(i as f32),
+                })
+                .collect();
+            let fast = BitMatrix::from_sign_slice(3, cols, &vals);
+            let slow = BitMatrix::from_fn(3, cols, |r, c| vals[r * cols + c] >= 0.0);
+            assert_eq!(fast, slow, "cols {cols}");
+        }
+    }
+
+    #[test]
+    fn reset_clears_and_reshapes() {
+        let mut m = checker(4, 100);
+        m.reset(2, 65);
+        assert_eq!((m.rows(), m.cols()), (2, 65));
+        assert_eq!(m.words_per_row(), 2);
+        assert_eq!(m.popcount(), 0);
+        m.set(1, 64, true);
+        assert_eq!(m.get(1, 64), Some(true));
     }
 
     #[test]

@@ -1,7 +1,7 @@
 //! Whole-network container and reference inference.
 
 use crate::error::BitnnError;
-use crate::layers::{Activation, Layer, LayerDims, Shape};
+use crate::layers::{Activation, ForwardScratch, Layer, LayerDims, Shape};
 use crate::ops;
 use crate::tensor::Tensor;
 use rayon::prelude::*;
@@ -97,13 +97,36 @@ impl Bnn {
     ///
     /// Propagates layer shape/kind errors.
     pub fn forward(&self, input: &Tensor) -> Result<Tensor, BitnnError> {
-        let mut act = Activation::Real(input.clone());
+        self.forward_with(input, &mut ForwardScratch::default())
+    }
+
+    /// [`Bnn::forward`] reusing caller-owned scratch buffers.
+    ///
+    /// The input is borrowed straight into the first layer (no
+    /// `Activation::Real` clone) and every layer's intermediate buffers
+    /// (quantization, im2col, popcounts) come from `scratch`, so a loop
+    /// over samples holding one scratch runs allocation-free apart from
+    /// the activations themselves.
+    ///
+    /// # Errors
+    ///
+    /// Propagates layer shape/kind errors.
+    pub fn forward_with(
+        &self,
+        input: &Tensor,
+        scratch: &mut ForwardScratch,
+    ) -> Result<Tensor, BitnnError> {
+        let mut act: Option<Activation> = None;
         for layer in &self.layers {
-            act = layer.forward(&act)?;
+            act = Some(match act {
+                None => layer.forward_real(input, scratch)?,
+                Some(a) => layer.forward_with(&a, scratch)?,
+            });
         }
         match act {
-            Activation::Real(t) => Ok(t),
-            other => Err(BitnnError::InvalidNetwork(format!(
+            None => Ok(input.clone()),
+            Some(Activation::Real(t)) => Ok(t),
+            Some(other) => Err(BitnnError::InvalidNetwork(format!(
                 "network `{}` ended on a {} activation instead of logits",
                 self.name,
                 match other {
@@ -122,41 +145,53 @@ impl Bnn {
     ///
     /// Propagates layer shape/kind errors.
     pub fn forward_trace(&self, input: &Tensor) -> Result<Vec<Activation>, BitnnError> {
-        let mut act = Activation::Real(input.clone());
-        let mut trace = Vec::with_capacity(self.layers.len());
+        let mut scratch = ForwardScratch::default();
+        let mut trace: Vec<Activation> = Vec::with_capacity(self.layers.len());
         for layer in &self.layers {
-            act = layer.forward(&act)?;
-            trace.push(act.clone());
+            let next = match trace.last() {
+                None => layer.forward_real(input, &mut scratch)?,
+                Some(a) => layer.forward_with(a, &mut scratch)?,
+            };
+            trace.push(next);
         }
         Ok(trace)
     }
 
-    /// Batched forward pass: runs [`Bnn::forward`] over every input,
+    /// Batched forward pass: runs [`Bnn::forward_with`] over every input,
     /// parallelized across samples with rayon. Weights are shared
-    /// read-only between workers; the per-sample activations live on each
-    /// worker's stack, so the batch scales with the available cores.
+    /// read-only between workers, and each worker owns one
+    /// [`ForwardScratch`] for its whole chunk of the batch, so the
+    /// per-sample buffer allocations of the seed path disappear entirely.
     ///
     /// # Errors
     ///
     /// Returns a layer shape/kind error if any sample fails.
     pub fn forward_batch(&self, inputs: &[Tensor]) -> Result<Vec<Tensor>, BitnnError> {
-        inputs.par_iter().map(|x| self.forward(x)).collect()
+        let parts = thread_chunks(inputs);
+        let nested: Result<Vec<Vec<Tensor>>, BitnnError> = parts
+            .par_iter()
+            .map(|part| {
+                let mut scratch = ForwardScratch::default();
+                part.iter()
+                    .map(|x| self.forward_with(x, &mut scratch))
+                    .collect()
+            })
+            .collect();
+        Ok(nested?.into_iter().flatten().collect())
     }
 
     /// Batched prediction (argmax of logits per sample), parallelized
-    /// across samples.
+    /// across samples with per-worker scratch reuse.
     ///
     /// # Errors
     ///
     /// Returns a layer shape/kind error if any sample fails.
     pub fn predict_batch(&self, inputs: &[Tensor]) -> Result<Vec<usize>, BitnnError> {
-        inputs
-            .par_iter()
-            .map(|x| {
-                self.forward(x)
-                    .map(|logits| ops::argmax(logits.as_slice()).unwrap_or(0))
-            })
-            .collect()
+        Ok(self
+            .forward_batch(inputs)?
+            .into_iter()
+            .map(|logits| ops::argmax(logits.as_slice()).unwrap_or(0))
+            .collect())
     }
 
     /// Predicted class (argmax of logits).
@@ -170,7 +205,7 @@ impl Bnn {
     }
 
     /// Classification accuracy over a labelled set (evaluated through the
-    /// parallel batch path).
+    /// parallel batch path with per-worker scratch reuse).
     ///
     /// # Errors
     ///
@@ -179,10 +214,19 @@ impl Bnn {
         if samples.is_empty() {
             return Ok(0.0);
         }
-        let correct: usize = samples
+        let parts = thread_chunks(samples);
+        let correct: usize = parts
             .par_iter()
-            .map(|(x, y)| self.predict(x).map(|p| usize::from(p == *y)))
-            .collect::<Result<Vec<_>, _>>()?
+            .map(|part| {
+                let mut scratch = ForwardScratch::default();
+                let mut hits = 0usize;
+                for (x, y) in part.iter() {
+                    let logits = self.forward_with(x, &mut scratch)?;
+                    hits += usize::from(ops::argmax(logits.as_slice()).unwrap_or(0) == *y);
+                }
+                Ok(hits)
+            })
+            .collect::<Result<Vec<_>, BitnnError>>()?
             .into_iter()
             .sum();
         Ok(correct as f64 / samples.len() as f64)
@@ -206,6 +250,16 @@ impl Bnn {
     pub fn total_macs(&self) -> u64 {
         self.layer_dims().iter().map(LayerDims::macs).sum()
     }
+}
+
+/// Splits `items` into one contiguous chunk per rayon worker — the unit a
+/// per-worker [`ForwardScratch`] is amortized over.
+fn thread_chunks<T>(items: &[T]) -> Vec<&[T]> {
+    let chunk = items
+        .len()
+        .div_ceil(rayon::current_num_threads().max(1))
+        .max(1);
+    items.chunks(chunk).collect()
 }
 
 #[cfg(test)]
@@ -294,6 +348,20 @@ mod tests {
         let preds = net.predict_batch(&inputs).unwrap();
         for (x, p) in inputs.iter().zip(&preds) {
             assert_eq!(*p, net.predict(x).unwrap());
+        }
+    }
+
+    #[test]
+    fn forward_with_reused_scratch_matches_fresh() {
+        let net = tiny();
+        let mut scratch = ForwardScratch::new();
+        for s in 0..7 {
+            let x = Tensor::from_fn(&[12], |i| ((i * 3 + s) as f32 * 0.17).cos());
+            assert_eq!(
+                net.forward_with(&x, &mut scratch).unwrap(),
+                net.forward(&x).unwrap(),
+                "sample {s}"
+            );
         }
     }
 

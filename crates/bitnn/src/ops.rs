@@ -161,13 +161,25 @@ pub fn bipolar_dot_naive(a: &BitVec, b: &BitVec) -> i32 {
 ///
 /// Panics if `weights.cols() != input.len()`.
 pub fn binary_linear_popcounts(input: &BitVec, weights: &BitMatrix) -> Vec<u32> {
+    let mut out = Vec::new();
+    binary_linear_popcounts_into(input, weights, &mut out);
+    out
+}
+
+/// [`binary_linear_popcounts`] writing into a caller-owned buffer, which
+/// is cleared and refilled — the allocation-free form the scratch-reusing
+/// inference path runs on.
+///
+/// # Panics
+///
+/// Panics if `weights.cols() != input.len()`.
+pub fn binary_linear_popcounts_into(input: &BitVec, weights: &BitMatrix, out: &mut Vec<u32>) {
     assert_eq!(weights.cols(), input.len(), "fan-in mismatch");
     let words = input.words();
     let pad = (words.len() * WORD_BITS - input.len()) as u32;
     let agree = agree_kernel(words.len());
-    (0..weights.rows())
-        .map(|r| agree(words, weights.row_words(r)) - pad)
-        .collect()
+    out.clear();
+    out.extend((0..weights.rows()).map(|r| agree(words, weights.row_words(r)) - pad));
 }
 
 /// Binary linear kernel in the bipolar domain (pre-activation values fed
@@ -220,6 +232,33 @@ pub fn binary_mmm_popcounts(inputs: &BitMatrix, weights: &BitMatrix) -> Vec<Vec<
     out
 }
 
+/// [`binary_mmm_popcounts`] writing a single flat row-major
+/// `inputs.rows() × weights.rows()` buffer, which is cleared and
+/// refilled — no per-row `Vec`, the form the scratch-reusing conv path
+/// runs on. Same blocked loop, same values: element `(i, j)` lands at
+/// `out[i·weights.rows() + j]`.
+///
+/// # Panics
+///
+/// Panics if the fan-ins differ.
+pub fn binary_mmm_popcounts_into(inputs: &BitMatrix, weights: &BitMatrix, out: &mut Vec<u32>) {
+    assert_eq!(inputs.cols(), weights.cols(), "fan-in mismatch");
+    let n = weights.rows();
+    let pad = (inputs.words_per_row() * WORD_BITS - inputs.cols()) as u32;
+    let agree = agree_kernel(inputs.words_per_row());
+    out.clear();
+    out.resize(inputs.rows() * n, 0);
+    for i0 in (0..inputs.rows()).step_by(MMM_ROW_BLOCK) {
+        let i1 = (i0 + MMM_ROW_BLOCK).min(inputs.rows());
+        for j in 0..n {
+            let w = weights.row_words(j);
+            for i in i0..i1 {
+                out[i * n + j] = agree(inputs.row_words(i), w) - pad;
+            }
+        }
+    }
+}
+
 /// Fixed-point linear kernel for the (non-binarized) first layer: 8-bit
 /// activations against bipolar (±1) weights. Returns integer accumulators.
 ///
@@ -232,16 +271,28 @@ pub fn binary_mmm_popcounts(inputs: &BitMatrix, weights: &BitMatrix) -> Vec<Vec<
 ///
 /// Panics if `weights.cols() != input.len()`.
 pub fn fixed_linear_preacts(input: &[i16], weights: &BitMatrix) -> Vec<i32> {
+    let mut out = Vec::new();
+    fixed_linear_preacts_into(input, weights, &mut out);
+    out
+}
+
+/// [`fixed_linear_preacts`] writing into a caller-owned buffer, which is
+/// cleared and refilled — the allocation-free form the scratch-reusing
+/// inference path runs on.
+///
+/// # Panics
+///
+/// Panics if `weights.cols() != input.len()`.
+pub fn fixed_linear_preacts_into(input: &[i16], weights: &BitMatrix, out: &mut Vec<i32>) {
     assert_eq!(weights.cols(), input.len(), "fan-in mismatch");
     let total: i32 = input.iter().map(|&x| i32::from(x)).sum();
-    (0..weights.rows())
-        .map(|r| {
-            let plus: i32 = iter_set_bits(weights.row_words(r))
-                .map(|i| i32::from(input[i]))
-                .sum();
-            2 * plus - total
-        })
-        .collect()
+    out.clear();
+    out.extend((0..weights.rows()).map(|r| {
+        let plus: i32 = iter_set_bits(weights.row_words(r))
+            .map(|i| i32::from(input[i]))
+            .sum();
+        2 * plus - total
+    }));
 }
 
 /// Naive element-wise fixed-point kernel, used only to cross-check
@@ -284,6 +335,33 @@ pub fn output_logits(input: &BitVec, weights: &[Vec<f32>], bias: &[f32]) -> Vec<
             acc + b
         })
         .collect()
+}
+
+/// Numerically stable softmax over logits, in place: each element is
+/// replaced by `exp(x − max) / Σ exp(x − max)`.
+///
+/// The arithmetic (max subtraction, exponentiation, one sequential sum,
+/// division) performs exactly the same float operations in the same
+/// order as the out-of-place [`softmax`], so the two are bit-identical —
+/// the trainer relies on that to keep its batched loss path equal to the
+/// seed per-sample path.
+pub fn softmax_in_place(xs: &mut [f32]) {
+    let max = xs.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+    let mut sum = 0.0f32;
+    for x in xs.iter_mut() {
+        *x = (*x - max).exp();
+        sum += *x;
+    }
+    for x in xs.iter_mut() {
+        *x /= sum;
+    }
+}
+
+/// Numerically stable softmax, returning a fresh probability vector.
+pub fn softmax(logits: &[f32]) -> Vec<f32> {
+    let mut out = logits.to_vec();
+    softmax_in_place(&mut out);
+    out
 }
 
 /// Index of the maximum element (argmax); ties resolve to the first.
@@ -435,6 +513,44 @@ mod tests {
             fixed_linear_preacts(&input, &w),
             fixed_linear_preacts_naive(&input, &w)
         );
+    }
+
+    #[test]
+    fn into_variants_match_allocating_kernels() {
+        let w = BitMatrix::from_fn(6, 70, |r, c| (r * 3 + c) % 4 == 0);
+        let x = BitVec::from_bools(&(0..70).map(|i| i % 3 != 1).collect::<Vec<_>>());
+        let mut pops = vec![99u32; 3];
+        binary_linear_popcounts_into(&x, &w, &mut pops);
+        assert_eq!(pops, binary_linear_popcounts(&x, &w));
+
+        let q: Vec<i16> = (0..70).map(|i| ((i * 31) % 200) as i16 - 100).collect();
+        let mut pre = Vec::new();
+        fixed_linear_preacts_into(&q, &w, &mut pre);
+        assert_eq!(pre, fixed_linear_preacts(&q, &w));
+
+        let xs = BitMatrix::from_fn(5, 70, |r, c| (r * 13 + c * 7) % 5 < 2);
+        let mut flat = vec![7u32; 2];
+        binary_mmm_popcounts_into(&xs, &w, &mut flat);
+        let nested = binary_mmm_popcounts(&xs, &w);
+        assert_eq!(flat.len(), 5 * 6);
+        for (i, row) in nested.iter().enumerate() {
+            assert_eq!(&flat[i * 6..(i + 1) * 6], &row[..], "row {i}");
+        }
+    }
+
+    #[test]
+    fn softmax_normalizes_and_in_place_is_bit_identical() {
+        let logits = [1.0f32, 2.0, 3.0, -0.5];
+        let p = softmax(&logits);
+        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
+        assert!(p[2] > p[1] && p[1] > p[0]);
+        let mut q = logits;
+        softmax_in_place(&mut q);
+        for (a, b) in p.iter().zip(&q) {
+            assert_eq!(a.to_bits(), b.to_bits());
+        }
+        let mut empty: [f32; 0] = [];
+        softmax_in_place(&mut empty);
     }
 
     #[test]

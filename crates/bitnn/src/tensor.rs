@@ -171,12 +171,23 @@ impl Tensor {
     /// This models the DAC input quantization of the higher-precision first
     /// layer (paper Section II-B).
     pub fn quantize(&self, bits: u8) -> Vec<i16> {
+        let mut out = Vec::new();
+        self.quantize_into(bits, &mut out);
+        out
+    }
+
+    /// [`Tensor::quantize`] writing into a caller-owned buffer, which is
+    /// cleared and refilled — the allocation-free form the scratch-reusing
+    /// inference path runs on.
+    pub fn quantize_into(&self, bits: u8, out: &mut Vec<i16>) {
         let max = self.max_abs().max(1e-12);
         let q = f32::from((1i16 << (bits - 1)) - 1);
-        self.data
-            .iter()
-            .map(|&x| ((x / max * q).round().clamp(-q, q)) as i16)
-            .collect()
+        out.clear();
+        out.extend(
+            self.data
+                .iter()
+                .map(|&x| ((x / max * q).round().clamp(-q, q)) as i16),
+        );
     }
 }
 

@@ -7,11 +7,35 @@
 //! clipped to `|pre| ≤ 1`). The first layer consumes real inputs; the
 //! output layer keeps real weights.
 //!
+//! # The mini-batch GEMM engine
+//!
+//! Training runs through a batched engine built on the dense GEMM kernels
+//! in [`crate::dense`]:
+//!
+//! * shadow weights are **binarized once per optimizer step** into ±1
+//!   matrices (and exported word-level via
+//!   [`BitMatrix::from_sign_slice`]), instead of re-deriving the sign of
+//!   every weight on every scalar multiply;
+//! * the forward pass is one `X · Wᵇᵀ` GEMM per layer over the whole
+//!   mini-batch, the backward pass is one `δ · Wᵇ` row-broadcast per
+//!   layer plus rank-1 gradient updates per sample — all branch-free
+//!   vectorizable loops;
+//! * every intermediate matrix lives in a [`TrainScratch`] workspace, so
+//!   the epoch loop performs no heap allocation after warm-up.
+//!
+//! With `batch_size == 1` the engine uses the strict sequential dot
+//! kernel and reproduces the seed per-sample SGD trajectory **bit for
+//! bit** (same seed ⇒ same losses and same exported binarized weights as
+//! looping [`MlpTrainer::step`]). With `batch_size ≥ 2` gradients are
+//! averaged over the mini-batch — a different (and much faster)
+//! optimizer.
+//!
 //! The trained model exports to a [`Bnn`] whose hidden layers are exactly
 //! the integer XNOR+popcount layers the crossbar mappings execute.
 
 use crate::batchnorm::ThresholdSpec;
 use crate::bits::BitVec;
+use crate::dense::{matmul_nt, DenseMat};
 use crate::error::BitnnError;
 use crate::layers::{BinLinear, FixedLinear, Layer, OutputLinear, Shape};
 use crate::matrix::BitMatrix;
@@ -22,42 +46,6 @@ use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
 use rayon::prelude::*;
 
-/// Dense real-valued matrix used internally by the trainer.
-#[derive(Debug, Clone)]
-struct DenseMat {
-    rows: usize,
-    cols: usize,
-    data: Vec<f32>,
-}
-
-impl DenseMat {
-    fn random(rows: usize, cols: usize, rng: &mut impl Rng) -> Self {
-        let scale = (2.0 / cols as f32).sqrt();
-        Self {
-            rows,
-            cols,
-            data: (0..rows * cols)
-                .map(|_| (rng.gen::<f32>() * 2.0 - 1.0) * scale)
-                .collect(),
-        }
-    }
-
-    #[inline]
-    fn at(&self, r: usize, c: usize) -> f32 {
-        self.data[r * self.cols + c]
-    }
-
-    #[inline]
-    fn at_mut(&mut self, r: usize, c: usize) -> &mut f32 {
-        &mut self.data[r * self.cols + c]
-    }
-
-    /// Binarized (sign) view as a `BitMatrix` (bit 1 ⇔ weight ≥ 0).
-    fn binarize(&self) -> BitMatrix {
-        BitMatrix::from_fn(self.rows, self.cols, |r, c| self.at(r, c) >= 0.0)
-    }
-}
-
 /// Hyper-parameters for [`MlpTrainer`].
 #[derive(Debug, Clone, PartialEq)]
 pub struct TrainConfig {
@@ -65,6 +53,11 @@ pub struct TrainConfig {
     pub learning_rate: f32,
     /// Number of passes over the training set.
     pub epochs: usize,
+    /// Mini-batch size. `1` (the default) updates after every sample and
+    /// reproduces the seed per-sample SGD trajectory bit for bit; larger
+    /// values average gradients over each batch and run the reassociating
+    /// fast GEMM kernels — substantially faster, different trajectory.
+    pub batch_size: usize,
     /// RNG seed for weight initialization and shuffling.
     pub seed: u64,
 }
@@ -74,8 +67,44 @@ impl Default for TrainConfig {
         Self {
             learning_rate: 0.01,
             epochs: 5,
+            batch_size: 1,
             seed: 0xEB,
         }
+    }
+}
+
+/// Reusable workspace for the mini-batch training engine.
+///
+/// Holds the per-step ±1 weight snapshots, the gathered input batch, the
+/// per-layer pre-activation/activation matrices, the logits/probability
+/// matrix, and the two ping-pong delta buffers of backprop. All buffers
+/// grow to the high-water mark on first use and are then reused, so an
+/// epoch loop holding one scratch is allocation-free.
+///
+/// A fresh (`Default`) scratch is always valid; results are identical
+/// whether a scratch is reused or recreated per call.
+#[derive(Debug, Clone, Default)]
+pub struct TrainScratch {
+    /// ±1.0 sign snapshots of the shadow weights, refreshed once per step.
+    wsign: Vec<DenseMat>,
+    /// Gathered input mini-batch (`B × dims[0]`).
+    x: DenseMat,
+    /// Per-layer pre-activations (`B × dims[l+1]`).
+    pre: Vec<DenseMat>,
+    /// Per-layer binary (±1.0) activations (`B × dims[l+1]`).
+    act: Vec<DenseMat>,
+    /// Logits, then probabilities, then `dL/dlogits` (`B × classes`).
+    logits: DenseMat,
+    /// Backprop delta buffer (ping).
+    da: DenseMat,
+    /// Backprop delta buffer (pong).
+    db: DenseMat,
+}
+
+impl TrainScratch {
+    /// An empty workspace; buffers are allocated lazily on first use.
+    pub fn new() -> Self {
+        Self::default()
     }
 }
 
@@ -89,7 +118,8 @@ impl Default for TrainConfig {
 /// let data = Dataset::generate(DatasetKind::Mnist, 60, 1);
 /// let (train, test) = data.split(0.8);
 /// let train: Vec<_> = train.iter().map(|(t, y)| (t.clone().reshape(&[784]), *y)).collect();
-/// let mut trainer = MlpTrainer::new(&[784, 32, 16, 10], TrainConfig::default());
+/// let cfg = TrainConfig { batch_size: 16, ..TrainConfig::default() };
+/// let mut trainer = MlpTrainer::new(&[784, 32, 16, 10], cfg);
 /// trainer.fit(&train);
 /// let net = trainer.to_bnn("demo")?;
 /// # let _ = (net, test);
@@ -141,6 +171,9 @@ impl MlpTrainer {
 
     /// Forward pass with binarized weights; returns per-layer
     /// (pre-activations, binary activations) plus logits.
+    ///
+    /// This is the seed scalar reference path, kept for evaluation,
+    /// probing, and as the oracle the batched engine is tested against.
     fn forward_full(&self, x: &[f32]) -> (Vec<Vec<f32>>, Vec<Vec<f32>>, Vec<f32>) {
         let mut pres = Vec::with_capacity(self.shadow.len());
         let mut acts: Vec<Vec<f32>> = Vec::with_capacity(self.shadow.len());
@@ -176,11 +209,15 @@ impl MlpTrainer {
 
     /// One SGD step on a single `(input, label)` sample; returns the
     /// cross-entropy loss before the update.
+    ///
+    /// This is the seed per-sample reference implementation. The batched
+    /// engine behind [`MlpTrainer::fit`] reproduces its trajectory bit for
+    /// bit at `batch_size == 1`.
     pub fn step(&mut self, x: &[f32], label: usize) -> f32 {
         assert_eq!(x.len(), self.dims[0], "input width mismatch");
         assert!(label < *self.dims.last().unwrap(), "label out of range");
         let (pres, acts, logits) = self.forward_full(x);
-        let probs = softmax(&logits);
+        let probs = ops::softmax(&logits);
         let loss = -probs[label].max(1e-12).ln();
         let lr = self.cfg.learning_rate;
 
@@ -243,11 +280,210 @@ impl MlpTrainer {
         loss
     }
 
-    /// Trains over the labelled set for the configured number of epochs;
-    /// returns the mean loss of the final epoch.
+    /// One mini-batch optimizer step over `samples[idxs]`; returns the sum
+    /// of per-sample cross-entropy losses (before the update).
+    ///
+    /// Shadow weights are binarized once at the top of the step; forward,
+    /// backward, and the weight updates then run as dense batched kernels
+    /// over `scratch`. With `batch_size == 1` the strict kernels are used
+    /// and every float operation lands in the same order as
+    /// [`MlpTrainer::step`].
+    fn step_batch(
+        &mut self,
+        samples: &[(Tensor, usize)],
+        idxs: &[usize],
+        scratch: &mut TrainScratch,
+    ) -> f32 {
+        let b = idxs.len();
+        if b == 0 {
+            return 0.0;
+        }
+        let n_layers = self.shadow.len();
+        let classes = *self.dims.last().unwrap();
+        // Strict seed-order kernels exactly when every step is one sample.
+        let exact = self.cfg.batch_size <= 1;
+        let lr = self.cfg.learning_rate;
+        // Mini-batches average the gradient; at B = 1 this is bitwise `lr`.
+        let step_scale = lr / b as f32;
+
+        let TrainScratch {
+            wsign,
+            x,
+            pre,
+            act,
+            logits,
+            da,
+            db,
+        } = scratch;
+        wsign.resize(n_layers, DenseMat::default());
+        pre.resize(n_layers, DenseMat::default());
+        act.resize(n_layers, DenseMat::default());
+
+        // Binarize the shadow weights once for this optimizer step.
+        for (ws, sh) in wsign.iter_mut().zip(&self.shadow) {
+            ws.fill_signs_of(sh);
+        }
+
+        // Gather the mini-batch.
+        x.reset(b, self.dims[0]);
+        for (bi, &si) in idxs.iter().enumerate() {
+            let (inp, label) = &samples[si];
+            assert_eq!(inp.len(), self.dims[0], "input width mismatch");
+            assert!(*label < classes, "label out of range");
+            x.row_mut(bi).copy_from_slice(inp.as_slice());
+        }
+
+        // Forward: pre = (X · Wᵇᵀ) / √fan_in, act = sign(pre).
+        for li in 0..n_layers {
+            let inp: &DenseMat = if li == 0 { x } else { &act[li - 1] };
+            matmul_nt(&mut pre[li], inp, &wsign[li], None, exact);
+            let norm = (self.shadow[li].cols as f32).sqrt();
+            for p in pre[li].as_mut_slice() {
+                *p /= norm;
+            }
+            let width = self.shadow[li].rows;
+            act[li].reset(b, width);
+            for (a, &p) in act[li].as_mut_slice().iter_mut().zip(pre[li].as_slice()) {
+                *a = if p >= 0.0 { 1.0 } else { -1.0 };
+            }
+        }
+        let last_act = &act[n_layers - 1];
+        matmul_nt(logits, last_act, &self.out_w, Some(&self.out_b), exact);
+
+        // Loss, then dL/dlogits in place.
+        let mut loss_sum = 0.0f32;
+        for (bi, &si) in idxs.iter().enumerate() {
+            let row = logits.row_mut(bi);
+            ops::softmax_in_place(row);
+            let label = samples[si].1;
+            loss_sum += -row[label].max(1e-12).ln();
+            row[label] -= 1.0;
+        }
+
+        // Gradient to the last hidden activation, from pre-update output
+        // weights: dact[b] = Σ_r dlogits[b][r] · out_w[r].
+        da.reset(b, self.out_w.cols);
+        {
+            let ow = &self.out_w;
+            let dl: &DenseMat = logits;
+            da.as_mut_slice()
+                .par_chunks_mut(ow.cols.max(1))
+                .enumerate()
+                .for_each(|(bi, drow)| {
+                    let dlrow = dl.row(bi);
+                    for (r, &s) in dlrow.iter().enumerate() {
+                        for (d, &wv) in drow.iter_mut().zip(ow.row(r)) {
+                            *d += wv * s;
+                        }
+                    }
+                });
+        }
+
+        // Output layer update: rank-1 per sample, averaged over the batch.
+        for r in 0..self.out_w.rows {
+            for bi in 0..b {
+                let s = step_scale * logits.at(bi, r);
+                let arow = last_act.row(bi);
+                for (wv, &av) in self.out_w.row_mut(r).iter_mut().zip(arow) {
+                    *wv -= s * av;
+                }
+                self.out_b[r] -= s;
+            }
+        }
+
+        // Backprop through binarized layers (reverse order).
+        for li in (0..n_layers).rev() {
+            let cols = self.shadow[li].cols;
+            let norm_scale = 1.0 / (cols as f32).sqrt();
+            // STE through sign (clipped), then pre-activation scale — the
+            // delta buffer now holds g = STE(dact) / √fan_in.
+            for bi in 0..b {
+                let prow = pre[li].row(bi);
+                let drow = da.row_mut(bi);
+                for (d, &p) in drow.iter_mut().zip(prow) {
+                    let dd = if p.abs() <= 1.0 { *d } else { 0.0 };
+                    *d = dd * norm_scale;
+                }
+            }
+            // Gradient to the layer input (skipped for the first layer).
+            if li > 0 {
+                db.reset(b, cols);
+                let ws = &wsign[li];
+                let g: &DenseMat = da;
+                db.as_mut_slice()
+                    .par_chunks_mut(cols.max(1))
+                    .enumerate()
+                    .for_each(|(bi, drow)| {
+                        let grow = g.row(bi);
+                        for (r, &gr) in grow.iter().enumerate() {
+                            if gr == 0.0 {
+                                continue;
+                            }
+                            for (d, &wv) in drow.iter_mut().zip(ws.row(r)) {
+                                *d += wv * gr;
+                            }
+                        }
+                    });
+            }
+            // Shadow update with BinaryConnect clipping, parallel over
+            // weight rows (per-element update order matches the seed).
+            {
+                let input: &DenseMat = if li == 0 { x } else { &act[li - 1] };
+                let g: &DenseMat = da;
+                self.shadow[li]
+                    .as_mut_slice()
+                    .par_chunks_mut(cols.max(1))
+                    .enumerate()
+                    .for_each(|(r, wrow)| {
+                        for bi in 0..b {
+                            let s = step_scale * g.at(bi, r);
+                            if s == 0.0 {
+                                continue;
+                            }
+                            for (wv, &xv) in wrow.iter_mut().zip(input.row(bi)) {
+                                *wv = (*wv - s * xv).clamp(-1.0, 1.0);
+                            }
+                        }
+                    });
+            }
+            if li > 0 {
+                std::mem::swap(da, db);
+            }
+        }
+        loss_sum
+    }
+
+    /// Runs one epoch over `samples` in the given `order`, in mini-batches
+    /// of the configured `batch_size`, reusing `scratch`; returns the mean
+    /// cross-entropy loss (each sample's loss measured before its batch's
+    /// update).
+    ///
+    /// # Panics
+    ///
+    /// Panics if an index in `order` is out of range, an input width does
+    /// not match `dims()[0]`, or a label is out of range.
+    pub fn train_epoch(
+        &mut self,
+        samples: &[(Tensor, usize)],
+        order: &[usize],
+        scratch: &mut TrainScratch,
+    ) -> f32 {
+        let bsz = self.cfg.batch_size.max(1);
+        let mut total = 0.0f32;
+        for chunk in order.chunks(bsz) {
+            total += self.step_batch(samples, chunk, scratch);
+        }
+        total / order.len().max(1) as f32
+    }
+
+    /// Trains over the labelled set for the configured number of epochs
+    /// through the mini-batch engine; returns the mean loss of the final
+    /// epoch. One [`TrainScratch`] is reused across all epochs, so the
+    /// loop allocates only during the first batch.
     pub fn fit(&mut self, samples: &[(Tensor, usize)]) -> f32 {
         let mut order: Vec<usize> = (0..samples.len()).collect();
         let mut rng = StdRng::seed_from_u64(self.cfg.seed ^ 0x5EED);
+        let mut scratch = TrainScratch::default();
         let mut last = 0.0;
         for _ in 0..self.cfg.epochs {
             // Fisher-Yates shuffle for SGD order.
@@ -255,12 +491,7 @@ impl MlpTrainer {
                 let j = rng.gen_range(0..=i);
                 order.swap(i, j);
             }
-            let mut total = 0.0;
-            for &i in &order {
-                let (x, y) = &samples[i];
-                total += self.step(x.as_slice(), *y);
-            }
-            last = total / samples.len().max(1) as f32;
+            last = self.train_epoch(samples, &order, &mut scratch);
         }
         last
     }
@@ -285,7 +516,7 @@ impl MlpTrainer {
             .map(|(x, y)| {
                 let (_, _, logits) = self.forward_full(x.as_slice());
                 let hit = ops::argmax(&logits) == Some(*y);
-                let loss = -softmax(&logits)[*y].max(1e-12).ln();
+                let loss = -ops::softmax(&logits)[*y].max(1e-12).ln();
                 (hit, loss)
             })
             .collect();
@@ -302,7 +533,8 @@ impl MlpTrainer {
     /// The first layer becomes a [`FixedLinear`] (8-bit quantized input),
     /// hidden layers become XNOR+popcount [`BinLinear`]s with majority
     /// thresholds (`sign(pre) ⇔ pop ≥ ⌈m/2⌉`), and the output layer keeps
-    /// its real weights.
+    /// its real weights. Shadow weights binarize word-level through
+    /// [`BitMatrix::from_sign_slice`].
     ///
     /// # Errors
     ///
@@ -329,7 +561,7 @@ impl MlpTrainer {
             }
         }
         let out_w: Vec<Vec<f32>> = (0..self.out_w.rows)
-            .map(|r| (0..self.out_w.cols).map(|c| self.out_w.at(r, c)).collect())
+            .map(|r| self.out_w.row(r).to_vec())
             .collect();
         layers.push(Layer::Output(OutputLinear::new(
             "out",
@@ -339,7 +571,8 @@ impl MlpTrainer {
         Bnn::new(name, Shape::Flat(self.dims[0]), layers)
     }
 
-    /// Binarized first+hidden weights, for inspection.
+    /// Binarized first+hidden weights, for inspection (word-level
+    /// [`BitMatrix::from_sign_slice`] construction).
     pub fn binarized_weights(&self) -> Vec<BitMatrix> {
         self.shadow.iter().map(DenseMat::binarize).collect()
     }
@@ -349,13 +582,6 @@ impl MlpTrainer {
         let (_, acts, _) = self.forward_full(x);
         BitVec::from_bools(&acts[layer].iter().map(|&a| a > 0.0).collect::<Vec<_>>())
     }
-}
-
-fn softmax(logits: &[f32]) -> Vec<f32> {
-    let max = logits.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-    let exps: Vec<f32> = logits.iter().map(|&l| (l - max).exp()).collect();
-    let sum: f32 = exps.iter().sum();
-    exps.iter().map(|&e| e / sum).collect()
 }
 
 #[cfg(test)]
@@ -368,11 +594,25 @@ mod tests {
         Dataset::generate(DatasetKind::Mnist, n, 11).flattened()
     }
 
-    #[test]
-    fn softmax_normalizes() {
-        let p = softmax(&[1.0, 2.0, 3.0]);
-        assert!((p.iter().sum::<f32>() - 1.0).abs() < 1e-6);
-        assert!(p[2] > p[1] && p[1] > p[0]);
+    /// Replays the exact shuffle + per-sample [`MlpTrainer::step`] loop of
+    /// the seed `fit`, as the trajectory oracle.
+    fn fit_per_sample_reference(t: &mut MlpTrainer, samples: &[(Tensor, usize)]) -> f32 {
+        let mut order: Vec<usize> = (0..samples.len()).collect();
+        let mut rng = StdRng::seed_from_u64(t.cfg.seed ^ 0x5EED);
+        let mut last = 0.0;
+        for _ in 0..t.cfg.epochs {
+            for i in (1..order.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                order.swap(i, j);
+            }
+            let mut total = 0.0;
+            for &i in &order {
+                let (x, y) = &samples[i];
+                total += t.step(x.as_slice(), *y);
+            }
+            last = total / samples.len().max(1) as f32;
+        }
+        last
     }
 
     #[test]
@@ -383,6 +623,7 @@ mod tests {
             TrainConfig {
                 learning_rate: 0.02,
                 epochs: 1,
+                batch_size: 1,
                 seed: 3,
             },
         );
@@ -398,7 +639,7 @@ mod tests {
             .iter()
             .map(|(x, y)| {
                 let (_, _, logits) = t.forward_full(x.as_slice());
-                -softmax(&logits)[*y].max(1e-12).ln()
+                -ops::softmax(&logits)[*y].max(1e-12).ln()
             })
             .sum::<f32>()
             / data.len() as f32;
@@ -409,6 +650,70 @@ mod tests {
     }
 
     #[test]
+    fn minibatch_loss_decreases_too() {
+        let data = small_data(64);
+        let mut t = MlpTrainer::new(
+            &[784, 32, 10],
+            TrainConfig {
+                learning_rate: 0.05,
+                epochs: 12,
+                batch_size: 16,
+                seed: 4,
+            },
+        );
+        let (_, first) = t.evaluate(&data);
+        t.fit(&data);
+        let (_, last) = t.evaluate(&data);
+        assert!(
+            last < first,
+            "mini-batch training loss should drop: first={first}, last={last}"
+        );
+    }
+
+    #[test]
+    fn batch_size_one_fit_matches_per_sample_reference_bitwise() {
+        let data = small_data(30);
+        let cfg = TrainConfig {
+            learning_rate: 0.02,
+            epochs: 3,
+            batch_size: 1,
+            seed: 9,
+        };
+        let mut batched = MlpTrainer::new(&[784, 24, 16, 10], cfg.clone());
+        let mut reference = MlpTrainer::new(&[784, 24, 16, 10], cfg);
+        let lb = batched.fit(&data);
+        let lr = fit_per_sample_reference(&mut reference, &data);
+        assert_eq!(lb.to_bits(), lr.to_bits(), "final epoch mean loss");
+        assert_eq!(batched.binarized_weights(), reference.binarized_weights());
+        assert_eq!(
+            batched.to_bnn("a").unwrap(),
+            reference.to_bnn("a").unwrap(),
+            "exported networks must be identical"
+        );
+    }
+
+    #[test]
+    fn train_epoch_scratch_reuse_is_observation_equivalent() {
+        let data = small_data(24);
+        let cfg = TrainConfig {
+            learning_rate: 0.03,
+            epochs: 1,
+            batch_size: 8,
+            seed: 12,
+        };
+        let order: Vec<usize> = (0..data.len()).collect();
+        let mut reused = MlpTrainer::new(&[784, 20, 10], cfg.clone());
+        let mut fresh = MlpTrainer::new(&[784, 20, 10], cfg);
+        let mut scratch = TrainScratch::new();
+        for round in 0..3 {
+            let a = reused.train_epoch(&data, &order, &mut scratch);
+            let b = fresh.train_epoch(&data, &order, &mut TrainScratch::new());
+            assert_eq!(a.to_bits(), b.to_bits(), "round {round}");
+        }
+        assert_eq!(reused.to_bnn("net").unwrap(), fresh.to_bnn("net").unwrap());
+    }
+
+    #[test]
     fn trains_above_chance_on_synthetic_data() {
         let data = small_data(100);
         let mut t = MlpTrainer::new(
@@ -416,6 +721,7 @@ mod tests {
             TrainConfig {
                 learning_rate: 0.02,
                 epochs: 8,
+                batch_size: 1,
                 seed: 5,
             },
         );
@@ -424,6 +730,26 @@ mod tests {
         assert!(
             acc > 2.0 / NUM_CLASSES as f64,
             "train accuracy {acc} should beat chance"
+        );
+    }
+
+    #[test]
+    fn minibatch_trains_above_chance_too() {
+        let data = small_data(100);
+        let mut t = MlpTrainer::new(
+            &[784, 48, 10],
+            TrainConfig {
+                learning_rate: 0.1,
+                epochs: 16,
+                batch_size: 25,
+                seed: 5,
+            },
+        );
+        t.fit(&data);
+        let acc = t.accuracy(&data);
+        assert!(
+            acc > 2.0 / NUM_CLASSES as f64,
+            "mini-batch train accuracy {acc} should beat chance"
         );
     }
 
@@ -504,7 +830,7 @@ mod tests {
             .iter()
             .map(|(x, y)| {
                 let (_, _, logits) = t.forward_full(x.as_slice());
-                -softmax(&logits)[*y].max(1e-12).ln()
+                -ops::softmax(&logits)[*y].max(1e-12).ln()
             })
             .sum::<f32>()
             / data.len() as f32;

@@ -1,0 +1,170 @@
+//! Property tests for the mini-batch GEMM training engine.
+//!
+//! The two contracts guarded here:
+//!
+//! 1. **Seed-trajectory equivalence** — `fit` with `batch_size == 1` must
+//!    reproduce the per-sample [`MlpTrainer::step`] SGD trajectory bit for
+//!    bit: identical epoch mean losses and an identical exported
+//!    (binarized) network for the same seed.
+//! 2. **Scratch transparency** — reusing one [`TrainScratch`] across
+//!    epochs must be observation-equivalent to fresh allocations, and the
+//!    inference [`ForwardScratch`] must not change `Bnn::forward` results.
+
+use eb_bitnn::{Bnn, ForwardScratch, MlpTrainer, Tensor, TrainConfig, TrainScratch, NUM_CLASSES};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Deterministic labelled samples of width `dim` (values in [-1, 1]).
+fn synth_samples(n: usize, dim: usize, seed: u64) -> Vec<(Tensor, usize)> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..n)
+        .map(|i| {
+            let t = Tensor::from_fn(&[dim], |_| rng.gen::<f32>() * 2.0 - 1.0);
+            (t, i % NUM_CLASSES)
+        })
+        .collect()
+}
+
+/// Replays the seed `fit` loop — identical Fisher-Yates shuffle from
+/// `seed ^ 0x5EED`, then one per-sample [`MlpTrainer::step`] per index —
+/// returning the mean loss of the final epoch.
+fn fit_per_sample(t: &mut MlpTrainer, samples: &[(Tensor, usize)], cfg: &TrainConfig) -> f32 {
+    let mut order: Vec<usize> = (0..samples.len()).collect();
+    let mut rng = StdRng::seed_from_u64(cfg.seed ^ 0x5EED);
+    let mut last = 0.0;
+    for _ in 0..cfg.epochs {
+        for i in (1..order.len()).rev() {
+            let j = rng.gen_range(0..=i);
+            order.swap(i, j);
+        }
+        let mut total = 0.0;
+        for &i in &order {
+            let (x, y) = &samples[i];
+            total += t.step(x.as_slice(), *y);
+        }
+        last = total / samples.len().max(1) as f32;
+    }
+    last
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// Batch-size-1 mini-batch training is the seed per-sample trajectory,
+    /// bit for bit, across topologies, data, and hyper-parameters.
+    #[test]
+    fn batch1_fit_is_bitwise_seed_trajectory(
+        dim in 4usize..24,
+        h1 in 3usize..12,
+        h2 in 0usize..10,
+        n in 4usize..20,
+        seed in any::<u64>(),
+        lr_step in 1u32..30,
+        epochs in 1usize..4,
+    ) {
+        let mut dims = vec![dim, h1];
+        if h2 > 0 {
+            dims.push(h2);
+        }
+        dims.push(NUM_CLASSES);
+        let cfg = TrainConfig {
+            learning_rate: lr_step as f32 * 0.005,
+            epochs,
+            batch_size: 1,
+            seed,
+        };
+        let samples = synth_samples(n, dim, seed.wrapping_add(17));
+        let mut batched = MlpTrainer::new(&dims, cfg.clone());
+        let mut reference = MlpTrainer::new(&dims, cfg.clone());
+        let loss_batched = batched.fit(&samples);
+        let loss_reference = fit_per_sample(&mut reference, &samples, &cfg);
+        prop_assert_eq!(
+            loss_batched.to_bits(),
+            loss_reference.to_bits(),
+            "final epoch mean loss diverged: {} vs {}",
+            loss_batched,
+            loss_reference
+        );
+        prop_assert_eq!(batched.binarized_weights(), reference.binarized_weights());
+        prop_assert_eq!(batched.to_bnn("net").unwrap(), reference.to_bnn("net").unwrap());
+    }
+
+    /// Reusing one `TrainScratch` across epochs and batch shapes produces
+    /// exactly the results of fresh per-epoch scratches.
+    #[test]
+    fn scratch_reuse_is_observation_equivalent(
+        dim in 4usize..20,
+        hidden in 3usize..10,
+        n in 4usize..16,
+        batch in 1usize..9,
+        seed in any::<u64>(),
+    ) {
+        let cfg = TrainConfig {
+            learning_rate: 0.04,
+            epochs: 1,
+            batch_size: batch,
+            seed,
+        };
+        let samples = synth_samples(n, dim, seed ^ 0xA5A5);
+        let order: Vec<usize> = (0..n).collect();
+        let mut reused = MlpTrainer::new(&[dim, hidden, NUM_CLASSES], cfg.clone());
+        let mut fresh = MlpTrainer::new(&[dim, hidden, NUM_CLASSES], cfg);
+        let mut scratch = TrainScratch::new();
+        for round in 0..3 {
+            let a = reused.train_epoch(&samples, &order, &mut scratch);
+            let b = fresh.train_epoch(&samples, &order, &mut TrainScratch::new());
+            prop_assert_eq!(a.to_bits(), b.to_bits(), "epoch {} loss diverged", round);
+        }
+        prop_assert_eq!(reused.to_bnn("net").unwrap(), fresh.to_bnn("net").unwrap());
+        prop_assert_eq!(reused.binarized_weights(), fresh.binarized_weights());
+    }
+
+    /// The inference `ForwardScratch` is transparent: a reused scratch
+    /// yields the same logits as scratch-free `forward` on a trained net.
+    #[test]
+    fn forward_scratch_reuse_matches_forward(
+        dim in 6usize..20,
+        hidden in 3usize..10,
+        seed in any::<u64>(),
+    ) {
+        let samples = synth_samples(8, dim, seed ^ 0x0F0F);
+        let mut trainer = MlpTrainer::new(
+            &[dim, hidden, NUM_CLASSES],
+            TrainConfig {
+                epochs: 1,
+                ..TrainConfig::default()
+            },
+        );
+        trainer.fit(&samples);
+        let net: Bnn = trainer.to_bnn("p").unwrap();
+        let mut scratch = ForwardScratch::new();
+        for (x, _) in &samples {
+            let with = net.forward_with(x, &mut scratch).unwrap();
+            let without = net.forward(x).unwrap();
+            prop_assert_eq!(with, without);
+        }
+    }
+}
+
+/// A fixed-seed smoke check pinning the bit-for-bit claim on the exact
+/// acceptance-criteria topology class (first + hidden + output layers).
+#[test]
+fn batch1_matches_seed_on_deep_mlp() {
+    let cfg = TrainConfig {
+        learning_rate: 0.02,
+        epochs: 2,
+        batch_size: 1,
+        seed: 0xEB2,
+    };
+    let samples = synth_samples(24, 32, 7);
+    let mut batched = MlpTrainer::new(&[32, 16, 12, 10], cfg.clone());
+    let mut reference = MlpTrainer::new(&[32, 16, 12, 10], cfg.clone());
+    let a = batched.fit(&samples);
+    let b = fit_per_sample(&mut reference, &samples, &cfg);
+    assert_eq!(a.to_bits(), b.to_bits());
+    assert_eq!(
+        batched.to_bnn("net").unwrap(),
+        reference.to_bnn("net").unwrap()
+    );
+}

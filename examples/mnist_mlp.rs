@@ -26,8 +26,12 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut trainer = MlpTrainer::new(
         &[784, 64, 32, 10],
         TrainConfig {
-            learning_rate: 0.02,
+            learning_rate: 0.08,
             epochs: 10,
+            // Mini-batch GEMM path: gradients averaged over 20 samples per
+            // optimizer step (batch_size: 1 would replay plain per-sample
+            // SGD bit for bit).
+            batch_size: 20,
             seed: 99,
         },
     );

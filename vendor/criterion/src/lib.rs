@@ -57,11 +57,17 @@ pub struct Bencher {
     warm_up: Duration,
     measurement: Duration,
     sample_size: usize,
+    test_mode: bool,
 }
 
 impl Bencher {
     /// Runs `f` repeatedly, recording per-iteration wall-clock times.
+    /// In `--test` mode `f` runs exactly once and nothing is recorded.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        if self.test_mode {
+            black_box(f());
+            return;
+        }
         // Warm-up: run until the warm-up budget elapses, estimating the
         // per-iteration cost for sample sizing.
         let warm_start = Instant::now();
@@ -112,6 +118,10 @@ fn format_ns(ns: f64) -> String {
 }
 
 fn report(id: &str, b: &Bencher) {
+    if b.test_mode {
+        println!("Testing {id}: ok (1 iteration, untimed)");
+        return;
+    }
     let med = b.median_ns();
     let lo = b.samples_ns.iter().cloned().fold(f64::INFINITY, f64::min);
     let hi = b.samples_ns.iter().cloned().fold(0.0f64, f64::max);
@@ -138,6 +148,7 @@ pub struct Criterion {
     sample_size: usize,
     warm_up: Duration,
     measurement: Duration,
+    test_mode: bool,
 }
 
 impl Default for Criterion {
@@ -146,6 +157,7 @@ impl Default for Criterion {
             sample_size: 20,
             warm_up: Duration::from_millis(300),
             measurement: Duration::from_millis(800),
+            test_mode: false,
         }
     }
 }
@@ -172,9 +184,15 @@ impl Criterion {
         self
     }
 
-    /// Applies command-line/env configuration (no-op in this stand-in).
+    /// Applies command-line configuration. The stand-in honours one flag:
+    /// `--test` (as in `cargo bench -- --test`) runs every benchmark body
+    /// exactly once without timing — the CI smoke mode that catches bench
+    /// rot without paying for a measurement.
     #[must_use]
-    pub fn configure_from_args(self) -> Self {
+    pub fn configure_from_args(mut self) -> Self {
+        if std::env::args().any(|a| a == "--test") {
+            self.test_mode = true;
+        }
         self
     }
 
@@ -184,6 +202,7 @@ impl Criterion {
             warm_up: self.warm_up,
             measurement: self.measurement,
             sample_size: self.sample_size,
+            test_mode: self.test_mode,
         }
     }
 
@@ -320,6 +339,17 @@ mod tests {
         g.finish();
         assert_eq!(BenchmarkId::new("a", "b").to_string(), "a/b");
         assert_eq!(BenchmarkId::from_parameter(7).to_string(), "7");
+    }
+
+    #[test]
+    fn test_mode_runs_body_once() {
+        let mut c = fast_criterion();
+        c.test_mode = true;
+        let mut runs = 0usize;
+        c.bench_function("smoke", |b| {
+            b.iter(|| runs += 1);
+        });
+        assert_eq!(runs, 1, "--test mode must run the body exactly once");
     }
 
     #[test]

@@ -1,10 +1,11 @@
 //! Offline vendored stand-in for `rayon`.
 //!
 //! Implements the subset of the rayon API this workspace uses —
-//! [`ParallelSlice::par_iter`] + `map` + `collect`, and [`join`] — on top
-//! of `std::thread::scope`. Work is split into one contiguous chunk per
-//! available core; on a single-core machine everything degrades to the
-//! sequential path with no thread spawns.
+//! [`ParallelSlice::par_iter`] + `map` + `collect`,
+//! [`ParallelSliceMut::par_chunks_mut`] + `enumerate` + `for_each`, and
+//! [`join`] — on top of `std::thread::scope`. Work is split into one
+//! contiguous chunk per available core; on a single-core machine
+//! everything degrades to the sequential path with no thread spawns.
 
 use std::marker::PhantomData;
 use std::num::NonZeroUsize;
@@ -130,9 +131,99 @@ where
         .collect()
 }
 
-/// The rayon prelude: everything needed for `slice.par_iter().map(..)`.
+/// Extension trait giving mutable slices a `par_chunks_mut` entry point.
+pub trait ParallelSliceMut<T: Send> {
+    /// A parallel iterator over non-overlapping mutable chunks of `size`
+    /// elements (the final chunk may be shorter).
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T>;
+}
+
+impl<T: Send> ParallelSliceMut<T> for [T] {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut { items: self, size }
+    }
+}
+
+impl<T: Send> ParallelSliceMut<T> for Vec<T> {
+    fn par_chunks_mut(&mut self, size: usize) -> ParChunksMut<'_, T> {
+        ParChunksMut { items: self, size }
+    }
+}
+
+/// A parallel iterator over mutable chunks
+/// (see [`ParallelSliceMut::par_chunks_mut`]).
+#[derive(Debug)]
+pub struct ParChunksMut<'a, T> {
+    items: &'a mut [T],
+    size: usize,
+}
+
+impl<'a, T: Send> ParChunksMut<'a, T> {
+    /// Pairs every chunk with its index.
+    pub fn enumerate(self) -> ParChunksMutEnumerate<'a, T> {
+        ParChunksMutEnumerate {
+            items: self.items,
+            size: self.size,
+        }
+    }
+
+    /// Runs `f` on every chunk, potentially in parallel.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn(&mut [T]) + Sync,
+    {
+        self.enumerate().for_each(|(_, chunk)| f(chunk));
+    }
+}
+
+/// The result of [`ParChunksMut::enumerate`]: indexed mutable chunks.
+#[derive(Debug)]
+pub struct ParChunksMutEnumerate<'a, T> {
+    items: &'a mut [T],
+    size: usize,
+}
+
+impl<T: Send> ParChunksMutEnumerate<'_, T> {
+    /// Runs `f` on every `(index, chunk)` pair, potentially in parallel.
+    /// Chunks are disjoint, so workers never alias.
+    pub fn for_each<F>(self, f: F)
+    where
+        F: Fn((usize, &mut [T])) + Sync,
+    {
+        if self.items.is_empty() {
+            return;
+        }
+        let size = self.size.max(1);
+        let mut chunks: Vec<(usize, &mut [T])> = self.items.chunks_mut(size).enumerate().collect();
+        let threads = current_num_threads().min(chunks.len());
+        if threads <= 1 {
+            for chunk in chunks {
+                f(chunk);
+            }
+            return;
+        }
+        let per = chunks.len().div_ceil(threads);
+        thread::scope(|s| {
+            while !chunks.is_empty() {
+                let take = per.min(chunks.len());
+                let group: Vec<(usize, &mut [T])> = chunks.drain(..take).collect();
+                let f = &f;
+                s.spawn(move || {
+                    for chunk in group {
+                        f(chunk);
+                    }
+                });
+            }
+        });
+    }
+}
+
+/// The rayon prelude: everything needed for `slice.par_iter().map(..)` and
+/// `slice.par_chunks_mut(..).for_each(..)`.
 pub mod prelude {
-    pub use crate::{join, ParIter, ParMap, ParallelSlice};
+    pub use crate::{
+        join, ParChunksMut, ParChunksMutEnumerate, ParIter, ParMap, ParallelSlice, ParallelSliceMut,
+    };
 }
 
 #[cfg(test)]
@@ -188,5 +279,31 @@ mod tests {
         let items: Vec<u8> = Vec::new();
         let out: Vec<u8> = items.par_iter().map(|&x| x).collect();
         assert!(out.is_empty());
+    }
+
+    #[test]
+    fn par_chunks_mut_visits_every_chunk_once() {
+        let mut items: Vec<usize> = vec![0; 103];
+        items.par_chunks_mut(10).enumerate().for_each(|(i, chunk)| {
+            for x in chunk {
+                *x += i + 1;
+            }
+        });
+        for (i, &x) in items.iter().enumerate() {
+            assert_eq!(x, i / 10 + 1, "element {i}");
+        }
+    }
+
+    #[test]
+    fn par_chunks_mut_without_index() {
+        let mut items: Vec<i32> = (0..37).collect();
+        items.par_chunks_mut(4).for_each(|chunk| {
+            for x in chunk {
+                *x *= 2;
+            }
+        });
+        assert_eq!(items[36], 72);
+        let mut empty: Vec<i32> = Vec::new();
+        empty.par_chunks_mut(4).for_each(|_| panic!("no chunks"));
     }
 }
