@@ -1,0 +1,91 @@
+//! Criterion bench for the unified serving runtime: single-request
+//! `Session::infer` loops vs one `Session::infer_batch` call, per
+//! backend.
+//!
+//! The point of the `Backend`/`Session` split is compile-once,
+//! serve-many: every timed iteration here is pure serving against an
+//! already-prepared session (crossbars programmed, instruction stream
+//! compiled) — preparation happens once outside the timing loop. The
+//! interesting ratio per backend is `batchB / (B × single)`:
+//!
+//! * `software` — rayon fan-out with per-worker `ForwardScratch` reuse,
+//! * `epcm` — the batched analog VMM (one conductance resolution per
+//!   layer chunk instead of one per sample),
+//! * `photonic` — WDM lane packing (up to K samples per optical MMM),
+//! * `simulator` — per-sample instruction replay (no batch path; the
+//!   loop-vs-batch gap is the trait-default overhead, ≈0).
+//!
+//! Before anything is timed, every backend's batch output is asserted
+//! identical to its single-call outputs through the same trait objects.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eb_bitnn::{Dataset, DatasetKind, MlpTrainer, Tensor, TrainConfig};
+use eb_runtime::{BackendKind, Runtime, Session};
+use std::hint::black_box;
+use std::time::Duration;
+
+const BATCH: usize = 32;
+
+/// The served network: a trained 784-64-32-10 BinaryConnect MLP — small
+/// enough that the per-sample simulator replay keeps bench time sane,
+/// real enough to exercise every layer kind the substrates serve.
+fn serve_net() -> (eb_bitnn::Bnn, Vec<Tensor>) {
+    let data = Dataset::generate(DatasetKind::Mnist, BATCH.max(64), 13).flattened();
+    let mut trainer = MlpTrainer::new(
+        &[784, 64, 32, 10],
+        TrainConfig {
+            learning_rate: 0.05,
+            epochs: 2,
+            batch_size: 16,
+            seed: 3,
+        },
+    );
+    trainer.fit(&data);
+    let net = trainer.to_bnn("serve-throughput-mlp").expect("valid net");
+    let requests: Vec<Tensor> = data.iter().take(BATCH).map(|(x, _)| x.clone()).collect();
+    (net, requests)
+}
+
+fn single_loop(session: &mut dyn Session, requests: &[Tensor]) -> Tensor {
+    let mut last = None;
+    for x in requests {
+        last = Some(session.infer(x).expect("infer"));
+    }
+    last.expect("non-empty batch")
+}
+
+fn bench_serve_throughput(c: &mut Criterion) {
+    let (net, requests) = serve_net();
+
+    let mut group = c.benchmark_group("serve_throughput");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_millis(2500));
+
+    for kind in BackendKind::all() {
+        // Prepare once per backend — deliberately outside the timing loop.
+        let runtime = Runtime::builder().backend(kind).build();
+        let mut single = runtime.prepare(&net).expect("prepare");
+        let mut batched = runtime.prepare(&net).expect("prepare");
+
+        // Correctness gate: batch serving must agree with single-call
+        // serving through the same trait objects before timing is trusted.
+        let singles: Vec<Tensor> = requests
+            .iter()
+            .map(|x| single.infer(x).expect("infer"))
+            .collect();
+        let batch = batched.infer_batch(&requests).expect("infer_batch");
+        assert_eq!(batch, singles, "{kind}: batch path must match singles");
+
+        group.bench_function(format!("{kind}/single_x{BATCH}"), |b| {
+            b.iter(|| black_box(single_loop(single.as_mut(), &requests)))
+        });
+        group.bench_function(format!("{kind}/batch{BATCH}"), |b| {
+            b.iter(|| black_box(batched.infer_batch(&requests).expect("infer_batch")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput);
+criterion_main!(benches);

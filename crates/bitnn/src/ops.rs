@@ -207,7 +207,7 @@ const MMM_ROW_BLOCK: usize = 8;
 ///
 /// This is what one WDM-enabled EinsteinBarrier MMM step computes when
 /// `inputs.rows() ≤ K`, and the GEMM behind the packed-im2col convolution
-/// path. The loop is blocked over input rows ([`MMM_ROW_BLOCK`] at a
+/// path. The loop is blocked over input rows (`MMM_ROW_BLOCK` at a
 /// time) so each streamed weight row is reused against a cache-resident
 /// block of inputs, and runs entirely on borrowed words.
 ///

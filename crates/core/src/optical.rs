@@ -183,9 +183,9 @@ impl OpticalTacitMapped {
         inputs: &[BitVec],
         rng: &mut impl Rng,
     ) -> Result<Vec<Vec<u32>>, OpticalMapError> {
-        let lanes: Vec<(BitVec, BitVec)> =
-            inputs.iter().map(|v| (v.clone(), v.complement())).collect();
-        self.execute_wdm_raw(&lanes, rng)
+        let complements: Vec<BitVec> = inputs.iter().map(BitVec::complement).collect();
+        let lanes: Vec<(&BitVec, &BitVec)> = inputs.iter().zip(&complements).collect();
+        self.execute_wdm_ref(&lanes, rng)
     }
 
     /// Low-level WDM step with independent `(pos, neg)` half drives per
@@ -197,6 +197,22 @@ impl OpticalTacitMapped {
     pub fn execute_wdm_raw(
         &mut self,
         lanes: &[(BitVec, BitVec)],
+        rng: &mut impl Rng,
+    ) -> Result<Vec<Vec<u32>>, OpticalMapError> {
+        let refs: Vec<(&BitVec, &BitVec)> = lanes.iter().map(|(p, n)| (p, n)).collect();
+        self.execute_wdm_ref(&refs, rng)
+    }
+
+    /// Borrowed-pair form of [`OpticalTacitMapped::execute_wdm_raw`] — the
+    /// one WDM execution implementation, allocation-light for callers (the
+    /// `eb-runtime` bit-serial lowering) whose lanes share common halves.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error on fan-in mismatch or WDM over-capacity.
+    pub fn execute_wdm_ref(
+        &mut self,
+        lanes: &[(&BitVec, &BitVec)],
         rng: &mut impl Rng,
     ) -> Result<Vec<Vec<u32>>, OpticalMapError> {
         for (pos, neg) in lanes {

@@ -65,19 +65,27 @@ impl fmt::Display for SimError {
 
 impl Error for SimError {}
 
-/// The simulated ECore machine.
+/// The simulated ECore machine: owns the compiled network, its register
+/// file, and the RNG that drives every noise draw, so one machine can be
+/// compiled once and serve many inputs (the compile-once, serve-many
+/// contract the `eb-runtime` `SimulatorBackend` builds on).
+///
+/// Callers that only hold a borrowed RNG can still construct a machine:
+/// `&mut R` implements [`Rng`], so `Machine::new(net, &design, &mut rng)`
+/// borrows the caller's generator for the machine's lifetime.
 #[derive(Debug)]
-pub struct Machine<'a, R: Rng> {
-    net: &'a mut CompiledNetwork,
+pub struct Machine<R: Rng> {
+    net: CompiledNetwork,
     design: Design,
     regs: Vec<Option<Vec<f64>>>,
-    rng: &'a mut R,
+    rng: R,
     stats: SimStats,
 }
 
-impl<'a, R: Rng> Machine<'a, R> {
-    /// Prepares a machine for a compiled network.
-    pub fn new(net: &'a mut CompiledNetwork, design: &Design, rng: &'a mut R) -> Self {
+impl<R: Rng> Machine<R> {
+    /// Prepares a machine for a compiled network, taking ownership of the
+    /// network and the RNG.
+    pub fn new(net: CompiledNetwork, design: &Design, rng: R) -> Self {
         let regs = vec![None; net.register_count.max(1)];
         Self {
             net,
@@ -86,6 +94,17 @@ impl<'a, R: Rng> Machine<'a, R> {
             rng,
             stats: SimStats::default(),
         }
+    }
+
+    /// The compiled network this machine executes.
+    pub fn network(&self) -> &CompiledNetwork {
+        &self.net
+    }
+
+    /// Releases the compiled network (e.g. to recompile for a different
+    /// design).
+    pub fn into_network(self) -> CompiledNetwork {
+        self.net
     }
 
     /// Runs the program on one input, returning the logits.
@@ -122,7 +141,7 @@ impl<'a, R: Rng> Machine<'a, R> {
             tables,
             output_layers,
             ..
-        } = &mut **net;
+        } = &mut *net;
         let design: &Design = design;
         for instr in program.instructions() {
             stats.instructions += 1;
@@ -309,10 +328,10 @@ impl<'a, R: Rng> Machine<'a, R> {
                     let n = bits_of(regs, *neg)?;
                     let counts = match &mut vcores[*vcore] {
                         MappedVcore::Electronic(m) => m
-                            .execute_raw(&p, &n, &mut **rng)
+                            .execute_raw(&p, &n, &mut *rng)
                             .map_err(|e| SimError::Execution(e.to_string()))?,
                         MappedVcore::Optical(m) => m
-                            .execute_wdm_raw(&[(p, n)], &mut **rng)
+                            .execute_wdm_raw(&[(p, n)], &mut *rng)
                             .map_err(|e| SimError::Execution(e.to_string()))?
                             .remove(0),
                     };
@@ -327,14 +346,14 @@ impl<'a, R: Rng> Machine<'a, R> {
                         .collect::<Result<_, SimError>>()?;
                     let counts = match &mut vcores[*vcore] {
                         MappedVcore::Optical(m) => m
-                            .execute_wdm_raw(&drives, &mut **rng)
+                            .execute_wdm_raw(&drives, &mut *rng)
                             .map_err(|e| SimError::Execution(e.to_string()))?,
                         MappedVcore::Electronic(m) => {
                             // Electronic fallback: serialize the lanes.
                             let mut out = Vec::with_capacity(drives.len());
                             for (p, n) in &drives {
                                 out.push(
-                                    m.execute_raw(p, n, &mut **rng)
+                                    m.execute_raw(p, n, &mut *rng)
                                         .map_err(|e| SimError::Execution(e.to_string()))?,
                                 );
                             }
@@ -517,8 +536,8 @@ pub fn simulate_inference(
     input: &Tensor,
     rng: &mut impl Rng,
 ) -> Result<(Tensor, SimStats), Box<dyn Error>> {
-    let mut compiled = crate::compiler::compile(design, net, rng)?;
-    let mut machine = Machine::new(&mut compiled, design, rng);
+    let compiled = crate::compiler::compile(design, net, &mut *rng)?;
+    let mut machine = Machine::new(compiled, design, rng);
     let logits = machine.run(input)?;
     let stats = machine.stats().clone();
     Ok((logits, stats))

@@ -14,7 +14,8 @@
 use crate::error::MappingError;
 use eb_bitnn::{ops, BitMatrix, BitVec};
 use eb_xbar::{CrossbarArray, VmmEngine, XbarConfig};
-use rand::Rng;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 /// A binary weight matrix programmed onto crossbars in TacitMap layout.
 ///
@@ -218,10 +219,9 @@ impl TacitMapped {
     }
 
     /// Executes a batch of input vectors, one crossbar activation per
-    /// vector, amortizing the periphery setup and device resolution
-    /// across the batch ([`VmmEngine::vmm_counts_cols_batch`]). Drive
-    /// construction itself is still per `(input, chunk)`, same as the
-    /// single-vector path.
+    /// vector — a thin wrapper pairing each input with its complement and
+    /// delegating to [`TacitMapped::execute_raw_batch`], the one batched
+    /// execution path.
     ///
     /// In noiseless configurations this is bit-identical to calling
     /// [`TacitMapped::execute`] per input (under noise the counts are
@@ -237,22 +237,65 @@ impl TacitMapped {
         inputs: &[BitVec],
         rng: &mut impl Rng,
     ) -> Result<Vec<Vec<u32>>, MappingError> {
-        for input in inputs {
-            if input.len() != self.m {
+        let complements: Vec<BitVec> = inputs.iter().map(BitVec::complement).collect();
+        let pairs: Vec<(&BitVec, &BitVec)> = inputs.iter().zip(&complements).collect();
+        self.execute_ref_pairs(&pairs, rng)
+    }
+
+    /// Batched form of [`TacitMapped::execute_raw`]: one crossbar
+    /// activation per `(pos, neg)` half-drive pair, amortizing the
+    /// periphery setup and device resolution across the whole batch
+    /// ([`VmmEngine::vmm_counts_cols_batch`]). This is the single batched
+    /// execution implementation — [`TacitMapped::execute_batch`] and the
+    /// runtime sessions both bottom out here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::InputLength`] when either half of any pair
+    /// differs from the fan-in.
+    pub fn execute_raw_batch(
+        &mut self,
+        pairs: &[(BitVec, BitVec)],
+        rng: &mut impl Rng,
+    ) -> Result<Vec<Vec<u32>>, MappingError> {
+        let refs: Vec<(&BitVec, &BitVec)> = pairs.iter().map(|(p, n)| (p, n)).collect();
+        self.execute_ref_pairs(&refs, rng)
+    }
+
+    /// Batched activation over *borrowed* `(pos, neg)` pairs — the
+    /// allocation-light entry point for callers (the `eb-runtime`
+    /// bit-serial lowering) that drive many pairs sharing common halves,
+    /// e.g. `(plane, 0)` / `(0, plane)`, without cloning a `BitVec` per
+    /// half. [`TacitMapped::execute_batch`] and
+    /// [`TacitMapped::execute_raw_batch`] bottom out here.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::InputLength`] when either half of any pair
+    /// differs from the fan-in.
+    pub fn execute_ref_pairs(
+        &mut self,
+        pairs: &[(&BitVec, &BitVec)],
+        rng: &mut impl Rng,
+    ) -> Result<Vec<Vec<u32>>, MappingError> {
+        for (pos, neg) in pairs {
+            if pos.len() != self.m || neg.len() != self.m {
                 return Err(MappingError::InputLength {
                     expected: self.m,
-                    got: input.len(),
+                    got: if pos.len() != self.m {
+                        pos.len()
+                    } else {
+                        neg.len()
+                    },
                 });
             }
         }
-        let complements: Vec<BitVec> = inputs.iter().map(BitVec::complement).collect();
-        let mut acc = vec![vec![0u32; self.n]; inputs.len()];
+        let mut acc = vec![vec![0u32; self.n]; pairs.len()];
         for (rc, row) in self.engines.iter().enumerate() {
             let (lo, len) = self.chunk_bounds(rc);
-            let drives: Vec<BitVec> = inputs
+            let drives: Vec<BitVec> = pairs
                 .iter()
-                .zip(&complements)
-                .map(|(input, comp)| self.chunk_drive(input, comp, lo, len))
+                .map(|(pos, neg)| self.chunk_drive(pos, neg, lo, len))
                 .collect();
             for (cc, engine) in row.iter().enumerate() {
                 let jlo = cc * self.cfg.cols;
@@ -267,8 +310,27 @@ impl TacitMapped {
                 }
             }
         }
-        self.executions += inputs.len() as u64;
+        self.executions += pairs.len() as u64;
         Ok(acc)
+    }
+
+    /// Programs `weights` with a freshly seeded RNG and returns a mapping
+    /// that **owns** that RNG for all subsequent executions — the
+    /// convenience constructor the `eb-runtime` sessions are built on.
+    /// Two mappings programmed from the same `(weights, cfg, seed)`
+    /// produce identical execution sequences, noisy devices included.
+    ///
+    /// # Errors
+    ///
+    /// Same as [`TacitMapped::program`].
+    pub fn program_seeded(
+        weights: &BitMatrix,
+        cfg: &XbarConfig,
+        seed: u64,
+    ) -> Result<SeededTacitMapped, MappingError> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let inner = Self::program(weights, cfg, &mut rng)?;
+        Ok(SeededTacitMapped { inner, rng })
     }
 
     /// Reference check: executes and compares against the software kernel.
@@ -295,11 +357,88 @@ impl TacitMapped {
     }
 }
 
+/// A [`TacitMapped`] layer that owns its RNG: programmed and executed from
+/// one seeded [`StdRng`], so callers never thread `&mut impl Rng` through
+/// the serving path. Built via [`TacitMapped::program_seeded`].
+///
+/// Determinism contract: two instances created from identical
+/// `(weights, cfg, seed)` and driven with identical call sequences return
+/// identical counts — including under programming/read/ADC noise.
+#[derive(Debug, Clone)]
+pub struct SeededTacitMapped {
+    inner: TacitMapped,
+    rng: StdRng,
+}
+
+impl SeededTacitMapped {
+    /// Executes one input vector (see [`TacitMapped::execute`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::InputLength`] on fan-in mismatch.
+    pub fn execute(&mut self, input: &BitVec) -> Result<Vec<u32>, MappingError> {
+        self.inner.execute(input, &mut self.rng)
+    }
+
+    /// Low-level activation with independent half drives (see
+    /// [`TacitMapped::execute_raw`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::InputLength`] on fan-in mismatch.
+    pub fn execute_raw(&mut self, pos: &BitVec, neg: &BitVec) -> Result<Vec<u32>, MappingError> {
+        self.inner.execute_raw(pos, neg, &mut self.rng)
+    }
+
+    /// Batched execution (see [`TacitMapped::execute_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::InputLength`] on any fan-in mismatch.
+    pub fn execute_batch(&mut self, inputs: &[BitVec]) -> Result<Vec<Vec<u32>>, MappingError> {
+        self.inner.execute_batch(inputs, &mut self.rng)
+    }
+
+    /// Batched half-drive execution (see
+    /// [`TacitMapped::execute_raw_batch`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::InputLength`] on any fan-in mismatch.
+    pub fn execute_raw_batch(
+        &mut self,
+        pairs: &[(BitVec, BitVec)],
+    ) -> Result<Vec<Vec<u32>>, MappingError> {
+        self.inner.execute_raw_batch(pairs, &mut self.rng)
+    }
+
+    /// Batched activation over borrowed half-drive pairs (see
+    /// [`TacitMapped::execute_ref_pairs`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::InputLength`] on any fan-in mismatch.
+    pub fn execute_ref_pairs(
+        &mut self,
+        pairs: &[(&BitVec, &BitVec)],
+    ) -> Result<Vec<Vec<u32>>, MappingError> {
+        self.inner.execute_ref_pairs(pairs, &mut self.rng)
+    }
+
+    /// The underlying mapping (fan-in, footprint, step counters...).
+    pub fn inner(&self) -> &TacitMapped {
+        &self.inner
+    }
+
+    /// Crossbar steps taken so far.
+    pub fn steps_taken(&self) -> u64 {
+        self.inner.steps_taken()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
-    use rand::rngs::StdRng;
-    use rand::SeedableRng;
 
     fn rng() -> StdRng {
         StdRng::seed_from_u64(21)
@@ -422,6 +561,69 @@ mod tests {
             mapped.execute_batch(&[BitVec::zeros(9)], &mut r),
             Err(MappingError::InputLength { .. })
         ));
+    }
+
+    #[test]
+    fn execute_raw_batch_matches_sequential_raw() {
+        let mut r = rng();
+        let w = random_bits(11, 45, 29);
+        let cfg = XbarConfig::new(32, 8);
+        let mut mapped = TacitMapped::program(&w, &cfg, &mut r).unwrap();
+        let zero = BitVec::zeros(45);
+        let pairs: Vec<(BitVec, BitVec)> = (0..4)
+            .map(|k| {
+                let p =
+                    BitVec::from_bools(&(0..45).map(|i| (i * 3 + k) % 4 == 0).collect::<Vec<_>>());
+                if k % 2 == 0 {
+                    (p, zero.clone())
+                } else {
+                    (zero.clone(), p)
+                }
+            })
+            .collect();
+        let batch = mapped.execute_raw_batch(&pairs, &mut r).unwrap();
+        for (k, (p, n)) in pairs.iter().enumerate() {
+            assert_eq!(
+                batch[k],
+                mapped.execute_raw(p, n, &mut r).unwrap(),
+                "pair {k}"
+            );
+        }
+        assert!(matches!(
+            mapped.execute_raw_batch(&[(BitVec::zeros(3), zero)], &mut r),
+            Err(MappingError::InputLength { .. })
+        ));
+    }
+
+    #[test]
+    fn seeded_mapping_is_deterministic_under_noise() {
+        use eb_xbar::DeviceParams;
+        let w = random_bits(16, 48, 31);
+        let cfg = XbarConfig::new(64, 16).with_device(DeviceParams {
+            program_sigma: 0.25,
+            read_sigma: 0.08,
+            ..DeviceParams::ideal()
+        });
+        let input = BitVec::from_bools(&(0..48).map(|i| i % 3 != 0).collect::<Vec<_>>());
+        let run = |seed: u64| {
+            let mut mapped = TacitMapped::program_seeded(&w, &cfg, seed).unwrap();
+            let mut outs = Vec::new();
+            for _ in 0..4 {
+                outs.push(mapped.execute(&input).unwrap());
+            }
+            outs.push(
+                mapped
+                    .execute_batch(&[input.clone(), input.complement()])
+                    .unwrap()[0]
+                    .clone(),
+            );
+            outs
+        };
+        // Same seed => identical noisy counts; different seed => diverges.
+        assert_eq!(run(7), run(7));
+        assert_ne!(run(7), run(8));
+        let seeded = TacitMapped::program_seeded(&w, &cfg, 7).unwrap();
+        assert_eq!(seeded.inner().fan_in(), 48);
     }
 
     #[test]

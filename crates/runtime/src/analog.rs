@@ -1,0 +1,808 @@
+//! The analog serving backends: whole networks executed layer by layer on
+//! simulated crossbars, sharing one lowering between the electronic
+//! (TacitMap-ePCM) and photonic (oPCM + WDM) substrates.
+//!
+//! The lowering mirrors the EinsteinBarrier compiler (`eb-core`): binary
+//! layers drive `(x, x̄)` and read every XNOR popcount in one activation;
+//! fixed-point first layers run bit-serially over the offset-unsigned
+//! planes of `x' = q + 127`, with the per-output (or per-window)
+//! quantization offset subtracted digitally; pooling, flatten, and the
+//! real-valued output layer run on the (software) scalar unit, exactly as
+//! they ride the ECore vector FU in the simulator. In noiseless
+//! configurations every session is bit-exact against the software
+//! reference.
+
+use crate::error::EbError;
+use crate::session::{Backend, NoiseProfile, Session, SessionOpts, SessionStats};
+use eb_bitnn::{conv_output_dims, BitMatrix, BitTensor, BitVec, Bnn, Layer, Shape, Tensor};
+use eb_core::OpticalTacitMapped;
+use eb_mapping::{SeededTacitMapped, TacitMapped};
+use eb_photonics::{Receiver, PAPER_WDM_CAPACITY};
+use eb_xbar::{DeviceParams, XbarConfig};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Serves inference on simulated 1T1R ePCM crossbars in TacitMap layout
+/// (`eb-mapping` → `eb-xbar` analog VMM).
+///
+/// Each matrix layer is programmed onto its own chunked crossbar set at
+/// `prepare` time through [`TacitMapped::program_seeded`], so the session
+/// owns every RNG involved: same `(network, config, seed)` ⇒ identical
+/// outputs, noisy devices included.
+#[derive(Debug, Clone)]
+pub struct EpcmBackend {
+    cfg: XbarConfig,
+}
+
+impl EpcmBackend {
+    /// A backend over explicit crossbar geometry/periphery.
+    pub fn new(cfg: XbarConfig) -> Self {
+        Self { cfg }
+    }
+
+    /// The crossbar configuration sessions are programmed with.
+    pub fn config(&self) -> &XbarConfig {
+        &self.cfg
+    }
+}
+
+impl Default for EpcmBackend {
+    /// Paper-class 256×256 1T1R crossbars with ideal devices.
+    fn default() -> Self {
+        Self::new(XbarConfig::new(256, 256))
+    }
+}
+
+impl Backend for EpcmBackend {
+    fn name(&self) -> &'static str {
+        "epcm"
+    }
+
+    fn prepare(&self, net: &Bnn, opts: &SessionOpts) -> Result<Box<dyn Session>, EbError> {
+        let cfg = match opts.noise.profile {
+            NoiseProfile::Ideal => self.cfg.clone(),
+            NoiseProfile::Noisy => self.cfg.clone().with_device(DeviceParams::noisy()),
+        };
+        let session = AnalogSession::build(net, |weights, layer| {
+            let seed = layer_seed(opts.noise.seed, layer);
+            Ok(MappedMat::Epcm(TacitMapped::program_seeded(
+                weights, &cfg, seed,
+            )?))
+        })?;
+        Ok(Box::new(session.named("epcm")))
+    }
+}
+
+/// Serves inference on simulated oPCM crossbars behind the full optical
+/// chain (transmitter → crossbar → photodetector/TIA), packing up to `K`
+/// half-drive pairs into each WDM MMM step.
+#[derive(Debug, Clone)]
+pub struct PhotonicBackend {
+    rows: usize,
+    cols: usize,
+    capacity: usize,
+}
+
+impl PhotonicBackend {
+    /// A backend over explicit optical crossbar geometry and WDM capacity.
+    pub fn new(rows: usize, cols: usize, capacity: usize) -> Self {
+        Self {
+            rows,
+            cols,
+            capacity: capacity.max(1),
+        }
+    }
+
+    /// WDM capacity `K` of prepared sessions.
+    pub fn capacity(&self) -> usize {
+        self.capacity
+    }
+}
+
+impl Default for PhotonicBackend {
+    /// Paper-class 256×256 oPCM crossbars at `K = 16`.
+    fn default() -> Self {
+        Self::new(256, 256, PAPER_WDM_CAPACITY)
+    }
+}
+
+impl Backend for PhotonicBackend {
+    fn name(&self) -> &'static str {
+        "photonic"
+    }
+
+    fn prepare(&self, net: &Bnn, opts: &SessionOpts) -> Result<Box<dyn Session>, EbError> {
+        let session = AnalogSession::build(net, |weights, layer| {
+            let mut rng = StdRng::seed_from_u64(layer_seed(opts.noise.seed, layer));
+            let mut mapped = OpticalTacitMapped::program(
+                weights,
+                self.rows,
+                self.cols,
+                self.capacity,
+                &mut rng,
+            )?;
+            if opts.noise.profile == NoiseProfile::Noisy {
+                mapped.set_receiver(Receiver::noisy());
+            }
+            Ok(MappedMat::Photonic {
+                mapped,
+                rng,
+                lanes: 0,
+            })
+        })?;
+        Ok(Box::new(session.named("photonic")))
+    }
+}
+
+/// Derives a per-layer RNG stream from the session seed so every mapped
+/// layer draws independent programming noise, deterministically.
+fn layer_seed(base: u64, layer: usize) -> u64 {
+    base ^ (layer as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15)
+}
+
+/// One matrix layer programmed onto a substrate.
+#[derive(Debug, Clone)]
+enum MappedMat {
+    /// Electronic TacitMap crossbars owning their seeded RNG.
+    Epcm(SeededTacitMapped),
+    /// Optical TacitMap crossbars + the RNG for receiver/device draws.
+    Photonic {
+        mapped: OpticalTacitMapped,
+        rng: StdRng,
+        lanes: u64,
+    },
+}
+
+impl MappedMat {
+    /// Executes a batch of borrowed `(pos, neg)` half-drive pairs, one
+    /// result row per pair. Electronic layers amortize the batch through
+    /// the VMM engines' snapshot path; optical layers pack pairs into WDM
+    /// lanes, the transmitter's `K` per MMM step.
+    fn activate_pairs(&mut self, pairs: &[(&BitVec, &BitVec)]) -> Result<Vec<Vec<u32>>, EbError> {
+        match self {
+            Self::Epcm(m) => Ok(m.execute_ref_pairs(pairs)?),
+            Self::Photonic { mapped, rng, lanes } => {
+                let capacity = mapped.capacity();
+                let mut out = Vec::with_capacity(pairs.len());
+                for chunk in pairs.chunks(capacity) {
+                    out.extend(mapped.execute_wdm_ref(chunk, rng)?);
+                    *lanes += chunk.len() as u64;
+                }
+                Ok(out)
+            }
+        }
+    }
+
+    /// Crossbar steps taken so far.
+    fn steps_taken(&self) -> u64 {
+        match self {
+            Self::Epcm(m) => m.steps_taken(),
+            Self::Photonic { mapped, .. } => mapped.steps_taken(),
+        }
+    }
+
+    /// WDM lanes carried so far (0 on the electronic substrate).
+    fn wdm_lanes(&self) -> u64 {
+        match self {
+            Self::Epcm(_) => 0,
+            Self::Photonic { lanes, .. } => *lanes,
+        }
+    }
+}
+
+/// Spatial parameters of one convolutional layer instance.
+#[derive(Debug, Clone, Copy)]
+struct ConvGeom {
+    c: usize,
+    h: usize,
+    w: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+    oh: usize,
+    ow: usize,
+}
+
+/// Per-layer execution recipe, parallel to `Bnn::layers()`.
+#[derive(Debug, Clone)]
+enum LayerExec {
+    /// Bit-serial dense first layer; `offsets[j] = 127·Σwⱼ`.
+    FixedLinear { mat: usize, offsets: Vec<i64> },
+    /// Single-activation binary dense layer.
+    BinLinear { mat: usize },
+    /// Bit-serial conv; `offsets[window][f] = 127·Σw over valid positions`.
+    FixedConv {
+        mat: usize,
+        geom: ConvGeom,
+        offsets: Vec<Vec<i64>>,
+    },
+    /// Binary conv: all windows of all samples in one batched activation.
+    BinConv { mat: usize, geom: ConvGeom },
+    /// 2×2 OR pooling (scalar unit).
+    MaxPool2,
+    /// Map → flat vector (layout no-op).
+    Flatten,
+    /// Real-valued output layer (scalar unit).
+    Output,
+}
+
+/// Activation state of one sample while a batch walks the layer stack.
+#[derive(Debug, Clone)]
+enum AnalogAct {
+    /// Still reading from the caller's input tensor (before layer 0).
+    Input,
+    /// Flat binary activation.
+    Bin(BitVec),
+    /// Spatial binary activation.
+    Map(BitTensor),
+    /// Final logits.
+    Logits(Tensor),
+}
+
+/// A network programmed onto an analog substrate, serving through the
+/// shared layer-wise lowering.
+#[derive(Debug, Clone)]
+struct AnalogSession {
+    name: &'static str,
+    net: Bnn,
+    mats: Vec<MappedMat>,
+    plan: Vec<LayerExec>,
+    inferences: u64,
+}
+
+impl AnalogSession {
+    /// Walks the network once, programming every matrix layer through
+    /// `program` and precomputing the digital offset constants.
+    fn build(
+        net: &Bnn,
+        mut program: impl FnMut(&BitMatrix, usize) -> Result<MappedMat, EbError>,
+    ) -> Result<Self, EbError> {
+        let mut mats = Vec::new();
+        let mut plan = Vec::with_capacity(net.layers().len());
+        for (i, layer) in net.layers().iter().enumerate() {
+            let exec = match layer {
+                Layer::FixedLinear(l) => {
+                    mats.push(program(l.weights(), i)?);
+                    LayerExec::FixedLinear {
+                        mat: mats.len() - 1,
+                        offsets: dense_offsets(l.weights()),
+                    }
+                }
+                Layer::BinLinear(l) => {
+                    mats.push(program(l.weights(), i)?);
+                    LayerExec::BinLinear {
+                        mat: mats.len() - 1,
+                    }
+                }
+                Layer::FixedConv(l) => {
+                    let geom = conv_geom(
+                        net.shape_at(i),
+                        l.in_channels(),
+                        l.kernel(),
+                        l.stride(),
+                        l.pad(),
+                    )?;
+                    mats.push(program(l.filters(), i)?);
+                    LayerExec::FixedConv {
+                        mat: mats.len() - 1,
+                        geom,
+                        offsets: conv_window_offsets(l.filters(), &geom),
+                    }
+                }
+                Layer::BinConv(l) => {
+                    let geom = conv_geom(
+                        net.shape_at(i),
+                        l.in_channels(),
+                        l.kernel(),
+                        l.stride(),
+                        l.pad(),
+                    )?;
+                    mats.push(program(l.filters(), i)?);
+                    LayerExec::BinConv {
+                        mat: mats.len() - 1,
+                        geom,
+                    }
+                }
+                Layer::MaxPool2 => LayerExec::MaxPool2,
+                Layer::Flatten => LayerExec::Flatten,
+                Layer::Output(_) => LayerExec::Output,
+                other => {
+                    return Err(EbError::Config(format!(
+                        "layer {i} ({}) is not supported on analog substrates",
+                        other.name()
+                    )))
+                }
+            };
+            plan.push(exec);
+        }
+        Ok(Self {
+            name: "analog",
+            net: net.clone(),
+            mats,
+            plan,
+            inferences: 0,
+        })
+    }
+
+    fn named(mut self, name: &'static str) -> Self {
+        self.name = name;
+        self
+    }
+
+    /// Serves a whole batch layer by layer: every matrix layer fires one
+    /// batched substrate activation covering all samples (and, for convs,
+    /// all windows), so periphery setup, device resolution, and WDM lane
+    /// packing amortize across the batch.
+    fn run_batch(&mut self, xs: &[Tensor]) -> Result<Vec<Tensor>, EbError> {
+        let expected = self.net.input_shape();
+        for x in xs {
+            if x.len() != expected.len() {
+                return Err(EbError::Config(format!(
+                    "input has {} elements, network expects {}",
+                    x.len(),
+                    expected.len()
+                )));
+            }
+        }
+        let mut states = vec![AnalogAct::Input; xs.len()];
+        let layers = self.net.layers();
+        for (layer, exec) in layers.iter().zip(&self.plan) {
+            match (layer, exec) {
+                (Layer::FixedLinear(l), LayerExec::FixedLinear { mat, offsets }) => {
+                    let fan_in = l.weights().cols();
+                    let n = l.weights().rows();
+                    let vals: Vec<Vec<i32>> = xs
+                        .iter()
+                        .zip(&states)
+                        .map(|(x, st)| {
+                            expect_input(st)?;
+                            Ok(x.quantize(8).iter().map(|&q| i32::from(q) + 127).collect())
+                        })
+                        .collect::<Result<_, EbError>>()?;
+                    let acc = bit_serial_acc(&mut self.mats[*mat], &vals, fan_in, n)?;
+                    for (s, st) in states.iter_mut().enumerate() {
+                        let bits: BitVec = (0..n)
+                            .map(|j| l.thresholds()[j].fire(acc[s * n + j] - offsets[j]))
+                            .collect();
+                        *st = AnalogAct::Bin(bits);
+                    }
+                }
+                (Layer::BinLinear(l), LayerExec::BinLinear { mat }) => {
+                    let n = l.weights().rows();
+                    let complements: Vec<BitVec> = states
+                        .iter()
+                        .map(|st| Ok(expect_bin(st)?.complement()))
+                        .collect::<Result<_, EbError>>()?;
+                    let pairs: Vec<(&BitVec, &BitVec)> = states
+                        .iter()
+                        .zip(&complements)
+                        .map(|(st, comp)| Ok((expect_bin(st)?, comp)))
+                        .collect::<Result<_, EbError>>()?;
+                    let counts = self.mats[*mat].activate_pairs(&pairs)?;
+                    for (st, pops) in states.iter_mut().zip(counts) {
+                        let bits: BitVec = (0..n)
+                            .map(|j| l.thresholds()[j].fire(i64::from(pops[j])))
+                            .collect();
+                        *st = AnalogAct::Bin(bits);
+                    }
+                }
+                (Layer::FixedConv(l), LayerExec::FixedConv { mat, geom, offsets }) => {
+                    let fan_in = geom.c * geom.k * geom.k;
+                    let n = l.filters().rows();
+                    let windows = geom.oh * geom.ow;
+                    // One offset-unsigned window vector per (sample, window).
+                    let mut vals = Vec::with_capacity(xs.len() * windows);
+                    for (x, st) in xs.iter().zip(&states) {
+                        expect_input(st)?;
+                        let q = x.quantize(8);
+                        for wi in 0..windows {
+                            vals.push(extract_window(&q, geom, wi / geom.ow, wi % geom.ow));
+                        }
+                    }
+                    let acc = bit_serial_acc(&mut self.mats[*mat], &vals, fan_in, n)?;
+                    for (s, st) in states.iter_mut().enumerate() {
+                        let mut out = BitTensor::zeros(n, geom.oh, geom.ow);
+                        for wi in 0..windows {
+                            let base = (s * windows + wi) * n;
+                            for f in 0..n {
+                                if l.thresholds()[f].fire(acc[base + f] - offsets[wi][f]) {
+                                    out.set(f, wi / geom.ow, wi % geom.ow, true);
+                                }
+                            }
+                        }
+                        *st = AnalogAct::Map(out);
+                    }
+                }
+                (Layer::BinConv(l), LayerExec::BinConv { mat, geom }) => {
+                    let n = l.filters().rows();
+                    let windows = geom.oh * geom.ow;
+                    let mut owned = Vec::with_capacity(xs.len() * windows);
+                    for st in &states {
+                        let t = expect_map(st)?;
+                        let cols = t.im2col(geom.k, geom.stride, geom.pad);
+                        for r in 0..cols.rows() {
+                            let win = cols.row(r);
+                            let comp = win.complement();
+                            owned.push((win, comp));
+                        }
+                    }
+                    let pairs: Vec<(&BitVec, &BitVec)> =
+                        owned.iter().map(|(p, n)| (p, n)).collect();
+                    let counts = self.mats[*mat].activate_pairs(&pairs)?;
+                    for (s, st) in states.iter_mut().enumerate() {
+                        let mut out = BitTensor::zeros(n, geom.oh, geom.ow);
+                        for wi in 0..windows {
+                            let pops = &counts[s * windows + wi];
+                            for f in 0..n {
+                                if l.thresholds()[f].fire(i64::from(pops[f])) {
+                                    out.set(f, wi / geom.ow, wi % geom.ow, true);
+                                }
+                            }
+                        }
+                        *st = AnalogAct::Map(out);
+                    }
+                }
+                (Layer::MaxPool2, LayerExec::MaxPool2) => {
+                    for st in states.iter_mut() {
+                        *st = AnalogAct::Map(expect_map(st)?.max_pool_2x2());
+                    }
+                }
+                (Layer::Flatten, LayerExec::Flatten) => {
+                    for st in states.iter_mut() {
+                        *st = AnalogAct::Bin(expect_map(st)?.flatten());
+                    }
+                }
+                (Layer::Output(l), LayerExec::Output) => {
+                    for st in states.iter_mut() {
+                        let bits = expect_bin(st)?;
+                        let logits = eb_bitnn::ops::output_logits(bits, l.weights(), l.bias());
+                        *st = AnalogAct::Logits(Tensor::from_vec(&[logits.len()], logits));
+                    }
+                }
+                _ => unreachable!("plan built from the same layer stack"),
+            }
+        }
+        self.inferences += xs.len() as u64;
+        states
+            .into_iter()
+            .zip(xs)
+            .map(|(st, x)| match st {
+                AnalogAct::Logits(t) => Ok(t),
+                // A zero-layer network echoes its input, like `Bnn::forward`.
+                AnalogAct::Input => Ok(x.clone()),
+                _ => Err(EbError::Config(format!(
+                    "network `{}` does not end on logits",
+                    self.net.name()
+                ))),
+            })
+            .collect()
+    }
+}
+
+impl Session for AnalogSession {
+    fn backend_name(&self) -> &'static str {
+        self.name
+    }
+
+    fn infer(&mut self, x: &Tensor) -> Result<Tensor, EbError> {
+        Ok(self
+            .run_batch(std::slice::from_ref(x))?
+            .pop()
+            .expect("one logits tensor per input"))
+    }
+
+    fn infer_batch(&mut self, xs: &[Tensor]) -> Result<Vec<Tensor>, EbError> {
+        self.run_batch(xs)
+    }
+
+    fn stats(&self) -> SessionStats {
+        SessionStats {
+            inferences: self.inferences,
+            crossbar_steps: self.mats.iter().map(MappedMat::steps_taken).sum(),
+            wdm_lanes: self.mats.iter().map(MappedMat::wdm_lanes).sum(),
+            ..SessionStats::default()
+        }
+    }
+}
+
+/// Runs the bit-serial fixed-point lowering for a batch of offset-unsigned
+/// integer vectors (`x' = q + 127 ∈ [0, 254]`, zeros at padding): for each
+/// of the 8 bit planes, drives `(plane, 0)` and `(0, plane)` for every
+/// vector in one batched activation and accumulates the signed,
+/// bit-weighted count difference. Returns a flat `vals.len() × n` buffer
+/// of `Σ x'ᵢ·wᵢ` accumulators (offset correction is the caller's).
+fn bit_serial_acc(
+    mat: &mut MappedMat,
+    vals: &[Vec<i32>],
+    fan_in: usize,
+    n: usize,
+) -> Result<Vec<i64>, EbError> {
+    let zero = BitVec::zeros(fan_in);
+    let mut acc = vec![0i64; vals.len() * n];
+    for b in 0..8u32 {
+        let planes: Vec<BitVec> = vals
+            .iter()
+            .map(|v| v.iter().map(|&x| (x >> b) & 1 == 1).collect())
+            .collect();
+        let pairs: Vec<(&BitVec, &BitVec)> = planes
+            .iter()
+            .flat_map(|plane| [(plane, &zero), (&zero, plane)])
+            .collect();
+        let counts = mat.activate_pairs(&pairs)?;
+        for (s, pair) in counts.chunks_exact(2).enumerate() {
+            let (plus, minus) = (&pair[0], &pair[1]);
+            for j in 0..n {
+                let diff = i64::from(plus[j]) - i64::from(minus[j]);
+                acc[s * n + j] += diff << b;
+            }
+        }
+    }
+    Ok(acc)
+}
+
+/// `127·Σwⱼ` per weight row — the digital constant that converts the
+/// offset-unsigned accumulator back to the signed pre-activation.
+fn dense_offsets(weights: &BitMatrix) -> Vec<i64> {
+    (0..weights.rows())
+        .map(|r| {
+            let pop = i64::from(weights.row(r).popcount());
+            127 * (2 * pop - weights.cols() as i64)
+        })
+        .collect()
+}
+
+/// Walks the filter positions of window `(oy, ox)` that land inside the
+/// (unpadded) input, yielding `(filter_index, input_index)` into the
+/// flattened `c·k·k` filter row and `c·h·w` input map. This is the one
+/// copy of the conv boundary logic; the per-window offsets and the window
+/// extraction must agree on it exactly for padded convs to stay
+/// bit-exact.
+fn for_each_valid_pos(g: &ConvGeom, oy: usize, ox: usize, mut f: impl FnMut(usize, usize)) {
+    for ci in 0..g.c {
+        for ky in 0..g.k {
+            for kx in 0..g.k {
+                let iy = (oy * g.stride + ky) as isize - g.pad as isize;
+                let ix = (ox * g.stride + kx) as isize - g.pad as isize;
+                if iy < 0 || ix < 0 || iy as usize >= g.h || ix as usize >= g.w {
+                    continue;
+                }
+                f(
+                    (ci * g.k + ky) * g.k + kx,
+                    (ci * g.h + iy as usize) * g.w + ix as usize,
+                );
+            }
+        }
+    }
+}
+
+/// Per-window offsets: `127·Σw` restricted to filter positions that land
+/// inside the (unpadded) input — padding positions never carry the `+127`
+/// quantization offset.
+fn conv_window_offsets(filters: &BitMatrix, g: &ConvGeom) -> Vec<Vec<i64>> {
+    let mut out = Vec::with_capacity(g.oh * g.ow);
+    for oy in 0..g.oh {
+        for ox in 0..g.ow {
+            let mut sums = vec![0i64; filters.rows()];
+            for_each_valid_pos(g, oy, ox, |fi, _| {
+                for (f, sum) in sums.iter_mut().enumerate() {
+                    *sum += if filters.get(f, fi) == Some(true) {
+                        1
+                    } else {
+                        -1
+                    };
+                }
+            });
+            out.push(sums.into_iter().map(|s| 127 * s).collect());
+        }
+    }
+    out
+}
+
+/// Extracts one offset-unsigned conv window: valid positions read
+/// `q + 127`, padding stays 0 (matching the simulator's `Window`
+/// instruction over the offset input register).
+fn extract_window(q: &[i16], g: &ConvGeom, oy: usize, ox: usize) -> Vec<i32> {
+    let mut v = vec![0i32; g.c * g.k * g.k];
+    for_each_valid_pos(g, oy, ox, |fi, ii| {
+        v[fi] = i32::from(q[ii]) + 127;
+    });
+    v
+}
+
+fn conv_geom(
+    input: Shape,
+    in_channels: usize,
+    k: usize,
+    stride: usize,
+    pad: usize,
+) -> Result<ConvGeom, EbError> {
+    match input {
+        Shape::Img(c, h, w) if c == in_channels => {
+            let (oh, ow) = conv_output_dims(h, w, k, stride, pad);
+            Ok(ConvGeom {
+                c,
+                h,
+                w,
+                k,
+                stride,
+                pad,
+                oh,
+                ow,
+            })
+        }
+        other => Err(EbError::Config(format!(
+            "conv layer expects a {in_channels}-channel image, got shape {other}"
+        ))),
+    }
+}
+
+fn expect_input(st: &AnalogAct) -> Result<(), EbError> {
+    match st {
+        AnalogAct::Input => Ok(()),
+        _ => Err(EbError::Config(
+            "fixed-point layer used after the first layer".into(),
+        )),
+    }
+}
+
+fn expect_bin(st: &AnalogAct) -> Result<&BitVec, EbError> {
+    match st {
+        AnalogAct::Bin(x) => Ok(x),
+        _ => Err(EbError::Config(
+            "binary dense/output layer fed a non-flat activation".into(),
+        )),
+    }
+}
+
+fn expect_map(st: &AnalogAct) -> Result<&BitTensor, EbError> {
+    match st {
+        AnalogAct::Map(t) => Ok(t),
+        _ => Err(EbError::Config(
+            "spatial layer fed a non-image activation".into(),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eb_bitnn::{BinConv, BinLinear, FixedConv, FixedLinear, OutputLinear};
+    use rand::Rng;
+
+    fn mlp(seed: u64) -> Bnn {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Bnn::new(
+            "mlp",
+            Shape::Flat(30),
+            vec![
+                Layer::FixedLinear(FixedLinear::random("in", 30, 20, &mut rng)),
+                Layer::BinLinear(BinLinear::random("h1", 20, 16, &mut rng)),
+                Layer::Output(OutputLinear::random("out", 16, 4, &mut rng)),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn cnn(seed: u64) -> Bnn {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Bnn::new(
+            "cnn",
+            Shape::Img(2, 8, 8),
+            vec![
+                Layer::FixedConv(FixedConv::random("c1", 2, 4, 3, 1, 1, &mut rng)),
+                Layer::MaxPool2,
+                Layer::BinConv(BinConv::random("c2", 4, 5, 3, 1, 0, &mut rng)),
+                Layer::Flatten,
+                Layer::BinLinear(BinLinear::random("fc", 5 * 2 * 2, 12, &mut rng)),
+                Layer::Output(OutputLinear::random("out", 12, 3, &mut rng)),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn inputs(shape: Shape, n: usize) -> Vec<Tensor> {
+        let dims: Vec<usize> = match shape {
+            Shape::Flat(m) => vec![m],
+            Shape::Img(c, h, w) => vec![c, h, w],
+        };
+        (0..n)
+            .map(|s| Tensor::from_fn(&dims, |i| ((i * 3 + s * 7) as f32 * 0.17).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn epcm_session_bit_exact_on_mlp_and_cnn() {
+        for net in [mlp(5), cnn(6)] {
+            let mut session = EpcmBackend::default()
+                .prepare(&net, &SessionOpts::default())
+                .unwrap();
+            for x in &inputs(net.input_shape(), 3) {
+                assert_eq!(
+                    session.infer(x).unwrap(),
+                    net.forward(x).unwrap(),
+                    "{}",
+                    net.name()
+                );
+            }
+            assert!(session.stats().crossbar_steps > 0);
+            assert_eq!(session.stats().wdm_lanes, 0);
+        }
+    }
+
+    #[test]
+    fn photonic_session_bit_exact_and_packs_lanes() {
+        for net in [mlp(7), cnn(8)] {
+            let mut session = PhotonicBackend::default()
+                .prepare(&net, &SessionOpts::default())
+                .unwrap();
+            let xs = inputs(net.input_shape(), 4);
+            let batch = session.infer_batch(&xs).unwrap();
+            for (x, got) in xs.iter().zip(&batch) {
+                assert_eq!(*got, net.forward(x).unwrap(), "{}", net.name());
+            }
+            let stats = session.stats();
+            assert!(stats.wdm_lanes > stats.crossbar_steps, "WDM should pack");
+        }
+    }
+
+    #[test]
+    fn batched_equals_single_noiseless() {
+        let net = cnn(9);
+        let opts = SessionOpts::default();
+        let backend = EpcmBackend::default();
+        let mut batched = backend.prepare(&net, &opts).unwrap();
+        let mut single = backend.prepare(&net, &opts).unwrap();
+        let xs = inputs(net.input_shape(), 5);
+        let batch = batched.infer_batch(&xs).unwrap();
+        for (x, got) in xs.iter().zip(&batch) {
+            assert_eq!(*got, single.infer(x).unwrap());
+        }
+    }
+
+    #[test]
+    fn noisy_epcm_is_seed_deterministic() {
+        let net = mlp(11);
+        let backend = EpcmBackend::default();
+        let xs = inputs(net.input_shape(), 3);
+        let run = |seed: u64| {
+            let opts = SessionOpts {
+                noise: crate::session::NoiseConfig {
+                    seed,
+                    profile: NoiseProfile::Noisy,
+                },
+            };
+            backend
+                .prepare(&net, &opts)
+                .unwrap()
+                .infer_batch(&xs)
+                .unwrap()
+        };
+        // Same seed ⇒ identical noisy outputs across two fresh sessions.
+        let reference = run(42);
+        assert_eq!(reference, run(42));
+        // And the noise actually depends on the seed: some nearby seed
+        // (almost surely) perturbs at least one logit.
+        assert!(
+            (43..48).any(|seed| run(seed) != reference),
+            "device noise should depend on the seed"
+        );
+    }
+
+    #[test]
+    fn wrong_input_shape_is_a_config_error() {
+        let net = mlp(13);
+        let mut session = EpcmBackend::default()
+            .prepare(&net, &SessionOpts::default())
+            .unwrap();
+        let err = session.infer(&Tensor::zeros(&[31])).unwrap_err();
+        assert!(matches!(err, EbError::Config(_)));
+    }
+
+    #[test]
+    fn layer_seeds_are_distinct() {
+        let mut rng = StdRng::seed_from_u64(layer_seed(0, 0));
+        let _: u64 = rng.gen();
+        assert_ne!(layer_seed(1, 0), layer_seed(1, 1));
+        assert_ne!(layer_seed(1, 0), layer_seed(2, 0));
+    }
+}

@@ -1,0 +1,245 @@
+//! The discoverable entry point: `Runtime::builder().backend(kind)`.
+
+use crate::analog::{EpcmBackend, PhotonicBackend};
+use crate::error::EbError;
+use crate::session::{Backend, NoiseConfig, NoiseProfile, Session, SessionOpts};
+use crate::simulator::SimulatorBackend;
+use crate::software::SoftwareBackend;
+use eb_bitnn::Bnn;
+use std::fmt;
+
+/// The built-in substrates, selectable by configuration.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+#[non_exhaustive]
+pub enum BackendKind {
+    /// Software golden reference (word-level XNOR-GEMM kernels).
+    Software,
+    /// TacitMap on simulated 1T1R ePCM crossbars (analog VMM).
+    Epcm,
+    /// TacitMap on simulated oPCM crossbars with WDM MMM.
+    Photonic,
+    /// The compiled instruction-level accelerator simulator.
+    Simulator,
+}
+
+impl BackendKind {
+    /// Every built-in backend, in software → simulator order.
+    pub fn all() -> [Self; 4] {
+        [Self::Software, Self::Epcm, Self::Photonic, Self::Simulator]
+    }
+
+    /// Stable display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Self::Software => "software",
+            Self::Epcm => "epcm",
+            Self::Photonic => "photonic",
+            Self::Simulator => "simulator",
+        }
+    }
+
+    /// Instantiates the backend with its paper-class default
+    /// configuration.
+    fn instantiate(&self) -> Box<dyn Backend> {
+        match self {
+            Self::Software => Box::new(SoftwareBackend),
+            Self::Epcm => Box::<EpcmBackend>::default(),
+            Self::Photonic => Box::<PhotonicBackend>::default(),
+            Self::Simulator => Box::<SimulatorBackend>::default(),
+        }
+    }
+}
+
+impl fmt::Display for BackendKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// A configured runtime: one backend plus the session options it prepares
+/// with. Compile once with [`Runtime::prepare`], then serve many
+/// inferences through the returned [`Session`].
+///
+/// # Examples
+///
+/// ```
+/// use eb_runtime::{BackendKind, Runtime};
+/// use eb_bitnn::{BinLinear, Bnn, FixedLinear, Layer, OutputLinear, Shape, Tensor};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(1);
+/// let net = Bnn::new(
+///     "demo",
+///     Shape::Flat(12),
+///     vec![
+///         Layer::FixedLinear(FixedLinear::random("in", 12, 8, &mut rng)),
+///         Layer::BinLinear(BinLinear::random("h", 8, 8, &mut rng)),
+///         Layer::Output(OutputLinear::random("out", 8, 3, &mut rng)),
+///     ],
+/// )?;
+/// let x = Tensor::from_fn(&[12], |i| (i as f32 * 0.3).sin());
+/// let want = net.forward(&x)?;
+/// for kind in BackendKind::all() {
+///     let mut session = Runtime::builder().backend(kind).prepare(&net)?;
+///     assert_eq!(session.infer(&x)?, want, "{kind}");
+/// }
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Runtime {
+    backend: Box<dyn Backend>,
+    opts: SessionOpts,
+}
+
+impl fmt::Debug for Runtime {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Runtime")
+            .field("backend", &self.backend.name())
+            .field("opts", &self.opts)
+            .finish()
+    }
+}
+
+impl Runtime {
+    /// Starts configuring a runtime (defaults: software backend, ideal
+    /// noise, seed 0).
+    pub fn builder() -> RuntimeBuilder {
+        RuntimeBuilder::default()
+    }
+
+    /// Prepares a serving session for `net` on the configured backend.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError`] when the backend cannot host the network.
+    pub fn prepare(&self, net: &Bnn) -> Result<Box<dyn Session>, EbError> {
+        self.backend.prepare(net, &self.opts)
+    }
+
+    /// Name of the configured backend.
+    pub fn backend_name(&self) -> &'static str {
+        self.backend.name()
+    }
+
+    /// The session options every `prepare` call applies.
+    pub fn opts(&self) -> &SessionOpts {
+        &self.opts
+    }
+}
+
+/// Builder for [`Runtime`].
+pub struct RuntimeBuilder {
+    kind: BackendKind,
+    custom: Option<Box<dyn Backend>>,
+    opts: SessionOpts,
+}
+
+impl fmt::Debug for RuntimeBuilder {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("RuntimeBuilder")
+            .field("kind", &self.kind)
+            .field("custom", &self.custom.as_ref().map(|b| b.name()))
+            .field("opts", &self.opts)
+            .finish()
+    }
+}
+
+impl Default for RuntimeBuilder {
+    fn default() -> Self {
+        Self {
+            kind: BackendKind::Software,
+            custom: None,
+            opts: SessionOpts::default(),
+        }
+    }
+}
+
+impl RuntimeBuilder {
+    /// Selects a built-in backend (with its default configuration).
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.kind = kind;
+        self.custom = None;
+        self
+    }
+
+    /// Installs a custom (or non-default-configured) backend instance,
+    /// e.g. [`SimulatorBackend::new`] over a specific [`eb_core::Design`]
+    /// or an [`EpcmBackend::new`] with explicit crossbar geometry.
+    pub fn backend_impl(mut self, backend: Box<dyn Backend>) -> Self {
+        self.custom = Some(backend);
+        self
+    }
+
+    /// Sets the RNG seed sessions own (defaults to 0).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.opts.noise.seed = seed;
+        self
+    }
+
+    /// Sets the noise profile (defaults to [`NoiseProfile::Ideal`]).
+    pub fn noise_profile(mut self, profile: NoiseProfile) -> Self {
+        self.opts.noise.profile = profile;
+        self
+    }
+
+    /// Replaces the full noise configuration.
+    pub fn noise(mut self, noise: NoiseConfig) -> Self {
+        self.opts.noise = noise;
+        self
+    }
+
+    /// Replaces all session options.
+    pub fn opts(mut self, opts: SessionOpts) -> Self {
+        self.opts = opts;
+        self
+    }
+
+    /// Finalizes the runtime.
+    pub fn build(self) -> Runtime {
+        let backend = self.custom.unwrap_or_else(|| self.kind.instantiate());
+        Runtime {
+            backend,
+            opts: self.opts,
+        }
+    }
+
+    /// Convenience: builds the runtime and immediately prepares a session
+    /// for `net`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError`] when the backend cannot host the network.
+    pub fn prepare(self, net: &Bnn) -> Result<Box<dyn Session>, EbError> {
+        self.build().prepare(net)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eb_core::Design;
+
+    #[test]
+    fn builder_selects_backends_and_options() {
+        let rt = Runtime::builder()
+            .backend(BackendKind::Photonic)
+            .seed(7)
+            .noise_profile(NoiseProfile::Noisy)
+            .build();
+        assert_eq!(rt.backend_name(), "photonic");
+        assert_eq!(rt.opts().noise.seed, 7);
+        assert_eq!(rt.opts().noise.profile, NoiseProfile::Noisy);
+        assert!(format!("{rt:?}").contains("photonic"));
+
+        let custom = Runtime::builder()
+            .backend_impl(Box::new(SimulatorBackend::new(Design::tacitmap_epcm())))
+            .build();
+        assert_eq!(custom.backend_name(), "simulator");
+    }
+
+    #[test]
+    fn kinds_have_distinct_names() {
+        let names: Vec<&str> = BackendKind::all().iter().map(|k| k.name()).collect();
+        assert_eq!(names, vec!["software", "epcm", "photonic", "simulator"]);
+        assert_eq!(BackendKind::Epcm.to_string(), "epcm");
+    }
+}

@@ -1,0 +1,157 @@
+//! The unified runtime error type.
+//!
+//! Every substrate crate keeps its own precise error enum; the runtime
+//! wraps them all in [`EbError`] so `Backend`/`Session` signatures return
+//! one type, with [`std::error::Error::source`] chaining back to the
+//! crate-local error underneath.
+
+use eb_bitnn::BitnnError;
+use eb_core::{CompileError, OpticalMapError, SimError};
+use eb_mapping::MappingError;
+use eb_photonics::PhotonicsError;
+use eb_xbar::XbarError;
+use std::error::Error;
+use std::fmt;
+
+/// Any error a runtime backend or session can produce.
+///
+/// # Examples
+///
+/// ```
+/// use eb_runtime::EbError;
+/// use eb_mapping::MappingError;
+/// use std::error::Error;
+///
+/// let e = EbError::from(MappingError::EmptyWeights);
+/// assert!(e.source().is_some()); // chains to the MappingError
+/// ```
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum EbError {
+    /// Software reference (layer shape/kind) error.
+    Bitnn(BitnnError),
+    /// Electronic crossbar mapping error.
+    Mapping(MappingError),
+    /// Raw crossbar array/periphery error.
+    Xbar(XbarError),
+    /// Photonic component error.
+    Photonics(PhotonicsError),
+    /// Optical TacitMap error.
+    Optical(OpticalMapError),
+    /// Accelerator compiler error.
+    Compile(CompileError),
+    /// Instruction-level simulator error.
+    Sim(SimError),
+    /// A session was configured or driven inconsistently (e.g. a network
+    /// topology the substrate cannot host).
+    Config(String),
+}
+
+impl fmt::Display for EbError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Bitnn(e) => write!(f, "software reference error: {e}"),
+            Self::Mapping(e) => write!(f, "crossbar mapping error: {e}"),
+            Self::Xbar(e) => write!(f, "crossbar error: {e}"),
+            Self::Photonics(e) => write!(f, "photonics error: {e}"),
+            Self::Optical(e) => write!(f, "optical mapping error: {e}"),
+            Self::Compile(e) => write!(f, "compile error: {e}"),
+            Self::Sim(e) => write!(f, "simulation error: {e}"),
+            Self::Config(msg) => write!(f, "runtime configuration error: {msg}"),
+        }
+    }
+}
+
+impl Error for EbError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Bitnn(e) => Some(e),
+            Self::Mapping(e) => Some(e),
+            Self::Xbar(e) => Some(e),
+            Self::Photonics(e) => Some(e),
+            Self::Optical(e) => Some(e),
+            Self::Compile(e) => Some(e),
+            Self::Sim(e) => Some(e),
+            Self::Config(_) => None,
+        }
+    }
+}
+
+impl From<BitnnError> for EbError {
+    fn from(e: BitnnError) -> Self {
+        Self::Bitnn(e)
+    }
+}
+
+impl From<MappingError> for EbError {
+    fn from(e: MappingError) -> Self {
+        Self::Mapping(e)
+    }
+}
+
+impl From<XbarError> for EbError {
+    fn from(e: XbarError) -> Self {
+        Self::Xbar(e)
+    }
+}
+
+impl From<PhotonicsError> for EbError {
+    fn from(e: PhotonicsError) -> Self {
+        Self::Photonics(e)
+    }
+}
+
+impl From<OpticalMapError> for EbError {
+    fn from(e: OpticalMapError) -> Self {
+        Self::Optical(e)
+    }
+}
+
+impl From<CompileError> for EbError {
+    fn from(e: CompileError) -> Self {
+        Self::Compile(e)
+    }
+}
+
+impl From<SimError> for EbError {
+    fn from(e: SimError) -> Self {
+        Self::Sim(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sources_chain_to_crate_errors() {
+        let cases: Vec<EbError> = vec![
+            BitnnError::InvalidNetwork("x".into()).into(),
+            MappingError::EmptyWeights.into(),
+            XbarError::DimensionMismatch {
+                what: "row drive",
+                expected: 1,
+                got: 2,
+            }
+            .into(),
+            PhotonicsError::WdmOverCapacity {
+                requested: 17,
+                capacity: 16,
+            }
+            .into(),
+            OpticalMapError::from(MappingError::EmptyWeights).into(),
+            SimError::NoHalt.into(),
+        ];
+        for e in &cases {
+            assert!(e.source().is_some(), "{e} should chain");
+            assert!(!e.to_string().is_empty());
+        }
+        assert!(EbError::Config("bad".into()).source().is_none());
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn check<E: Error + Send + Sync>() {}
+        check::<EbError>();
+    }
+}

@@ -1,0 +1,124 @@
+//! The `Backend`/`Session` contract: compile once, serve many.
+//!
+//! A [`Backend`] knows how to *prepare* a trained [`Bnn`] for a
+//! substrate — programming crossbars, compiling instruction streams,
+//! seeding RNGs — and hands back a [`Session`]: a long-lived, mutable
+//! serving object whose `infer`/`infer_batch` calls never re-do that
+//! setup work. All backends speak the same tensor-in/tensor-out types
+//! and the same [`EbError`], so callers switch substrates by
+//! configuration alone.
+
+use crate::error::EbError;
+use eb_bitnn::{Bnn, Tensor};
+
+/// How much noise a prepared session injects.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
+pub enum NoiseProfile {
+    /// Ideal devices and periphery: analog sessions are bit-exact against
+    /// the software reference.
+    #[default]
+    Ideal,
+    /// Representative device noise: ePCM programming/read variability on
+    /// the electronic substrate, shot/thermal/RIN receiver noise on the
+    /// photonic one. The software and simulator backends are unaffected
+    /// (the simulator's designs model ideal devices).
+    Noisy,
+}
+
+/// Noise ownership configuration: the session owns a [`rand::rngs::StdRng`]
+/// seeded from `seed`, so identically configured sessions replay identical
+/// (noisy) outputs — callers never thread `&mut impl Rng` through serving
+/// calls.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct NoiseConfig {
+    /// Seed for the session-owned RNG (programming and read noise draws).
+    pub seed: u64,
+    /// Noise intensity profile.
+    pub profile: NoiseProfile,
+}
+
+/// Options applied when preparing a session.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SessionOpts {
+    /// RNG ownership + noise profile.
+    pub noise: NoiseConfig,
+}
+
+/// Counters a session accumulates while serving, for the substrates that
+/// provide them: the software backend reports only `inferences`; the
+/// analog backends add crossbar step and WDM lane counts; the simulator
+/// additionally models latency and energy.
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
+pub struct SessionStats {
+    /// Inferences served.
+    pub inferences: u64,
+    /// Crossbar activations (a WDM MMM counts once).
+    pub crossbar_steps: u64,
+    /// WDM lanes carried across all optical activations.
+    pub wdm_lanes: u64,
+    /// Modeled latency in nanoseconds (0 when the substrate has no
+    /// latency model).
+    pub latency_ns: f64,
+    /// Modeled energy in joules (0 when the substrate has no energy
+    /// model).
+    pub energy_j: f64,
+}
+
+/// A substrate that can prepare serving sessions for trained networks.
+pub trait Backend: Send + Sync {
+    /// Human-readable backend name (stable across calls).
+    fn name(&self) -> &'static str;
+
+    /// Compiles/maps `net` for this substrate and returns a ready-to-serve
+    /// session.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError`] when the network cannot be hosted (mapping,
+    /// compile, or configuration failures).
+    fn prepare(&self, net: &Bnn, opts: &SessionOpts) -> Result<Box<dyn Session>, EbError>;
+}
+
+/// A prepared, stateful serving handle: weights are already programmed /
+/// compiled; every call is pure execution.
+pub trait Session: Send {
+    /// Name of the backend that prepared this session.
+    fn backend_name(&self) -> &'static str;
+
+    /// Runs one inference, returning the logits.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError`] on input-shape mismatch or substrate execution
+    /// failures.
+    fn infer(&mut self, x: &Tensor) -> Result<Tensor, EbError>;
+
+    /// Runs a batch of inferences. The default implementation loops
+    /// [`Session::infer`]; backends with a genuinely batched substrate
+    /// path (rayon fan-out, batched analog VMM, WDM lane packing)
+    /// override it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError`] if any sample fails; no partial results are
+    /// returned.
+    fn infer_batch(&mut self, xs: &[Tensor]) -> Result<Vec<Tensor>, EbError> {
+        xs.iter().map(|x| self.infer(x)).collect()
+    }
+
+    /// Counters accumulated so far.
+    fn stats(&self) -> SessionStats;
+}
+
+/// Predicted class for one input: argmax of [`Session::infer`] logits.
+///
+/// Provided as a free function so it works through `Box<dyn Session>`.
+///
+/// # Errors
+///
+/// Propagates [`Session::infer`] errors.
+pub fn predict(session: &mut dyn Session, x: &Tensor) -> Result<usize, EbError> {
+    let logits = session.infer(x)?;
+    Ok(eb_bitnn::ops::argmax(logits.as_slice()).unwrap_or(0))
+}

@@ -1,0 +1,119 @@
+//! The instruction-level simulator backend: compiles a [`Design`] once
+//! into a reusable [`Machine`] and serves every inference through the
+//! compiled program, accumulating the design's modeled latency/energy.
+
+use crate::error::EbError;
+use crate::session::{Backend, Session, SessionOpts, SessionStats};
+use eb_bitnn::{Bnn, Tensor};
+use eb_core::{compile, Design, Machine};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Serves inference through the EinsteinBarrier accelerator simulator:
+/// `prepare` runs the compiler exactly once (mapping every layer onto the
+/// design's crossbars and emitting the instruction stream); the session
+/// then replays the program per input on a [`Machine`] that owns the
+/// compiled network and its seeded RNG.
+#[derive(Debug, Clone)]
+pub struct SimulatorBackend {
+    design: Design,
+}
+
+impl SimulatorBackend {
+    /// A backend simulating an explicit design.
+    pub fn new(design: Design) -> Self {
+        Self { design }
+    }
+
+    /// The design sessions are compiled for.
+    pub fn design(&self) -> &Design {
+        &self.design
+    }
+}
+
+impl Default for SimulatorBackend {
+    /// Simulates the full EinsteinBarrier design (TacitMap on oPCM with
+    /// WDM `K = 16`).
+    fn default() -> Self {
+        Self::new(Design::einstein_barrier())
+    }
+}
+
+impl Backend for SimulatorBackend {
+    fn name(&self) -> &'static str {
+        "simulator"
+    }
+
+    fn prepare(&self, net: &Bnn, opts: &SessionOpts) -> Result<Box<dyn Session>, EbError> {
+        let mut rng = StdRng::seed_from_u64(opts.noise.seed);
+        let compiled = compile(&self.design, net, &mut rng)?;
+        Ok(Box::new(SimulatorSession {
+            machine: Machine::new(compiled, &self.design, rng),
+            inferences: 0,
+        }))
+    }
+}
+
+/// A compiled-once serving session over the instruction-level simulator.
+#[derive(Debug)]
+struct SimulatorSession {
+    machine: Machine<StdRng>,
+    inferences: u64,
+}
+
+impl Session for SimulatorSession {
+    fn backend_name(&self) -> &'static str {
+        "simulator"
+    }
+
+    fn infer(&mut self, x: &Tensor) -> Result<Tensor, EbError> {
+        let logits = self.machine.run(x)?;
+        self.inferences += 1;
+        Ok(logits)
+    }
+
+    fn stats(&self) -> SessionStats {
+        let sim = self.machine.stats();
+        SessionStats {
+            inferences: self.inferences,
+            crossbar_steps: sim.crossbar_steps,
+            wdm_lanes: sim.wdm_lanes,
+            latency_ns: sim.latency_ns,
+            energy_j: sim.energy_j,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eb_bitnn::{BinLinear, FixedLinear, Layer, OutputLinear, Shape};
+
+    #[test]
+    fn simulator_session_compiles_once_and_matches_reference() {
+        let mut rng = StdRng::seed_from_u64(17);
+        let net = Bnn::new(
+            "sim",
+            Shape::Flat(24),
+            vec![
+                Layer::FixedLinear(FixedLinear::random("in", 24, 12, &mut rng)),
+                Layer::BinLinear(BinLinear::random("h", 12, 10, &mut rng)),
+                Layer::Output(OutputLinear::random("out", 10, 4, &mut rng)),
+            ],
+        )
+        .unwrap();
+        for design in [Design::tacitmap_epcm(), Design::einstein_barrier()] {
+            let mut session = SimulatorBackend::new(design)
+                .prepare(&net, &SessionOpts::default())
+                .unwrap();
+            for s in 0..4u64 {
+                let x = Tensor::from_fn(&[24], |i| ((i as f32 + s as f32) * 0.29).cos());
+                assert_eq!(session.infer(&x).unwrap(), net.forward(&x).unwrap());
+            }
+            let stats = session.stats();
+            assert_eq!(stats.inferences, 4);
+            assert!(stats.crossbar_steps > 0);
+            assert!(stats.latency_ns > 0.0 && stats.energy_j > 0.0);
+        }
+    }
+}

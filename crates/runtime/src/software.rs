@@ -1,0 +1,103 @@
+//! The software golden-reference backend: word-level XNOR-GEMM kernels
+//! with per-worker scratch reuse.
+
+use crate::error::EbError;
+use crate::session::{Backend, Session, SessionOpts, SessionStats};
+use eb_bitnn::{Bnn, ForwardScratch, Tensor};
+
+/// Serves inference through the `eb-bitnn` software kernels — the golden
+/// model every analog backend is measured against.
+///
+/// `prepare` validates nothing beyond the network itself (the software
+/// path hosts any valid [`Bnn`]); sessions reuse one [`ForwardScratch`]
+/// across single inferences and the rayon batch path (one scratch per
+/// worker) for `infer_batch`.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct SoftwareBackend;
+
+impl Backend for SoftwareBackend {
+    fn name(&self) -> &'static str {
+        "software"
+    }
+
+    fn prepare(&self, net: &Bnn, _opts: &SessionOpts) -> Result<Box<dyn Session>, EbError> {
+        Ok(Box::new(SoftwareSession {
+            net: net.clone(),
+            scratch: ForwardScratch::new(),
+            inferences: 0,
+        }))
+    }
+}
+
+/// A prepared software serving session.
+#[derive(Debug, Clone)]
+struct SoftwareSession {
+    net: Bnn,
+    scratch: ForwardScratch,
+    inferences: u64,
+}
+
+impl Session for SoftwareSession {
+    fn backend_name(&self) -> &'static str {
+        "software"
+    }
+
+    fn infer(&mut self, x: &Tensor) -> Result<Tensor, EbError> {
+        let logits = self.net.forward_with(x, &mut self.scratch)?;
+        self.inferences += 1;
+        Ok(logits)
+    }
+
+    fn infer_batch(&mut self, xs: &[Tensor]) -> Result<Vec<Tensor>, EbError> {
+        // The one parallel batching implementation: rayon fan-out with a
+        // per-worker scratch, shared with `Bnn::predict_batch`/`accuracy`.
+        let out = self.net.forward_batch(xs)?;
+        self.inferences += xs.len() as u64;
+        Ok(out)
+    }
+
+    fn stats(&self) -> SessionStats {
+        SessionStats {
+            inferences: self.inferences,
+            ..SessionStats::default()
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eb_bitnn::{BinLinear, FixedLinear, Layer, OutputLinear, Shape};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn software_session_matches_direct_forward() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let net = Bnn::new(
+            "t",
+            Shape::Flat(10),
+            vec![
+                Layer::FixedLinear(FixedLinear::random("in", 10, 8, &mut rng)),
+                Layer::BinLinear(BinLinear::random("h", 8, 8, &mut rng)),
+                Layer::Output(OutputLinear::random("out", 8, 4, &mut rng)),
+            ],
+        )
+        .unwrap();
+        let mut session = SoftwareBackend
+            .prepare(&net, &SessionOpts::default())
+            .unwrap();
+        let xs: Vec<Tensor> = (0..5)
+            .map(|s| Tensor::from_fn(&[10], |i| ((i + s) as f32 * 0.3).sin()))
+            .collect();
+        for x in &xs {
+            assert_eq!(session.infer(x).unwrap(), net.forward(x).unwrap());
+        }
+        let batch = session.infer_batch(&xs).unwrap();
+        for (x, got) in xs.iter().zip(&batch) {
+            assert_eq!(*got, net.forward(x).unwrap());
+        }
+        assert_eq!(session.stats().inferences, 10);
+        assert_eq!(session.stats().crossbar_steps, 0);
+    }
+}

@@ -38,7 +38,8 @@ impl Default for XbarTimings {
 }
 
 /// Energy constants. Units are chosen per field to keep numbers readable;
-/// [`XbarEnergies::total_joules`] helpers normalize to joules.
+/// the [`XbarEnergies::vmm_step_joules`]-family helpers normalize to
+/// joules.
 #[derive(Debug, Clone, PartialEq)]
 pub struct XbarEnergies {
     /// One ADC conversion (pJ) — the power-hungry readout TacitMap pays

@@ -390,6 +390,34 @@ mod tests {
     }
 
     #[test]
+    fn noisy_readouts_replay_from_same_seed() {
+        let mut r = rng();
+        let mut array = CrossbarArray::new(48, 6, DeviceParams::noisy());
+        array
+            .program_matrix(
+                &BitMatrix::from_fn(48, 6, |a, b| (a + 2 * b) % 3 == 0),
+                &mut r,
+            )
+            .unwrap();
+        let mut engine = VmmEngine::with_defaults(array);
+        let i_unit = engine.adc().i_unit;
+        engine.set_adc(Adc::new(9, i_unit).with_noise(0.9));
+        let inputs: Vec<BitVec> = (0..3)
+            .map(|k| BitVec::from_bools(&(0..48).map(|i| (i + k) % 2 == 0).collect::<Vec<_>>()))
+            .collect();
+        let run = |seed: u64| {
+            let mut seeded = StdRng::seed_from_u64(seed);
+            let e = engine.clone();
+            let mut out = e.vmm_counts_batch(&inputs, &mut seeded).unwrap();
+            out.push(e.vmm_counts(&inputs[0], &mut seeded).unwrap());
+            out.push(e.vmm_counts_cols(&inputs[1], 1, 4, &mut seeded).unwrap());
+            out
+        };
+        assert_eq!(run(99), run(99));
+        assert_ne!(run(99), run(100));
+    }
+
+    #[test]
     fn noisy_adc_degrades_gracefully() {
         let bits = BitMatrix::from_fn(64, 1, |r, _| r % 2 == 0);
         let mut engine = engine_from_bits(&bits);

@@ -1,16 +1,16 @@
 //! MNIST-class workflow: train a BinaryConnect MLP on the synthetic
-//! MNIST stand-in, export it to an integer-exact BNN, and run inference
-//! through the *simulated hardware* — the compiled instruction stream
-//! executing on analog TacitMap-ePCM crossbars and on optical
-//! EinsteinBarrier crossbars — verifying bit-exact agreement with the
-//! software reference.
+//! MNIST stand-in, export it to an integer-exact BNN, and serve it
+//! through the unified runtime on every hardware substrate — the direct
+//! analog TacitMap-ePCM crossbars, the photonic WDM crossbars, and the
+//! compiled instruction stream on the accelerator simulator — verifying
+//! bit-exact agreement with the software reference session.
 //!
 //! Run with `cargo run --release --example mnist_mlp`.
 
-use eb_bitnn::{Dataset, DatasetKind, MlpTrainer, TrainConfig};
-use eb_core::{simulate_inference, Design};
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use einstein_barrier::bitnn::{Dataset, DatasetKind, MlpTrainer, TrainConfig};
+use einstein_barrier::core::Design;
+use einstein_barrier::runtime::SimulatorBackend;
+use einstein_barrier::{BackendKind, Runtime};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Synthetic MNIST (see DESIGN.md: the mappings do not affect accuracy;
@@ -43,29 +43,63 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let test_acc = net.accuracy(test)?;
     println!("exported BNN accuracy: train {train_acc:.2}, test {test_acc:.2} (chance = 0.10)");
 
-    // Run the first test samples through both simulated designs.
-    let mut rng = StdRng::seed_from_u64(5);
-    for (name, design) in [
-        ("TacitMap-ePCM", Design::tacitmap_epcm()),
-        ("EinsteinBarrier", Design::einstein_barrier()),
-    ] {
-        let mut agree = 0usize;
-        let mut stats_sum = 0u64;
-        let n = test.len().min(10);
-        for (x, _) in &test[..n] {
-            let want = net.forward(x)?;
-            let (got, stats) = simulate_inference(&design, &net, x, &mut rng)?;
-            if got == want {
-                agree += 1;
-            }
-            stats_sum += stats.crossbar_steps;
-        }
+    // The golden reference session the hardware substrates are compared
+    // against.
+    let requests: Vec<_> = test.iter().take(10).map(|(x, _)| x.clone()).collect();
+    let mut golden = Runtime::builder()
+        .backend(BackendKind::Software)
+        .prepare(&net)?;
+    let want = golden.infer_batch(&requests)?;
+
+    // Serve through every hardware substrate: the direct analog backends
+    // plus the compiled simulator on both evaluated designs. Each backend
+    // prepares (programs/compiles) once, then serves the request stream.
+    let hardware: Vec<(&str, Runtime)> = vec![
+        (
+            "TacitMap-ePCM (direct analog VMM)",
+            Runtime::builder()
+                .backend(BackendKind::Epcm)
+                .seed(5)
+                .build(),
+        ),
+        (
+            "EinsteinBarrier (direct photonic WDM)",
+            Runtime::builder()
+                .backend(BackendKind::Photonic)
+                .seed(5)
+                .build(),
+        ),
+        (
+            "TacitMap-ePCM (compiled simulator)",
+            Runtime::builder()
+                .backend_impl(Box::new(SimulatorBackend::new(Design::tacitmap_epcm())))
+                .seed(5)
+                .build(),
+        ),
+        (
+            "EinsteinBarrier (compiled simulator)",
+            Runtime::builder()
+                .backend_impl(Box::new(SimulatorBackend::new(Design::einstein_barrier())))
+                .seed(5)
+                .build(),
+        ),
+    ];
+    for (name, runtime) in &hardware {
+        let mut session = runtime.prepare(&net)?;
+        let got = session.infer_batch(&requests)?;
+        let agree = got.iter().zip(&want).filter(|(g, w)| g == w).count();
+        let stats = session.stats();
         println!(
-            "{name}: {agree}/{n} inferences bit-exact vs software; \
+            "{name}: {agree}/{} inferences bit-exact vs software; \
              avg crossbar steps per inference: {:.0}",
-            stats_sum as f64 / n as f64
+            requests.len(),
+            stats.crossbar_steps as f64 / stats.inferences.max(1) as f64
         );
-        assert_eq!(agree, n, "noiseless hardware must match the reference");
+        assert_eq!(
+            agree,
+            requests.len(),
+            "noiseless hardware must match the reference"
+        );
     }
     Ok(())
 }

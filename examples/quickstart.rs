@@ -1,23 +1,20 @@
-//! Quickstart: the paper in five minutes.
+//! Quickstart: the paper in five minutes, through the facade crate only.
 //!
 //! 1. Eq. 1 — the XNOR+popcount identity BNNs run on.
-//! 2. TacitMap — one crossbar activation computes every popcount.
-//! 3. EinsteinBarrier — WDM executes K input vectors per activation.
+//! 2. Train a BinaryConnect MLP on the synthetic MNIST stand-in.
+//! 3. Serve it through `Runtime::builder()` on **all four backends** —
+//!    software golden model, TacitMap-ePCM crossbars, photonic WDM
+//!    crossbars, and the compiled accelerator simulator — and verify
+//!    every substrate is bit-exact in its noiseless configuration.
 //! 4. The headline numbers — Fig. 7/Fig. 8 regenerated.
 //!
 //! Run with `cargo run --release --example quickstart`.
 
-use eb_bitnn::{ops, BitMatrix, BitVec};
-use eb_core::report::{run_fig7, run_fig8};
-use eb_core::OpticalTacitMapped;
-use eb_mapping::{CustBinaryMapped, TacitMapped};
-use eb_xbar::XbarConfig;
-use rand::rngs::StdRng;
-use rand::SeedableRng;
+use einstein_barrier::bitnn::{ops, BitVec, Dataset, DatasetKind, MlpTrainer, TrainConfig};
+use einstein_barrier::core::report::{run_fig7, run_fig8};
+use einstein_barrier::{BackendKind, Runtime};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut rng = StdRng::seed_from_u64(2024);
-
     // ── 1. Eq. 1: In ⊛ W = 2·Popcount(In' ⊙ W') − len ────────────────
     let input = BitVec::from_bipolar(&[1, -1, 1, 1, -1, 1, -1, -1]);
     let weight = BitVec::from_bipolar(&[1, 1, -1, 1, -1, -1, 1, -1]);
@@ -27,40 +24,54 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ops::bipolar_dot(&input, &weight)
     );
 
-    // ── 2. TacitMap vs CustBinaryMap on simulated analog crossbars ───
-    let weights = BitMatrix::from_fn(32, 64, |r, c| (r * 17 + c * 5) % 3 == 0);
-    let cfg = XbarConfig::new(128, 64);
-    let mut tacit = TacitMapped::program(&weights, &cfg, &mut rng)?;
-    let mut cust = CustBinaryMapped::program(&weights, &cfg, &mut rng)?;
-    let x = BitVec::from_bools(&(0..64).map(|i| i % 2 == 0).collect::<Vec<_>>());
-    let reference = ops::binary_linear_popcounts(&x, &weights);
-    assert_eq!(tacit.execute(&x, &mut rng)?, reference);
-    assert_eq!(cust.execute(&x, &mut rng)?, reference);
+    // ── 2. Train a BinaryConnect MLP ──────────────────────────────────
+    let data = Dataset::generate(DatasetKind::Mnist, 120, 7).flattened();
+    let mut trainer = MlpTrainer::new(
+        &[784, 32, 16, 10],
+        TrainConfig {
+            learning_rate: 0.06,
+            epochs: 6,
+            batch_size: 16,
+            seed: 42,
+        },
+    );
+    trainer.fit(&data);
+    let net = trainer.to_bnn("quickstart-mlp")?;
     println!(
-        "TacitMap: {} step for 32 XNOR+popcounts; CustBinaryMap: {} sequential steps",
-        tacit.steps_taken(),
-        cust.steps_taken()
+        "\ntrained {}: accuracy {:.2} (chance 0.10)",
+        net.name(),
+        net.accuracy(&data)?
     );
 
-    // ── 3. EinsteinBarrier: K inputs per optical step via WDM ────────
-    let mut optical = OpticalTacitMapped::program(&weights, 128, 64, 16, &mut rng)?;
-    let inputs: Vec<BitVec> = (0..16)
-        .map(|k| BitVec::from_bools(&(0..64).map(|i| (i * (k + 1)) % 5 < 2).collect::<Vec<_>>()))
-        .collect();
-    let counts = optical.execute_wdm(&inputs, &mut rng)?;
-    for (k, v) in inputs.iter().enumerate() {
-        assert_eq!(counts[k], ops::binary_linear_popcounts(v, &weights));
+    // ── 3. Compile once, serve many — on every substrate ─────────────
+    // One API over all four backends: prepare programs the crossbars /
+    // compiles the instruction stream once; infer_batch then serves the
+    // whole request stream. No substrate crate is imported directly.
+    let requests: Vec<_> = data.iter().take(8).map(|(x, _)| x.clone()).collect();
+    let mut golden = Runtime::builder()
+        .backend(BackendKind::Software)
+        .prepare(&net)?;
+    let want = golden.infer_batch(&requests)?;
+    println!();
+    for kind in BackendKind::all() {
+        let mut session = Runtime::builder().backend(kind).seed(1).prepare(&net)?;
+        let got = session.infer_batch(&requests)?;
+        assert_eq!(got, want, "{kind} must be bit-exact when noiseless");
+        let stats = session.stats();
+        println!(
+            "{kind:>9}: {} inferences bit-exact vs software; \
+             {} crossbar steps, {} WDM lanes",
+            stats.inferences, stats.crossbar_steps, stats.wdm_lanes
+        );
     }
-    println!(
-        "EinsteinBarrier: {} optical step for {} input vectors (all bit-exact)",
-        optical.steps_taken(),
-        inputs.len()
-    );
 
     // ── 4. The six benchmark networks ─────────────────────────────────
     println!();
-    for model in eb_bitnn::BenchModel::all() {
-        println!("{}", eb_bitnn::summary::network_line(&model.build(0)?));
+    for model in einstein_barrier::bitnn::BenchModel::all() {
+        println!(
+            "{}",
+            einstein_barrier::bitnn::summary::network_line(&model.build(0)?)
+        );
     }
 
     // ── 5. The paper's evaluation, regenerated ────────────────────────

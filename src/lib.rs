@@ -10,6 +10,36 @@
 //! * [`mapping`] — TacitMap and CustBinaryMap data mappings.
 //! * [`core`] — the EinsteinBarrier accelerator: ISA, compiler,
 //!   architecture model, simulator, and baselines.
+//! * [`runtime`] — the unified serving layer: compile a network once for
+//!   any substrate, serve many inferences through one
+//!   [`Session`] API.
+//!
+//! The runtime types are also re-exported at the crate root, so serving a
+//! trained network on any substrate needs nothing but the facade:
+//!
+//! ```
+//! use einstein_barrier::bitnn::{BinLinear, Bnn, FixedLinear, Layer, OutputLinear, Shape, Tensor};
+//! use einstein_barrier::{BackendKind, Runtime};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(11);
+//! let net = Bnn::new(
+//!     "facade",
+//!     Shape::Flat(10),
+//!     vec![
+//!         Layer::FixedLinear(FixedLinear::random("in", 10, 8, &mut rng)),
+//!         Layer::BinLinear(BinLinear::random("h", 8, 6, &mut rng)),
+//!         Layer::Output(OutputLinear::random("out", 6, 3, &mut rng)),
+//!     ],
+//! )?;
+//! let x = Tensor::from_fn(&[10], |i| (i as f32 * 0.4).sin());
+//! let want = net.forward(&x)?;
+//! for kind in BackendKind::all() {
+//!     let mut session = Runtime::builder().backend(kind).prepare(&net)?;
+//!     assert_eq!(session.infer(&x)?, want, "{kind}");
+//! }
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
 //!
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory.
@@ -18,4 +48,10 @@ pub use eb_bitnn as bitnn;
 pub use eb_core as core;
 pub use eb_mapping as mapping;
 pub use eb_photonics as photonics;
+pub use eb_runtime as runtime;
 pub use eb_xbar as xbar;
+
+pub use eb_runtime::{
+    predict, Backend, BackendKind, EbError, NoiseConfig, NoiseProfile, Runtime, RuntimeBuilder,
+    Session, SessionOpts, SessionStats,
+};

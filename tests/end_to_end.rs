@@ -44,8 +44,10 @@ fn compiled_machine_is_reusable_across_inputs() {
     let net = trainer.to_bnn("reuse").unwrap();
     let design = Design::tacitmap_epcm();
     let mut rng = StdRng::seed_from_u64(4);
-    let mut compiled = compile(&design, &net, &mut rng).unwrap();
-    let mut machine = Machine::new(&mut compiled, &design, &mut rng);
+    let compiled = compile(&design, &net, &mut rng).unwrap();
+    // The machine owns the compiled program and the RNG: compile once,
+    // serve many inputs.
+    let mut machine = Machine::new(compiled, &design, rng);
     for (x, _) in &data[..6] {
         let want = net.forward(x).unwrap();
         let got = machine.run(x).unwrap();

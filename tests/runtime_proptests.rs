@@ -1,0 +1,121 @@
+//! Property tests of the `Session` trait contract: for arbitrary small
+//! networks and batches, `infer_batch` through a `Box<dyn Session>` must
+//! equal repeated `infer` calls (noiseless configurations), on every
+//! backend whose batching path differs from the default loop.
+
+use einstein_barrier::bitnn::{
+    BinConv, BinLinear, Bnn, FixedConv, FixedLinear, Layer, OutputLinear, Shape, Tensor,
+};
+use einstein_barrier::{BackendKind, Runtime, Session};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn prepare(kind: BackendKind, net: &Bnn, seed: u64) -> Box<dyn Session> {
+    Runtime::builder()
+        .backend(kind)
+        .seed(seed)
+        .prepare(net)
+        .expect("prepare")
+}
+
+fn random_mlp(inputs: usize, hidden: usize, classes: usize, seed: u64) -> Bnn {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Bnn::new(
+        "prop-mlp",
+        Shape::Flat(inputs),
+        vec![
+            Layer::FixedLinear(FixedLinear::random("in", inputs, hidden, &mut rng)),
+            Layer::BinLinear(BinLinear::random("h", hidden, hidden, &mut rng)),
+            Layer::Output(OutputLinear::random("out", hidden, classes, &mut rng)),
+        ],
+    )
+    .expect("valid mlp")
+}
+
+fn random_cnn(side: usize, ch: usize, classes: usize, seed: u64) -> Bnn {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let out_side = side - 2; // 3×3 valid conv
+    Bnn::new(
+        "prop-cnn",
+        Shape::Img(1, side, side),
+        vec![
+            Layer::FixedConv(FixedConv::random("c1", 1, ch, 3, 1, 0, &mut rng)),
+            Layer::BinConv(BinConv::random("c2", ch, ch, 3, 1, 1, &mut rng)),
+            Layer::Flatten,
+            Layer::Output(OutputLinear::random(
+                "out",
+                ch * out_side * out_side,
+                classes,
+                &mut rng,
+            )),
+        ],
+    )
+    .expect("valid cnn")
+}
+
+fn batch_of(shape: Shape, n: usize, seed: u64) -> Vec<Tensor> {
+    let dims: Vec<usize> = match shape {
+        Shape::Flat(m) => vec![m],
+        Shape::Img(c, h, w) => vec![c, h, w],
+    };
+    (0..n)
+        .map(|s| {
+            Tensor::from_fn(&dims, |i| {
+                ((i * 7 + s * 3) as f32 * 0.091 + (seed % 13) as f32).sin()
+            })
+        })
+        .collect()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(12))]
+
+    /// `infer_batch` equals per-sample `infer` through the trait object on
+    /// every backend, for random MLP topologies and batch sizes.
+    #[test]
+    fn infer_batch_equals_infer_mlp(
+        inputs in 4usize..24,
+        hidden in 2usize..14,
+        classes in 2usize..6,
+        batch in 1usize..6,
+        seed in any::<u64>(),
+    ) {
+        let net = random_mlp(inputs, hidden, classes, seed);
+        let xs = batch_of(net.input_shape(), batch, seed);
+        for kind in BackendKind::all() {
+            let mut batched = prepare(kind, &net, seed);
+            let mut single = prepare(kind, &net, seed);
+            let got = batched.infer_batch(&xs).expect("batch");
+            for (x, want) in xs.iter().zip(&got) {
+                prop_assert_eq!(&single.infer(x).expect("single"), want, "{}", kind);
+            }
+        }
+    }
+
+    /// Same contract on conv topologies, where the analog batch path packs
+    /// all windows of all samples into shared activations.
+    #[test]
+    fn infer_batch_equals_infer_cnn(
+        side in 5usize..9,
+        ch in 1usize..4,
+        classes in 2usize..5,
+        batch in 1usize..4,
+        seed in any::<u64>(),
+    ) {
+        let net = random_cnn(side, ch, classes, seed);
+        let xs = batch_of(net.input_shape(), batch, seed);
+        // The simulator compiles per-window programs; keep the prop-space
+        // runtime bounded by exercising the three direct backends here
+        // (the simulator is covered by the MLP case above and the matrix
+        // test).
+        for kind in [BackendKind::Software, BackendKind::Epcm, BackendKind::Photonic] {
+            let mut batched = prepare(kind, &net, seed);
+            let mut single = prepare(kind, &net, seed);
+            let got = batched.infer_batch(&xs).expect("batch");
+            for (x, want) in xs.iter().zip(&got) {
+                prop_assert_eq!(&single.infer(x).expect("single"), want, "{}", kind);
+            }
+        }
+    }
+}
