@@ -1,6 +1,9 @@
 //! Criterion bench for the unified serving runtime: single-request
 //! `Session::infer` loops vs one `Session::infer_batch` call, per
-//! backend.
+//! backend — plus the PR 4 sharded session-pool rows (`serve_pool`
+//! group): the same 32-request stream served through a
+//! 4-replica `ServePool` whose `DynamicBatcher` coalesces the
+//! single-inference submissions into micro-batches.
 //!
 //! The point of the `Backend`/`Session` split is compile-once,
 //! serve-many: every timed iteration here is pure serving against an
@@ -15,8 +18,16 @@
 //! * `simulator` — per-sample instruction replay (no batch path; the
 //!   loop-vs-batch gap is the trait-default overhead, ≈0).
 //!
-//! Before anything is timed, every backend's batch output is asserted
-//! identical to its single-call outputs through the same trait objects.
+//! For the pool rows the interesting ratio is `pool4_xB / single_xB`:
+//! how much of the batch path's advantage the pool recovers for clients
+//! that only ever submit single requests. On a multi-core host the
+//! 4 replicas add wall-clock parallelism on top; on a single-CPU host
+//! (like the recorded baseline's) all of the recovered speedup is
+//! micro-batch coalescing.
+//!
+//! Before anything is timed, every backend's batch output — and the
+//! pool's — is asserted identical to its single-call outputs through the
+//! same trait objects.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use eb_bitnn::{Dataset, DatasetKind, MlpTrainer, Tensor, TrainConfig};
@@ -87,5 +98,50 @@ fn bench_serve_throughput(c: &mut Criterion) {
     group.finish();
 }
 
-criterion_group!(benches, bench_serve_throughput);
+fn bench_pool_throughput(c: &mut Criterion) {
+    let (net, requests) = serve_net();
+
+    let mut group = c.benchmark_group("serve_pool");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_millis(2500));
+
+    // The two headline substrates: software (pure-parallelism story) and
+    // epcm (micro-batching amortizes analog device resolution). The
+    // photonic/simulator pools behave like their batch rows above but at
+    // minutes-long measurement times, so they are left out of the bench.
+    for kind in [BackendKind::Software, BackendKind::Epcm] {
+        let pool = Runtime::builder()
+            .backend(kind)
+            .replicas(4)
+            .max_batch(8)
+            .max_wait(Duration::from_micros(500))
+            .serve(&net)
+            .expect("pool");
+        let handle = pool.handle();
+
+        // Correctness gate: the pool must be bit-exact against a single
+        // session before its timings are trusted.
+        let mut single = Runtime::builder()
+            .backend(kind)
+            .prepare(&net)
+            .expect("prepare");
+        let singles: Vec<Tensor> = requests
+            .iter()
+            .map(|x| single.infer(x).expect("infer"))
+            .collect();
+        assert_eq!(
+            handle.infer_many(&requests).expect("pool serve"),
+            singles,
+            "{kind}: pooled serving must match a single session"
+        );
+
+        group.bench_function(format!("{kind}/pool4_x{BATCH}"), |b| {
+            b.iter(|| black_box(handle.infer_many(&requests).expect("pool serve")))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_serve_throughput, bench_pool_throughput);
 criterion_main!(benches);

@@ -28,6 +28,12 @@ pub enum BitnnError {
     },
     /// A network was built with inconsistent consecutive layers.
     InvalidNetwork(String),
+    /// Inference produced an empty logits vector, so there is no class to
+    /// predict. Returned instead of silently reporting class 0.
+    EmptyLogits {
+        /// Network whose forward pass produced the empty logits.
+        network: String,
+    },
 }
 
 impl fmt::Display for BitnnError {
@@ -50,6 +56,10 @@ impl fmt::Display for BitnnError {
                 "layer `{layer}` expected input of shape {expected} but received {got}"
             ),
             Self::InvalidNetwork(msg) => write!(f, "invalid network: {msg}"),
+            Self::EmptyLogits { network } => write!(
+                f,
+                "network `{network}` produced empty logits; no class to predict"
+            ),
         }
     }
 }

@@ -180,28 +180,38 @@ impl Bnn {
         Ok(nested?.into_iter().flatten().collect())
     }
 
+    /// Argmax of a logits tensor, rejecting the empty case — an empty
+    /// logits vector has no class, and silently predicting class 0 (the
+    /// pre-PR-4 behavior) masked the misconfiguration.
+    fn predicted_class(&self, logits: &Tensor) -> Result<usize, BitnnError> {
+        ops::argmax(logits.as_slice()).ok_or_else(|| BitnnError::EmptyLogits {
+            network: self.name.clone(),
+        })
+    }
+
     /// Batched prediction (argmax of logits per sample), parallelized
     /// across samples with per-worker scratch reuse.
     ///
     /// # Errors
     ///
-    /// Returns a layer shape/kind error if any sample fails.
+    /// Returns a layer shape/kind error if any sample fails, or
+    /// [`BitnnError::EmptyLogits`] if the network produces empty logits.
     pub fn predict_batch(&self, inputs: &[Tensor]) -> Result<Vec<usize>, BitnnError> {
-        Ok(self
-            .forward_batch(inputs)?
+        self.forward_batch(inputs)?
             .into_iter()
-            .map(|logits| ops::argmax(logits.as_slice()).unwrap_or(0))
-            .collect())
+            .map(|logits| self.predicted_class(&logits))
+            .collect()
     }
 
     /// Predicted class (argmax of logits).
     ///
     /// # Errors
     ///
-    /// Propagates layer shape/kind errors.
+    /// Propagates layer shape/kind errors, or returns
+    /// [`BitnnError::EmptyLogits`] if the network produces empty logits.
     pub fn predict(&self, input: &Tensor) -> Result<usize, BitnnError> {
         let logits = self.forward(input)?;
-        Ok(ops::argmax(logits.as_slice()).unwrap_or(0))
+        self.predicted_class(&logits)
     }
 
     /// Classification accuracy over a labelled set (evaluated through the
@@ -222,7 +232,7 @@ impl Bnn {
                 let mut hits = 0usize;
                 for (x, y) in part.iter() {
                     let logits = self.forward_with(x, &mut scratch)?;
-                    hits += usize::from(ops::argmax(logits.as_slice()).unwrap_or(0) == *y);
+                    hits += usize::from(self.predicted_class(&logits)? == *y);
                 }
                 Ok(hits)
             })
@@ -371,6 +381,24 @@ mod tests {
         let inputs = vec![Tensor::zeros(&[12]), Tensor::zeros(&[13])];
         assert!(net.forward_batch(&inputs).is_err());
         assert!(net.predict_batch(&inputs).is_err());
+    }
+
+    #[test]
+    fn empty_logits_error_instead_of_class_zero() {
+        // A zero-layer network echoes its input; with a zero-length input
+        // that is an empty logits vector, which must surface as an error
+        // rather than a silent class-0 prediction.
+        let net = Bnn::new("empty", Shape::Flat(0), vec![]).unwrap();
+        let x = Tensor::zeros(&[0]);
+        assert!(matches!(
+            net.predict(&x).unwrap_err(),
+            BitnnError::EmptyLogits { .. }
+        ));
+        assert!(matches!(
+            net.predict_batch(std::slice::from_ref(&x)).unwrap_err(),
+            BitnnError::EmptyLogits { .. }
+        ));
+        assert!(net.accuracy(&[(x, 0)]).is_err());
     }
 
     #[test]

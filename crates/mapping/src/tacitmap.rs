@@ -131,6 +131,20 @@ impl TacitMapped {
         self.executions
     }
 
+    /// Resolves every subsequent read at drift time `t_ratio = t/t₀`,
+    /// applied uniformly to all crossbars this layer occupies (values
+    /// `≤ 1.0` mean no drift). Whether drift moves any count depends on
+    /// the device model: with [`eb_xbar::DeviceParams::drift_nu`] `= 0`
+    /// this is a no-op, which is why the serving runtime validates the
+    /// device model before accepting a drift configuration.
+    pub fn set_drift_t_ratio(&mut self, t_ratio: f64) {
+        for row in &mut self.engines {
+            for engine in row {
+                engine.array_mut().set_drift_t_ratio(t_ratio);
+            }
+        }
+    }
+
     /// Fan-in range `(lo, len)` covered by row chunk `rc`.
     fn chunk_bounds(&self, rc: usize) -> (usize, usize) {
         let lo = rc * self.chunk_len;
@@ -430,6 +444,12 @@ impl SeededTacitMapped {
         &self.inner
     }
 
+    /// Resolves every subsequent read at drift time `t_ratio = t/t₀` (see
+    /// [`TacitMapped::set_drift_t_ratio`]).
+    pub fn set_drift_t_ratio(&mut self, t_ratio: f64) {
+        self.inner.set_drift_t_ratio(t_ratio);
+    }
+
     /// Crossbar steps taken so far.
     pub fn steps_taken(&self) -> u64 {
         self.inner.steps_taken()
@@ -624,6 +644,40 @@ mod tests {
         assert_ne!(run(7), run(8));
         let seeded = TacitMapped::program_seeded(&w, &cfg, 7).unwrap();
         assert_eq!(seeded.inner().fan_in(), 48);
+    }
+
+    #[test]
+    fn drift_propagates_to_every_chunk() {
+        use eb_xbar::DeviceParams;
+        // Low on/off ratio: off-current is ~0.4 LSB per cell, so drifting
+        // the amorphous state visibly changes the accumulated counts.
+        let cfg = XbarConfig::new(32, 8).with_device(DeviceParams {
+            g_on: 100e-6,
+            g_off: 40e-6,
+            drift_nu: 0.3,
+            ..DeviceParams::ideal()
+        });
+        let w = random_bits(11, 45, 29); // chunked in rows and cols
+        let input = BitVec::from_bools(&(0..45).map(|i| i % 3 != 1).collect::<Vec<_>>());
+        let mut fresh = TacitMapped::program_seeded(&w, &cfg, 4).unwrap();
+        let mut drifted = TacitMapped::program_seeded(&w, &cfg, 4).unwrap();
+        drifted.set_drift_t_ratio(1e6);
+        assert_ne!(
+            fresh.execute(&input).unwrap(),
+            drifted.execute(&input).unwrap()
+        );
+        // At the paper's binary operating point (1000x on/off ratio) the
+        // same drift is benign: counts stay exact despite t/t₀ = 10⁶.
+        let robust = XbarConfig::new(32, 8).with_device(DeviceParams {
+            drift_nu: 0.3,
+            ..DeviceParams::ideal()
+        });
+        let mut mapped = TacitMapped::program_seeded(&w, &robust, 4).unwrap();
+        mapped.set_drift_t_ratio(1e6);
+        assert_eq!(
+            mapped.execute(&input).unwrap(),
+            ops::binary_linear_popcounts(&input, &w)
+        );
     }
 
     #[test]

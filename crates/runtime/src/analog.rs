@@ -63,14 +63,46 @@ impl Backend for EpcmBackend {
             NoiseProfile::Ideal => self.cfg.clone(),
             NoiseProfile::Noisy => self.cfg.clone().with_device(DeviceParams::noisy()),
         };
+        let drift = validated_drift(&opts.noise, &cfg.device)?;
         let session = AnalogSession::build(net, |weights, layer| {
             let seed = layer_seed(opts.noise.seed, layer);
-            Ok(MappedMat::Epcm(TacitMapped::program_seeded(
-                weights, &cfg, seed,
-            )?))
+            let mut mapped = TacitMapped::program_seeded(weights, &cfg, seed)?;
+            if let Some(t_ratio) = drift {
+                mapped.set_drift_t_ratio(t_ratio);
+            }
+            Ok(MappedMat::Epcm(mapped))
         })?;
         Ok(Box::new(session.named("epcm")))
     }
+}
+
+/// Checks that a requested drift configuration is one the effective device
+/// model can actually honor — the pre-PR-4 runtime accepted `drift_nu`
+/// configurations and then silently never applied them.
+///
+/// Returns the validated `t/t₀` to apply, or `None` when no drift was
+/// requested.
+fn validated_drift(
+    noise: &crate::session::NoiseConfig,
+    device: &DeviceParams,
+) -> Result<Option<f64>, EbError> {
+    let Some(t_ratio) = noise.drift_t_ratio else {
+        return Ok(None);
+    };
+    if !t_ratio.is_finite() || t_ratio < 1.0 {
+        return Err(EbError::Config(format!(
+            "drift_t_ratio must be a finite time ratio ≥ 1 (got {t_ratio})"
+        )));
+    }
+    if device.drift_nu <= 0.0 {
+        return Err(EbError::Config(
+            "drift_t_ratio is set but the effective device model has drift_nu = 0, so drift \
+             would silently do nothing; use NoiseProfile::Noisy or an EpcmBackend whose \
+             DeviceParams set drift_nu > 0"
+                .into(),
+        ));
+    }
+    Ok(Some(t_ratio))
 }
 
 /// Serves inference on simulated oPCM crossbars behind the full optical
@@ -112,6 +144,13 @@ impl Backend for PhotonicBackend {
     }
 
     fn prepare(&self, net: &Bnn, opts: &SessionOpts) -> Result<Box<dyn Session>, EbError> {
+        if opts.noise.drift_t_ratio.is_some() {
+            return Err(EbError::Config(
+                "the photonic backend does not model resistance drift (oPCM sidesteps it); \
+                 unset NoiseConfig::drift_t_ratio or use BackendKind::Epcm"
+                    .into(),
+            ));
+        }
         let session = AnalogSession::build(net, |weights, layer| {
             let mut rng = StdRng::seed_from_u64(layer_seed(opts.noise.seed, layer));
             let mut mapped = OpticalTacitMapped::program(
@@ -485,10 +524,16 @@ impl Session for AnalogSession {
     }
 
     fn infer(&mut self, x: &Tensor) -> Result<Tensor, EbError> {
-        Ok(self
-            .run_batch(std::slice::from_ref(x))?
+        // A broken internal contract (batch of one yielding no logits)
+        // surfaces as an EbError instead of panicking the serving thread.
+        self.run_batch(std::slice::from_ref(x))?
             .pop()
-            .expect("one logits tensor per input"))
+            .ok_or_else(|| {
+                EbError::Config(format!(
+                    "internal error: analog session `{}` returned no logits for a batch of one",
+                    self.name
+                ))
+            })
     }
 
     fn infer_batch(&mut self, xs: &[Tensor]) -> Result<Vec<Tensor>, EbError> {
@@ -769,6 +814,7 @@ mod tests {
                 noise: crate::session::NoiseConfig {
                     seed,
                     profile: NoiseProfile::Noisy,
+                    ..Default::default()
                 },
             };
             backend
@@ -786,6 +832,96 @@ mod tests {
             (43..48).any(|seed| run(seed) != reference),
             "device noise should depend on the seed"
         );
+    }
+
+    #[test]
+    fn drift_diverges_where_off_current_matters_and_is_rejected_when_dead() {
+        use crate::session::NoiseConfig;
+        let net = mlp(19);
+        let xs = inputs(net.input_shape(), 3);
+        // A low on/off-ratio device makes the amorphous off-current a
+        // real fraction of an ADC LSB, so drifting it moves the logits:
+        // drifted and undrifted sessions must actually diverge.
+        let sensitive = EpcmBackend::new(XbarConfig::new(64, 64).with_device(DeviceParams {
+            g_on: 100e-6,
+            g_off: 40e-6,
+            drift_nu: 0.3,
+            ..DeviceParams::ideal()
+        }));
+        let run = |drift: Option<f64>| {
+            let opts = SessionOpts {
+                noise: NoiseConfig {
+                    drift_t_ratio: drift,
+                    ..Default::default()
+                },
+            };
+            sensitive
+                .prepare(&net, &opts)
+                .unwrap()
+                .infer_batch(&xs)
+                .unwrap()
+        };
+        assert_ne!(run(None), run(Some(1e6)), "drift must change served logits");
+        // Drift is deterministic: two drifted sessions agree.
+        assert_eq!(run(Some(1e6)), run(Some(1e6)));
+
+        // At the paper's binary operating point (1000x on/off ratio) the
+        // same drift is benign: a drift-only device model stays bit-exact
+        // against the software reference — the Section II-C robustness
+        // argument for binary PCM operation.
+        let robust = EpcmBackend::new(XbarConfig::new(64, 64).with_device(DeviceParams {
+            drift_nu: 0.3,
+            ..DeviceParams::ideal()
+        }));
+        let opts = SessionOpts {
+            noise: NoiseConfig {
+                drift_t_ratio: Some(1e6),
+                ..Default::default()
+            },
+        };
+        let mut session = robust.prepare(&net, &opts).unwrap();
+        for x in &xs {
+            assert_eq!(session.infer(x).unwrap(), net.forward(x).unwrap());
+        }
+
+        // Configurations drift cannot touch are rejected, not ignored:
+        // the ideal device model has drift_nu = 0...
+        let opts = SessionOpts {
+            noise: NoiseConfig {
+                drift_t_ratio: Some(1e6),
+                ..Default::default()
+            },
+        };
+        assert!(matches!(
+            EpcmBackend::default()
+                .prepare(&net, &opts)
+                .err()
+                .expect("must reject drift"),
+            EbError::Config(_)
+        ));
+        // ...the photonic substrate sidesteps drift entirely...
+        assert!(matches!(
+            PhotonicBackend::default()
+                .prepare(&net, &opts)
+                .err()
+                .expect("must reject drift"),
+            EbError::Config(_)
+        ));
+        // ...and a sub-1 time ratio is not a read time.
+        let bad = SessionOpts {
+            noise: NoiseConfig {
+                profile: NoiseProfile::Noisy,
+                drift_t_ratio: Some(0.5),
+                ..Default::default()
+            },
+        };
+        assert!(matches!(
+            EpcmBackend::default()
+                .prepare(&net, &bad)
+                .err()
+                .expect("must reject drift"),
+            EbError::Config(_)
+        ));
     }
 
     #[test]

@@ -2,11 +2,13 @@
 
 use crate::analog::{EpcmBackend, PhotonicBackend};
 use crate::error::EbError;
+use crate::serve::{PoolConfig, ServePool};
 use crate::session::{Backend, NoiseConfig, NoiseProfile, Session, SessionOpts};
 use crate::simulator::SimulatorBackend;
 use crate::software::SoftwareBackend;
 use eb_bitnn::Bnn;
 use std::fmt;
+use std::time::Duration;
 
 /// The built-in substrates, selectable by configuration.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -115,6 +117,28 @@ impl Runtime {
         self.backend.prepare(net, &self.opts)
     }
 
+    /// Like [`Runtime::prepare`] but with explicit session options,
+    /// overriding the runtime's own — how [`ServePool`] derives one seed
+    /// per replica from a single configured base seed.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError`] when the backend cannot host the network.
+    pub fn prepare_with(&self, net: &Bnn, opts: &SessionOpts) -> Result<Box<dyn Session>, EbError> {
+        self.backend.prepare(net, opts)
+    }
+
+    /// Builds a sharded serving pool of `net` replicas over this
+    /// runtime's backend and options (see [`ServePool::new`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError`] for a degenerate pool shape or when any
+    /// replica fails to prepare.
+    pub fn serve(&self, net: &Bnn, config: PoolConfig) -> Result<ServePool, EbError> {
+        ServePool::new(self, net, config)
+    }
+
     /// Name of the configured backend.
     pub fn backend_name(&self) -> &'static str {
         self.backend.name()
@@ -131,6 +155,7 @@ pub struct RuntimeBuilder {
     kind: BackendKind,
     custom: Option<Box<dyn Backend>>,
     opts: SessionOpts,
+    pool: PoolConfig,
 }
 
 impl fmt::Debug for RuntimeBuilder {
@@ -139,6 +164,7 @@ impl fmt::Debug for RuntimeBuilder {
             .field("kind", &self.kind)
             .field("custom", &self.custom.as_ref().map(|b| b.name()))
             .field("opts", &self.opts)
+            .field("pool", &self.pool)
             .finish()
     }
 }
@@ -149,6 +175,7 @@ impl Default for RuntimeBuilder {
             kind: BackendKind::Software,
             custom: None,
             opts: SessionOpts::default(),
+            pool: PoolConfig::default(),
         }
     }
 }
@@ -181,6 +208,15 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Requests resistance-drift modeling: crossbar reads resolve
+    /// amorphous drift at time `t_ratio = t/t₀`. Only honored by the
+    /// ePCM backend with a device model whose `drift_nu > 0`; every
+    /// other configuration rejects it at `prepare` time.
+    pub fn drift_t_ratio(mut self, t_ratio: f64) -> Self {
+        self.opts.noise.drift_t_ratio = Some(t_ratio);
+        self
+    }
+
     /// Replaces the full noise configuration.
     pub fn noise(mut self, noise: NoiseConfig) -> Self {
         self.opts.noise = noise;
@@ -190,6 +226,42 @@ impl RuntimeBuilder {
     /// Replaces all session options.
     pub fn opts(mut self, opts: SessionOpts) -> Self {
         self.opts = opts;
+        self
+    }
+
+    /// Sets the number of session replicas (= worker threads) a
+    /// [`RuntimeBuilder::serve`] pool prepares. Replica `i` serves with
+    /// seed `seed + i`. Defaults to 1.
+    pub fn replicas(mut self, n: usize) -> Self {
+        self.pool.replicas = n;
+        self
+    }
+
+    /// Bounds the micro-batch one pool replica coalesces into a single
+    /// [`Session::infer_batch`] call (defaults to 32; 1 disables
+    /// coalescing).
+    pub fn max_batch(mut self, b: usize) -> Self {
+        self.pool.max_batch = b;
+        self
+    }
+
+    /// How long an idle pool replica lingers for coalescing partners
+    /// after taking a first request (defaults to 200 µs).
+    pub fn max_wait(mut self, wait: Duration) -> Self {
+        self.pool.max_wait = wait;
+        self
+    }
+
+    /// Bounds the pool's request queue; submitters block while it is
+    /// full (defaults to 1024).
+    pub fn queue_capacity(mut self, capacity: usize) -> Self {
+        self.pool.queue_capacity = capacity;
+        self
+    }
+
+    /// Replaces the whole pool configuration.
+    pub fn pool(mut self, pool: PoolConfig) -> Self {
+        self.pool = pool;
         self
     }
 
@@ -210,6 +282,19 @@ impl RuntimeBuilder {
     /// Returns [`EbError`] when the backend cannot host the network.
     pub fn prepare(self, net: &Bnn) -> Result<Box<dyn Session>, EbError> {
         self.build().prepare(net)
+    }
+
+    /// Convenience: builds the runtime and immediately starts a sharded
+    /// serving pool of `net` replicas with the configured
+    /// `replicas`/`max_batch`/`max_wait`/`queue_capacity` knobs.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError`] for a degenerate pool shape or when any
+    /// replica fails to prepare.
+    pub fn serve(self, net: &Bnn) -> Result<ServePool, EbError> {
+        let pool = self.pool;
+        self.build().serve(net, pool)
     }
 }
 

@@ -21,6 +21,14 @@
 //! against each other — the paper's "golden model vs. analog substrates"
 //! comparison surface, now one `match`-free function call apart.
 //!
+//! For concurrent request/response traffic, the [`serve`](crate::ServePool)
+//! layer shards one network across N replica sessions behind a
+//! dynamically micro-batching queue:
+//! `Runtime::builder().replicas(4).max_batch(16).serve(&net)` returns a
+//! [`ServePool`] whose blocking [`PoolHandle`] clones serve any number of
+//! client threads, coalescing their single-inference requests into each
+//! backend's batched substrate path.
+//!
 //! ```
 //! use eb_runtime::{BackendKind, Runtime};
 //! use eb_bitnn::{BinLinear, Bnn, FixedLinear, Layer, OutputLinear, Shape, Tensor};
@@ -48,6 +56,7 @@
 mod analog;
 mod builder;
 mod error;
+mod serve;
 mod session;
 mod simulator;
 mod software;
@@ -55,6 +64,7 @@ mod software;
 pub use analog::{EpcmBackend, PhotonicBackend};
 pub use builder::{BackendKind, Runtime, RuntimeBuilder};
 pub use error::EbError;
+pub use serve::{DynamicBatcher, PoolConfig, PoolHandle, PoolStats, ServePool};
 pub use session::{
     predict, Backend, NoiseConfig, NoiseProfile, Session, SessionOpts, SessionStats,
 };

@@ -1,0 +1,812 @@
+//! Sharded session-pool serving with dynamic micro-batching.
+//!
+//! A single [`Session`] serves one request at a time through `&mut self`,
+//! even though every backend's batch path is markedly cheaper per sample
+//! than repeated singles (batched analog VMM, WDM lane packing, rayon
+//! fan-out). This module closes that gap for request/response traffic:
+//!
+//! * [`ServePool`] prepares **N replica sessions** of one network (one
+//!   per worker thread, each with the deterministically derived seed
+//!   `base_seed + replica_id`) and serves them from a shared queue.
+//! * [`DynamicBatcher`] coalesces incoming single-inference requests
+//!   into **micro-batches**: a worker takes the first waiting request,
+//!   then lingers up to `max_wait` for more, up to `max_batch`, and
+//!   serves the whole group through one [`Session::infer_batch`] call.
+//! * The queue is **bounded** ([`PoolConfig::queue_capacity`]):
+//!   submitters block when serving falls behind — backpressure instead
+//!   of unbounded memory growth.
+//! * [`PoolStats`] aggregates the per-replica [`SessionStats`].
+//!
+//! Clients talk to the pool through a cloneable, blocking [`PoolHandle`]
+//! (`infer` / `predict` / `infer_many`), obtained from
+//! [`ServePool::handle`] and usable from any number of client threads.
+//!
+//! # Determinism
+//!
+//! In noiseless configurations a session's outputs are a pure function
+//! of the input, so pool outputs are **bit-exact** against a single
+//! session regardless of which replica serves which request (pinned by
+//! `tests/serve_pool.rs` on all four backends). Under
+//! [`NoiseProfile::Noisy`](crate::NoiseProfile::Noisy), each replica is
+//! individually deterministic (seed `base_seed + replica_id` and its own
+//! draw sequence), but which replica serves a request — and after how
+//! many prior draws — depends on dispatch timing, so noisy pool outputs
+//! are *replica-deterministic but dispatch-order-dependent*. For
+//! replayable noisy serving use one replica and a single client, or a
+//! plain [`Session`].
+//!
+//! ```
+//! use eb_runtime::{BackendKind, Runtime};
+//! use eb_bitnn::{BinLinear, Bnn, FixedLinear, Layer, OutputLinear, Shape, Tensor};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(5);
+//! let net = Bnn::new(
+//!     "pooled",
+//!     Shape::Flat(12),
+//!     vec![
+//!         Layer::FixedLinear(FixedLinear::random("in", 12, 8, &mut rng)),
+//!         Layer::BinLinear(BinLinear::random("h", 8, 8, &mut rng)),
+//!         Layer::Output(OutputLinear::random("out", 8, 3, &mut rng)),
+//!     ],
+//! )?;
+//! let pool = Runtime::builder().replicas(2).max_batch(4).serve(&net)?;
+//! let handle = pool.handle();
+//! let x = Tensor::from_fn(&[12], |i| (i as f32 * 0.37).sin());
+//! assert_eq!(handle.infer(&x)?, net.forward(&x)?);
+//! assert!(handle.predict(&x)? < 3);
+//! assert_eq!(pool.stats().total().inferences, 2);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+use crate::builder::Runtime;
+use crate::error::EbError;
+use crate::session::{predicted_class, Session, SessionStats};
+use eb_bitnn::{Bnn, Tensor};
+use std::collections::VecDeque;
+use std::fmt;
+use std::sync::mpsc;
+use std::sync::{Arc, Condvar, Mutex, MutexGuard, PoisonError};
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Locks a pool/batcher mutex, recovering from poisoning: every critical
+/// section here leaves the guarded state consistent before any call that
+/// could panic, so a poisoned lock carries usable state — recovering
+/// keeps `stats()`/`submit` working instead of cascading panics.
+fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Shape of a serving pool: replica count, micro-batch bounds, and queue
+/// depth. Constructed by [`Default`] and the
+/// [`RuntimeBuilder`](crate::RuntimeBuilder) knobs
+/// (`replicas`/`max_batch`/`max_wait`/`queue_capacity`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct PoolConfig {
+    /// Session replicas (= worker threads). Replica `i` is prepared with
+    /// seed `base_seed + i`, so a pool is as reproducible as its
+    /// sessions. Must be ≥ 1.
+    pub replicas: usize,
+    /// Largest micro-batch one replica serves in a single
+    /// [`Session::infer_batch`] call. Must be ≥ 1; 1 disables
+    /// coalescing.
+    pub max_batch: usize,
+    /// How long an idle replica lingers for more requests after taking
+    /// the first one, before serving a short micro-batch. Zero serves
+    /// whatever is queued immediately.
+    pub max_wait: Duration,
+    /// Bound on queued (not yet dispatched) requests; submitters block
+    /// while the queue is full. Must be ≥ 1.
+    pub queue_capacity: usize,
+}
+
+impl Default for PoolConfig {
+    /// One replica, micro-batches up to 32, a 200 µs coalescing window,
+    /// and room for 1024 queued requests.
+    fn default() -> Self {
+        Self {
+            replicas: 1,
+            max_batch: 32,
+            max_wait: Duration::from_micros(200),
+            queue_capacity: 1024,
+        }
+    }
+}
+
+impl PoolConfig {
+    /// Rejects degenerate shapes (zero replicas / batch bound / queue).
+    fn validate(&self) -> Result<(), EbError> {
+        for (what, v) in [
+            ("replicas", self.replicas),
+            ("max_batch", self.max_batch),
+            ("queue_capacity", self.queue_capacity),
+        ] {
+            if v == 0 {
+                return Err(EbError::Config(format!(
+                    "serving pool {what} must be at least 1"
+                )));
+            }
+        }
+        Ok(())
+    }
+}
+
+/// State behind the [`DynamicBatcher`] mutex.
+struct BatcherState<T> {
+    queue: VecDeque<T>,
+    closed: bool,
+}
+
+/// A bounded multi-producer queue whose consumers drain in coalesced
+/// groups: `next_batch` takes the first waiting item, lingers up to
+/// `max_wait` for more, and returns up to `max_batch` items at once.
+///
+/// This is the request-coalescing heart of [`ServePool`], exposed as a
+/// standalone generic component: producers call [`DynamicBatcher::submit`]
+/// (blocking while the queue is full — backpressure), consumers loop on
+/// [`DynamicBatcher::next_batch`] until it returns `None` (closed *and*
+/// drained; pending items are always served before shutdown completes).
+pub struct DynamicBatcher<T> {
+    state: Mutex<BatcherState<T>>,
+    /// Signalled on submit and on close.
+    not_empty: Condvar,
+    /// Signalled on drain and on close.
+    not_full: Condvar,
+    capacity: usize,
+    max_batch: usize,
+    max_wait: Duration,
+}
+
+impl<T> fmt::Debug for DynamicBatcher<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let st = lock_recovering(&self.state);
+        f.debug_struct("DynamicBatcher")
+            .field("queued", &st.queue.len())
+            .field("closed", &st.closed)
+            .field("capacity", &self.capacity)
+            .field("max_batch", &self.max_batch)
+            .field("max_wait", &self.max_wait)
+            .finish()
+    }
+}
+
+impl<T> DynamicBatcher<T> {
+    /// A batcher holding at most `capacity` queued items, coalescing up
+    /// to `max_batch` of them per [`DynamicBatcher::next_batch`] after
+    /// lingering at most `max_wait` (both clamped to be at least
+    /// 1 item / zero wait).
+    pub fn new(capacity: usize, max_batch: usize, max_wait: Duration) -> Self {
+        Self {
+            state: Mutex::new(BatcherState {
+                queue: VecDeque::new(),
+                closed: false,
+            }),
+            not_empty: Condvar::new(),
+            not_full: Condvar::new(),
+            capacity: capacity.max(1),
+            max_batch: max_batch.max(1),
+            max_wait,
+        }
+    }
+
+    /// Enqueues one item, blocking while the queue is at capacity.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] when the batcher is closed; the item
+    /// is never enqueued in that case.
+    pub fn submit(&self, item: T) -> Result<(), EbError> {
+        let mut st = lock_recovering(&self.state);
+        while st.queue.len() >= self.capacity && !st.closed {
+            st = self
+                .not_full
+                .wait(st)
+                .unwrap_or_else(PoisonError::into_inner);
+        }
+        if st.closed {
+            return Err(EbError::Config(
+                "serving pool is shut down; no new requests accepted".into(),
+            ));
+        }
+        st.queue.push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Blocks for the next micro-batch: waits for a first item, lingers
+    /// up to `max_wait` (or until `max_batch` items are waiting), then
+    /// drains up to `max_batch` items. The returned batch is never
+    /// empty; `None` means the batcher is closed **and** fully drained.
+    pub fn next_batch(&self) -> Option<Vec<T>> {
+        let mut st = lock_recovering(&self.state);
+        loop {
+            // Phase 1: wait for the first request (or close + drained).
+            while st.queue.is_empty() {
+                if st.closed {
+                    return None;
+                }
+                st = self
+                    .not_empty
+                    .wait(st)
+                    .unwrap_or_else(PoisonError::into_inner);
+            }
+            // Phase 2: linger for coalescing partners.
+            if self.max_wait > Duration::ZERO && st.queue.len() < self.max_batch && !st.closed {
+                let deadline = Instant::now() + self.max_wait;
+                loop {
+                    let now = Instant::now();
+                    if now >= deadline || st.queue.len() >= self.max_batch || st.closed {
+                        break;
+                    }
+                    let (next, timeout) = self
+                        .not_empty
+                        .wait_timeout(st, deadline - now)
+                        .unwrap_or_else(PoisonError::into_inner);
+                    st = next;
+                    if timeout.timed_out() {
+                        break;
+                    }
+                }
+            }
+            // With several consumers on one batcher, a sibling may have
+            // drained the queue while this one lingered without the lock
+            // (the condvar waits release it) — start over rather than
+            // hand back an empty batch.
+            let take = st.queue.len().min(self.max_batch);
+            if take == 0 {
+                continue;
+            }
+            let batch: Vec<T> = st.queue.drain(..take).collect();
+            drop(st);
+            self.not_full.notify_all();
+            return Some(batch);
+        }
+    }
+
+    /// Closes the batcher: pending items remain drainable via
+    /// [`DynamicBatcher::next_batch`], new submissions fail, blocked
+    /// producers and consumers wake.
+    pub fn close(&self) {
+        lock_recovering(&self.state).closed = true;
+        self.not_empty.notify_all();
+        self.not_full.notify_all();
+    }
+
+    /// Immediately removes and returns everything queued, without
+    /// waiting or coalescing bounds — the abandon-ship counterpart of
+    /// [`DynamicBatcher::next_batch`], used when no consumer is left to
+    /// serve the items (dropping them lets their owners observe the
+    /// failure instead of waiting forever).
+    pub fn drain_now(&self) -> Vec<T> {
+        let mut st = lock_recovering(&self.state);
+        let drained: Vec<T> = st.queue.drain(..).collect();
+        drop(st);
+        self.not_full.notify_all();
+        drained
+    }
+
+    /// Items currently queued (drained batches excluded).
+    pub fn len(&self) -> usize {
+        lock_recovering(&self.state).queue.len()
+    }
+
+    /// `true` when nothing is queued.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `true` once [`DynamicBatcher::close`] has been called.
+    pub fn is_closed(&self) -> bool {
+        lock_recovering(&self.state).closed
+    }
+}
+
+/// One queued inference request: the input and the channel its result
+/// travels back on.
+struct Request {
+    x: Tensor,
+    reply: mpsc::Sender<Result<Tensor, EbError>>,
+}
+
+/// Live counters of one replica, updated by its worker after every
+/// micro-batch.
+#[derive(Debug, Clone, Copy, Default)]
+struct ReplicaCounters {
+    session: SessionStats,
+    micro_batches: u64,
+}
+
+/// Aggregated pool counters: one [`SessionStats`] per replica plus the
+/// number of micro-batches each replica served. Snapshot via
+/// [`ServePool::stats`] / [`PoolHandle::stats`].
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct PoolStats {
+    /// Per-replica serving counters, indexed by replica id (the same id
+    /// whose seed is `base_seed + id`).
+    pub per_replica: Vec<SessionStats>,
+    /// Micro-batches dispatched per replica; `per_replica[i].inferences /
+    /// micro_batches[i]` is replica `i`'s achieved coalescing factor.
+    pub micro_batches: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Sum of all per-replica counters.
+    pub fn total(&self) -> SessionStats {
+        let mut total = SessionStats::default();
+        for s in &self.per_replica {
+            total.merge(s);
+        }
+        total
+    }
+
+    /// Micro-batches dispatched across all replicas.
+    pub fn total_micro_batches(&self) -> u64 {
+        self.micro_batches.iter().sum()
+    }
+}
+
+/// Shared pool internals: the request queue and the replica counters.
+struct PoolShared {
+    batcher: DynamicBatcher<Request>,
+    counters: Mutex<Vec<ReplicaCounters>>,
+    backend: &'static str,
+}
+
+/// A sharded serving pool: N replica sessions behind one dynamic
+/// micro-batching queue. Build with
+/// [`RuntimeBuilder::serve`](crate::RuntimeBuilder::serve) (or
+/// [`ServePool::new`] over an explicit [`Runtime`]); talk to it through
+/// [`ServePool::handle`] clones from any number of client threads.
+///
+/// Dropping the pool shuts it down gracefully: already-queued requests
+/// are served, new submissions fail, and the worker threads are joined.
+pub struct ServePool {
+    shared: Arc<PoolShared>,
+    workers: Vec<thread::JoinHandle<()>>,
+    config: PoolConfig,
+}
+
+impl fmt::Debug for ServePool {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("ServePool")
+            .field("backend", &self.shared.backend)
+            .field("config", &self.config)
+            .field("queued", &self.shared.batcher.len())
+            .finish()
+    }
+}
+
+impl ServePool {
+    /// Prepares `config.replicas` sessions of `net` on `runtime`'s
+    /// backend — replica `i` with seed `base_seed + i` — and starts one
+    /// worker thread per replica.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError`] for a degenerate `config` or when any replica
+    /// fails to prepare (nothing is left running in that case).
+    pub fn new(runtime: &Runtime, net: &Bnn, config: PoolConfig) -> Result<Self, EbError> {
+        config.validate()?;
+        let base_seed = runtime.opts().noise.seed;
+        let mut sessions = Vec::with_capacity(config.replicas);
+        for replica in 0..config.replicas {
+            let mut opts = *runtime.opts();
+            opts.noise.seed = base_seed.wrapping_add(replica as u64);
+            sessions.push(runtime.prepare_with(net, &opts)?);
+        }
+        let shared = Arc::new(PoolShared {
+            batcher: DynamicBatcher::new(config.queue_capacity, config.max_batch, config.max_wait),
+            counters: Mutex::new(vec![ReplicaCounters::default(); config.replicas]),
+            backend: runtime.backend_name(),
+        });
+        let mut workers = Vec::with_capacity(config.replicas);
+        for (replica, session) in sessions.into_iter().enumerate() {
+            let worker_shared = Arc::clone(&shared);
+            let spawned = thread::Builder::new()
+                .name(format!("eb-serve-{replica}"))
+                .spawn(move || worker_loop(session, worker_shared, replica));
+            match spawned {
+                Ok(handle) => workers.push(handle),
+                Err(e) => {
+                    // Tear down the replicas already running before
+                    // reporting failure — nothing may be left serving.
+                    shared.batcher.close();
+                    for handle in workers {
+                        let _ = handle.join();
+                    }
+                    return Err(EbError::Config(format!(
+                        "failed to spawn pool worker {replica}: {e}"
+                    )));
+                }
+            }
+        }
+        Ok(Self {
+            shared,
+            workers,
+            config,
+        })
+    }
+
+    /// A cloneable client handle; valid (but erroring) after the pool is
+    /// dropped.
+    pub fn handle(&self) -> PoolHandle {
+        PoolHandle {
+            shared: Arc::clone(&self.shared),
+        }
+    }
+
+    /// Name of the backend the replicas were prepared on.
+    pub fn backend_name(&self) -> &'static str {
+        self.shared.backend
+    }
+
+    /// The pool shape this pool was built with.
+    pub fn config(&self) -> &PoolConfig {
+        &self.config
+    }
+
+    /// Snapshot of the aggregated per-replica counters.
+    pub fn stats(&self) -> PoolStats {
+        stats_snapshot(&self.shared)
+    }
+
+    /// Shuts the pool down: serves everything already queued, rejects
+    /// new requests, joins the workers, and returns the final counters.
+    pub fn shutdown(mut self) -> PoolStats {
+        self.close_and_join();
+        stats_snapshot(&self.shared)
+    }
+
+    fn close_and_join(&mut self) {
+        self.shared.batcher.close();
+        for worker in self.workers.drain(..) {
+            let _ = worker.join();
+        }
+    }
+}
+
+impl Drop for ServePool {
+    fn drop(&mut self) {
+        self.close_and_join();
+    }
+}
+
+/// A blocking client of a [`ServePool`]: submits requests into the
+/// pool's [`DynamicBatcher`] and waits for the serving replica's reply.
+/// Cheap to clone; safe to use from many threads at once (that is what
+/// makes the micro-batcher fill).
+#[derive(Clone)]
+pub struct PoolHandle {
+    shared: Arc<PoolShared>,
+}
+
+impl fmt::Debug for PoolHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("PoolHandle")
+            .field("backend", &self.shared.backend)
+            .field("queued", &self.shared.batcher.len())
+            .finish()
+    }
+}
+
+impl PoolHandle {
+    /// Runs one inference through the pool, blocking until a replica
+    /// serves it (or backpressure admits it into the queue).
+    ///
+    /// # Errors
+    ///
+    /// Returns the serving session's [`EbError`] (e.g. input-shape
+    /// mismatch), or [`EbError::Config`] when the pool is shut down.
+    pub fn infer(&self, x: &Tensor) -> Result<Tensor, EbError> {
+        self.submit(x.clone())?.recv().map_err(|_| pool_gone())?
+    }
+
+    /// Predicted class for one input: argmax of [`PoolHandle::infer`]
+    /// logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`PoolHandle::infer`] errors; empty logits are an
+    /// [`EbError::Config`], never a silent class 0.
+    pub fn predict(&self, x: &Tensor) -> Result<usize, EbError> {
+        let logits = self.infer(x)?;
+        predicted_class(&logits)
+    }
+
+    /// Submits a whole request stream and blocks until every reply is
+    /// in, returning logits in request order. Unlike
+    /// [`Session::infer_batch`] this does not force the stream through
+    /// one replica: the batcher shards it across the pool, so this is
+    /// the natural high-throughput client call.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing request's [`EbError`] (remaining
+    /// requests are still served — micro-batch failures are isolated
+    /// per request).
+    pub fn infer_many(&self, xs: &[Tensor]) -> Result<Vec<Tensor>, EbError> {
+        let receivers = xs
+            .iter()
+            .map(|x| self.submit(x.clone()))
+            .collect::<Result<Vec<_>, EbError>>()?;
+        receivers
+            .into_iter()
+            .map(|rx| rx.recv().map_err(|_| pool_gone())?)
+            .collect()
+    }
+
+    /// Snapshot of the aggregated per-replica counters.
+    pub fn stats(&self) -> PoolStats {
+        stats_snapshot(&self.shared)
+    }
+
+    /// Enqueues one owned input, blocking on backpressure, and returns
+    /// the channel its result will arrive on.
+    fn submit(&self, x: Tensor) -> Result<mpsc::Receiver<Result<Tensor, EbError>>, EbError> {
+        let (reply, rx) = mpsc::channel();
+        self.shared.batcher.submit(Request { x, reply })?;
+        Ok(rx)
+    }
+}
+
+/// "The pool died before replying" — reached when a worker panicked or
+/// the pool was torn down between submission and reply.
+fn pool_gone() -> EbError {
+    EbError::Config("serving pool shut down before replying".into())
+}
+
+fn stats_snapshot(shared: &PoolShared) -> PoolStats {
+    let counters = lock_recovering(&shared.counters);
+    PoolStats {
+        per_replica: counters.iter().map(|c| c.session).collect(),
+        micro_batches: counters.iter().map(|c| c.micro_batches).collect(),
+    }
+}
+
+/// One replica's serving loop: drain micro-batches until the batcher is
+/// closed and empty. Counters are published *before* the replies are
+/// sent, so a client that has received its result always sees it
+/// reflected in [`PoolStats`].
+///
+/// Sessions surface failures as `EbError`, so a panic here means a
+/// broken substrate invariant; the guard then scuttles the pool — closes
+/// the queue and drops everything pending — so blocked clients observe
+/// the failure (`pool_gone` via their dropped reply senders) instead of
+/// waiting forever on a worker that no longer exists.
+fn worker_loop(mut session: Box<dyn Session>, shared: Arc<PoolShared>, replica: usize) {
+    struct Scuttle<'a>(&'a PoolShared);
+    impl Drop for Scuttle<'_> {
+        fn drop(&mut self) {
+            if thread::panicking() {
+                self.0.batcher.close();
+                drop(self.0.batcher.drain_now());
+            }
+        }
+    }
+    let scuttle_on_panic = Scuttle(&shared);
+    while let Some(batch) = shared.batcher.next_batch() {
+        let served = serve_micro_batch(session.as_mut(), batch);
+        {
+            let mut counters = lock_recovering(&shared.counters);
+            counters[replica].session = session.stats();
+            counters[replica].micro_batches += 1;
+        }
+        for (reply, result) in served {
+            // A client that gave up on its reply is not an error.
+            let _ = reply.send(result);
+        }
+    }
+    drop(scuttle_on_panic);
+}
+
+/// A request's reply channel paired with the result to send on it.
+type Reply = (
+    mpsc::Sender<Result<Tensor, EbError>>,
+    Result<Tensor, EbError>,
+);
+
+/// Serves one coalesced micro-batch, returning each request's reply
+/// channel paired with its result. The fast path is a single
+/// [`Session::infer_batch`] over the whole group; if that fails, every
+/// request is retried individually so one malformed request (coalesced
+/// with unrelated neighbors) reports its own error without poisoning
+/// theirs.
+fn serve_micro_batch(session: &mut dyn Session, batch: Vec<Request>) -> Vec<Reply> {
+    let (xs, replies): (Vec<Tensor>, Vec<mpsc::Sender<Result<Tensor, EbError>>>) =
+        batch.into_iter().map(|r| (r.x, r.reply)).unzip();
+    match session.infer_batch(&xs) {
+        Ok(outs) => replies.into_iter().zip(outs.into_iter().map(Ok)).collect(),
+        Err(_) => xs
+            .iter()
+            .zip(replies)
+            .map(|(x, reply)| {
+                let result = session.infer(x);
+                (reply, result)
+            })
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn batcher_coalesces_up_to_max_batch() {
+        let b = DynamicBatcher::new(16, 4, Duration::from_millis(200));
+        for i in 0..6 {
+            b.submit(i).unwrap();
+        }
+        // All six are already queued: the first batch takes max_batch
+        // without lingering, the second takes the remainder.
+        assert_eq!(b.next_batch().unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(b.next_batch().unwrap(), vec![4, 5]);
+        assert!(b.is_empty());
+    }
+
+    #[test]
+    fn batcher_close_drains_then_ends() {
+        let b = DynamicBatcher::new(8, 8, Duration::ZERO);
+        b.submit("pending").unwrap();
+        b.close();
+        assert!(b.is_closed());
+        assert!(b.submit("rejected").is_err());
+        // The pending item is still served before the stream ends.
+        assert_eq!(b.next_batch().unwrap(), vec!["pending"]);
+        assert!(b.next_batch().is_none());
+    }
+
+    #[test]
+    fn batcher_backpressure_blocks_until_drained() {
+        let b = Arc::new(DynamicBatcher::new(1, 1, Duration::ZERO));
+        b.submit(0u32).unwrap();
+        let submitted = Arc::new(AtomicUsize::new(0));
+        let producer = {
+            let b = Arc::clone(&b);
+            let submitted = Arc::clone(&submitted);
+            thread::spawn(move || {
+                for i in 1..=3u32 {
+                    b.submit(i).unwrap();
+                    submitted.fetch_add(1, Ordering::SeqCst);
+                }
+            })
+        };
+        // Capacity 1: the producer cannot run ahead of the consumer by
+        // more than one queued item.
+        let mut seen = Vec::new();
+        while seen.len() < 4 {
+            let batch = b.next_batch().unwrap();
+            assert!(submitted.load(Ordering::SeqCst) <= seen.len() + 2);
+            seen.extend(batch);
+        }
+        producer.join().unwrap();
+        assert_eq!(seen, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn batcher_multi_consumer_never_yields_empty_batches() {
+        // Several consumers share one batcher; a consumer whose linger
+        // window ends after a sibling drained the queue must loop back
+        // instead of handing out an empty batch.
+        let b = Arc::new(DynamicBatcher::new(64, 4, Duration::from_millis(5)));
+        let consumers: Vec<_> = (0..3)
+            .map(|_| {
+                let b = Arc::clone(&b);
+                thread::spawn(move || {
+                    let mut taken = 0usize;
+                    while let Some(batch) = b.next_batch() {
+                        assert!(!batch.is_empty(), "next_batch must never yield empty");
+                        taken += batch.len();
+                    }
+                    taken
+                })
+            })
+            .collect();
+        for i in 0..40 {
+            b.submit(i).unwrap();
+        }
+        b.close();
+        let total: usize = consumers.into_iter().map(|c| c.join().unwrap()).sum();
+        assert_eq!(total, 40, "every item served exactly once");
+    }
+
+    #[test]
+    fn worker_panic_fails_clients_instead_of_hanging() {
+        use crate::session::{Backend, SessionOpts};
+        use eb_bitnn::Shape;
+
+        // A substrate that breaks its invariants by panicking instead of
+        // returning EbError — the pool must scuttle, not strand clients.
+        struct PanicBackend;
+        impl Backend for PanicBackend {
+            fn name(&self) -> &'static str {
+                "panic"
+            }
+            fn prepare(
+                &self,
+                _net: &Bnn,
+                _opts: &SessionOpts,
+            ) -> Result<Box<dyn Session>, EbError> {
+                struct PanicSession;
+                impl Session for PanicSession {
+                    fn backend_name(&self) -> &'static str {
+                        "panic"
+                    }
+                    fn infer(&mut self, _x: &Tensor) -> Result<Tensor, EbError> {
+                        panic!("deliberately broken substrate invariant");
+                    }
+                    fn stats(&self) -> SessionStats {
+                        SessionStats::default()
+                    }
+                }
+                Ok(Box::new(PanicSession))
+            }
+        }
+
+        let net = Bnn::new("noop", Shape::Flat(1), vec![]).unwrap();
+        let runtime = Runtime::builder()
+            .backend_impl(Box::new(PanicBackend))
+            .build();
+        let pool = ServePool::new(&runtime, &net, PoolConfig::default()).unwrap();
+        let handle = pool.handle();
+        let x = Tensor::zeros(&[1]);
+        assert!(
+            handle.infer(&x).is_err(),
+            "a panicked worker must surface as an error, not a hang"
+        );
+        // The pool is scuttled: later submissions fail fast, and stats
+        // stay readable (no poisoned-lock cascade).
+        assert!(handle.infer(&x).is_err());
+        assert_eq!(handle.stats().total().inferences, 0);
+    }
+
+    #[test]
+    fn pool_config_validation() {
+        assert!(PoolConfig::default().validate().is_ok());
+        for bad in [
+            PoolConfig {
+                replicas: 0,
+                ..Default::default()
+            },
+            PoolConfig {
+                max_batch: 0,
+                ..Default::default()
+            },
+            PoolConfig {
+                queue_capacity: 0,
+                ..Default::default()
+            },
+        ] {
+            assert!(matches!(bad.validate().unwrap_err(), EbError::Config(_)));
+        }
+    }
+
+    #[test]
+    fn pool_stats_aggregate() {
+        let stats = PoolStats {
+            per_replica: vec![
+                SessionStats {
+                    inferences: 3,
+                    crossbar_steps: 10,
+                    ..Default::default()
+                },
+                SessionStats {
+                    inferences: 4,
+                    wdm_lanes: 7,
+                    latency_ns: 1.5,
+                    ..Default::default()
+                },
+            ],
+            micro_batches: vec![2, 1],
+        };
+        let total = stats.total();
+        assert_eq!(total.inferences, 7);
+        assert_eq!(total.crossbar_steps, 10);
+        assert_eq!(total.wdm_lanes, 7);
+        assert_eq!(total.latency_ns, 1.5);
+        assert_eq!(stats.total_micro_batches(), 3);
+    }
+}

@@ -30,12 +30,19 @@ pub enum NoiseProfile {
 /// seeded from `seed`, so identically configured sessions replay identical
 /// (noisy) outputs — callers never thread `&mut impl Rng` through serving
 /// calls.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct NoiseConfig {
     /// Seed for the session-owned RNG (programming and read noise draws).
     pub seed: u64,
     /// Noise intensity profile.
     pub profile: NoiseProfile,
+    /// Optional resistance-drift read time `t/t₀`: when set, crossbar
+    /// reads resolve amorphous drift at this ratio (`G(t) = G₀·(t/t₀)^−ν`
+    /// with ν = [`eb_xbar::DeviceParams::drift_nu`]). Only the ePCM
+    /// backend models drift, and it requires an effective device model
+    /// with `drift_nu > 0`; every other configuration **rejects** the
+    /// setting at `prepare` time instead of silently ignoring it.
+    pub drift_t_ratio: Option<f64>,
 }
 
 /// Options applied when preparing a session.
@@ -57,12 +64,26 @@ pub struct SessionStats {
     pub crossbar_steps: u64,
     /// WDM lanes carried across all optical activations.
     pub wdm_lanes: u64,
-    /// Modeled latency in nanoseconds (0 when the substrate has no
-    /// latency model).
+    /// Modeled latency in nanoseconds. Only the simulator backend has a
+    /// latency model; the software, ePCM, and photonic sessions always
+    /// leave this 0.
     pub latency_ns: f64,
-    /// Modeled energy in joules (0 when the substrate has no energy
-    /// model).
+    /// Modeled energy in joules. Only the simulator backend has an energy
+    /// model; the software, ePCM, and photonic sessions always leave
+    /// this 0.
     pub energy_j: f64,
+}
+
+impl SessionStats {
+    /// Accumulates `other` into `self`, field-wise — the reduction
+    /// [`crate::PoolStats`] uses to aggregate replica counters.
+    pub fn merge(&mut self, other: &SessionStats) {
+        self.inferences += other.inferences;
+        self.crossbar_steps += other.crossbar_steps;
+        self.wdm_lanes += other.wdm_lanes;
+        self.latency_ns += other.latency_ns;
+        self.energy_j += other.energy_j;
+    }
 }
 
 /// A substrate that can prepare serving sessions for trained networks.
@@ -117,8 +138,18 @@ pub trait Session: Send {
 ///
 /// # Errors
 ///
-/// Propagates [`Session::infer`] errors.
+/// Propagates [`Session::infer`] errors, and returns
+/// [`EbError::Config`] when inference yields an empty logits vector —
+/// there is no class to predict, and silently reporting class 0 (the
+/// pre-PR-4 behavior) masked the misconfiguration.
 pub fn predict(session: &mut dyn Session, x: &Tensor) -> Result<usize, EbError> {
     let logits = session.infer(x)?;
-    Ok(eb_bitnn::ops::argmax(logits.as_slice()).unwrap_or(0))
+    predicted_class(&logits)
+}
+
+/// Argmax of a logits tensor, rejecting the empty case.
+pub(crate) fn predicted_class(logits: &Tensor) -> Result<usize, EbError> {
+    eb_bitnn::ops::argmax(logits.as_slice()).ok_or_else(|| {
+        EbError::Config("inference produced empty logits; no class to predict".into())
+    })
 }

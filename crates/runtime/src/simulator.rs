@@ -45,6 +45,13 @@ impl Backend for SimulatorBackend {
     }
 
     fn prepare(&self, net: &Bnn, opts: &SessionOpts) -> Result<Box<dyn Session>, EbError> {
+        if opts.noise.drift_t_ratio.is_some() {
+            return Err(EbError::Config(
+                "the simulator backend compiles ideal-device designs and does not model \
+                 resistance drift; unset NoiseConfig::drift_t_ratio or use BackendKind::Epcm"
+                    .into(),
+            ));
+        }
         let mut rng = StdRng::seed_from_u64(opts.noise.seed);
         let compiled = compile(&self.design, net, &mut rng)?;
         Ok(Box::new(SimulatorSession {

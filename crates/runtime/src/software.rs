@@ -20,7 +20,14 @@ impl Backend for SoftwareBackend {
         "software"
     }
 
-    fn prepare(&self, net: &Bnn, _opts: &SessionOpts) -> Result<Box<dyn Session>, EbError> {
+    fn prepare(&self, net: &Bnn, opts: &SessionOpts) -> Result<Box<dyn Session>, EbError> {
+        if opts.noise.drift_t_ratio.is_some() {
+            return Err(EbError::Config(
+                "the software backend models no devices and therefore no resistance drift; \
+                 unset NoiseConfig::drift_t_ratio or use BackendKind::Epcm"
+                    .into(),
+            ));
+        }
         Ok(Box::new(SoftwareSession {
             net: net.clone(),
             scratch: ForwardScratch::new(),

@@ -56,6 +56,10 @@ pub struct CrossbarArray {
     params: DeviceParams,
     devices: Vec<Option<EpcmDevice>>,
     writes: u64,
+    /// Read time as a multiple of the programming time `t₀`; amorphous
+    /// cells resolve through [`EpcmDevice::after_drift`] at this ratio.
+    /// `1.0` (the default) reads at programming time — no drift.
+    t_ratio: f64,
 }
 
 impl CrossbarArray {
@@ -67,7 +71,22 @@ impl CrossbarArray {
             params,
             devices: vec![None; rows * cols],
             writes: 0,
+            t_ratio: 1.0,
         }
+    }
+
+    /// Sets the read time `t/t₀` at which every subsequent read (and
+    /// conductance snapshot) resolves amorphous resistance drift. Values
+    /// `≤ 1.0` read at programming time, i.e. no drift — see
+    /// [`EpcmDevice::after_drift`]. Drift is deterministic, so this does
+    /// not affect [`CrossbarArray::read_is_deterministic`].
+    pub fn set_drift_t_ratio(&mut self, t_ratio: f64) {
+        self.t_ratio = t_ratio;
+    }
+
+    /// The read time `t/t₀` drift currently resolves at (1.0 = none).
+    pub fn drift_t_ratio(&self) -> f64 {
+        self.t_ratio
     }
 
     /// Number of word lines (rows).
@@ -172,11 +191,12 @@ impl CrossbarArray {
             .map(EpcmDevice::stored_bit)
     }
 
-    /// One-device conductance read with read noise; unprogrammed devices
-    /// read as `g_off` (a pristine PCM device is highly resistive).
+    /// One-device conductance read with drift (at the configured
+    /// [`CrossbarArray::drift_t_ratio`]) and read noise; unprogrammed
+    /// devices read as `g_off` (a pristine PCM device is highly resistive).
     pub fn read_conductance(&self, r: usize, c: usize, rng: &mut impl Rng) -> f64 {
         match &self.devices[self.idx(r, c)] {
-            Some(d) => d.read(&self.params, rng),
+            Some(d) => d.read_at(self.t_ratio, &self.params, rng),
             None => self.params.g_off,
         }
     }
@@ -190,17 +210,19 @@ impl CrossbarArray {
     /// Row-major snapshot of the programmed conductances (`rows × cols`,
     /// unprogrammed cells at `g_off`).
     ///
-    /// Programming variability is baked into the stored devices, so when
-    /// [`CrossbarArray::read_is_deterministic`] holds, the snapshot equals
-    /// what every read would return — the batch VMM path samples it once
-    /// and reuses it for the whole batch instead of re-resolving each
+    /// Programming variability and drift (at the configured
+    /// [`CrossbarArray::drift_t_ratio`]) are baked into the snapshot, so
+    /// when [`CrossbarArray::read_is_deterministic`] holds, the snapshot
+    /// equals what every read would return — the batch VMM path samples it
+    /// once and reuses it for the whole batch instead of re-resolving each
     /// device per input vector.
     pub fn conductance_snapshot(&self) -> Vec<f64> {
         self.devices
             .iter()
             .map(|d| {
-                d.as_ref()
-                    .map_or(self.params.g_off, EpcmDevice::conductance)
+                d.as_ref().map_or(self.params.g_off, |d| {
+                    d.after_drift(self.t_ratio, &self.params)
+                })
             })
             .collect()
     }
@@ -341,6 +363,30 @@ mod tests {
             x.read_conductance(0, 0, &mut r),
             DeviceParams::ideal().g_off
         );
+    }
+
+    #[test]
+    fn drift_lowers_reset_reads_and_snapshot_agrees() {
+        let mut r = rng();
+        let p = DeviceParams {
+            drift_nu: 0.3,
+            ..DeviceParams::ideal()
+        };
+        let mut x = CrossbarArray::new(2, 1, p.clone());
+        x.program_matrix(&BitMatrix::from_fn(2, 1, |row, _| row == 0), &mut r)
+            .unwrap();
+        let fresh = x.conductance_snapshot();
+        x.set_drift_t_ratio(1e6);
+        assert_eq!(x.drift_t_ratio(), 1e6);
+        let drifted = x.conductance_snapshot();
+        // SET (bit 1, row 0) is stable; RESET (bit 0, row 1) drifts down.
+        assert_eq!(drifted[0], fresh[0]);
+        assert!(drifted[1] < fresh[1]);
+        // Reads resolve the same drifted conductances the snapshot reports.
+        assert_eq!(x.read_conductance(0, 0, &mut r), drifted[0]);
+        assert_eq!(x.read_conductance(1, 0, &mut r), drifted[1]);
+        // Drift is deterministic — the snapshot fast path stays valid.
+        assert!(x.read_is_deterministic());
     }
 
     #[test]

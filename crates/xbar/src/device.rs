@@ -99,10 +99,19 @@ impl EpcmDevice {
     /// Conductance observed by one read: programmed value plus Gaussian
     /// read noise, floored at zero.
     pub fn read(&self, params: &DeviceParams, rng: &mut impl Rng) -> f64 {
+        self.read_at(1.0, params, rng)
+    }
+
+    /// Conductance observed by one read taken at `t_ratio = t/t₀` after
+    /// programming: amorphous drift ([`EpcmDevice::after_drift`]) resolves
+    /// first, then Gaussian read noise is applied on top. `read_at(1.0, ..)`
+    /// is exactly [`EpcmDevice::read`], including its RNG draw sequence.
+    pub fn read_at(&self, t_ratio: f64, params: &DeviceParams, rng: &mut impl Rng) -> f64 {
+        let base = self.after_drift(t_ratio, params);
         if params.read_sigma > 0.0 {
-            (self.conductance + gaussian(rng) * params.read_sigma * params.g_on).max(0.0)
+            (base + gaussian(rng) * params.read_sigma * params.g_on).max(0.0)
         } else {
-            self.conductance
+            base
         }
     }
 
@@ -204,6 +213,28 @@ mod tests {
         let d0 = EpcmDevice::program(false, &p, &mut r);
         assert_eq!(d1.after_drift(1000.0, &p), d1.conductance());
         assert!(d0.after_drift(1000.0, &p) < d0.conductance());
+    }
+
+    #[test]
+    fn read_at_drifts_then_adds_noise() {
+        let p = DeviceParams {
+            drift_nu: 0.2,
+            ..DeviceParams::ideal()
+        };
+        let mut r = rng();
+        let d0 = EpcmDevice::program(false, &p, &mut r);
+        // Noiseless: read_at equals the pure drift resolution.
+        assert_eq!(d0.read_at(1e4, &p, &mut r), d0.after_drift(1e4, &p));
+        assert!(d0.read_at(1e4, &p, &mut r) < d0.conductance());
+        // read(..) is read_at(1.0, ..) bit-for-bit, including RNG draws.
+        let noisy = DeviceParams {
+            read_sigma: 0.03,
+            drift_nu: 0.2,
+            ..DeviceParams::ideal()
+        };
+        let mut r1 = rng();
+        let mut r2 = rng();
+        assert_eq!(d0.read(&noisy, &mut r1), d0.read_at(1.0, &noisy, &mut r2));
     }
 
     #[test]

@@ -362,6 +362,46 @@ mod tests {
     }
 
     #[test]
+    fn drifted_batch_matches_drifted_singles() {
+        // A low on/off-ratio device where off-current carries real weight:
+        // drift then visibly changes the ADC counts, and the snapshot fast
+        // path must agree with per-input reads on the drifted conductances.
+        let p = DeviceParams {
+            g_on: 100e-6,
+            g_off: 40e-6,
+            drift_nu: 0.3,
+            ..DeviceParams::ideal()
+        };
+        let mut r = rng();
+        let mut array = CrossbarArray::new(32, 3, p);
+        array
+            .program_matrix(&BitMatrix::from_fn(32, 3, |a, b| (a + b) % 2 == 0), &mut r)
+            .unwrap();
+        array.set_drift_t_ratio(1e6);
+        let engine = VmmEngine::with_defaults(array);
+        let inputs: Vec<BitVec> = (0..4)
+            .map(|k| BitVec::from_bools(&(0..32).map(|i| (i + k) % 3 != 0).collect::<Vec<_>>()))
+            .collect();
+        let batch = engine.vmm_counts_batch(&inputs, &mut r).unwrap();
+        for (k, v) in inputs.iter().enumerate() {
+            assert_eq!(batch[k], engine.vmm_counts(v, &mut r).unwrap(), "input {k}");
+        }
+        // And the drift actually moved the counts vs an undrifted twin.
+        let mut r2 = rng();
+        let mut fresh = CrossbarArray::new(32, 3, engine.array().params().clone());
+        fresh
+            .program_matrix(&BitMatrix::from_fn(32, 3, |a, b| (a + b) % 2 == 0), &mut r2)
+            .unwrap();
+        let undrifted = VmmEngine::with_defaults(fresh)
+            .vmm_counts_batch(&inputs, &mut r2)
+            .unwrap();
+        assert_ne!(
+            batch, undrifted,
+            "drift at 40 µS off-conductance must move counts"
+        );
+    }
+
+    #[test]
     fn batch_cols_matches_column_range_readout() {
         let bits = BitMatrix::from_fn(16, 8, |r, c| r == c % 16 || (r + c) % 3 == 0);
         let engine = engine_from_bits(&bits);

@@ -52,6 +52,6 @@ pub use eb_runtime as runtime;
 pub use eb_xbar as xbar;
 
 pub use eb_runtime::{
-    predict, Backend, BackendKind, EbError, NoiseConfig, NoiseProfile, Runtime, RuntimeBuilder,
-    Session, SessionOpts, SessionStats,
+    predict, Backend, BackendKind, DynamicBatcher, EbError, NoiseConfig, NoiseProfile, PoolConfig,
+    PoolHandle, PoolStats, Runtime, RuntimeBuilder, ServePool, Session, SessionOpts, SessionStats,
 };

@@ -108,6 +108,7 @@ fn same_seed_same_noisy_outputs_across_sessions() {
                 .noise(NoiseConfig {
                     seed,
                     profile: NoiseProfile::Noisy,
+                    ..Default::default()
                 })
                 .prepare(&net)
                 .unwrap();

@@ -93,6 +93,55 @@ proptest! {
         }
     }
 
+    /// Degenerate serving inputs through `Box<dyn Session>` on every
+    /// backend: the empty batch is served (not an error, not a crash),
+    /// a batch of one matches plain `infer`, and an arbitrary
+    /// interleaving of `infer` / `infer_batch` calls keeps
+    /// `stats().inferences` exact.
+    #[test]
+    fn degenerate_batches_and_interleavings_keep_stats_exact(
+        inputs in 4usize..16,
+        hidden in 2usize..10,
+        classes in 2usize..5,
+        // Interleaving script: true = one infer, false = a small batch.
+        script in prop::collection::vec(any::<bool>(), 1..5),
+        seed in any::<u64>(),
+    ) {
+        let net = random_mlp(inputs, hidden, classes, seed);
+        let shape = net.input_shape();
+        for kind in BackendKind::all() {
+            let mut session = prepare(kind, &net, seed);
+
+            // Empty batch: served, empty, and not counted.
+            prop_assert!(session.infer_batch(&[]).expect("empty batch").is_empty(), "{}", kind);
+            prop_assert_eq!(session.stats().inferences, 0, "{}", kind);
+
+            // Batch of one equals plain infer (noiseless backends).
+            let xs = batch_of(shape, 1, seed);
+            let via_batch = session.infer_batch(&xs).expect("batch of one");
+            prop_assert_eq!(via_batch.len(), 1, "{}", kind);
+            let mut fresh = prepare(kind, &net, seed);
+            prop_assert_eq!(&via_batch[0], &fresh.infer(&xs[0]).expect("single"), "{}", kind);
+            prop_assert_eq!(session.stats().inferences, 1, "{}", kind);
+
+            // Interleaved singles, batches, and empty batches: the
+            // counter tracks exactly the number of served samples.
+            let mut expected = 1u64;
+            for (step, single) in script.iter().enumerate() {
+                if *single {
+                    session.infer(&xs[0]).expect("interleaved infer");
+                    expected += 1;
+                } else {
+                    let batch = batch_of(shape, (step % 3) + 2, seed ^ step as u64);
+                    session.infer_batch(&batch).expect("interleaved batch");
+                    expected += batch.len() as u64;
+                    session.infer_batch(&[]).expect("interleaved empty");
+                }
+                prop_assert_eq!(session.stats().inferences, expected, "{} step {}", kind, step);
+            }
+        }
+    }
+
     /// Same contract on conv topologies, where the analog batch path packs
     /// all windows of all samples into shared activations.
     #[test]
