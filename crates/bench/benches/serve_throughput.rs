@@ -25,13 +25,21 @@
 //! (like the recorded baseline's) all of the recovered speedup is
 //! micro-batch coalescing.
 //!
+//! The PR 5 `pool4_submit_xB` rows drive the same stream through the
+//! v2 ticket API (`submit` everything, then `wait` every ticket) —
+//! since the blocking calls are wrappers over exactly that path, the
+//! `pool4_xB / pool4_submit_xB` gap measures nothing but call-shape
+//! overhead, and `pool4_xB` vs its `BENCH_pr4.json` recording measures
+//! the ticket machinery against the old mpsc-reply-channel plumbing
+//! (acceptance: no >5% regression).
+//!
 //! Before anything is timed, every backend's batch output — and the
 //! pool's — is asserted identical to its single-call outputs through the
 //! same trait objects.
 
 use criterion::{criterion_group, criterion_main, Criterion};
 use eb_bitnn::{Dataset, DatasetKind, MlpTrainer, Tensor, TrainConfig};
-use eb_runtime::{BackendKind, Runtime, Session};
+use eb_runtime::{BackendKind, Request, Runtime, Session, Ticket};
 use std::hint::black_box;
 use std::time::Duration;
 
@@ -138,6 +146,20 @@ fn bench_pool_throughput(c: &mut Criterion) {
 
         group.bench_function(format!("{kind}/pool4_x{BATCH}"), |b| {
             b.iter(|| black_box(handle.infer_many(&requests).expect("pool serve")))
+        });
+
+        // The explicit v2 ticket shape: submit the whole stream without
+        // blocking, then collect every ticket.
+        group.bench_function(format!("{kind}/pool4_submit_x{BATCH}"), |b| {
+            b.iter(|| {
+                let tickets: Vec<Ticket> = requests
+                    .iter()
+                    .map(|x| handle.submit(Request::new(x.clone())).expect("submit"))
+                    .collect();
+                for ticket in tickets {
+                    black_box(ticket.wait().expect("ticket"));
+                }
+            })
         });
     }
     group.finish();

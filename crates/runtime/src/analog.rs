@@ -21,6 +21,7 @@ use eb_photonics::{Receiver, PAPER_WDM_CAPACITY};
 use eb_xbar::{DeviceParams, XbarConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::time::Instant;
 
 /// Serves inference on simulated 1T1R ePCM crossbars in TacitMap layout
 /// (`eb-mapping` → `eb-xbar` analog VMM).
@@ -287,6 +288,8 @@ struct AnalogSession {
     mats: Vec<MappedMat>,
     plan: Vec<LayerExec>,
     inferences: u64,
+    /// Accumulated wall-clock serving time (monotone nondecreasing).
+    latency_ns: f64,
 }
 
 impl AnalogSession {
@@ -360,6 +363,7 @@ impl AnalogSession {
             mats,
             plan,
             inferences: 0,
+            latency_ns: 0.0,
         })
     }
 
@@ -368,11 +372,20 @@ impl AnalogSession {
         self
     }
 
+    /// Serves a whole batch, accumulating wall-clock latency around
+    /// [`AnalogSession::run_batch_inner`].
+    fn run_batch(&mut self, xs: &[Tensor]) -> Result<Vec<Tensor>, EbError> {
+        let started = Instant::now();
+        let out = self.run_batch_inner(xs);
+        self.latency_ns += started.elapsed().as_nanos() as f64;
+        out
+    }
+
     /// Serves a whole batch layer by layer: every matrix layer fires one
     /// batched substrate activation covering all samples (and, for convs,
     /// all windows), so periphery setup, device resolution, and WDM lane
     /// packing amortize across the batch.
-    fn run_batch(&mut self, xs: &[Tensor]) -> Result<Vec<Tensor>, EbError> {
+    fn run_batch_inner(&mut self, xs: &[Tensor]) -> Result<Vec<Tensor>, EbError> {
         let expected = self.net.input_shape();
         for x in xs {
             if x.len() != expected.len() {
@@ -545,6 +558,7 @@ impl Session for AnalogSession {
             inferences: self.inferences,
             crossbar_steps: self.mats.iter().map(MappedMat::steps_taken).sum(),
             wdm_lanes: self.mats.iter().map(MappedMat::wdm_lanes).sum(),
+            latency_ns: self.latency_ns,
             ..SessionStats::default()
         }
     }

@@ -45,6 +45,14 @@ pub enum EbError {
     /// A session was configured or driven inconsistently (e.g. a network
     /// topology the substrate cannot host).
     Config(String),
+    /// A submitted request's deadline passed before a replica served it.
+    /// The request never occupied a micro-batch slot; its ticket
+    /// completes with this error instead of stale logits.
+    DeadlineExceeded,
+    /// A submitted request was cancelled (via
+    /// [`Ticket::cancel`](crate::Ticket::cancel)) before a replica
+    /// claimed it for serving.
+    Cancelled,
 }
 
 impl fmt::Display for EbError {
@@ -58,6 +66,10 @@ impl fmt::Display for EbError {
             Self::Compile(e) => write!(f, "compile error: {e}"),
             Self::Sim(e) => write!(f, "simulation error: {e}"),
             Self::Config(msg) => write!(f, "runtime configuration error: {msg}"),
+            Self::DeadlineExceeded => {
+                write!(f, "request deadline passed before a replica served it")
+            }
+            Self::Cancelled => write!(f, "request was cancelled before serving"),
         }
     }
 }
@@ -72,7 +84,7 @@ impl Error for EbError {
             Self::Optical(e) => Some(e),
             Self::Compile(e) => Some(e),
             Self::Sim(e) => Some(e),
-            Self::Config(_) => None,
+            Self::Config(_) | Self::DeadlineExceeded | Self::Cancelled => None,
         }
     }
 }

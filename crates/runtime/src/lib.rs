@@ -25,9 +25,13 @@
 //! layer shards one network across N replica sessions behind a
 //! dynamically micro-batching queue:
 //! `Runtime::builder().replicas(4).max_batch(16).serve(&net)` returns a
-//! [`ServePool`] whose blocking [`PoolHandle`] clones serve any number of
+//! [`ServePool`] whose cloneable [`PoolHandle`]s serve any number of
 //! client threads, coalescing their single-inference requests into each
-//! backend's batched substrate path.
+//! backend's batched substrate path. Submission is ticket-based
+//! ([`PoolHandle::submit`] → [`Ticket`], with per-[`Request`] deadlines
+//! and [`Priority`] classes; the blocking `infer`/`predict`/`infer_many`
+//! wrap `submit(..).wait()`), and a multi-model [`Server`] registry
+//! serves named networks with hot [`Server::swap`] replacement.
 //!
 //! ```
 //! use eb_runtime::{BackendKind, Runtime};
@@ -64,7 +68,10 @@ mod software;
 pub use analog::{EpcmBackend, PhotonicBackend};
 pub use builder::{BackendKind, Runtime, RuntimeBuilder};
 pub use error::EbError;
-pub use serve::{DynamicBatcher, PoolConfig, PoolHandle, PoolStats, ServePool};
+pub use serve::{
+    derived_model_seed, DynamicBatcher, ModelHandle, ModelOpts, PoolConfig, PoolHandle, PoolStats,
+    Priority, Request, RequestOpts, ServePool, Server, ServerBuilder, Ticket, TicketStatus,
+};
 pub use session::{
     predict, Backend, NoiseConfig, NoiseProfile, Session, SessionOpts, SessionStats,
 };

@@ -1,0 +1,142 @@
+//! Sharded, ticket-based serving with dynamic micro-batching and a
+//! multi-model registry — the v2 serving surface.
+//!
+//! A single [`Session`](crate::Session) serves one request at a time
+//! through `&mut self`, even though every backend's batch path is
+//! markedly cheaper per sample than repeated singles (batched analog
+//! VMM, WDM lane packing, rayon fan-out). This module closes that gap
+//! for request/response traffic, in three layers:
+//!
+//! * **Tickets** ([`ticket`]): [`PoolHandle::submit`] accepts a
+//!   [`Request`] — input plus [`RequestOpts`] (deadline, [`Priority`])
+//!   — and immediately returns a [`Ticket`], a condvar-backed
+//!   poll/wait/cancel handle. No client thread is parked per in-flight
+//!   request; deadlines bound tail latency; cancelled requests are
+//!   discarded unserved when a worker drains them (they never occupy a
+//!   micro-batch slot). The blocking calls
+//!   (`infer`/`predict`/`infer_many`) are
+//!   thin wrappers over `submit(..)` + [`Ticket::wait`], preserving
+//!   their bit-exactness and stats contracts verbatim.
+//! * **Pools** ([`pool`] + [`batcher`]): [`ServePool`] prepares **N
+//!   replica sessions** of one network (one per worker thread, each
+//!   with the deterministically derived seed `base_seed + replica_id`)
+//!   behind a bounded, priority-laned [`DynamicBatcher`] that coalesces
+//!   single-inference requests into micro-batches (take the first
+//!   request, linger ≤ `max_wait` for ≤ `max_batch` partners, serve the
+//!   group through one `infer_batch`). Cancelled and expired requests
+//!   complete without occupying micro-batch slots. [`PoolStats`]
+//!   aggregates the per-replica [`SessionStats`](crate::SessionStats).
+//! * **The registry** ([`registry`]): [`Server`] owns named pools —
+//!   `Server::builder().model("mnist", &net).serve()` — with
+//!   [`Server::deploy`]/[`Server::retire`]/[`Server::swap`] lifecycle
+//!   management. `swap` hot-replaces a model with zero dropped tickets;
+//!   [`ModelHandle`]s address models by name and survive swaps.
+//!
+//! # Determinism
+//!
+//! In noiseless configurations a session's outputs are a pure function
+//! of the input, so pool outputs are **bit-exact** against a single
+//! session regardless of which replica serves which request, whether
+//! the client blocks or holds tickets, and in which priority class it
+//! submits (pinned by `tests/serve_pool.rs` on all four backends).
+//! Under [`NoiseProfile::Noisy`](crate::NoiseProfile::Noisy), each
+//! replica is individually deterministic (seed `base_seed + replica_id`
+//! and its own draw sequence), but which replica serves a request — and
+//! after how many prior draws — depends on dispatch timing, so noisy
+//! pool outputs are *replica-deterministic but dispatch-order-dependent*.
+//! For replayable noisy serving use one replica and a single client, or
+//! a plain [`Session`](crate::Session). Named [`Server`] models
+//! additionally derive per-name base seeds
+//! ([`derived_model_seed`]).
+//!
+//! ```
+//! use eb_runtime::{Priority, Request, Runtime, TicketStatus};
+//! use eb_bitnn::{BinLinear, Bnn, FixedLinear, Layer, OutputLinear, Shape, Tensor};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! let mut rng = StdRng::seed_from_u64(5);
+//! let net = Bnn::new(
+//!     "pooled",
+//!     Shape::Flat(12),
+//!     vec![
+//!         Layer::FixedLinear(FixedLinear::random("in", 12, 8, &mut rng)),
+//!         Layer::BinLinear(BinLinear::random("h", 8, 8, &mut rng)),
+//!         Layer::Output(OutputLinear::random("out", 8, 3, &mut rng)),
+//!     ],
+//! )?;
+//! let pool = Runtime::builder().replicas(2).max_batch(4).serve(&net)?;
+//! let handle = pool.handle();
+//! let x = Tensor::from_fn(&[12], |i| (i as f32 * 0.37).sin());
+//!
+//! // v2: non-blocking submission, then wait on the ticket.
+//! let ticket = handle.submit(Request::new(x.clone()).priority(Priority::High))?;
+//! assert_eq!(ticket.wait()?, net.forward(&x)?);
+//!
+//! // The blocking wrappers ride the same path.
+//! assert_eq!(handle.infer(&x)?, net.forward(&x)?);
+//! assert!(handle.predict(&x)? < 3);
+//! assert_eq!(pool.stats().total().inferences, 3);
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+mod batcher;
+mod pool;
+mod registry;
+mod ticket;
+
+pub use batcher::DynamicBatcher;
+pub use pool::{PoolConfig, PoolHandle, PoolStats, ServePool};
+pub use registry::{derived_model_seed, ModelHandle, ModelOpts, Server, ServerBuilder};
+pub use ticket::{Priority, Request, RequestOpts, Ticket, TicketStatus};
+
+use crate::error::EbError;
+use crate::session::predicted_class;
+use eb_bitnn::Tensor;
+use std::sync::{Mutex, MutexGuard, PoisonError};
+
+/// The blocking convenience calls, shared verbatim by
+/// [`PoolHandle`](crate::PoolHandle) and
+/// [`ModelHandle`](crate::ModelHandle): each is `submit(..)` +
+/// [`Ticket::wait`] over the handle's own submission path, which is
+/// what preserves the pre-ticket bit-exactness and stats contracts.
+pub(crate) fn infer_via(
+    submit: impl FnOnce(Request) -> Result<Ticket, EbError>,
+    x: &Tensor,
+) -> Result<Tensor, EbError> {
+    submit(Request::new(x.clone()))?.wait()
+}
+
+/// Argmax of [`infer_via`] logits; empty logits are a real error.
+pub(crate) fn predict_via(
+    submit: impl FnOnce(Request) -> Result<Ticket, EbError>,
+    x: &Tensor,
+) -> Result<usize, EbError> {
+    predicted_class(&infer_via(submit, x)?)
+}
+
+/// Submits a whole stream, then waits for every ticket — results in
+/// request order, first failure reported (the rest are still served).
+pub(crate) fn infer_many_via(
+    submit: impl Fn(Request) -> Result<Ticket, EbError>,
+    xs: &[Tensor],
+) -> Result<Vec<Tensor>, EbError> {
+    let tickets = xs
+        .iter()
+        .map(|x| submit(Request::new(x.clone())))
+        .collect::<Result<Vec<_>, EbError>>()?;
+    tickets.into_iter().map(Ticket::wait).collect()
+}
+
+/// Locks a pool/batcher mutex, recovering from poisoning: every critical
+/// section here leaves the guarded state consistent before any call that
+/// could panic, so a poisoned lock carries usable state — recovering
+/// keeps `stats()`/`submit` working instead of cascading panics.
+pub(crate) fn lock_recovering<T>(mutex: &Mutex<T>) -> MutexGuard<'_, T> {
+    mutex.lock().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// "The pool died before replying" — reached when a worker panicked or
+/// the pool was torn down between submission and completion.
+pub(crate) fn pool_gone() -> EbError {
+    EbError::Config("serving pool shut down before replying".into())
+}

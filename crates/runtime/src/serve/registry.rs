@@ -1,0 +1,634 @@
+//! [`Server`] — a registry of named, independently configured
+//! [`ServePool`]s with zero-downtime model replacement.
+//!
+//! Serving one model is [`ServePool`]'s job; production serving means
+//! *several* models (A/B variants, per-tenant networks, staged
+//! rollouts) behind stable names. A [`Server`] owns one pool per name
+//! and supports:
+//!
+//! * [`Server::handle`] — a cloneable [`ModelHandle`] addressing a model
+//!   *by name*, stable across hot swaps,
+//! * [`Server::deploy`] / [`Server::retire`] — add and remove models at
+//!   runtime,
+//! * [`Server::swap`] — hot-replace a model's network: the new pool is
+//!   prepared first (crossbars programmed, streams compiled), then the
+//!   name atomically switches to it, then the old pool drains — every
+//!   in-flight ticket on the old pool still completes, and a client
+//!   that races the switch transparently resubmits to the new pool
+//!   (zero dropped tickets).
+//!
+//! # Per-model seed derivation
+//!
+//! Model `name`'s pool uses base seed
+//! `configured_seed XOR fnv1a64(name)` (see [`derived_model_seed`]),
+//! and replica `i` inside that pool serves with `base + i` as always.
+//! Two models deployed with identical options therefore draw
+//! *independent* noise streams, while redeploying (or swapping) the
+//! same name is deterministic: same `(name, configured seed, network,
+//! options)` ⇒ identical noisy outputs.
+
+use crate::builder::{BackendKind, Runtime};
+use crate::error::EbError;
+use crate::serve::batcher::closed_error;
+use crate::serve::pool::{PoolConfig, PoolHandle, PoolStats, QueuedRequest, ServePool};
+use crate::serve::ticket::{Request, Ticket};
+use crate::session::SessionOpts;
+use eb_bitnn::{Bnn, Tensor};
+use std::collections::HashMap;
+use std::fmt;
+use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+
+fn read_recovering<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
+    lock.read().unwrap_or_else(PoisonError::into_inner)
+}
+
+fn write_recovering<T>(lock: &RwLock<T>) -> RwLockWriteGuard<'_, T> {
+    lock.write().unwrap_or_else(PoisonError::into_inner)
+}
+
+/// Base seed of the named model's pool: `configured ^ fnv1a64(name)`.
+///
+/// FNV-1a keeps the rule dependency-free and documentable; the XOR
+/// preserves the configured seed as the reproducibility knob (change it
+/// and every model's stream changes; keep it and each name replays).
+pub fn derived_model_seed(name: &str, configured: u64) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    configured ^ hash
+}
+
+/// Per-model serving configuration: which substrate, which session
+/// options, which pool shape. [`Clone`]d freely so [`Server::swap`] can
+/// rebuild a model's pool with the options it was deployed with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ModelOpts {
+    /// Substrate the model's replicas are prepared on.
+    pub backend: BackendKind,
+    /// Session options (noise profile, configured seed — the pool's
+    /// base seed is then name-derived, see [`derived_model_seed`]).
+    pub session: SessionOpts,
+    /// Pool shape (replicas, micro-batch bounds, queue depth).
+    pub pool: PoolConfig,
+}
+
+impl Default for ModelOpts {
+    /// Software backend, ideal noise, default pool shape.
+    fn default() -> Self {
+        Self {
+            backend: BackendKind::Software,
+            session: SessionOpts::default(),
+            pool: PoolConfig::default(),
+        }
+    }
+}
+
+/// The handle slot a [`ModelHandle`] reads through: `generation`
+/// advances on every [`Server::swap`], which is how a client that
+/// raced the switch distinguishes "this model was swapped — resubmit"
+/// from "this model is gone — report the error".
+struct HandleSlot {
+    generation: u64,
+    handle: PoolHandle,
+}
+
+/// One registered model.
+struct ModelEntry {
+    opts: ModelOpts,
+    slot: Arc<RwLock<HandleSlot>>,
+    /// Owns the worker threads; replaced wholesale by [`Server::swap`].
+    pool: ServePool,
+}
+
+/// A multi-model serving registry: named [`ServePool`]s behind one
+/// deploy/retire/swap surface (swap contract on [`Server::swap`],
+/// seed-derivation rule on [`derived_model_seed`]).
+///
+/// ```
+/// use eb_runtime::{Server, Request};
+/// use eb_bitnn::{BinLinear, Bnn, FixedLinear, Layer, OutputLinear, Shape, Tensor};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(2);
+/// let net = Bnn::new(
+///     "m",
+///     Shape::Flat(8),
+///     vec![
+///         Layer::FixedLinear(FixedLinear::random("in", 8, 6, &mut rng)),
+///         Layer::BinLinear(BinLinear::random("h", 6, 6, &mut rng)),
+///         Layer::Output(OutputLinear::random("out", 6, 3, &mut rng)),
+///     ],
+/// )?;
+/// let server = Server::builder().model("mnist", &net).serve()?;
+/// let handle = server.handle("mnist")?;
+/// let x = Tensor::from_fn(&[8], |i| (i as f32 * 0.3).cos());
+/// let ticket = handle.submit(Request::new(x.clone()))?;
+/// assert_eq!(ticket.wait()?, net.forward(&x)?);
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+pub struct Server {
+    models: RwLock<HashMap<String, ModelEntry>>,
+    defaults: ModelOpts,
+}
+
+impl fmt::Debug for Server {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Server")
+            .field("models", &self.models())
+            .field("defaults", &self.defaults)
+            .finish()
+    }
+}
+
+impl Server {
+    /// Starts configuring a server (defaults: software backend, ideal
+    /// noise, default pool shape, no models).
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::default()
+    }
+
+    /// Prepares `name`'s pool per `opts` (with the name-derived base
+    /// seed) — the one place registry pools are built.
+    fn build_pool(name: &str, net: &Bnn, opts: &ModelOpts) -> Result<ServePool, EbError> {
+        let mut session = opts.session;
+        session.noise.seed = derived_model_seed(name, session.noise.seed);
+        let runtime = Runtime::builder()
+            .backend(opts.backend)
+            .opts(session)
+            .build();
+        ServePool::new(&runtime, net, opts.pool)
+    }
+
+    fn unknown_model(&self, name: &str) -> EbError {
+        let mut known = self.models();
+        known.sort();
+        EbError::Config(format!(
+            "unknown model `{name}` (deployed: [{}])",
+            known.join(", ")
+        ))
+    }
+
+    /// A cloneable, swap-stable handle addressing model `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] when no model of that name is
+    /// deployed.
+    pub fn handle(&self, name: &str) -> Result<ModelHandle, EbError> {
+        let models = read_recovering(&self.models);
+        let entry = models.get(name);
+        match entry {
+            Some(entry) => Ok(ModelHandle {
+                name: Arc::from(name),
+                slot: Arc::clone(&entry.slot),
+            }),
+            None => {
+                drop(models);
+                Err(self.unknown_model(name))
+            }
+        }
+    }
+
+    /// Deploys a new model under `name` with the server's default
+    /// [`ModelOpts`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] when the name is already taken (use
+    /// [`Server::swap`] to replace a live model) and any prepare-time
+    /// [`EbError`] from the substrate.
+    pub fn deploy(&self, name: &str, net: &Bnn) -> Result<(), EbError> {
+        self.deploy_with(name, net, self.defaults.clone())
+    }
+
+    /// Deploys a new model under `name` with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Server::deploy`].
+    pub fn deploy_with(&self, name: &str, net: &Bnn, opts: ModelOpts) -> Result<(), EbError> {
+        if read_recovering(&self.models).contains_key(name) {
+            return Err(EbError::Config(format!(
+                "model `{name}` is already deployed; use Server::swap to replace it"
+            )));
+        }
+        // Prepare outside the map lock — programming crossbars can take
+        // a while and other models must keep serving.
+        let pool = Self::build_pool(name, net, &opts)?;
+        let entry = ModelEntry {
+            opts,
+            slot: Arc::new(RwLock::new(HandleSlot {
+                generation: 0,
+                handle: pool.handle(),
+            })),
+            pool,
+        };
+        let mut models = write_recovering(&self.models);
+        if models.contains_key(name) {
+            // A concurrent deploy won the race; drop our pool (drains
+            // nothing — it never served).
+            return Err(EbError::Config(format!(
+                "model `{name}` is already deployed; use Server::swap to replace it"
+            )));
+        }
+        models.insert(name.to_string(), entry);
+        Ok(())
+    }
+
+    /// Hot-replaces model `name` with `net`, keeping the options it was
+    /// deployed with: prepares the new pool, atomically switches the
+    /// name (and every live [`ModelHandle`]) to it, then drains the old
+    /// pool — in-flight tickets on the old pool still complete, and
+    /// submissions racing the switch resubmit to the new pool. Returns
+    /// the retired pool's final counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] for an unknown name and any
+    /// prepare-time [`EbError`] from the substrate (the old pool keeps
+    /// serving untouched in both cases).
+    pub fn swap(&self, name: &str, net: &Bnn) -> Result<PoolStats, EbError> {
+        // Every `unknown_model` call below reads the models lock, so it
+        // must only run with no guard live on this thread.
+        let opts = {
+            let models = read_recovering(&self.models);
+            models.get(name).map(|entry| entry.opts.clone())
+        };
+        let Some(opts) = opts else {
+            return Err(self.unknown_model(name));
+        };
+        let mut new_pool = Some(Self::build_pool(name, net, &opts)?);
+        let old_pool = {
+            let mut models = write_recovering(&self.models);
+            models.get_mut(name).map(|entry| {
+                let pool = new_pool.take().expect("replacement pool present");
+                let mut slot = write_recovering(&entry.slot);
+                slot.generation += 1;
+                slot.handle = pool.handle();
+                drop(slot);
+                std::mem::replace(&mut entry.pool, pool)
+            })
+        };
+        match old_pool {
+            // Outside every lock: serve the old pool's queued requests
+            // to completion and join its workers.
+            Some(old) => Ok(old.shutdown()),
+            None => {
+                // Retired while we were preparing; honor the retire and
+                // tear the never-used replacement down outside the lock.
+                drop(new_pool);
+                Err(self.unknown_model(name))
+            }
+        }
+    }
+
+    /// Removes model `name`, drains its pool, and returns the final
+    /// counters. Live [`ModelHandle`]s for the name start erroring.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] for an unknown name.
+    pub fn retire(&self, name: &str) -> Result<PoolStats, EbError> {
+        let entry = write_recovering(&self.models).remove(name);
+        match entry {
+            Some(entry) => Ok(entry.pool.shutdown()),
+            None => Err(self.unknown_model(name)),
+        }
+    }
+
+    /// Names of the currently deployed models, sorted.
+    pub fn models(&self) -> Vec<String> {
+        let mut names: Vec<String> = read_recovering(&self.models).keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Snapshot of model `name`'s pool counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] for an unknown name.
+    pub fn stats(&self, name: &str) -> Result<PoolStats, EbError> {
+        let models = read_recovering(&self.models);
+        match models.get(name) {
+            Some(entry) => Ok(entry.pool.stats()),
+            None => {
+                drop(models);
+                Err(self.unknown_model(name))
+            }
+        }
+    }
+
+    /// The [`ModelOpts`] applied by [`Server::deploy`].
+    pub fn defaults(&self) -> &ModelOpts {
+        &self.defaults
+    }
+
+    /// Shuts every model down (draining each pool) and returns the
+    /// final per-model counters, sorted by name. Dropping the server
+    /// does the same, silently.
+    pub fn shutdown(self) -> Vec<(String, PoolStats)> {
+        let models = self
+            .models
+            .into_inner()
+            .unwrap_or_else(PoisonError::into_inner);
+        let mut finals: Vec<(String, PoolStats)> = models
+            .into_iter()
+            .map(|(name, entry)| (name, entry.pool.shutdown()))
+            .collect();
+        finals.sort_by(|a, b| a.0.cmp(&b.0));
+        finals
+    }
+}
+
+/// Builder for [`Server`]: set shared defaults, register the initial
+/// models, then [`ServerBuilder::serve`].
+#[derive(Debug, Default)]
+pub struct ServerBuilder {
+    defaults: ModelOpts,
+    models: Vec<(String, Bnn, Option<ModelOpts>)>,
+}
+
+impl ServerBuilder {
+    /// Replaces the default [`ModelOpts`] applied to models registered
+    /// without explicit options (and by [`Server::deploy`]).
+    pub fn defaults(mut self, opts: ModelOpts) -> Self {
+        self.defaults = opts;
+        self
+    }
+
+    /// Sets the default backend (shorthand into
+    /// [`ServerBuilder::defaults`]).
+    pub fn backend(mut self, kind: BackendKind) -> Self {
+        self.defaults.backend = kind;
+        self
+    }
+
+    /// Sets the default configured seed (each model still derives its
+    /// own base seed from its name — see [`derived_model_seed`]).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.defaults.session.noise.seed = seed;
+        self
+    }
+
+    /// Sets the default pool shape.
+    pub fn pool(mut self, pool: PoolConfig) -> Self {
+        self.defaults.pool = pool;
+        self
+    }
+
+    /// Registers a model to deploy at [`ServerBuilder::serve`] time with
+    /// the default options.
+    pub fn model(mut self, name: impl Into<String>, net: &Bnn) -> Self {
+        self.models.push((name.into(), net.clone(), None));
+        self
+    }
+
+    /// Registers a model with explicit options.
+    pub fn model_with(mut self, name: impl Into<String>, net: &Bnn, opts: ModelOpts) -> Self {
+        self.models.push((name.into(), net.clone(), Some(opts)));
+        self
+    }
+
+    /// Prepares every registered model's pool and starts the server.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] for duplicate model names and any
+    /// prepare-time [`EbError`] from a substrate; pools already started
+    /// are drained and torn down in that case.
+    pub fn serve(self) -> Result<Server, EbError> {
+        let server = Server {
+            models: RwLock::new(HashMap::new()),
+            defaults: self.defaults,
+        };
+        for (name, net, opts) in self.models {
+            let opts = opts.unwrap_or_else(|| server.defaults.clone());
+            // Duplicate names fail here with deploy's own error.
+            server.deploy_with(&name, &net, opts)?;
+        }
+        Ok(server)
+    }
+}
+
+/// A cloneable client handle addressing one *named* model of a
+/// [`Server`]. Unlike a raw [`PoolHandle`], it survives
+/// [`Server::swap`]: submissions racing a swap transparently retry on
+/// the model's new pool, so a client stream across a swap loses zero
+/// tickets. After [`Server::retire`] every call errors.
+#[derive(Clone)]
+pub struct ModelHandle {
+    name: Arc<str>,
+    slot: Arc<RwLock<HandleSlot>>,
+}
+
+impl fmt::Debug for ModelHandle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let slot = read_recovering(&self.slot);
+        f.debug_struct("ModelHandle")
+            .field("name", &self.name)
+            .field("generation", &slot.generation)
+            .finish()
+    }
+}
+
+impl ModelHandle {
+    /// The model name this handle addresses.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Submits one request to the model's *current* pool, returning a
+    /// [`Ticket`]. If the pool is swapped away between reading the
+    /// handle and submitting (its queue rejects new requests while
+    /// draining), the very same queued request — no clone, deadline
+    /// clock still running from the original submission — is re-offered
+    /// to the successor pool, exactly once per swap generation, so
+    /// swaps drop no tickets.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] once the model is retired (or its
+    /// server dropped).
+    pub fn submit(&self, req: Request) -> Result<Ticket, EbError> {
+        let priority = req.opts().priority;
+        let (x, guard, ticket) = req.into_parts();
+        let mut queued = QueuedRequest::new(x, guard);
+        let (mut generation, mut handle) = {
+            let slot = read_recovering(&self.slot);
+            (slot.generation, slot.handle.clone())
+        };
+        loop {
+            match handle.offer(queued, priority) {
+                Ok(()) => return Ok(ticket),
+                Err(rejected) => {
+                    let slot = read_recovering(&self.slot);
+                    if slot.generation == generation {
+                        // Same pool, really shut down (model retired /
+                        // server dropped). Dropping the rejected request
+                        // completes its (never-returned) ticket.
+                        return Err(closed_error());
+                    }
+                    queued = rejected;
+                    generation = slot.generation;
+                    handle = slot.handle.clone();
+                }
+            }
+        }
+    }
+
+    /// Blocking single inference — `submit` + [`Ticket::wait`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelHandle::submit`] and serving errors.
+    pub fn infer(&self, x: &Tensor) -> Result<Tensor, EbError> {
+        crate::serve::infer_via(|req| self.submit(req), x)
+    }
+
+    /// Predicted class for one input: argmax of [`ModelHandle::infer`]
+    /// logits.
+    ///
+    /// # Errors
+    ///
+    /// Propagates [`ModelHandle::infer`] errors; empty logits are an
+    /// [`EbError::Config`], never a silent class 0.
+    pub fn predict(&self, x: &Tensor) -> Result<usize, EbError> {
+        crate::serve::predict_via(|req| self.submit(req), x)
+    }
+
+    /// Submits a whole request stream and blocks until every reply is
+    /// in, returning logits in request order.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first failing request's [`EbError`] (remaining
+    /// requests are still served).
+    pub fn infer_many(&self, xs: &[Tensor]) -> Result<Vec<Tensor>, EbError> {
+        crate::serve::infer_many_via(|req| self.submit(req), xs)
+    }
+
+    /// Snapshot of the *current* pool's counters (a swap resets them —
+    /// the retired pool's finals are returned by [`Server::swap`]).
+    pub fn stats(&self) -> PoolStats {
+        read_recovering(&self.slot).handle.stats()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eb_bitnn::{BinLinear, FixedLinear, Layer, OutputLinear, Shape};
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn mlp(seed: u64) -> Bnn {
+        let mut rng = StdRng::seed_from_u64(seed);
+        Bnn::new(
+            "reg-mlp",
+            Shape::Flat(10),
+            vec![
+                Layer::FixedLinear(FixedLinear::random("in", 10, 8, &mut rng)),
+                Layer::BinLinear(BinLinear::random("h", 8, 6, &mut rng)),
+                Layer::Output(OutputLinear::random("out", 6, 3, &mut rng)),
+            ],
+        )
+        .unwrap()
+    }
+
+    fn x() -> Tensor {
+        Tensor::from_fn(&[10], |i| (i as f32 * 0.21).sin())
+    }
+
+    #[test]
+    fn named_models_serve_independently() {
+        let a = mlp(1);
+        let b = mlp(2);
+        let server = Server::builder()
+            .model("a", &a)
+            .model("b", &b)
+            .serve()
+            .unwrap();
+        assert_eq!(server.models(), vec!["a".to_string(), "b".to_string()]);
+        let x = x();
+        assert_eq!(
+            server.handle("a").unwrap().infer(&x).unwrap(),
+            a.forward(&x).unwrap()
+        );
+        assert_eq!(
+            server.handle("b").unwrap().infer(&x).unwrap(),
+            b.forward(&x).unwrap()
+        );
+        assert_eq!(server.stats("a").unwrap().total().inferences, 1);
+        let finals = server.shutdown();
+        assert_eq!(finals.len(), 2);
+        assert!(finals.iter().all(|(_, s)| s.total().inferences == 1));
+    }
+
+    #[test]
+    fn unknown_duplicate_and_retired_names_are_config_errors() {
+        let net = mlp(3);
+        let server = Server::builder().model("only", &net).serve().unwrap();
+        assert!(matches!(
+            server.handle("nope").unwrap_err(),
+            EbError::Config(_)
+        ));
+        assert!(matches!(
+            server.deploy("only", &net).unwrap_err(),
+            EbError::Config(_)
+        ));
+        assert!(matches!(
+            server.swap("nope", &net).unwrap_err(),
+            EbError::Config(_)
+        ));
+        let handle = server.handle("only").unwrap();
+        server.retire("only").unwrap();
+        assert!(matches!(
+            server.retire("only").unwrap_err(),
+            EbError::Config(_)
+        ));
+        assert!(handle.infer(&x()).is_err(), "retired handles must error");
+        // Duplicate registrations fail at serve() time too.
+        assert!(Server::builder()
+            .model("dup", &net)
+            .model("dup", &net)
+            .serve()
+            .is_err());
+    }
+
+    #[test]
+    fn swap_switches_handles_and_returns_old_finals() {
+        let old = mlp(4);
+        let new = mlp(5);
+        let server = Server::builder().model("m", &old).serve().unwrap();
+        let handle = server.handle("m").unwrap();
+        let x = x();
+        assert_eq!(handle.infer(&x).unwrap(), old.forward(&x).unwrap());
+        let finals = server.swap("m", &new).unwrap();
+        assert_eq!(finals.total().inferences, 1, "old pool's final counters");
+        // The same pre-swap handle now serves the new network.
+        assert_eq!(handle.infer(&x).unwrap(), new.forward(&x).unwrap());
+        assert_eq!(server.stats("m").unwrap().total().inferences, 1);
+    }
+
+    #[test]
+    fn deploy_after_start_and_derived_seeds_differ_per_name() {
+        let net = mlp(6);
+        let server = Server::builder().serve().unwrap();
+        assert!(server.models().is_empty());
+        server.deploy("late", &net).unwrap();
+        assert!(server.handle("late").unwrap().predict(&x()).unwrap() < 3);
+        assert_ne!(
+            derived_model_seed("a", 7),
+            derived_model_seed("b", 7),
+            "names must decorrelate noise streams"
+        );
+        assert_ne!(
+            derived_model_seed("a", 7),
+            derived_model_seed("a", 8),
+            "the configured seed must stay a knob"
+        );
+    }
+}

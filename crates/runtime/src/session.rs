@@ -53,9 +53,9 @@ pub struct SessionOpts {
 }
 
 /// Counters a session accumulates while serving, for the substrates that
-/// provide them: the software backend reports only `inferences`; the
-/// analog backends add crossbar step and WDM lane counts; the simulator
-/// additionally models latency and energy.
+/// provide them: every backend reports `inferences` and `latency_ns`;
+/// the analog backends add crossbar step and WDM lane counts; the
+/// simulator additionally models energy.
 #[derive(Debug, Clone, Copy, PartialEq, Default)]
 pub struct SessionStats {
     /// Inferences served.
@@ -64,9 +64,13 @@ pub struct SessionStats {
     pub crossbar_steps: u64,
     /// WDM lanes carried across all optical activations.
     pub wdm_lanes: u64,
-    /// Modeled latency in nanoseconds. Only the simulator backend has a
-    /// latency model; the software, ePCM, and photonic sessions always
-    /// leave this 0.
+    /// Accumulated serving latency in nanoseconds, monotone
+    /// nondecreasing across calls. The simulator backend reports its
+    /// *modeled* accelerator latency; the software, ePCM, and photonic
+    /// sessions report *measured* wall-clock serving time (their
+    /// substrate models have no latency model, and 0 — the pre-PR-5
+    /// behavior — made `PoolStats` and ticket wait times meaningless on
+    /// three of four backends).
     pub latency_ns: f64,
     /// Modeled energy in joules. Only the simulator backend has an energy
     /// model; the software, ePCM, and photonic sessions always leave

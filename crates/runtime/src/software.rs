@@ -4,6 +4,7 @@
 use crate::error::EbError;
 use crate::session::{Backend, Session, SessionOpts, SessionStats};
 use eb_bitnn::{Bnn, ForwardScratch, Tensor};
+use std::time::Instant;
 
 /// Serves inference through the `eb-bitnn` software kernels — the golden
 /// model every analog backend is measured against.
@@ -32,6 +33,7 @@ impl Backend for SoftwareBackend {
             net: net.clone(),
             scratch: ForwardScratch::new(),
             inferences: 0,
+            latency_ns: 0.0,
         }))
     }
 }
@@ -42,6 +44,8 @@ struct SoftwareSession {
     net: Bnn,
     scratch: ForwardScratch,
     inferences: u64,
+    /// Accumulated wall-clock serving time (monotone nondecreasing).
+    latency_ns: f64,
 }
 
 impl Session for SoftwareSession {
@@ -50,22 +54,27 @@ impl Session for SoftwareSession {
     }
 
     fn infer(&mut self, x: &Tensor) -> Result<Tensor, EbError> {
+        let started = Instant::now();
         let logits = self.net.forward_with(x, &mut self.scratch)?;
         self.inferences += 1;
+        self.latency_ns += started.elapsed().as_nanos() as f64;
         Ok(logits)
     }
 
     fn infer_batch(&mut self, xs: &[Tensor]) -> Result<Vec<Tensor>, EbError> {
         // The one parallel batching implementation: rayon fan-out with a
         // per-worker scratch, shared with `Bnn::predict_batch`/`accuracy`.
+        let started = Instant::now();
         let out = self.net.forward_batch(xs)?;
         self.inferences += xs.len() as u64;
+        self.latency_ns += started.elapsed().as_nanos() as f64;
         Ok(out)
     }
 
     fn stats(&self) -> SessionStats {
         SessionStats {
             inferences: self.inferences,
+            latency_ns: self.latency_ns,
             ..SessionStats::default()
         }
     }

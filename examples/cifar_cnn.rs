@@ -1,15 +1,19 @@
-//! Convolutional BNN on the synthetic CIFAR-10 stand-in: compiles a
-//! small VGG-style binary CNN to the accelerator and runs it through the
-//! functional simulator on both designs, then evaluates the full CNN-M /
-//! CNN-L benchmark shapes through the analytic model (the same per-layer
-//! breakdown the Fig. 7/8 harness aggregates).
+//! Convolutional BNN on the synthetic CIFAR-10 stand-in, served through
+//! the runtime API: a small VGG-style binary CNN is prepared once per
+//! substrate — the direct software/ePCM/photonic backends plus the
+//! instruction-level simulator compiled for both paper designs — and
+//! every session must reproduce the software reference bit-exactly.
+//! The full CNN-M / CNN-L benchmark shapes then run through the
+//! analytic model (the same per-layer breakdown the Fig. 7/8 harness
+//! aggregates).
 //!
 //! Run with `cargo run --release --example cifar_cnn`.
 
-use eb_bitnn::{
+use einstein_barrier::bitnn::{
     BenchModel, BinConv, BinLinear, Bnn, FixedConv, Layer, OutputLinear, Shape, Tensor,
 };
-use eb_core::{evaluate_model, report_table, simulate_inference, Design};
+use einstein_barrier::core::{evaluate_model, report_table, Design};
+use einstein_barrier::{BackendKind, Runtime, SimulatorBackend};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -32,7 +36,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ],
     )?;
 
-    let image = eb_bitnn::synth_image(eb_bitnn::DatasetKind::Cifar10, 3, &mut rng);
+    let image = einstein_barrier::bitnn::synth_image(
+        einstein_barrier::bitnn::DatasetKind::Cifar10,
+        3,
+        &mut rng,
+    );
     // Crop the synthetic 32×32 image to 16×16 for the mini network.
     let crop = Tensor::from_fn(&[3, 16, 16], |i| {
         let (c, rest) = (i / 256, i % 256);
@@ -42,17 +50,48 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     let want = net.forward(&crop)?;
     println!("software logits: {:?}", want.as_slice());
+
+    // The direct substrates, selected by configuration alone.
+    for kind in [
+        BackendKind::Software,
+        BackendKind::Epcm,
+        BackendKind::Photonic,
+    ] {
+        let mut session = Runtime::builder().backend(kind).prepare(&net)?;
+        assert_eq!(
+            session.infer(&crop)?,
+            want,
+            "{kind} diverged from the reference"
+        );
+        let stats = session.stats();
+        println!(
+            "{kind:>15}: bit-exact; {} crossbar steps, {} WDM lanes, {:.2} µs measured",
+            stats.crossbar_steps,
+            stats.wdm_lanes,
+            stats.latency_ns / 1e3
+        );
+    }
+
+    // The compiled accelerator simulator, once per paper design — the
+    // same `Runtime` entry point, with an explicitly configured backend.
     for (name, design) in [
         ("TacitMap-ePCM", Design::tacitmap_epcm()),
         ("EinsteinBarrier", Design::einstein_barrier()),
     ] {
-        let (got, stats) = simulate_inference(&design, &net, &crop, &mut rng)?;
-        assert_eq!(got, want, "{name} diverged from the reference");
+        let mut session = Runtime::builder()
+            .backend_impl(Box::new(SimulatorBackend::new(design)))
+            .prepare(&net)?;
+        assert_eq!(
+            session.infer(&crop)?,
+            want,
+            "{name} diverged from the reference"
+        );
+        let stats = session.stats();
         println!(
-            "{name}: bit-exact; {} instructions, {} crossbar steps, {:.2} µs modeled latency",
-            stats.instructions,
+            "{name:>15}: bit-exact; {} crossbar steps, {:.2} µs modeled latency, {:.2} nJ",
             stats.crossbar_steps,
-            stats.latency_ns / 1e3
+            stats.latency_ns / 1e3,
+            stats.energy_j * 1e9
         );
     }
 

@@ -1,38 +1,51 @@
-//! Sharded session-pool serving: many client threads, one network,
-//! dynamic micro-batching.
+//! Sharded session-pool serving, v2: tickets, deadlines, priorities,
+//! and a multi-model `Server` with hot swap.
 //!
-//! 1. Train a small BinaryConnect MLP.
+//! 1. Train two small BinaryConnect MLPs (the "live" model and its
+//!    replacement candidate).
 //! 2. Start a `ServePool` — 4 software-backend replicas behind a
 //!    request-coalescing `DynamicBatcher` — via the same
-//!    `Runtime::builder()` entry point single sessions use.
-//! 3. Hammer it from 4 client threads submitting single blocking
-//!    `infer`/`predict` calls, and verify every result is bit-exact
-//!    against a plain single session.
-//! 4. Do the same on the ePCM crossbar backend, where coalescing turns
-//!    the clients' single requests into batched analog VMM activations
-//!    (one conductance resolution per layer chunk per micro-batch).
+//!    `Runtime::builder()` entry point single sessions use, and hammer
+//!    it from 4 client threads submitting blocking `infer` calls;
+//!    verify every result is bit-exact against a plain single session.
+//!    Do the same on the ePCM crossbar backend, where coalescing turns
+//!    the clients' single requests into batched analog VMM activations.
+//! 3. Use the v2 ticket API on the same pool: non-blocking `submit`
+//!    with priorities, a deadline that actually expires, and a
+//!    cancellation.
+//! 4. Serve both models by name from a `Server` registry and hot-swap
+//!    the live model while a client keeps streaming — zero dropped
+//!    tickets.
 //!
 //! Run with `cargo run --release --example serve_pool`.
 
 use einstein_barrier::bitnn::{Dataset, DatasetKind, MlpTrainer, Tensor, TrainConfig};
-use einstein_barrier::{BackendKind, PoolStats, Runtime};
+use einstein_barrier::{
+    BackendKind, EbError, PoolStats, Priority, Request, Runtime, Server, TicketStatus,
+};
 use std::thread;
 use std::time::{Duration, Instant};
 
-fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // ── 1. Train the served network ───────────────────────────────────
-    let data = Dataset::generate(DatasetKind::Mnist, 96, 7).flattened();
+fn train(seed: u64) -> Result<einstein_barrier::bitnn::Bnn, Box<dyn std::error::Error>> {
+    let data = Dataset::generate(DatasetKind::Mnist, 96, seed).flattened();
     let mut trainer = MlpTrainer::new(
         &[784, 32, 16, 10],
         TrainConfig {
             learning_rate: 0.06,
             epochs: 4,
             batch_size: 16,
-            seed: 42,
+            seed,
         },
     );
     trainer.fit(&data);
-    let net = trainer.to_bnn("pool-served-mlp")?;
+    Ok(trainer.to_bnn(format!("pool-served-mlp-{seed}"))?)
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // ── 1. Train the served network (and a replacement candidate) ─────
+    let net = train(42)?;
+    let replacement = train(43)?;
+    let data = Dataset::generate(DatasetKind::Mnist, 96, 7).flattened();
     let requests: Vec<Tensor> = data.iter().take(32).map(|(x, _)| x.clone()).collect();
 
     // Golden reference: one plain session.
@@ -42,7 +55,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         .map(|x| single.infer(x))
         .collect::<Result<_, _>>()?;
 
-    // ── 2–3. A 4-replica software pool under 4 client threads ─────────
+    // ── 2. A 4-replica pool under 4 client threads, two substrates ────
     for kind in [BackendKind::Software, BackendKind::Epcm] {
         let pool = Runtime::builder()
             .backend(kind)
@@ -75,10 +88,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         let total = stats.total();
         println!(
             "{kind:>9}: {} inferences from 4 clients in {elapsed:.2?} \
-             ({} micro-batches, avg {:.1} requests/batch)",
+             ({} micro-batches, avg {:.1} requests/batch, {:.1} ms serving time)",
             total.inferences,
             stats.total_micro_batches(),
             total.inferences as f64 / stats.total_micro_batches().max(1) as f64,
+            total.latency_ns / 1e6,
         );
         for (replica, s) in stats.per_replica.iter().enumerate() {
             println!(
@@ -88,6 +102,95 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
 
-    println!("\nall pooled results bit-exact against a single session ✓");
+    // ── 3. The v2 ticket API: submit / poll / deadline / cancel ───────
+    let pool = Runtime::builder()
+        .replicas(2)
+        .max_batch(8)
+        .max_wait(Duration::from_millis(2))
+        .serve(&net)?;
+    let handle = pool.handle();
+
+    // Non-blocking submission: fire a priority-tagged burst, then
+    // collect. The calling thread is never parked per in-flight request.
+    let burst: Vec<_> = requests
+        .iter()
+        .take(8)
+        .zip(
+            [Priority::High, Priority::Normal, Priority::Low]
+                .iter()
+                .cycle(),
+        )
+        .map(|(x, &p)| handle.submit(Request::new(x.clone()).priority(p)))
+        .collect::<Result<_, _>>()?;
+    let mut by_status = [0usize; 2];
+    for t in &burst {
+        by_status[usize::from(t.poll() == TicketStatus::Done)] += 1;
+    }
+    println!(
+        "\ntickets: burst of {} submitted without blocking ({} already done, {} in flight)",
+        burst.len(),
+        by_status[1],
+        by_status[0]
+    );
+    for (t, want) in burst.into_iter().zip(&golden) {
+        assert_eq!(&t.wait()?, want, "ticket path must stay bit-exact");
+    }
+    // Per-ticket wait times are recorded at completion; sample one by
+    // polling to Done before taking the result.
+    let timed = handle.submit(Request::new(requests[0].clone()))?;
+    while timed.poll() != TicketStatus::Done {
+        thread::yield_now();
+    }
+    let latency = timed.latency().expect("done tickets report latency");
+    timed.wait()?;
+    println!("tickets: sampled submission-to-completion latency {latency:.2?}");
+
+    // A deadline bounds tail latency: an impossible 0-second budget
+    // completes with DeadlineExceeded instead of occupying a slot.
+    let doomed = handle.submit(Request::new(requests[0].clone()).deadline(Duration::ZERO))?;
+    assert!(matches!(doomed.wait(), Err(EbError::DeadlineExceeded)));
+    println!("tickets: zero-budget request expired with DeadlineExceeded, as configured");
+
+    // Cancellation frees the queue slot if it wins the race to claim.
+    let maybe = handle.submit(Request::new(requests[1].clone()))?;
+    let outcome = if maybe.cancel() {
+        "cancelled before a replica claimed it"
+    } else {
+        "a replica claimed it first (result still delivered)"
+    };
+    println!("tickets: cancellation raced the claim — {outcome}");
+    drop(pool);
+
+    // ── 4. Multi-model registry with hot swap ─────────────────────────
+    let server = Server::builder()
+        .model("live", &net)
+        .model("candidate", &replacement)
+        .serve()?;
+    println!("\nserver: deployed {:?}", server.models());
+    let live = server.handle("live")?;
+    let old_want = golden[0].clone();
+    assert_eq!(live.infer(&requests[0])?, old_want);
+
+    // Swap the live model while the handle stays in clients' hands:
+    // in-flight tickets on the old pool complete, new submissions land
+    // on the new pool, and the handle needs no re-acquisition.
+    let retired = server.swap("live", &replacement)?;
+    let new_want = {
+        let mut s = Runtime::builder().prepare(&replacement)?;
+        s.infer(&requests[0])?
+    };
+    assert_eq!(live.infer(&requests[0])?, new_want);
+    println!(
+        "server: hot-swapped `live` (old pool drained after {} inferences); \
+         the pre-swap handle now serves the new network",
+        retired.total().inferences
+    );
+    server.retire("candidate")?;
+    println!(
+        "server: retired `candidate`; remaining {:?}",
+        server.models()
+    );
+
+    println!("\nall pooled, ticketed, and registry results bit-exact ✓");
     Ok(())
 }

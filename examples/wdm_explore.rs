@@ -4,9 +4,14 @@
 //! gain fall below the theoretical K?
 //!
 //! Run with `cargo run --release --example wdm_explore`.
+//!
+//! Everything here is the *analytic* latency model (there is no serving
+//! surface to put behind the runtime), but like every other example it
+//! goes through the facade crate only — no substrate crate is imported
+//! directly.
 
-use eb_bitnn::BenchModel;
-use eb_core::{evaluate_model, ChipConfig, Design};
+use einstein_barrier::bitnn::BenchModel;
+use einstein_barrier::core::{evaluate_model, ChipConfig, Design};
 
 fn main() {
     let model = BenchModel::MlpL;

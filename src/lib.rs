@@ -52,6 +52,9 @@ pub use eb_runtime as runtime;
 pub use eb_xbar as xbar;
 
 pub use eb_runtime::{
-    predict, Backend, BackendKind, DynamicBatcher, EbError, NoiseConfig, NoiseProfile, PoolConfig,
-    PoolHandle, PoolStats, Runtime, RuntimeBuilder, ServePool, Session, SessionOpts, SessionStats,
+    derived_model_seed, predict, Backend, BackendKind, DynamicBatcher, EbError, EpcmBackend,
+    ModelHandle, ModelOpts, NoiseConfig, NoiseProfile, PhotonicBackend, PoolConfig, PoolHandle,
+    PoolStats, Priority, Request, RequestOpts, Runtime, RuntimeBuilder, ServePool, Server,
+    ServerBuilder, Session, SessionOpts, SessionStats, SimulatorBackend, SoftwareBackend, Ticket,
+    TicketStatus,
 };

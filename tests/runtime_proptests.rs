@@ -6,7 +6,7 @@
 use einstein_barrier::bitnn::{
     BinConv, BinLinear, Bnn, FixedConv, FixedLinear, Layer, OutputLinear, Shape, Tensor,
 };
-use einstein_barrier::{BackendKind, Runtime, Session};
+use einstein_barrier::{BackendKind, Priority, Request, Runtime, Session};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -125,8 +125,12 @@ proptest! {
             prop_assert_eq!(session.stats().inferences, 1, "{}", kind);
 
             // Interleaved singles, batches, and empty batches: the
-            // counter tracks exactly the number of served samples.
+            // counter tracks exactly the number of served samples, and
+            // the latency counter never runs backwards (measured
+            // wall-clock on software/epcm/photonic, modeled on the
+            // simulator — real numbers either way).
             let mut expected = 1u64;
+            let mut last_latency = session.stats().latency_ns;
             for (step, single) in script.iter().enumerate() {
                 if *single {
                     session.infer(&xs[0]).expect("interleaved infer");
@@ -138,7 +142,67 @@ proptest! {
                     session.infer_batch(&[]).expect("interleaved empty");
                 }
                 prop_assert_eq!(session.stats().inferences, expected, "{} step {}", kind, step);
+                let latency = session.stats().latency_ns;
+                prop_assert!(
+                    latency >= last_latency,
+                    "{} step {}: latency_ns must be monotone nondecreasing ({} < {})",
+                    kind, step, latency, last_latency
+                );
+                last_latency = latency;
             }
+            prop_assert!(
+                last_latency > 0.0,
+                "{}: every backend must report real latency after serving", kind
+            );
+        }
+    }
+
+    /// The v2 ticket path through a real pool equals plain sessions for
+    /// arbitrary topologies, batch shapes, and priority classes:
+    /// submission order and scheduling class affect *when* a request is
+    /// served, never *what* it returns.
+    #[test]
+    fn submitted_tickets_equal_plain_sessions_regardless_of_priority(
+        inputs in 4usize..20,
+        hidden in 2usize..12,
+        classes in 2usize..5,
+        batch in 1usize..6,
+        priorities in prop::collection::vec(0u8..3, 1..6),
+        seed in any::<u64>(),
+    ) {
+        let net = random_mlp(inputs, hidden, classes, seed);
+        let xs = batch_of(net.input_shape(), batch, seed);
+        // Software + epcm keep the prop-space runtime bounded; the full
+        // four-backend ticket matrix is pinned in tests/serve_pool.rs.
+        for kind in [BackendKind::Software, BackendKind::Epcm] {
+            let mut single = prepare(kind, &net, seed);
+            let pool = Runtime::builder()
+                .backend(kind)
+                .seed(seed)
+                .replicas(2)
+                .max_batch(4)
+                .serve(&net)
+                .expect("pool");
+            let handle = pool.handle();
+            let tickets: Vec<_> = xs
+                .iter()
+                .zip(priorities.iter().cycle())
+                .map(|(x, &p)| {
+                    let class = [Priority::High, Priority::Normal, Priority::Low][p as usize];
+                    handle
+                        .submit(Request::new(x.clone()).priority(class))
+                        .expect("submit")
+                })
+                .collect();
+            for (ticket, x) in tickets.into_iter().zip(&xs) {
+                prop_assert_eq!(
+                    &ticket.wait().expect("ticket"),
+                    &single.infer(x).expect("single"),
+                    "{}", kind
+                );
+            }
+            let stats = pool.shutdown();
+            prop_assert_eq!(stats.total().inferences, xs.len() as u64, "{}", kind);
         }
     }
 

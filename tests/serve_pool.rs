@@ -8,11 +8,13 @@
 //! bugs could hide, and optimized builds are where they actually show.
 
 use einstein_barrier::bitnn::{BinLinear, Bnn, FixedLinear, Layer, OutputLinear, Shape, Tensor};
-use einstein_barrier::{BackendKind, NoiseProfile, PoolConfig, Runtime};
+use einstein_barrier::{
+    BackendKind, EbError, NoiseProfile, PoolConfig, Priority, Request, Runtime, TicketStatus,
+};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 fn mlp(seed: u64) -> Bnn {
     let mut rng = StdRng::seed_from_u64(seed);
@@ -58,7 +60,8 @@ fn wide_mlp(seed: u64) -> (Bnn, Vec<Tensor>) {
 
 /// The tentpole invariant: a noiseless pool is bit-exact against a
 /// single session on all four backends, whichever replica serves which
-/// request.
+/// request — through the blocking wrappers *and* the v2 ticket path
+/// (`submit(..).wait()`), in every priority class.
 #[test]
 fn noiseless_pool_is_bit_exact_against_single_session_matrix() {
     let net = mlp(3);
@@ -74,16 +77,60 @@ fn noiseless_pool_is_bit_exact_against_single_session_matrix() {
             .serve(&net)
             .unwrap();
         let handle = pool.handle();
-        // Both client shapes: one-at-a-time and the sharded stream call.
+        // All three client shapes: one-at-a-time blocking, the sharded
+        // stream call, and explicit submit/wait tickets.
         for (x, want) in xs.iter().zip(&want) {
             assert_eq!(&handle.infer(x).unwrap(), want, "{kind}/infer");
         }
         assert_eq!(handle.infer_many(&xs).unwrap(), want, "{kind}/infer_many");
+        let tickets: Vec<_> = xs
+            .iter()
+            .zip(
+                [Priority::High, Priority::Normal, Priority::Low]
+                    .iter()
+                    .cycle(),
+            )
+            .map(|(x, &p)| handle.submit(Request::new(x.clone()).priority(p)).unwrap())
+            .collect();
+        for (ticket, want) in tickets.into_iter().zip(&want) {
+            assert_eq!(&ticket.wait().unwrap(), want, "{kind}/submit+wait");
+        }
 
         let stats = pool.shutdown();
         assert_eq!(stats.per_replica.len(), 3, "{kind}");
-        assert_eq!(stats.total().inferences, 2 * xs.len() as u64, "{kind}");
+        assert_eq!(stats.total().inferences, 3 * xs.len() as u64, "{kind}");
+        assert!(
+            stats.total().latency_ns > 0.0,
+            "{kind}: serving must accumulate real latency"
+        );
     }
+}
+
+/// A completed ticket reports its lifecycle honestly: `Done` on poll,
+/// a submission-to-completion latency, and a result that can only be
+/// taken once (by `wait`).
+#[test]
+fn tickets_report_status_and_latency() {
+    let net = mlp(21);
+    let x = requests(1).remove(0);
+    let pool = Runtime::builder().serve(&net).unwrap();
+    let handle = pool.handle();
+    let ticket = handle.submit(Request::new(x.clone())).unwrap();
+    let logits = {
+        // Wait via polling first: the status must reach Done and stay
+        // there; wait() then returns without blocking.
+        while ticket.poll() != TicketStatus::Done {
+            thread::yield_now();
+        }
+        let latency = ticket.latency().expect("done tickets report latency");
+        assert!(latency > Duration::ZERO);
+        ticket.wait().unwrap()
+    };
+    assert_eq!(
+        logits,
+        net.forward(&x).unwrap(),
+        "polled ticket must carry the same bit-exact logits"
+    );
 }
 
 /// Concurrent clients hammering one pool still get bit-exact results,
@@ -261,6 +308,117 @@ fn malformed_request_is_isolated_from_its_micro_batch() {
     }
     // After the failure the pool keeps serving.
     assert!(handle.infer(&good[0]).is_ok());
+}
+
+/// A cancelled request coalesced into a forming micro-batch fails alone
+/// with `EbError::Cancelled`: its neighbors stay bit-exact and
+/// `stats().inferences` counts exactly the requests actually served —
+/// the PR 4 poisoned-batch isolation contract extended to the v2
+/// lifecycle.
+#[test]
+fn cancelled_request_is_isolated_from_its_coalescing_micro_batch() {
+    let net = mlp(23);
+    let good = requests(4);
+    let pool = Runtime::builder()
+        .replicas(1)
+        .max_batch(8)
+        .max_wait(Duration::from_secs(2))
+        .serve(&net)
+        .unwrap();
+    let handle = pool.handle();
+    // The worker takes the first request, then lingers 2 s for partners:
+    // everything below lands in one forming micro-batch, and the cancel
+    // always beats the claim.
+    let good_tickets: Vec<_> = good
+        .iter()
+        .map(|x| handle.submit(Request::new(x.clone())).unwrap())
+        .collect();
+    let victim = handle.submit(Request::new(good[0].clone())).unwrap();
+    assert!(victim.cancel(), "victim must still be pending");
+    assert!(!victim.cancel(), "cancel is idempotent but reports once");
+    assert!(matches!(victim.wait(), Err(EbError::Cancelled)));
+
+    let mut single = Runtime::builder().prepare(&net).unwrap();
+    for (ticket, x) in good_tickets.into_iter().zip(&good) {
+        assert_eq!(
+            ticket.wait().unwrap(),
+            single.infer(x).unwrap(),
+            "neighbors must survive a cancelled batch member"
+        );
+    }
+    let stats = pool.shutdown();
+    assert_eq!(
+        stats.total().inferences,
+        good.len() as u64,
+        "a cancelled request must never be served or counted"
+    );
+}
+
+/// An already-expired deadline completes with `EbError::DeadlineExceeded`
+/// without occupying a micro-batch slot; coalesced neighbors stay
+/// bit-exact and exactly counted.
+#[test]
+fn expired_request_is_isolated_from_its_coalescing_micro_batch() {
+    let net = mlp(25);
+    let good = requests(4);
+    let pool = Runtime::builder()
+        .replicas(1)
+        .max_batch(8)
+        .max_wait(Duration::from_millis(200))
+        .serve(&net)
+        .unwrap();
+    let handle = pool.handle();
+    let good_tickets: Vec<_> = good
+        .iter()
+        .map(|x| handle.submit(Request::new(x.clone())).unwrap())
+        .collect();
+    // Deadline zero: expired by the time any replica can claim it.
+    let doomed = handle
+        .submit(Request::new(good[0].clone()).deadline(Duration::ZERO))
+        .unwrap();
+    assert!(matches!(doomed.wait(), Err(EbError::DeadlineExceeded)));
+
+    let mut single = Runtime::builder().prepare(&net).unwrap();
+    for (ticket, x) in good_tickets.into_iter().zip(&good) {
+        assert_eq!(
+            ticket.wait().unwrap(),
+            single.infer(x).unwrap(),
+            "neighbors must survive an expired batch member"
+        );
+    }
+    let stats = pool.shutdown();
+    assert_eq!(
+        stats.total().inferences,
+        good.len() as u64,
+        "an expired request must never be served or counted"
+    );
+}
+
+/// The deadline bounds the *caller's wait*, not just queue occupancy: a
+/// request stuck behind a long coalescing window returns
+/// `DeadlineExceeded` at its deadline, long before the worker would
+/// have claimed it.
+#[test]
+fn deadline_bounds_tail_latency_under_a_long_coalescing_window() {
+    let net = mlp(27);
+    let x = requests(1).remove(0);
+    let pool = Runtime::builder()
+        .replicas(1)
+        .max_batch(8)
+        .max_wait(Duration::from_secs(10))
+        .serve(&net)
+        .unwrap();
+    let handle = pool.handle();
+    let started = Instant::now();
+    let ticket = handle
+        .submit(Request::new(x).deadline(Duration::from_millis(50)))
+        .unwrap();
+    assert!(matches!(ticket.wait(), Err(EbError::DeadlineExceeded)));
+    let waited = started.elapsed();
+    assert!(
+        waited < Duration::from_secs(5),
+        "wait must be bounded by the deadline, not the 10 s linger (waited {waited:?})"
+    );
 }
 
 /// Degenerate pool shapes are rejected up front.

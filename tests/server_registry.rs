@@ -1,0 +1,223 @@
+//! Integration tests of the multi-model `Server` registry: named
+//! handles, per-model seed derivation, and the hot-swap contract — a
+//! concurrent client stream across a swap stays error-free with zero
+//! dropped tickets, and every in-flight request on the old pool still
+//! completes.
+//!
+//! These run in CI under `--release` alongside `tests/serve_pool.rs`
+//! (same rationale: swap is the one registry path where race-adjacent
+//! timing bugs could hide).
+
+use einstein_barrier::bitnn::{BinLinear, Bnn, FixedLinear, Layer, OutputLinear, Shape, Tensor};
+use einstein_barrier::{
+    derived_model_seed, BackendKind, ModelOpts, NoiseProfile, PoolConfig, Request, Runtime, Server,
+};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::thread;
+use std::time::Duration;
+
+fn mlp(name: &'static str, seed: u64) -> Bnn {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Bnn::new(
+        name,
+        Shape::Flat(20),
+        vec![
+            Layer::FixedLinear(FixedLinear::random("in", 20, 14, &mut rng)),
+            Layer::BinLinear(BinLinear::random("h", 14, 10, &mut rng)),
+            Layer::Output(OutputLinear::random("out", 10, 4, &mut rng)),
+        ],
+    )
+    .unwrap()
+}
+
+fn requests(n: usize) -> Vec<Tensor> {
+    (0..n)
+        .map(|s| Tensor::from_fn(&[20], |i| ((i * 3 + s * 13) as f32 * 0.19).sin()))
+        .collect()
+}
+
+/// Two named models on one server serve bit-exact, independently
+/// counted results through name-addressed handles.
+#[test]
+fn named_models_are_bit_exact_and_independently_counted() {
+    let mnist = mlp("mnist", 1);
+    let cifar = mlp("cifar", 2);
+    let server = Server::builder()
+        .model("mnist", &mnist)
+        .model("cifar", &cifar)
+        .serve()
+        .unwrap();
+    let xs = requests(5);
+    let mh = server.handle("mnist").unwrap();
+    let ch = server.handle("cifar").unwrap();
+    for x in &xs {
+        assert_eq!(mh.infer(x).unwrap(), mnist.forward(x).unwrap());
+        assert_eq!(ch.infer(x).unwrap(), cifar.forward(x).unwrap());
+    }
+    assert_eq!(server.stats("mnist").unwrap().total().inferences, 5);
+    assert_eq!(server.stats("cifar").unwrap().total().inferences, 5);
+    let finals = server.shutdown();
+    assert_eq!(
+        finals
+            .iter()
+            .map(|(name, _)| name.as_str())
+            .collect::<Vec<_>>(),
+        vec!["cifar", "mnist"]
+    );
+}
+
+/// The documented per-model seed rule: model `name` serves exactly like
+/// a hand-built pool whose base seed is
+/// `derived_model_seed(name, configured)` — pinned under real device
+/// noise, where the seed actually shows in the logits.
+#[test]
+fn per_model_seed_derivation_matches_a_hand_built_pool() {
+    let net = mlp("seeded", 3);
+    let xs = requests(3);
+    let configured = 55u64;
+    let opts = ModelOpts {
+        backend: BackendKind::Epcm,
+        session: einstein_barrier::SessionOpts {
+            noise: einstein_barrier::NoiseConfig {
+                seed: configured,
+                profile: NoiseProfile::Noisy,
+                ..Default::default()
+            },
+        },
+        pool: PoolConfig::default(),
+    };
+    let server = Server::builder()
+        .model_with("m", &net, opts)
+        .serve()
+        .unwrap();
+    let handle = server.handle("m").unwrap();
+    let via_server: Vec<Tensor> = xs.iter().map(|x| handle.infer(x).unwrap()).collect();
+
+    let hand_built = Runtime::builder()
+        .backend(BackendKind::Epcm)
+        .noise_profile(NoiseProfile::Noisy)
+        .seed(derived_model_seed("m", configured))
+        .serve(&net)
+        .unwrap();
+    let hb = hand_built.handle();
+    let via_pool: Vec<Tensor> = xs.iter().map(|x| hb.infer(x).unwrap()).collect();
+    assert_eq!(via_server, via_pool, "seed rule must be the documented one");
+}
+
+/// The acceptance contract for hot swap: a concurrent client stream
+/// across `Server::swap` is error-free with zero dropped tickets; every
+/// result is bit-exact against the old or the new network; and once the
+/// swap returns, subsequent results come from the new network only.
+#[test]
+fn swap_keeps_a_concurrent_client_stream_error_free() {
+    let old = mlp("old", 5);
+    let new = mlp("new", 6);
+    let xs = requests(4);
+    let want_old: Vec<Tensor> = xs.iter().map(|x| old.forward(x).unwrap()).collect();
+    let want_new: Vec<Tensor> = xs.iter().map(|x| new.forward(x).unwrap()).collect();
+
+    let server = Server::builder()
+        .pool(PoolConfig {
+            replicas: 2,
+            max_batch: 4,
+            max_wait: Duration::from_micros(200),
+            queue_capacity: 64,
+        })
+        .model("m", &old)
+        .serve()
+        .unwrap();
+
+    let stop = AtomicBool::new(false);
+    let (submitted, old_finals) = thread::scope(|scope| {
+        let clients: Vec<_> = (0..3)
+            .map(|c| {
+                let handle = server.handle("m").unwrap();
+                let xs = &xs;
+                let (want_old, want_new) = (&want_old, &want_new);
+                let stop = &stop;
+                scope.spawn(move || {
+                    let mut served = 0u64;
+                    let mut round = 0usize;
+                    while !stop.load(Ordering::SeqCst) {
+                        let i = (c + round) % xs.len();
+                        round += 1;
+                        // Zero dropped tickets: every submit must yield a
+                        // ticket and every ticket a bit-exact result from
+                        // one of the two generations.
+                        let ticket = handle
+                            .submit(Request::new(xs[i].clone()))
+                            .expect("submit across swap must not fail");
+                        let logits = ticket.wait().expect("ticket across swap must complete");
+                        assert!(
+                            logits == want_old[i] || logits == want_new[i],
+                            "client {c} round {round}: logits match neither generation"
+                        );
+                        served += 1;
+                    }
+                    served
+                })
+            })
+            .collect();
+
+        // Let the stream warm up, swap mid-flight, let it keep running,
+        // then stop the clients.
+        thread::sleep(Duration::from_millis(30));
+        let old_finals = server.swap("m", &new).expect("swap");
+        thread::sleep(Duration::from_millis(30));
+        stop.store(true, Ordering::SeqCst);
+        let submitted: u64 = clients.into_iter().map(|c| c.join().unwrap()).sum();
+        (submitted, old_finals)
+    });
+
+    // Exactly-once accounting across the generations: everything the
+    // clients saw completed was served by the old pool or the new one.
+    let new_stats = server.stats("m").unwrap();
+    assert_eq!(
+        old_finals.total().inferences + new_stats.total().inferences,
+        submitted,
+        "swap must neither drop nor double-serve requests"
+    );
+    assert!(submitted > 0, "the stream must actually have run");
+
+    // Post-swap, the name serves the new network only.
+    let handle = server.handle("m").unwrap();
+    for (x, want) in xs.iter().zip(&want_new) {
+        assert_eq!(&handle.infer(x).unwrap(), want);
+    }
+}
+
+/// Swapping a model to the *same* network replays identical noisy
+/// outputs: the name-derived base seed does not move across swap
+/// generations, so redeploys are deterministic (the DESIGN.md
+/// seed-derivation contract), and a sequential client's stream through
+/// the swapped single-replica pool restarts the exact draw sequence.
+#[test]
+fn swap_redeploys_deterministically_under_noise() {
+    let net = mlp("stable", 7);
+    let xs = requests(3);
+    let opts = ModelOpts {
+        backend: BackendKind::Epcm,
+        session: einstein_barrier::SessionOpts {
+            noise: einstein_barrier::NoiseConfig {
+                seed: 9,
+                profile: NoiseProfile::Noisy,
+                ..Default::default()
+            },
+        },
+        pool: PoolConfig::default(), // one replica: replayable noisy serving
+    };
+    let server = Server::builder()
+        .model_with("m", &net, opts)
+        .serve()
+        .unwrap();
+    let handle = server.handle("m").unwrap();
+    let before: Vec<Tensor> = xs.iter().map(|x| handle.infer(x).unwrap()).collect();
+    server.swap("m", &net).unwrap();
+    let after: Vec<Tensor> = xs.iter().map(|x| handle.infer(x).unwrap()).collect();
+    assert_eq!(
+        before, after,
+        "same (name, configured seed, net, opts) must replay after swap"
+    );
+}
