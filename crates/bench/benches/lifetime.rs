@@ -1,0 +1,122 @@
+//! Criterion bench for the device-lifetime machinery: what robustness
+//! costs while serving, and how fast the system recovers.
+//!
+//! Three questions, three rows:
+//!
+//! * `probe_x24` — the price of a health checkup: one 24-canary
+//!   `HealthProbe` served through a 2-replica ePCM pool as ordinary
+//!   queue traffic. This is the maintenance loop's per-model, per-tick
+//!   cost, and it rides the same micro-batching as client requests.
+//! * `faulted_infer_x16` vs `healthy_infer_x16` — the serving-path cost
+//!   of the fault overlay itself: 16 inferences through an ePCM session
+//!   with a 20% dead-cell map versus a fault-free one. The overlay is a
+//!   per-cell hash on the snapshot path, so the gap should be small and
+//!   flat.
+//! * `heal_swap` — time-to-recover: `Server::heal` rebuilds the model's
+//!   2-replica pool (reprogramming every crossbar) and hot-swaps it in,
+//!   draining the old pool. This is the end-to-end outage-free repair
+//!   latency the maintenance loop pays on degradation.
+//!
+//! Before timing, the degradation story is sanity-pinned: a 40%
+//! dead-cell profile must push canary agreement below the 0.9 floor and
+//! healing must restore exact agreement.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eb_bitnn::{Dataset, DatasetKind, MlpTrainer, Tensor, TrainConfig};
+use eb_runtime::{BackendKind, HealthProbe, ModelOpts, PoolConfig, Runtime, Server};
+use eb_xbar::FaultConfig;
+use std::hint::black_box;
+use std::time::Duration;
+
+fn trained_net() -> (eb_bitnn::Bnn, Vec<Tensor>) {
+    let data = Dataset::generate(DatasetKind::Mnist, 64, 13).flattened();
+    let mut trainer = MlpTrainer::new(
+        &[784, 32, 16, 10],
+        TrainConfig {
+            learning_rate: 0.05,
+            epochs: 2,
+            batch_size: 16,
+            seed: 3,
+        },
+    );
+    trainer.fit(&data);
+    let net = trainer.to_bnn("lifetime-bench-mlp").expect("valid net");
+    let canaries: Vec<Tensor> = data.iter().take(24).map(|(x, _)| x.clone()).collect();
+    (net, canaries)
+}
+
+fn bench_lifetime(c: &mut Criterion) {
+    let (net, canaries) = trained_net();
+    let probe = HealthProbe::golden(&net, canaries.clone(), 0.9).expect("probe");
+    let opts = ModelOpts {
+        backend: BackendKind::Epcm,
+        pool: PoolConfig {
+            replicas: 2,
+            max_batch: 8,
+            max_wait: Duration::from_micros(500),
+            queue_capacity: 256,
+        },
+        ..ModelOpts::default()
+    };
+    let server = Server::builder()
+        .model_with("m", &net, opts)
+        .serve()
+        .expect("server");
+
+    // Correctness gate: the degradation story must hold before its costs
+    // are worth timing.
+    assert_eq!(server.health("m", &probe).expect("probe").agreement, 1.0);
+    server
+        .inject_faults("m", FaultConfig::dead_cells(0.4, 7))
+        .expect("inject");
+    assert!(
+        !server.health("m", &probe).expect("probe").is_healthy(),
+        "40% dead cells must trip the 0.9 floor"
+    );
+    server.heal("m").expect("heal");
+    assert_eq!(
+        server.health("m", &probe).expect("probe").agreement,
+        1.0,
+        "healing must restore exact agreement"
+    );
+
+    let mut group = c.benchmark_group("lifetime");
+    group.sample_size(10);
+    group.warm_up_time(Duration::from_millis(500));
+    group.measurement_time(Duration::from_millis(2500));
+
+    group.bench_function("probe_x24", |b| {
+        b.iter(|| black_box(server.health("m", &probe).expect("probe")))
+    });
+
+    // Fault-overlay serving cost: same session shape, with and without a
+    // 20% dead-cell map.
+    let xs: Vec<Tensor> = canaries.iter().take(16).cloned().collect();
+    let mut healthy = Runtime::builder()
+        .backend(BackendKind::Epcm)
+        .prepare(&net)
+        .expect("prepare");
+    let mut faulted = Runtime::builder()
+        .backend(BackendKind::Epcm)
+        .fault(FaultConfig::dead_cells(0.2, 7))
+        .prepare(&net)
+        .expect("prepare");
+    group.bench_function("healthy_infer_x16", |b| {
+        b.iter(|| black_box(healthy.infer_batch(&xs).expect("infer")))
+    });
+    group.bench_function("faulted_infer_x16", |b| {
+        b.iter(|| black_box(faulted.infer_batch(&xs).expect("infer")))
+    });
+
+    // Time-to-recover: rebuild + hot-swap the 2-replica pool. Healing an
+    // already-healthy model does the same work as healing a degraded one
+    // (prepare, switch, drain), so each iteration is identical.
+    group.bench_function("heal_swap", |b| {
+        b.iter(|| black_box(server.heal("m").expect("heal")))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_lifetime);
+criterion_main!(benches);

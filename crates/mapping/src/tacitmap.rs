@@ -44,6 +44,15 @@ pub struct TacitMapped {
     chunk_len: usize,
     cfg: XbarConfig,
     executions: u64,
+    energy_j: f64,
+}
+
+/// Derives the fault-map seed for the chunk at `(rc, cc)`: each physical
+/// array gets its own defect population while the whole map stays a pure
+/// function of the profile's base seed.
+fn chunk_fault_seed(base: u64, rc: usize, cc: usize) -> u64 {
+    base ^ (((rc as u64) << 32) ^ cc as u64 ^ 0x5851_F42D_4C95_7F2D)
+        .wrapping_mul(0x9E37_79B9_7F4A_7C15)
 }
 
 impl TacitMapped {
@@ -52,9 +61,10 @@ impl TacitMapped {
     ///
     /// # Errors
     ///
-    /// Returns [`MappingError::EmptyWeights`] for an empty matrix or
+    /// Returns [`MappingError::EmptyWeights`] for an empty matrix,
     /// [`MappingError::CrossbarTooSmall`] when a crossbar cannot hold even
-    /// one weight bit and its complement.
+    /// one weight bit and its complement, or [`MappingError::Xbar`] when
+    /// the config carries an invalid [`eb_xbar::FaultConfig`].
     pub fn program(
         weights: &BitMatrix,
         cfg: &XbarConfig,
@@ -74,6 +84,7 @@ impl TacitMapped {
         let n = weights.rows();
         let row_chunks = m.div_ceil(chunk_len);
         let col_chunks = n.div_ceil(cfg.cols);
+        let mut energy_j = 0.0;
         let mut engines = Vec::with_capacity(row_chunks);
         for rc in 0..row_chunks {
             let lo = rc * chunk_len;
@@ -93,9 +104,15 @@ impl TacitMapped {
                     }
                 });
                 let mut array = CrossbarArray::new(cfg.rows, cfg.cols, cfg.device.clone());
+                if let Some(f) = &cfg.fault {
+                    array
+                        .set_fault_config(Some(f.with_seed(chunk_fault_seed(f.seed, rc, cc))))
+                        .map_err(MappingError::Xbar)?;
+                }
                 array
                     .program_matrix(&block, rng)
                     .map_err(MappingError::Xbar)?;
+                energy_j += cfg.energies.program_joules(array.write_count() as usize);
                 row.push(VmmEngine::with_defaults(array));
             }
             engines.push(row);
@@ -107,6 +124,7 @@ impl TacitMapped {
             chunk_len,
             cfg: cfg.clone(),
             executions: 0,
+            energy_j,
         })
     }
 
@@ -129,6 +147,24 @@ impl TacitMapped {
     /// paper's single-step XNOR+Popcount).
     pub fn steps_taken(&self) -> u64 {
         self.executions
+    }
+
+    /// Modeled energy spent so far in joules, from the config's
+    /// [`eb_xbar::XbarEnergies`]: device programming at build time plus
+    /// one [`eb_xbar::XbarEnergies::vmm_step_joules`] charge per crossbar
+    /// activation (driven rows, conducting cells, ADC conversions).
+    pub fn energy_j(&self) -> f64 {
+        self.energy_j
+    }
+
+    /// Faulty cells across every crossbar this layer occupies (the
+    /// serving runtime's fault telemetry).
+    pub fn fault_count(&self) -> usize {
+        self.engines
+            .iter()
+            .flatten()
+            .map(|e| e.array().fault_count())
+            .sum()
     }
 
     /// Resolves every subsequent read at drift time `t_ratio = t/t₀`,
@@ -214,21 +250,28 @@ impl TacitMapped {
             });
         }
         let mut acc = vec![0u32; self.n];
+        let mut energy = 0.0;
         for (rc, row) in self.engines.iter().enumerate() {
             let (lo, len) = self.chunk_bounds(rc);
             let drive = self.chunk_drive(pos, neg, lo, len);
+            let active = drive.popcount() as usize;
             for (cc, engine) in row.iter().enumerate() {
                 let jlo = cc * self.cfg.cols;
                 let jhi = (jlo + self.cfg.cols).min(self.n);
                 let counts = engine
                     .vmm_counts_cols(&drive, 0, jhi - jlo, rng)
                     .map_err(MappingError::Xbar)?;
+                energy +=
+                    self.cfg
+                        .energies
+                        .vmm_step_joules(active, active * (jhi - jlo), jhi - jlo);
                 for (j, c) in counts.into_iter().enumerate() {
                     acc[jlo + j] += c;
                 }
             }
         }
         self.executions += 1;
+        self.energy_j += energy;
         Ok(acc)
     }
 
@@ -305,18 +348,27 @@ impl TacitMapped {
             }
         }
         let mut acc = vec![vec![0u32; self.n]; pairs.len()];
+        let mut energy = 0.0;
         for (rc, row) in self.engines.iter().enumerate() {
             let (lo, len) = self.chunk_bounds(rc);
             let drives: Vec<BitVec> = pairs
                 .iter()
                 .map(|(pos, neg)| self.chunk_drive(pos, neg, lo, len))
                 .collect();
+            // vmm_step_joules is linear in each argument, so the whole
+            // batch's charge collapses into one call on the summed rows.
+            let active: usize = drives.iter().map(|d| d.popcount() as usize).sum();
             for (cc, engine) in row.iter().enumerate() {
                 let jlo = cc * self.cfg.cols;
                 let jhi = (jlo + self.cfg.cols).min(self.n);
                 let counts = engine
                     .vmm_counts_cols_batch(&drives, 0, jhi - jlo, rng)
                     .map_err(MappingError::Xbar)?;
+                energy += self.cfg.energies.vmm_step_joules(
+                    active,
+                    active * (jhi - jlo),
+                    drives.len() * (jhi - jlo),
+                );
                 for (k, input_counts) in counts.into_iter().enumerate() {
                     for (j, c) in input_counts.into_iter().enumerate() {
                         acc[k][jlo + j] += c;
@@ -325,6 +377,7 @@ impl TacitMapped {
             }
         }
         self.executions += pairs.len() as u64;
+        self.energy_j += energy;
         Ok(acc)
     }
 
@@ -453,6 +506,18 @@ impl SeededTacitMapped {
     /// Crossbar steps taken so far.
     pub fn steps_taken(&self) -> u64 {
         self.inner.steps_taken()
+    }
+
+    /// Modeled energy spent so far in joules (see
+    /// [`TacitMapped::energy_j`]).
+    pub fn energy_j(&self) -> f64 {
+        self.inner.energy_j()
+    }
+
+    /// Faulty cells across every occupied crossbar (see
+    /// [`TacitMapped::fault_count`]).
+    pub fn fault_count(&self) -> usize {
+        self.inner.fault_count()
     }
 }
 
@@ -697,6 +762,107 @@ mod tests {
         assert!(matches!(
             TacitMapped::program(&BitMatrix::zeros(0, 0), &XbarConfig::default(), &mut r),
             Err(MappingError::EmptyWeights)
+        ));
+    }
+
+    #[test]
+    fn energy_accrues_with_programming_and_execution() {
+        let mut r = rng();
+        let w = random_bits(10, 40, 3);
+        let mut mapped = TacitMapped::program(&w, &XbarConfig::new(32, 16), &mut r).unwrap();
+        let programmed = mapped.energy_j();
+        assert!(programmed > 0.0, "programming must cost energy");
+        let input = BitVec::from_bools(&(0..40).map(|i| i % 2 == 0).collect::<Vec<_>>());
+        mapped.execute(&input, &mut r).unwrap();
+        let one = mapped.energy_j();
+        assert!(one > programmed);
+        // The batched path charges the same energy as per-input execution.
+        let mut batched = TacitMapped::program(&w, &XbarConfig::new(32, 16), &mut r).unwrap();
+        batched
+            .execute_batch(&[input.clone(), input.clone()], &mut r)
+            .unwrap();
+        let mut single = TacitMapped::program(&w, &XbarConfig::new(32, 16), &mut r).unwrap();
+        single.execute(&input, &mut r).unwrap();
+        single.execute(&input, &mut r).unwrap();
+        assert!((batched.energy_j() - single.energy_j()).abs() < 1e-18);
+    }
+
+    #[test]
+    fn vacuous_fault_profile_is_bit_exact_and_free() {
+        use eb_xbar::FaultConfig;
+        let w = random_bits(17, 50, 19);
+        let plain = XbarConfig::new(32, 8);
+        let faulted = plain.clone().with_fault(FaultConfig::none().with_seed(99));
+        let input = BitVec::from_bools(&(0..50).map(|i| i % 3 != 1).collect::<Vec<_>>());
+        let mut a = TacitMapped::program_seeded(&w, &plain, 5).unwrap();
+        let mut b = TacitMapped::program_seeded(&w, &faulted, 5).unwrap();
+        assert_eq!(a.execute(&input).unwrap(), b.execute(&input).unwrap());
+        assert_eq!(b.inner().fault_count(), 0);
+    }
+
+    #[test]
+    fn dead_cells_degrade_counts_deterministically() {
+        use eb_xbar::FaultConfig;
+        let w = random_bits(17, 50, 19);
+        let cfg = XbarConfig::new(32, 8).with_fault(FaultConfig::dead_cells(0.4, 7));
+        let input = BitVec::from_bools(&(0..50).map(|i| i % 3 != 1).collect::<Vec<_>>());
+        let run = |seed: u64| {
+            let mut m = TacitMapped::program_seeded(&w, &cfg, seed).unwrap();
+            (m.execute(&input).unwrap(), m.inner().fault_count())
+        };
+        let (counts, faults) = run(5);
+        assert!(faults > 0, "40% dead cells must hit some of 32×8×15 chunks");
+        assert_ne!(
+            counts,
+            ops::binary_linear_popcounts(&input, &w),
+            "heavy dead-cell population must move the popcounts"
+        );
+        // Same programming seed + same fault profile replays exactly.
+        assert_eq!(run(5), run(5));
+        // A different fault seed moves different cells.
+        let other = XbarConfig::new(32, 8).with_fault(FaultConfig::dead_cells(0.4, 8));
+        let mut m = TacitMapped::program_seeded(&w, &other, 5).unwrap();
+        assert_ne!(m.execute(&input).unwrap(), counts);
+    }
+
+    #[test]
+    fn chunks_receive_distinct_fault_maps() {
+        use eb_xbar::FaultConfig;
+        // One fault profile over a 4-chunk layer: if every chunk shared the
+        // seed, all chunks would kill identical (r, c) offsets. Distinct
+        // derived seeds make that vanishingly unlikely.
+        let w = random_bits(10, 100, 9);
+        let cfg = XbarConfig::new(64, 16).with_fault(FaultConfig::dead_cells(0.1, 42));
+        let mapped = TacitMapped::program_seeded(&w, &cfg, 1).unwrap();
+        let maps: Vec<Vec<(usize, usize)>> = mapped
+            .inner()
+            .engines
+            .iter()
+            .flatten()
+            .map(|e| {
+                let a = e.array();
+                (0..a.rows())
+                    .flat_map(|r| (0..a.cols()).map(move |c| (r, c)))
+                    .filter(|&(r, c)| a.cell_fault(r, c).is_some())
+                    .collect()
+            })
+            .collect();
+        assert_eq!(maps.len(), 4);
+        assert!(
+            maps.windows(2).any(|w| w[0] != w[1]),
+            "chunk fault maps must differ"
+        );
+    }
+
+    #[test]
+    fn invalid_fault_profile_rejected_at_program() {
+        use eb_xbar::FaultConfig;
+        let mut r = rng();
+        let w = random_bits(4, 8, 1);
+        let cfg = XbarConfig::new(32, 8).with_fault(FaultConfig::dead_cells(1.5, 0));
+        assert!(matches!(
+            TacitMapped::program(&w, &cfg, &mut r),
+            Err(MappingError::Xbar(_))
         ));
     }
 }

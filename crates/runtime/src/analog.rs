@@ -18,7 +18,7 @@ use eb_bitnn::{conv_output_dims, BitMatrix, BitTensor, BitVec, Bnn, Layer, Shape
 use eb_core::OpticalTacitMapped;
 use eb_mapping::{SeededTacitMapped, TacitMapped};
 use eb_photonics::{Receiver, PAPER_WDM_CAPACITY};
-use eb_xbar::{DeviceParams, XbarConfig};
+use eb_xbar::{DeviceParams, FaultConfig, XbarConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::time::Instant;
@@ -65,9 +65,18 @@ impl Backend for EpcmBackend {
             NoiseProfile::Noisy => self.cfg.clone().with_device(DeviceParams::noisy()),
         };
         let drift = validated_drift(&opts.noise, &cfg.device)?;
+        // The session-level fault profile wins over any backend-level one.
+        let fault = match validated_fault(&opts.noise)? {
+            Some(f) => Some(f),
+            None => cfg.fault,
+        };
         let session = AnalogSession::build(net, |weights, layer| {
             let seed = layer_seed(opts.noise.seed, layer);
-            let mut mapped = TacitMapped::program_seeded(weights, &cfg, seed)?;
+            let mut layer_cfg = cfg.clone();
+            // Every layer gets its own fault-map seed: physically distinct
+            // crossbars must not share a defect pattern.
+            layer_cfg.fault = fault.map(|f| f.with_seed(layer_seed(f.seed, layer)));
+            let mut mapped = TacitMapped::program_seeded(weights, &layer_cfg, seed)?;
             if let Some(t_ratio) = drift {
                 mapped.set_drift_t_ratio(t_ratio);
             }
@@ -104,6 +113,42 @@ fn validated_drift(
         ));
     }
     Ok(Some(t_ratio))
+}
+
+/// Validates a requested session-level fault profile for the ePCM
+/// backend: rates must form a probability assignment, and a vacuous
+/// (all-zero) profile normalizes to `None` — it is the identity and
+/// guaranteed bit-exact to the no-fault baseline.
+fn validated_fault(noise: &crate::session::NoiseConfig) -> Result<Option<FaultConfig>, EbError> {
+    let Some(fault) = noise.fault else {
+        return Ok(None);
+    };
+    fault.validate()?;
+    Ok(if fault.is_vacuous() {
+        None
+    } else {
+        Some(fault)
+    })
+}
+
+/// Rejects an *active* fault profile on a substrate that has no
+/// electronic cells to fault — the same no-silent-fallback rule as
+/// drift. Vacuous profiles are the identity and pass.
+pub(crate) fn reject_active_fault(
+    noise: &crate::session::NoiseConfig,
+    substrate: &str,
+) -> Result<(), EbError> {
+    let Some(fault) = noise.fault else {
+        return Ok(());
+    };
+    fault.validate()?;
+    if fault.is_vacuous() {
+        return Ok(());
+    }
+    Err(EbError::Config(format!(
+        "the {substrate} backend does not model ePCM cell faults; unset NoiseConfig::fault \
+         or use BackendKind::Epcm"
+    )))
 }
 
 /// Serves inference on simulated oPCM crossbars behind the full optical
@@ -152,6 +197,7 @@ impl Backend for PhotonicBackend {
                     .into(),
             ));
         }
+        reject_active_fault(&opts.noise, "photonic")?;
         let session = AnalogSession::build(net, |weights, layer| {
             let mut rng = StdRng::seed_from_u64(layer_seed(opts.noise.seed, layer));
             let mut mapped = OpticalTacitMapped::program(
@@ -226,6 +272,25 @@ impl MappedMat {
         match self {
             Self::Epcm(_) => 0,
             Self::Photonic { lanes, .. } => *lanes,
+        }
+    }
+
+    /// Modeled energy spent so far in joules ([`eb_xbar::XbarEnergies`]
+    /// programming + VMM charges on the electronic substrate; the
+    /// photonic substrate has no energy model here and reports 0).
+    fn energy_j(&self) -> f64 {
+        match self {
+            Self::Epcm(m) => m.energy_j(),
+            Self::Photonic { .. } => 0.0,
+        }
+    }
+
+    /// Faulty cells across the layer's crossbars (0 on substrates
+    /// without an electronic fault model).
+    fn fault_count(&self) -> usize {
+        match self {
+            Self::Epcm(m) => m.fault_count(),
+            Self::Photonic { .. } => 0,
         }
     }
 }
@@ -511,7 +576,15 @@ impl AnalogSession {
                         *st = AnalogAct::Logits(Tensor::from_vec(&[logits.len()], logits));
                     }
                 }
-                _ => unreachable!("plan built from the same layer stack"),
+                // The plan is built from this same layer stack, so a
+                // mismatch here is an internal invariant break — surfaced
+                // as a typed error instead of panicking a serving thread.
+                (layer, _) => {
+                    return Err(EbError::Config(format!(
+                        "internal error: execution plan diverged from layer stack at `{}`",
+                        layer.name()
+                    )))
+                }
             }
         }
         self.inferences += xs.len() as u64;
@@ -559,7 +632,8 @@ impl Session for AnalogSession {
             crossbar_steps: self.mats.iter().map(MappedMat::steps_taken).sum(),
             wdm_lanes: self.mats.iter().map(MappedMat::wdm_lanes).sum(),
             latency_ns: self.latency_ns,
-            ..SessionStats::default()
+            energy_j: self.mats.iter().map(MappedMat::energy_j).sum(),
+            fault_cells: self.mats.iter().map(MappedMat::fault_count).sum::<usize>() as u64,
         }
     }
 }
@@ -936,6 +1010,87 @@ mod tests {
                 .expect("must reject drift"),
             EbError::Config(_)
         ));
+    }
+
+    #[test]
+    fn faults_degrade_deterministically_and_are_rejected_off_substrate() {
+        use crate::session::NoiseConfig;
+        let net = mlp(23);
+        let xs = inputs(net.input_shape(), 3);
+        let backend = EpcmBackend::new(XbarConfig::new(64, 64));
+        let run = |fault: Option<FaultConfig>| {
+            let opts = SessionOpts {
+                noise: NoiseConfig {
+                    fault,
+                    ..Default::default()
+                },
+            };
+            let mut s = backend.prepare(&net, &opts).unwrap();
+            (s.infer_batch(&xs).unwrap(), s.stats().fault_cells)
+        };
+        // A vacuous profile is the identity: bit-exact, zero fault cells.
+        let (baseline, none) = run(None);
+        let (vacuous, still_none) = run(Some(FaultConfig::none().with_seed(9)));
+        assert_eq!(baseline, vacuous);
+        assert_eq!((none, still_none), (0, 0));
+        // A heavy dead-cell population moves the logits, deterministically.
+        let profile = FaultConfig::dead_cells(0.3, 5);
+        let (faulted, cells) = run(Some(profile));
+        assert_ne!(baseline, faulted, "30% dead cells must move logits");
+        assert!(cells > 0, "fault telemetry must count the population");
+        assert_eq!(run(Some(profile)), run(Some(profile)), "replays exactly");
+        // A different fault seed kills different cells.
+        assert_ne!(run(Some(profile)).0, run(Some(profile.with_seed(6))).0);
+
+        // Active profiles are rejected where there are no ePCM cells...
+        let active = SessionOpts {
+            noise: NoiseConfig {
+                fault: Some(profile),
+                ..Default::default()
+            },
+        };
+        assert!(matches!(
+            PhotonicBackend::default().prepare(&net, &active),
+            Err(EbError::Config(_))
+        ));
+        // ...while the vacuous identity profile passes everywhere.
+        let vacuous_opts = SessionOpts {
+            noise: NoiseConfig {
+                fault: Some(FaultConfig::none()),
+                ..Default::default()
+            },
+        };
+        assert!(PhotonicBackend::default()
+            .prepare(&net, &vacuous_opts)
+            .is_ok());
+        // ...and invalid rates are rejected on ePCM itself.
+        let invalid = SessionOpts {
+            noise: NoiseConfig {
+                fault: Some(FaultConfig::dead_cells(1.7, 0)),
+                ..Default::default()
+            },
+        };
+        assert!(matches!(
+            backend.prepare(&net, &invalid),
+            Err(EbError::Xbar(_))
+        ));
+    }
+
+    #[test]
+    fn epcm_serving_charges_modeled_energy() {
+        let net = mlp(29);
+        let mut session = EpcmBackend::default()
+            .prepare(&net, &SessionOpts::default())
+            .unwrap();
+        let programming = session.stats().energy_j;
+        assert!(programming > 0.0, "programming crossbars must cost energy");
+        let xs = inputs(net.input_shape(), 4);
+        session.infer_batch(&xs).unwrap();
+        let served = session.stats().energy_j;
+        assert!(served > programming, "VMM activations must add energy");
+        // Energy scales with traffic.
+        session.infer_batch(&xs).unwrap();
+        assert!((session.stats().energy_j - served) > 0.9 * (served - programming));
     }
 
     #[test]

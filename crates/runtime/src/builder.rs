@@ -217,6 +217,16 @@ impl RuntimeBuilder {
         self
     }
 
+    /// Requests seeded cell-fault injection: every crossbar the session
+    /// programs carries deterministic stuck-at / dead-cell faults drawn
+    /// from `fault` (see [`eb_xbar::FaultConfig`]). Only the ePCM backend
+    /// hosts electronic cell faults; every other backend rejects an
+    /// active (nonzero-rate) profile at `prepare` time.
+    pub fn fault(mut self, fault: eb_xbar::FaultConfig) -> Self {
+        self.opts.noise.fault = Some(fault);
+        self
+    }
+
     /// Replaces the full noise configuration.
     pub fn noise(mut self, noise: NoiseConfig) -> Self {
         self.opts.noise = noise;

@@ -53,6 +53,17 @@ pub enum EbError {
     /// [`Ticket::cancel`](crate::Ticket::cancel)) before a replica
     /// claimed it for serving.
     Cancelled,
+    /// A health probe measured canary agreement below its configured
+    /// floor: the session still executes, but its physics (faults,
+    /// drift, noise) has degraded accuracy past the acceptable limit.
+    /// The serving maintenance loop treats this as the trigger to
+    /// reprogram a fresh pool.
+    Degraded {
+        /// Measured canary agreement in `[0, 1]`.
+        agreement: f64,
+        /// The probe's configured floor.
+        floor: f64,
+    },
 }
 
 impl fmt::Display for EbError {
@@ -70,6 +81,12 @@ impl fmt::Display for EbError {
                 write!(f, "request deadline passed before a replica served it")
             }
             Self::Cancelled => write!(f, "request was cancelled before serving"),
+            Self::Degraded { agreement, floor } => write!(
+                f,
+                "session degraded: canary agreement {:.1}% below floor {:.1}%",
+                agreement * 100.0,
+                floor * 100.0
+            ),
         }
     }
 }
@@ -84,7 +101,9 @@ impl Error for EbError {
             Self::Optical(e) => Some(e),
             Self::Compile(e) => Some(e),
             Self::Sim(e) => Some(e),
-            Self::Config(_) | Self::DeadlineExceeded | Self::Cancelled => None,
+            Self::Config(_) | Self::DeadlineExceeded | Self::Cancelled | Self::Degraded { .. } => {
+                None
+            }
         }
     }
 }

@@ -1,0 +1,254 @@
+//! Golden-sample health probes: measure whether a session still agrees
+//! with known-good outputs.
+//!
+//! Analog substrates age — drift lowers conductances, cells die — and
+//! nothing about a [`Session`](crate::Session)'s API surfaces that
+//! until predictions silently rot. A [`HealthProbe`] carries a small
+//! canary set with *golden* predicted classes (taken from the exact
+//! software reference at build time) and replays it through any
+//! session: the fraction of canaries whose predicted class still
+//! matches is the session's **agreement**. Agreement below the probe's
+//! configurable floor classifies the session as degraded
+//! ([`EbError::Degraded`]) — the signal the serving maintenance loop
+//! turns into a hot swap.
+
+use crate::error::EbError;
+use crate::session::{predicted_class, Session};
+use eb_bitnn::{Bnn, Tensor};
+use std::fmt;
+
+/// Outcome of one [`HealthProbe`] run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HealthReport {
+    /// Fraction of canaries whose predicted class matched the golden
+    /// output, in `[0, 1]`.
+    pub agreement: f64,
+    /// Number of canary samples probed.
+    pub canaries: usize,
+    /// The probe's configured degradation floor.
+    pub floor: f64,
+}
+
+impl HealthReport {
+    /// `true` when agreement is at or above the floor.
+    pub fn is_healthy(&self) -> bool {
+        self.agreement >= self.floor
+    }
+}
+
+impl fmt::Display for HealthReport {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{:.1}% agreement over {} canaries (floor {:.1}%, {})",
+            self.agreement * 100.0,
+            self.canaries,
+            self.floor * 100.0,
+            if self.is_healthy() {
+                "healthy"
+            } else {
+                "degraded"
+            }
+        )
+    }
+}
+
+/// A canary set with golden predicted classes and a degradation floor.
+///
+/// ```
+/// use eb_runtime::{HealthProbe, Runtime, Session};
+/// use eb_bitnn::{BinLinear, Bnn, FixedLinear, Layer, OutputLinear, Shape, Tensor};
+/// use rand::{rngs::StdRng, SeedableRng};
+///
+/// let mut rng = StdRng::seed_from_u64(3);
+/// let net = Bnn::new(
+///     "probed",
+///     Shape::Flat(12),
+///     vec![
+///         Layer::FixedLinear(FixedLinear::random("in", 12, 8, &mut rng)),
+///         Layer::BinLinear(BinLinear::random("h", 8, 6, &mut rng)),
+///         Layer::Output(OutputLinear::random("out", 6, 4, &mut rng)),
+///     ],
+/// )?;
+/// let canaries: Vec<Tensor> =
+///     (0..4).map(|k| Tensor::from_fn(&[12], |i| ((i + k) as f32).sin())).collect();
+/// let probe = HealthProbe::golden(&net, canaries, 0.9)?;
+/// let mut session = Runtime::builder().prepare(&net)?;
+/// // A healthy session agrees with the reference on every canary.
+/// assert!(session.health(&probe)?.is_healthy());
+/// # Ok::<(), Box<dyn std::error::Error>>(())
+/// ```
+#[derive(Debug, Clone)]
+pub struct HealthProbe {
+    canaries: Vec<Tensor>,
+    expected: Vec<usize>,
+    floor: f64,
+}
+
+impl HealthProbe {
+    /// A probe from explicit canaries and golden classes.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] when the canary set is empty, the
+    /// lengths disagree, or the floor is not a fraction in `[0, 1]`.
+    pub fn new(canaries: Vec<Tensor>, expected: Vec<usize>, floor: f64) -> Result<Self, EbError> {
+        if canaries.is_empty() {
+            return Err(EbError::Config(
+                "health probe needs at least one canary sample".into(),
+            ));
+        }
+        if canaries.len() != expected.len() {
+            return Err(EbError::Config(format!(
+                "health probe has {} canaries but {} golden classes",
+                canaries.len(),
+                expected.len()
+            )));
+        }
+        if !(0.0..=1.0).contains(&floor) {
+            return Err(EbError::Config(format!(
+                "health floor {floor} is not a fraction in [0, 1]"
+            )));
+        }
+        Ok(Self {
+            canaries,
+            expected,
+            floor,
+        })
+    }
+
+    /// A probe whose golden classes come from the exact software
+    /// reference (`net.forward` + argmax) — the known-good outputs every
+    /// substrate is compared against.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] on an empty canary set or bad floor,
+    /// and propagates reference forward-pass failures.
+    pub fn golden(net: &Bnn, canaries: Vec<Tensor>, floor: f64) -> Result<Self, EbError> {
+        let expected = canaries
+            .iter()
+            .map(|x| predicted_class(&net.forward(x)?))
+            .collect::<Result<Vec<_>, _>>()?;
+        Self::new(canaries, expected, floor)
+    }
+
+    /// The canary inputs.
+    pub fn canaries(&self) -> &[Tensor] {
+        &self.canaries
+    }
+
+    /// The golden predicted class per canary.
+    pub fn expected(&self) -> &[usize] {
+        &self.expected
+    }
+
+    /// The degradation floor.
+    pub fn floor(&self) -> f64 {
+        self.floor
+    }
+
+    /// Agreement of a set of served logits against the golden classes —
+    /// the shared scoring path for sessions ([`HealthProbe::run`]) and
+    /// pools (which serve the canaries through their own queue).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] when the logits count differs from the
+    /// canary count or any logits vector is empty.
+    pub fn score(&self, logits: &[Tensor]) -> Result<HealthReport, EbError> {
+        if logits.len() != self.canaries.len() {
+            return Err(EbError::Config(format!(
+                "health probe served {} outputs for {} canaries",
+                logits.len(),
+                self.canaries.len()
+            )));
+        }
+        let mut matches = 0usize;
+        for (out, &want) in logits.iter().zip(&self.expected) {
+            if predicted_class(out)? == want {
+                matches += 1;
+            }
+        }
+        Ok(HealthReport {
+            agreement: matches as f64 / self.canaries.len() as f64,
+            canaries: self.canaries.len(),
+            floor: self.floor,
+        })
+    }
+
+    /// Runs the canary set through a session and reports agreement.
+    /// Probing is served traffic: it counts toward the session's
+    /// [`SessionStats`](crate::SessionStats) like any other batch.
+    ///
+    /// # Errors
+    ///
+    /// Propagates session execution failures.
+    pub fn run<S: Session + ?Sized>(&self, session: &mut S) -> Result<HealthReport, EbError> {
+        let logits = session.infer_batch(&self.canaries)?;
+        self.score(&logits)
+    }
+
+    /// [`HealthProbe::run`], then enforces the floor: a degraded session
+    /// is an error, not a number the caller might forget to compare.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Degraded`] when agreement falls below the
+    /// floor, and propagates session execution failures.
+    pub fn check<S: Session + ?Sized>(&self, session: &mut S) -> Result<HealthReport, EbError> {
+        let report = self.run(session)?;
+        if report.is_healthy() {
+            Ok(report)
+        } else {
+            Err(EbError::Degraded {
+                agreement: report.agreement,
+                floor: report.floor,
+            })
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_mismatched_probes_rejected() {
+        assert!(matches!(
+            HealthProbe::new(vec![], vec![], 0.5),
+            Err(EbError::Config(_))
+        ));
+        assert!(matches!(
+            HealthProbe::new(vec![Tensor::zeros(&[2])], vec![0, 1], 0.5),
+            Err(EbError::Config(_))
+        ));
+        assert!(matches!(
+            HealthProbe::new(vec![Tensor::zeros(&[2])], vec![0], 1.5),
+            Err(EbError::Config(_))
+        ));
+    }
+
+    #[test]
+    fn score_compares_argmax_per_canary() {
+        let probe = HealthProbe::new(
+            vec![Tensor::zeros(&[2]), Tensor::zeros(&[2])],
+            vec![1, 0],
+            0.75,
+        )
+        .unwrap();
+        let hit = Tensor::from_fn(&[2], |i| i as f32); // argmax 1
+        let miss = Tensor::from_fn(&[2], |i| -(i as f32)); // argmax 0 → matches #2
+        let report = probe.score(&[hit.clone(), miss.clone()]).unwrap();
+        assert_eq!(report.agreement, 1.0);
+        assert!(report.is_healthy());
+        let report = probe.score(&[miss, hit]).unwrap();
+        assert_eq!(report.agreement, 0.0);
+        assert!(!report.is_healthy());
+        assert!(report.to_string().contains("degraded"));
+        assert!(matches!(
+            probe.score(&[Tensor::zeros(&[2])]),
+            Err(EbError::Config(_))
+        ));
+    }
+}

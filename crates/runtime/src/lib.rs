@@ -60,6 +60,7 @@
 mod analog;
 mod builder;
 mod error;
+mod health;
 mod serve;
 mod session;
 mod simulator;
@@ -68,9 +69,11 @@ mod software;
 pub use analog::{EpcmBackend, PhotonicBackend};
 pub use builder::{BackendKind, Runtime, RuntimeBuilder};
 pub use error::EbError;
+pub use health::{HealthProbe, HealthReport};
 pub use serve::{
-    derived_model_seed, DynamicBatcher, ModelHandle, ModelOpts, PoolConfig, PoolHandle, PoolStats,
-    Priority, Request, RequestOpts, ServePool, Server, ServerBuilder, Ticket, TicketStatus,
+    derived_model_seed, DynamicBatcher, MaintenanceConfig, MaintenanceStats, ModelHandle,
+    ModelOpts, PoolConfig, PoolHandle, PoolStats, Priority, Request, RequestOpts, ServePool,
+    Server, ServerBuilder, Ticket, TicketStatus,
 };
 pub use session::{
     predict, Backend, NoiseConfig, NoiseProfile, Session, SessionOpts, SessionStats,

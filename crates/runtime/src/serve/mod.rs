@@ -80,11 +80,13 @@
 //! ```
 
 mod batcher;
+mod maintenance;
 mod pool;
 mod registry;
 mod ticket;
 
 pub use batcher::DynamicBatcher;
+pub use maintenance::{MaintenanceConfig, MaintenanceStats};
 pub use pool::{PoolConfig, PoolHandle, PoolStats, ServePool};
 pub use registry::{derived_model_seed, ModelHandle, ModelOpts, Server, ServerBuilder};
 pub use ticket::{Priority, Request, RequestOpts, Ticket, TicketStatus};

@@ -3,6 +3,7 @@
 
 use crate::builder::Runtime;
 use crate::error::EbError;
+use crate::health::{HealthProbe, HealthReport};
 use crate::serve::batcher::{closed_error, DynamicBatcher};
 use crate::serve::lock_recovering;
 use crate::serve::ticket::{Claim, Priority, Request, Ticket, TicketGuard};
@@ -101,6 +102,11 @@ pub struct PoolStats {
     /// Micro-batches dispatched per replica; `per_replica[i].inferences /
     /// micro_batches[i]` is replica `i`'s achieved coalescing factor.
     pub micro_batches: Vec<u64>,
+    /// The most recent [`PoolHandle::health`] probe outcome, if any probe
+    /// has run against this pool. Probes flow through the shared queue,
+    /// so the report reflects whichever replicas happened to serve the
+    /// canaries — pool-level health, not a single replica's.
+    pub last_health: Option<HealthReport>,
 }
 
 impl PoolStats {
@@ -123,6 +129,7 @@ impl PoolStats {
 struct PoolShared {
     batcher: DynamicBatcher<QueuedRequest>,
     counters: Mutex<Vec<ReplicaCounters>>,
+    last_health: Mutex<Option<HealthReport>>,
     backend: &'static str,
 }
 
@@ -173,6 +180,7 @@ impl ServePool {
         let shared = Arc::new(PoolShared {
             batcher: DynamicBatcher::new(config.queue_capacity, config.max_batch, config.max_wait),
             counters: Mutex::new(vec![ReplicaCounters::default(); config.replicas]),
+            last_health: Mutex::new(None),
             backend: runtime.backend_name(),
         });
         let mut workers = Vec::with_capacity(config.replicas);
@@ -224,6 +232,19 @@ impl ServePool {
     /// Snapshot of the aggregated per-replica counters.
     pub fn stats(&self) -> PoolStats {
         stats_snapshot(&self.shared)
+    }
+
+    /// Runs a golden-canary health probe through the pool (see
+    /// [`PoolHandle::health`]): the canaries are served as ordinary
+    /// queue traffic and the report is recorded as
+    /// [`PoolStats::last_health`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates serving failures; a failed probe leaves
+    /// [`PoolStats::last_health`] untouched.
+    pub fn health(&self, probe: &HealthProbe) -> Result<HealthReport, EbError> {
+        self.handle().health(probe)
     }
 
     /// Shuts the pool down: serves everything already queued, rejects
@@ -340,6 +361,24 @@ impl PoolHandle {
         stats_snapshot(&self.shared)
     }
 
+    /// Runs a golden-canary health probe *through the pool*: the canary
+    /// set is submitted as ordinary queue traffic (sharded across
+    /// replicas, coalesced into micro-batches, counted in
+    /// [`PoolStats`]), scored against the probe's golden classes, and
+    /// the resulting [`HealthReport`] recorded as
+    /// [`PoolStats::last_health`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates serving failures ([`EbError::Config`] when the pool is
+    /// shut down); a failed probe leaves `last_health` untouched.
+    pub fn health(&self, probe: &HealthProbe) -> Result<HealthReport, EbError> {
+        let logits = self.infer_many(probe.canaries())?;
+        let report = probe.score(&logits)?;
+        *lock_recovering(&self.shared.last_health) = Some(report);
+        Ok(report)
+    }
+
     /// Requests currently queued (claimed micro-batches excluded).
     pub fn queued(&self) -> usize {
         self.shared.batcher.len()
@@ -351,6 +390,7 @@ fn stats_snapshot(shared: &PoolShared) -> PoolStats {
     PoolStats {
         per_replica: counters.iter().map(|c| c.session).collect(),
         micro_batches: counters.iter().map(|c| c.micro_batches).collect(),
+        last_health: *lock_recovering(&shared.last_health),
     }
 }
 
@@ -562,6 +602,7 @@ mod tests {
                 },
             ],
             micro_batches: vec![2, 1],
+            last_health: None,
         };
         let total = stats.total();
         assert_eq!(total.inferences, 7);

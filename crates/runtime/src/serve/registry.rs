@@ -29,14 +29,18 @@
 
 use crate::builder::{BackendKind, Runtime};
 use crate::error::EbError;
+use crate::health::{HealthProbe, HealthReport};
 use crate::serve::batcher::closed_error;
+use crate::serve::lock_recovering;
+use crate::serve::maintenance::{MaintenanceConfig, MaintenanceLoop, MaintenanceStats};
 use crate::serve::pool::{PoolConfig, PoolHandle, PoolStats, QueuedRequest, ServePool};
 use crate::serve::ticket::{Request, Ticket};
 use crate::session::SessionOpts;
 use eb_bitnn::{Bnn, Tensor};
+use eb_xbar::FaultConfig;
 use std::collections::HashMap;
 use std::fmt;
-use std::sync::{Arc, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
+use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 fn read_recovering<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
     lock.read().unwrap_or_else(PoisonError::into_inner)
@@ -96,10 +100,30 @@ struct HandleSlot {
 
 /// One registered model.
 struct ModelEntry {
+    /// The options the model was *deployed* with — the healthy baseline
+    /// [`Server::heal`] restores.
     opts: ModelOpts,
+    /// A maintenance-injected fault profile currently overriding the
+    /// baseline (simulated device aging); `None` when healthy.
+    injected: Option<FaultConfig>,
+    /// The deployed network, kept so fault injection and healing can
+    /// rebuild the pool without the caller re-supplying it.
+    net: Bnn,
     slot: Arc<RwLock<HandleSlot>>,
     /// Owns the worker threads; replaced wholesale by [`Server::swap`].
     pool: ServePool,
+}
+
+/// How [`ServerInner::rebuild`] re-derives a model's pool.
+#[derive(Clone, Copy)]
+enum Rebuild<'a> {
+    /// New network, baseline options, injected faults cleared.
+    Swap(&'a Bnn),
+    /// Same network, baseline options with this fault profile injected.
+    Inject(FaultConfig),
+    /// Same network, baseline options, injected faults cleared — a
+    /// reprogram onto fresh devices.
+    Heal,
 }
 
 /// A multi-model serving registry: named [`ServePool`]s behind one
@@ -129,6 +153,16 @@ struct ModelEntry {
 /// # Ok::<(), Box<dyn std::error::Error>>(())
 /// ```
 pub struct Server {
+    // Declared before `inner` so dropping a `Server` stops the
+    // maintenance thread (which holds its own `Arc<ServerInner>`)
+    // before the registry's pools drain.
+    maintenance: Mutex<Option<MaintenanceLoop>>,
+    inner: Arc<ServerInner>,
+}
+
+/// The shared registry state: what the [`Server`] facade and the
+/// [`MaintenanceLoop`] thread both operate on.
+pub(crate) struct ServerInner {
     models: RwLock<HashMap<String, ModelEntry>>,
     defaults: ModelOpts,
 }
@@ -137,18 +171,13 @@ impl fmt::Debug for Server {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         f.debug_struct("Server")
             .field("models", &self.models())
-            .field("defaults", &self.defaults)
+            .field("defaults", &self.inner.defaults)
+            .field("maintenance", &self.maintenance_stats().is_some())
             .finish()
     }
 }
 
-impl Server {
-    /// Starts configuring a server (defaults: software backend, ideal
-    /// noise, default pool shape, no models).
-    pub fn builder() -> ServerBuilder {
-        ServerBuilder::default()
-    }
-
+impl ServerInner {
     /// Prepares `name`'s pool per `opts` (with the name-derived base
     /// seed) — the one place registry pools are built.
     fn build_pool(name: &str, net: &Bnn, opts: &ModelOpts) -> Result<ServePool, EbError> {
@@ -161,54 +190,31 @@ impl Server {
         ServePool::new(&runtime, net, opts.pool)
     }
 
+    /// The baseline options with `injected` (if any) overriding the
+    /// fault profile — what a degraded model's pool is built with.
+    fn effective_opts(opts: &ModelOpts, injected: Option<FaultConfig>) -> ModelOpts {
+        let mut opts = opts.clone();
+        if injected.is_some() {
+            opts.session.noise.fault = injected;
+        }
+        opts
+    }
+
     fn unknown_model(&self, name: &str) -> EbError {
-        let mut known = self.models();
-        known.sort();
+        let known = self.model_names();
         EbError::Config(format!(
             "unknown model `{name}` (deployed: [{}])",
             known.join(", ")
         ))
     }
 
-    /// A cloneable, swap-stable handle addressing model `name`.
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EbError::Config`] when no model of that name is
-    /// deployed.
-    pub fn handle(&self, name: &str) -> Result<ModelHandle, EbError> {
-        let models = read_recovering(&self.models);
-        let entry = models.get(name);
-        match entry {
-            Some(entry) => Ok(ModelHandle {
-                name: Arc::from(name),
-                slot: Arc::clone(&entry.slot),
-            }),
-            None => {
-                drop(models);
-                Err(self.unknown_model(name))
-            }
-        }
+    pub(crate) fn model_names(&self) -> Vec<String> {
+        let mut names: Vec<String> = read_recovering(&self.models).keys().cloned().collect();
+        names.sort();
+        names
     }
 
-    /// Deploys a new model under `name` with the server's default
-    /// [`ModelOpts`].
-    ///
-    /// # Errors
-    ///
-    /// Returns [`EbError::Config`] when the name is already taken (use
-    /// [`Server::swap`] to replace a live model) and any prepare-time
-    /// [`EbError`] from the substrate.
-    pub fn deploy(&self, name: &str, net: &Bnn) -> Result<(), EbError> {
-        self.deploy_with(name, net, self.defaults.clone())
-    }
-
-    /// Deploys a new model under `name` with explicit options.
-    ///
-    /// # Errors
-    ///
-    /// Same contract as [`Server::deploy`].
-    pub fn deploy_with(&self, name: &str, net: &Bnn, opts: ModelOpts) -> Result<(), EbError> {
+    fn deploy_with(&self, name: &str, net: &Bnn, opts: ModelOpts) -> Result<(), EbError> {
         if read_recovering(&self.models).contains_key(name) {
             return Err(EbError::Config(format!(
                 "model `{name}` is already deployed; use Server::swap to replace it"
@@ -219,6 +225,8 @@ impl Server {
         let pool = Self::build_pool(name, net, &opts)?;
         let entry = ModelEntry {
             opts,
+            injected: None,
+            net: net.clone(),
             slot: Arc::new(RwLock::new(HandleSlot {
                 generation: 0,
                 handle: pool.handle(),
@@ -237,12 +245,154 @@ impl Server {
         Ok(())
     }
 
+    /// The shared hot-replacement path under [`Server::swap`],
+    /// [`Server::inject_faults`], and [`Server::heal`]: prepare the
+    /// replacement pool *outside every lock*, atomically switch the
+    /// name's [`HandleSlot`] to it (bumping the generation so racing
+    /// [`ModelHandle`] submissions resubmit), then drain the old pool —
+    /// zero dropped tickets. Returns the retired pool's final counters.
+    fn rebuild(&self, name: &str, action: Rebuild<'_>) -> Result<PoolStats, EbError> {
+        // Every `unknown_model` call below reads the models lock, so it
+        // must only run with no guard live on this thread.
+        let plan = {
+            let models = read_recovering(&self.models);
+            models.get(name).map(|entry| {
+                let injected = match action {
+                    Rebuild::Swap(_) | Rebuild::Heal => None,
+                    Rebuild::Inject(fault) => Some(fault),
+                };
+                let net = match action {
+                    Rebuild::Swap(net) => net.clone(),
+                    Rebuild::Inject(_) | Rebuild::Heal => entry.net.clone(),
+                };
+                (entry.opts.clone(), net, injected)
+            })
+        };
+        let Some((opts, net, injected)) = plan else {
+            return Err(self.unknown_model(name));
+        };
+        let new_pool = Self::build_pool(name, &net, &Self::effective_opts(&opts, injected))?;
+        let replaced = {
+            let mut models = write_recovering(&self.models);
+            match models.get_mut(name) {
+                Some(entry) => {
+                    let mut slot = write_recovering(&entry.slot);
+                    slot.generation += 1;
+                    slot.handle = new_pool.handle();
+                    drop(slot);
+                    entry.injected = injected;
+                    entry.net = net;
+                    Ok(std::mem::replace(&mut entry.pool, new_pool))
+                }
+                // Retired while we were preparing; honor the retire and
+                // tear the never-used replacement down outside the lock.
+                None => Err(new_pool),
+            }
+        };
+        match replaced {
+            // Outside every lock: serve the old pool's queued requests
+            // to completion and join its workers.
+            Ok(old) => Ok(old.shutdown()),
+            Err(unused) => {
+                drop(unused);
+                Err(self.unknown_model(name))
+            }
+        }
+    }
+
+    fn retire(&self, name: &str) -> Result<PoolStats, EbError> {
+        let entry = write_recovering(&self.models).remove(name);
+        match entry {
+            Some(entry) => Ok(entry.pool.shutdown()),
+            None => Err(self.unknown_model(name)),
+        }
+    }
+
+    /// Runs a health probe through model `name`'s *current* pool as
+    /// ordinary queue traffic — what [`Server::health`] and the
+    /// maintenance loop call. The pool handle is cloned out of the slot
+    /// first so no registry lock is held while canaries serve.
+    pub(crate) fn probe_model(
+        &self,
+        name: &str,
+        probe: &HealthProbe,
+    ) -> Result<HealthReport, EbError> {
+        let handle = {
+            let models = read_recovering(&self.models);
+            match models.get(name) {
+                Some(entry) => read_recovering(&entry.slot).handle.clone(),
+                None => {
+                    drop(models);
+                    return Err(self.unknown_model(name));
+                }
+            }
+        };
+        handle.health(probe)
+    }
+
+    /// [`Server::heal`]'s implementation, callable from the maintenance
+    /// thread.
+    pub(crate) fn heal(&self, name: &str) -> Result<PoolStats, EbError> {
+        self.rebuild(name, Rebuild::Heal)
+    }
+}
+
+impl Server {
+    /// Starts configuring a server (defaults: software backend, ideal
+    /// noise, default pool shape, no models).
+    pub fn builder() -> ServerBuilder {
+        ServerBuilder::default()
+    }
+
+    /// A cloneable, swap-stable handle addressing model `name`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] when no model of that name is
+    /// deployed.
+    pub fn handle(&self, name: &str) -> Result<ModelHandle, EbError> {
+        let models = read_recovering(&self.inner.models);
+        let entry = models.get(name);
+        match entry {
+            Some(entry) => Ok(ModelHandle {
+                name: Arc::from(name),
+                slot: Arc::clone(&entry.slot),
+            }),
+            None => {
+                drop(models);
+                Err(self.inner.unknown_model(name))
+            }
+        }
+    }
+
+    /// Deploys a new model under `name` with the server's default
+    /// [`ModelOpts`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] when the name is already taken (use
+    /// [`Server::swap`] to replace a live model) and any prepare-time
+    /// [`EbError`] from the substrate.
+    pub fn deploy(&self, name: &str, net: &Bnn) -> Result<(), EbError> {
+        self.deploy_with(name, net, self.inner.defaults.clone())
+    }
+
+    /// Deploys a new model under `name` with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Server::deploy`].
+    pub fn deploy_with(&self, name: &str, net: &Bnn, opts: ModelOpts) -> Result<(), EbError> {
+        self.inner.deploy_with(name, net, opts)
+    }
+
     /// Hot-replaces model `name` with `net`, keeping the options it was
-    /// deployed with: prepares the new pool, atomically switches the
-    /// name (and every live [`ModelHandle`]) to it, then drains the old
-    /// pool — in-flight tickets on the old pool still complete, and
-    /// submissions racing the switch resubmit to the new pool. Returns
-    /// the retired pool's final counters.
+    /// deployed with (and clearing any injected fault profile — the new
+    /// network is programmed onto fresh devices): prepares the new pool,
+    /// atomically switches the name (and every live [`ModelHandle`]) to
+    /// it, then drains the old pool — in-flight tickets on the old pool
+    /// still complete, and submissions racing the switch resubmit to
+    /// the new pool. Returns the retired pool's final counters.
     ///
     /// # Errors
     ///
@@ -250,38 +400,102 @@ impl Server {
     /// prepare-time [`EbError`] from the substrate (the old pool keeps
     /// serving untouched in both cases).
     pub fn swap(&self, name: &str, net: &Bnn) -> Result<PoolStats, EbError> {
-        // Every `unknown_model` call below reads the models lock, so it
-        // must only run with no guard live on this thread.
-        let opts = {
-            let models = read_recovering(&self.models);
-            models.get(name).map(|entry| entry.opts.clone())
-        };
-        let Some(opts) = opts else {
-            return Err(self.unknown_model(name));
-        };
-        let mut new_pool = Some(Self::build_pool(name, net, &opts)?);
-        let old_pool = {
-            let mut models = write_recovering(&self.models);
-            models.get_mut(name).map(|entry| {
-                let pool = new_pool.take().expect("replacement pool present");
-                let mut slot = write_recovering(&entry.slot);
-                slot.generation += 1;
-                slot.handle = pool.handle();
-                drop(slot);
-                std::mem::replace(&mut entry.pool, pool)
-            })
-        };
-        match old_pool {
-            // Outside every lock: serve the old pool's queued requests
-            // to completion and join its workers.
-            Some(old) => Ok(old.shutdown()),
+        self.inner.rebuild(name, Rebuild::Swap(net))
+    }
+
+    /// Injects a cell-fault profile into model `name`: rebuilds its pool
+    /// over the same network with `fault` applied to every replica's
+    /// crossbars — simulated device aging, delivered through the same
+    /// zero-dropped-tickets hot-swap path as [`Server::swap`]. The
+    /// injected profile sticks until [`Server::heal`] (or a swap)
+    /// clears it. Returns the replaced pool's final counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] for an unknown name, for an *active*
+    /// profile on a model whose backend hosts no ePCM cells, and
+    /// [`EbError::Xbar`] for invalid fault rates (the old pool keeps
+    /// serving untouched in all cases).
+    pub fn inject_faults(&self, name: &str, fault: FaultConfig) -> Result<PoolStats, EbError> {
+        self.inner.rebuild(name, Rebuild::Inject(fault))
+    }
+
+    /// Heals model `name`: rebuilds its pool over the same network with
+    /// the options it was *deployed* with, clearing any injected fault
+    /// profile — modeling a reprogram onto fresh spare devices. Serving
+    /// continuity is the hot-swap contract: zero dropped tickets.
+    /// Returns the degraded pool's final counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] for an unknown name and any
+    /// prepare-time [`EbError`] from the substrate.
+    pub fn heal(&self, name: &str) -> Result<PoolStats, EbError> {
+        self.inner.heal(name)
+    }
+
+    /// The fault profile currently injected into model `name`, if any.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] for an unknown name.
+    pub fn injected_fault(&self, name: &str) -> Result<Option<FaultConfig>, EbError> {
+        let models = read_recovering(&self.inner.models);
+        match models.get(name) {
+            Some(entry) => Ok(entry.injected),
             None => {
-                // Retired while we were preparing; honor the retire and
-                // tear the never-used replacement down outside the lock.
-                drop(new_pool);
-                Err(self.unknown_model(name))
+                drop(models);
+                Err(self.inner.unknown_model(name))
             }
         }
+    }
+
+    /// Runs a one-shot health probe through model `name`'s pool (as
+    /// ordinary queue traffic; the report is also recorded in the pool's
+    /// [`PoolStats::last_health`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] for an unknown name and propagates
+    /// serving failures.
+    pub fn health(&self, name: &str, probe: &HealthProbe) -> Result<HealthReport, EbError> {
+        self.inner.probe_model(name, probe)
+    }
+
+    /// Starts the periodic maintenance loop: every
+    /// [`MaintenanceConfig::interval`], probe each deployed model with
+    /// the configured canary set and — when a model degrades below the
+    /// probe's floor and `auto_heal` is set — [`Server::heal`] it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] when a maintenance loop is already
+    /// running.
+    pub fn start_maintenance(&self, config: MaintenanceConfig) -> Result<(), EbError> {
+        let mut maintenance = lock_recovering(&self.maintenance);
+        if maintenance.is_some() {
+            return Err(EbError::Config(
+                "a maintenance loop is already running; stop it first".into(),
+            ));
+        }
+        *maintenance = Some(MaintenanceLoop::start(Arc::clone(&self.inner), config));
+        Ok(())
+    }
+
+    /// Stops the maintenance loop (if one is running) and returns its
+    /// final counters.
+    pub fn stop_maintenance(&self) -> Option<MaintenanceStats> {
+        lock_recovering(&self.maintenance)
+            .take()
+            .map(MaintenanceLoop::stop)
+    }
+
+    /// Counters of the running maintenance loop, or `None` when no loop
+    /// is active.
+    pub fn maintenance_stats(&self) -> Option<MaintenanceStats> {
+        lock_recovering(&self.maintenance)
+            .as_ref()
+            .map(MaintenanceLoop::stats)
     }
 
     /// Removes model `name`, drains its pool, and returns the final
@@ -291,18 +505,12 @@ impl Server {
     ///
     /// Returns [`EbError::Config`] for an unknown name.
     pub fn retire(&self, name: &str) -> Result<PoolStats, EbError> {
-        let entry = write_recovering(&self.models).remove(name);
-        match entry {
-            Some(entry) => Ok(entry.pool.shutdown()),
-            None => Err(self.unknown_model(name)),
-        }
+        self.inner.retire(name)
     }
 
     /// Names of the currently deployed models, sorted.
     pub fn models(&self) -> Vec<String> {
-        let mut names: Vec<String> = read_recovering(&self.models).keys().cloned().collect();
-        names.sort();
-        names
+        self.inner.model_names()
     }
 
     /// Snapshot of model `name`'s pool counters.
@@ -311,29 +519,27 @@ impl Server {
     ///
     /// Returns [`EbError::Config`] for an unknown name.
     pub fn stats(&self, name: &str) -> Result<PoolStats, EbError> {
-        let models = read_recovering(&self.models);
+        let models = read_recovering(&self.inner.models);
         match models.get(name) {
             Some(entry) => Ok(entry.pool.stats()),
             None => {
                 drop(models);
-                Err(self.unknown_model(name))
+                Err(self.inner.unknown_model(name))
             }
         }
     }
 
     /// The [`ModelOpts`] applied by [`Server::deploy`].
     pub fn defaults(&self) -> &ModelOpts {
-        &self.defaults
+        &self.inner.defaults
     }
 
-    /// Shuts every model down (draining each pool) and returns the
-    /// final per-model counters, sorted by name. Dropping the server
-    /// does the same, silently.
+    /// Shuts every model down (stopping the maintenance loop, then
+    /// draining each pool) and returns the final per-model counters,
+    /// sorted by name. Dropping the server does the same, silently.
     pub fn shutdown(self) -> Vec<(String, PoolStats)> {
-        let models = self
-            .models
-            .into_inner()
-            .unwrap_or_else(PoisonError::into_inner);
+        self.stop_maintenance();
+        let models = std::mem::take(&mut *write_recovering(&self.inner.models));
         let mut finals: Vec<(String, PoolStats)> = models
             .into_iter()
             .map(|(name, entry)| (name, entry.pool.shutdown()))
@@ -349,6 +555,7 @@ impl Server {
 pub struct ServerBuilder {
     defaults: ModelOpts,
     models: Vec<(String, Bnn, Option<ModelOpts>)>,
+    maintenance: Option<MaintenanceConfig>,
 }
 
 impl ServerBuilder {
@@ -392,6 +599,13 @@ impl ServerBuilder {
         self
     }
 
+    /// Starts the periodic probe-and-heal maintenance loop as soon as
+    /// the server is up (see [`Server::start_maintenance`]).
+    pub fn maintenance(mut self, config: MaintenanceConfig) -> Self {
+        self.maintenance = Some(config);
+        self
+    }
+
     /// Prepares every registered model's pool and starts the server.
     ///
     /// # Errors
@@ -401,13 +615,19 @@ impl ServerBuilder {
     /// are drained and torn down in that case.
     pub fn serve(self) -> Result<Server, EbError> {
         let server = Server {
-            models: RwLock::new(HashMap::new()),
-            defaults: self.defaults,
+            maintenance: Mutex::new(None),
+            inner: Arc::new(ServerInner {
+                models: RwLock::new(HashMap::new()),
+                defaults: self.defaults,
+            }),
         };
         for (name, net, opts) in self.models {
-            let opts = opts.unwrap_or_else(|| server.defaults.clone());
+            let opts = opts.unwrap_or_else(|| server.inner.defaults.clone());
             // Duplicate names fail here with deploy's own error.
             server.deploy_with(&name, &net, opts)?;
+        }
+        if let Some(config) = self.maintenance {
+            server.start_maintenance(config)?;
         }
         Ok(server)
     }
@@ -611,6 +831,129 @@ mod tests {
         // The same pre-swap handle now serves the new network.
         assert_eq!(handle.infer(&x).unwrap(), new.forward(&x).unwrap());
         assert_eq!(server.stats("m").unwrap().total().inferences, 1);
+    }
+
+    /// Canary inputs spanning enough of the input space that heavy cell
+    /// faults visibly move predicted classes.
+    fn canaries(n: usize) -> Vec<Tensor> {
+        (0..n)
+            .map(|k| Tensor::from_fn(&[10], |i| ((i + 3 * k) as f32 * 0.47).sin()))
+            .collect()
+    }
+
+    #[test]
+    fn inject_heal_cycle_degrades_then_restores_canary_agreement() {
+        let net = mlp(11);
+        let opts = ModelOpts {
+            backend: BackendKind::Epcm,
+            ..ModelOpts::default()
+        };
+        let server = Server::builder()
+            .model_with("aging", &net, opts)
+            .serve()
+            .unwrap();
+        let probe = HealthProbe::golden(&net, canaries(24), 0.9).unwrap();
+        // Healthy baseline: the noiseless ePCM pool is bit-exact.
+        let healthy = server.health("aging", &probe).unwrap();
+        assert_eq!(healthy.agreement, 1.0);
+        assert_eq!(server.injected_fault("aging").unwrap(), None);
+
+        // Simulated aging: a heavy dead-cell population, hot-swapped in.
+        let fault = FaultConfig::dead_cells(0.4, 77);
+        server.inject_faults("aging", fault).unwrap();
+        assert_eq!(server.injected_fault("aging").unwrap(), Some(fault));
+        let degraded = server.health("aging", &probe).unwrap();
+        assert!(
+            !degraded.is_healthy(),
+            "40% dead cells must push agreement below 90% (got {degraded})"
+        );
+        assert!(server.stats("aging").unwrap().total().fault_cells > 0);
+        // The report is recorded pool-side too.
+        assert_eq!(
+            server.stats("aging").unwrap().last_health,
+            Some(degraded),
+            "probes must record into PoolStats::last_health"
+        );
+
+        // Healing reprograms onto fresh devices: agreement recovers.
+        server.heal("aging").unwrap();
+        assert_eq!(server.injected_fault("aging").unwrap(), None);
+        let healed = server.health("aging", &probe).unwrap();
+        assert_eq!(healed.agreement, 1.0, "healed pool must match baseline");
+        assert_eq!(server.stats("aging").unwrap().total().fault_cells, 0);
+    }
+
+    #[test]
+    fn fault_injection_is_rejected_off_the_epcm_substrate() {
+        let net = mlp(12);
+        let server = Server::builder().model("soft", &net).serve().unwrap();
+        let x = x();
+        let before = server.handle("soft").unwrap().infer(&x).unwrap();
+        assert!(matches!(
+            server
+                .inject_faults("soft", FaultConfig::dead_cells(0.2, 1))
+                .unwrap_err(),
+            EbError::Config(_)
+        ));
+        // The rejection left the old pool serving untouched.
+        assert_eq!(server.handle("soft").unwrap().infer(&x).unwrap(), before);
+        assert!(matches!(
+            server
+                .inject_faults("nope", FaultConfig::dead_cells(0.2, 1))
+                .unwrap_err(),
+            EbError::Config(_)
+        ));
+    }
+
+    #[test]
+    fn maintenance_loop_auto_heals_a_degraded_model() {
+        use std::time::{Duration, Instant};
+
+        let net = mlp(13);
+        let opts = ModelOpts {
+            backend: BackendKind::Epcm,
+            ..ModelOpts::default()
+        };
+        let probe = HealthProbe::golden(&net, canaries(24), 0.9).unwrap();
+        let server = Server::builder()
+            .model_with("watched", &net, opts)
+            .maintenance(MaintenanceConfig::new(
+                Duration::from_millis(10),
+                probe.clone(),
+            ))
+            .serve()
+            .unwrap();
+        // A second loop is a configuration error.
+        assert!(server
+            .start_maintenance(MaintenanceConfig::new(
+                Duration::from_secs(1),
+                probe.clone()
+            ))
+            .is_err());
+        // Inject heavy faults; the loop must notice and heal without any
+        // further calls from us.
+        server
+            .inject_faults("watched", FaultConfig::dead_cells(0.4, 99))
+            .unwrap();
+        let deadline = Instant::now() + Duration::from_secs(30);
+        loop {
+            let stats = server.maintenance_stats().expect("loop is running");
+            if stats.heals >= 1 && server.injected_fault("watched").unwrap().is_none() {
+                break;
+            }
+            assert!(
+                Instant::now() < deadline,
+                "maintenance loop failed to heal within 30s: {stats:?}"
+            );
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        // Post-heal the model serves at its healthy baseline again.
+        assert_eq!(server.health("watched", &probe).unwrap().agreement, 1.0);
+        let finals = server.stop_maintenance().expect("loop was running");
+        assert!(finals.probes >= 1);
+        assert!(finals.degradations >= 1);
+        assert!(finals.heals >= 1);
+        assert!(server.maintenance_stats().is_none());
     }
 
     #[test]

@@ -9,7 +9,9 @@
 //! configuration alone.
 
 use crate::error::EbError;
+use crate::health::{HealthProbe, HealthReport};
 use eb_bitnn::{Bnn, Tensor};
+use eb_xbar::FaultConfig;
 
 /// How much noise a prepared session injects.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -43,6 +45,14 @@ pub struct NoiseConfig {
     /// with `drift_nu > 0`; every other configuration **rejects** the
     /// setting at `prepare` time instead of silently ignoring it.
     pub drift_t_ratio: Option<f64>,
+    /// Optional cell-fault profile: seeded, deterministic stuck-at /
+    /// dead-cell faults injected into every crossbar the session
+    /// programs (see [`eb_xbar::FaultConfig`]). Only the ePCM backend
+    /// hosts electronic cell faults; every other backend **rejects** an
+    /// *active* profile (any nonzero rate) at `prepare` time — the same
+    /// no-silent-fallback rule as drift. A vacuous all-zero profile is
+    /// the identity and is accepted (and bit-exact) everywhere.
+    pub fault: Option<FaultConfig>,
 }
 
 /// Options applied when preparing a session.
@@ -72,21 +82,31 @@ pub struct SessionStats {
     /// behavior — made `PoolStats` and ticket wait times meaningless on
     /// three of four backends).
     pub latency_ns: f64,
-    /// Modeled energy in joules. Only the simulator backend has an energy
-    /// model; the software, ePCM, and photonic sessions always leave
-    /// this 0.
+    /// Modeled energy in joules. The simulator backend reports its
+    /// accelerator energy model; the ePCM backend charges
+    /// [`eb_xbar::XbarEnergies`] per crossbar programming and VMM
+    /// activation. The software and photonic sessions leave this 0
+    /// (no energy model on those substrates).
     pub energy_j: f64,
+    /// Faulty crossbar cells currently injected into this session
+    /// (stuck-at / dead, from [`eb_xbar::FaultConfig`] profiles and
+    /// targeted kills). A gauge, not a counter: the ePCM backend reports
+    /// its live fault population; other substrates report 0.
+    pub fault_cells: u64,
 }
 
 impl SessionStats {
     /// Accumulates `other` into `self`, field-wise — the reduction
     /// [`crate::PoolStats`] uses to aggregate replica counters.
+    /// `fault_cells` sums too: across a pool it reads as the total fault
+    /// population over all replica sessions.
     pub fn merge(&mut self, other: &SessionStats) {
         self.inferences += other.inferences;
         self.crossbar_steps += other.crossbar_steps;
         self.wdm_lanes += other.wdm_lanes;
         self.latency_ns += other.latency_ns;
         self.energy_j += other.energy_j;
+        self.fault_cells += other.fault_cells;
     }
 }
 
@@ -134,6 +154,20 @@ pub trait Session: Send {
 
     /// Counters accumulated so far.
     fn stats(&self) -> SessionStats;
+
+    /// Runs a golden-sample canary probe through this session and reports
+    /// agreement against the known-good outputs (see [`HealthProbe`]).
+    /// Probing is ordinary served traffic — it flows through
+    /// [`Session::infer_batch`] and counts toward [`Session::stats`].
+    ///
+    /// # Errors
+    ///
+    /// Propagates substrate execution failures. To *enforce* the probe's
+    /// floor instead of just measuring, use [`HealthProbe::check`], which
+    /// returns [`EbError::Degraded`] below it.
+    fn health(&mut self, probe: &HealthProbe) -> Result<HealthReport, EbError> {
+        probe.run(self)
+    }
 }
 
 /// Predicted class for one input: argmax of [`Session::infer`] logits.

@@ -52,6 +52,7 @@ impl Backend for SimulatorBackend {
                     .into(),
             ));
         }
+        crate::analog::reject_active_fault(&opts.noise, "simulator")?;
         let mut rng = StdRng::seed_from_u64(opts.noise.seed);
         let compiled = compile(&self.design, net, &mut rng)?;
         Ok(Box::new(SimulatorSession {
@@ -87,6 +88,7 @@ impl Session for SimulatorSession {
             wdm_lanes: sim.wdm_lanes,
             latency_ns: sim.latency_ns,
             energy_j: sim.energy_j,
+            fault_cells: 0,
         }
     }
 }

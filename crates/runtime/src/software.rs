@@ -29,6 +29,7 @@ impl Backend for SoftwareBackend {
                     .into(),
             ));
         }
+        crate::analog::reject_active_fault(&opts.noise, "software")?;
         Ok(Box::new(SoftwareSession {
             net: net.clone(),
             scratch: ForwardScratch::new(),

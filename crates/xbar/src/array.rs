@@ -3,8 +3,10 @@
 
 use crate::device::{DeviceParams, EpcmDevice};
 use crate::error::XbarError;
+use crate::fault::{CellFault, FaultConfig};
 use eb_bitnn::{BitMatrix, BitVec};
 use rand::Rng;
+use std::collections::HashMap;
 
 /// Cell structure of a crossbar.
 ///
@@ -60,6 +62,11 @@ pub struct CrossbarArray {
     /// cells resolve through [`EpcmDevice::after_drift`] at this ratio.
     /// `1.0` (the default) reads at programming time — no drift.
     t_ratio: f64,
+    /// Population-level Bernoulli fault profile (see [`FaultConfig`]).
+    fault: Option<FaultConfig>,
+    /// Targeted per-cell fault overrides from [`CrossbarArray::kill_cell`];
+    /// these win over the Bernoulli map.
+    killed: HashMap<(usize, usize), CellFault>,
 }
 
 impl CrossbarArray {
@@ -72,6 +79,8 @@ impl CrossbarArray {
             devices: vec![None; rows * cols],
             writes: 0,
             t_ratio: 1.0,
+            fault: None,
+            killed: HashMap::new(),
         }
     }
 
@@ -87,6 +96,92 @@ impl CrossbarArray {
     /// The read time `t/t₀` drift currently resolves at (1.0 = none).
     pub fn drift_t_ratio(&self) -> f64 {
         self.t_ratio
+    }
+
+    /// Installs (or clears) a population-level fault profile. The per-cell
+    /// fault map is a pure function of the profile's seed and the cell
+    /// coordinates (see [`FaultConfig::cell_fault`]); faulty cells are
+    /// deterministic, so this does not affect
+    /// [`CrossbarArray::read_is_deterministic`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidFault`] if the profile's rates are not
+    /// a valid probability assignment; the previous profile is kept.
+    pub fn set_fault_config(&mut self, fault: Option<FaultConfig>) -> Result<(), XbarError> {
+        if let Some(f) = &fault {
+            f.validate()?;
+        }
+        self.fault = fault;
+        Ok(())
+    }
+
+    /// The installed population fault profile, if any.
+    pub fn fault_config(&self) -> Option<&FaultConfig> {
+        self.fault.as_ref()
+    }
+
+    /// Forces one cell into a fault state, overriding the Bernoulli map —
+    /// the targeted-injection hook for tests and drills.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::OutOfBounds`] if the coordinates exceed the
+    /// array.
+    pub fn kill_cell(&mut self, r: usize, c: usize, fault: CellFault) -> Result<(), XbarError> {
+        if r >= self.rows || c >= self.cols {
+            return Err(XbarError::OutOfBounds {
+                row: r,
+                col: c,
+                rows: self.rows,
+                cols: self.cols,
+            });
+        }
+        self.killed.insert((r, c), fault);
+        Ok(())
+    }
+
+    /// Clears every injected fault: the population profile and all
+    /// [`CrossbarArray::kill_cell`] overrides — "swap in pristine
+    /// spare devices".
+    pub fn clear_faults(&mut self) {
+        self.fault = None;
+        self.killed.clear();
+    }
+
+    /// The fault state of cell `(r, c)`: a targeted
+    /// [`CrossbarArray::kill_cell`] override if present, else the
+    /// population profile's Bernoulli draw, else healthy (`None`).
+    pub fn cell_fault(&self, r: usize, c: usize) -> Option<CellFault> {
+        if let Some(&f) = self.killed.get(&(r, c)) {
+            return Some(f);
+        }
+        self.fault.as_ref().and_then(|f| f.cell_fault(r, c))
+    }
+
+    /// Number of faulty cells in the array (telemetry for health probes).
+    pub fn fault_count(&self) -> usize {
+        if self.fault.is_none() && self.killed.is_empty() {
+            return 0;
+        }
+        (0..self.rows)
+            .flat_map(|r| (0..self.cols).map(move |c| (r, c)))
+            .filter(|&(r, c)| self.cell_fault(r, c).is_some())
+            .count()
+    }
+
+    /// The conductance a faulty cell pins itself to.
+    fn fault_conductance(&self, fault: CellFault) -> f64 {
+        match fault {
+            CellFault::StuckAtOn => self.params.g_on,
+            CellFault::StuckAtOff => self.params.g_off,
+            CellFault::Dead => 0.0,
+        }
+    }
+
+    /// `true` when no cell can be faulty (fast-path guard).
+    fn fault_free(&self) -> bool {
+        self.killed.is_empty() && self.fault.as_ref().is_none_or(FaultConfig::is_vacuous)
     }
 
     /// Number of word lines (rows).
@@ -194,7 +289,15 @@ impl CrossbarArray {
     /// One-device conductance read with drift (at the configured
     /// [`CrossbarArray::drift_t_ratio`]) and read noise; unprogrammed
     /// devices read as `g_off` (a pristine PCM device is highly resistive).
+    ///
+    /// Faulty cells ([`CrossbarArray::cell_fault`]) bypass the device
+    /// entirely: a stuck cell reads its pinned conductance and a dead
+    /// cell reads 0, with neither drift nor read noise — the defect, not
+    /// the programmed state, fixes what the column sees.
     pub fn read_conductance(&self, r: usize, c: usize, rng: &mut impl Rng) -> f64 {
+        if let Some(fault) = self.cell_fault(r, c) {
+            return self.fault_conductance(fault);
+        }
         match &self.devices[self.idx(r, c)] {
             Some(d) => d.read_at(self.t_ratio, &self.params, rng),
             None => self.params.g_off,
@@ -210,21 +313,32 @@ impl CrossbarArray {
     /// Row-major snapshot of the programmed conductances (`rows × cols`,
     /// unprogrammed cells at `g_off`).
     ///
-    /// Programming variability and drift (at the configured
-    /// [`CrossbarArray::drift_t_ratio`]) are baked into the snapshot, so
-    /// when [`CrossbarArray::read_is_deterministic`] holds, the snapshot
-    /// equals what every read would return — the batch VMM path samples it
-    /// once and reuses it for the whole batch instead of re-resolving each
-    /// device per input vector.
+    /// Programming variability, drift (at the configured
+    /// [`CrossbarArray::drift_t_ratio`]) and cell faults are baked into
+    /// the snapshot, so when [`CrossbarArray::read_is_deterministic`]
+    /// holds, the snapshot equals what every read would return — the
+    /// batch VMM path samples it once and reuses it for the whole batch
+    /// instead of re-resolving each device per input vector.
     pub fn conductance_snapshot(&self) -> Vec<f64> {
-        self.devices
+        let mut snap: Vec<f64> = self
+            .devices
             .iter()
             .map(|d| {
                 d.as_ref().map_or(self.params.g_off, |d| {
                     d.after_drift(self.t_ratio, &self.params)
                 })
             })
-            .collect()
+            .collect();
+        if !self.fault_free() {
+            for r in 0..self.rows {
+                for c in 0..self.cols {
+                    if let Some(fault) = self.cell_fault(r, c) {
+                        snap[r * self.cols + c] = self.fault_conductance(fault);
+                    }
+                }
+            }
+        }
+        snap
     }
 
     /// Analog column current for a binary row drive: rows with bit 1 get
@@ -393,5 +507,90 @@ mod tests {
     fn cell_kind_device_counts() {
         assert_eq!(CellKind::OneT1R.devices_per_bit(), 1);
         assert_eq!(CellKind::TwoT2R.devices_per_bit(), 2);
+    }
+
+    #[test]
+    fn killed_cells_pin_reads_and_snapshot_agrees() {
+        let mut r = rng();
+        let p = DeviceParams::ideal();
+        let mut x = CrossbarArray::new(2, 2, p.clone());
+        x.program_matrix(&BitMatrix::from_fn(2, 2, |_, _| true), &mut r)
+            .unwrap();
+        x.kill_cell(0, 0, CellFault::Dead).unwrap();
+        x.kill_cell(0, 1, CellFault::StuckAtOff).unwrap();
+        x.kill_cell(1, 0, CellFault::StuckAtOn).unwrap();
+        assert_eq!(x.read_conductance(0, 0, &mut r), 0.0);
+        assert_eq!(x.read_conductance(0, 1, &mut r), p.g_off);
+        assert_eq!(x.read_conductance(1, 0, &mut r), p.g_on);
+        assert_eq!(x.read_conductance(1, 1, &mut r), p.g_on);
+        let snap = x.conductance_snapshot();
+        assert_eq!(snap, vec![0.0, p.g_off, p.g_on, p.g_on]);
+        assert_eq!(x.fault_count(), 3);
+        // A dead cell contributes no current even when driven.
+        let drive = BitVec::ones(2);
+        let i0 = x.column_current(&drive, 0, 1.0, &mut r).unwrap();
+        assert!((i0 - p.g_on).abs() < 1e-12, "dead cell must pass nothing");
+        // Faults stay deterministic; the snapshot fast path remains valid.
+        assert!(x.read_is_deterministic());
+        x.clear_faults();
+        assert_eq!(x.fault_count(), 0);
+        assert_eq!(x.read_conductance(0, 0, &mut r), p.g_on);
+    }
+
+    #[test]
+    fn kill_cell_bounds_checked() {
+        let mut x = CrossbarArray::new(2, 2, DeviceParams::ideal());
+        assert!(matches!(
+            x.kill_cell(2, 0, CellFault::Dead),
+            Err(XbarError::OutOfBounds { .. })
+        ));
+    }
+
+    #[test]
+    fn fault_profile_overrides_programmed_and_unprogrammed_cells() {
+        let mut r = rng();
+        let p = DeviceParams::ideal();
+        let mut x = CrossbarArray::new(8, 8, p.clone());
+        x.program_matrix(&BitMatrix::from_fn(8, 8, |a, b| (a + b) % 2 == 0), &mut r)
+            .unwrap();
+        x.set_fault_config(Some(FaultConfig::stuck_at_on(1.0, 3)))
+            .unwrap();
+        assert_eq!(x.fault_count(), 64);
+        for a in 0..8 {
+            for b in 0..8 {
+                assert_eq!(x.read_conductance(a, b, &mut r), p.g_on);
+            }
+        }
+        // Reprogramming does not move the fault map.
+        x.program(0, 0, false, &mut r).unwrap();
+        assert_eq!(x.read_conductance(0, 0, &mut r), p.g_on);
+        // An invalid profile is rejected and the previous one kept.
+        assert!(x
+            .set_fault_config(Some(FaultConfig::dead_cells(2.0, 0)))
+            .is_err());
+        assert_eq!(x.fault_config(), Some(&FaultConfig::stuck_at_on(1.0, 3)));
+    }
+
+    #[test]
+    fn snapshot_matches_reads_under_partial_faults() {
+        let mut r = rng();
+        let mut x = CrossbarArray::new(16, 16, DeviceParams::ideal());
+        x.program_matrix(&BitMatrix::from_fn(16, 16, |a, b| a * b % 3 == 0), &mut r)
+            .unwrap();
+        x.set_fault_config(Some(FaultConfig {
+            stuck_on: 0.1,
+            stuck_off: 0.1,
+            dead: 0.2,
+            seed: 77,
+        }))
+        .unwrap();
+        let n = x.fault_count();
+        assert!(n > 0 && n < 256, "partial fault population, got {n}");
+        let snap = x.conductance_snapshot();
+        for a in 0..16 {
+            for b in 0..16 {
+                assert_eq!(snap[a * 16 + b], x.read_conductance(a, b, &mut r));
+            }
+        }
     }
 }

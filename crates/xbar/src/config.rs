@@ -3,6 +3,7 @@
 use crate::array::CellKind;
 use crate::cost::{XbarEnergies, XbarTimings};
 use crate::device::DeviceParams;
+use crate::fault::FaultConfig;
 
 /// Full configuration of one electronic crossbar instance.
 ///
@@ -33,6 +34,10 @@ pub struct XbarConfig {
     pub n_adcs: usize,
     /// Device model.
     pub device: DeviceParams,
+    /// Cell-fault profile applied to every array built from this config
+    /// (`None` = immortal devices). Consumers derive a distinct fault-map
+    /// seed per physical array from [`FaultConfig::seed`].
+    pub fault: Option<FaultConfig>,
     /// Latency constants.
     pub timings: XbarTimings,
     /// Energy constants.
@@ -51,6 +56,7 @@ impl XbarConfig {
             adc_bits: 9,
             n_adcs: 16,
             device: DeviceParams::ideal(),
+            fault: None,
             timings: XbarTimings::default(),
             energies: XbarEnergies::default(),
         }
@@ -71,6 +77,12 @@ impl XbarConfig {
     /// Sets the device model.
     pub fn with_device(mut self, device: DeviceParams) -> Self {
         self.device = device;
+        self
+    }
+
+    /// Sets the cell-fault profile.
+    pub fn with_fault(mut self, fault: FaultConfig) -> Self {
+        self.fault = Some(fault);
         self
     }
 

@@ -27,6 +27,11 @@ pub enum XbarError {
         /// Received length.
         got: usize,
     },
+    /// A fault profile was not a valid probability assignment.
+    InvalidFault {
+        /// What was wrong with the profile.
+        reason: String,
+    },
 }
 
 impl fmt::Display for XbarError {
@@ -43,6 +48,7 @@ impl fmt::Display for XbarError {
                 expected,
                 got,
             } => write!(f, "{what} has length {got}, expected {expected}"),
+            Self::InvalidFault { reason } => write!(f, "invalid fault profile: {reason}"),
         }
     }
 }

@@ -1,0 +1,269 @@
+//! Seeded, deterministic cell-fault injection.
+//!
+//! Real PCM devices die: cells get stuck in the SET state (always
+//! `g_on`), stuck in the RESET state (always `g_off`), or fail open
+//! (no current path at all). A [`FaultConfig`] describes a fault
+//! *population* — an independent per-device Bernoulli draw for each
+//! fault class — that a [`CrossbarArray`](crate::CrossbarArray)
+//! resolves per cell from a hash of `(seed, row, col)`:
+//!
+//! * **Deterministic** — the fault map is a pure function of the seed
+//!   and the cell coordinates, so replaying the same profile on a
+//!   freshly programmed array reproduces the same broken cells, and
+//!   the snapshot fast path stays valid
+//!   ([`CrossbarArray::read_is_deterministic`](crate::CrossbarArray::read_is_deterministic)
+//!   is unaffected).
+//! * **Order-independent** — programming order, reprogramming, and
+//!   read order never change which cells are faulty (a defect is a
+//!   property of the physical cell, not of the value written to it).
+//!
+//! Targeted single-cell faults for tests are injected with
+//! [`CrossbarArray::kill_cell`](crate::CrossbarArray::kill_cell),
+//! which overrides the Bernoulli map at one coordinate.
+
+use crate::error::XbarError;
+
+/// How one faulty cell misbehaves, regardless of what was programmed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CellFault {
+    /// Permanently crystalline: every read sees `g_on`.
+    StuckAtOn,
+    /// Permanently amorphous: every read sees `g_off`.
+    StuckAtOff,
+    /// Open circuit: the cell contributes no current (conductance 0).
+    Dead,
+}
+
+/// A seeded Bernoulli fault profile over a crossbar's cells.
+///
+/// Each rate is the independent per-cell probability of that fault
+/// class; at most one fault applies per cell (dead wins over stuck-on
+/// wins over stuck-off in the shared draw). All-zero rates are the
+/// identity profile — see [`FaultConfig::is_vacuous`].
+///
+/// ```
+/// use eb_xbar::FaultConfig;
+///
+/// let f = FaultConfig::dead_cells(0.05, 7);
+/// assert!(f.validate().is_ok());
+/// assert!(!f.is_vacuous());
+/// // The fault map is a pure function of (seed, row, col).
+/// assert_eq!(f.cell_fault(3, 4), f.cell_fault(3, 4));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct FaultConfig {
+    /// Per-cell probability of a stuck-at-`g_on` fault.
+    pub stuck_on: f64,
+    /// Per-cell probability of a stuck-at-`g_off` fault.
+    pub stuck_off: f64,
+    /// Per-cell probability of an open (dead) cell.
+    pub dead: f64,
+    /// Seed of the deterministic per-cell fault map.
+    pub seed: u64,
+}
+
+impl FaultConfig {
+    /// The identity profile: no faults at any rate.
+    pub fn none() -> Self {
+        Self {
+            stuck_on: 0.0,
+            stuck_off: 0.0,
+            dead: 0.0,
+            seed: 0,
+        }
+    }
+
+    /// A dead-cell-only profile.
+    pub fn dead_cells(rate: f64, seed: u64) -> Self {
+        Self {
+            dead: rate,
+            ..Self::none().with_seed(seed)
+        }
+    }
+
+    /// A stuck-at-`g_on`-only profile.
+    pub fn stuck_at_on(rate: f64, seed: u64) -> Self {
+        Self {
+            stuck_on: rate,
+            ..Self::none().with_seed(seed)
+        }
+    }
+
+    /// A stuck-at-`g_off`-only profile.
+    pub fn stuck_at_off(rate: f64, seed: u64) -> Self {
+        Self {
+            stuck_off: rate,
+            ..Self::none().with_seed(seed)
+        }
+    }
+
+    /// The same rates under a different fault-map seed.
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Total per-cell fault probability (sum of the class rates).
+    pub fn total_rate(&self) -> f64 {
+        self.stuck_on + self.stuck_off + self.dead
+    }
+
+    /// `true` when the profile can never fault a cell (all rates zero).
+    /// A vacuous profile is bit-exact to no profile at all, which is why
+    /// the serving runtime accepts it on every backend.
+    pub fn is_vacuous(&self) -> bool {
+        self.total_rate() == 0.0
+    }
+
+    /// Checks that every rate is a probability and the classes are
+    /// mutually exclusive (total ≤ 1).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::InvalidFault`] describing the violation.
+    pub fn validate(&self) -> Result<(), XbarError> {
+        for (name, rate) in [
+            ("stuck_on", self.stuck_on),
+            ("stuck_off", self.stuck_off),
+            ("dead", self.dead),
+        ] {
+            if !(0.0..=1.0).contains(&rate) {
+                return Err(XbarError::InvalidFault {
+                    reason: format!("{name} rate {rate} is not a probability in [0, 1]"),
+                });
+            }
+        }
+        if self.total_rate() > 1.0 {
+            return Err(XbarError::InvalidFault {
+                reason: format!(
+                    "fault class rates sum to {} > 1 (classes are mutually exclusive)",
+                    self.total_rate()
+                ),
+            });
+        }
+        Ok(())
+    }
+
+    /// The fault (if any) this profile assigns to cell `(r, c)` — a pure
+    /// function of `(seed, r, c)`, independent of array size, programming
+    /// history, or evaluation order.
+    pub fn cell_fault(&self, r: usize, c: usize) -> Option<CellFault> {
+        if self.is_vacuous() {
+            return None;
+        }
+        let coord = ((r as u64) << 32) ^ (c as u64) ^ 0xA5A5_5A5A_C3C3_3C3C;
+        let bits = splitmix64(self.seed ^ splitmix64(coord));
+        // 53 uniform bits → u ∈ [0, 1); compare against stacked rates.
+        let u = (bits >> 11) as f64 / (1u64 << 53) as f64;
+        if u < self.dead {
+            Some(CellFault::Dead)
+        } else if u < self.dead + self.stuck_on {
+            Some(CellFault::StuckAtOn)
+        } else if u < self.total_rate() {
+            Some(CellFault::StuckAtOff)
+        } else {
+            None
+        }
+    }
+}
+
+/// SplitMix64 finalizer: a cheap, high-quality 64-bit mixer.
+fn splitmix64(mut z: u64) -> u64 {
+    z = z.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn vacuous_profile_never_faults() {
+        let f = FaultConfig::none();
+        assert!(f.is_vacuous());
+        assert!(f.validate().is_ok());
+        for r in 0..64 {
+            for c in 0..64 {
+                assert_eq!(f.cell_fault(r, c), None);
+            }
+        }
+    }
+
+    #[test]
+    fn rates_out_of_range_rejected() {
+        assert!(FaultConfig::dead_cells(-0.1, 0).validate().is_err());
+        assert!(FaultConfig::dead_cells(1.1, 0).validate().is_err());
+        assert!(FaultConfig::dead_cells(f64::NAN, 0).validate().is_err());
+        let sum_over_one = FaultConfig {
+            stuck_on: 0.5,
+            stuck_off: 0.4,
+            dead: 0.3,
+            seed: 0,
+        };
+        assert!(sum_over_one.validate().is_err());
+        assert!(FaultConfig::dead_cells(1.0, 0).validate().is_ok());
+    }
+
+    #[test]
+    fn fault_map_is_deterministic_and_seed_sensitive() {
+        let a = FaultConfig::dead_cells(0.3, 11);
+        let b = FaultConfig::dead_cells(0.3, 12);
+        let map = |f: &FaultConfig| -> Vec<Option<CellFault>> {
+            (0..32)
+                .flat_map(|r| (0..32).map(move |c| (r, c)))
+                .map(|(r, c)| f.cell_fault(r, c))
+                .collect()
+        };
+        assert_eq!(map(&a), map(&a));
+        assert_ne!(map(&a), map(&b), "different seeds must move the faults");
+    }
+
+    #[test]
+    fn empirical_rate_tracks_configured_rate() {
+        let f = FaultConfig::dead_cells(0.2, 3);
+        let n = 200 * 200;
+        let hits = (0..200)
+            .flat_map(|r| (0..200).map(move |c| (r, c)))
+            .filter(|&(r, c)| f.cell_fault(r, c).is_some())
+            .count();
+        let p = hits as f64 / n as f64;
+        assert!((p - 0.2).abs() < 0.02, "empirical dead rate {p}");
+    }
+
+    #[test]
+    fn classes_partition_the_draw() {
+        let f = FaultConfig {
+            stuck_on: 0.3,
+            stuck_off: 0.3,
+            dead: 0.3,
+            seed: 5,
+        };
+        let mut counts = [0usize; 3];
+        for r in 0..100 {
+            for c in 0..100 {
+                match f.cell_fault(r, c) {
+                    Some(CellFault::Dead) => counts[0] += 1,
+                    Some(CellFault::StuckAtOn) => counts[1] += 1,
+                    Some(CellFault::StuckAtOff) => counts[2] += 1,
+                    None => {}
+                }
+            }
+        }
+        for (i, &n) in counts.iter().enumerate() {
+            let p = n as f64 / 10_000.0;
+            assert!((p - 0.3).abs() < 0.03, "class {i} rate {p}");
+        }
+    }
+
+    #[test]
+    fn total_rate_one_faults_everything() {
+        let f = FaultConfig::stuck_at_off(1.0, 9);
+        for r in 0..16 {
+            for c in 0..16 {
+                assert_eq!(f.cell_fault(r, c), Some(CellFault::StuckAtOff));
+            }
+        }
+    }
+}

@@ -11,6 +11,8 @@
 //! * [`Dac`], [`Adc`], [`Pcsa`], [`PopcountTree`] — the two readout styles
 //!   whose asymmetric cost drives the paper's results.
 //! * [`VmmEngine`] — array + periphery, computing whole VMMs per step.
+//! * [`FaultConfig`]/[`CellFault`] — seeded, deterministic stuck-at and
+//!   dead-cell fault injection for device-lifetime studies.
 //! * [`XbarTimings`]/[`XbarEnergies`]/[`XbarConfig`] — calibrated latency
 //!   and energy constants consumed by the accelerator models in `eb-core`.
 
@@ -22,6 +24,7 @@ mod config;
 mod cost;
 mod device;
 mod error;
+mod fault;
 mod periphery;
 mod vmm;
 
@@ -30,5 +33,6 @@ pub use config::XbarConfig;
 pub use cost::{XbarEnergies, XbarTimings};
 pub use device::{DeviceParams, EpcmDevice};
 pub use error::XbarError;
+pub use fault::{CellFault, FaultConfig};
 pub use periphery::{Adc, Dac, Pcsa, PopcountTree};
 pub use vmm::VmmEngine;

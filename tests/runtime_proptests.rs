@@ -6,7 +6,7 @@
 use einstein_barrier::bitnn::{
     BinConv, BinLinear, Bnn, FixedConv, FixedLinear, Layer, OutputLinear, Shape, Tensor,
 };
-use einstein_barrier::{BackendKind, Priority, Request, Runtime, Session};
+use einstein_barrier::{BackendKind, FaultConfig, Priority, Request, Runtime, Session};
 use proptest::prelude::*;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -204,6 +204,69 @@ proptest! {
             let stats = pool.shutdown();
             prop_assert_eq!(stats.total().inferences, xs.len() as u64, "{}", kind);
         }
+    }
+
+    /// A vacuous (all-rates-zero) fault profile is the identity on every
+    /// backend: bit-exact against the no-fault baseline, accepted even
+    /// by substrates that reject *active* profiles.
+    #[test]
+    fn rate_zero_fault_profile_is_bit_exact_everywhere(
+        inputs in 4usize..20,
+        hidden in 2usize..12,
+        classes in 2usize..5,
+        batch in 1usize..5,
+        fault_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let net = random_mlp(inputs, hidden, classes, seed);
+        let xs = batch_of(net.input_shape(), batch, seed);
+        for kind in BackendKind::all() {
+            let mut baseline = prepare(kind, &net, seed);
+            let mut vacuous = Runtime::builder()
+                .backend(kind)
+                .seed(seed)
+                .fault(FaultConfig::none().with_seed(fault_seed))
+                .prepare(&net)
+                .expect("vacuous fault profile must be accepted everywhere");
+            prop_assert_eq!(
+                vacuous.infer_batch(&xs).expect("vacuous"),
+                baseline.infer_batch(&xs).expect("baseline"),
+                "{}", kind
+            );
+            prop_assert_eq!(vacuous.stats().fault_cells, 0, "{}", kind);
+        }
+    }
+
+    /// Fault injection is deterministic: the same seed and fault profile
+    /// replay bit-identical predictions (and fault populations) across
+    /// two independent prepares of the ePCM backend.
+    #[test]
+    fn same_fault_profile_replays_identically_across_prepares(
+        inputs in 4usize..20,
+        hidden in 2usize..12,
+        classes in 2usize..5,
+        batch in 1usize..5,
+        dead in 0.05f64..0.5,
+        fault_seed in any::<u64>(),
+        seed in any::<u64>(),
+    ) {
+        let net = random_mlp(inputs, hidden, classes, seed);
+        let xs = batch_of(net.input_shape(), batch, seed);
+        let fault = FaultConfig::dead_cells(dead, fault_seed);
+        let run = || {
+            let mut session = Runtime::builder()
+                .backend(BackendKind::Epcm)
+                .seed(seed)
+                .fault(fault)
+                .prepare(&net)
+                .expect("prepare with faults");
+            let out = session.infer_batch(&xs).expect("faulted batch");
+            (out, session.stats().fault_cells)
+        };
+        let (first, cells_first) = run();
+        let (second, cells_second) = run();
+        prop_assert_eq!(first, second, "same profile must replay bit-exactly");
+        prop_assert_eq!(cells_first, cells_second);
     }
 
     /// Same contract on conv topologies, where the analog batch path packs
