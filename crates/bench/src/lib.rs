@@ -16,6 +16,10 @@
 //! Criterion benches (`cargo bench -p eb-bench`) measure the wall-clock
 //! cost of the simulator itself on the same workloads.
 
+mod hist;
+
+pub use hist::LatencyHistogram;
+
 use std::fmt::Display;
 
 /// Prints a standard experiment banner.

@@ -58,6 +58,24 @@ impl fmt::Display for BackendKind {
     }
 }
 
+impl std::str::FromStr for BackendKind {
+    type Err = EbError;
+
+    /// Parses a [`BackendKind::name`] (case-insensitive) — the inverse
+    /// of [`fmt::Display`], for CLI flags like `eb-serve --backend epcm`.
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        let lower = s.to_ascii_lowercase();
+        Self::all()
+            .into_iter()
+            .find(|kind| kind.name() == lower)
+            .ok_or_else(|| {
+                EbError::Config(format!(
+                    "unknown backend {s:?}; expected one of: software, epcm, photonic, simulator"
+                ))
+            })
+    }
+}
+
 /// A configured runtime: one backend plus the session options it prepares
 /// with. Compile once with [`Runtime::prepare`], then serve many
 /// inferences through the returned [`Session`].
@@ -336,5 +354,21 @@ mod tests {
         let names: Vec<&str> = BackendKind::all().iter().map(|k| k.name()).collect();
         assert_eq!(names, vec!["software", "epcm", "photonic", "simulator"]);
         assert_eq!(BackendKind::Epcm.to_string(), "epcm");
+    }
+
+    #[test]
+    fn backend_kind_parses_its_own_names() {
+        for kind in BackendKind::all() {
+            assert_eq!(kind.name().parse::<BackendKind>().unwrap(), kind);
+            // Case-insensitive, as CLI flags should be.
+            assert_eq!(
+                kind.name().to_uppercase().parse::<BackendKind>().unwrap(),
+                kind
+            );
+        }
+        assert!(matches!(
+            "tpu".parse::<BackendKind>(),
+            Err(EbError::Config(_))
+        ));
     }
 }

@@ -53,6 +53,13 @@ pub enum EbError {
     /// [`Ticket::cancel`](crate::Ticket::cancel)) before a replica
     /// claimed it for serving.
     Cancelled,
+    /// A non-blocking submission found the pool's bounded queue at
+    /// capacity, so the request was **shed** instead of queued or
+    /// blocked on. This is the graceful-degradation signal of the
+    /// serving edge: callers (e.g. the HTTP frontend) translate it into
+    /// "503 + `Retry-After`" so that excess offered load bounces
+    /// quickly while accepted requests keep their latency.
+    Overloaded,
     /// A health probe measured canary agreement below its configured
     /// floor: the session still executes, but its physics (faults,
     /// drift, noise) has degraded accuracy past the acceptable limit.
@@ -81,6 +88,9 @@ impl fmt::Display for EbError {
                 write!(f, "request deadline passed before a replica served it")
             }
             Self::Cancelled => write!(f, "request was cancelled before serving"),
+            Self::Overloaded => {
+                write!(f, "serving queue at capacity; request shed (retry later)")
+            }
             Self::Degraded { agreement, floor } => write!(
                 f,
                 "session degraded: canary agreement {:.1}% below floor {:.1}%",
@@ -101,9 +111,11 @@ impl Error for EbError {
             Self::Optical(e) => Some(e),
             Self::Compile(e) => Some(e),
             Self::Sim(e) => Some(e),
-            Self::Config(_) | Self::DeadlineExceeded | Self::Cancelled | Self::Degraded { .. } => {
-                None
-            }
+            Self::Config(_)
+            | Self::DeadlineExceeded
+            | Self::Cancelled
+            | Self::Overloaded
+            | Self::Degraded { .. } => None,
         }
     }
 }

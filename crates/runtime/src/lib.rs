@@ -31,7 +31,10 @@
 //! ([`PoolHandle::submit`] → [`Ticket`], with per-[`Request`] deadlines
 //! and [`Priority`] classes; the blocking `infer`/`predict`/`infer_many`
 //! wrap `submit(..).wait()`), and a multi-model [`Server`] registry
-//! serves named networks with hot [`Server::swap`] replacement.
+//! serves named networks with hot [`Server::swap`] replacement. The
+//! [`net`] module puts a hand-rolled HTTP/1.1 frontend ([`NetServer`])
+//! in front of the registry, with overload shedding (`503 +
+//! Retry-After` instead of queue blocking) and graceful drain.
 //!
 //! ```
 //! use eb_runtime::{BackendKind, Runtime};
@@ -61,6 +64,7 @@ mod analog;
 mod builder;
 mod error;
 mod health;
+pub mod net;
 mod serve;
 mod session;
 mod simulator;
@@ -70,10 +74,11 @@ pub use analog::{EpcmBackend, PhotonicBackend};
 pub use builder::{BackendKind, Runtime, RuntimeBuilder};
 pub use error::EbError;
 pub use health::{HealthProbe, HealthReport};
+pub use net::{NetConfig, NetServer, NetStats};
 pub use serve::{
     derived_model_seed, DynamicBatcher, MaintenanceConfig, MaintenanceStats, ModelHandle,
-    ModelOpts, PoolConfig, PoolHandle, PoolStats, Priority, Request, RequestOpts, ServePool,
-    Server, ServerBuilder, Ticket, TicketStatus,
+    ModelOpts, PoolConfig, PoolHandle, PoolStats, Priority, Rejected, Request, RequestOpts,
+    ServePool, Server, ServerBuilder, Ticket, TicketStatus,
 };
 pub use session::{
     predict, Backend, NoiseConfig, NoiseProfile, Session, SessionOpts, SessionStats,

@@ -1,0 +1,489 @@
+//! Minimal HTTP/1.1 wire handling: a size-capped request parser and a
+//! response writer, over any `Read`/`Write` (sockets in production,
+//! `Cursor`s in the fuzz tests).
+//!
+//! The parser is deliberately defensive rather than featureful: every
+//! malformed, truncated, or oversized input maps to a typed
+//! [`WireError`] (→ one 4xx response and a closed connection) and never
+//! to a panic — pinned by `tests/net_wire_proptests.rs`.
+
+use std::fmt;
+use std::io::{self, Read, Write};
+
+/// Byte caps the parser enforces before buffering anything unbounded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct WireLimits {
+    /// Cap on the request head (request line + headers, including the
+    /// terminating blank line). Exceeding it is a `431`.
+    pub max_head_bytes: usize,
+    /// Cap on the declared `Content-Length`. Exceeding it is a `413`,
+    /// decided *before* the body is read.
+    pub max_body_bytes: usize,
+}
+
+impl Default for WireLimits {
+    /// 8 KiB of head, 1 MiB of body.
+    fn default() -> Self {
+        Self {
+            max_head_bytes: 8 * 1024,
+            max_body_bytes: 1024 * 1024,
+        }
+    }
+}
+
+/// Why a request could not be read off the wire.
+#[derive(Debug)]
+pub enum WireError {
+    /// Syntactically invalid request (bad request line, header, or
+    /// `Content-Length`; truncated mid-request; unsupported framing).
+    BadRequest(String),
+    /// The request head exceeded [`WireLimits::max_head_bytes`].
+    HeadTooLarge {
+        /// The configured cap that was exceeded.
+        limit: usize,
+    },
+    /// The declared body length exceeded [`WireLimits::max_body_bytes`].
+    BodyTooLarge {
+        /// The configured cap that was exceeded.
+        limit: usize,
+        /// The `Content-Length` the client declared.
+        declared: usize,
+    },
+    /// The socket's read timeout elapsed mid-request — the slowloris
+    /// guard. The connection gets a `408` and is closed.
+    TimedOut,
+    /// The peer closed the connection cleanly before starting a
+    /// request; nothing to respond to.
+    Closed,
+    /// The connection failed mid-request; no response can be written.
+    Io(io::Error),
+}
+
+impl WireError {
+    /// The HTTP status (and reason phrase) this error answers with, or
+    /// `None` when the connection is beyond responding
+    /// ([`WireError::Closed`] / [`WireError::Io`]).
+    pub fn status(&self) -> Option<(u16, &'static str)> {
+        match self {
+            Self::BadRequest(_) => Some((400, "Bad Request")),
+            Self::HeadTooLarge { .. } => Some((431, "Request Header Fields Too Large")),
+            Self::BodyTooLarge { .. } => Some((413, "Content Too Large")),
+            Self::TimedOut => Some((408, "Request Timeout")),
+            Self::Closed | Self::Io(_) => None,
+        }
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadRequest(msg) => write!(f, "malformed request: {msg}"),
+            Self::HeadTooLarge { limit } => {
+                write!(f, "request head exceeds {limit} bytes")
+            }
+            Self::BodyTooLarge { limit, declared } => {
+                write!(f, "declared body of {declared} bytes exceeds {limit}")
+            }
+            Self::TimedOut => write!(f, "timed out reading request"),
+            Self::Closed => write!(f, "connection closed"),
+            Self::Io(e) => write!(f, "connection error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+/// One parsed request: enough HTTP/1.1 to route a predict call, nothing
+/// more (no chunked framing, no multipart, no continuation lines).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct HttpRequest {
+    /// Request method, as sent (`GET`, `POST`, ...).
+    pub method: String,
+    /// Request target (path + optional query), as sent.
+    pub target: String,
+    /// Headers with lowercased names, in wire order.
+    pub headers: Vec<(String, String)>,
+    /// The request body (`Content-Length` bytes; absent length = empty).
+    pub body: Vec<u8>,
+    /// Whether the connection may serve another request after this one
+    /// (HTTP/1.1 default, overridden by `Connection:` headers).
+    pub keep_alive: bool,
+}
+
+impl HttpRequest {
+    /// First value of the named header (ASCII case-insensitive name).
+    pub fn header(&self, name: &str) -> Option<&str> {
+        let name = name.to_ascii_lowercase();
+        self.headers
+            .iter()
+            .find(|(n, _)| *n == name)
+            .map(|(_, v)| v.as_str())
+    }
+}
+
+/// Maps one mid-parse I/O failure onto the wire error taxonomy.
+fn io_error(e: io::Error) -> WireError {
+    match e.kind() {
+        io::ErrorKind::WouldBlock | io::ErrorKind::TimedOut => WireError::TimedOut,
+        _ => WireError::Io(e),
+    }
+}
+
+/// Position right after the first `\r\n\r\n` (or bare `\n\n`) in `buf`,
+/// scanning from `from` — the end of the request head.
+fn find_head_end(buf: &[u8], from: usize) -> Option<usize> {
+    let start = from.saturating_sub(3);
+    let mut i = start;
+    while i < buf.len() {
+        if buf[i] == b'\n' {
+            if i >= 3 && &buf[i - 3..i] == b"\r\n\r" {
+                return Some(i + 1);
+            }
+            if i >= 1 && buf[i - 1] == b'\n' {
+                return Some(i + 1);
+            }
+            if i >= 2 && &buf[i - 2..i] == b"\n\r" {
+                return Some(i + 1);
+            }
+        }
+        i += 1;
+    }
+    None
+}
+
+/// Reads one request off `r`. `carry` holds bytes already read past the
+/// previous request on this connection (keep-alive / pipelining) and is
+/// left holding any bytes past this one; pass the same buffer for every
+/// request of a connection.
+///
+/// Every byte buffered is capped by `limits` *before* it is buffered,
+/// so a hostile peer cannot make this allocate unboundedly, and a stalled
+/// peer is bounded by the socket's read timeout ([`WireError::TimedOut`]).
+///
+/// # Errors
+///
+/// Returns a [`WireError`]; [`WireError::status`] says which 4xx to
+/// answer with (`None` means the connection is already gone). Any error
+/// leaves `carry` unspecified — close the connection, don't re-parse.
+pub fn read_request(
+    r: &mut impl Read,
+    carry: &mut Vec<u8>,
+    limits: &WireLimits,
+) -> Result<HttpRequest, WireError> {
+    // Accumulate until the blank line ending the head, byte-capped.
+    let mut scanned = 0usize;
+    let head_end = loop {
+        if let Some(end) = find_head_end(carry, scanned) {
+            break end;
+        }
+        scanned = carry.len();
+        if carry.len() > limits.max_head_bytes {
+            return Err(WireError::HeadTooLarge {
+                limit: limits.max_head_bytes,
+            });
+        }
+        let mut chunk = [0u8; 1024];
+        let n = r.read(&mut chunk).map_err(io_error)?;
+        if n == 0 {
+            return if carry.is_empty() {
+                Err(WireError::Closed)
+            } else {
+                Err(WireError::BadRequest("truncated request head".into()))
+            };
+        }
+        carry.extend_from_slice(&chunk[..n]);
+    };
+    if head_end > limits.max_head_bytes {
+        return Err(WireError::HeadTooLarge {
+            limit: limits.max_head_bytes,
+        });
+    }
+
+    let head = String::from_utf8_lossy(&carry[..head_end]).into_owned();
+    let mut lines = head.split('\n').map(|l| l.strip_suffix('\r').unwrap_or(l));
+
+    // Request line: METHOD SP TARGET SP HTTP/1.{0,1}
+    let request_line = lines.next().unwrap_or_default();
+    let mut parts = request_line.split_whitespace();
+    let (method, target, version) = match (parts.next(), parts.next(), parts.next(), parts.next()) {
+        (Some(m), Some(t), Some(v), None) => (m.to_owned(), t.to_owned(), v),
+        _ => {
+            return Err(WireError::BadRequest(format!(
+                "malformed request line {request_line:?}"
+            )))
+        }
+    };
+    if method.is_empty() || !method.bytes().all(|b| b.is_ascii_uppercase()) {
+        return Err(WireError::BadRequest(format!("bad method {method:?}")));
+    }
+    let mut keep_alive = match version {
+        "HTTP/1.1" => true,
+        "HTTP/1.0" => false,
+        other => {
+            return Err(WireError::BadRequest(format!(
+                "unsupported protocol version {other:?}"
+            )))
+        }
+    };
+
+    // Header lines until the blank terminator.
+    let mut headers: Vec<(String, String)> = Vec::new();
+    for line in lines {
+        if line.is_empty() {
+            break;
+        }
+        let Some((name, value)) = line.split_once(':') else {
+            return Err(WireError::BadRequest(format!(
+                "header line without colon: {line:?}"
+            )));
+        };
+        let name = name.trim().to_ascii_lowercase();
+        if name.is_empty() {
+            return Err(WireError::BadRequest("empty header name".into()));
+        }
+        headers.push((name, value.trim().to_owned()));
+    }
+
+    let header = |wanted: &str| {
+        headers
+            .iter()
+            .find(|(n, _)| n == wanted)
+            .map(|(_, v)| v.as_str())
+    };
+    if let Some(conn) = header("connection") {
+        let conn = conn.to_ascii_lowercase();
+        if conn.contains("close") {
+            keep_alive = false;
+        } else if conn.contains("keep-alive") {
+            keep_alive = true;
+        }
+    }
+    if header("transfer-encoding").is_some() {
+        return Err(WireError::BadRequest(
+            "transfer-encoding is not supported; send Content-Length".into(),
+        ));
+    }
+    let body_len = match header("content-length") {
+        None => 0usize,
+        Some(v) => v
+            .trim()
+            .parse::<usize>()
+            .map_err(|_| WireError::BadRequest(format!("unparseable Content-Length {v:?}")))?,
+    };
+    if body_len > limits.max_body_bytes {
+        return Err(WireError::BodyTooLarge {
+            limit: limits.max_body_bytes,
+            declared: body_len,
+        });
+    }
+
+    // Body: whatever is already buffered, then the remainder off the wire.
+    let mut rest: Vec<u8> = carry.split_off(head_end);
+    carry.clear();
+    if rest.len() < body_len {
+        let mut remaining = body_len - rest.len();
+        rest.reserve(remaining);
+        let mut chunk = [0u8; 4096];
+        while remaining > 0 {
+            let want = remaining.min(chunk.len());
+            let n = r.read(&mut chunk[..want]).map_err(io_error)?;
+            if n == 0 {
+                return Err(WireError::BadRequest("truncated request body".into()));
+            }
+            rest.extend_from_slice(&chunk[..n]);
+            remaining -= n;
+        }
+    }
+    let leftover = rest.split_off(body_len);
+    *carry = leftover;
+
+    Ok(HttpRequest {
+        method,
+        target,
+        headers,
+        body: rest,
+        keep_alive,
+    })
+}
+
+/// The standard reason phrase for the statuses this frontend emits.
+pub(crate) fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        408 => "Request Timeout",
+        413 => "Content Too Large",
+        431 => "Request Header Fields Too Large",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        504 => "Gateway Timeout",
+        _ => "",
+    }
+}
+
+/// Writes one complete response: status line, `Content-Type`,
+/// `Content-Length`, `Connection`, any `extra` headers, and the body.
+///
+/// # Errors
+///
+/// Propagates socket write failures (including write-timeout expiry);
+/// the caller closes the connection in that case.
+pub fn write_response(
+    w: &mut impl Write,
+    status: u16,
+    content_type: &str,
+    extra: &[(&str, String)],
+    body: &[u8],
+    close: bool,
+) -> io::Result<()> {
+    let mut head = format!(
+        "HTTP/1.1 {status} {}\r\ncontent-type: {content_type}\r\ncontent-length: {}\r\n",
+        reason(status),
+        body.len()
+    );
+    for (name, value) in extra {
+        head.push_str(name);
+        head.push_str(": ");
+        head.push_str(value);
+        head.push_str("\r\n");
+    }
+    head.push_str(if close {
+        "connection: close\r\n\r\n"
+    } else {
+        "connection: keep-alive\r\n\r\n"
+    });
+    w.write_all(head.as_bytes())?;
+    w.write_all(body)?;
+    w.flush()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Cursor;
+
+    fn parse(bytes: &[u8]) -> Result<HttpRequest, WireError> {
+        let mut carry = Vec::new();
+        read_request(&mut Cursor::new(bytes), &mut carry, &WireLimits::default())
+    }
+
+    #[test]
+    fn parses_a_minimal_post() {
+        let req =
+            parse(b"POST /v1/models/m:predict HTTP/1.1\r\nHost: x\r\nContent-Length: 3\r\n\r\n1 2")
+                .unwrap();
+        assert_eq!(req.method, "POST");
+        assert_eq!(req.target, "/v1/models/m:predict");
+        assert_eq!(req.header("host"), Some("x"));
+        assert_eq!(req.body, b"1 2");
+        assert!(req.keep_alive);
+    }
+
+    #[test]
+    fn bare_lf_line_endings_are_tolerated() {
+        let req = parse(b"GET /healthz HTTP/1.1\nhost: y\n\n").unwrap();
+        assert_eq!(req.method, "GET");
+        assert_eq!(req.header("host"), Some("y"));
+    }
+
+    #[test]
+    fn connection_close_and_http10_disable_keep_alive() {
+        assert!(!parse(b"GET / HTTP/1.0\r\n\r\n").unwrap().keep_alive);
+        assert!(
+            !parse(b"GET / HTTP/1.1\r\nConnection: close\r\n\r\n")
+                .unwrap()
+                .keep_alive
+        );
+    }
+
+    #[test]
+    fn keep_alive_leftover_carries_to_next_request() {
+        let bytes = b"GET /a HTTP/1.1\r\n\r\nGET /b HTTP/1.1\r\n\r\n";
+        let mut carry = Vec::new();
+        let mut cursor = Cursor::new(&bytes[..]);
+        let limits = WireLimits::default();
+        let a = read_request(&mut cursor, &mut carry, &limits).unwrap();
+        assert_eq!(a.target, "/a");
+        let b = read_request(&mut cursor, &mut carry, &limits).unwrap();
+        assert_eq!(b.target, "/b");
+        assert!(matches!(
+            read_request(&mut cursor, &mut carry, &limits),
+            Err(WireError::Closed)
+        ));
+    }
+
+    #[test]
+    fn malformed_inputs_map_to_bad_request() {
+        for bytes in [
+            &b"GARBAGE\r\n\r\n"[..],
+            b"GET /\r\n\r\n",
+            b"get / HTTP/1.1\r\n\r\n",
+            b"GET / HTTP/2\r\n\r\n",
+            b"GET / HTTP/1.1\r\nno-colon-here\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: nan\r\n\r\n",
+            b"POST / HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"POST / HTTP/1.1\r\nContent-Length: 10\r\n\r\nshort",
+            b"GET / HT",
+        ] {
+            let err = parse(bytes).unwrap_err();
+            assert!(
+                matches!(err, WireError::BadRequest(_)),
+                "{bytes:?} → {err:?}"
+            );
+            assert_eq!(err.status().unwrap().0, 400);
+        }
+    }
+
+    #[test]
+    fn oversized_head_and_body_are_capped() {
+        let limits = WireLimits {
+            max_head_bytes: 128,
+            max_body_bytes: 64,
+        };
+        let mut carry = Vec::new();
+        let huge_head = format!("GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n", "a".repeat(1024));
+        assert!(matches!(
+            read_request(&mut Cursor::new(huge_head.as_bytes()), &mut carry, &limits),
+            Err(WireError::HeadTooLarge { limit: 128 })
+        ));
+        carry.clear();
+        // An oversized body is refused on the declared length alone —
+        // nothing past the head is read.
+        let big_body = b"POST / HTTP/1.1\r\nContent-Length: 100000\r\n\r\n";
+        match read_request(&mut Cursor::new(&big_body[..]), &mut carry, &limits) {
+            Err(WireError::BodyTooLarge { limit, declared }) => {
+                assert_eq!((limit, declared), (64, 100_000));
+            }
+            other => panic!("expected BodyTooLarge, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn response_writer_emits_parseable_http() {
+        let mut out = Vec::new();
+        write_response(
+            &mut out,
+            503,
+            "application/json",
+            &[("retry-after", "1".to_owned())],
+            br#"{"error":"shed"}"#,
+            true,
+        )
+        .unwrap();
+        let text = String::from_utf8(out).unwrap();
+        assert!(text.starts_with("HTTP/1.1 503 Service Unavailable\r\n"));
+        assert!(text.contains("retry-after: 1\r\n"));
+        assert!(text.contains("content-length: 16\r\n"));
+        assert!(text.contains("connection: close\r\n"));
+        assert!(text.ends_with("\r\n\r\n{\"error\":\"shed\"}"));
+    }
+}

@@ -14,6 +14,27 @@ pub(crate) fn closed_error() -> EbError {
     EbError::Config("serving pool is shut down; no new requests accepted".into())
 }
 
+/// Why [`DynamicBatcher::try_offer`] refused an item. Both variants
+/// hand the item back so callers can shed, retry elsewhere, or report
+/// without having cloned it.
+#[derive(Debug)]
+pub enum Rejected<T> {
+    /// The queue was at capacity — the load-shedding signal. A blocking
+    /// [`DynamicBatcher::offer`] would have parked the caller instead.
+    Full(T),
+    /// The batcher is closed; no submission can ever succeed again.
+    Closed(T),
+}
+
+impl<T> Rejected<T> {
+    /// The rejected item, however it was refused.
+    pub fn into_inner(self) -> T {
+        match self {
+            Self::Full(item) | Self::Closed(item) => item,
+        }
+    }
+}
+
 /// State behind the [`DynamicBatcher`] mutex: one FIFO lane per
 /// [`Priority`] class, drained highest class first.
 struct BatcherState<T> {
@@ -134,6 +155,32 @@ impl<T> DynamicBatcher<T> {
         }
         if st.closed {
             return Err(item);
+        }
+        st.lanes[priority.lane()].push_back(item);
+        drop(st);
+        self.not_empty.notify_one();
+        Ok(())
+    }
+
+    /// Non-blocking [`DynamicBatcher::offer`]: enqueues the item if the
+    /// queue has room, otherwise hands it straight back — never parks
+    /// the caller. This is the load-shedding submission path: a network
+    /// edge calls this so a saturated queue turns into an immediate
+    /// [`Rejected::Full`] (→ 503) instead of backpressure that stalls
+    /// the acceptor.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`Rejected::Full`] when the queue is at capacity and
+    /// [`Rejected::Closed`] when the batcher is closed; the item is
+    /// never enqueued in either case.
+    pub fn try_offer(&self, item: T, priority: Priority) -> Result<(), Rejected<T>> {
+        let mut st = lock_recovering(&self.state);
+        if st.closed {
+            return Err(Rejected::Closed(item));
+        }
+        if st.len() >= self.capacity {
+            return Err(Rejected::Full(item));
         }
         st.lanes[priority.lane()].push_back(item);
         drop(st);
@@ -301,6 +348,29 @@ mod tests {
         assert_eq!(b.try_pop(), Some(2));
         assert_eq!(b.try_pop(), Some(1));
         assert_eq!(b.try_pop(), None);
+    }
+
+    #[test]
+    fn try_offer_sheds_on_full_and_reports_closed() {
+        let b = DynamicBatcher::new(2, 8, Duration::ZERO);
+        assert!(b.try_offer(1, Priority::Normal).is_ok());
+        assert!(b.try_offer(2, Priority::High).is_ok());
+        // Full: the item comes back instantly instead of blocking.
+        match b.try_offer(3, Priority::Normal) {
+            Err(Rejected::Full(item)) => assert_eq!(item, 3),
+            other => panic!("expected Full, got {other:?}"),
+        }
+        // Draining frees a slot again.
+        assert_eq!(b.next_batch().unwrap(), vec![2, 1]);
+        assert!(b.try_offer(4, Priority::Normal).is_ok());
+        b.close();
+        match b.try_offer(5, Priority::Normal) {
+            Err(r @ Rejected::Closed(_)) => assert_eq!(r.into_inner(), 5),
+            other => panic!("expected Closed, got {other:?}"),
+        }
+        // Close wins over full: a closed batcher never reports Full.
+        assert_eq!(b.next_batch().unwrap(), vec![4]);
+        assert!(b.next_batch().is_none());
     }
 
     #[test]

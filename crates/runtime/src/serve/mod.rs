@@ -85,7 +85,7 @@ mod pool;
 mod registry;
 mod ticket;
 
-pub use batcher::DynamicBatcher;
+pub use batcher::{DynamicBatcher, Rejected};
 pub use maintenance::{MaintenanceConfig, MaintenanceStats};
 pub use pool::{PoolConfig, PoolHandle, PoolStats, ServePool};
 pub use registry::{derived_model_seed, ModelHandle, ModelOpts, Server, ServerBuilder};

@@ -4,12 +4,13 @@
 use crate::builder::Runtime;
 use crate::error::EbError;
 use crate::health::{HealthProbe, HealthReport};
-use crate::serve::batcher::{closed_error, DynamicBatcher};
+use crate::serve::batcher::{closed_error, DynamicBatcher, Rejected};
 use crate::serve::lock_recovering;
 use crate::serve::ticket::{Claim, Priority, Request, Ticket, TicketGuard};
 use crate::session::{Session, SessionStats};
 use eb_bitnn::{Bnn, Tensor};
 use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
 use std::thread;
@@ -107,6 +108,21 @@ pub struct PoolStats {
     /// so the report reflects whichever replicas happened to serve the
     /// canaries — pool-level health, not a single replica's.
     pub last_health: Option<HealthReport>,
+    /// Requests refused by [`PoolHandle::try_submit`] because the queue
+    /// was at capacity ([`EbError::Overloaded`]) — the load-shedding
+    /// count. Published before the submitter sees the error, so a caller
+    /// that just got `Overloaded` always finds its shed reflected here
+    /// (read-your-own-writes, like the serving counters).
+    pub shed: u64,
+    /// Requests refused because the pool was already shut down, counted
+    /// with the same read-your-own-writes ordering as
+    /// [`PoolStats::shed`]. Blocking and non-blocking submissions both
+    /// land here once the pool closes.
+    pub rejected: u64,
+    /// Requests queued but not yet claimed by a replica at snapshot
+    /// time — an instantaneous gauge (0..=`queue_capacity`), not a
+    /// monotone counter.
+    pub queue_depth: usize,
 }
 
 impl PoolStats {
@@ -131,6 +147,11 @@ struct PoolShared {
     counters: Mutex<Vec<ReplicaCounters>>,
     last_health: Mutex<Option<HealthReport>>,
     backend: &'static str,
+    /// Load-shed count ([`PoolStats::shed`]); incremented *before* the
+    /// submitter observes [`EbError::Overloaded`].
+    shed: AtomicU64,
+    /// Closed-pool refusals ([`PoolStats::rejected`]); same ordering.
+    rejected: AtomicU64,
 }
 
 /// A sharded serving pool: N replica sessions behind one dynamic
@@ -182,6 +203,8 @@ impl ServePool {
             counters: Mutex::new(vec![ReplicaCounters::default(); config.replicas]),
             last_health: Mutex::new(None),
             backend: runtime.backend_name(),
+            shed: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
         });
         let mut workers = Vec::with_capacity(config.replicas);
         for (replica, session) in sessions.into_iter().enumerate() {
@@ -303,7 +326,39 @@ impl PoolHandle {
         let (x, guard, ticket) = req.into_parts();
         match self.offer(QueuedRequest { x, guard }, priority) {
             Ok(()) => Ok(ticket),
-            Err(_rejected) => Err(closed_error()),
+            Err(_rejected) => {
+                self.note_rejected();
+                Err(closed_error())
+            }
+        }
+    }
+
+    /// Non-blocking [`PoolHandle::submit`]: enqueues the request if the
+    /// queue has room, otherwise **sheds** it immediately — the caller
+    /// is never parked on queue backpressure. This is the submission
+    /// path for a network edge: a saturated pool turns into an instant
+    /// [`EbError::Overloaded`] (→ 503 + `Retry-After`) while the
+    /// requests already accepted keep their latency.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Overloaded`] when the queue is at capacity
+    /// (counted in [`PoolStats::shed`]) and [`EbError::Config`] when the
+    /// pool is shut down (counted in [`PoolStats::rejected`]); the
+    /// request is not enqueued in either case.
+    pub fn try_submit(&self, req: Request) -> Result<Ticket, EbError> {
+        let priority = req.opts().priority;
+        let (x, guard, ticket) = req.into_parts();
+        match self.try_offer(QueuedRequest { x, guard }, priority) {
+            Ok(()) => Ok(ticket),
+            Err(Rejected::Full(_)) => {
+                self.note_shed();
+                Err(EbError::Overloaded)
+            }
+            Err(Rejected::Closed(_)) => {
+                self.note_rejected();
+                Err(closed_error())
+            }
         }
     }
 
@@ -317,6 +372,30 @@ impl PoolHandle {
         priority: Priority,
     ) -> Result<(), QueuedRequest> {
         self.shared.batcher.offer(queued, priority)
+    }
+
+    /// Non-blocking [`PoolHandle::offer`]: hands the request back both
+    /// when the queue is full and when the pool is shut down, without
+    /// touching the shed/rejected counters — [`ModelHandle`]'s
+    /// (`crate::ModelHandle`) retry loop decides which refusals are
+    /// final before counting them via [`PoolHandle::note_shed`] /
+    /// [`PoolHandle::note_rejected`].
+    pub(crate) fn try_offer(
+        &self,
+        queued: QueuedRequest,
+        priority: Priority,
+    ) -> Result<(), Rejected<QueuedRequest>> {
+        self.shared.batcher.try_offer(queued, priority)
+    }
+
+    /// Records one load-shed refusal (before the caller sees the error).
+    pub(crate) fn note_shed(&self) {
+        self.shared.shed.fetch_add(1, Ordering::SeqCst);
+    }
+
+    /// Records one closed-pool refusal (before the caller sees the error).
+    pub(crate) fn note_rejected(&self) {
+        self.shared.rejected.fetch_add(1, Ordering::SeqCst);
     }
 
     /// Runs one inference through the pool, blocking until a replica
@@ -391,6 +470,9 @@ fn stats_snapshot(shared: &PoolShared) -> PoolStats {
         per_replica: counters.iter().map(|c| c.session).collect(),
         micro_batches: counters.iter().map(|c| c.micro_batches).collect(),
         last_health: *lock_recovering(&shared.last_health),
+        shed: shared.shed.load(Ordering::SeqCst),
+        rejected: shared.rejected.load(Ordering::SeqCst),
+        queue_depth: shared.batcher.len(),
     }
 }
 
@@ -565,6 +647,64 @@ mod tests {
     }
 
     #[test]
+    fn try_submit_sheds_when_queue_is_full() {
+        let net = Bnn::new("noop", eb_bitnn::Shape::Flat(1), vec![]).unwrap();
+        // A long coalescing linger keeps the first request *in the queue*
+        // (next_batch only drains at the end of its window), so the
+        // capacity-1 queue is deterministically full when the second
+        // submission arrives.
+        let runtime = Runtime::builder().build();
+        let pool = ServePool::new(
+            &runtime,
+            &net,
+            PoolConfig {
+                queue_capacity: 1,
+                max_wait: Duration::from_secs(30),
+                ..PoolConfig::default()
+            },
+        )
+        .unwrap();
+        let handle = pool.handle();
+        let x = Tensor::zeros(&[1]);
+        let first = handle.try_submit(Request::new(x.clone())).unwrap();
+        assert_eq!(handle.stats().queue_depth, 1, "one queued request");
+        let shed = handle.try_submit(Request::new(x.clone()));
+        assert!(
+            matches!(shed, Err(EbError::Overloaded)),
+            "full queue must shed: {shed:?}"
+        );
+        // Read-your-own-writes: the refusal is already visible.
+        assert_eq!(handle.stats().shed, 1);
+        assert_eq!(handle.stats().rejected, 0);
+        // Shutdown cuts the linger short; the accepted request is served,
+        // the shed one never was.
+        let stats = pool.shutdown();
+        assert!(first.wait().is_ok());
+        assert_eq!(stats.total().inferences, 1);
+        assert_eq!(stats.shed, 1);
+        assert_eq!(stats.rejected, 0);
+        assert_eq!(stats.queue_depth, 0);
+    }
+
+    #[test]
+    fn submissions_after_shutdown_count_as_rejected() {
+        let net = Bnn::new("noop", eb_bitnn::Shape::Flat(1), vec![]).unwrap();
+        let runtime = Runtime::builder().build();
+        let pool = ServePool::new(&runtime, &net, PoolConfig::default()).unwrap();
+        let handle = pool.handle();
+        drop(pool);
+        let x = Tensor::zeros(&[1]);
+        assert!(matches!(
+            handle.try_submit(Request::new(x.clone())),
+            Err(EbError::Config(_))
+        ));
+        assert!(handle.submit(Request::new(x)).is_err());
+        let stats = handle.stats();
+        assert_eq!(stats.rejected, 2);
+        assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
     fn pool_config_validation() {
         assert!(PoolConfig::default().validate().is_ok());
         for bad in [
@@ -603,6 +743,9 @@ mod tests {
             ],
             micro_batches: vec![2, 1],
             last_health: None,
+            shed: 0,
+            rejected: 0,
+            queue_depth: 0,
         };
         let total = stats.total();
         assert_eq!(total.inferences, 7);

@@ -30,7 +30,7 @@
 use crate::builder::{BackendKind, Runtime};
 use crate::error::EbError;
 use crate::health::{HealthProbe, HealthReport};
-use crate::serve::batcher::closed_error;
+use crate::serve::batcher::{closed_error, Rejected};
 use crate::serve::lock_recovering;
 use crate::serve::maintenance::{MaintenanceConfig, MaintenanceLoop, MaintenanceStats};
 use crate::serve::pool::{PoolConfig, PoolHandle, PoolStats, QueuedRequest, ServePool};
@@ -689,6 +689,55 @@ impl ModelHandle {
                         // Same pool, really shut down (model retired /
                         // server dropped). Dropping the rejected request
                         // completes its (never-returned) ticket.
+                        return Err(closed_error());
+                    }
+                    queued = rejected;
+                    generation = slot.generation;
+                    handle = slot.handle.clone();
+                }
+            }
+        }
+    }
+
+    /// Non-blocking [`ModelHandle::submit`]: enqueues on the model's
+    /// current pool if its queue has room, otherwise **sheds** the
+    /// request immediately — the caller is never parked on queue
+    /// backpressure. Swap-safety matches `submit`: a pool that rejects
+    /// because it is draining for a [`Server::swap`] triggers a retry on
+    /// the successor pool (same request, no clone, deadline clock
+    /// untouched), but a *full* live pool sheds at once — overload is
+    /// answered now, not after a lucky swap.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Overloaded`] when the current pool's queue is
+    /// at capacity (counted in that pool's [`PoolStats::shed`]) and
+    /// [`EbError::Config`] once the model is retired or its server
+    /// dropped (counted in [`PoolStats::rejected`]).
+    pub fn try_submit(&self, req: Request) -> Result<Ticket, EbError> {
+        let priority = req.opts().priority;
+        let (x, guard, ticket) = req.into_parts();
+        let mut queued = QueuedRequest::new(x, guard);
+        let (mut generation, mut handle) = {
+            let slot = read_recovering(&self.slot);
+            (slot.generation, slot.handle.clone())
+        };
+        loop {
+            match handle.try_offer(queued, priority) {
+                Ok(()) => return Ok(ticket),
+                Err(Rejected::Full(_)) => {
+                    // The live pool is saturated: this is the overload
+                    // signal, final by design. Dropping the rejected
+                    // request completes its (never-returned) ticket.
+                    handle.note_shed();
+                    return Err(EbError::Overloaded);
+                }
+                Err(Rejected::Closed(rejected)) => {
+                    let slot = read_recovering(&self.slot);
+                    if slot.generation == generation {
+                        // Same pool, really shut down (model retired /
+                        // server dropped).
+                        handle.note_rejected();
                         return Err(closed_error());
                     }
                     queued = rejected;

@@ -7,6 +7,7 @@ use crate::fault::{CellFault, FaultConfig};
 use eb_bitnn::{BitMatrix, BitVec};
 use rand::Rng;
 use std::collections::HashMap;
+use std::sync::{Arc, Mutex, PoisonError};
 
 /// Cell structure of a crossbar.
 ///
@@ -51,7 +52,7 @@ impl CellKind {
 /// assert_eq!(xbar.stored_bit(2, 2), Some(true));
 /// # Ok::<(), eb_xbar::XbarError>(())
 /// ```
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct CrossbarArray {
     rows: usize,
     cols: usize,
@@ -67,6 +68,33 @@ pub struct CrossbarArray {
     /// Targeted per-cell fault overrides from [`CrossbarArray::kill_cell`];
     /// these win over the Bernoulli map.
     killed: HashMap<(usize, usize), CellFault>,
+    /// Memoised [`CrossbarArray::conductance_snapshot`], cleared by every
+    /// mutation that can change what a read returns (programming, drift
+    /// ratio, fault injection/clearing). Guarded by a `Mutex` rather than
+    /// a `RefCell` so the array stays `Sync`; all invalidation happens
+    /// through `&mut self`, where `Mutex::get_mut` is lock-free.
+    snapshot_cache: Mutex<Option<Arc<Vec<f64>>>>,
+}
+
+impl Clone for CrossbarArray {
+    fn clone(&self) -> Self {
+        Self {
+            rows: self.rows,
+            cols: self.cols,
+            params: self.params.clone(),
+            devices: self.devices.clone(),
+            writes: self.writes,
+            t_ratio: self.t_ratio,
+            fault: self.fault,
+            killed: self.killed.clone(),
+            snapshot_cache: Mutex::new(
+                self.snapshot_cache
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .clone(),
+            ),
+        }
+    }
 }
 
 impl CrossbarArray {
@@ -81,7 +109,18 @@ impl CrossbarArray {
             t_ratio: 1.0,
             fault: None,
             killed: HashMap::new(),
+            snapshot_cache: Mutex::new(None),
         }
+    }
+
+    /// Drops the memoised conductance snapshot. Called by every `&mut self`
+    /// mutation that can change what a read returns; `get_mut` needs no
+    /// lock because `&mut self` proves exclusive access.
+    fn invalidate_snapshot(&mut self) {
+        *self
+            .snapshot_cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner) = None;
     }
 
     /// Sets the read time `t/t₀` at which every subsequent read (and
@@ -91,6 +130,7 @@ impl CrossbarArray {
     /// not affect [`CrossbarArray::read_is_deterministic`].
     pub fn set_drift_t_ratio(&mut self, t_ratio: f64) {
         self.t_ratio = t_ratio;
+        self.invalidate_snapshot();
     }
 
     /// The read time `t/t₀` drift currently resolves at (1.0 = none).
@@ -113,6 +153,7 @@ impl CrossbarArray {
             f.validate()?;
         }
         self.fault = fault;
+        self.invalidate_snapshot();
         Ok(())
     }
 
@@ -138,6 +179,7 @@ impl CrossbarArray {
             });
         }
         self.killed.insert((r, c), fault);
+        self.invalidate_snapshot();
         Ok(())
     }
 
@@ -147,6 +189,7 @@ impl CrossbarArray {
     pub fn clear_faults(&mut self) {
         self.fault = None;
         self.killed.clear();
+        self.invalidate_snapshot();
     }
 
     /// The fault state of cell `(r, c)`: a targeted
@@ -231,6 +274,7 @@ impl CrossbarArray {
         let i = self.idx(r, c);
         self.devices[i] = Some(EpcmDevice::program(bit, &self.params, rng));
         self.writes += 1;
+        self.invalidate_snapshot();
         Ok(())
     }
 
@@ -338,6 +382,26 @@ impl CrossbarArray {
                 }
             }
         }
+        snap
+    }
+
+    /// Memoised [`CrossbarArray::conductance_snapshot`]: the first call
+    /// after a mutation materialises the snapshot (including the per-cell
+    /// fault overlay, a hash per cell under a population
+    /// [`FaultConfig`]); subsequent calls are an `Arc` clone. Every
+    /// mutation that can change a read — programming, drift ratio, fault
+    /// injection or clearing — drops the memo, so the cached snapshot is
+    /// always bit-identical to a fresh one.
+    pub fn conductance_snapshot_cached(&self) -> Arc<Vec<f64>> {
+        let mut cache = self
+            .snapshot_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        if let Some(snap) = cache.as_ref() {
+            return Arc::clone(snap);
+        }
+        let snap = Arc::new(self.conductance_snapshot());
+        *cache = Some(Arc::clone(&snap));
         snap
     }
 

@@ -154,7 +154,7 @@ impl VmmEngine {
     ) -> Vec<Vec<u32>> {
         let cols = self.array.cols();
         let v_read = self.dac.convert(1);
-        let g = self.array.conductance_snapshot();
+        let g = self.array.conductance_snapshot_cached();
         let mut out = Vec::with_capacity(inputs.len());
         for input in inputs {
             let mut currents = vec![0.0f64; n];

@@ -1,0 +1,174 @@
+//! Property tests pinning the memoised conductance snapshot
+//! ([`CrossbarArray::conductance_snapshot_cached`]) bit-exactly to the
+//! uncached oracle ([`CrossbarArray::conductance_snapshot`]) across
+//! arbitrary interleavings of reads and cache-invalidating mutations
+//! (reprogramming, drift, fault injection/clearing).
+
+use eb_bitnn::{BitMatrix, BitVec};
+use eb_xbar::{CellFault, CrossbarArray, DeviceParams, FaultConfig, VmmEngine};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// One cache-invalidating (or cache-preserving) operation.
+#[derive(Debug, Clone)]
+enum Op {
+    Program {
+        r: usize,
+        c: usize,
+        bit: bool,
+    },
+    Kill {
+        r: usize,
+        c: usize,
+        fault: CellFault,
+    },
+    ClearFaults,
+    SetDrift {
+        t_ratio_log10: u8,
+    },
+    SetFault {
+        rate_milli: u16,
+        seed: u64,
+    },
+    ReadSnapshot,
+    CloneArray,
+}
+
+fn op_strategy(rows: usize, cols: usize) -> impl Strategy<Value = Op> {
+    prop_oneof![
+        (0..rows, 0..cols, any::<bool>()).prop_map(|(r, c, bit)| Op::Program { r, c, bit }),
+        (
+            0..rows,
+            0..cols,
+            prop_oneof![
+                Just(CellFault::StuckAtOn),
+                Just(CellFault::StuckAtOff),
+                Just(CellFault::Dead),
+            ]
+        )
+            .prop_map(|(r, c, fault)| Op::Kill { r, c, fault }),
+        Just(Op::ClearFaults),
+        (0u8..7).prop_map(|t_ratio_log10| Op::SetDrift { t_ratio_log10 }),
+        (0u16..400, any::<u64>()).prop_map(|(rate_milli, seed)| Op::SetFault { rate_milli, seed }),
+        Just(Op::ReadSnapshot),
+        Just(Op::CloneArray),
+    ]
+}
+
+fn apply(x: &mut CrossbarArray, op: &Op, rng: &mut StdRng) {
+    match *op {
+        Op::Program { r, c, bit } => x.program(r, c, bit, rng).unwrap(),
+        Op::Kill { r, c, fault } => x.kill_cell(r, c, fault).unwrap(),
+        Op::ClearFaults => x.clear_faults(),
+        Op::SetDrift { t_ratio_log10 } => {
+            x.set_drift_t_ratio(10f64.powi(i32::from(t_ratio_log10)));
+        }
+        Op::SetFault { rate_milli, seed } => {
+            let rate = f64::from(rate_milli) / 1000.0;
+            x.set_fault_config(Some(FaultConfig {
+                stuck_on: rate / 2.0,
+                stuck_off: rate / 4.0,
+                dead: rate / 4.0,
+                seed,
+            }))
+            .unwrap();
+        }
+        Op::ReadSnapshot => {
+            // Populate the memo so later mutations must really invalidate.
+            let _ = x.conductance_snapshot_cached();
+        }
+        Op::CloneArray => {
+            // Clones carry the memo; the clone must agree with its oracle.
+            let twin = x.clone();
+            assert_eq!(
+                *twin.conductance_snapshot_cached(),
+                twin.conductance_snapshot()
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// After any interleaving of mutations and cached reads, the cached
+    /// snapshot is bit-identical to a freshly computed one, and (with a
+    /// drift-enabled but noiseless device model) to per-cell reads.
+    #[test]
+    fn cached_snapshot_is_bit_exact(
+        rows in 1usize..12,
+        cols in 1usize..12,
+        seed in any::<u64>(),
+        ops in prop::collection::vec(op_strategy(11, 11), 0..24),
+    ) {
+        let params = DeviceParams { drift_nu: 0.05, ..DeviceParams::ideal() };
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = CrossbarArray::new(rows, cols, params);
+        x.program_matrix(
+            &BitMatrix::from_fn(rows, cols, |r, c| (r * 3 + c * 5 + seed as usize).is_multiple_of(2)),
+            &mut rng,
+        ).unwrap();
+        for op in &ops {
+            // Clamp generated coordinates into this array's bounds.
+            let op = match *op {
+                Op::Program { r, c, bit } => Op::Program { r: r % rows, c: c % cols, bit },
+                Op::Kill { r, c, fault } => Op::Kill { r: r % rows, c: c % cols, fault },
+                ref other => other.clone(),
+            };
+            apply(&mut x, &op, &mut rng);
+            let cached = x.conductance_snapshot_cached();
+            let fresh = x.conductance_snapshot();
+            prop_assert_eq!(&*cached, &fresh, "cache diverged after {:?}", op);
+            // The snapshot contract: bit-equal to every read when
+            // reads are deterministic.
+            prop_assert!(x.read_is_deterministic());
+            for r in 0..rows {
+                for c in 0..cols {
+                    prop_assert_eq!(
+                        fresh[r * cols + c],
+                        x.read_conductance(r, c, &mut rng)
+                    );
+                }
+            }
+        }
+    }
+
+    /// The batched VMM fast path (which consumes the cached snapshot)
+    /// stays bit-exact against single-input reads across fault
+    /// injection and clearing.
+    #[test]
+    fn cached_batch_vmm_matches_singles(
+        seed in any::<u64>(),
+        rate_milli in 0u16..300,
+        fault_seed in any::<u64>(),
+    ) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut x = CrossbarArray::new(24, 6, DeviceParams::ideal());
+        x.program_matrix(
+            &BitMatrix::from_fn(24, 6, |r, c| (r + 2 * c) % 3 != 0),
+            &mut rng,
+        ).unwrap();
+        let rate = f64::from(rate_milli) / 1000.0;
+        x.set_fault_config(Some(FaultConfig {
+            stuck_on: rate / 3.0,
+            stuck_off: rate / 3.0,
+            dead: rate / 3.0,
+            seed: fault_seed,
+        })).unwrap();
+        let engine = VmmEngine::with_defaults(x);
+        let inputs: Vec<BitVec> = (0..5)
+            .map(|k| BitVec::from_bools(
+                &(0..24).map(|i| (i * (k + 2)) % 5 < 3).collect::<Vec<_>>(),
+            ))
+            .collect();
+        // Two batched passes: the second one runs entirely off the memo.
+        let first = engine.vmm_counts_batch(&inputs, &mut rng).unwrap();
+        let second = engine.vmm_counts_batch(&inputs, &mut rng).unwrap();
+        prop_assert_eq!(&first, &second);
+        for (k, v) in inputs.iter().enumerate() {
+            let single = engine.vmm_counts(v, &mut rng).unwrap();
+            prop_assert_eq!(&first[k], &single, "input {}", k);
+        }
+    }
+}

@@ -54,8 +54,9 @@ pub use eb_xbar as xbar;
 pub use eb_runtime::{
     derived_model_seed, predict, Backend, BackendKind, DynamicBatcher, EbError, EpcmBackend,
     HealthProbe, HealthReport, MaintenanceConfig, MaintenanceStats, ModelHandle, ModelOpts,
-    NoiseConfig, NoiseProfile, PhotonicBackend, PoolConfig, PoolHandle, PoolStats, Priority,
-    Request, RequestOpts, Runtime, RuntimeBuilder, ServePool, Server, ServerBuilder, Session,
-    SessionOpts, SessionStats, SimulatorBackend, SoftwareBackend, Ticket, TicketStatus,
+    NetConfig, NetServer, NetStats, NoiseConfig, NoiseProfile, PhotonicBackend, PoolConfig,
+    PoolHandle, PoolStats, Priority, Rejected, Request, RequestOpts, Runtime, RuntimeBuilder,
+    ServePool, Server, ServerBuilder, Session, SessionOpts, SessionStats, SimulatorBackend,
+    SoftwareBackend, Ticket, TicketStatus,
 };
 pub use eb_xbar::{CellFault, FaultConfig};

@@ -1,0 +1,231 @@
+//! Property tests of the HTTP wire parser (satellite of the network
+//! frontend PR): arbitrary malformed, truncated, or oversized bytes
+//! must map to a clean typed error (→ one 4xx and a closed connection)
+//! — never a panic, never an unbounded buffer, never a hung worker —
+//! and the same contract must hold end-to-end against a live server.
+
+use einstein_barrier::bitnn::{BinLinear, Bnn, FixedLinear, Layer, OutputLinear, Shape};
+use einstein_barrier::runtime::net::{read_request, NetConfig, NetServer, WireError, WireLimits};
+use einstein_barrier::Server;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{Cursor, Read, Write};
+use std::net::TcpStream;
+use std::sync::Arc;
+use std::time::Duration;
+
+const LIMITS: WireLimits = WireLimits {
+    max_head_bytes: 512,
+    max_body_bytes: 1024,
+};
+
+/// Drives the parser over a byte blob exactly like the worker loop
+/// does: keep parsing requests off the same carry buffer until an error
+/// (connection would close) or the input runs dry. Returns the number
+/// of complete requests parsed before the terminal condition.
+fn drive_parser(bytes: &[u8]) -> (usize, Option<WireError>) {
+    let mut cursor = Cursor::new(bytes);
+    let mut carry = Vec::new();
+    let mut parsed = 0usize;
+    loop {
+        match read_request(&mut cursor, &mut carry, &LIMITS) {
+            Ok(_req) => parsed += 1,
+            Err(e) => return (parsed, Some(e)),
+        }
+        // A finite input always terminates with Closed/BadRequest once
+        // dry, so this loop is bounded by the request count.
+        if parsed > bytes.len() {
+            panic!("parsed more requests than input bytes — runaway loop");
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: the parser never panics, never loops forever,
+    /// and every terminal error is either connection-level (no
+    /// response) or a 4xx — never a 5xx, because malformed input is
+    /// always the client's fault.
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let (_parsed, err) = drive_parser(&bytes);
+        let err = err.expect("finite input must end in an error");
+        if let Some((status, _reason)) = err.status() {
+            prop_assert!((400..500).contains(&status), "wire error mapped to {status}");
+        }
+    }
+
+    /// Structured garbage that *looks* like HTTP (methods, targets,
+    /// header-ish lines, stray CRLFs) — closer to the parser's branch
+    /// points than uniform noise.
+    #[test]
+    fn http_shaped_garbage_never_panics(
+        method in prop_oneof![
+            Just("GET"), Just("POST"), Just("get"), Just("P OST"), Just(""), Just("POST\r")
+        ],
+        target in prop_oneof![
+            Just("/v1/models/m:predict"), Just("/"), Just(""), Just("/a b"), Just("%%%")
+        ],
+        version in prop_oneof![
+            Just("HTTP/1.1"), Just("HTTP/1.0"), Just("HTTP/2"), Just("TLS/1.3"), Just("")
+        ],
+        headers in proptest::collection::vec(
+            prop_oneof![
+                Just("content-length: 10"),
+                Just("content-length: -1"),
+                Just("content-length: 99999999999999999999"),
+                Just("content-length: ten"),
+                Just("transfer-encoding: chunked"),
+                Just("connection: close"),
+                Just(": empty-name"),
+                Just("no-colon"),
+                Just("x: y"),
+            ],
+            0..6
+        ),
+        body in proptest::collection::vec(any::<u8>(), 0..64),
+        truncate_at in 0usize..4096,
+    ) {
+        let mut request = format!("{method} {target} {version}\r\n");
+        for h in headers {
+            request.push_str(h);
+            request.push_str("\r\n");
+        }
+        request.push_str("\r\n");
+        let mut bytes = request.into_bytes();
+        bytes.extend_from_slice(&body);
+        bytes.truncate(truncate_at.min(bytes.len()));
+        let (_parsed, err) = drive_parser(&bytes);
+        if let Some((status, _)) = err.and_then(|e| e.status()) {
+            prop_assert!((400..500).contains(&status));
+        }
+    }
+
+    /// A valid request truncated at every possible byte boundary parses
+    /// to exactly the prefix of complete requests, then fails cleanly:
+    /// nothing truncated ever parses as complete.
+    #[test]
+    fn truncated_valid_requests_fail_cleanly(cut in 0usize..200) {
+        let full = b"POST /v1/models/m:predict HTTP/1.1\r\nhost: x\r\ncontent-length: 5\r\n\r\n1 2 3";
+        let cut = cut.min(full.len());
+        let (parsed, err) = drive_parser(&full[..cut]);
+        if cut == full.len() {
+            prop_assert_eq!(parsed, 1);
+            // After the one full request the connection is cleanly dry.
+            prop_assert!(matches!(err, Some(WireError::Closed)));
+        } else {
+            prop_assert_eq!(parsed, 0, "truncated request parsed as complete at {}", cut);
+            let err = err.unwrap();
+            prop_assert!(
+                matches!(err, WireError::Closed | WireError::BadRequest(_)),
+                "cut at {} gave {:?}", cut, err
+            );
+        }
+    }
+
+    /// Oversized heads and declared bodies classify as the two
+    /// dedicated 4xx statuses, regardless of filler content.
+    #[test]
+    fn oversized_inputs_classify_correctly(
+        pad in 600usize..4000,
+        declared in 1025u64..10_000_000,
+    ) {
+        let big_head = format!("GET / HTTP/1.1\r\nx-pad: {}\r\n\r\n", "q".repeat(pad));
+        let (_n, err) = drive_parser(big_head.as_bytes());
+        prop_assert!(
+            matches!(err, Some(WireError::HeadTooLarge { .. })),
+            "{:?}", err
+        );
+
+        let big_body = format!("POST / HTTP/1.1\r\ncontent-length: {declared}\r\n\r\n");
+        let (_n, err) = drive_parser(big_body.as_bytes());
+        match err {
+            Some(WireError::BodyTooLarge { limit, declared: d }) => {
+                prop_assert_eq!(limit, LIMITS.max_body_bytes);
+                prop_assert_eq!(d, declared as usize);
+            }
+            other => prop_assert!(false, "expected BodyTooLarge, got {:?}", other),
+        }
+    }
+}
+
+/// End-to-end fuzz against a live server: random garbage connections
+/// never kill a worker, never hang one past the read timeout, and the
+/// server keeps serving well-formed traffic afterwards with zero
+/// panics.
+#[test]
+fn live_server_survives_garbage_connections() {
+    let mut rng_net = StdRng::seed_from_u64(5);
+    let net = Bnn::new(
+        "m",
+        Shape::Flat(8),
+        vec![
+            Layer::FixedLinear(FixedLinear::random("in", 8, 6, &mut rng_net)),
+            Layer::BinLinear(BinLinear::random("h", 6, 6, &mut rng_net)),
+            Layer::Output(OutputLinear::random("out", 6, 3, &mut rng_net)),
+        ],
+    )
+    .unwrap();
+    let registry = Arc::new(Server::builder().model("m", &net).serve().unwrap());
+    let config = NetConfig {
+        addr: "127.0.0.1:0".to_owned(),
+        workers: 2,
+        read_timeout: Duration::from_millis(300),
+        write_timeout: Duration::from_millis(300),
+        limits: WireLimits {
+            max_head_bytes: 512,
+            max_body_bytes: 1024,
+        },
+        ..NetConfig::default()
+    };
+    let server = NetServer::bind(Arc::clone(&registry), config).unwrap();
+    let addr = server.local_addr();
+
+    // Deterministic xorshift garbage, varied length and content.
+    let mut state = 0x9e3779b97f4a7c15u64;
+    let mut next = move || {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        state
+    };
+    for i in 0..48 {
+        let len = (next() % 700) as usize;
+        let payload: Vec<u8> = (0..len).map(|_| (next() >> 33) as u8).collect();
+        let mut stream = TcpStream::connect(addr).unwrap();
+        stream
+            .set_read_timeout(Some(Duration::from_secs(5)))
+            .unwrap();
+        let _ = stream.write_all(&payload);
+        // Whatever comes back (a 4xx or silence), the connection must
+        // close within the timeout — a hung worker would stall here.
+        let mut sink = Vec::new();
+        let _ = stream.read_to_end(&mut sink);
+        drop(stream);
+
+        // Every few rounds, prove the server still serves real traffic.
+        if i % 12 == 0 {
+            let mut stream = TcpStream::connect(addr).unwrap();
+            stream
+                .set_read_timeout(Some(Duration::from_secs(10)))
+                .unwrap();
+            stream
+                .write_all(b"GET /healthz HTTP/1.1\r\nhost: f\r\nconnection: close\r\n\r\n")
+                .unwrap();
+            let mut response = String::new();
+            stream.read_to_string(&mut response).unwrap();
+            assert!(
+                response.starts_with("HTTP/1.1 200"),
+                "round {i}: {response}"
+            );
+        }
+    }
+
+    let stats = server.shutdown();
+    assert_eq!(stats.worker_panics, 0, "garbage input panicked a worker");
+    assert_eq!(stats.worker_respawns, 0);
+    // No 5xx: malformed input is always answered 4xx or dropped.
+    assert_eq!(stats.responses_5xx, 0);
+}

@@ -221,3 +221,59 @@ fn swap_redeploys_deterministically_under_noise() {
         "same (name, configured seed, net, opts) must replay after swap"
     );
 }
+
+/// Non-blocking submission through a named handle: a saturated pool
+/// sheds immediately with `EbError::Overloaded` (counted in the model's
+/// stats before the caller sees the error), while a *retired* model's
+/// handle reports closed — and neither ever blocks.
+#[test]
+fn try_submit_sheds_on_full_and_reports_closed_after_retire() {
+    let net = mlp("tiny", 4);
+    // queue_capacity 1 + a long coalescing window: the first request
+    // stays parked in the queue, so the second deterministically finds
+    // it full.
+    let server = Server::builder()
+        .pool(PoolConfig {
+            replicas: 1,
+            max_batch: 8,
+            max_wait: Duration::from_secs(30),
+            queue_capacity: 1,
+        })
+        .model("m", &net)
+        .serve()
+        .unwrap();
+    let handle = server.handle("m").unwrap();
+    let xs = requests(2);
+
+    let first = handle
+        .try_submit(Request::new(xs[0].clone()))
+        .expect("first request fits the queue");
+    let t0 = std::time::Instant::now();
+    let err = handle
+        .try_submit(Request::new(xs[1].clone()))
+        .expect_err("second request must shed");
+    assert!(
+        matches!(err, einstein_barrier::EbError::Overloaded),
+        "{err:?}"
+    );
+    assert!(
+        t0.elapsed() < Duration::from_secs(5),
+        "try_submit blocked instead of shedding"
+    );
+    // Read-your-own-writes: the shed is already visible.
+    assert_eq!(server.stats("m").unwrap().shed, 1);
+
+    // Retiring the model drains the parked request (the linger is cut
+    // by pool shutdown), then further submissions report closed.
+    let finals = server.retire("m").expect("retire");
+    assert_eq!(finals.shed, 1);
+    let logits = first.wait().expect("parked ticket completes on drain");
+    assert_eq!(logits, net.forward(&xs[0]).unwrap());
+    let err = handle
+        .try_submit(Request::new(xs[0].clone()))
+        .expect_err("retired model must reject");
+    assert!(
+        !matches!(err, einstein_barrier::EbError::Overloaded),
+        "closed pool misreported as overload: {err:?}"
+    );
+}

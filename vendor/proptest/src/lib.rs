@@ -124,6 +124,38 @@ pub mod strategy {
     impl_tuple_strategy!(A, B, C, D);
     impl_tuple_strategy!(A, B, C, D, E);
     impl_tuple_strategy!(A, B, C, D, E, F);
+
+    /// Uniform choice among boxed strategies of one value type — the
+    /// strategy built by [`prop_oneof!`](crate::prop_oneof).
+    pub struct Union<T> {
+        options: Vec<Box<dyn Strategy<Value = T>>>,
+    }
+
+    impl<T> Union<T> {
+        /// Builds a union over `options`; panics if empty.
+        pub fn new(options: Vec<Box<dyn Strategy<Value = T>>>) -> Self {
+            assert!(!options.is_empty(), "prop_oneof! needs at least one arm");
+            Self { options }
+        }
+    }
+
+    impl<T> core::fmt::Debug for Union<T> {
+        fn fmt(&self, f: &mut core::fmt::Formatter<'_>) -> core::fmt::Result {
+            f.debug_struct("Union")
+                .field("options", &self.options.len())
+                .finish()
+        }
+    }
+
+    impl<T> Strategy for Union<T> {
+        type Value = T;
+
+        fn generate(&self, rng: &mut StdRng) -> T {
+            use rand::Rng;
+            let i = rng.gen_range(0..self.options.len());
+            self.options[i].generate(rng)
+        }
+    }
 }
 
 pub mod arbitrary {
@@ -377,7 +409,9 @@ pub mod prelude {
     pub use crate::arbitrary::any;
     pub use crate::strategy::{Just, Strategy};
     pub use crate::test_runner::{Config as ProptestConfig, TestCaseError};
-    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, proptest};
+    pub use crate::{
+        prop_assert, prop_assert_eq, prop_assert_ne, prop_assume, prop_oneof, proptest,
+    };
 
     /// Alias letting `prop::collection::vec` resolve, as upstream's
     /// prelude does.
@@ -429,6 +463,15 @@ macro_rules! prop_assert_ne {
             l
         );
     }};
+}
+
+/// Picks uniformly among the argument strategies (all must share one
+/// value type). Upstream's per-arm weights are not supported.
+#[macro_export]
+macro_rules! prop_oneof {
+    ($($strat:expr),+ $(,)?) => {
+        $crate::strategy::Union::new(vec![$(Box::new($strat)),+])
+    };
 }
 
 /// Rejects the current case (generates a replacement) unless `cond` holds.
