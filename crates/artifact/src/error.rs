@@ -1,0 +1,133 @@
+//! Typed artifact errors.
+//!
+//! Every malformed, truncated, corrupted, or version-skewed input byte
+//! stream maps to one of these variants — loading never panics and never
+//! allocates more than the input length can justify.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while encoding, decoding, or verifying a `.ebm`
+/// artifact.
+#[derive(Debug)]
+#[non_exhaustive]
+pub enum ArtifactError {
+    /// The file does not start with the `EBMF` magic bytes.
+    BadMagic,
+    /// The container's format version is newer than this reader.
+    UnsupportedVersion {
+        /// Version found in the header.
+        found: u16,
+        /// Newest version this reader understands.
+        supported: u16,
+    },
+    /// The byte stream ended before a declared structure was complete.
+    Truncated {
+        /// What was being decoded when the bytes ran out.
+        context: &'static str,
+    },
+    /// A stored checksum disagrees with the checksum of the bytes present.
+    ChecksumMismatch {
+        /// Which checksum failed (file FNV or a section CRC).
+        what: &'static str,
+        /// Checksum stored in the artifact (CRC-32 values zero-extended).
+        expected: u64,
+        /// Checksum computed over the bytes actually present.
+        got: u64,
+    },
+    /// The bytes parse but violate a structural invariant (bad tag,
+    /// impossible geometry, count/length mismatch, non-UTF-8 name...).
+    Malformed {
+        /// Human-readable description of the violated invariant.
+        context: String,
+    },
+    /// A required section is absent from the section table.
+    MissingSection {
+        /// Name of the missing section.
+        name: &'static str,
+    },
+    /// Reading or writing the artifact file failed.
+    Io(std::io::Error),
+}
+
+impl ArtifactError {
+    /// Convenience constructor for [`ArtifactError::Malformed`].
+    pub fn malformed(context: impl Into<String>) -> Self {
+        Self::Malformed {
+            context: context.into(),
+        }
+    }
+}
+
+impl fmt::Display for ArtifactError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::BadMagic => write!(f, "not an .ebm artifact (bad magic)"),
+            Self::UnsupportedVersion { found, supported } => write!(
+                f,
+                "unsupported format version {found} (this reader supports up to {supported})"
+            ),
+            Self::Truncated { context } => {
+                write!(f, "artifact truncated while decoding {context}")
+            }
+            Self::ChecksumMismatch {
+                what,
+                expected,
+                got,
+            } => write!(
+                f,
+                "{what} mismatch: stored {expected:#018x}, computed {got:#018x}"
+            ),
+            Self::Malformed { context } => write!(f, "malformed artifact: {context}"),
+            Self::MissingSection { name } => {
+                write!(f, "artifact is missing its {name} section")
+            }
+            Self::Io(e) => write!(f, "artifact I/O error: {e}"),
+        }
+    }
+}
+
+impl Error for ArtifactError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            Self::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<std::io::Error> for ArtifactError {
+    fn from(e: std::io::Error) -> Self {
+        Self::Io(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_are_informative() {
+        assert!(ArtifactError::BadMagic.to_string().contains("magic"));
+        let v = ArtifactError::UnsupportedVersion {
+            found: 9,
+            supported: 1,
+        };
+        assert!(v.to_string().contains('9'));
+        let t = ArtifactError::Truncated {
+            context: "section table",
+        };
+        assert!(t.to_string().contains("section table"));
+        let c = ArtifactError::ChecksumMismatch {
+            what: "file checksum",
+            expected: 1,
+            got: 2,
+        };
+        assert!(c.to_string().contains("file checksum"));
+        assert!(ArtifactError::malformed("bad tag")
+            .to_string()
+            .contains("bad tag"));
+        let io = ArtifactError::from(std::io::Error::new(std::io::ErrorKind::NotFound, "gone"));
+        assert!(io.source().is_some());
+    }
+}

@@ -1,0 +1,125 @@
+//! Cold-start-to-first-inference on the ePCM substrate: how long from
+//! "nothing in memory" to the first served logits, for the three
+//! deployment stories the artifact subsystem distinguishes:
+//!
+//! * `retrain_prepare` — no artifact: train the network from data, then
+//!   program the crossbars (the pre-artifact cold start).
+//! * `load_prepare` — load a model-only `.ebm` and program crossbars
+//!   from the stored weights (deploy-from-file).
+//! * `load_prepared_state` — load an `.ebm` carrying the programmed
+//!   conductances and restore them directly, skipping programming.
+//!
+//! The `_noisy` pair repeats the two load paths under the noisy device
+//! profile, where fresh programming draws per-cell Gaussian variability
+//! — the configuration prepared state exists for, since restoring is
+//! the only way to reproduce a captured noise realization.
+//!
+//! Each measured iteration ends with one real inference, and the ideal
+//! variants' logits are asserted identical up front — the speedup is
+//! never allowed to change the served answer.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use eb_bitnn::{Bnn, Dataset, DatasetKind, MlpTrainer, Tensor, TrainConfig};
+use eb_runtime::{BackendKind, NoiseProfile, Runtime};
+use std::hint::black_box;
+use std::path::PathBuf;
+
+fn scratch(name: &str) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("eb-bench-coldstart-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir.join(name)
+}
+
+/// The full training leg of the no-artifact cold start.
+fn train(samples: &[(Tensor, usize)]) -> Bnn {
+    let mut trainer = MlpTrainer::new(
+        &[784, 32, 16, 10],
+        TrainConfig {
+            learning_rate: 0.06,
+            epochs: 2,
+            batch_size: 16,
+            seed: 17,
+        },
+    );
+    trainer.fit(samples);
+    trainer.to_bnn("coldstart-mlp").expect("exportable")
+}
+
+fn bench_coldstart(c: &mut Criterion) {
+    let samples = Dataset::generate(DatasetKind::Mnist, 64, 17).flattened();
+    let x = samples[0].0.clone();
+    let runtime = Runtime::builder()
+        .backend(BackendKind::Epcm)
+        .seed(13)
+        .build();
+
+    // Artifacts written once, outside the timed region — benchmarks
+    // start from the file exactly like a fresh process would.
+    let net = train(&samples);
+    let model_only = scratch("model-only.ebm");
+    Runtime::builder()
+        .backend(BackendKind::Software)
+        .build()
+        .save_artifact(&net, &model_only)
+        .expect("write model-only artifact");
+    let with_prepared = scratch("prepared.ebm");
+    runtime
+        .save_artifact(&net, &with_prepared)
+        .expect("write prepared artifact");
+
+    // Correctness gate: all three cold-start paths serve identical
+    // logits before any of them is timed.
+    let want = net.forward(&x).expect("reference");
+    for path in [&model_only, &with_prepared] {
+        let mut session = runtime.prepare_from_file(path).expect("loads");
+        assert_eq!(session.infer(&x).expect("serves"), want, "{path:?}");
+    }
+
+    let mut group = c.benchmark_group("coldstart_epcm");
+    group.sample_size(10);
+    group.bench_function("retrain_prepare", |b| {
+        b.iter(|| {
+            let net = train(&samples);
+            let mut session = runtime.prepare(&net).expect("prepares");
+            black_box(session.infer(&x).expect("serves"))
+        })
+    });
+    group.bench_function("load_prepare", |b| {
+        b.iter(|| {
+            let mut session = runtime.prepare_from_file(&model_only).expect("loads");
+            black_box(session.infer(&x).expect("serves"))
+        })
+    });
+    group.bench_function("load_prepared_state", |b| {
+        b.iter(|| {
+            let mut session = runtime.prepare_from_file(&with_prepared).expect("restores");
+            black_box(session.infer(&x).expect("serves"))
+        })
+    });
+
+    let noisy = Runtime::builder()
+        .backend(BackendKind::Epcm)
+        .noise_profile(NoiseProfile::Noisy)
+        .seed(13)
+        .build();
+    let noisy_prepared = scratch("noisy-prepared.ebm");
+    noisy
+        .save_artifact(&net, &noisy_prepared)
+        .expect("write noisy prepared artifact");
+    group.bench_function("load_prepare_noisy", |b| {
+        b.iter(|| {
+            let mut session = noisy.prepare_from_file(&model_only).expect("loads");
+            black_box(session.infer(&x).expect("serves"))
+        })
+    });
+    group.bench_function("load_prepared_state_noisy", |b| {
+        b.iter(|| {
+            let mut session = noisy.prepare_from_file(&noisy_prepared).expect("restores");
+            black_box(session.infer(&x).expect("serves"))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(benches, bench_coldstart);
+criterion_main!(benches);

@@ -59,6 +59,36 @@ impl BitMatrix {
         m
     }
 
+    /// Builds a matrix directly from its packed backing words (row-major,
+    /// `cols.div_ceil(64)` little-endian words per row) — the alloc-exact
+    /// inverse of reading [`BitMatrix::row_words`] row by row, used by the
+    /// artifact loader.
+    ///
+    /// Returns `None` when the word count does not match the dimensions or
+    /// any row's tail bits past `cols` are set (a strict loader rejects
+    /// such input rather than silently masking it).
+    pub fn from_words(rows: usize, cols: usize, data: Vec<u64>) -> Option<Self> {
+        let words_per_row = cols.div_ceil(WORD_BITS);
+        if data.len() != rows * words_per_row {
+            return None;
+        }
+        let tail_bits = cols % WORD_BITS;
+        if tail_bits != 0 {
+            let mask = !0u64 << tail_bits;
+            for r in 0..rows {
+                if data[r * words_per_row + words_per_row - 1] & mask != 0 {
+                    return None;
+                }
+            }
+        }
+        Some(Self {
+            rows,
+            cols,
+            words_per_row,
+            data,
+        })
+    }
+
     /// Builds a matrix from the signs of a row-major `f32` slice: bit 1 ⇔
     /// `values[r·cols + c] ≥ 0.0` — the binarization the BinaryConnect
     /// trainer applies to its shadow weights.

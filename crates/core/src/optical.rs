@@ -141,6 +141,81 @@ impl OpticalTacitMapped {
         })
     }
 
+    /// Rebuilds a mapping from previously exported state: the programmed
+    /// crossbar grid plus the geometry, receiver, and step counter a prior
+    /// [`OpticalTacitMapped::program`] produced. Restoring is not a
+    /// re-program — no RNG draws happen and no device writes are counted.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error for zero dimensions, a degenerate crossbar shape,
+    /// or a crossbar grid that does not match the chunk geometry implied
+    /// by `rows × cols` crossbars holding an `n × m` weight matrix.
+    #[allow(clippy::too_many_arguments)]
+    pub fn from_parts(
+        xbars: Vec<Vec<OpticalCrossbar>>,
+        k: usize,
+        receiver: Receiver,
+        m: usize,
+        n: usize,
+        rows: usize,
+        cols: usize,
+        steps: u64,
+    ) -> Result<Self, OpticalMapError> {
+        if m == 0 || n == 0 {
+            return Err(MappingError::EmptyWeights.into());
+        }
+        let chunk_len = rows / 2;
+        if chunk_len == 0 || cols == 0 {
+            return Err(MappingError::CrossbarTooSmall { rows, cols }.into());
+        }
+        let row_chunks = m.div_ceil(chunk_len);
+        let col_chunks = n.div_ceil(cols);
+        let cells = xbars.iter().map(Vec::len).sum::<usize>();
+        let grid_ok = xbars.len() == row_chunks
+            && xbars.iter().all(|row| row.len() == col_chunks)
+            && xbars
+                .iter()
+                .flatten()
+                .all(|x| x.rows() == rows && x.cols() == cols);
+        if !grid_ok {
+            return Err(PhotonicsError::DimensionMismatch {
+                what: "restored optical crossbar grid",
+                expected: row_chunks * col_chunks,
+                got: cells,
+            }
+            .into());
+        }
+        Ok(Self {
+            xbars,
+            transmitter: Transmitter::with_capacity(k),
+            receiver,
+            m,
+            n,
+            chunk_len,
+            rows,
+            cols,
+            steps,
+        })
+    }
+
+    /// Programmed optical crossbars in chunk-grid order,
+    /// `[row_chunk][col_chunk]` — the export surface for snapshotting
+    /// prepared state.
+    pub fn xbars(&self) -> &[Vec<OpticalCrossbar>] {
+        &self.xbars
+    }
+
+    /// The receiver chain currently resolving reads.
+    pub fn receiver(&self) -> &Receiver {
+        &self.receiver
+    }
+
+    /// Per-crossbar shape `(rows, cols)` this mapping was programmed for.
+    pub fn xbar_shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
     /// WDM capacity of the transmitter.
     pub fn capacity(&self) -> usize {
         self.transmitter.capacity()

@@ -128,6 +128,83 @@ impl TacitMapped {
         })
     }
 
+    /// Rebuilds a mapping from previously exported state: the programmed
+    /// engine grid plus the geometry and telemetry counters a prior
+    /// [`TacitMapped::program`] produced. Restoring is not a re-program —
+    /// no RNG draws happen and no write energy is charged; drift and fault
+    /// state live inside each engine's [`CrossbarArray`] and travel with
+    /// it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::EmptyWeights`] for zero dimensions,
+    /// [`MappingError::CrossbarTooSmall`] when `cfg` cannot hold even one
+    /// weight bit and its complement, or
+    /// [`MappingError::Xbar`]([`eb_xbar::XbarError::DimensionMismatch`])
+    /// when the engine grid does not match the chunk geometry `cfg`
+    /// implies for an `n × m` weight matrix.
+    pub fn from_parts(
+        engines: Vec<Vec<VmmEngine>>,
+        m: usize,
+        n: usize,
+        cfg: XbarConfig,
+        executions: u64,
+        energy_j: f64,
+    ) -> Result<Self, MappingError> {
+        if m == 0 || n == 0 {
+            return Err(MappingError::EmptyWeights);
+        }
+        let chunk_len = cfg.tacitmap_chunk_rows();
+        if chunk_len == 0 || cfg.cols == 0 {
+            return Err(MappingError::CrossbarTooSmall {
+                rows: cfg.rows,
+                cols: cfg.cols,
+            });
+        }
+        let row_chunks = m.div_ceil(chunk_len);
+        let col_chunks = n.div_ceil(cfg.cols);
+        let cells = engines.iter().map(Vec::len).sum::<usize>();
+        let grid_ok = engines.len() == row_chunks
+            && engines.iter().all(|row| row.len() == col_chunks)
+            && engines
+                .iter()
+                .flatten()
+                .all(|e| e.array().rows() == cfg.rows && e.array().cols() == cfg.cols);
+        if !grid_ok {
+            return Err(MappingError::Xbar(eb_xbar::XbarError::DimensionMismatch {
+                what: "restored TacitMap engine grid",
+                expected: row_chunks * col_chunks,
+                got: cells,
+            }));
+        }
+        Ok(Self {
+            engines,
+            m,
+            n,
+            chunk_len,
+            cfg,
+            executions,
+            energy_j,
+        })
+    }
+
+    /// Programmed crossbar engines in chunk-grid order,
+    /// `[row_chunk][col_chunk]` — the export surface for snapshotting
+    /// prepared state.
+    pub fn engines(&self) -> &[Vec<VmmEngine>] {
+        &self.engines
+    }
+
+    /// The crossbar configuration this mapping was programmed with.
+    pub fn config(&self) -> &XbarConfig {
+        &self.cfg
+    }
+
+    /// Fan-in rows covered by each row chunk.
+    pub fn chunk_len(&self) -> usize {
+        self.chunk_len
+    }
+
     /// Fan-in (weight-vector length).
     pub fn fan_in(&self) -> usize {
         self.m
@@ -490,6 +567,25 @@ impl SeededTacitMapped {
         pairs: &[(&BitVec, &BitVec)],
     ) -> Result<Vec<Vec<u32>>, MappingError> {
         self.inner.execute_ref_pairs(pairs, &mut self.rng)
+    }
+
+    /// Rebuilds a seeded mapping from previously exported state: the
+    /// restored inner mapping plus the RNG snapshot
+    /// ([`SeededTacitMapped::rng_state`]) taken at export time, so the
+    /// next noisy draw continues exactly where the exported instance left
+    /// off.
+    pub fn from_parts(inner: TacitMapped, rng_state: [u64; 4]) -> Self {
+        Self {
+            inner,
+            rng: StdRng::from_state(rng_state),
+        }
+    }
+
+    /// Snapshot of the owned RNG's position in its stream, for
+    /// serializing the mapping mid-stream (see
+    /// [`SeededTacitMapped::from_parts`]).
+    pub fn rng_state(&self) -> [u64; 4] {
+        self.rng.state()
     }
 
     /// The underlying mapping (fan-in, footprint, step counters...).

@@ -72,6 +72,46 @@ impl OpticalCrossbar {
         self.writes
     }
 
+    /// The device at `(r, c)`, or `None` if unprogrammed or out of range.
+    pub fn device(&self, r: usize, c: usize) -> Option<&OpcmDevice> {
+        if r >= self.rows || c >= self.cols {
+            return None;
+        }
+        self.devices[self.idx(r, c)].as_ref()
+    }
+
+    /// Rebuilds a crossbar from serialized state: the exact device grid
+    /// (row-major, `None` for unprogrammed cells) and write counter a
+    /// previously programmed crossbar held. Restoring is not a re-program
+    /// — no RNG draws happen and no writes are counted.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`PhotonicsError::DimensionMismatch`] when the grid length
+    /// differs from `rows * cols`.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        params: OpcmParams,
+        devices: Vec<Option<OpcmDevice>>,
+        writes: u64,
+    ) -> Result<Self, PhotonicsError> {
+        if devices.len() != rows * cols {
+            return Err(PhotonicsError::DimensionMismatch {
+                what: "restored device grid",
+                expected: rows * cols,
+                got: devices.len(),
+            });
+        }
+        Ok(Self {
+            rows,
+            cols,
+            params,
+            devices,
+            writes,
+        })
+    }
+
     fn idx(&self, r: usize, c: usize) -> usize {
         r * self.cols + c
     }

@@ -113,6 +113,17 @@ impl OpcmDevice {
         })
     }
 
+    /// Rebuilds a device from serialized state: the programmed level and
+    /// the exact post-noise transmission a previous
+    /// [`OpcmDevice::program_level`] produced. Restoring is not a
+    /// re-program — no RNG draw happens and no write is counted.
+    pub fn from_parts(level: usize, transmission: f64) -> Self {
+        Self {
+            level,
+            transmission,
+        }
+    }
+
     /// Programmed level index.
     pub fn level(&self) -> usize {
         self.level

@@ -12,8 +12,10 @@
 //! configurations every session is bit-exact against the software
 //! reference.
 
+use crate::artifacts::captured_meta;
 use crate::error::EbError;
 use crate::session::{Backend, NoiseProfile, Session, SessionOpts, SessionStats};
+use eb_artifact::{PhotonicMat, Prepared, PreparedBackend, PreparedState};
 use eb_bitnn::{conv_output_dims, BitMatrix, BitTensor, BitVec, Bnn, Layer, Shape, Tensor};
 use eb_core::OpticalTacitMapped;
 use eb_mapping::{SeededTacitMapped, TacitMapped};
@@ -54,12 +56,11 @@ impl Default for EpcmBackend {
     }
 }
 
-impl Backend for EpcmBackend {
-    fn name(&self) -> &'static str {
-        "epcm"
-    }
-
-    fn prepare(&self, net: &Bnn, opts: &SessionOpts) -> Result<Box<dyn Session>, EbError> {
+impl EpcmBackend {
+    /// Programs every matrix layer of `net` onto fresh crossbars — the
+    /// shared body under [`Backend::prepare`] and
+    /// [`Backend::export_prepared`].
+    fn program_session(&self, net: &Bnn, opts: &SessionOpts) -> Result<AnalogSession, EbError> {
         let cfg = match opts.noise.profile {
             NoiseProfile::Ideal => self.cfg.clone(),
             NoiseProfile::Noisy => self.cfg.clone().with_device(DeviceParams::noisy()),
@@ -82,7 +83,122 @@ impl Backend for EpcmBackend {
             }
             Ok(MappedMat::Epcm(mapped))
         })?;
+        Ok(session.named("epcm"))
+    }
+}
+
+impl Backend for EpcmBackend {
+    fn name(&self) -> &'static str {
+        "epcm"
+    }
+
+    fn prepare(&self, net: &Bnn, opts: &SessionOpts) -> Result<Box<dyn Session>, EbError> {
+        Ok(Box::new(self.program_session(net, opts)?))
+    }
+
+    fn export_prepared(&self, net: &Bnn, opts: &SessionOpts) -> Result<Option<Prepared>, EbError> {
+        let session = self.program_session(net, opts)?;
+        let mats = session
+            .mats
+            .into_iter()
+            .map(|m| match m {
+                MappedMat::Epcm(seeded) => Ok(seeded),
+                MappedMat::Photonic { .. } => Err(EbError::Config(
+                    "internal error: photonic state inside an epcm session".into(),
+                )),
+            })
+            .collect::<Result<Vec<_>, EbError>>()?;
+        Ok(Some(Prepared {
+            meta: captured_meta(PreparedBackend::Epcm, &opts.noise),
+            state: PreparedState::Epcm(mats),
+        }))
+    }
+
+    fn prepare_restored(
+        &self,
+        net: &Bnn,
+        opts: &SessionOpts,
+        prepared: Prepared,
+    ) -> Result<Box<dyn Session>, EbError> {
+        let _ = opts; // meta↔opts agreement is validated by the caller.
+        let PreparedState::Epcm(mats) = prepared.state else {
+            return Err(EbError::Config(format!(
+                "artifact prepared state holds {} substrate state, which the epcm backend \
+                 cannot restore",
+                prepared.state.backend().name()
+            )));
+        };
+        let mut mats = mats.into_iter();
+        let session = AnalogSession::build(net, |weights, layer| {
+            let mapped = restored_mat(&mut mats, weights, layer, "epcm")?;
+            let cfg = mapped.inner().config();
+            if (cfg.rows, cfg.cols) != (self.cfg.rows, self.cfg.cols) {
+                return Err(EbError::Config(format!(
+                    "artifact prepared state was programmed on {}×{} crossbars but this epcm \
+                     backend is configured for {}×{}",
+                    cfg.rows, cfg.cols, self.cfg.rows, self.cfg.cols
+                )));
+            }
+            Ok(MappedMat::Epcm(mapped))
+        })?;
+        reject_leftover_state(mats.len())?;
         Ok(Box::new(session.named("epcm")))
+    }
+}
+
+/// Pops the next restored matrix for `layer`, rejecting a snapshot with
+/// fewer programmed layers than the network or per-layer dimensions that
+/// do not match the layer's weights.
+fn restored_mat<M: RestoredDims>(
+    mats: &mut impl Iterator<Item = M>,
+    weights: &BitMatrix,
+    layer: usize,
+    substrate: &str,
+) -> Result<M, EbError> {
+    let mapped = mats.next().ok_or_else(|| {
+        EbError::Config(format!(
+            "artifact prepared state ran out of programmed matrices at layer {layer}; \
+             it was captured for a different network"
+        ))
+    })?;
+    let (fan_in, outs) = mapped.dims();
+    if fan_in != weights.cols() || outs != weights.rows() {
+        return Err(EbError::Config(format!(
+            "artifact prepared state layer {layer} is programmed for a {outs}×{fan_in} weight \
+             matrix but the network's layer is {}×{} on the {substrate} substrate",
+            weights.rows(),
+            weights.cols()
+        )));
+    }
+    Ok(mapped)
+}
+
+/// A restored snapshot must be consumed exactly: trailing matrices mean
+/// the artifact was captured for a different (deeper) network.
+fn reject_leftover_state(leftover: usize) -> Result<(), EbError> {
+    if leftover != 0 {
+        return Err(EbError::Config(format!(
+            "artifact prepared state has {leftover} more programmed matrices than this network \
+             has matrix layers; it was captured for a different network"
+        )));
+    }
+    Ok(())
+}
+
+/// The `(fan_in, out_vectors)` a restored matrix was programmed for.
+trait RestoredDims {
+    fn dims(&self) -> (usize, usize);
+}
+
+impl RestoredDims for SeededTacitMapped {
+    fn dims(&self) -> (usize, usize) {
+        (self.inner().fan_in(), self.inner().out_vectors())
+    }
+}
+
+impl RestoredDims for PhotonicMat {
+    fn dims(&self) -> (usize, usize) {
+        (self.mapped.fan_in(), self.mapped.out_vectors())
     }
 }
 
@@ -184,12 +300,9 @@ impl Default for PhotonicBackend {
     }
 }
 
-impl Backend for PhotonicBackend {
-    fn name(&self) -> &'static str {
-        "photonic"
-    }
-
-    fn prepare(&self, net: &Bnn, opts: &SessionOpts) -> Result<Box<dyn Session>, EbError> {
+impl PhotonicBackend {
+    /// Rejects the noise knobs the optical substrate cannot host.
+    fn validate_opts(&self, opts: &SessionOpts) -> Result<(), EbError> {
         if opts.noise.drift_t_ratio.is_some() {
             return Err(EbError::Config(
                 "the photonic backend does not model resistance drift (oPCM sidesteps it); \
@@ -197,7 +310,14 @@ impl Backend for PhotonicBackend {
                     .into(),
             ));
         }
-        reject_active_fault(&opts.noise, "photonic")?;
+        reject_active_fault(&opts.noise, "photonic")
+    }
+
+    /// Programs every matrix layer of `net` onto fresh optical crossbars
+    /// — the shared body under [`Backend::prepare`] and
+    /// [`Backend::export_prepared`].
+    fn program_session(&self, net: &Bnn, opts: &SessionOpts) -> Result<AnalogSession, EbError> {
+        self.validate_opts(opts)?;
         let session = AnalogSession::build(net, |weights, layer| {
             let mut rng = StdRng::seed_from_u64(layer_seed(opts.noise.seed, layer));
             let mut mapped = OpticalTacitMapped::program(
@@ -216,6 +336,78 @@ impl Backend for PhotonicBackend {
                 lanes: 0,
             })
         })?;
+        Ok(session.named("photonic"))
+    }
+}
+
+impl Backend for PhotonicBackend {
+    fn name(&self) -> &'static str {
+        "photonic"
+    }
+
+    fn prepare(&self, net: &Bnn, opts: &SessionOpts) -> Result<Box<dyn Session>, EbError> {
+        Ok(Box::new(self.program_session(net, opts)?))
+    }
+
+    fn export_prepared(&self, net: &Bnn, opts: &SessionOpts) -> Result<Option<Prepared>, EbError> {
+        let session = self.program_session(net, opts)?;
+        let mats = session
+            .mats
+            .into_iter()
+            .map(|m| match m {
+                MappedMat::Photonic { mapped, rng, lanes } => Ok(PhotonicMat {
+                    mapped,
+                    rng_state: rng.state(),
+                    lanes,
+                }),
+                MappedMat::Epcm(_) => Err(EbError::Config(
+                    "internal error: electronic state inside a photonic session".into(),
+                )),
+            })
+            .collect::<Result<Vec<_>, EbError>>()?;
+        Ok(Some(Prepared {
+            meta: captured_meta(PreparedBackend::Photonic, &opts.noise),
+            state: PreparedState::Photonic(mats),
+        }))
+    }
+
+    fn prepare_restored(
+        &self,
+        net: &Bnn,
+        opts: &SessionOpts,
+        prepared: Prepared,
+    ) -> Result<Box<dyn Session>, EbError> {
+        // Meta↔opts agreement is validated by the caller; the substrate
+        // capability checks still apply to crafted artifacts.
+        self.validate_opts(opts)?;
+        let PreparedState::Photonic(mats) = prepared.state else {
+            return Err(EbError::Config(format!(
+                "artifact prepared state holds {} substrate state, which the photonic backend \
+                 cannot restore",
+                prepared.state.backend().name()
+            )));
+        };
+        let mut mats = mats.into_iter();
+        let session = AnalogSession::build(net, |weights, layer| {
+            let snap = restored_mat(&mut mats, weights, layer, "photonic")?;
+            let (rows, cols) = snap.mapped.xbar_shape();
+            if (rows, cols, snap.mapped.capacity()) != (self.rows, self.cols, self.capacity) {
+                return Err(EbError::Config(format!(
+                    "artifact prepared state was programmed on {rows}×{cols} optical crossbars \
+                     at K = {} but this photonic backend is configured for {}×{} at K = {}",
+                    snap.mapped.capacity(),
+                    self.rows,
+                    self.cols,
+                    self.capacity
+                )));
+            }
+            Ok(MappedMat::Photonic {
+                mapped: snap.mapped,
+                rng: StdRng::from_state(snap.rng_state),
+                lanes: snap.lanes,
+            })
+        })?;
+        reject_leftover_state(mats.len())?;
         Ok(Box::new(session.named("photonic")))
     }
 }

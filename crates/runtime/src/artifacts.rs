@@ -1,0 +1,138 @@
+//! Glue between the serving runtime and `.ebm` model artifacts: how a
+//! backend's capture conditions are recorded into [`PreparedMeta`], and
+//! the strict validation a restore must pass before any prepared state
+//! is served.
+//!
+//! The rule is the runtime's usual no-silent-fallback invariant: a
+//! prepared section that does not match the *requested* session options
+//! — wrong backend, different seed, different noise profile, drift, or
+//! fault configuration — is **rejected** with a specific
+//! [`EbError::Config`], never silently ignored or silently served. A
+//! caller that wants different options must re-prepare from the model
+//! section (which every artifact also carries) instead of replaying
+//! state captured under other physics.
+
+use crate::error::EbError;
+use crate::session::{NoiseConfig, NoiseProfile, SessionOpts};
+use eb_artifact::{PreparedBackend, PreparedMeta};
+
+/// The capture conditions recorded alongside exported prepared state:
+/// everything [`validate_restore`] later compares against the requested
+/// session options.
+pub(crate) fn captured_meta(backend: PreparedBackend, noise: &NoiseConfig) -> PreparedMeta {
+    PreparedMeta {
+        backend,
+        seed: noise.seed,
+        noisy: noise.profile == NoiseProfile::Noisy,
+        drift_t_ratio: noise.drift_t_ratio,
+        fault: noise.fault,
+    }
+}
+
+/// Rejects a prepared section whose capture conditions conflict with the
+/// requested session options. Exact equality everywhere: replaying
+/// prepared state is only sound when the restored session is
+/// *indistinguishable* from the one that exported it.
+pub(crate) fn validate_restore(
+    meta: &PreparedMeta,
+    backend_name: &str,
+    opts: &SessionOpts,
+) -> Result<(), EbError> {
+    if meta.backend.name() != backend_name {
+        return Err(EbError::Config(format!(
+            "artifact prepared state was captured on the `{}` backend but the `{backend_name}` \
+             backend was requested; prepared state is never silently dropped — load on the \
+             capturing backend, or prepare from the artifact's model section instead",
+            meta.backend.name()
+        )));
+    }
+    if meta.seed != opts.noise.seed {
+        return Err(EbError::Config(format!(
+            "artifact prepared state was captured with seed {} but the session requests seed {}; \
+             replaying it would not reproduce the requested noise stream — match the seed or \
+             re-export the artifact",
+            meta.seed, opts.noise.seed
+        )));
+    }
+    let noisy = opts.noise.profile == NoiseProfile::Noisy;
+    if meta.noisy != noisy {
+        let (captured, requested) = if meta.noisy {
+            ("noisy", "ideal")
+        } else {
+            ("ideal", "noisy")
+        };
+        return Err(EbError::Config(format!(
+            "artifact prepared state was captured under the {captured} device profile but the \
+             session requests the {requested} profile; re-export under the requested profile"
+        )));
+    }
+    if meta.drift_t_ratio != opts.noise.drift_t_ratio {
+        return Err(EbError::Config(format!(
+            "artifact prepared state was captured with drift_t_ratio {:?} but the session \
+             requests {:?}; drifted conductances cannot be re-interpreted — re-export under \
+             the requested drift configuration",
+            meta.drift_t_ratio, opts.noise.drift_t_ratio
+        )));
+    }
+    if meta.fault != opts.noise.fault {
+        return Err(EbError::Config(format!(
+            "artifact prepared state was captured with fault profile {:?} but the session \
+             requests {:?}; fault populations are part of the programmed state — re-export \
+             under the requested fault configuration",
+            meta.fault, opts.noise.fault
+        )));
+    }
+    Ok(())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use eb_xbar::FaultConfig;
+
+    fn opts(seed: u64) -> SessionOpts {
+        SessionOpts {
+            noise: NoiseConfig {
+                seed,
+                ..Default::default()
+            },
+        }
+    }
+
+    #[test]
+    fn matching_meta_passes_and_each_conflict_is_rejected() {
+        let meta = captured_meta(PreparedBackend::Epcm, &opts(7).noise);
+        assert!(validate_restore(&meta, "epcm", &opts(7)).is_ok());
+
+        // Wrong backend.
+        let err = validate_restore(&meta, "photonic", &opts(7)).unwrap_err();
+        assert!(err.to_string().contains("epcm"), "{err}");
+        // Wrong seed.
+        assert!(validate_restore(&meta, "epcm", &opts(8)).is_err());
+        // Wrong profile.
+        let mut noisy = opts(7);
+        noisy.noise.profile = NoiseProfile::Noisy;
+        assert!(validate_restore(&meta, "epcm", &noisy).is_err());
+        // Wrong drift.
+        let mut drifted = opts(7);
+        drifted.noise.drift_t_ratio = Some(10.0);
+        assert!(validate_restore(&meta, "epcm", &drifted).is_err());
+        // Wrong fault profile.
+        let mut faulted = opts(7);
+        faulted.noise.fault = Some(FaultConfig::dead_cells(0.1, 3));
+        assert!(validate_restore(&meta, "epcm", &faulted).is_err());
+    }
+
+    #[test]
+    fn capture_round_trips_every_noise_knob() {
+        let noise = NoiseConfig {
+            seed: 41,
+            profile: NoiseProfile::Noisy,
+            drift_t_ratio: Some(100.0),
+            fault: Some(FaultConfig::dead_cells(0.05, 11)),
+        };
+        let meta = captured_meta(PreparedBackend::Photonic, &noise);
+        let session = SessionOpts { noise };
+        assert!(validate_restore(&meta, "photonic", &session).is_ok());
+    }
+}

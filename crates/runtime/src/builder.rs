@@ -6,8 +6,10 @@ use crate::serve::{PoolConfig, ServePool};
 use crate::session::{Backend, NoiseConfig, NoiseProfile, Session, SessionOpts};
 use crate::simulator::SimulatorBackend;
 use crate::software::SoftwareBackend;
+use eb_artifact::{Artifact, ArtifactInfo, Prepared};
 use eb_bitnn::Bnn;
 use std::fmt;
+use std::path::Path;
 use std::time::Duration;
 
 /// The built-in substrates, selectable by configuration.
@@ -155,6 +157,75 @@ impl Runtime {
     /// replica fails to prepare.
     pub fn serve(&self, net: &Bnn, config: PoolConfig) -> Result<ServePool, EbError> {
         ServePool::new(self, net, config)
+    }
+
+    /// Exports `net` as a `.ebm` artifact at `path`: the serialized
+    /// network plus — when the configured backend supports it — a
+    /// snapshot of the *prepared* substrate state (programmed crossbar
+    /// conductances, compiled instruction streams, post-programming RNG
+    /// positions) captured under this runtime's session options, so a
+    /// later [`Runtime::prepare_from_file`] skips the programming work.
+    ///
+    /// The software backend has nothing to snapshot; its artifacts carry
+    /// only the model section and load through an ordinary `prepare`.
+    ///
+    /// # Errors
+    ///
+    /// Returns any prepare-time [`EbError`] from the substrate and
+    /// [`EbError::Artifact`] for encode/filesystem failures.
+    pub fn save_artifact(
+        &self,
+        net: &Bnn,
+        path: impl AsRef<Path>,
+    ) -> Result<ArtifactInfo, EbError> {
+        let prepared = self.backend.export_prepared(net, &self.opts)?;
+        Ok(eb_artifact::write_model(path, net, prepared.as_ref())?)
+    }
+
+    /// Prepares a serving session from a decoded [`Artifact`]. When the
+    /// artifact carries a prepared section, its capture conditions must
+    /// match this runtime's backend and session options *exactly* —
+    /// backend, seed, noise profile, drift, fault profile — and the
+    /// session is then restored without re-programming; a mismatch is a
+    /// typed [`EbError::Config`], never a silent fallback to fresh
+    /// preparation. Artifacts without prepared state prepare normally
+    /// from the model section.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] for capture-condition conflicts or
+    /// structurally mismatched state, and any prepare-time [`EbError`].
+    pub fn prepare_from_artifact(&self, artifact: Artifact) -> Result<Box<dyn Session>, EbError> {
+        match artifact.prepared {
+            Some(prepared) => self.prepare_restored_with(&artifact.net, &self.opts, prepared),
+            None => self.prepare(&artifact.net),
+        }
+    }
+
+    /// Reads a `.ebm` artifact and prepares a serving session from it
+    /// (see [`Runtime::prepare_from_artifact`] for the prepared-state
+    /// contract).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Artifact`] for unreadable/corrupt bytes plus
+    /// everything [`Runtime::prepare_from_artifact`] reports.
+    pub fn prepare_from_file(&self, path: impl AsRef<Path>) -> Result<Box<dyn Session>, EbError> {
+        self.prepare_from_artifact(eb_artifact::read_model(path)?)
+    }
+
+    /// Validates `prepared`'s capture conditions against `opts` and
+    /// restores a session from it — the shared deploy-from-file seam
+    /// under [`Runtime::prepare_from_artifact`] and the prepared-aware
+    /// [`ServePool`].
+    pub(crate) fn prepare_restored_with(
+        &self,
+        net: &Bnn,
+        opts: &SessionOpts,
+        prepared: Prepared,
+    ) -> Result<Box<dyn Session>, EbError> {
+        crate::artifacts::validate_restore(&prepared.meta, self.backend.name(), opts)?;
+        self.backend.prepare_restored(net, opts, prepared)
     }
 
     /// Name of the configured backend.
@@ -310,6 +381,19 @@ impl RuntimeBuilder {
     /// Returns [`EbError`] when the backend cannot host the network.
     pub fn prepare(self, net: &Bnn) -> Result<Box<dyn Session>, EbError> {
         self.build().prepare(net)
+    }
+
+    /// Convenience: builds the runtime and immediately prepares a
+    /// session from an `.ebm` artifact file (see
+    /// [`Runtime::prepare_from_file`]).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Artifact`] for unreadable/corrupt files and
+    /// [`EbError::Config`] when a prepared-state section conflicts with
+    /// the configured options.
+    pub fn prepare_from_file(self, path: impl AsRef<Path>) -> Result<Box<dyn Session>, EbError> {
+        self.build().prepare_from_file(path)
     }
 
     /// Convenience: builds the runtime and immediately starts a sharded

@@ -5,6 +5,7 @@
 //! one type, with [`std::error::Error::source`] chaining back to the
 //! crate-local error underneath.
 
+use eb_artifact::ArtifactError;
 use eb_bitnn::BitnnError;
 use eb_core::{CompileError, OpticalMapError, SimError};
 use eb_mapping::MappingError;
@@ -42,6 +43,10 @@ pub enum EbError {
     Compile(CompileError),
     /// Instruction-level simulator error.
     Sim(SimError),
+    /// Model-artifact (`.ebm`) encode/decode or I/O error: corrupt,
+    /// truncated, version-skewed, or unwritable bytes on the
+    /// deploy-from-file path.
+    Artifact(ArtifactError),
     /// A session was configured or driven inconsistently (e.g. a network
     /// topology the substrate cannot host).
     Config(String),
@@ -83,6 +88,7 @@ impl fmt::Display for EbError {
             Self::Optical(e) => write!(f, "optical mapping error: {e}"),
             Self::Compile(e) => write!(f, "compile error: {e}"),
             Self::Sim(e) => write!(f, "simulation error: {e}"),
+            Self::Artifact(e) => write!(f, "model artifact error: {e}"),
             Self::Config(msg) => write!(f, "runtime configuration error: {msg}"),
             Self::DeadlineExceeded => {
                 write!(f, "request deadline passed before a replica served it")
@@ -111,6 +117,7 @@ impl Error for EbError {
             Self::Optical(e) => Some(e),
             Self::Compile(e) => Some(e),
             Self::Sim(e) => Some(e),
+            Self::Artifact(e) => Some(e),
             Self::Config(_)
             | Self::DeadlineExceeded
             | Self::Cancelled
@@ -162,6 +169,12 @@ impl From<SimError> for EbError {
     }
 }
 
+impl From<ArtifactError> for EbError {
+    fn from(e: ArtifactError) -> Self {
+        Self::Artifact(e)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -184,6 +197,7 @@ mod tests {
             .into(),
             OpticalMapError::from(MappingError::EmptyWeights).into(),
             SimError::NoHalt.into(),
+            ArtifactError::BadMagic.into(),
         ];
         for e in &cases {
             assert!(e.source().is_some(), "{e} should chain");

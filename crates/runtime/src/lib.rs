@@ -61,6 +61,7 @@
 #![warn(missing_debug_implementations)]
 
 mod analog;
+mod artifacts;
 mod builder;
 mod error;
 mod health;
@@ -72,6 +73,7 @@ mod software;
 
 pub use analog::{EpcmBackend, PhotonicBackend};
 pub use builder::{BackendKind, Runtime, RuntimeBuilder};
+pub use eb_artifact::{Artifact, ArtifactError, ArtifactInfo, Prepared};
 pub use error::EbError;
 pub use health::{HealthProbe, HealthReport};
 pub use net::{NetConfig, NetServer, NetStats};

@@ -244,9 +244,24 @@ pub(crate) fn route(
     match (req.method.as_str(), path) {
         ("GET", "/healthz") => (Response::text(200, "ok\n"), Action::None),
         ("GET", "/v1/models") => {
-            let names: Vec<String> = registry.models().iter().map(|n| json_string(n)).collect();
+            // File-loaded models carry their container's provenance;
+            // checksums render as fixed-width hex so clients can diff
+            // them against `eb-model inspect` output.
+            let entries: Vec<String> = registry
+                .model_infos()
+                .iter()
+                .map(|(name, artifact)| match artifact {
+                    Some(info) => format!(
+                        r#"{{"name":{},"artifact":{{"version":{},"checksum":"{:#018x}"}}}}"#,
+                        json_string(name),
+                        info.version,
+                        info.checksum
+                    ),
+                    None => format!(r#"{{"name":{}}}"#, json_string(name)),
+                })
+                .collect();
             (
-                Response::json(200, format!(r#"{{"models":[{}]}}"#, names.join(","))),
+                Response::json(200, format!(r#"{{"models":[{}]}}"#, entries.join(","))),
                 Action::None,
             )
         }

@@ -8,6 +8,7 @@ use crate::serve::batcher::{closed_error, DynamicBatcher, Rejected};
 use crate::serve::lock_recovering;
 use crate::serve::ticket::{Claim, Priority, Request, Ticket, TicketGuard};
 use crate::session::{Session, SessionStats};
+use eb_artifact::Prepared;
 use eb_bitnn::{Bnn, Tensor};
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -190,13 +191,39 @@ impl ServePool {
     /// Returns [`EbError`] for a degenerate `config` or when any replica
     /// fails to prepare (nothing is left running in that case).
     pub fn new(runtime: &Runtime, net: &Bnn, config: PoolConfig) -> Result<Self, EbError> {
+        Self::with_prepared(runtime, net, config, None)
+    }
+
+    /// Like [`ServePool::new`], but replica 0 restores from an artifact's
+    /// prepared-state snapshot instead of programming from scratch (the
+    /// deploy-from-file cold-start path). Replica 0 is the right
+    /// consumer: it serves with seed `base_seed + 0`, exactly the seed
+    /// the snapshot's capture conditions are validated against; replicas
+    /// 1.. serve distinct seeds and therefore always prepare fresh.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] when the snapshot's capture
+    /// conditions conflict with the pool's backend/options (prepared
+    /// state is never silently dropped), plus everything
+    /// [`ServePool::new`] reports.
+    pub fn with_prepared(
+        runtime: &Runtime,
+        net: &Bnn,
+        config: PoolConfig,
+        prepared: Option<Prepared>,
+    ) -> Result<Self, EbError> {
         config.validate()?;
         let base_seed = runtime.opts().noise.seed;
+        let mut prepared = prepared;
         let mut sessions = Vec::with_capacity(config.replicas);
         for replica in 0..config.replicas {
             let mut opts = *runtime.opts();
             opts.noise.seed = base_seed.wrapping_add(replica as u64);
-            sessions.push(runtime.prepare_with(net, &opts)?);
+            sessions.push(match prepared.take() {
+                Some(snapshot) => runtime.prepare_restored_with(net, &opts, snapshot)?,
+                None => runtime.prepare_with(net, &opts)?,
+            });
         }
         let shared = Arc::new(PoolShared {
             batcher: DynamicBatcher::new(config.queue_capacity, config.max_batch, config.max_wait),

@@ -36,10 +36,12 @@ use crate::serve::maintenance::{MaintenanceConfig, MaintenanceLoop, MaintenanceS
 use crate::serve::pool::{PoolConfig, PoolHandle, PoolStats, QueuedRequest, ServePool};
 use crate::serve::ticket::{Request, Ticket};
 use crate::session::SessionOpts;
+use eb_artifact::{Artifact, ArtifactInfo, Prepared};
 use eb_bitnn::{Bnn, Tensor};
 use eb_xbar::FaultConfig;
 use std::collections::HashMap;
 use std::fmt;
+use std::path::Path;
 use std::sync::{Arc, Mutex, PoisonError, RwLock, RwLockReadGuard, RwLockWriteGuard};
 
 fn read_recovering<T>(lock: &RwLock<T>) -> RwLockReadGuard<'_, T> {
@@ -109,16 +111,29 @@ struct ModelEntry {
     /// The deployed network, kept so fault injection and healing can
     /// rebuild the pool without the caller re-supplying it.
     net: Bnn,
+    /// Container provenance when the model was loaded from an `.ebm`
+    /// file ([`Server::deploy_from_file`] / [`Server::swap_from_file`]);
+    /// `None` for in-memory deploys. Surfaced by
+    /// [`Server::artifact_info`] and `GET /v1/models`.
+    artifact: Option<ArtifactInfo>,
     slot: Arc<RwLock<HandleSlot>>,
     /// Owns the worker threads; replaced wholesale by [`Server::swap`].
     pool: ServePool,
 }
 
 /// How [`ServerInner::rebuild`] re-derives a model's pool.
-#[derive(Clone, Copy)]
 enum Rebuild<'a> {
-    /// New network, baseline options, injected faults cleared.
-    Swap(&'a Bnn),
+    /// New network, baseline options, injected faults cleared. When the
+    /// network came out of an `.ebm` container, `prepared` carries its
+    /// prepared-state section (consumed by replica 0) and `artifact` the
+    /// provenance to record; both are `None` for in-memory swaps.
+    Swap {
+        net: &'a Bnn,
+        /// Boxed: a prepared simulator snapshot inlines a whole compiled
+        /// program, and Inject/Heal rebuilds never carry one.
+        prepared: Box<Option<Prepared>>,
+        artifact: Option<ArtifactInfo>,
+    },
     /// Same network, baseline options with this fault profile injected.
     Inject(FaultConfig),
     /// Same network, baseline options, injected faults cleared — a
@@ -179,15 +194,23 @@ impl fmt::Debug for Server {
 
 impl ServerInner {
     /// Prepares `name`'s pool per `opts` (with the name-derived base
-    /// seed) — the one place registry pools are built.
-    fn build_pool(name: &str, net: &Bnn, opts: &ModelOpts) -> Result<ServePool, EbError> {
+    /// seed) — the one place registry pools are built. A `prepared`
+    /// snapshot (deploy-from-file) is consumed by replica 0, whose seed
+    /// is exactly the derived base seed the snapshot is validated
+    /// against.
+    fn build_pool(
+        name: &str,
+        net: &Bnn,
+        opts: &ModelOpts,
+        prepared: Option<Prepared>,
+    ) -> Result<ServePool, EbError> {
         let mut session = opts.session;
         session.noise.seed = derived_model_seed(name, session.noise.seed);
         let runtime = Runtime::builder()
             .backend(opts.backend)
             .opts(session)
             .build();
-        ServePool::new(&runtime, net, opts.pool)
+        ServePool::with_prepared(&runtime, net, opts.pool, prepared)
     }
 
     /// The baseline options with `injected` (if any) overriding the
@@ -214,7 +237,26 @@ impl ServerInner {
         names
     }
 
-    fn deploy_with(&self, name: &str, net: &Bnn, opts: ModelOpts) -> Result<(), EbError> {
+    /// Every deployed model with its artifact provenance (`None` for
+    /// in-memory deploys), sorted by name — what `GET /v1/models`
+    /// renders.
+    pub(crate) fn model_infos(&self) -> Vec<(String, Option<ArtifactInfo>)> {
+        let mut infos: Vec<(String, Option<ArtifactInfo>)> = read_recovering(&self.models)
+            .iter()
+            .map(|(name, entry)| (name.clone(), entry.artifact))
+            .collect();
+        infos.sort_by(|a, b| a.0.cmp(&b.0));
+        infos
+    }
+
+    fn deploy_entry(
+        &self,
+        name: &str,
+        net: &Bnn,
+        opts: ModelOpts,
+        prepared: Option<Prepared>,
+        artifact: Option<ArtifactInfo>,
+    ) -> Result<(), EbError> {
         if read_recovering(&self.models).contains_key(name) {
             return Err(EbError::Config(format!(
                 "model `{name}` is already deployed; use Server::swap to replace it"
@@ -222,11 +264,12 @@ impl ServerInner {
         }
         // Prepare outside the map lock — programming crossbars can take
         // a while and other models must keep serving.
-        let pool = Self::build_pool(name, net, &opts)?;
+        let pool = Self::build_pool(name, net, &opts, prepared)?;
         let entry = ModelEntry {
             opts,
             injected: None,
             net: net.clone(),
+            artifact,
             slot: Arc::new(RwLock::new(HandleSlot {
                 generation: 0,
                 handle: pool.handle(),
@@ -257,21 +300,28 @@ impl ServerInner {
         let plan = {
             let models = read_recovering(&self.models);
             models.get(name).map(|entry| {
-                let injected = match action {
-                    Rebuild::Swap(_) | Rebuild::Heal => None,
-                    Rebuild::Inject(fault) => Some(fault),
+                // Inject/Heal rebuild the same network, so provenance is
+                // unchanged; a swap's provenance is whatever the action
+                // says (file info, or None for an in-memory network).
+                let (net, injected, prepared, artifact) = match action {
+                    Rebuild::Swap {
+                        net,
+                        prepared,
+                        artifact,
+                    } => (net.clone(), None, *prepared, artifact),
+                    Rebuild::Inject(fault) => {
+                        (entry.net.clone(), Some(fault), None, entry.artifact)
+                    }
+                    Rebuild::Heal => (entry.net.clone(), None, None, entry.artifact),
                 };
-                let net = match action {
-                    Rebuild::Swap(net) => net.clone(),
-                    Rebuild::Inject(_) | Rebuild::Heal => entry.net.clone(),
-                };
-                (entry.opts.clone(), net, injected)
+                (entry.opts.clone(), net, injected, prepared, artifact)
             })
         };
-        let Some((opts, net, injected)) = plan else {
+        let Some((opts, net, injected, prepared, artifact)) = plan else {
             return Err(self.unknown_model(name));
         };
-        let new_pool = Self::build_pool(name, &net, &Self::effective_opts(&opts, injected))?;
+        let new_pool =
+            Self::build_pool(name, &net, &Self::effective_opts(&opts, injected), prepared)?;
         let replaced = {
             let mut models = write_recovering(&self.models);
             match models.get_mut(name) {
@@ -282,6 +332,7 @@ impl ServerInner {
                     drop(slot);
                     entry.injected = injected;
                     entry.net = net;
+                    entry.artifact = artifact;
                     Ok(std::mem::replace(&mut entry.pool, new_pool))
                 }
                 // Retired while we were preparing; honor the retire and
@@ -383,7 +434,101 @@ impl Server {
     ///
     /// Same contract as [`Server::deploy`].
     pub fn deploy_with(&self, name: &str, net: &Bnn, opts: ModelOpts) -> Result<(), EbError> {
-        self.inner.deploy_with(name, net, opts)
+        self.inner.deploy_entry(name, net, opts, None, None)
+    }
+
+    /// Deploys a model from a versioned `.ebm` artifact file with the
+    /// server's default [`ModelOpts`] — the zero-training-code cold
+    /// start. The container is checksum-verified before anything is
+    /// built; if it carries a prepared-state section captured under
+    /// conditions matching this deployment (backend, the name-derived
+    /// seed, noise knobs), replica 0 restores it instead of programming
+    /// from scratch. A conflicting prepared section is an error, never
+    /// silently dropped. Returns the loaded container's
+    /// [`ArtifactInfo`], also surfaced by [`Server::artifact_info`] and
+    /// `GET /v1/models`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Artifact`] for unreadable/corrupt/
+    /// version-skewed files, [`EbError::Config`] for a taken name or a
+    /// prepared-state conflict, and any prepare-time [`EbError`] from
+    /// the substrate.
+    pub fn deploy_from_file(
+        &self,
+        name: &str,
+        path: impl AsRef<Path>,
+    ) -> Result<ArtifactInfo, EbError> {
+        self.deploy_from_file_with(name, path, self.inner.defaults.clone())
+    }
+
+    /// [`Server::deploy_from_file`] with explicit options.
+    ///
+    /// # Errors
+    ///
+    /// Same contract as [`Server::deploy_from_file`].
+    pub fn deploy_from_file_with(
+        &self,
+        name: &str,
+        path: impl AsRef<Path>,
+        opts: ModelOpts,
+    ) -> Result<ArtifactInfo, EbError> {
+        let Artifact {
+            net,
+            prepared,
+            info,
+        } = eb_artifact::read_model(path)?;
+        self.inner
+            .deploy_entry(name, &net, opts, prepared, Some(info))?;
+        Ok(info)
+    }
+
+    /// Hot-replaces model `name` from a `.ebm` artifact file, keeping
+    /// the options it was deployed with — [`Server::swap`]'s
+    /// zero-dropped-tickets contract with [`Server::deploy_from_file`]'s
+    /// loading semantics (checksum verification up front, prepared-state
+    /// restore on replica 0, conflicts rejected). Returns the retired
+    /// pool's final counters.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Artifact`] for unreadable/corrupt files,
+    /// [`EbError::Config`] for an unknown name or a prepared-state
+    /// conflict, and any prepare-time [`EbError`] from the substrate
+    /// (the old pool keeps serving untouched in all cases).
+    pub fn swap_from_file(&self, name: &str, path: impl AsRef<Path>) -> Result<PoolStats, EbError> {
+        let Artifact {
+            net,
+            prepared,
+            info,
+        } = eb_artifact::read_model(path)?;
+        self.inner.rebuild(
+            name,
+            Rebuild::Swap {
+                net: &net,
+                prepared: Box::new(prepared),
+                artifact: Some(info),
+            },
+        )
+    }
+
+    /// The `.ebm` container provenance of model `name`: `Some` when the
+    /// current network was loaded via [`Server::deploy_from_file`] or
+    /// [`Server::swap_from_file`] (surviving inject/heal rebuilds, which
+    /// keep the network), `None` for in-memory deploys and swaps.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] for an unknown name.
+    pub fn artifact_info(&self, name: &str) -> Result<Option<ArtifactInfo>, EbError> {
+        let models = read_recovering(&self.inner.models);
+        match models.get(name) {
+            Some(entry) => Ok(entry.artifact),
+            None => {
+                drop(models);
+                Err(self.inner.unknown_model(name))
+            }
+        }
     }
 
     /// Hot-replaces model `name` with `net`, keeping the options it was
@@ -400,7 +545,14 @@ impl Server {
     /// prepare-time [`EbError`] from the substrate (the old pool keeps
     /// serving untouched in both cases).
     pub fn swap(&self, name: &str, net: &Bnn) -> Result<PoolStats, EbError> {
-        self.inner.rebuild(name, Rebuild::Swap(net))
+        self.inner.rebuild(
+            name,
+            Rebuild::Swap {
+                net,
+                prepared: Box::new(None),
+                artifact: None,
+            },
+        )
     }
 
     /// Injects a cell-fault profile into model `name`: rebuilds its pool
@@ -511,6 +663,12 @@ impl Server {
     /// Names of the currently deployed models, sorted.
     pub fn models(&self) -> Vec<String> {
         self.inner.model_names()
+    }
+
+    /// Deployed models with artifact provenance, sorted by name — the
+    /// `GET /v1/models` source.
+    pub(crate) fn model_infos(&self) -> Vec<(String, Option<ArtifactInfo>)> {
+        self.inner.model_infos()
     }
 
     /// Snapshot of model `name`'s pool counters.

@@ -10,6 +10,7 @@
 
 use crate::error::EbError;
 use crate::health::{HealthProbe, HealthReport};
+use eb_artifact::Prepared;
 use eb_bitnn::{Bnn, Tensor};
 use eb_xbar::FaultConfig;
 
@@ -123,6 +124,53 @@ pub trait Backend: Send + Sync {
     /// Returns [`EbError`] when the network cannot be hosted (mapping,
     /// compile, or configuration failures).
     fn prepare(&self, net: &Bnn, opts: &SessionOpts) -> Result<Box<dyn Session>, EbError>;
+
+    /// Prepares `net` exactly as [`Backend::prepare`] would and snapshots
+    /// the resulting substrate state — programmed crossbar conductances,
+    /// compiled instruction streams, post-programming RNG positions — for
+    /// an `.ebm` artifact's prepared section, so a later load can skip
+    /// the programming/compile work entirely.
+    ///
+    /// Backends whose `prepare` is trivial (the software reference has
+    /// nothing to snapshot) return `Ok(None)`, and the artifact simply
+    /// carries no prepared section.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError`] when the network cannot be hosted — the same
+    /// failures `prepare` reports.
+    fn export_prepared(&self, net: &Bnn, opts: &SessionOpts) -> Result<Option<Prepared>, EbError> {
+        let _ = (net, opts);
+        Ok(None)
+    }
+
+    /// Builds a ready-to-serve session from a prepared-state snapshot
+    /// instead of programming/compiling from scratch. The caller
+    /// (the runtime's deploy-from-file path) has already validated
+    /// `prepared.meta` against `opts` — implementations only need to
+    /// check that the *state* structurally matches `net` and this
+    /// backend's configuration, rejecting mismatches with a typed error
+    /// rather than serving silently divergent state.
+    ///
+    /// # Errors
+    ///
+    /// The default implementation always errors: a backend that does not
+    /// opt into restore cannot honor a prepared section, and silently
+    /// falling back to a fresh `prepare` would violate the
+    /// no-silent-fallback rule.
+    fn prepare_restored(
+        &self,
+        net: &Bnn,
+        opts: &SessionOpts,
+        prepared: Prepared,
+    ) -> Result<Box<dyn Session>, EbError> {
+        let _ = (net, opts, prepared);
+        Err(EbError::Config(format!(
+            "the {} backend has no prepared-state restore path; re-export the artifact without \
+             a prepared section or load it on the backend that captured it",
+            self.name()
+        )))
+    }
 }
 
 /// A prepared, stateful serving handle: weights are already programmed /

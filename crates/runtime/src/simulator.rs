@@ -2,8 +2,10 @@
 //! into a reusable [`Machine`] and serves every inference through the
 //! compiled program, accumulating the design's modeled latency/energy.
 
+use crate::artifacts::captured_meta;
 use crate::error::EbError;
 use crate::session::{Backend, Session, SessionOpts, SessionStats};
+use eb_artifact::{DesignFingerprint, Prepared, PreparedBackend, PreparedState};
 use eb_bitnn::{Bnn, Tensor};
 use eb_core::{compile, Design, Machine};
 use rand::rngs::StdRng;
@@ -39,12 +41,10 @@ impl Default for SimulatorBackend {
     }
 }
 
-impl Backend for SimulatorBackend {
-    fn name(&self) -> &'static str {
-        "simulator"
-    }
-
-    fn prepare(&self, net: &Bnn, opts: &SessionOpts) -> Result<Box<dyn Session>, EbError> {
+impl SimulatorBackend {
+    /// Rejects the noise knobs the compiled ideal-device designs cannot
+    /// host.
+    fn validate_opts(&self, opts: &SessionOpts) -> Result<(), EbError> {
         if opts.noise.drift_t_ratio.is_some() {
             return Err(EbError::Config(
                 "the simulator backend compiles ideal-device designs and does not model \
@@ -52,11 +52,81 @@ impl Backend for SimulatorBackend {
                     .into(),
             ));
         }
-        crate::analog::reject_active_fault(&opts.noise, "simulator")?;
+        crate::analog::reject_active_fault(&opts.noise, "simulator")
+    }
+}
+
+impl Backend for SimulatorBackend {
+    fn name(&self) -> &'static str {
+        "simulator"
+    }
+
+    fn prepare(&self, net: &Bnn, opts: &SessionOpts) -> Result<Box<dyn Session>, EbError> {
+        self.validate_opts(opts)?;
         let mut rng = StdRng::seed_from_u64(opts.noise.seed);
         let compiled = compile(&self.design, net, &mut rng)?;
         Ok(Box::new(SimulatorSession {
             machine: Machine::new(compiled, &self.design, rng),
+            inferences: 0,
+        }))
+    }
+
+    fn export_prepared(&self, net: &Bnn, opts: &SessionOpts) -> Result<Option<Prepared>, EbError> {
+        self.validate_opts(opts)?;
+        let mut rng = StdRng::seed_from_u64(opts.noise.seed);
+        let compiled = compile(&self.design, net, &mut rng)?;
+        Ok(Some(Prepared {
+            meta: captured_meta(PreparedBackend::Simulator, &opts.noise),
+            state: PreparedState::Simulator {
+                fingerprint: Box::new(DesignFingerprint::of(&self.design)),
+                compiled,
+                // Captured *after* compilation consumed its mapping
+                // draws, so a restored machine's RNG sits exactly where
+                // a fresh prepare's would.
+                rng_state: rng.state(),
+            },
+        }))
+    }
+
+    fn prepare_restored(
+        &self,
+        net: &Bnn,
+        opts: &SessionOpts,
+        prepared: Prepared,
+    ) -> Result<Box<dyn Session>, EbError> {
+        // Meta↔opts agreement is validated by the caller; the substrate
+        // capability checks still apply to crafted artifacts.
+        self.validate_opts(opts)?;
+        let PreparedState::Simulator {
+            fingerprint,
+            compiled,
+            rng_state,
+        } = prepared.state
+        else {
+            return Err(EbError::Config(format!(
+                "artifact prepared state holds {} substrate state, which the simulator backend \
+                 cannot restore",
+                prepared.state.backend().name()
+            )));
+        };
+        if !fingerprint.matches(&self.design) {
+            return Err(EbError::Config(
+                "artifact prepared state was compiled for a different accelerator design than \
+                 this simulator backend's; instantiate SimulatorBackend over the capturing \
+                 design or re-export the artifact"
+                    .into(),
+            ));
+        }
+        if compiled.input_shape != net.input_shape() {
+            return Err(EbError::Config(format!(
+                "artifact prepared state was compiled for input shape {} but the network \
+                 expects {}; it was captured for a different network",
+                compiled.input_shape,
+                net.input_shape()
+            )));
+        }
+        Ok(Box::new(SimulatorSession {
+            machine: Machine::new(compiled, &self.design, StdRng::from_state(rng_state)),
             inferences: 0,
         }))
     }

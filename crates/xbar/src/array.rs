@@ -247,6 +247,53 @@ impl CrossbarArray {
         self.writes
     }
 
+    /// The programmed device at `(r, c)`, if any — the exact stored bit
+    /// and post-variability conductance, for state serialization.
+    pub fn device(&self, r: usize, c: usize) -> Option<&EpcmDevice> {
+        if r >= self.rows || c >= self.cols {
+            return None;
+        }
+        self.devices[r * self.cols + c].as_ref()
+    }
+
+    /// Rebuilds an array from serialized state: per-cell device states
+    /// (row-major, programming noise already resolved) plus the write
+    /// counter. Drift ratio and fault profile reset to their defaults;
+    /// re-apply them with [`CrossbarArray::set_drift_t_ratio`] /
+    /// [`CrossbarArray::set_fault_config`]. No device is programmed and
+    /// no RNG is drawn — restoring is not a re-program.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`XbarError::DimensionMismatch`] when `devices` does not
+    /// hold exactly `rows · cols` entries.
+    pub fn from_parts(
+        rows: usize,
+        cols: usize,
+        params: DeviceParams,
+        devices: Vec<Option<EpcmDevice>>,
+        writes: u64,
+    ) -> Result<Self, XbarError> {
+        if devices.len() != rows * cols {
+            return Err(XbarError::DimensionMismatch {
+                what: "restored device grid",
+                expected: rows * cols,
+                got: devices.len(),
+            });
+        }
+        Ok(Self {
+            rows,
+            cols,
+            params,
+            devices,
+            writes,
+            t_ratio: 1.0,
+            fault: None,
+            killed: HashMap::new(),
+            snapshot_cache: Mutex::new(None),
+        })
+    }
+
     fn idx(&self, r: usize, c: usize) -> usize {
         r * self.cols + c
     }

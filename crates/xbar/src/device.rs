@@ -86,6 +86,17 @@ impl EpcmDevice {
         }
     }
 
+    /// Rebuilds a device from serialized state: the stored bit and the
+    /// exact post-variability conductance a previous
+    /// [`EpcmDevice::program`] produced. Restoring is not a re-program —
+    /// no RNG draw happens and no write is counted.
+    pub fn from_parts(stored: bool, conductance: f64) -> Self {
+        Self {
+            stored,
+            conductance,
+        }
+    }
+
     /// The bit this device was programmed with.
     pub fn stored_bit(&self) -> bool {
         self.stored

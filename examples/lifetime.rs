@@ -1,10 +1,12 @@
 //! Device-lifetime drill: train online, deploy to analog hardware, serve
 //! under faults, and watch the maintenance loop heal the model.
 //!
-//! 1. Train a BinaryConnect MLP epoch by epoch (`train_epoch`), deploying
-//!    the network to a multi-replica ePCM `Server` pool as soon as it
-//!    beats a majority-class baseline — online training feeding a live
-//!    deployment.
+//! 1. Train a BinaryConnect MLP epoch by epoch (`train_epoch`),
+//!    checkpointing each epoch to a versioned `.ebm` artifact and
+//!    deploying *the file* to a multi-replica ePCM `Server` pool as soon
+//!    as it beats a majority-class baseline — online training feeding a
+//!    live deployment through the artifact path
+//!    (`deploy_from_file`/`swap_from_file`).
 //! 2. Build a golden-canary `HealthProbe` from the training set and
 //!    record the healthy baseline agreement.
 //! 3. Sweep dead-cell fault rates through `Server::inject_faults` to map
@@ -18,6 +20,7 @@
 //!
 //! Run with `cargo run --release --example lifetime`.
 
+use einstein_barrier::artifact;
 use einstein_barrier::bitnn::{
     Dataset, DatasetKind, MlpTrainer, Tensor, TrainConfig, TrainScratch,
 };
@@ -55,6 +58,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let mut deployed = false;
     let order: Vec<usize> = (0..data.len()).collect();
     let mut scratch = TrainScratch::default();
+    // Checkpoints flow through a versioned .ebm artifact file: the
+    // server only ever sees what a restart would see.
+    let dir = std::env::temp_dir().join("eb-example-lifetime");
+    std::fs::create_dir_all(&dir)?;
+    let checkpoint = dir.join("lifetime-mlp.ebm");
     for epoch in 0..6 {
         let loss = trainer.train_epoch(&data, &order, &mut scratch);
         let net = trainer.to_bnn("lifetime-mlp")?;
@@ -66,13 +74,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         // Deploy the first useful checkpoint, hot-swap in the rest: the
         // model keeps improving while its predecessor keeps serving.
         if !deployed && eval_acc > 0.2 {
-            server.deploy_with("mnist", &net, opts.clone())?;
+            let info = artifact::write_model(&checkpoint, &net, None)?;
+            server.deploy_from_file_with("mnist", &checkpoint, opts.clone())?;
             deployed = true;
-            println!("         deployed to the ePCM pool (2 replicas)");
-        } else if deployed {
-            let finals = server.swap("mnist", &net)?;
             println!(
-                "         hot-swapped the improved checkpoint in \
+                "         deployed {} to the ePCM pool (2 replicas, {info})",
+                checkpoint.display()
+            );
+        } else if deployed {
+            artifact::write_model(&checkpoint, &net, None)?;
+            let finals = server.swap_from_file("mnist", &checkpoint)?;
+            println!(
+                "         hot-swapped the improved checkpoint file in \
                  (predecessor drained after {} inferences)",
                 finals.total().inferences
             );
@@ -168,6 +181,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "post-heal agreement must be within 1% of the healthy baseline"
     );
     assert_eq!(server.injected_fault("mnist")?, None);
+    // Inject/heal rebuilds keep the network, so the file provenance
+    // recorded at swap time survives the whole lifetime drill.
+    let provenance = server.artifact_info("mnist")?.expect("file-deployed");
+    println!("served artifact: {provenance}");
 
     println!("\ndegrade → detect → self-heal cycle complete ✓");
     Ok(())

@@ -1,12 +1,16 @@
 //! MNIST-class workflow: train a BinaryConnect MLP on the synthetic
-//! MNIST stand-in, export it to an integer-exact BNN, and serve it
-//! through the unified runtime on every hardware substrate — the direct
-//! analog TacitMap-ePCM crossbars, the photonic WDM crossbars, and the
+//! MNIST stand-in, export it to an integer-exact BNN, checkpoint it as
+//! a versioned `.ebm` artifact, and serve the *file* through the
+//! unified runtime on every hardware substrate — the direct analog
+//! TacitMap-ePCM crossbars, the photonic WDM crossbars, and the
 //! compiled instruction stream on the accelerator simulator — verifying
-//! bit-exact agreement with the software reference session.
+//! bit-exact agreement with the software reference session. A second
+//! ePCM checkpoint carries the programmed conductances themselves
+//! (prepared state), and restores bit-exactly without reprogramming.
 //!
 //! Run with `cargo run --release --example mnist_mlp`.
 
+use einstein_barrier::artifact;
 use einstein_barrier::bitnn::{Dataset, DatasetKind, MlpTrainer, TrainConfig};
 use einstein_barrier::core::Design;
 use einstein_barrier::runtime::SimulatorBackend;
@@ -42,6 +46,15 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let train_acc = net.accuracy(train)?;
     let test_acc = net.accuracy(test)?;
     println!("exported BNN accuracy: train {train_acc:.2}, test {test_acc:.2} (chance = 0.10)");
+
+    // Checkpoint the trained network as a versioned, checksummed .ebm
+    // artifact: every hardware deploy below loads this file — the
+    // trainer is out of the picture from here on.
+    let dir = std::env::temp_dir().join("eb-example-mnist-mlp");
+    std::fs::create_dir_all(&dir)?;
+    let checkpoint = dir.join("mnist-mlp.ebm");
+    let info = artifact::write_model(&checkpoint, &net, None)?;
+    println!("checkpoint: {} ({info})", checkpoint.display());
 
     // The golden reference session the hardware substrates are compared
     // against.
@@ -85,7 +98,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         ),
     ];
     for (name, runtime) in &hardware {
-        let mut session = runtime.prepare(&net)?;
+        let mut session = runtime.prepare_from_file(&checkpoint)?;
         let got = session.infer_batch(&requests)?;
         let agree = got.iter().zip(&want).filter(|(g, w)| g == w).count();
         let stats = session.stats();
@@ -101,5 +114,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
             "noiseless hardware must match the reference"
         );
     }
+
+    // Prepared-state fast path: the ePCM runtime snapshots its
+    // programmed chunked conductances into the artifact, so loading it
+    // back skips crossbar programming entirely — and still serves
+    // bit-exactly what a fresh prepare would.
+    let epcm = &hardware[0].1;
+    let prepared_checkpoint = dir.join("mnist-mlp-epcm.ebm");
+    let info = epcm.save_artifact(&net, &prepared_checkpoint)?;
+    let mut restored = epcm.prepare_from_file(&prepared_checkpoint)?;
+    assert_eq!(
+        restored.infer_batch(&requests)?,
+        want,
+        "prepared-state restore must stay bit-exact"
+    );
+    println!("ePCM prepared-state checkpoint restored bit-exact, no reprogramming ({info})");
     Ok(())
 }

@@ -1,0 +1,73 @@
+//! `eb-model` — inspect and verify `.ebm` model artifacts.
+//!
+//! ```text
+//! eb-model inspect model.ebm    # section table, network summary, prepared state
+//! eb-model verify model.ebm     # full integrity check; nonzero exit on failure
+//! ```
+//!
+//! `verify` decodes the entire container — magic, version, whole-file
+//! checksum, per-section CRCs, and a full model (plus prepared-state)
+//! decode — so a zero exit means the file would deploy. `inspect`
+//! prints the same decode as a human-readable summary.
+
+use einstein_barrier::artifact;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+eb-model — inspect and verify .ebm model artifacts
+
+USAGE:
+  eb-model inspect PATH.ebm   print the section table and model summary
+  eb-model verify PATH.ebm    full integrity check (exit 0 = deployable)
+  eb-model --help             this text
+";
+
+fn run(command: &str, path: &str) -> Result<(), String> {
+    match command {
+        "inspect" => {
+            let summary =
+                artifact::inspect_file(path).map_err(|e| format!("inspect {path}: {e}"))?;
+            print!("{summary}");
+            Ok(())
+        }
+        "verify" => {
+            // read_model exercises every integrity layer inspect does;
+            // decoding into a live Bnn is the point — a file that
+            // verifies is a file that deploys.
+            let loaded =
+                artifact::read_model(path).map_err(|e| format!("verify {path}: FAILED: {e}"))?;
+            println!(
+                "verify {path}: OK ({}, model {:?}, prepared: {})",
+                loaded.info,
+                loaded.net.name(),
+                match &loaded.prepared {
+                    Some(p) => p.state.backend().name(),
+                    None => "none",
+                }
+            );
+            Ok(())
+        }
+        other => Err(format!("unknown command {other:?} (try --help)")),
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.as_slice() {
+        [flag] if flag == "--help" || flag == "-h" => {
+            print!("{USAGE}");
+            ExitCode::SUCCESS
+        }
+        [command, path] => match run(command, path) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("eb-model: {msg}");
+                ExitCode::FAILURE
+            }
+        },
+        _ => {
+            eprint!("eb-model: expected a command and a path\n\n{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}

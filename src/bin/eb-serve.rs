@@ -12,17 +12,33 @@
 
 use einstein_barrier::bitnn::{BinLinear, Bnn, FixedLinear, Layer, OutputLinear, Shape};
 use einstein_barrier::runtime::net::WireLimits;
-use einstein_barrier::{BackendKind, NetConfig, NetServer, PoolConfig, Server};
+use einstein_barrier::{derived_model_seed, BackendKind, NetConfig, NetServer, PoolConfig, Server};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::path::PathBuf;
 use std::process::ExitCode;
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
+/// One `--model` argument: a seeded demo network, or a pre-trained
+/// `.ebm` artifact to deploy from file (no training code on that path).
+enum ModelSource {
+    Demo(String),
+    File(String, PathBuf),
+}
+
+impl ModelSource {
+    fn name(&self) -> &str {
+        match self {
+            Self::Demo(name) | Self::File(name, _) => name,
+        }
+    }
+}
+
 struct Args {
     addr: String,
     backend: BackendKind,
-    models: Vec<String>,
+    models: Vec<ModelSource>,
     input: usize,
     hidden: usize,
     classes: usize,
@@ -66,7 +82,9 @@ USAGE: eb-serve [OPTIONS]
 
   --addr HOST:PORT        bind address (default 127.0.0.1:8080; port 0 = ephemeral)
   --backend KIND          software|epcm|photonic|simulator (default software)
-  --model NAME            model to deploy (repeatable; default: one model 'demo')
+  --model NAME[=PATH]     model to deploy (repeatable; default: one model 'demo').
+                          bare NAME serves a seeded demo net; NAME=model.ebm
+                          deploys a pre-trained artifact from file
   --input N               demo network input width (default 16)
   --hidden N              demo network hidden width (default 32)
   --classes N             demo network output classes (default 10)
@@ -96,7 +114,20 @@ fn parse_args() -> Result<Args, String> {
             "--backend" => {
                 args.backend = value("--backend")?.parse().map_err(|e| format!("{e}"))?;
             }
-            "--model" => args.models.push(value("--model")?),
+            "--model" => {
+                let spec = value("--model")?;
+                args.models.push(match spec.split_once('=') {
+                    Some((name, path)) if !name.is_empty() && !path.is_empty() => {
+                        ModelSource::File(name.to_owned(), PathBuf::from(path))
+                    }
+                    Some(_) => {
+                        return Err(format!(
+                            "malformed --model {spec:?}; expected NAME or NAME=PATH.ebm"
+                        ))
+                    }
+                    None => ModelSource::Demo(spec),
+                });
+            }
             "--input" => args.input = parse_num(&value("--input")?, "--input")?,
             "--hidden" => args.hidden = parse_num(&value("--hidden")?, "--hidden")?,
             "--classes" => args.classes = parse_num(&value("--classes")?, "--classes")?,
@@ -135,7 +166,7 @@ fn parse_args() -> Result<Args, String> {
         }
     }
     if args.models.is_empty() {
-        args.models.push("demo".to_owned());
+        args.models.push(ModelSource::Demo("demo".to_owned()));
     }
     Ok(args)
 }
@@ -147,13 +178,11 @@ fn parse_num<T: std::str::FromStr>(s: &str, flag: &str) -> Result<T, String> {
 
 /// A seeded three-layer demo BNN (FixedLinear → BinLinear → Output),
 /// deterministic in (name, seed, shape) so restarts serve identical
-/// weights.
+/// weights. Weights derive from the registry's own per-model seed rule,
+/// so `demo_net(name, ..)` and a file-loaded artifact of the same net
+/// deploy under identical noise streams.
 fn demo_net(name: &str, args: &Args) -> Result<Bnn, Box<dyn std::error::Error>> {
-    let mut seed = args.seed;
-    for b in name.bytes() {
-        seed = seed.wrapping_mul(0x100000001b3).wrapping_add(u64::from(b));
-    }
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = StdRng::seed_from_u64(derived_model_seed(name, args.seed));
     Ok(Bnn::new(
         name,
         Shape::Flat(args.input),
@@ -175,11 +204,22 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
         .backend(args.backend)
         .seed(args.seed)
         .pool(args.pool);
-    for name in &args.models {
-        let net = demo_net(name, &args)?;
-        builder = builder.model(name.clone(), &net);
+    for source in &args.models {
+        if let ModelSource::Demo(name) = source {
+            let net = demo_net(name, &args)?;
+            builder = builder.model(name.clone(), &net);
+        }
     }
     let registry = Arc::new(builder.serve()?);
+    // File-backed models deploy after startup through the artifact
+    // loader — checksum-verified, prepared-state restored when the
+    // container carries a matching section, zero training code.
+    for source in &args.models {
+        if let ModelSource::File(name, path) = source {
+            let info = registry.deploy_from_file(name, path)?;
+            println!("eb-serve: deployed {name} from {} ({info})", path.display());
+        }
+    }
 
     let config = NetConfig {
         addr: args.addr.clone(),
@@ -197,7 +237,10 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
          replicas={} queue_capacity={} workers={}",
         server.local_addr(),
         args.backend,
-        args.models,
+        args.models
+            .iter()
+            .map(ModelSource::name)
+            .collect::<Vec<_>>(),
         args.pool.replicas,
         args.pool.queue_capacity,
         args.workers,

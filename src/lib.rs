@@ -13,6 +13,8 @@
 //! * [`runtime`] — the unified serving layer: compile a network once for
 //!   any substrate, serve many inferences through one
 //!   [`Session`] API.
+//! * [`artifact`] — versioned, checksummed `.ebm` model artifacts with
+//!   deploy-from-file serving.
 //!
 //! The runtime types are also re-exported at the crate root, so serving a
 //! trained network on any substrate needs nothing but the facade:
@@ -44,6 +46,7 @@
 //! See the repository `README.md` for a quickstart and `DESIGN.md` for the
 //! full system inventory.
 
+pub use eb_artifact as artifact;
 pub use eb_bitnn as bitnn;
 pub use eb_core as core;
 pub use eb_mapping as mapping;
@@ -52,11 +55,11 @@ pub use eb_runtime as runtime;
 pub use eb_xbar as xbar;
 
 pub use eb_runtime::{
-    derived_model_seed, predict, Backend, BackendKind, DynamicBatcher, EbError, EpcmBackend,
-    HealthProbe, HealthReport, MaintenanceConfig, MaintenanceStats, ModelHandle, ModelOpts,
-    NetConfig, NetServer, NetStats, NoiseConfig, NoiseProfile, PhotonicBackend, PoolConfig,
-    PoolHandle, PoolStats, Priority, Rejected, Request, RequestOpts, Runtime, RuntimeBuilder,
-    ServePool, Server, ServerBuilder, Session, SessionOpts, SessionStats, SimulatorBackend,
-    SoftwareBackend, Ticket, TicketStatus,
+    derived_model_seed, predict, Artifact, ArtifactError, ArtifactInfo, Backend, BackendKind,
+    DynamicBatcher, EbError, EpcmBackend, HealthProbe, HealthReport, MaintenanceConfig,
+    MaintenanceStats, ModelHandle, ModelOpts, NetConfig, NetServer, NetStats, NoiseConfig,
+    NoiseProfile, PhotonicBackend, PoolConfig, PoolHandle, PoolStats, Prepared, Priority, Rejected,
+    Request, RequestOpts, Runtime, RuntimeBuilder, ServePool, Server, ServerBuilder, Session,
+    SessionOpts, SessionStats, SimulatorBackend, SoftwareBackend, Ticket, TicketStatus,
 };
 pub use eb_xbar::{CellFault, FaultConfig};

@@ -1,0 +1,104 @@
+//! Forward-compatibility regression: a golden `.ebm` fixture, written
+//! once by the v1 encoder and committed under `tests/fixtures/`, must
+//! keep decoding and serving on every future revision of the decoder.
+//! If the format ever needs to change shape, the version number must
+//! change with it — this test is the tripwire.
+//!
+//! Regenerate (only alongside a deliberate, versioned format change):
+//!
+//! ```text
+//! cargo test --test artifact_fixture -- --ignored regenerate_golden_fixture
+//! ```
+
+use einstein_barrier::artifact;
+use einstein_barrier::bitnn::{BinLinear, Bnn, FixedLinear, Layer, OutputLinear, Shape, Tensor};
+use einstein_barrier::{BackendKind, Runtime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::path::PathBuf;
+
+const FIXTURE: &str = "tests/fixtures/golden_v1.ebm";
+/// The capture seed baked into the fixture's prepared-state section.
+const CAPTURE_SEED: u64 = 41;
+
+fn fixture_path() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join(FIXTURE)
+}
+
+/// The exact network the fixture was generated from: seeded weights on
+/// the pinned vendored RNG, so the test can rebuild the expected
+/// reference without storing logits.
+fn golden_net() -> Bnn {
+    let mut rng = StdRng::seed_from_u64(CAPTURE_SEED);
+    Bnn::new(
+        "golden-v1",
+        Shape::Flat(16),
+        vec![
+            Layer::FixedLinear(FixedLinear::random("in", 16, 10, &mut rng)),
+            Layer::BinLinear(BinLinear::random("h", 10, 8, &mut rng)),
+            Layer::Output(OutputLinear::random("out", 8, 4, &mut rng)),
+        ],
+    )
+    .unwrap()
+}
+
+fn capturing_runtime() -> Runtime {
+    Runtime::builder()
+        .backend(BackendKind::Epcm)
+        .seed(CAPTURE_SEED)
+        .build()
+}
+
+#[test]
+fn golden_v1_fixture_still_decodes_and_serves() {
+    let path = fixture_path();
+    let loaded = artifact::read_model(&path).unwrap_or_else(|e| {
+        panic!(
+            "the committed golden fixture no longer decodes ({e}); \
+             a format change must bump FORMAT_VERSION, not break v1"
+        )
+    });
+    assert_eq!(loaded.info.version, 1, "fixture is a v1 container");
+    assert_eq!(loaded.net.name(), "golden-v1");
+    assert!(
+        loaded.prepared.is_some(),
+        "fixture carries an ePCM prepared-state section"
+    );
+
+    // Semantic decode: the stored network is bit-identical to the
+    // network the fixture was generated from.
+    let want_net = golden_net();
+    let inputs: Vec<Tensor> = (0..6)
+        .map(|k| Tensor::from_fn(&[16], |i| ((i + 7 * k) as f32 * 0.31).cos()))
+        .collect();
+
+    // And the prepared-state section restores on the capturing
+    // configuration, serving the reference outputs.
+    let mut restored = capturing_runtime().prepare_from_artifact(loaded).unwrap();
+    for x in &inputs {
+        assert_eq!(
+            restored.infer(x).unwrap(),
+            want_net.forward(x).unwrap(),
+            "restored fixture session must serve the golden reference"
+        );
+    }
+
+    // inspect agrees with read on identity.
+    let summary = artifact::inspect_file(&path).unwrap();
+    assert_eq!(summary.version, 1);
+    assert_eq!(summary.model_name, "golden-v1");
+    assert_eq!(summary.sections.len(), 2);
+}
+
+/// Writes the fixture. `#[ignore]`d: run explicitly only when a
+/// deliberate format revision requires a new golden file.
+#[test]
+#[ignore]
+fn regenerate_golden_fixture() {
+    let path = fixture_path();
+    std::fs::create_dir_all(path.parent().unwrap()).unwrap();
+    let info = capturing_runtime()
+        .save_artifact(&golden_net(), &path)
+        .unwrap();
+    println!("wrote {} ({info})", path.display());
+}

@@ -1,0 +1,149 @@
+//! Property tests of the `.ebm` decoder: arbitrary bytes, bit-flipped
+//! valid containers, and truncations at every boundary must all decode
+//! to a typed [`ArtifactError`] — never a panic, never an unbounded
+//! allocation — and valid containers must round-trip bit-exactly.
+
+use einstein_barrier::artifact::{self, ArtifactError};
+use einstein_barrier::bitnn::{BinLinear, Bnn, FixedLinear, Layer, OutputLinear, Shape};
+use einstein_barrier::{BackendKind, Runtime};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn mlp(seed: u64) -> Bnn {
+    let mut rng = StdRng::seed_from_u64(seed);
+    Bnn::new(
+        "prop-mlp",
+        Shape::Flat(12),
+        vec![
+            Layer::FixedLinear(FixedLinear::random("in", 12, 8, &mut rng)),
+            Layer::BinLinear(BinLinear::random("h", 8, 6, &mut rng)),
+            Layer::Output(OutputLinear::random("out", 6, 3, &mut rng)),
+        ],
+    )
+    .unwrap()
+}
+
+/// A valid model-only container to corrupt.
+fn valid_bytes() -> Vec<u8> {
+    artifact::encode(&mlp(1), None).unwrap()
+}
+
+/// A valid container with an ePCM prepared-state section to corrupt.
+fn valid_prepared_bytes() -> Vec<u8> {
+    let net = mlp(2);
+    let runtime = Runtime::builder()
+        .backend(BackendKind::Epcm)
+        .seed(9)
+        .build();
+    let prepared = {
+        // Export through the public save/read path to keep this test
+        // independent of runtime internals.
+        let dir = std::env::temp_dir().join(format!("eb-artifact-prop-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("prepared-corpus.ebm");
+        runtime.save_artifact(&net, &path).unwrap();
+        std::fs::read(&path).unwrap()
+    };
+    prepared
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Arbitrary bytes: decode returns a typed error or a valid
+    /// artifact, and never panics. (Random bytes essentially never form
+    /// a valid checksum, so this is the error path under fuzz.)
+    #[test]
+    fn arbitrary_bytes_never_panic(bytes in proptest::collection::vec(any::<u8>(), 0..4096)) {
+        let _ = artifact::decode(&bytes);
+        let _ = artifact::inspect_bytes(&bytes);
+    }
+
+    /// Bytes that start with the real magic and version still cannot
+    /// smuggle anything past the checksum and structural validation.
+    #[test]
+    fn magic_prefixed_garbage_never_panics(tail in proptest::collection::vec(any::<u8>(), 0..2048)) {
+        let mut bytes = b"EBMF\x01\x00".to_vec();
+        bytes.extend_from_slice(&tail);
+        prop_assert!(artifact::decode(&bytes).is_err(), "garbage after the header must not decode");
+    }
+
+    /// Every single-bit flip anywhere in a valid container is caught:
+    /// the whole-file FNV checksum (or a section CRC, or a structural
+    /// check) turns it into a typed error — or, if the flip lands in
+    /// the checksum bytes themselves, the recomputed digest mismatches.
+    #[test]
+    fn single_bit_flips_are_always_detected(
+        byte_index in 0usize..100_000,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = valid_bytes();
+        let byte_index = byte_index % bytes.len();
+        bytes[byte_index] ^= 1 << bit;
+        prop_assert!(
+            artifact::decode(&bytes).is_err(),
+            "flipping bit {bit} of byte {byte_index} went undetected"
+        );
+    }
+
+    /// Same guarantee over the prepared-state section.
+    #[test]
+    fn bit_flips_in_prepared_state_are_detected(
+        byte_index in 0usize..1_000_000,
+        bit in 0u8..8,
+    ) {
+        let mut bytes = valid_prepared_bytes();
+        let byte_index = byte_index % bytes.len();
+        bytes[byte_index] ^= 1 << bit;
+        prop_assert!(
+            artifact::decode(&bytes).is_err(),
+            "flipping bit {bit} of byte {byte_index} in the prepared container went undetected"
+        );
+    }
+
+    /// Truncation at every possible boundary is a typed error, never a
+    /// panic or out-of-bounds read.
+    #[test]
+    fn truncation_at_any_length_is_a_typed_error(cut in 0usize..100_000) {
+        let bytes = valid_bytes();
+        let cut = cut % bytes.len(); // strictly shorter than the original
+        prop_assert!(
+            artifact::decode(&bytes[..cut]).is_err(),
+            "decoding a {cut}-byte prefix of a {}-byte container must fail",
+            bytes.len()
+        );
+    }
+
+    /// Appending trailing garbage is also detected (total length is part
+    /// of the decode contract, so padded files don't silently pass).
+    #[test]
+    fn trailing_garbage_is_detected(tail in proptest::collection::vec(any::<u8>(), 1..64)) {
+        let mut bytes = valid_bytes();
+        bytes.extend_from_slice(&tail);
+        prop_assert!(artifact::decode(&bytes).is_err());
+    }
+}
+
+/// Deterministic companion to the proptests: exhaustively truncate a
+/// small container at *every* length and classify the errors.
+#[test]
+fn exhaustive_truncation_sweep_yields_typed_errors() {
+    let bytes = valid_bytes();
+    for cut in 0..bytes.len() {
+        match artifact::decode(&bytes[..cut]) {
+            Err(
+                ArtifactError::Truncated { .. }
+                | ArtifactError::BadMagic
+                | ArtifactError::UnsupportedVersion { .. }
+                | ArtifactError::ChecksumMismatch { .. }
+                | ArtifactError::Malformed { .. }
+                | ArtifactError::MissingSection { .. },
+            ) => {}
+            Err(other) => panic!("cut at {cut}: unexpected error kind {other:?}"),
+            Ok(_) => panic!("cut at {cut}: a strict prefix must never decode"),
+        }
+    }
+    // And the untouched container still decodes.
+    assert!(artifact::decode(&bytes).is_ok());
+}

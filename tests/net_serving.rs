@@ -148,7 +148,24 @@ fn routes_and_error_statuses() {
     assert_eq!(get("/healthz").0, 200);
     let (status, _h, body) = get("/v1/models");
     assert_eq!(status, 200);
-    assert_eq!(body, r#"{"models":["m"]}"#);
+    assert_eq!(body, r#"{"models":[{"name":"m"}]}"#);
+
+    // A file-loaded deploy reports its artifact version + checksum.
+    let dir = std::env::temp_dir().join(format!("eb-net-serving-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    let ebm = dir.join("file-model.ebm");
+    let info = einstein_barrier::artifact::write_model(&ebm, &mlp("f", 9), None).unwrap();
+    _registry.deploy_from_file("f", &ebm).unwrap();
+    let (status, _h, body) = get("/v1/models");
+    assert_eq!(status, 200);
+    assert_eq!(
+        body,
+        format!(
+            r#"{{"models":[{{"name":"f","artifact":{{"version":{},"checksum":"{:#018x}"}}}},{{"name":"m"}}]}}"#,
+            info.version, info.checksum
+        )
+    );
+    _registry.retire("f").unwrap();
     let (status, _h, body) = get("/v1/models/m:stats");
     assert_eq!(status, 200);
     assert!(body.contains("\"shed\":0"), "{body}");

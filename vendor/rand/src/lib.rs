@@ -186,6 +186,21 @@ pub mod rngs {
         }
     }
 
+    impl StdRng {
+        /// Snapshot of the generator's internal state, for serializing a
+        /// generator mid-stream (the next draw after
+        /// [`StdRng::from_state`] continues exactly where this generator
+        /// left off).
+        pub fn state(&self) -> [u64; 4] {
+            self.s
+        }
+
+        /// Rebuilds a generator from a [`StdRng::state`] snapshot.
+        pub fn from_state(s: [u64; 4]) -> Self {
+            Self { s }
+        }
+    }
+
     impl RngCore for StdRng {
         fn next_u64(&mut self) -> u64 {
             let s = &mut self.s;
