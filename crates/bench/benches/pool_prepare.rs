@@ -1,0 +1,83 @@
+//! Pool spin-up cost vs replica count under the shared-core replica
+//! architecture: with one programmed core per pool, `prepare` time
+//! should stay ~flat from 1 to 16 replicas (the PR 9 acceptance gate:
+//! 16-replica ePCM spin-up ≤ 1.5× the 1-replica spin-up), because the
+//! expensive work — programming crossbars, compiling the instruction
+//! stream — happens once and replicas only mint cheap rinds (an RNG,
+//! scratch, counters) on top of the shared `Arc`.
+//!
+//! The correctness gate runs even in `--test` smoke mode: a 16-replica
+//! pool on each measured backend must serve the software reference
+//! bit-exactly before anything is timed.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eb_bitnn::{BinLinear, Bnn, FixedLinear, Layer, OutputLinear, Shape, Tensor};
+use eb_runtime::{BackendKind, PoolConfig, Runtime};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::time::Duration;
+
+/// The coldstart-bench MLP shape (784-32-16-10): large enough that the
+/// 784-wide first layer maps onto several chunked 256×256 crossbars,
+/// so programming cost is real.
+fn mlp() -> Bnn {
+    let mut rng = StdRng::seed_from_u64(17);
+    Bnn::new(
+        "pool-prepare-mlp",
+        Shape::Flat(784),
+        vec![
+            Layer::FixedLinear(FixedLinear::random("in", 784, 32, &mut rng)),
+            Layer::BinLinear(BinLinear::random("h", 32, 16, &mut rng)),
+            Layer::Output(OutputLinear::random("out", 16, 10, &mut rng)),
+        ],
+    )
+    .unwrap()
+}
+
+fn pool_config(replicas: usize) -> PoolConfig {
+    PoolConfig {
+        replicas,
+        max_batch: 8,
+        max_wait: Duration::from_micros(200),
+        queue_capacity: 64,
+    }
+}
+
+fn bench_pool_prepare(c: &mut Criterion) {
+    let net = mlp();
+    let x = Tensor::from_fn(&[784], |i| ((i * 7) as f32 * 0.031).sin());
+    let want = net.forward(&x).expect("reference");
+    let backends = [BackendKind::Epcm, BackendKind::Simulator];
+
+    // Correctness gate: 16 replicas sharing one programmed core must
+    // still serve the software reference bit-exactly.
+    for kind in backends {
+        let runtime = Runtime::builder().backend(kind).seed(11).build();
+        let pool = runtime.serve(&net, pool_config(16)).expect("pool");
+        assert_eq!(pool.handle().infer(&x).expect("serves"), want, "{kind}");
+        let stats = pool.shutdown();
+        assert!(stats.prepare_ns > 0 && stats.core_bytes > 0, "{kind}");
+    }
+
+    let mut group = c.benchmark_group("pool_prepare");
+    group.sample_size(10);
+    for kind in backends {
+        let runtime = Runtime::builder().backend(kind).seed(11).build();
+        for replicas in [1usize, 4, 16] {
+            group.bench_with_input(
+                BenchmarkId::new(kind.name(), replicas),
+                &replicas,
+                |b, &replicas| {
+                    // Spin-up end to end: session minting plus worker
+                    // threads. The drop (drain + join) rides inside the
+                    // timed region too — it is what a redeploy pays.
+                    b.iter(|| runtime.serve(&net, pool_config(replicas)).unwrap());
+                },
+            );
+        }
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pool_prepare);
+criterion_main!(benches);

@@ -44,6 +44,41 @@ impl MappedVcore {
             Self::Optical(m) => m.footprint(),
         }
     }
+
+    /// Mints a replica sharing this VCore's programmed crossbars (an
+    /// `Arc` bump per array — no re-programming, no RNG draws) with
+    /// fresh telemetry counters.
+    pub fn replicate(&self) -> Self {
+        match self {
+            Self::Electronic(m) => Self::Electronic(m.replicate()),
+            Self::Optical(m) => Self::Optical(m.replicate()),
+        }
+    }
+
+    /// `true` when both VCores read from the same programmed crossbars.
+    pub fn shares_core_with(&self, other: &Self) -> bool {
+        match (self, other) {
+            (Self::Electronic(a), Self::Electronic(b)) => a.shares_core_with(b),
+            (Self::Optical(a), Self::Optical(b)) => a.shares_core_with(b),
+            _ => false,
+        }
+    }
+
+    /// Approximate heap bytes of the shared programmed crossbars.
+    pub fn core_bytes(&self) -> usize {
+        match self {
+            Self::Electronic(m) => m.core_bytes(),
+            Self::Optical(m) => m.core_bytes(),
+        }
+    }
+
+    /// Approximate heap bytes of this replica's private state.
+    pub fn rind_bytes(&self) -> usize {
+        match self {
+            Self::Electronic(m) => m.rind_bytes(),
+            Self::Optical(m) => m.rind_bytes(),
+        }
+    }
 }
 
 /// Compilation errors.
@@ -103,6 +138,72 @@ pub struct CompiledNetwork {
     pub register_count: usize,
     /// Network input shape.
     pub input_shape: Shape,
+}
+
+impl CompiledNetwork {
+    /// Mints a replica of the compiled network whose VCores **share**
+    /// the original's programmed crossbars (see
+    /// [`MappedVcore::replicate`]); the program, tables, and placements
+    /// are plain-data clones, small next to the device grids. No
+    /// crossbar is re-programmed and no RNG is drawn.
+    pub fn replicate(&self) -> Self {
+        Self {
+            program: self.program.clone(),
+            vcores: self.vcores.iter().map(MappedVcore::replicate).collect(),
+            tables: self.tables.clone(),
+            output_layers: self.output_layers.clone(),
+            placements: self.placements.clone(),
+            design: self.design,
+            wdm_capacity: self.wdm_capacity,
+            register_count: self.register_count,
+            input_shape: self.input_shape,
+        }
+    }
+
+    /// `true` when every VCore pair reads from the same programmed
+    /// crossbars — the replica weight-sharing invariant.
+    pub fn shares_core_with(&self, other: &Self) -> bool {
+        self.vcores.len() == other.vcores.len()
+            && self
+                .vcores
+                .iter()
+                .zip(&other.vcores)
+                .all(|(a, b)| a.shares_core_with(b))
+    }
+
+    /// Approximate heap bytes of the shared programmed crossbars across
+    /// all VCores — counted once however many replicas share them.
+    pub fn core_bytes(&self) -> usize {
+        self.vcores.iter().map(MappedVcore::core_bytes).sum()
+    }
+
+    /// Approximate heap bytes of one replica's private state (VCore
+    /// rinds; the cloned program and tables are counted as rind since
+    /// each replica owns a copy).
+    pub fn rind_bytes(&self) -> usize {
+        let tables: usize = self
+            .tables
+            .iter()
+            .map(|t| t.len() * std::mem::size_of::<eb_bitnn::ThresholdSpec>())
+            .sum();
+        let outputs: usize = self
+            .output_layers
+            .iter()
+            .map(|(w, b)| {
+                w.iter().map(Vec::len).sum::<usize>() * std::mem::size_of::<f32>()
+                    + b.len() * std::mem::size_of::<f32>()
+            })
+            .sum();
+        std::mem::size_of::<Self>()
+            + self
+                .vcores
+                .iter()
+                .map(MappedVcore::rind_bytes)
+                .sum::<usize>()
+            + std::mem::size_of_val(self.program.instructions())
+            + tables
+            + outputs
+    }
 }
 
 /// Register allocator: monotonically increasing ids (register files in

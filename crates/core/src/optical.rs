@@ -11,6 +11,7 @@ use eb_bitnn::{BitMatrix, BitVec};
 use eb_mapping::MappingError;
 use eb_photonics::{OpcmParams, OpticalCrossbar, PhotonicsError, Receiver, Transmitter};
 use rand::Rng;
+use std::sync::Arc;
 
 /// A binary weight matrix programmed in TacitMap layout on oPCM crossbars.
 ///
@@ -35,8 +36,12 @@ use rand::Rng;
 /// ```
 #[derive(Debug, Clone)]
 pub struct OpticalTacitMapped {
-    /// `xbars[row_chunk][col_chunk]`.
-    xbars: Vec<Vec<OpticalCrossbar>>,
+    /// `xbars[row_chunk][col_chunk]`, `Arc`-shared: the grid is fixed at
+    /// programming time (no post-program mutation path exists), so
+    /// replicas of a prepared model clone the `Arc` instead of the
+    /// devices. The receiver and step counter below are the per-replica
+    /// mutable rind.
+    xbars: Arc<Vec<Vec<OpticalCrossbar>>>,
     transmitter: Transmitter,
     receiver: Receiver,
     m: usize,
@@ -129,7 +134,7 @@ impl OpticalTacitMapped {
             xbars.push(row);
         }
         Ok(Self {
-            xbars,
+            xbars: Arc::new(xbars),
             transmitter: Transmitter::with_capacity(k),
             receiver: Receiver::ideal(),
             m,
@@ -187,7 +192,7 @@ impl OpticalTacitMapped {
             .into());
         }
         Ok(Self {
-            xbars,
+            xbars: Arc::new(xbars),
             transmitter: Transmitter::with_capacity(k),
             receiver,
             m,
@@ -209,6 +214,46 @@ impl OpticalTacitMapped {
     /// The receiver chain currently resolving reads.
     pub fn receiver(&self) -> &Receiver {
         &self.receiver
+    }
+
+    /// Mints a replica **sharing** this mapping's programmed crossbar
+    /// grid (an `Arc` bump — no device is re-programmed, no RNG drawn)
+    /// with its own receiver copy and a fresh step counter.
+    pub fn replicate(&self) -> Self {
+        Self {
+            xbars: Arc::clone(&self.xbars),
+            transmitter: self.transmitter.clone(),
+            receiver: self.receiver.clone(),
+            m: self.m,
+            n: self.n,
+            chunk_len: self.chunk_len,
+            rows: self.rows,
+            cols: self.cols,
+            steps: 0,
+        }
+    }
+
+    /// `true` when both mappings read from the same programmed crossbar
+    /// grid (`Arc` pointer equality) — the replica weight-sharing
+    /// invariant.
+    pub fn shares_core_with(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.xbars, &other.xbars)
+    }
+
+    /// Approximate heap bytes of the shared programmed grid — counted
+    /// once however many replicas share it.
+    pub fn core_bytes(&self) -> usize {
+        self.xbars
+            .iter()
+            .flatten()
+            .map(OpticalCrossbar::approx_bytes)
+            .sum()
+    }
+
+    /// Approximate heap bytes of this replica's private state
+    /// (transmitter/receiver chain and counters).
+    pub fn rind_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
     }
 
     /// Per-crossbar shape `(rows, cols)` this mapping was programmed for.

@@ -16,6 +16,7 @@ use eb_bitnn::{ops, BitMatrix, BitVec};
 use eb_xbar::{CrossbarArray, VmmEngine, XbarConfig};
 use rand::rngs::StdRng;
 use rand::{Rng, SeedableRng};
+use rayon::ParallelSlice;
 
 /// A binary weight matrix programmed onto crossbars in TacitMap layout.
 ///
@@ -193,6 +194,58 @@ impl TacitMapped {
     /// prepared state.
     pub fn engines(&self) -> &[Vec<VmmEngine>] {
         &self.engines
+    }
+
+    /// Mints a replica that **shares** this mapping's programmed cores:
+    /// cloning the engine grid is an `Arc` bump per crossbar (see
+    /// [`eb_xbar::CrossbarArray`]'s copy-on-write core), so no device is
+    /// re-programmed and no RNG is drawn. Per-replica telemetry
+    /// (executions, energy) starts at zero — programming energy stays
+    /// charged on the original, once.
+    pub fn replicate(&self) -> Self {
+        Self {
+            engines: self.engines.clone(),
+            m: self.m,
+            n: self.n,
+            chunk_len: self.chunk_len,
+            cfg: self.cfg.clone(),
+            executions: 0,
+            energy_j: 0.0,
+        }
+    }
+
+    /// `true` when `self` and `other` read from the same programmed
+    /// cores on every chunk — the replica weight-sharing invariant.
+    pub fn shares_core_with(&self, other: &Self) -> bool {
+        self.engines.len() == other.engines.len()
+            && self.engines.iter().zip(&other.engines).all(|(a, b)| {
+                a.len() == b.len()
+                    && a.iter()
+                        .zip(b)
+                        .all(|(ea, eb)| ea.array().shares_core_with(eb.array()))
+            })
+    }
+
+    /// Approximate heap bytes of the shared programmed cores across all
+    /// chunks — counted once however many replicas share them.
+    pub fn core_bytes(&self) -> usize {
+        self.engines
+            .iter()
+            .flatten()
+            .map(|e| e.array().core_bytes())
+            .sum()
+    }
+
+    /// Approximate heap bytes of this replica's private state (per-array
+    /// rinds plus the grid scaffolding).
+    pub fn rind_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self
+                .engines
+                .iter()
+                .flatten()
+                .map(|e| e.array().rind_bytes())
+                .sum::<usize>()
     }
 
     /// The crossbar configuration this mapping was programmed with.
@@ -412,6 +465,37 @@ impl TacitMapped {
         pairs: &[(&BitVec, &BitVec)],
         rng: &mut impl Rng,
     ) -> Result<Vec<Vec<u32>>, MappingError> {
+        self.check_pair_lengths(pairs)?;
+        // With a deterministic periphery no call below draws from the
+        // RNG, so the chunk walk can fan out across rayon workers and
+        // still return bit-identical counts with the caller's RNG in an
+        // identical position. Any noise source falls back to the
+        // sequential walk, which preserves the draw order exactly.
+        if self.footprint() > 1 && self.periphery_is_deterministic() {
+            self.execute_pairs_parallel(pairs)
+        } else {
+            self.execute_pairs_sequential(pairs, rng)
+        }
+    }
+
+    /// The sequential chunk walk — the RNG-order-defining reference
+    /// implementation every other execution path must match. Public so
+    /// equivalence tests can pin the parallel walk against it.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`MappingError::InputLength`] when either half of any pair
+    /// differs from the fan-in.
+    pub fn execute_ref_pairs_sequential(
+        &mut self,
+        pairs: &[(&BitVec, &BitVec)],
+        rng: &mut impl Rng,
+    ) -> Result<Vec<Vec<u32>>, MappingError> {
+        self.check_pair_lengths(pairs)?;
+        self.execute_pairs_sequential(pairs, rng)
+    }
+
+    fn check_pair_lengths(&self, pairs: &[(&BitVec, &BitVec)]) -> Result<(), MappingError> {
         for (pos, neg) in pairs {
             if pos.len() != self.m || neg.len() != self.m {
                 return Err(MappingError::InputLength {
@@ -424,6 +508,23 @@ impl TacitMapped {
                 });
             }
         }
+        Ok(())
+    }
+
+    /// `true` when no crossbar read or ADC conversion in this layer can
+    /// draw from the RNG — the precondition for the parallel chunk walk.
+    pub fn periphery_is_deterministic(&self) -> bool {
+        self.engines
+            .iter()
+            .flatten()
+            .all(VmmEngine::periphery_is_deterministic)
+    }
+
+    fn execute_pairs_sequential(
+        &mut self,
+        pairs: &[(&BitVec, &BitVec)],
+        rng: &mut impl Rng,
+    ) -> Result<Vec<Vec<u32>>, MappingError> {
         let mut acc = vec![vec![0u32; self.n]; pairs.len()];
         let mut energy = 0.0;
         for (rc, row) in self.engines.iter().enumerate() {
@@ -450,6 +551,69 @@ impl TacitMapped {
                     for (j, c) in input_counts.into_iter().enumerate() {
                         acc[k][jlo + j] += c;
                     }
+                }
+            }
+        }
+        self.executions += pairs.len() as u64;
+        self.energy_j += energy;
+        Ok(acc)
+    }
+
+    /// Parallel chunk walk: every `(row_chunk, col_chunk)` crossbar fires
+    /// on a rayon worker. Only reachable with a deterministic periphery
+    /// ([`TacitMapped::periphery_is_deterministic`]), where the engines
+    /// read from their memoised conductance snapshots and never touch an
+    /// RNG — so the counts are bit-identical to the sequential walk and
+    /// the partial-popcount reduction (u32 additions) is order-exact.
+    /// The energy reduction runs sequentially in chunk-major order, the
+    /// same order the sequential walk sums in.
+    fn execute_pairs_parallel(
+        &mut self,
+        pairs: &[(&BitVec, &BitVec)],
+    ) -> Result<Vec<Vec<u32>>, MappingError> {
+        let row_chunks = self.engines.len();
+        let mut drives_by_rc = Vec::with_capacity(row_chunks);
+        for rc in 0..row_chunks {
+            let (lo, len) = self.chunk_bounds(rc);
+            let drives: Vec<BitVec> = pairs
+                .iter()
+                .map(|(pos, neg)| self.chunk_drive(pos, neg, lo, len))
+                .collect();
+            drives_by_rc.push(drives);
+        }
+        let tasks: Vec<(usize, usize)> = (0..row_chunks)
+            .flat_map(|rc| (0..self.engines[rc].len()).map(move |cc| (rc, cc)))
+            .collect();
+        let chunk_counts: Result<Vec<Vec<Vec<u32>>>, MappingError> = tasks
+            .par_iter()
+            .map(|&(rc, cc)| {
+                let jlo = cc * self.cfg.cols;
+                let jhi = (jlo + self.cfg.cols).min(self.n);
+                // The deterministic periphery never draws, so a throwaway
+                // per-worker RNG satisfies the signature without
+                // perturbing the caller's stream.
+                let mut scratch = StdRng::seed_from_u64(0);
+                self.engines[rc][cc]
+                    .vmm_counts_cols_batch(&drives_by_rc[rc], 0, jhi - jlo, &mut scratch)
+                    .map_err(MappingError::Xbar)
+            })
+            .collect();
+        let chunk_counts = chunk_counts?;
+
+        let mut acc = vec![vec![0u32; self.n]; pairs.len()];
+        let mut energy = 0.0;
+        for (&(rc, cc), counts) in tasks.iter().zip(chunk_counts) {
+            let jlo = cc * self.cfg.cols;
+            let jhi = (jlo + self.cfg.cols).min(self.n);
+            let active: usize = drives_by_rc[rc].iter().map(|d| d.popcount() as usize).sum();
+            energy += self.cfg.energies.vmm_step_joules(
+                active,
+                active * (jhi - jlo),
+                pairs.len() * (jhi - jlo),
+            );
+            for (k, input_counts) in counts.into_iter().enumerate() {
+                for (j, c) in input_counts.into_iter().enumerate() {
+                    acc[k][jlo + j] += c;
                 }
             }
         }
@@ -586,6 +750,35 @@ impl SeededTacitMapped {
     /// [`SeededTacitMapped::from_parts`]).
     pub fn rng_state(&self) -> [u64; 4] {
         self.rng.state()
+    }
+
+    /// Mints a replica sharing this mapping's programmed cores (see
+    /// [`TacitMapped::replicate`]) with a fresh execution RNG seeded at
+    /// `seed`. The replica reads the *same* programmed conductances but
+    /// draws its own noise stream — the shared-weight replica contract.
+    pub fn replicate(&self, seed: u64) -> Self {
+        Self {
+            inner: self.inner.replicate(),
+            rng: StdRng::seed_from_u64(seed),
+        }
+    }
+
+    /// `true` when both mappings read from the same programmed cores
+    /// (see [`TacitMapped::shares_core_with`]).
+    pub fn shares_core_with(&self, other: &Self) -> bool {
+        self.inner.shares_core_with(&other.inner)
+    }
+
+    /// Approximate heap bytes of the shared programmed cores (see
+    /// [`TacitMapped::core_bytes`]).
+    pub fn core_bytes(&self) -> usize {
+        self.inner.core_bytes()
+    }
+
+    /// Approximate heap bytes of this replica's private state (see
+    /// [`TacitMapped::rind_bytes`]).
+    pub fn rind_bytes(&self) -> usize {
+        self.inner.rind_bytes()
     }
 
     /// The underlying mapping (fan-in, footprint, step counters...).
@@ -839,6 +1032,71 @@ mod tests {
             mapped.execute(&input).unwrap(),
             ops::binary_linear_popcounts(&input, &w)
         );
+    }
+
+    #[test]
+    fn parallel_walk_matches_sequential_walk_and_leaves_rng_alone() {
+        // Chunked in both dimensions so the parallel path genuinely fans
+        // out over multiple crossbars.
+        let w = random_bits(37, 75, 17);
+        let cfg = XbarConfig::new(32, 16);
+        let mut r1 = StdRng::seed_from_u64(3);
+        let mut r2 = StdRng::seed_from_u64(3);
+        let mut par = TacitMapped::program(&w, &cfg, &mut r1).unwrap();
+        let mut seq = TacitMapped::program(&w, &cfg, &mut r2).unwrap();
+        assert!(par.periphery_is_deterministic());
+        let inputs: Vec<BitVec> = (0..5)
+            .map(|k| BitVec::from_bools(&(0..75).map(|i| (i * 3 + k) % 4 != 0).collect::<Vec<_>>()))
+            .collect();
+        let complements: Vec<BitVec> = inputs.iter().map(BitVec::complement).collect();
+        let refs: Vec<(&BitVec, &BitVec)> = inputs.iter().zip(&complements).collect();
+        let got_par = par.execute_ref_pairs(&refs, &mut r1).unwrap();
+        let got_seq = seq.execute_ref_pairs_sequential(&refs, &mut r2).unwrap();
+        assert_eq!(got_par, got_seq);
+        assert_eq!(par.energy_j(), seq.energy_j(), "energy must be order-exact");
+        assert_eq!(par.steps_taken(), seq.steps_taken());
+        // Neither walk drew from the RNG: both streams sit identically.
+        assert_eq!(r1.state(), r2.state());
+    }
+
+    #[test]
+    fn replicas_share_cores_and_own_their_noise_streams() {
+        use eb_xbar::DeviceParams;
+        let w = random_bits(16, 48, 31);
+        let noisy = XbarConfig::new(64, 16).with_device(DeviceParams {
+            program_sigma: 0.25,
+            read_sigma: 0.08,
+            ..DeviceParams::ideal()
+        });
+        let input = BitVec::from_bools(&(0..48).map(|i| i % 3 != 0).collect::<Vec<_>>());
+        let base = TacitMapped::program_seeded(&w, &noisy, 7).unwrap();
+        let mut a = base.replicate(100);
+        let mut b = base.replicate(100);
+        let mut c = base.replicate(101);
+        assert!(base.shares_core_with(&a) && a.shares_core_with(&b) && b.shares_core_with(&c));
+        assert_eq!(a.steps_taken(), 0, "replica telemetry starts fresh");
+        assert_eq!(
+            a.energy_j(),
+            0.0,
+            "programming energy stays on the original"
+        );
+        // Same replica seed => identical noisy stream; different => not.
+        let out_a: Vec<_> = (0..3).map(|_| a.execute(&input).unwrap()).collect();
+        let out_b: Vec<_> = (0..3).map(|_| b.execute(&input).unwrap()).collect();
+        let out_c: Vec<_> = (0..3).map(|_| c.execute(&input).unwrap()).collect();
+        assert_eq!(out_a, out_b);
+        assert_ne!(out_a, out_c);
+        // In the ideal profile a replica reads the very same programmed
+        // bits: outputs equal the software reference, like the original.
+        let ideal = TacitMapped::program_seeded(&w, &XbarConfig::new(64, 16), 7).unwrap();
+        let mut rep = ideal.replicate(42);
+        assert_eq!(
+            rep.execute(&input).unwrap(),
+            ops::binary_linear_popcounts(&input, &w)
+        );
+        // Shared cores dominate the footprint; rinds stay small.
+        assert_eq!(ideal.core_bytes(), rep.core_bytes());
+        assert!(rep.rind_bytes() < rep.core_bytes());
     }
 
     #[test]

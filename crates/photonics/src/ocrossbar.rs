@@ -52,6 +52,14 @@ impl OpticalCrossbar {
         }
     }
 
+    /// Approximate resident bytes of this crossbar (struct plus the
+    /// device grid) — the memory-accounting surface for shared-weight
+    /// replica telemetry.
+    pub fn approx_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.devices.capacity() * std::mem::size_of::<Option<OpcmDevice>>()
+    }
+
     /// Rows (input waveguides).
     pub fn rows(&self) -> usize {
         self.rows

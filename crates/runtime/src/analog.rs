@@ -14,7 +14,7 @@
 
 use crate::artifacts::captured_meta;
 use crate::error::EbError;
-use crate::session::{Backend, NoiseProfile, Session, SessionOpts, SessionStats};
+use crate::session::{Backend, NoiseProfile, Session, SessionMemory, SessionOpts, SessionStats};
 use eb_artifact::{PhotonicMat, Prepared, PreparedBackend, PreparedState};
 use eb_bitnn::{conv_output_dims, BitMatrix, BitTensor, BitVec, Bnn, Layer, Shape, Tensor};
 use eb_core::OpticalTacitMapped;
@@ -23,6 +23,7 @@ use eb_photonics::{Receiver, PAPER_WDM_CAPACITY};
 use eb_xbar::{DeviceParams, FaultConfig, XbarConfig};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Serves inference on simulated 1T1R ePCM crossbars in TacitMap layout
@@ -85,6 +86,60 @@ impl EpcmBackend {
         })?;
         Ok(session.named("epcm"))
     }
+
+    /// Validates and rebuilds an ePCM session from a prepared-state
+    /// snapshot — the shared body under [`Backend::prepare_restored`]
+    /// and [`Backend::prepare_replicas_restored`].
+    fn restore_session(
+        &self,
+        net: &Bnn,
+        opts: &SessionOpts,
+        prepared: Prepared,
+    ) -> Result<AnalogSession, EbError> {
+        let _ = opts; // meta↔opts agreement is validated by the caller.
+        let PreparedState::Epcm(mats) = prepared.state else {
+            return Err(EbError::Config(format!(
+                "artifact prepared state holds {} substrate state, which the epcm backend \
+                 cannot restore",
+                prepared.state.backend().name()
+            )));
+        };
+        let mut mats = mats.into_iter();
+        let session = AnalogSession::build(net, |weights, layer| {
+            let mapped = restored_mat(&mut mats, weights, layer, "epcm")?;
+            let cfg = mapped.inner().config();
+            if (cfg.rows, cfg.cols) != (self.cfg.rows, self.cfg.cols) {
+                return Err(EbError::Config(format!(
+                    "artifact prepared state was programmed on {}×{} crossbars but this epcm \
+                     backend is configured for {}×{}",
+                    cfg.rows, cfg.cols, self.cfg.rows, self.cfg.cols
+                )));
+            }
+            Ok(MappedMat::Epcm(mapped))
+        })?;
+        reject_leftover_state(mats.len())?;
+        Ok(session.named("epcm"))
+    }
+}
+
+/// Boxes replica 0 (the ordinary prepared or restored session, RNG
+/// position untouched) plus `replicas − 1` shared-core replicas whose
+/// execution RNGs derive from `base_seed + i` — programming happened
+/// exactly once, in `base`.
+fn mint_replica_sessions(
+    base: AnalogSession,
+    base_seed: u64,
+    replicas: usize,
+) -> Vec<Box<dyn Session>> {
+    if replicas == 0 {
+        return Vec::new();
+    }
+    let mut sessions: Vec<Box<dyn Session>> = Vec::with_capacity(replicas);
+    for i in 1..replicas {
+        sessions.push(Box::new(base.replicate(base_seed.wrapping_add(i as u64))));
+    }
+    sessions.insert(0, Box::new(base));
+    sessions
 }
 
 impl Backend for EpcmBackend {
@@ -120,29 +175,31 @@ impl Backend for EpcmBackend {
         opts: &SessionOpts,
         prepared: Prepared,
     ) -> Result<Box<dyn Session>, EbError> {
-        let _ = opts; // meta↔opts agreement is validated by the caller.
-        let PreparedState::Epcm(mats) = prepared.state else {
-            return Err(EbError::Config(format!(
-                "artifact prepared state holds {} substrate state, which the epcm backend \
-                 cannot restore",
-                prepared.state.backend().name()
-            )));
-        };
-        let mut mats = mats.into_iter();
-        let session = AnalogSession::build(net, |weights, layer| {
-            let mapped = restored_mat(&mut mats, weights, layer, "epcm")?;
-            let cfg = mapped.inner().config();
-            if (cfg.rows, cfg.cols) != (self.cfg.rows, self.cfg.cols) {
-                return Err(EbError::Config(format!(
-                    "artifact prepared state was programmed on {}×{} crossbars but this epcm \
-                     backend is configured for {}×{}",
-                    cfg.rows, cfg.cols, self.cfg.rows, self.cfg.cols
-                )));
-            }
-            Ok(MappedMat::Epcm(mapped))
-        })?;
-        reject_leftover_state(mats.len())?;
-        Ok(Box::new(session.named("epcm")))
+        Ok(Box::new(self.restore_session(net, opts, prepared)?))
+    }
+
+    fn prepare_replicas(
+        &self,
+        net: &Bnn,
+        opts: &SessionOpts,
+        replicas: usize,
+    ) -> Result<Vec<Box<dyn Session>>, EbError> {
+        let base = self.program_session(net, opts)?;
+        Ok(mint_replica_sessions(base, opts.noise.seed, replicas))
+    }
+
+    fn prepare_replicas_restored(
+        &self,
+        net: &Bnn,
+        opts: &SessionOpts,
+        prepared: Prepared,
+        replicas: usize,
+    ) -> Result<Vec<Box<dyn Session>>, EbError> {
+        // The restored programmed state feeds *all* replicas: replica 0
+        // resumes the snapshot's RNG positions; the rest derive fresh
+        // streams exactly as `prepare_replicas` would.
+        let base = self.restore_session(net, opts, prepared)?;
+        Ok(mint_replica_sessions(base, opts.noise.seed, replicas))
     }
 }
 
@@ -377,6 +434,41 @@ impl Backend for PhotonicBackend {
         opts: &SessionOpts,
         prepared: Prepared,
     ) -> Result<Box<dyn Session>, EbError> {
+        Ok(Box::new(self.restore_session(net, opts, prepared)?))
+    }
+
+    fn prepare_replicas(
+        &self,
+        net: &Bnn,
+        opts: &SessionOpts,
+        replicas: usize,
+    ) -> Result<Vec<Box<dyn Session>>, EbError> {
+        let base = self.program_session(net, opts)?;
+        Ok(mint_replica_sessions(base, opts.noise.seed, replicas))
+    }
+
+    fn prepare_replicas_restored(
+        &self,
+        net: &Bnn,
+        opts: &SessionOpts,
+        prepared: Prepared,
+        replicas: usize,
+    ) -> Result<Vec<Box<dyn Session>>, EbError> {
+        let base = self.restore_session(net, opts, prepared)?;
+        Ok(mint_replica_sessions(base, opts.noise.seed, replicas))
+    }
+}
+
+impl PhotonicBackend {
+    /// Validates and rebuilds a photonic session from a prepared-state
+    /// snapshot — the shared body under [`Backend::prepare_restored`]
+    /// and [`Backend::prepare_replicas_restored`].
+    fn restore_session(
+        &self,
+        net: &Bnn,
+        opts: &SessionOpts,
+        prepared: Prepared,
+    ) -> Result<AnalogSession, EbError> {
         // Meta↔opts agreement is validated by the caller; the substrate
         // capability checks still apply to crafted artifacts.
         self.validate_opts(opts)?;
@@ -408,7 +500,7 @@ impl Backend for PhotonicBackend {
             })
         })?;
         reject_leftover_state(mats.len())?;
-        Ok(Box::new(session.named("photonic")))
+        Ok(session.named("photonic"))
     }
 }
 
@@ -485,6 +577,38 @@ impl MappedMat {
             Self::Photonic { .. } => 0,
         }
     }
+
+    /// A replica sharing this layer's programmed crossbar core, with a
+    /// fresh execution RNG at `seed` (the caller passes the replica's
+    /// [`layer_seed`] derivation) and zeroed telemetry.
+    fn replicate(&self, seed: u64) -> Self {
+        match self {
+            Self::Epcm(m) => Self::Epcm(m.replicate(seed)),
+            Self::Photonic { mapped, .. } => Self::Photonic {
+                mapped: mapped.replicate(),
+                rng: StdRng::seed_from_u64(seed),
+                lanes: 0,
+            },
+        }
+    }
+
+    /// Approximate bytes of the `Arc`-shared programmed core.
+    fn core_bytes(&self) -> usize {
+        match self {
+            Self::Epcm(m) => m.core_bytes(),
+            Self::Photonic { mapped, .. } => mapped.core_bytes(),
+        }
+    }
+
+    /// Approximate bytes private to this replica's copy of the layer.
+    fn rind_bytes(&self) -> usize {
+        match self {
+            Self::Epcm(m) => m.rind_bytes(),
+            Self::Photonic { mapped, .. } => {
+                mapped.rind_bytes() + std::mem::size_of::<StdRng>() + std::mem::size_of::<u64>()
+            }
+        }
+    }
 }
 
 /// Spatial parameters of one convolutional layer instance.
@@ -538,12 +662,22 @@ enum AnalogAct {
 
 /// A network programmed onto an analog substrate, serving through the
 /// shared layer-wise lowering.
+///
+/// The expensive, immutable parts — the network weights, the execution
+/// plan with its digital offset constants, and (inside each
+/// [`MappedMat`]) the programmed crossbar cores — are `Arc`-shared, so
+/// [`AnalogSession::replicate`] mints additional replicas without
+/// re-programming a single device.
 #[derive(Debug, Clone)]
 struct AnalogSession {
     name: &'static str,
-    net: Bnn,
+    net: Arc<Bnn>,
     mats: Vec<MappedMat>,
-    plan: Vec<LayerExec>,
+    /// Network layer index each entry of `mats` was programmed for —
+    /// what [`AnalogSession::replicate`] feeds back into [`layer_seed`]
+    /// so replica RNG streams stay per-layer independent.
+    mat_layers: Vec<usize>,
+    plan: Arc<Vec<LayerExec>>,
     inferences: u64,
     /// Accumulated wall-clock serving time (monotone nondecreasing).
     latency_ns: f64,
@@ -557,6 +691,11 @@ impl AnalogSession {
         mut program: impl FnMut(&BitMatrix, usize) -> Result<MappedMat, EbError>,
     ) -> Result<Self, EbError> {
         let mut mats = Vec::new();
+        let mut mat_layers = Vec::new();
+        let mut program = |weights: &BitMatrix, layer: usize| {
+            mat_layers.push(layer);
+            program(weights, layer)
+        };
         let mut plan = Vec::with_capacity(net.layers().len());
         for (i, layer) in net.layers().iter().enumerate() {
             let exec = match layer {
@@ -616,9 +755,10 @@ impl AnalogSession {
         }
         Ok(Self {
             name: "analog",
-            net: net.clone(),
+            net: Arc::new(net.clone()),
             mats,
-            plan,
+            mat_layers,
+            plan: Arc::new(plan),
             inferences: 0,
             latency_ns: 0.0,
         })
@@ -627,6 +767,30 @@ impl AnalogSession {
     fn named(mut self, name: &'static str) -> Self {
         self.name = name;
         self
+    }
+
+    /// Mints a replica that shares this session's programmed crossbar
+    /// cores, network weights, and execution plan, but owns fresh
+    /// telemetry and fresh per-layer execution RNGs seeded from
+    /// `replica_seed` through the same [`layer_seed`] derivation a
+    /// fresh prepare at that seed would use. Only *execution* noise
+    /// draws from the new streams — the programmed conductances are the
+    /// original's, shared.
+    fn replicate(&self, replica_seed: u64) -> Self {
+        Self {
+            name: self.name,
+            net: Arc::clone(&self.net),
+            mats: self
+                .mats
+                .iter()
+                .zip(&self.mat_layers)
+                .map(|(m, &layer)| m.replicate(layer_seed(replica_seed, layer)))
+                .collect(),
+            mat_layers: self.mat_layers.clone(),
+            plan: Arc::clone(&self.plan),
+            inferences: 0,
+            latency_ns: 0.0,
+        }
     }
 
     /// Serves a whole batch, accumulating wall-clock latency around
@@ -655,7 +819,7 @@ impl AnalogSession {
         }
         let mut states = vec![AnalogAct::Input; xs.len()];
         let layers = self.net.layers();
-        for (layer, exec) in layers.iter().zip(&self.plan) {
+        for (layer, exec) in layers.iter().zip(self.plan.iter()) {
             match (layer, exec) {
                 (Layer::FixedLinear(l), LayerExec::FixedLinear { mat, offsets }) => {
                     let fan_in = l.weights().cols();
@@ -826,6 +990,25 @@ impl Session for AnalogSession {
             latency_ns: self.latency_ns,
             energy_j: self.mats.iter().map(MappedMat::energy_j).sum(),
             fault_cells: self.mats.iter().map(MappedMat::fault_count).sum::<usize>() as u64,
+        }
+    }
+
+    fn memory(&self) -> SessionMemory {
+        // Shared side: programmed crossbar cores plus the Arc'd plan
+        // (dominated by conv offset tables) and binary weight storage.
+        let weight_bits: u64 = self
+            .net
+            .layer_dims()
+            .iter()
+            .map(|d| d.fan_in as u64 * d.out_vectors as u64 * u64::from(d.weight_bits))
+            .sum();
+        let plan_bytes = self.plan.len() as u64 * std::mem::size_of::<LayerExec>() as u64;
+        SessionMemory {
+            core_bytes: self.mats.iter().map(MappedMat::core_bytes).sum::<usize>() as u64
+                + weight_bits / 8
+                + plan_bytes,
+            replica_bytes: self.mats.iter().map(MappedMat::rind_bytes).sum::<usize>() as u64
+                + std::mem::size_of::<Self>() as u64,
         }
     }
 }

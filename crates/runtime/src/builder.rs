@@ -228,6 +228,29 @@ impl Runtime {
         self.backend.prepare_restored(net, opts, prepared)
     }
 
+    /// Prepares `replicas` shared-core sessions in one pass — programming
+    /// or restoring the substrate **once** and minting cheap replicas
+    /// from it (see [`Backend::prepare_replicas`]). With a prepared-state
+    /// snapshot, its capture conditions are validated against `opts` and
+    /// the restored state feeds *all* replicas. This is [`ServePool`]'s
+    /// spin-up seam.
+    pub(crate) fn prepare_replicas_with(
+        &self,
+        net: &Bnn,
+        opts: &SessionOpts,
+        prepared: Option<Prepared>,
+        replicas: usize,
+    ) -> Result<Vec<Box<dyn Session>>, EbError> {
+        match prepared {
+            Some(prepared) => {
+                crate::artifacts::validate_restore(&prepared.meta, self.backend.name(), opts)?;
+                self.backend
+                    .prepare_replicas_restored(net, opts, prepared, replicas)
+            }
+            None => self.backend.prepare_replicas(net, opts, replicas),
+        }
+    }
+
     /// Name of the configured backend.
     pub fn backend_name(&self) -> &'static str {
         self.backend.name()

@@ -83,7 +83,7 @@ pub use serve::{
     ServePool, Server, ServerBuilder, Ticket, TicketStatus,
 };
 pub use session::{
-    predict, Backend, NoiseConfig, NoiseProfile, Session, SessionOpts, SessionStats,
+    predict, Backend, NoiseConfig, NoiseProfile, Session, SessionMemory, SessionOpts, SessionStats,
 };
 pub use simulator::SimulatorBackend;
 pub use software::SoftwareBackend;

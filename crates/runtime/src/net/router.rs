@@ -217,7 +217,8 @@ fn stats(registry: &Server, name: &str) -> Response {
                 format!(
                     concat!(
                         r#"{{"model":{},"replicas":{},"inferences":{},"#,
-                        r#""micro_batches":{},"shed":{},"rejected":{},"queue_depth":{}}}"#
+                        r#""micro_batches":{},"shed":{},"rejected":{},"queue_depth":{},"#,
+                        r#""prepare_ns":{},"core_bytes":{},"replica_bytes":{}}}"#
                     ),
                     json_string(name),
                     stats.per_replica.len(),
@@ -225,7 +226,10 @@ fn stats(registry: &Server, name: &str) -> Response {
                     stats.total_micro_batches(),
                     stats.shed,
                     stats.rejected,
-                    stats.queue_depth
+                    stats.queue_depth,
+                    stats.prepare_ns,
+                    stats.core_bytes,
+                    stats.replica_bytes
                 ),
             )
         }

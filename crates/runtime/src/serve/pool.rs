@@ -15,7 +15,7 @@ use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
 use std::sync::Mutex;
 use std::thread;
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Shape of a serving pool: replica count, micro-batch bounds, and queue
 /// depth. Constructed by [`Default`] and the
@@ -23,8 +23,9 @@ use std::time::Duration;
 /// (`replicas`/`max_batch`/`max_wait`/`queue_capacity`).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct PoolConfig {
-    /// Session replicas (= worker threads). Replica `i` is prepared with
-    /// seed `base_seed + i`, so a pool is as reproducible as its
+    /// Session replicas (= worker threads). The substrate is programmed
+    /// once; replica `i` shares that core and draws its execution noise
+    /// from seed `base_seed + i`, so a pool is as reproducible as its
     /// sessions. Must be ≥ 1.
     pub replicas: usize,
     /// Largest micro-batch one replica serves in a single
@@ -124,6 +125,18 @@ pub struct PoolStats {
     /// time — an instantaneous gauge (0..=`queue_capacity`), not a
     /// monotone counter.
     pub queue_depth: usize,
+    /// Wall-clock nanoseconds the pool spent preparing its replica
+    /// sessions at spin-up (programming crossbars / compiling / restoring
+    /// from an artifact). One number for the whole pool: with shared-core
+    /// replicas it stays roughly flat in the replica count, because the
+    /// substrate is programmed once and replicas are minted from it.
+    pub prepare_ns: u64,
+    /// Approximate bytes of programmed-core state shared by all replicas
+    /// (counted once, not per replica).
+    pub core_bytes: u64,
+    /// Approximate bytes of per-replica private state (RNGs, scratch,
+    /// counters), summed across replicas.
+    pub replica_bytes: u64,
 }
 
 impl PoolStats {
@@ -153,6 +166,11 @@ struct PoolShared {
     shed: AtomicU64,
     /// Closed-pool refusals ([`PoolStats::rejected`]); same ordering.
     rejected: AtomicU64,
+    /// Spin-up cost and resident-memory split, fixed at pool build time
+    /// (see the [`PoolStats`] fields of the same names).
+    prepare_ns: u64,
+    core_bytes: u64,
+    replica_bytes: u64,
 }
 
 /// A sharded serving pool: N replica sessions behind one dynamic
@@ -183,8 +201,9 @@ impl fmt::Debug for ServePool {
 
 impl ServePool {
     /// Prepares `config.replicas` sessions of `net` on `runtime`'s
-    /// backend — replica `i` with seed `base_seed + i` — and starts one
-    /// worker thread per replica.
+    /// backend — the substrate is programmed **once** and replica `i`
+    /// shares that core while drawing its execution noise from seed
+    /// `base_seed + i` — and starts one worker thread per replica.
     ///
     /// # Errors
     ///
@@ -194,12 +213,14 @@ impl ServePool {
         Self::with_prepared(runtime, net, config, None)
     }
 
-    /// Like [`ServePool::new`], but replica 0 restores from an artifact's
-    /// prepared-state snapshot instead of programming from scratch (the
-    /// deploy-from-file cold-start path). Replica 0 is the right
-    /// consumer: it serves with seed `base_seed + 0`, exactly the seed
-    /// the snapshot's capture conditions are validated against; replicas
-    /// 1.. serve distinct seeds and therefore always prepare fresh.
+    /// Like [`ServePool::new`], but the substrate state restores from an
+    /// artifact's prepared-state snapshot instead of programming from
+    /// scratch (the deploy-from-file cold-start path) — and the restored
+    /// state feeds **all** replicas, exactly as a fresh prepare's
+    /// programmed-once core would. Replica 0 resumes the snapshot's RNG
+    /// positions (it serves the base seed the capture conditions are
+    /// validated against); replicas 1.. share the restored core with
+    /// fresh execution RNGs at `base_seed + i`.
     ///
     /// # Errors
     ///
@@ -214,17 +235,25 @@ impl ServePool {
         prepared: Option<Prepared>,
     ) -> Result<Self, EbError> {
         config.validate()?;
-        let base_seed = runtime.opts().noise.seed;
-        let mut prepared = prepared;
-        let mut sessions = Vec::with_capacity(config.replicas);
-        for replica in 0..config.replicas {
-            let mut opts = *runtime.opts();
-            opts.noise.seed = base_seed.wrapping_add(replica as u64);
-            sessions.push(match prepared.take() {
-                Some(snapshot) => runtime.prepare_restored_with(net, &opts, snapshot)?,
-                None => runtime.prepare_with(net, &opts)?,
-            });
+        // One call prepares the whole pool: the backend programs (or
+        // restores) its substrate once and mints shared-core replicas,
+        // so this cost stays roughly flat in `config.replicas`.
+        let spinup = Instant::now();
+        let sessions =
+            runtime.prepare_replicas_with(net, runtime.opts(), prepared, config.replicas)?;
+        let prepare_ns = spinup.elapsed().as_nanos() as u64;
+        if sessions.len() != config.replicas {
+            return Err(EbError::Config(format!(
+                "backend {} prepared {} replica sessions where the pool requested {}",
+                runtime.backend_name(),
+                sessions.len(),
+                config.replicas
+            )));
         }
+        // Shared core counted once (every replica reports the same
+        // core), private rinds summed across replicas.
+        let core_bytes = sessions.first().map_or(0, |s| s.memory().core_bytes);
+        let replica_bytes = sessions.iter().map(|s| s.memory().replica_bytes).sum();
         let shared = Arc::new(PoolShared {
             batcher: DynamicBatcher::new(config.queue_capacity, config.max_batch, config.max_wait),
             counters: Mutex::new(vec![ReplicaCounters::default(); config.replicas]),
@@ -232,6 +261,9 @@ impl ServePool {
             backend: runtime.backend_name(),
             shed: AtomicU64::new(0),
             rejected: AtomicU64::new(0),
+            prepare_ns,
+            core_bytes,
+            replica_bytes,
         });
         let mut workers = Vec::with_capacity(config.replicas);
         for (replica, session) in sessions.into_iter().enumerate() {
@@ -500,6 +532,9 @@ fn stats_snapshot(shared: &PoolShared) -> PoolStats {
         shed: shared.shed.load(Ordering::SeqCst),
         rejected: shared.rejected.load(Ordering::SeqCst),
         queue_depth: shared.batcher.len(),
+        prepare_ns: shared.prepare_ns,
+        core_bytes: shared.core_bytes,
+        replica_bytes: shared.replica_bytes,
     }
 }
 
@@ -773,6 +808,9 @@ mod tests {
             shed: 0,
             rejected: 0,
             queue_depth: 0,
+            prepare_ns: 0,
+            core_bytes: 0,
+            replica_bytes: 0,
         };
         let total = stats.total();
         assert_eq!(total.inferences, 7);

@@ -125,8 +125,9 @@ struct ModelEntry {
 enum Rebuild<'a> {
     /// New network, baseline options, injected faults cleared. When the
     /// network came out of an `.ebm` container, `prepared` carries its
-    /// prepared-state section (consumed by replica 0) and `artifact` the
-    /// provenance to record; both are `None` for in-memory swaps.
+    /// prepared-state section (restored once, feeding every replica) and
+    /// `artifact` the provenance to record; both are `None` for
+    /// in-memory swaps.
     Swap {
         net: &'a Bnn,
         /// Boxed: a prepared simulator snapshot inlines a whole compiled
@@ -195,9 +196,9 @@ impl fmt::Debug for Server {
 impl ServerInner {
     /// Prepares `name`'s pool per `opts` (with the name-derived base
     /// seed) — the one place registry pools are built. A `prepared`
-    /// snapshot (deploy-from-file) is consumed by replica 0, whose seed
-    /// is exactly the derived base seed the snapshot is validated
-    /// against.
+    /// snapshot (deploy-from-file) is validated against the derived
+    /// base seed and then restored **once**, feeding every replica of
+    /// the pool through the shared programmed core.
     fn build_pool(
         name: &str,
         net: &Bnn,

@@ -111,6 +111,20 @@ impl SessionStats {
     }
 }
 
+/// Approximate resident-memory split of a prepared session, separating
+/// what is `Arc`-shared across a pool's replicas (the programmed core:
+/// device grids, compiled programs) from what each replica privately
+/// owns (RNGs, scratch, counters, fault overlays). Shared bytes must be
+/// counted **once** per pool — sum `replica_bytes` over replicas but
+/// take `core_bytes` from any single one.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SessionMemory {
+    /// Approximate bytes of programmed state shared by every replica.
+    pub core_bytes: u64,
+    /// Approximate bytes private to this replica.
+    pub replica_bytes: u64,
+}
+
 /// A substrate that can prepare serving sessions for trained networks.
 pub trait Backend: Send + Sync {
     /// Human-readable backend name (stable across calls).
@@ -171,6 +185,78 @@ pub trait Backend: Send + Sync {
             self.name()
         )))
     }
+
+    /// Prepares a pool of `replicas` sessions that share one programmed
+    /// core. Replica 0 is the ordinary [`Backend::prepare`] session at
+    /// `opts.noise.seed`; replicas `i ≥ 1` share its programmed state
+    /// (conductances, compiled programs) and draw their *execution*
+    /// noise from fresh RNGs derived from `seed.wrapping_add(i)` — so
+    /// programming happens **once** regardless of replica count, each
+    /// replica still owns an independent, replayable noise stream, and
+    /// replica 0 replays a plain single session bit-for-bit.
+    ///
+    /// The default implementation keeps the legacy contract for custom
+    /// backends — `replicas` fully independent prepares at seeds
+    /// `seed.wrapping_add(i)` — which satisfies the same seed rule at
+    /// the cost of repeating the programming work.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError`] on the same failures as [`Backend::prepare`];
+    /// no partial pool is returned.
+    fn prepare_replicas(
+        &self,
+        net: &Bnn,
+        opts: &SessionOpts,
+        replicas: usize,
+    ) -> Result<Vec<Box<dyn Session>>, EbError> {
+        (0..replicas)
+            .map(|i| {
+                let mut opts = *opts;
+                opts.noise.seed = opts.noise.seed.wrapping_add(i as u64);
+                self.prepare(net, &opts)
+            })
+            .collect()
+    }
+
+    /// Like [`Backend::prepare_replicas`], but restores the shared
+    /// programmed core from a prepared-state snapshot instead of
+    /// programming from scratch — and the restored state feeds **all**
+    /// replicas, not just replica 0. Replica 0 resumes the snapshot's
+    /// RNG position exactly (bit-identical to restoring a single
+    /// session); replicas `i ≥ 1` share the restored core with fresh
+    /// execution RNGs from `seed.wrapping_add(i)`, exactly as their
+    /// fresh-prepare counterparts would — so file and in-memory deploys
+    /// serve identical noisy streams at any replica count.
+    ///
+    /// The default implementation restores replica 0 and freshly
+    /// prepares the rest, for backends that override neither this nor
+    /// [`Backend::prepare_restored`] (in which case `replicas > 1`
+    /// errors like `prepare_restored` does).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError`] on the same failures as
+    /// [`Backend::prepare_restored`] / [`Backend::prepare`].
+    fn prepare_replicas_restored(
+        &self,
+        net: &Bnn,
+        opts: &SessionOpts,
+        prepared: Prepared,
+        replicas: usize,
+    ) -> Result<Vec<Box<dyn Session>>, EbError> {
+        let mut sessions = Vec::with_capacity(replicas);
+        if replicas == 0 {
+            return Ok(sessions);
+        }
+        sessions.push(self.prepare_restored(net, opts, prepared)?);
+        for i in 1..replicas {
+            let mut opts = *opts;
+            opts.noise.seed = opts.noise.seed.wrapping_add(i as u64);
+            sessions.push(self.prepare(net, &opts)?);
+        }
+        Ok(sessions)
+    }
 }
 
 /// A prepared, stateful serving handle: weights are already programmed /
@@ -202,6 +288,14 @@ pub trait Session: Send {
 
     /// Counters accumulated so far.
     fn stats(&self) -> SessionStats;
+
+    /// Approximate resident memory, split into the `Arc`-shared
+    /// programmed core and this replica's private state (see
+    /// [`SessionMemory`]). The default reports zeros for backends that
+    /// don't account their footprint.
+    fn memory(&self) -> SessionMemory {
+        SessionMemory::default()
+    }
 
     /// Runs a golden-sample canary probe through this session and reports
     /// agreement against the known-good outputs (see [`HealthProbe`]).

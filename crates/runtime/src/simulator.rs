@@ -4,10 +4,10 @@
 
 use crate::artifacts::captured_meta;
 use crate::error::EbError;
-use crate::session::{Backend, Session, SessionOpts, SessionStats};
+use crate::session::{Backend, Session, SessionMemory, SessionOpts, SessionStats};
 use eb_artifact::{DesignFingerprint, Prepared, PreparedBackend, PreparedState};
 use eb_bitnn::{Bnn, Tensor};
-use eb_core::{compile, Design, Machine};
+use eb_core::{compile, CompiledNetwork, Design, Machine};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -54,6 +54,31 @@ impl SimulatorBackend {
         }
         crate::analog::reject_active_fault(&opts.noise, "simulator")
     }
+
+    /// Mints replicas `1..replicas` from a compiled network: each shares
+    /// the replica-0 vcores' programmed crossbar state (`Arc`-backed via
+    /// [`CompiledNetwork::replicate`]) and owns a fresh whole-machine RNG
+    /// at `base_seed + i` — the same per-replica seed rule the legacy
+    /// prepare-per-replica loop satisfied, without recompiling.
+    fn mint_replicas(
+        &self,
+        compiled: &CompiledNetwork,
+        base_seed: u64,
+        replicas: usize,
+    ) -> Vec<Box<dyn Session>> {
+        (1..replicas)
+            .map(|i| {
+                Box::new(SimulatorSession {
+                    machine: Machine::new(
+                        compiled.replicate(),
+                        &self.design,
+                        StdRng::seed_from_u64(base_seed.wrapping_add(i as u64)),
+                    ),
+                    inferences: 0,
+                }) as Box<dyn Session>
+            })
+            .collect()
+    }
 }
 
 impl Backend for SimulatorBackend {
@@ -69,6 +94,32 @@ impl Backend for SimulatorBackend {
             machine: Machine::new(compiled, &self.design, rng),
             inferences: 0,
         }))
+    }
+
+    fn prepare_replicas(
+        &self,
+        net: &Bnn,
+        opts: &SessionOpts,
+        replicas: usize,
+    ) -> Result<Vec<Box<dyn Session>>, EbError> {
+        self.validate_opts(opts)?;
+        if replicas == 0 {
+            return Ok(Vec::new());
+        }
+        // Compile exactly once; replica 0 is the ordinary prepared
+        // session (its RNG advanced past compilation), the rest share
+        // its programmed state via `CompiledNetwork::replicate`.
+        let mut rng = StdRng::seed_from_u64(opts.noise.seed);
+        let compiled = compile(&self.design, net, &mut rng)?;
+        let mut sessions = self.mint_replicas(&compiled, opts.noise.seed, replicas);
+        sessions.insert(
+            0,
+            Box::new(SimulatorSession {
+                machine: Machine::new(compiled, &self.design, rng),
+                inferences: 0,
+            }),
+        );
+        Ok(sessions)
     }
 
     fn export_prepared(&self, net: &Bnn, opts: &SessionOpts) -> Result<Option<Prepared>, EbError> {
@@ -94,6 +145,49 @@ impl Backend for SimulatorBackend {
         opts: &SessionOpts,
         prepared: Prepared,
     ) -> Result<Box<dyn Session>, EbError> {
+        let (compiled, rng_state) = self.restore_compiled(net, opts, prepared)?;
+        Ok(Box::new(SimulatorSession {
+            machine: Machine::new(compiled, &self.design, StdRng::from_state(rng_state)),
+            inferences: 0,
+        }))
+    }
+
+    fn prepare_replicas_restored(
+        &self,
+        net: &Bnn,
+        opts: &SessionOpts,
+        prepared: Prepared,
+        replicas: usize,
+    ) -> Result<Vec<Box<dyn Session>>, EbError> {
+        if replicas == 0 {
+            return Ok(Vec::new());
+        }
+        // The restored compiled network feeds *all* replicas: replica 0
+        // resumes the snapshot's RNG position exactly; the rest share
+        // its state with fresh RNGs at `base_seed + i`, identical to
+        // what `prepare_replicas` mints from a fresh compile.
+        let (compiled, rng_state) = self.restore_compiled(net, opts, prepared)?;
+        let mut sessions = self.mint_replicas(&compiled, opts.noise.seed, replicas);
+        sessions.insert(
+            0,
+            Box::new(SimulatorSession {
+                machine: Machine::new(compiled, &self.design, StdRng::from_state(rng_state)),
+                inferences: 0,
+            }),
+        );
+        Ok(sessions)
+    }
+}
+
+impl SimulatorBackend {
+    /// Validates and unpacks a simulator prepared-state snapshot into
+    /// its compiled network and post-compile RNG position.
+    fn restore_compiled(
+        &self,
+        net: &Bnn,
+        opts: &SessionOpts,
+        prepared: Prepared,
+    ) -> Result<(CompiledNetwork, [u64; 4]), EbError> {
         // Meta↔opts agreement is validated by the caller; the substrate
         // capability checks still apply to crafted artifacts.
         self.validate_opts(opts)?;
@@ -125,10 +219,7 @@ impl Backend for SimulatorBackend {
                 net.input_shape()
             )));
         }
-        Ok(Box::new(SimulatorSession {
-            machine: Machine::new(compiled, &self.design, StdRng::from_state(rng_state)),
-            inferences: 0,
-        }))
+        Ok((compiled, rng_state))
     }
 }
 
@@ -159,6 +250,14 @@ impl Session for SimulatorSession {
             latency_ns: sim.latency_ns,
             energy_j: sim.energy_j,
             fault_cells: 0,
+        }
+    }
+
+    fn memory(&self) -> SessionMemory {
+        let net = self.machine.network();
+        SessionMemory {
+            core_bytes: net.core_bytes() as u64,
+            replica_bytes: net.rind_bytes() as u64 + std::mem::size_of::<Self>() as u64,
         }
     }
 }

@@ -2,8 +2,9 @@
 //! with per-worker scratch reuse.
 
 use crate::error::EbError;
-use crate::session::{Backend, Session, SessionOpts, SessionStats};
+use crate::session::{Backend, Session, SessionMemory, SessionOpts, SessionStats};
 use eb_bitnn::{Bnn, ForwardScratch, Tensor};
+use std::sync::Arc;
 use std::time::Instant;
 
 /// Serves inference through the `eb-bitnn` software kernels — the golden
@@ -22,31 +23,59 @@ impl Backend for SoftwareBackend {
     }
 
     fn prepare(&self, net: &Bnn, opts: &SessionOpts) -> Result<Box<dyn Session>, EbError> {
-        if opts.noise.drift_t_ratio.is_some() {
-            return Err(EbError::Config(
-                "the software backend models no devices and therefore no resistance drift; \
-                 unset NoiseConfig::drift_t_ratio or use BackendKind::Epcm"
-                    .into(),
-            ));
-        }
-        crate::analog::reject_active_fault(&opts.noise, "software")?;
-        Ok(Box::new(SoftwareSession {
-            net: net.clone(),
-            scratch: ForwardScratch::new(),
-            inferences: 0,
-            latency_ns: 0.0,
-        }))
+        validate_opts(opts)?;
+        Ok(Box::new(SoftwareSession::new(Arc::new(net.clone()))))
+    }
+
+    fn prepare_replicas(
+        &self,
+        net: &Bnn,
+        opts: &SessionOpts,
+        replicas: usize,
+    ) -> Result<Vec<Box<dyn Session>>, EbError> {
+        // The software substrate is stateless beyond scratch buffers, so
+        // every replica reads one `Arc`'d copy of the weights. (This
+        // path draws no noise, so the per-replica seed rule is vacuous.)
+        validate_opts(opts)?;
+        let shared = Arc::new(net.clone());
+        Ok((0..replicas)
+            .map(|_| Box::new(SoftwareSession::new(Arc::clone(&shared))) as Box<dyn Session>)
+            .collect())
     }
 }
 
-/// A prepared software serving session.
+fn validate_opts(opts: &SessionOpts) -> Result<(), EbError> {
+    if opts.noise.drift_t_ratio.is_some() {
+        return Err(EbError::Config(
+            "the software backend models no devices and therefore no resistance drift; \
+             unset NoiseConfig::drift_t_ratio or use BackendKind::Epcm"
+                .into(),
+        ));
+    }
+    crate::analog::reject_active_fault(&opts.noise, "software")
+}
+
+/// A prepared software serving session. The network is `Arc`-shared:
+/// replicas minted by [`Backend::prepare_replicas`] all read the same
+/// weight storage and privately own only scratch and counters.
 #[derive(Debug, Clone)]
 struct SoftwareSession {
-    net: Bnn,
+    net: Arc<Bnn>,
     scratch: ForwardScratch,
     inferences: u64,
     /// Accumulated wall-clock serving time (monotone nondecreasing).
     latency_ns: f64,
+}
+
+impl SoftwareSession {
+    fn new(net: Arc<Bnn>) -> Self {
+        Self {
+            net,
+            scratch: ForwardScratch::new(),
+            inferences: 0,
+            latency_ns: 0.0,
+        }
+    }
 }
 
 impl Session for SoftwareSession {
@@ -77,6 +106,21 @@ impl Session for SoftwareSession {
             inferences: self.inferences,
             latency_ns: self.latency_ns,
             ..SessionStats::default()
+        }
+    }
+
+    fn memory(&self) -> SessionMemory {
+        // Binary weight storage dominates the shared side; the rind is
+        // just this struct and its (lazily grown) scratch.
+        let weight_bits: u64 = self
+            .net
+            .layer_dims()
+            .iter()
+            .map(|d| d.fan_in as u64 * d.out_vectors as u64 * u64::from(d.weight_bits))
+            .sum();
+        SessionMemory {
+            core_bytes: weight_bits / 8,
+            replica_bytes: std::mem::size_of::<Self>() as u64,
         }
     }
 }

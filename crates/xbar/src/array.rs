@@ -7,7 +7,7 @@ use crate::fault::{CellFault, FaultConfig};
 use eb_bitnn::{BitMatrix, BitVec};
 use rand::Rng;
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError};
 
 /// Cell structure of a crossbar.
 ///
@@ -32,11 +32,45 @@ impl CellKind {
     }
 }
 
+/// The immutable half of a [`CrossbarArray`]: everything fixed once the
+/// weights are programmed — the device grid, device parameters, drift
+/// ratio, population fault profile, and the memoised conductance
+/// snapshot. Replicas of a prepared model share one core behind an
+/// [`Arc`]; every mutation goes through [`Arc::make_mut`]
+/// (copy-on-write), so an unshared array mutates in place while a shared
+/// one detaches first and never disturbs its siblings.
+#[derive(Debug, Clone)]
+struct ProgrammedCore {
+    rows: usize,
+    cols: usize,
+    params: DeviceParams,
+    devices: Vec<Option<EpcmDevice>>,
+    /// Read time as a multiple of the programming time `t₀`; amorphous
+    /// cells resolve through [`EpcmDevice::after_drift`] at this ratio.
+    /// `1.0` (the default) reads at programming time — no drift.
+    t_ratio: f64,
+    /// Population-level Bernoulli fault profile (see [`FaultConfig`]).
+    fault: Option<FaultConfig>,
+    /// Memoised [`CrossbarArray::conductance_snapshot`] *without* the
+    /// per-replica kill-cell overlay. A `OnceLock` keeps the read side
+    /// lock-free once initialised (replicas race only on the very first
+    /// fill); core mutators replace the whole lock, which is how the
+    /// memo is invalidated.
+    snapshot: OnceLock<Arc<Vec<f64>>>,
+}
+
 /// A crossbar array of binary PCM devices.
 ///
 /// Rows are word lines (inputs), columns are bit lines (outputs). The
 /// array itself is mapping-agnostic: `eb-mapping` decides what bits land
 /// where.
+///
+/// Internally the array is split into an `Arc`-shared programmed core
+/// (devices, params, drift, population faults, snapshot memo) and a
+/// small per-instance rind (write counter, [`CrossbarArray::kill_cell`]
+/// overrides). [`Clone`] shares the core; copy-on-write keeps the
+/// observable semantics identical to a deep copy while letting replica
+/// pools hold one programmed grid regardless of replica count.
 ///
 /// # Examples
 ///
@@ -54,41 +88,28 @@ impl CellKind {
 /// ```
 #[derive(Debug)]
 pub struct CrossbarArray {
-    rows: usize,
-    cols: usize,
-    params: DeviceParams,
-    devices: Vec<Option<EpcmDevice>>,
+    core: Arc<ProgrammedCore>,
     writes: u64,
-    /// Read time as a multiple of the programming time `t₀`; amorphous
-    /// cells resolve through [`EpcmDevice::after_drift`] at this ratio.
-    /// `1.0` (the default) reads at programming time — no drift.
-    t_ratio: f64,
-    /// Population-level Bernoulli fault profile (see [`FaultConfig`]).
-    fault: Option<FaultConfig>,
     /// Targeted per-cell fault overrides from [`CrossbarArray::kill_cell`];
-    /// these win over the Bernoulli map.
+    /// these win over the Bernoulli map and live in the per-replica rind
+    /// so killing a cell never touches the shared core.
     killed: HashMap<(usize, usize), CellFault>,
-    /// Memoised [`CrossbarArray::conductance_snapshot`], cleared by every
-    /// mutation that can change what a read returns (programming, drift
-    /// ratio, fault injection/clearing). Guarded by a `Mutex` rather than
-    /// a `RefCell` so the array stays `Sync`; all invalidation happens
-    /// through `&mut self`, where `Mutex::get_mut` is lock-free.
-    snapshot_cache: Mutex<Option<Arc<Vec<f64>>>>,
+    /// Memoised snapshot with the kill-cell overlay applied, used only
+    /// while `killed` is non-empty (otherwise the core memo serves).
+    /// Guarded by a `Mutex` rather than a `RefCell` so the array stays
+    /// `Sync`; all invalidation happens through `&mut self`, where
+    /// `Mutex::get_mut` is lock-free.
+    overlay_cache: Mutex<Option<Arc<Vec<f64>>>>,
 }
 
 impl Clone for CrossbarArray {
     fn clone(&self) -> Self {
         Self {
-            rows: self.rows,
-            cols: self.cols,
-            params: self.params.clone(),
-            devices: self.devices.clone(),
+            core: Arc::clone(&self.core),
             writes: self.writes,
-            t_ratio: self.t_ratio,
-            fault: self.fault,
             killed: self.killed.clone(),
-            snapshot_cache: Mutex::new(
-                self.snapshot_cache
+            overlay_cache: Mutex::new(
+                self.overlay_cache
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner)
                     .clone(),
@@ -101,26 +122,75 @@ impl CrossbarArray {
     /// Creates an unprogrammed array.
     pub fn new(rows: usize, cols: usize, params: DeviceParams) -> Self {
         Self {
-            rows,
-            cols,
-            params,
-            devices: vec![None; rows * cols],
+            core: Arc::new(ProgrammedCore {
+                rows,
+                cols,
+                params,
+                devices: vec![None; rows * cols],
+                t_ratio: 1.0,
+                fault: None,
+                snapshot: OnceLock::new(),
+            }),
             writes: 0,
-            t_ratio: 1.0,
-            fault: None,
             killed: HashMap::new(),
-            snapshot_cache: Mutex::new(None),
+            overlay_cache: Mutex::new(None),
         }
     }
 
-    /// Drops the memoised conductance snapshot. Called by every `&mut self`
-    /// mutation that can change what a read returns; `get_mut` needs no
-    /// lock because `&mut self` proves exclusive access.
-    fn invalidate_snapshot(&mut self) {
+    /// Mutable access to the programmed core: detaches from any sharing
+    /// siblings first (copy-on-write) and drops both snapshot memos —
+    /// every caller changes something a read can observe.
+    fn core_mut(&mut self) -> &mut ProgrammedCore {
         *self
-            .snapshot_cache
+            .overlay_cache
             .get_mut()
             .unwrap_or_else(PoisonError::into_inner) = None;
+        let core = Arc::make_mut(&mut self.core);
+        core.snapshot = OnceLock::new();
+        core
+    }
+
+    /// Drops the memoised kill-cell overlay snapshot; `get_mut` needs no
+    /// lock because `&mut self` proves exclusive access.
+    fn invalidate_overlay(&mut self) {
+        *self
+            .overlay_cache
+            .get_mut()
+            .unwrap_or_else(PoisonError::into_inner) = None;
+    }
+
+    /// `true` when `self` and `other` read from the same programmed core
+    /// (`Arc` pointer equality) — the replica weight-sharing invariant.
+    pub fn shares_core_with(&self, other: &Self) -> bool {
+        Arc::ptr_eq(&self.core, &other.core)
+    }
+
+    /// Approximate heap bytes of the shared programmed core (device grid
+    /// plus the memoised snapshot). Counted once per core however many
+    /// replicas share it — pair with [`CrossbarArray::shares_core_with`]
+    /// or count it on one replica only.
+    pub fn core_bytes(&self) -> usize {
+        std::mem::size_of::<ProgrammedCore>()
+            + self.core.devices.capacity() * std::mem::size_of::<Option<EpcmDevice>>()
+            + self
+                .core
+                .snapshot
+                .get()
+                .map_or(0, |s| s.len() * std::mem::size_of::<f64>())
+    }
+
+    /// Approximate heap bytes of this instance's private rind (write
+    /// counter, kill-cell overrides, overlay memo).
+    pub fn rind_bytes(&self) -> usize {
+        let overlay = self
+            .overlay_cache
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+            .map_or(0, |s| s.len() * std::mem::size_of::<f64>());
+        std::mem::size_of::<Self>()
+            + self.killed.len() * std::mem::size_of::<((usize, usize), CellFault)>()
+            + overlay
     }
 
     /// Sets the read time `t/t₀` at which every subsequent read (and
@@ -129,13 +199,12 @@ impl CrossbarArray {
     /// [`EpcmDevice::after_drift`]. Drift is deterministic, so this does
     /// not affect [`CrossbarArray::read_is_deterministic`].
     pub fn set_drift_t_ratio(&mut self, t_ratio: f64) {
-        self.t_ratio = t_ratio;
-        self.invalidate_snapshot();
+        self.core_mut().t_ratio = t_ratio;
     }
 
     /// The read time `t/t₀` drift currently resolves at (1.0 = none).
     pub fn drift_t_ratio(&self) -> f64 {
-        self.t_ratio
+        self.core.t_ratio
     }
 
     /// Installs (or clears) a population-level fault profile. The per-cell
@@ -152,34 +221,35 @@ impl CrossbarArray {
         if let Some(f) = &fault {
             f.validate()?;
         }
-        self.fault = fault;
-        self.invalidate_snapshot();
+        self.core_mut().fault = fault;
         Ok(())
     }
 
     /// The installed population fault profile, if any.
     pub fn fault_config(&self) -> Option<&FaultConfig> {
-        self.fault.as_ref()
+        self.core.fault.as_ref()
     }
 
     /// Forces one cell into a fault state, overriding the Bernoulli map —
-    /// the targeted-injection hook for tests and drills.
+    /// the targeted-injection hook for tests and drills. The override
+    /// lives in this instance's rind: siblings sharing the programmed
+    /// core keep reading the healthy cell.
     ///
     /// # Errors
     ///
     /// Returns [`XbarError::OutOfBounds`] if the coordinates exceed the
     /// array.
     pub fn kill_cell(&mut self, r: usize, c: usize, fault: CellFault) -> Result<(), XbarError> {
-        if r >= self.rows || c >= self.cols {
+        if r >= self.core.rows || c >= self.core.cols {
             return Err(XbarError::OutOfBounds {
                 row: r,
                 col: c,
-                rows: self.rows,
-                cols: self.cols,
+                rows: self.core.rows,
+                cols: self.core.cols,
             });
         }
         self.killed.insert((r, c), fault);
-        self.invalidate_snapshot();
+        self.invalidate_overlay();
         Ok(())
     }
 
@@ -187,9 +257,11 @@ impl CrossbarArray {
     /// [`CrossbarArray::kill_cell`] overrides — "swap in pristine
     /// spare devices".
     pub fn clear_faults(&mut self) {
-        self.fault = None;
         self.killed.clear();
-        self.invalidate_snapshot();
+        self.invalidate_overlay();
+        if self.core.fault.is_some() {
+            self.core_mut().fault = None;
+        }
     }
 
     /// The fault state of cell `(r, c)`: a targeted
@@ -199,16 +271,16 @@ impl CrossbarArray {
         if let Some(&f) = self.killed.get(&(r, c)) {
             return Some(f);
         }
-        self.fault.as_ref().and_then(|f| f.cell_fault(r, c))
+        self.core.fault.as_ref().and_then(|f| f.cell_fault(r, c))
     }
 
     /// Number of faulty cells in the array (telemetry for health probes).
     pub fn fault_count(&self) -> usize {
-        if self.fault.is_none() && self.killed.is_empty() {
+        if self.core.fault.is_none() && self.killed.is_empty() {
             return 0;
         }
-        (0..self.rows)
-            .flat_map(|r| (0..self.cols).map(move |c| (r, c)))
+        (0..self.core.rows)
+            .flat_map(|r| (0..self.core.cols).map(move |c| (r, c)))
             .filter(|&(r, c)| self.cell_fault(r, c).is_some())
             .count()
     }
@@ -216,30 +288,25 @@ impl CrossbarArray {
     /// The conductance a faulty cell pins itself to.
     fn fault_conductance(&self, fault: CellFault) -> f64 {
         match fault {
-            CellFault::StuckAtOn => self.params.g_on,
-            CellFault::StuckAtOff => self.params.g_off,
+            CellFault::StuckAtOn => self.core.params.g_on,
+            CellFault::StuckAtOff => self.core.params.g_off,
             CellFault::Dead => 0.0,
         }
     }
 
-    /// `true` when no cell can be faulty (fast-path guard).
-    fn fault_free(&self) -> bool {
-        self.killed.is_empty() && self.fault.as_ref().is_none_or(FaultConfig::is_vacuous)
-    }
-
     /// Number of word lines (rows).
     pub fn rows(&self) -> usize {
-        self.rows
+        self.core.rows
     }
 
     /// Number of bit lines (columns).
     pub fn cols(&self) -> usize {
-        self.cols
+        self.core.cols
     }
 
     /// Device parameters in use.
     pub fn params(&self) -> &DeviceParams {
-        &self.params
+        &self.core.params
     }
 
     /// Total device writes performed (endurance accounting).
@@ -250,10 +317,10 @@ impl CrossbarArray {
     /// The programmed device at `(r, c)`, if any — the exact stored bit
     /// and post-variability conductance, for state serialization.
     pub fn device(&self, r: usize, c: usize) -> Option<&EpcmDevice> {
-        if r >= self.rows || c >= self.cols {
+        if r >= self.core.rows || c >= self.core.cols {
             return None;
         }
-        self.devices[r * self.cols + c].as_ref()
+        self.core.devices[r * self.core.cols + c].as_ref()
     }
 
     /// Rebuilds an array from serialized state: per-cell device states
@@ -282,20 +349,23 @@ impl CrossbarArray {
             });
         }
         Ok(Self {
-            rows,
-            cols,
-            params,
-            devices,
+            core: Arc::new(ProgrammedCore {
+                rows,
+                cols,
+                params,
+                devices,
+                t_ratio: 1.0,
+                fault: None,
+                snapshot: OnceLock::new(),
+            }),
             writes,
-            t_ratio: 1.0,
-            fault: None,
             killed: HashMap::new(),
-            snapshot_cache: Mutex::new(None),
+            overlay_cache: Mutex::new(None),
         })
     }
 
     fn idx(&self, r: usize, c: usize) -> usize {
-        r * self.cols + c
+        r * self.core.cols + c
     }
 
     /// Programs one device.
@@ -310,18 +380,18 @@ impl CrossbarArray {
         bit: bool,
         rng: &mut impl Rng,
     ) -> Result<(), XbarError> {
-        if r >= self.rows || c >= self.cols {
+        if r >= self.core.rows || c >= self.core.cols {
             return Err(XbarError::OutOfBounds {
                 row: r,
                 col: c,
-                rows: self.rows,
-                cols: self.cols,
+                rows: self.core.rows,
+                cols: self.core.cols,
             });
         }
         let i = self.idx(r, c);
-        self.devices[i] = Some(EpcmDevice::program(bit, &self.params, rng));
+        let core = self.core_mut();
+        core.devices[i] = Some(EpcmDevice::program(bit, &core.params, rng));
         self.writes += 1;
-        self.invalidate_snapshot();
         Ok(())
     }
 
@@ -350,12 +420,12 @@ impl CrossbarArray {
         col0: usize,
         rng: &mut impl Rng,
     ) -> Result<(), XbarError> {
-        if row0 + bits.rows() > self.rows || col0 + bits.cols() > self.cols {
+        if row0 + bits.rows() > self.core.rows || col0 + bits.cols() > self.core.cols {
             return Err(XbarError::OutOfBounds {
                 row: row0 + bits.rows(),
                 col: col0 + bits.cols(),
-                rows: self.rows,
-                cols: self.cols,
+                rows: self.core.rows,
+                cols: self.core.cols,
             });
         }
         for r in 0..bits.rows() {
@@ -369,10 +439,10 @@ impl CrossbarArray {
     /// The bit a device was programmed with (`None` if unprogrammed or out
     /// of range).
     pub fn stored_bit(&self, r: usize, c: usize) -> Option<bool> {
-        if r >= self.rows || c >= self.cols {
+        if r >= self.core.rows || c >= self.core.cols {
             return None;
         }
-        self.devices[self.idx(r, c)]
+        self.core.devices[self.idx(r, c)]
             .as_ref()
             .map(EpcmDevice::stored_bit)
     }
@@ -389,16 +459,42 @@ impl CrossbarArray {
         if let Some(fault) = self.cell_fault(r, c) {
             return self.fault_conductance(fault);
         }
-        match &self.devices[self.idx(r, c)] {
-            Some(d) => d.read_at(self.t_ratio, &self.params, rng),
-            None => self.params.g_off,
+        match &self.core.devices[self.idx(r, c)] {
+            Some(d) => d.read_at(self.core.t_ratio, &self.core.params, rng),
+            None => self.core.params.g_off,
         }
     }
 
     /// Returns `true` when reads are deterministic (no read noise), i.e.
     /// when a conductance snapshot reproduces every future read exactly.
     pub fn read_is_deterministic(&self) -> bool {
-        self.params.read_sigma <= 0.0
+        self.core.params.read_sigma <= 0.0
+    }
+
+    /// Core snapshot: programmed conductances with drift and the
+    /// population fault overlay baked in, but *without* this instance's
+    /// kill-cell overrides — the shareable part.
+    fn core_snapshot(&self) -> Vec<f64> {
+        let core = &*self.core;
+        let mut snap: Vec<f64> = core
+            .devices
+            .iter()
+            .map(|d| {
+                d.as_ref().map_or(core.params.g_off, |d| {
+                    d.after_drift(core.t_ratio, &core.params)
+                })
+            })
+            .collect();
+        if core.fault.as_ref().is_some_and(|f| !f.is_vacuous()) {
+            for r in 0..core.rows {
+                for c in 0..core.cols {
+                    if let Some(fault) = core.fault.as_ref().and_then(|f| f.cell_fault(r, c)) {
+                        snap[r * core.cols + c] = self.fault_conductance(fault);
+                    }
+                }
+            }
+        }
+        snap
     }
 
     /// Row-major snapshot of the programmed conductances (`rows × cols`,
@@ -411,37 +507,31 @@ impl CrossbarArray {
     /// batch VMM path samples it once and reuses it for the whole batch
     /// instead of re-resolving each device per input vector.
     pub fn conductance_snapshot(&self) -> Vec<f64> {
-        let mut snap: Vec<f64> = self
-            .devices
-            .iter()
-            .map(|d| {
-                d.as_ref().map_or(self.params.g_off, |d| {
-                    d.after_drift(self.t_ratio, &self.params)
-                })
-            })
-            .collect();
-        if !self.fault_free() {
-            for r in 0..self.rows {
-                for c in 0..self.cols {
-                    if let Some(fault) = self.cell_fault(r, c) {
-                        snap[r * self.cols + c] = self.fault_conductance(fault);
-                    }
-                }
-            }
+        let mut snap = self.core_snapshot();
+        for (&(r, c), &fault) in &self.killed {
+            snap[r * self.core.cols + c] = self.fault_conductance(fault);
         }
         snap
     }
 
-    /// Memoised [`CrossbarArray::conductance_snapshot`]: the first call
-    /// after a mutation materialises the snapshot (including the per-cell
-    /// fault overlay, a hash per cell under a population
-    /// [`FaultConfig`]); subsequent calls are an `Arc` clone. Every
-    /// mutation that can change a read — programming, drift ratio, fault
-    /// injection or clearing — drops the memo, so the cached snapshot is
-    /// always bit-identical to a fresh one.
+    /// Memoised [`CrossbarArray::conductance_snapshot`]. With no
+    /// kill-cell overrides the memo lives in the shared core behind a
+    /// `OnceLock`: the first reader (across all replicas) materialises it
+    /// and every later call on every sharing replica is a lock-free `Arc`
+    /// clone. With overrides present, a per-instance memo layers the
+    /// overlay on top. Every mutation that can change a read — core
+    /// mutation or kill-cell — drops the relevant memo, so the cached
+    /// snapshot is always bit-identical to a fresh one.
     pub fn conductance_snapshot_cached(&self) -> Arc<Vec<f64>> {
+        if self.killed.is_empty() {
+            return Arc::clone(
+                self.core
+                    .snapshot
+                    .get_or_init(|| Arc::new(self.core_snapshot())),
+            );
+        }
         let mut cache = self
-            .snapshot_cache
+            .overlay_cache
             .lock()
             .unwrap_or_else(PoisonError::into_inner);
         if let Some(snap) = cache.as_ref() {
@@ -469,15 +559,15 @@ impl CrossbarArray {
         v_read: f64,
         rng: &mut impl Rng,
     ) -> Result<f64, XbarError> {
-        if input.len() != self.rows {
+        if input.len() != self.core.rows {
             return Err(XbarError::DimensionMismatch {
                 what: "row drive",
-                expected: self.rows,
+                expected: self.core.rows,
                 got: input.len(),
             });
         }
         let mut current = 0.0;
-        for r in 0..self.rows {
+        for r in 0..self.core.rows {
             if input.get(r) == Some(true) {
                 current += v_read * self.read_conductance(r, col, rng);
             }
@@ -497,7 +587,7 @@ impl CrossbarArray {
         v_read: f64,
         rng: &mut impl Rng,
     ) -> Result<Vec<f64>, XbarError> {
-        (0..self.cols)
+        (0..self.core.cols)
             .map(|c| self.column_current(input, c, v_read, rng))
             .collect()
     }
@@ -703,5 +793,57 @@ mod tests {
                 assert_eq!(snap[a * 16 + b], x.read_conductance(a, b, &mut r));
             }
         }
+    }
+
+    #[test]
+    fn clones_share_core_until_core_mutation() {
+        let mut r = rng();
+        let p = DeviceParams::ideal();
+        let mut x = CrossbarArray::new(4, 4, p.clone());
+        x.program_matrix(&BitMatrix::from_fn(4, 4, |a, b| a == b), &mut r)
+            .unwrap();
+        let mut y = x.clone();
+        assert!(x.shares_core_with(&y));
+        // The memoised snapshot is shared through the core: both sides
+        // hand back the same allocation.
+        let sx = x.conductance_snapshot_cached();
+        let sy = y.conductance_snapshot_cached();
+        assert!(Arc::ptr_eq(&sx, &sy));
+
+        // kill_cell stays in the rind: the core remains shared and the
+        // sibling's reads are untouched.
+        y.kill_cell(0, 0, CellFault::Dead).unwrap();
+        assert!(x.shares_core_with(&y));
+        assert_eq!(y.read_conductance(0, 0, &mut r), 0.0);
+        assert_eq!(x.read_conductance(0, 0, &mut r), p.g_on);
+        assert_eq!(y.conductance_snapshot_cached()[0], 0.0);
+        assert_eq!(x.conductance_snapshot_cached()[0], p.g_on);
+
+        // A core mutation detaches the mutating side (copy-on-write) and
+        // leaves the original untouched.
+        y.set_drift_t_ratio(10.0);
+        assert!(!x.shares_core_with(&y));
+        assert_eq!(x.drift_t_ratio(), 1.0);
+        assert_eq!(y.drift_t_ratio(), 10.0);
+
+        // Reprogramming a shared clone detaches too.
+        let mut z = x.clone();
+        z.program(0, 0, false, &mut r).unwrap();
+        assert!(!x.shares_core_with(&z));
+        assert_eq!(x.stored_bit(0, 0), Some(true));
+        assert_eq!(z.stored_bit(0, 0), Some(false));
+    }
+
+    #[test]
+    fn core_and_rind_bytes_reflect_sharing() {
+        let mut r = rng();
+        let mut x = CrossbarArray::new(8, 8, DeviceParams::ideal());
+        x.program_matrix(&BitMatrix::from_fn(8, 8, |_, _| true), &mut r)
+            .unwrap();
+        let y = x.clone();
+        // The shared core dominates; the per-replica rind is small.
+        assert_eq!(x.core_bytes(), y.core_bytes());
+        assert!(x.core_bytes() > 64 * std::mem::size_of::<Option<EpcmDevice>>());
+        assert!(x.rind_bytes() < x.core_bytes());
     }
 }

@@ -135,8 +135,10 @@ impl VmmEngine {
     }
 
     /// `true` when neither device reads nor ADC conversions draw noise,
-    /// i.e. when the snapshot fast path is exact.
-    fn periphery_is_deterministic(&self) -> bool {
+    /// i.e. when the snapshot fast path is exact — and, because no RNG
+    /// is ever drawn, when callers may fan the engine out across threads
+    /// without perturbing their noise streams.
+    pub fn periphery_is_deterministic(&self) -> bool {
         self.array.read_is_deterministic() && self.adc.noise_sigma <= 0.0
     }
 

@@ -276,11 +276,15 @@ fn run(args: Args) -> Result<(), Box<dyn std::error::Error>> {
     if let Ok(registry) = Arc::try_unwrap(registry) {
         for (name, pool) in registry.shutdown() {
             println!(
-                "eb-serve: model {name}: inferences={} micro_batches={} shed={} rejected={}",
+                "eb-serve: model {name}: inferences={} micro_batches={} shed={} rejected={} \
+                 prepare_ms={:.2} core_bytes={} replica_bytes={}",
                 pool.total().inferences,
                 pool.total_micro_batches(),
                 pool.shed,
                 pool.rejected,
+                pool.prepare_ns as f64 / 1e6,
+                pool.core_bytes,
+                pool.replica_bytes,
             );
         }
     }

@@ -60,6 +60,7 @@ pub use eb_runtime::{
     MaintenanceStats, ModelHandle, ModelOpts, NetConfig, NetServer, NetStats, NoiseConfig,
     NoiseProfile, PhotonicBackend, PoolConfig, PoolHandle, PoolStats, Prepared, Priority, Rejected,
     Request, RequestOpts, Runtime, RuntimeBuilder, ServePool, Server, ServerBuilder, Session,
-    SessionOpts, SessionStats, SimulatorBackend, SoftwareBackend, Ticket, TicketStatus,
+    SessionMemory, SessionOpts, SessionStats, SimulatorBackend, SoftwareBackend, Ticket,
+    TicketStatus,
 };
 pub use eb_xbar::{CellFault, FaultConfig};

@@ -38,14 +38,16 @@ fn inputs(n: usize) -> Vec<Tensor> {
 }
 
 /// Inject → degrade → auto-heal, with three clients streaming tickets
-/// the whole time.
+/// the whole time. Runs at 4 replicas so every rebuild along the way
+/// (inject and heal both rebuild the pool) re-mints the shared-weight
+/// shape: one programmed ePCM core, four per-replica rinds.
 #[test]
 fn faults_degrade_maintenance_heals_and_no_ticket_is_lost() {
     let net = mlp(21);
     let opts = ModelOpts {
         backend: BackendKind::Epcm,
         pool: PoolConfig {
-            replicas: 2,
+            replicas: 4,
             max_batch: 8,
             max_wait: Duration::from_micros(200),
             queue_capacity: 256,
@@ -144,9 +146,15 @@ fn faults_degrade_maintenance_heals_and_no_ticket_is_lost() {
     assert!(submitted > 0, "the stream must actually have run");
 
     // Post-heal: injected faults are gone and canary agreement is back
-    // within 1% of the healthy baseline.
+    // within 1% of the healthy baseline. The healed pool reports the
+    // shared-weight memory split — its core was programmed once and is
+    // counted once, regardless of the four replicas riding on it.
     assert_eq!(server.injected_fault("m").unwrap(), None);
-    assert_eq!(server.stats("m").unwrap().total().fault_cells, 0);
+    let healed_stats = server.stats("m").unwrap();
+    assert_eq!(healed_stats.total().fault_cells, 0);
+    assert!(healed_stats.core_bytes > 0);
+    assert!(healed_stats.replica_bytes > 0);
+    assert_eq!(healed_stats.per_replica.len(), 4);
     let healed = server.health("m", &probe).unwrap();
     assert!(
         healed.agreement >= healthy.agreement - 0.01,

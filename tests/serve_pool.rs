@@ -230,11 +230,12 @@ fn noisy_single_replica_pool_replays_plain_session() {
     assert_ne!(diverged, want, "noise must depend on the pool base seed");
 }
 
-/// Replica seeds derive as `base + replica_id`: a 2-replica noisy pool
-/// serves every request with outputs drawn from one of the two
-/// corresponding plain sessions' distributions. With ideal noise this
-/// collapses to exactness (covered above); here we pin the seed
-/// derivation itself via single-replica pools at adjacent seeds.
+/// Replica `i` draws its execution noise from seed `base + i` on top
+/// of the pool's one shared core (programmed at the base seed), and
+/// replica 0 replays a plain session at the base seed bit-for-bit.
+/// Here we pin the replica-0 half of that contract via a
+/// single-replica pool; `tests/shared_core.rs` covers the per-replica
+/// minting at 64 replicas.
 #[test]
 fn replica_seed_derivation_is_base_plus_id() {
     let (net, xs) = wide_mlp(11);

@@ -110,6 +110,9 @@ fn per_model_seed_derivation_matches_a_hand_built_pool() {
 /// across `Server::swap` is error-free with zero dropped tickets; every
 /// result is bit-exact against the old or the new network; and once the
 /// swap returns, subsequent results come from the new network only.
+/// Runs at 4 replicas so both generations exercise the shared-weight
+/// pool shape (one programmed core, per-replica rinds), and pins the
+/// exactly-once accounting across the swap.
 #[test]
 fn swap_keeps_a_concurrent_client_stream_error_free() {
     let old = mlp("old", 5);
@@ -120,7 +123,7 @@ fn swap_keeps_a_concurrent_client_stream_error_free() {
 
     let server = Server::builder()
         .pool(PoolConfig {
-            replicas: 2,
+            replicas: 4,
             max_batch: 4,
             max_wait: Duration::from_micros(200),
             queue_capacity: 64,
@@ -180,6 +183,16 @@ fn swap_keeps_a_concurrent_client_stream_error_free() {
         "swap must neither drop nor double-serve requests"
     );
     assert!(submitted > 0, "the stream must actually have run");
+
+    // Both generations report the shared-weight memory split: one
+    // programmed core each (same topology → same core bytes), four
+    // per-replica rinds on top.
+    assert!(old_finals.core_bytes > 0);
+    assert_eq!(
+        old_finals.core_bytes, new_stats.core_bytes,
+        "same-topology generations must report the same shared core"
+    );
+    assert_eq!(new_stats.per_replica.len(), 4);
 
     // Post-swap, the name serves the new network only.
     let handle = server.handle("m").unwrap();
