@@ -1,0 +1,139 @@
+//! Telemetry overhead on the pool submit path: the same
+//! single-inference `submit → wait` round trip through a [`ServePool`],
+//! with stage tracing + histogram recording on vs. off (the PR 10
+//! acceptance gate: telemetry-on p50 within ≤5% of telemetry-off on the
+//! ePCM pool).
+//!
+//! The correctness gates run even in `--test` smoke mode: both pools
+//! must serve the software reference bit-exactly, and the
+//! telemetry-on pool must land every request in the per-stage
+//! histograms (queue/batch/execute/reply counts == served count).
+//!
+//! After the timed groups, a per-stage latency breakdown table (p50/p99
+//! per stage, from the same histograms that back `GET /metrics`) is
+//! printed for both backends — the BENCH_pr10.json source.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use eb_bitnn::{BinLinear, Bnn, FixedLinear, Layer, OutputLinear, Shape, Tensor};
+use eb_runtime::{BackendKind, PoolConfig, Runtime, ServePool, Stage};
+use eb_telemetry::Registry;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::sync::Arc;
+use std::time::Duration;
+
+fn mlp() -> Bnn {
+    let mut rng = StdRng::seed_from_u64(23);
+    Bnn::new(
+        "telemetry-mlp",
+        Shape::Flat(64),
+        vec![
+            Layer::FixedLinear(FixedLinear::random("in", 64, 32, &mut rng)),
+            Layer::BinLinear(BinLinear::random("h", 32, 16, &mut rng)),
+            Layer::Output(OutputLinear::random("out", 16, 10, &mut rng)),
+        ],
+    )
+    .unwrap()
+}
+
+fn pool_config() -> PoolConfig {
+    PoolConfig {
+        replicas: 1,
+        max_batch: 8,
+        // No coalescing linger: the bench times the submit path itself,
+        // not a deliberate wait.
+        max_wait: Duration::from_micros(0),
+        queue_capacity: 64,
+    }
+}
+
+fn bench_telemetry_overhead(c: &mut Criterion) {
+    let net = mlp();
+    let x = Tensor::from_fn(&[64], |i| ((i * 5) as f32 * 0.043).cos());
+    let want = net.forward(&x).expect("reference");
+    let backends = [BackendKind::Epcm, BackendKind::Software];
+
+    // Correctness gates (run in smoke mode too): telemetry must not
+    // change served bits, and every served request must land in every
+    // per-stage histogram.
+    for kind in backends {
+        let runtime = Runtime::builder().backend(kind).seed(29).build();
+        let off = runtime.serve(&net, pool_config()).expect("plain pool");
+        assert_eq!(off.handle().infer(&x).expect("serves"), want, "{kind} off");
+        off.shutdown();
+
+        let registry = Arc::new(Registry::new());
+        let on = ServePool::with_telemetry(&runtime, &net, pool_config(), &registry, "bench")
+            .expect("telemetry pool");
+        let n = 32;
+        for _ in 0..n {
+            assert_eq!(on.handle().infer(&x).expect("serves"), want, "{kind} on");
+        }
+        let stages = on.stage_snapshot().expect("telemetry pool snapshots");
+        for (stage, hist) in [
+            ("queue", &stages.queue_us),
+            ("batch", &stages.batch_us),
+            ("execute", &stages.execute_us),
+            ("reply", &stages.reply_us),
+            ("e2e", &stages.e2e_us),
+        ] {
+            assert_eq!(
+                hist.count(),
+                n,
+                "{kind}: stage {stage} must record every served request"
+            );
+        }
+        on.shutdown();
+    }
+
+    let mut group = c.benchmark_group("telemetry_overhead");
+    for kind in backends {
+        let runtime = Runtime::builder().backend(kind).seed(29).build();
+
+        let off = runtime.serve(&net, pool_config()).expect("plain pool");
+        let handle = off.handle();
+        group.bench_with_input(BenchmarkId::new(kind.name(), "off"), &(), |b, ()| {
+            b.iter(|| handle.infer(&x).unwrap());
+        });
+        drop(handle);
+        off.shutdown();
+
+        let registry = Arc::new(Registry::new());
+        let on = ServePool::with_telemetry(&runtime, &net, pool_config(), &registry, "bench")
+            .expect("telemetry pool");
+        let handle = on.handle();
+        group.bench_with_input(BenchmarkId::new(kind.name(), "on"), &(), |b, ()| {
+            b.iter(|| handle.infer(&x).unwrap());
+        });
+        drop(handle);
+
+        // Per-stage breakdown from the run that just finished — the
+        // same histograms GET /metrics would render.
+        let stages = on.stage_snapshot().expect("telemetry pool snapshots");
+        println!("\nper-stage latency breakdown ({kind}, µs):");
+        println!(
+            "{:<10} {:>10} {:>10} {:>10}",
+            "stage", "count", "p50", "p99"
+        );
+        for (name, hist) in [
+            (Stage::Enqueued.as_str(), &stages.queue_us),
+            (Stage::Batched.as_str(), &stages.batch_us),
+            (Stage::Executed.as_str(), &stages.execute_us),
+            (Stage::Replied.as_str(), &stages.reply_us),
+            ("e2e", &stages.e2e_us),
+        ] {
+            println!(
+                "{:<10} {:>10} {:>10} {:>10}",
+                name,
+                hist.count(),
+                hist.quantile(0.5),
+                hist.quantile(0.99)
+            );
+        }
+        on.shutdown();
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_telemetry_overhead);
+criterion_main!(benches);

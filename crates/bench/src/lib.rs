@@ -16,9 +16,10 @@
 //! Criterion benches (`cargo bench -p eb-bench`) measure the wall-clock
 //! cost of the simulator itself on the same workloads.
 
-mod hist;
-
-pub use hist::LatencyHistogram;
+// The log-bucketed histogram the tail-latency harness was built on now
+// lives in eb-telemetry (the serving stack shares it); re-exported so
+// loadgen and the benches keep compiling unchanged.
+pub use eb_telemetry::LatencyHistogram;
 
 use std::fmt::Display;
 

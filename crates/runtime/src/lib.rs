@@ -74,13 +74,14 @@ mod software;
 pub use analog::{EpcmBackend, PhotonicBackend};
 pub use builder::{BackendKind, Runtime, RuntimeBuilder};
 pub use eb_artifact::{Artifact, ArtifactError, ArtifactInfo, Prepared};
+pub use eb_telemetry::{Counter, Gauge, Histogram, Registry as MetricsRegistry, Stage, Trace};
 pub use error::EbError;
 pub use health::{HealthProbe, HealthReport};
 pub use net::{NetConfig, NetServer, NetStats};
 pub use serve::{
     derived_model_seed, DynamicBatcher, MaintenanceConfig, MaintenanceStats, ModelHandle,
     ModelOpts, PoolConfig, PoolHandle, PoolStats, Priority, Rejected, Request, RequestOpts,
-    ServePool, Server, ServerBuilder, Ticket, TicketStatus,
+    ServePool, Server, ServerBuilder, StageHistograms, Ticket, TicketStatus,
 };
 pub use session::{
     predict, Backend, NoiseConfig, NoiseProfile, Session, SessionMemory, SessionOpts, SessionStats,

@@ -2,16 +2,17 @@
 //! pool with panic isolation and respawn, and graceful drain.
 
 use crate::error::EbError;
-use crate::net::http::{read_request, write_response, WireLimits};
-use crate::net::router::{route, Action};
+use crate::net::http::{read_request, write_response, WireError, WireLimits};
+use crate::net::router::{route, Action, RouteCtx};
 use crate::serve::{lock_recovering, DynamicBatcher, Priority, Rejected, Server};
+use eb_telemetry::{Counter, Gauge, Registry, Trace};
 use std::io::{Read, Write};
 use std::net::{IpAddr, Ipv4Addr, Shutdown, SocketAddr, TcpListener, TcpStream};
 use std::panic::{catch_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread::{self, JoinHandle};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Frontend tuning: bind address, thread counts, queue bound, and the
 /// per-connection defensive limits.
@@ -157,6 +158,114 @@ impl Counters {
     }
 }
 
+/// The frontend's metrics-registry handles, resolved once at bind time
+/// when the served [`Server`] runs with telemetry. Mirrors [`NetStats`]
+/// series by series, plus two things the atomics never tracked:
+/// wire-parse failures by class and the open-connection gauge.
+#[derive(Debug)]
+struct NetTelemetry {
+    accepted: Counter,
+    shed_connections: Counter,
+    requests: Counter,
+    responses_2xx: Counter,
+    responses_4xx: Counter,
+    responses_5xx: Counter,
+    shed_requests: Counter,
+    worker_panics: Counter,
+    worker_respawns: Counter,
+    wire_bad_request: Counter,
+    wire_head_too_large: Counter,
+    wire_body_too_large: Counter,
+    wire_timeout: Counter,
+    wire_closed: Counter,
+    wire_io: Counter,
+    connections_open: Gauge,
+}
+
+impl NetTelemetry {
+    fn register(registry: &Registry) -> Self {
+        let wire = |class: &str| {
+            registry.counter(
+                "eb_net_wire_errors_total",
+                "Requests that failed to read off the wire, by failure class.",
+                &[("class", class)],
+            )
+        };
+        let response = |class: &str| {
+            registry.counter(
+                "eb_net_responses_total",
+                "Responses written, by status class.",
+                &[("class", class)],
+            )
+        };
+        Self {
+            accepted: registry.counter(
+                "eb_net_connections_accepted_total",
+                "Connections accepted off the listener.",
+                &[],
+            ),
+            shed_connections: registry.counter(
+                "eb_net_connections_shed_total",
+                "Connections shed with a canned 503 because the connection queue was full.",
+                &[],
+            ),
+            requests: registry.counter(
+                "eb_net_requests_total",
+                "Requests successfully parsed off the wire.",
+                &[],
+            ),
+            responses_2xx: response("2xx"),
+            responses_4xx: response("4xx"),
+            responses_5xx: response("5xx"),
+            shed_requests: registry.counter(
+                "eb_net_requests_shed_total",
+                "Requests answered 503 + Retry-After because the model's queue was at capacity.",
+                &[],
+            ),
+            worker_panics: registry.counter(
+                "eb_net_worker_panics_total",
+                "Connections whose handler panicked (the connection died, the worker survived).",
+                &[],
+            ),
+            worker_respawns: registry.counter(
+                "eb_net_worker_respawns_total",
+                "Worker threads respawned after a panic escaped connection isolation.",
+                &[],
+            ),
+            wire_bad_request: wire("bad_request"),
+            wire_head_too_large: wire("head_too_large"),
+            wire_body_too_large: wire("body_too_large"),
+            wire_timeout: wire("timeout"),
+            wire_closed: wire("closed"),
+            wire_io: wire("io"),
+            connections_open: registry.gauge(
+                "eb_net_connections_open",
+                "Connections currently held by a worker.",
+                &[],
+            ),
+        }
+    }
+
+    fn wire_error(&self, e: &WireError) -> &Counter {
+        match e {
+            WireError::BadRequest(_) => &self.wire_bad_request,
+            WireError::HeadTooLarge { .. } => &self.wire_head_too_large,
+            WireError::BodyTooLarge { .. } => &self.wire_body_too_large,
+            WireError::TimedOut => &self.wire_timeout,
+            WireError::Closed => &self.wire_closed,
+            WireError::Io(_) => &self.wire_io,
+        }
+    }
+
+    fn response(&self, status: u16) {
+        match status {
+            200..=299 => self.responses_2xx.inc(),
+            400..=499 => self.responses_4xx.inc(),
+            _ => self.responses_5xx.inc(),
+        }
+    }
+}
+
 /// State shared by the acceptor, the workers, and the handle.
 #[derive(Debug)]
 struct NetShared {
@@ -174,6 +283,13 @@ struct NetShared {
     shutdown_flag: Mutex<bool>,
     shutdown_cv: Condvar,
     counters: Counters,
+    /// Registry handles mirroring `counters`, present when the served
+    /// [`Server`] runs with telemetry (`GET /metrics` then scrapes
+    /// them). `None` costs the hot path nothing but the branch.
+    telemetry: Option<NetTelemetry>,
+    /// When the listener was bound — the frontend's uptime origin,
+    /// reported by `/healthz` and the `eb_net_uptime_seconds` gauge.
+    started: Instant,
     /// Join handles of workers respawned after a panic, drained by the
     /// final join.
     respawned: Mutex<Vec<JoinHandle<()>>>,
@@ -216,6 +332,7 @@ impl NetServer {
         let local_addr = listener
             .local_addr()
             .map_err(|e| EbError::Config(format!("cannot read bound address: {e}")))?;
+        let telemetry = registry.telemetry().map(|r| NetTelemetry::register(&r));
         let shared = Arc::new(NetShared {
             registry,
             conns: DynamicBatcher::new(config.conn_backlog, 1, Duration::ZERO),
@@ -225,6 +342,8 @@ impl NetServer {
             shutdown_flag: Mutex::new(false),
             shutdown_cv: Condvar::new(),
             counters: Counters::default(),
+            telemetry,
+            started: Instant::now(),
             respawned: Mutex::new(Vec::new()),
         });
         let acceptor = {
@@ -354,6 +473,9 @@ fn acceptor_loop(shared: &NetShared, listener: &TcpListener) {
                     break;
                 }
                 Counters::bump(&shared.counters.accepted);
+                if let Some(t) = &shared.telemetry {
+                    t.accepted.inc();
+                }
                 match shared.conns.try_offer(stream, Priority::Normal) {
                     Ok(()) => {}
                     Err(Rejected::Full(stream)) => shed_connection(shared, stream),
@@ -378,6 +500,9 @@ fn acceptor_loop(shared: &NetShared, listener: &TcpListener) {
 /// than one short write.
 fn shed_connection(shared: &NetShared, mut stream: TcpStream) {
     Counters::bump(&shared.counters.shed_connections);
+    if let Some(t) = &shared.telemetry {
+        t.shed_connections.inc();
+    }
     let _ = stream.set_write_timeout(Some(Duration::from_millis(250)));
     let body = br#"{"error":"connection queue at capacity; retry later"}"#;
     let retry = shared.config.retry_after_secs.to_string();
@@ -410,6 +535,9 @@ impl Drop for RespawnGuard {
             return;
         }
         Counters::bump(&self.shared.counters.worker_respawns);
+        if let Some(t) = &self.shared.telemetry {
+            t.worker_respawns.inc();
+        }
         let shared = Arc::clone(&self.shared);
         let spawned = thread::Builder::new()
             .name("eb-net-worker-respawn".into())
@@ -429,16 +557,31 @@ fn worker_loop(shared: Arc<NetShared>) {
         for stream in batch {
             // Connection-level isolation: a panicking handler costs one
             // connection, not the worker (and never the listener).
-            match catch_unwind(AssertUnwindSafe(|| handle_connection(&shared, stream))) {
+            if let Some(t) = &shared.telemetry {
+                t.connections_open.add(1.0);
+            }
+            let outcome = catch_unwind(AssertUnwindSafe(|| handle_connection(&shared, stream)));
+            if let Some(t) = &shared.telemetry {
+                t.connections_open.add(-1.0);
+            }
+            match outcome {
                 Ok(ConnControl::Done) => {}
                 Ok(ConnControl::Panic) => {
                     // Chaos route: panic OUTSIDE the isolation boundary
                     // so the drill exercises the true worker-death →
                     // respawn path rather than the per-connection catch.
                     Counters::bump(&shared.counters.worker_panics);
+                    if let Some(t) = &shared.telemetry {
+                        t.worker_panics.inc();
+                    }
                     panic!("chaos panic requested via /admin/panic");
                 }
-                Err(_) => Counters::bump(&shared.counters.worker_panics),
+                Err(_) => {
+                    Counters::bump(&shared.counters.worker_panics);
+                    if let Some(t) = &shared.telemetry {
+                        t.worker_panics.inc();
+                    }
+                }
             }
         }
     }
@@ -484,8 +627,14 @@ fn handle_connection(shared: &NetShared, mut stream: TcpStream) -> ConnControl {
             Err(e) => {
                 // Wire-level failure: answer if a status applies, then
                 // close — the carry buffer is unusable after an error.
+                if let Some(t) = &shared.telemetry {
+                    t.wire_error(&e).inc();
+                }
                 if let Some((status, _reason)) = e.status() {
                     shared.counters.response(status);
+                    if let Some(t) = &shared.telemetry {
+                        t.response(status);
+                    }
                     let body = format!(
                         r#"{{"error":{}}}"#,
                         super::router::json_string(&e.to_string())
@@ -509,12 +658,20 @@ fn handle_connection(shared: &NetShared, mut stream: TcpStream) -> ConnControl {
             }
         };
         Counters::bump(&shared.counters.requests);
-        let (resp, action) = route(
-            &shared.registry,
-            &req,
-            shared.config.chaos,
-            shared.config.retry_after_secs,
-        );
+        if let Some(t) = &shared.telemetry {
+            t.requests.inc();
+        }
+        // The trace is born here, right after the last wire byte, so
+        // Accepted→Parsed measures routing + body parse, never socket
+        // reads. Created only when telemetry is on.
+        let ctx = RouteCtx {
+            chaos: shared.config.chaos,
+            retry_after_secs: shared.config.retry_after_secs,
+            uptime_secs: shared.started.elapsed().as_secs_f64(),
+            net: shared.counters.snapshot(),
+            trace: shared.telemetry.as_ref().map(|_| Trace::begin()),
+        };
+        let (resp, action) = route(&shared.registry, &req, &ctx);
         if action == Action::Panic {
             // Drop the connection without a response: the client
             // observing a reset is part of the drill.
@@ -523,8 +680,14 @@ fn handle_connection(shared: &NetShared, mut stream: TcpStream) -> ConnControl {
         let close =
             !req.keep_alive || action == Action::Shutdown || shared.stopping.load(Ordering::SeqCst);
         shared.counters.response(resp.status);
+        if let Some(t) = &shared.telemetry {
+            t.response(resp.status);
+        }
         if resp.shed {
             Counters::bump(&shared.counters.shed_requests);
+            if let Some(t) = &shared.telemetry {
+                t.shed_requests.inc();
+            }
         }
         let mut extra: Vec<(&str, String)> = Vec::new();
         if let Some(secs) = resp.retry_after {

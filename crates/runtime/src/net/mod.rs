@@ -27,6 +27,17 @@
 //! contract as a hot swap: stop accepting, serve every connection
 //! already accepted, finish in-flight tickets, join every thread.
 //!
+//! When the served [`Server`](crate::serve::Server) runs with
+//! telemetry (the default),
+//! `GET /metrics` exposes the whole metrics registry in Prometheus
+//! text exposition format — frontend wire counters (`eb_net_*`,
+//! including wire-error classes and an open-connection gauge)
+//! alongside the per-model serving series — and `GET /healthz`
+//! reports uptime and accepted/served/shed totals as JSON. Predict
+//! requests are stage-traced end to end: accepted → parsed →
+//! enqueued → batched → executed → replied, scrapeable as
+//! `eb_request_stage_us{model,stage}` histograms.
+//!
 //! ```no_run
 //! use eb_runtime::net::{NetConfig, NetServer};
 //! use eb_runtime::Server;

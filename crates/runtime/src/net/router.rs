@@ -6,11 +6,32 @@
 //! socket handling stays in the frontend.
 
 use crate::error::EbError;
+use crate::net::frontend::NetStats;
 use crate::net::http::HttpRequest;
 use crate::serve::{Priority, Request, Server};
 use crate::session::predicted_class;
 use eb_bitnn::Tensor;
+use eb_telemetry::{LatencyHistogram, Stage, Trace};
 use std::time::Duration;
+
+/// Per-request context the frontend hands to [`route`]: config knobs,
+/// the live frontend counters (for `/healthz` and `/metrics`), and the
+/// request's stage trace when telemetry is on.
+#[derive(Debug)]
+pub(crate) struct RouteCtx {
+    /// Whether `POST /admin/panic` is routable.
+    pub chaos: bool,
+    /// `Retry-After` seconds advertised on shed responses.
+    pub retry_after_secs: u32,
+    /// Seconds since the frontend bound its listener.
+    pub uptime_secs: f64,
+    /// Frontend counters as of this request.
+    pub net: NetStats,
+    /// The request's trace, stamped [`Stage::Accepted`] right after it
+    /// left the wire. `Some` exactly when the server runs telemetry;
+    /// predict stamps [`Stage::Parsed`] and threads it onto the ticket.
+    pub trace: Option<Trace>,
+}
 
 /// A response the frontend still has to serialise.
 #[derive(Debug)]
@@ -154,7 +175,7 @@ fn json_f32_array(values: &[f32]) -> String {
 }
 
 /// `POST /v1/models/{name}:predict`.
-fn predict(registry: &Server, name: &str, req: &HttpRequest, retry_after_secs: u32) -> Response {
+fn predict(registry: &Server, name: &str, req: &HttpRequest, ctx: &RouteCtx) -> Response {
     let x = match parse_input(&req.body) {
         Ok(x) => x,
         Err(msg) => return Response::error(400, &msg),
@@ -171,11 +192,15 @@ fn predict(registry: &Server, name: &str, req: &HttpRequest, retry_after_secs: u
     if let Some(d) = deadline {
         submit = submit.deadline(d);
     }
+    if let Some(mut trace) = ctx.trace {
+        trace.stamp(Stage::Parsed);
+        submit = submit.trace(trace);
+    }
     let ticket = match handle.try_submit(submit) {
         Ok(t) => t,
         Err(EbError::Overloaded) => {
             let mut resp = Response::error(503, "serving queue at capacity; retry later");
-            resp.retry_after = Some(retry_after_secs);
+            resp.retry_after = Some(ctx.retry_after_secs);
             resp.shed = true;
             return resp;
         }
@@ -207,18 +232,43 @@ fn predict(registry: &Server, name: &str, req: &HttpRequest, retry_after_secs: u
     }
 }
 
-/// `GET /v1/models/{name}:stats` — the pool counters as JSON.
+/// One stage histogram as a JSON summary object.
+fn json_stage_summary(h: &LatencyHistogram) -> String {
+    format!(
+        r#"{{"count":{},"p50_us":{},"p99_us":{},"max_us":{}}}"#,
+        h.count(),
+        h.quantile(0.5),
+        h.quantile(0.99),
+        h.max()
+    )
+}
+
+/// `GET /v1/models/{name}:stats` — the pool counters as JSON, plus a
+/// per-stage latency block when the server runs telemetry.
 fn stats(registry: &Server, name: &str) -> Response {
     match registry.stats(name) {
         Ok(stats) => {
             let total = stats.total();
+            let stages = match registry.stage_histograms(name) {
+                Ok(Some(st)) => {
+                    let entries: Vec<String> = st
+                        .stages()
+                        .iter()
+                        .map(|(stage, h)| {
+                            format!("{}:{}", json_string(stage), json_stage_summary(h))
+                        })
+                        .collect();
+                    format!(r#","stages":{{{}}}"#, entries.join(","))
+                }
+                _ => String::new(),
+            };
             Response::json(
                 200,
                 format!(
                     concat!(
                         r#"{{"model":{},"replicas":{},"inferences":{},"#,
                         r#""micro_batches":{},"shed":{},"rejected":{},"queue_depth":{},"#,
-                        r#""prepare_ns":{},"core_bytes":{},"replica_bytes":{}}}"#
+                        r#""prepare_ns":{},"core_bytes":{},"replica_bytes":{}{}}}"#
                     ),
                     json_string(name),
                     stats.per_replica.len(),
@@ -229,7 +279,8 @@ fn stats(registry: &Server, name: &str) -> Response {
                     stats.queue_depth,
                     stats.prepare_ns,
                     stats.core_bytes,
-                    stats.replica_bytes
+                    stats.replica_bytes,
+                    stages
                 ),
             )
         }
@@ -237,16 +288,54 @@ fn stats(registry: &Server, name: &str) -> Response {
     }
 }
 
+/// `GET /metrics` — the whole registry in Prometheus text exposition
+/// format 0.0.4, or a `404` when the server runs without telemetry.
+fn metrics(registry: &Server, ctx: &RouteCtx) -> Response {
+    match registry.telemetry() {
+        Some(reg) => {
+            // Stamped at scrape time, so the gauge is exact for the
+            // scraper that just read it.
+            reg.gauge(
+                "eb_net_uptime_seconds",
+                "Seconds since the frontend bound its listener.",
+                &[],
+            )
+            .set(ctx.uptime_secs);
+            Response {
+                status: 200,
+                body: reg.render(),
+                content_type: "text/plain; version=0.0.4",
+                retry_after: None,
+                shed: false,
+            }
+        }
+        None => Response::error(404, "telemetry is disabled on this server"),
+    }
+}
+
+/// `GET /healthz` — liveness plus the headline frontend totals.
+fn healthz(ctx: &RouteCtx) -> Response {
+    Response::json(
+        200,
+        format!(
+            concat!(
+                r#"{{"status":"ok","uptime_secs":{:.3},"accepted":{},"#,
+                r#""served":{},"shed":{}}}"#
+            ),
+            ctx.uptime_secs,
+            ctx.net.accepted,
+            ctx.net.responses_2xx,
+            ctx.net.shed_connections + ctx.net.shed_requests
+        ),
+    )
+}
+
 /// Dispatches one parsed request against the registry.
-pub(crate) fn route(
-    registry: &Server,
-    req: &HttpRequest,
-    chaos: bool,
-    retry_after_secs: u32,
-) -> (Response, Action) {
+pub(crate) fn route(registry: &Server, req: &HttpRequest, ctx: &RouteCtx) -> (Response, Action) {
     let path = req.target.split('?').next().unwrap_or(&req.target);
     match (req.method.as_str(), path) {
-        ("GET", "/healthz") => (Response::text(200, "ok\n"), Action::None),
+        ("GET", "/healthz") => (healthz(ctx), Action::None),
+        ("GET", "/metrics") => (metrics(registry, ctx), Action::None),
         ("GET", "/v1/models") => {
             // File-loaded models carry their container's provenance;
             // checksums render as fixed-width hex so clients can diff
@@ -270,14 +359,16 @@ pub(crate) fn route(
             )
         }
         ("POST", "/admin/shutdown") => (Response::text(200, "draining\n"), Action::Shutdown),
-        ("POST", "/admin/panic") if chaos => (Response::text(200, "panicking\n"), Action::Panic),
+        ("POST", "/admin/panic") if ctx.chaos => {
+            (Response::text(200, "panicking\n"), Action::Panic)
+        }
         (method, path) => {
             if let Some(name) = path
                 .strip_prefix("/v1/models/")
                 .and_then(|rest| rest.strip_suffix(":predict"))
             {
                 return match method {
-                    "POST" => (predict(registry, name, req, retry_after_secs), Action::None),
+                    "POST" => (predict(registry, name, req, ctx), Action::None),
                     _ => (Response::error(405, "predict requires POST"), Action::None),
                 };
             }

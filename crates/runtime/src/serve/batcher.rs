@@ -4,6 +4,7 @@
 use crate::error::EbError;
 use crate::serve::lock_recovering;
 use crate::serve::ticket::Priority;
+use eb_telemetry::{Gauge, Histogram};
 use std::collections::VecDeque;
 use std::fmt;
 use std::sync::{Condvar, Mutex, PoisonError};
@@ -74,6 +75,13 @@ pub struct DynamicBatcher<T> {
     capacity: usize,
     max_batch: usize,
     max_wait: Duration,
+    /// Queue-depth gauge, updated under the state lock after every
+    /// mutation so a scrape never sees a depth the queue never had.
+    /// `None` when telemetry is off (the common construction).
+    depth: Option<Gauge>,
+    /// Coalescing-window histogram (first item taken → batch handed
+    /// out), recorded once per [`DynamicBatcher::next_batch`].
+    linger: Option<Histogram>,
 }
 
 impl<T> fmt::Debug for DynamicBatcher<T> {
@@ -105,6 +113,33 @@ impl<T> DynamicBatcher<T> {
             capacity: capacity.max(1),
             max_batch: max_batch.max(1),
             max_wait,
+            depth: None,
+            linger: None,
+        }
+    }
+
+    /// [`DynamicBatcher::new`] plus telemetry: `depth` tracks the queued
+    /// item count (set under the queue lock after every mutation) and
+    /// `linger` records each batch's coalescing window in microseconds.
+    pub fn with_telemetry(
+        capacity: usize,
+        max_batch: usize,
+        max_wait: Duration,
+        depth: Gauge,
+        linger: Histogram,
+    ) -> Self {
+        Self {
+            depth: Some(depth),
+            linger: Some(linger),
+            ..Self::new(capacity, max_batch, max_wait)
+        }
+    }
+
+    /// Publishes `st.len()` to the depth gauge; call before releasing
+    /// the state lock so the gauge only ever shows real depths.
+    fn publish_depth(&self, st: &BatcherState<T>) {
+        if let Some(depth) = &self.depth {
+            depth.set(st.len() as f64);
         }
     }
 
@@ -157,6 +192,7 @@ impl<T> DynamicBatcher<T> {
             return Err(item);
         }
         st.lanes[priority.lane()].push_back(item);
+        self.publish_depth(&st);
         drop(st);
         self.not_empty.notify_one();
         Ok(())
@@ -183,6 +219,7 @@ impl<T> DynamicBatcher<T> {
             return Err(Rejected::Full(item));
         }
         st.lanes[priority.lane()].push_back(item);
+        self.publish_depth(&st);
         drop(st);
         self.not_empty.notify_one();
         Ok(())
@@ -206,6 +243,9 @@ impl<T> DynamicBatcher<T> {
                     .wait(st)
                     .unwrap_or_else(PoisonError::into_inner);
             }
+            // First item present: the coalescing window opens here
+            // (clocked only when a linger histogram is attached).
+            let linger_from = self.linger.as_ref().map(|_| Instant::now());
             // Phase 2: linger for coalescing partners.
             if self.max_wait > Duration::ZERO && st.len() < self.max_batch && !st.closed {
                 // A linger too long to represent as an Instant (e.g.
@@ -244,8 +284,12 @@ impl<T> DynamicBatcher<T> {
                     None => break,
                 }
             }
+            self.publish_depth(&st);
             drop(st);
             self.not_full.notify_all();
+            if let (Some(linger), Some(from)) = (&self.linger, linger_from) {
+                linger.record(from.elapsed().as_micros() as u64);
+            }
             return Some(batch);
         }
     }
@@ -257,6 +301,9 @@ impl<T> DynamicBatcher<T> {
     pub fn try_pop(&self) -> Option<T> {
         let mut st = lock_recovering(&self.state);
         let item = st.pop_front();
+        if item.is_some() {
+            self.publish_depth(&st);
+        }
         drop(st);
         if item.is_some() {
             self.not_full.notify_all();
@@ -284,6 +331,7 @@ impl<T> DynamicBatcher<T> {
         while let Some(item) = st.pop_front() {
             drained.push(item);
         }
+        self.publish_depth(&st);
         drop(st);
         self.not_full.notify_all();
         drained

@@ -18,6 +18,7 @@
 use crate::health::HealthProbe;
 use crate::serve::lock_recovering;
 use crate::serve::registry::ServerInner;
+use eb_telemetry::Counter;
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::thread;
@@ -168,8 +169,51 @@ fn sleep_interval(shared: &MaintenanceShared, interval: Duration) -> bool {
     }
 }
 
+/// The loop's registry counters, mirroring [`MaintenanceStats`] series
+/// by series — resolved once when the thread starts (detached no-op
+/// handles when the server runs without telemetry).
+struct LoopCounters {
+    rounds: Counter,
+    probes: Counter,
+    degradations: Counter,
+    heals: Counter,
+    failures: Counter,
+}
+
+impl LoopCounters {
+    fn resolve(server: &ServerInner) -> Self {
+        let counter = |name: &str, help: &str| match server.metrics() {
+            Some(registry) => registry.counter(name, help, &[]),
+            None => Counter::new(),
+        };
+        Self {
+            rounds: counter(
+                "eb_maintenance_rounds_total",
+                "Completed maintenance probe rounds.",
+            ),
+            probes: counter(
+                "eb_maintenance_probes_total",
+                "Model probes served to completion by the maintenance loop.",
+            ),
+            degradations: counter(
+                "eb_maintenance_degradations_total",
+                "Probes whose canary agreement fell below the floor.",
+            ),
+            heals: counter(
+                "eb_maintenance_heals_total",
+                "Automatic heals completed by the maintenance loop.",
+            ),
+            failures: counter(
+                "eb_maintenance_failures_total",
+                "Maintenance probes or heals that failed outright.",
+            ),
+        }
+    }
+}
+
 /// The thread body: probe every model, heal the degraded ones, repeat.
 fn maintenance_loop(server: &ServerInner, config: &MaintenanceConfig, shared: &MaintenanceShared) {
+    let counters = LoopCounters::resolve(server);
     while sleep_interval(shared, config.interval) {
         for name in server.model_names() {
             // Probe as ordinary traffic through the model's current pool.
@@ -179,22 +223,32 @@ fn maintenance_loop(server: &ServerInner, config: &MaintenanceConfig, shared: &M
                     // Retired mid-round or serving failure: skip it; the
                     // other models still get their checkup.
                     lock_recovering(&shared.stats).failures += 1;
+                    counters.failures.inc();
                     continue;
                 }
             };
             lock_recovering(&shared.stats).probes += 1;
+            counters.probes.inc();
             if report.is_healthy() {
                 continue;
             }
             lock_recovering(&shared.stats).degradations += 1;
+            counters.degradations.inc();
             if !config.auto_heal {
                 continue;
             }
             match server.heal(&name) {
-                Ok(_) => lock_recovering(&shared.stats).heals += 1,
-                Err(_) => lock_recovering(&shared.stats).failures += 1,
+                Ok(_) => {
+                    lock_recovering(&shared.stats).heals += 1;
+                    counters.heals.inc();
+                }
+                Err(_) => {
+                    lock_recovering(&shared.stats).failures += 1;
+                    counters.failures.inc();
+                }
             }
         }
         lock_recovering(&shared.stats).rounds += 1;
+        counters.rounds.inc();
     }
 }

@@ -83,12 +83,14 @@ mod batcher;
 mod maintenance;
 mod pool;
 mod registry;
+mod telemetry;
 mod ticket;
 
 pub use batcher::{DynamicBatcher, Rejected};
 pub use maintenance::{MaintenanceConfig, MaintenanceStats};
 pub use pool::{PoolConfig, PoolHandle, PoolStats, ServePool};
 pub use registry::{derived_model_seed, ModelHandle, ModelOpts, Server, ServerBuilder};
+pub use telemetry::StageHistograms;
 pub use ticket::{Priority, Request, RequestOpts, Ticket, TicketStatus};
 
 use crate::error::EbError;

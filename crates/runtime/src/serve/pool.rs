@@ -6,10 +6,12 @@ use crate::error::EbError;
 use crate::health::{HealthProbe, HealthReport};
 use crate::serve::batcher::{closed_error, DynamicBatcher, Rejected};
 use crate::serve::lock_recovering;
+use crate::serve::telemetry::{PoolTelemetry, StageHistograms};
 use crate::serve::ticket::{Claim, Priority, Request, Ticket, TicketGuard};
 use crate::session::{Session, SessionStats};
 use eb_artifact::Prepared;
 use eb_bitnn::{Bnn, Tensor};
+use eb_telemetry::Registry;
 use std::fmt;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Arc;
@@ -171,6 +173,12 @@ struct PoolShared {
     prepare_ns: u64,
     core_bytes: u64,
     replica_bytes: u64,
+    /// Pre-resolved metric handles, present iff the pool was built with
+    /// telemetry ([`ServePool::with_telemetry`] or through a
+    /// telemetry-enabled [`Server`](crate::Server)). `None` keeps the
+    /// hot path exactly as cheap as before telemetry existed: no trace
+    /// stamping, no `Instant::now` calls, no atomics.
+    telemetry: Option<Arc<PoolTelemetry>>,
 }
 
 /// A sharded serving pool: N replica sessions behind one dynamic
@@ -234,6 +242,38 @@ impl ServePool {
         config: PoolConfig,
         prepared: Option<Prepared>,
     ) -> Result<Self, EbError> {
+        Self::with_prepared_telemetry(runtime, net, config, prepared, None)
+    }
+
+    /// [`ServePool::new`] with per-request telemetry: stage histograms,
+    /// served/shed/rejected counters, and a live queue-depth gauge, all
+    /// registered in `registry` under a `model` label. Handle resolution
+    /// happens here, once — the serving hot path only touches the
+    /// pre-resolved atomics.
+    ///
+    /// # Errors
+    ///
+    /// Exactly [`ServePool::new`]'s.
+    pub fn with_telemetry(
+        runtime: &Runtime,
+        net: &Bnn,
+        config: PoolConfig,
+        registry: &Registry,
+        model: &str,
+    ) -> Result<Self, EbError> {
+        let telemetry = Arc::new(PoolTelemetry::register(registry, model, config.replicas));
+        Self::with_prepared_telemetry(runtime, net, config, None, Some(telemetry))
+    }
+
+    /// The one real constructor: [`ServePool::with_prepared`] plus
+    /// optional pre-resolved telemetry handles.
+    pub(crate) fn with_prepared_telemetry(
+        runtime: &Runtime,
+        net: &Bnn,
+        config: PoolConfig,
+        prepared: Option<Prepared>,
+        telemetry: Option<Arc<PoolTelemetry>>,
+    ) -> Result<Self, EbError> {
         config.validate()?;
         // One call prepares the whole pool: the backend programs (or
         // restores) its substrate once and mints shared-core replicas,
@@ -254,8 +294,18 @@ impl ServePool {
         // core), private rinds summed across replicas.
         let core_bytes = sessions.first().map_or(0, |s| s.memory().core_bytes);
         let replica_bytes = sessions.iter().map(|s| s.memory().replica_bytes).sum();
+        let batcher = match &telemetry {
+            Some(t) => DynamicBatcher::with_telemetry(
+                config.queue_capacity,
+                config.max_batch,
+                config.max_wait,
+                t.queue_depth.clone(),
+                t.linger_us.clone(),
+            ),
+            None => DynamicBatcher::new(config.queue_capacity, config.max_batch, config.max_wait),
+        };
         let shared = Arc::new(PoolShared {
-            batcher: DynamicBatcher::new(config.queue_capacity, config.max_batch, config.max_wait),
+            batcher,
             counters: Mutex::new(vec![ReplicaCounters::default(); config.replicas]),
             last_health: Mutex::new(None),
             backend: runtime.backend_name(),
@@ -264,6 +314,7 @@ impl ServePool {
             prepare_ns,
             core_bytes,
             replica_bytes,
+            telemetry,
         });
         let mut workers = Vec::with_capacity(config.replicas);
         for (replica, session) in sessions.into_iter().enumerate() {
@@ -314,6 +365,12 @@ impl ServePool {
     /// Snapshot of the aggregated per-replica counters.
     pub fn stats(&self) -> PoolStats {
         stats_snapshot(&self.shared)
+    }
+
+    /// Snapshot of the per-stage latency histograms, or `None` when the
+    /// pool was built without telemetry.
+    pub fn stage_snapshot(&self) -> Option<StageHistograms> {
+        self.shared.telemetry.as_ref().map(|t| t.stage_snapshot())
     }
 
     /// Runs a golden-canary health probe through the pool (see
@@ -430,6 +487,9 @@ impl PoolHandle {
         queued: QueuedRequest,
         priority: Priority,
     ) -> Result<(), QueuedRequest> {
+        if self.shared.telemetry.is_some() {
+            queued.guard.stamp_enqueued();
+        }
         self.shared.batcher.offer(queued, priority)
     }
 
@@ -444,17 +504,30 @@ impl PoolHandle {
         queued: QueuedRequest,
         priority: Priority,
     ) -> Result<(), Rejected<QueuedRequest>> {
+        if self.shared.telemetry.is_some() {
+            queued.guard.stamp_enqueued();
+        }
         self.shared.batcher.try_offer(queued, priority)
     }
 
-    /// Records one load-shed refusal (before the caller sees the error).
+    /// Records one load-shed refusal (before the caller sees the error),
+    /// in both the pool-local counter and — when telemetry is on — the
+    /// registry's `eb_requests_shed_total{model}` series.
     pub(crate) fn note_shed(&self) {
         self.shared.shed.fetch_add(1, Ordering::SeqCst);
+        if let Some(t) = &self.shared.telemetry {
+            t.shed.inc();
+        }
     }
 
-    /// Records one closed-pool refusal (before the caller sees the error).
+    /// Records one closed-pool refusal (before the caller sees the
+    /// error), mirrored to `eb_requests_rejected_total{model}` like
+    /// [`PoolHandle::note_shed`].
     pub(crate) fn note_rejected(&self) {
         self.shared.rejected.fetch_add(1, Ordering::SeqCst);
+        if let Some(t) = &self.shared.telemetry {
+            t.rejected.inc();
+        }
     }
 
     /// Runs one inference through the pool, blocking until a replica
@@ -497,6 +570,12 @@ impl PoolHandle {
     /// Snapshot of the aggregated per-replica counters.
     pub fn stats(&self) -> PoolStats {
         stats_snapshot(&self.shared)
+    }
+
+    /// Snapshot of the per-stage latency histograms, or `None` when the
+    /// pool was built without telemetry.
+    pub fn stage_snapshot(&self) -> Option<StageHistograms> {
+        self.shared.telemetry.as_ref().map(|t| t.stage_snapshot())
     }
 
     /// Runs a golden-canary health probe *through the pool*: the canary
@@ -587,14 +666,42 @@ fn worker_loop(mut session: Box<dyn Session>, shared: Arc<PoolShared>, replica: 
         if live.is_empty() {
             continue;
         }
+        // Batch-wide execution clock, taken only when telemetry is on
+        // (two `Instant::now` calls per micro-batch, not per request):
+        // `exec_start` splits each member's batched→executed span into
+        // assembly ("batch") and substrate ("execute") stages.
+        let exec_start = shared.telemetry.as_ref().map(|_| Instant::now());
         let served = serve_micro_batch(session.as_mut(), live);
         {
             let mut counters = lock_recovering(&shared.counters);
             counters[replica].session = session.stats();
             counters[replica].micro_batches += 1;
         }
-        for (guard, result) in served {
-            guard.complete(result);
+        match (&shared.telemetry, exec_start) {
+            (Some(telemetry), Some(exec_start)) => {
+                let executed = Instant::now();
+                telemetry.micro_batches.inc();
+                telemetry.batch_size.record(served.len() as u64);
+                telemetry.replica_execute_us[replica]
+                    .record(executed.duration_since(exec_start).as_micros() as u64);
+                for (guard, result) in served {
+                    // Stage spans and the served counter count *delivered
+                    // successes*: failed requests complete their tickets
+                    // but record nothing, so every histogram's count
+                    // equals the ok responses clients actually got.
+                    let ok = result.is_ok();
+                    guard.complete_served(result, executed, |trace| {
+                        if ok {
+                            telemetry.record_served(trace, exec_start);
+                        }
+                    });
+                }
+            }
+            _ => {
+                for (guard, result) in served {
+                    guard.complete(result);
+                }
+            }
         }
     }
     drop(scuttle_on_panic);
@@ -764,6 +871,55 @@ mod tests {
         let stats = handle.stats();
         assert_eq!(stats.rejected, 2);
         assert_eq!(stats.shed, 0);
+    }
+
+    #[test]
+    fn telemetry_pool_reconciles_counters_and_stage_histograms() {
+        let net = Bnn::new("noop", eb_bitnn::Shape::Flat(1), vec![]).unwrap();
+        let runtime = Runtime::builder().build();
+        let registry = Registry::new();
+        let pool = ServePool::with_telemetry(
+            &runtime,
+            &net,
+            PoolConfig {
+                max_wait: Duration::ZERO,
+                ..PoolConfig::default()
+            },
+            &registry,
+            "m",
+        )
+        .unwrap();
+        let handle = pool.handle();
+        let x = Tensor::zeros(&[1]);
+        for _ in 0..8 {
+            handle.infer(&x).unwrap();
+        }
+        // Read-your-own-writes: with all 8 responses in hand, every
+        // stage histogram already holds all 8 requests (parse is
+        // net-frontend-only and stays empty on direct submission).
+        let stages = pool.stage_snapshot().unwrap();
+        for (name, h) in stages.stages() {
+            let want = if name == "parse" { 0 } else { 8 };
+            assert_eq!(h.count(), want, "stage {name}");
+        }
+        let text = registry.render();
+        assert!(
+            text.contains("eb_requests_served_total{model=\"m\"} 8"),
+            "served counter missing from:\n{text}"
+        );
+        assert!(text.contains("eb_queue_depth{model=\"m\"} 0"), "{text}");
+        pool.shutdown();
+        // Refusals after shutdown mirror into the registry counters.
+        assert!(handle.infer(&x).is_err());
+        let text = registry.render();
+        assert!(
+            text.contains("eb_requests_rejected_total{model=\"m\"} 1"),
+            "rejected counter missing from:\n{text}"
+        );
+        assert!(
+            text.contains("eb_requests_shed_total{model=\"m\"} 0"),
+            "{text}"
+        );
     }
 
     #[test]

@@ -34,10 +34,12 @@ use crate::serve::batcher::{closed_error, Rejected};
 use crate::serve::lock_recovering;
 use crate::serve::maintenance::{MaintenanceConfig, MaintenanceLoop, MaintenanceStats};
 use crate::serve::pool::{PoolConfig, PoolHandle, PoolStats, QueuedRequest, ServePool};
+use crate::serve::telemetry::{PoolTelemetry, StageHistograms};
 use crate::serve::ticket::{Request, Ticket};
 use crate::session::SessionOpts;
 use eb_artifact::{Artifact, ArtifactInfo, Prepared};
 use eb_bitnn::{Bnn, Tensor};
+use eb_telemetry::Registry as MetricsRegistry;
 use eb_xbar::FaultConfig;
 use std::collections::HashMap;
 use std::fmt;
@@ -181,6 +183,11 @@ pub struct Server {
 pub(crate) struct ServerInner {
     models: RwLock<HashMap<String, ModelEntry>>,
     defaults: ModelOpts,
+    /// The metrics registry every model pool, lifecycle event, and
+    /// frontend counter records into — `None` when the server was built
+    /// with [`ServerBuilder::no_telemetry`], which keeps every serving
+    /// hot path free of trace stamps and atomics.
+    telemetry: Option<Arc<MetricsRegistry>>,
 }
 
 impl fmt::Debug for Server {
@@ -200,6 +207,7 @@ impl ServerInner {
     /// base seed and then restored **once**, feeding every replica of
     /// the pool through the shared programmed core.
     fn build_pool(
+        &self,
         name: &str,
         net: &Bnn,
         opts: &ModelOpts,
@@ -211,7 +219,25 @@ impl ServerInner {
             .backend(opts.backend)
             .opts(session)
             .build();
-        ServePool::with_prepared(&runtime, net, opts.pool, prepared)
+        // With telemetry on, resolve the pool's metric handles here —
+        // once per build, under the model's name label — so the worker
+        // hot path only ever touches pre-resolved atomics. A rebuilt
+        // (swapped/healed) pool resolves the *same* series: counters
+        // and histograms accumulate across the model's lifetime.
+        let telemetry = self
+            .telemetry
+            .as_ref()
+            .map(|registry| Arc::new(PoolTelemetry::register(registry, name, opts.pool.replicas)));
+        ServePool::with_prepared_telemetry(&runtime, net, opts.pool, prepared, telemetry)
+    }
+
+    /// Bumps a per-model lifecycle event counter (deploy / swap / fault
+    /// injection / heal / retire) when telemetry is on. Cold path only:
+    /// one registry lookup per event, never per request.
+    fn note_event(&self, metric: &'static str, help: &'static str, model: &str) {
+        if let Some(registry) = &self.telemetry {
+            registry.counter(metric, help, &[("model", model)]).inc();
+        }
     }
 
     /// The baseline options with `injected` (if any) overriding the
@@ -230,6 +256,13 @@ impl ServerInner {
             "unknown model `{name}` (deployed: [{}])",
             known.join(", ")
         ))
+    }
+
+    /// The server's metrics registry, if telemetry is on — what the
+    /// maintenance loop and the network frontend resolve their own
+    /// counters from.
+    pub(crate) fn metrics(&self) -> Option<&Arc<MetricsRegistry>> {
+        self.telemetry.as_ref()
     }
 
     pub(crate) fn model_names(&self) -> Vec<String> {
@@ -265,7 +298,7 @@ impl ServerInner {
         }
         // Prepare outside the map lock — programming crossbars can take
         // a while and other models must keep serving.
-        let pool = Self::build_pool(name, net, &opts, prepared)?;
+        let pool = self.build_pool(name, net, &opts, prepared)?;
         let entry = ModelEntry {
             opts,
             injected: None,
@@ -286,6 +319,12 @@ impl ServerInner {
             )));
         }
         models.insert(name.to_string(), entry);
+        drop(models);
+        self.note_event(
+            "eb_model_deploys_total",
+            "Models deployed under this name.",
+            name,
+        );
         Ok(())
     }
 
@@ -296,6 +335,14 @@ impl ServerInner {
     /// [`ModelHandle`] submissions resubmit), then drain the old pool —
     /// zero dropped tickets. Returns the retired pool's final counters.
     fn rebuild(&self, name: &str, action: Rebuild<'_>) -> Result<PoolStats, EbError> {
+        let (event_metric, event_help) = match &action {
+            Rebuild::Swap { .. } => ("eb_model_swaps_total", "Hot swaps of this model."),
+            Rebuild::Inject(_) => (
+                "eb_model_fault_injections_total",
+                "Fault profiles injected into this model.",
+            ),
+            Rebuild::Heal => ("eb_model_heals_total", "Heal rebuilds of this model."),
+        };
         // Every `unknown_model` call below reads the models lock, so it
         // must only run with no guard live on this thread.
         let plan = {
@@ -322,7 +369,7 @@ impl ServerInner {
             return Err(self.unknown_model(name));
         };
         let new_pool =
-            Self::build_pool(name, &net, &Self::effective_opts(&opts, injected), prepared)?;
+            self.build_pool(name, &net, &Self::effective_opts(&opts, injected), prepared)?;
         let replaced = {
             let mut models = write_recovering(&self.models);
             match models.get_mut(name) {
@@ -344,7 +391,10 @@ impl ServerInner {
         match replaced {
             // Outside every lock: serve the old pool's queued requests
             // to completion and join its workers.
-            Ok(old) => Ok(old.shutdown()),
+            Ok(old) => {
+                self.note_event(event_metric, event_help, name);
+                Ok(old.shutdown())
+            }
             Err(unused) => {
                 drop(unused);
                 Err(self.unknown_model(name))
@@ -355,7 +405,10 @@ impl ServerInner {
     fn retire(&self, name: &str) -> Result<PoolStats, EbError> {
         let entry = write_recovering(&self.models).remove(name);
         match entry {
-            Some(entry) => Ok(entry.pool.shutdown()),
+            Some(entry) => {
+                self.note_event("eb_model_retires_total", "Retirements of this model.", name);
+                Ok(entry.pool.shutdown())
+            }
             None => Err(self.unknown_model(name)),
         }
     }
@@ -379,7 +432,24 @@ impl ServerInner {
                 }
             }
         };
-        handle.health(probe)
+        let report = handle.health(probe)?;
+        if let Some(registry) = &self.telemetry {
+            registry
+                .counter(
+                    "eb_health_probes_total",
+                    "Golden-canary health probes served by this model.",
+                    &[("model", name)],
+                )
+                .inc();
+            registry
+                .gauge(
+                    "eb_model_health_agreement",
+                    "Canary agreement ratio of the most recent health probe (0..1).",
+                    &[("model", name)],
+                )
+                .set(report.agreement);
+        }
+        Ok(report)
     }
 
     /// [`Server::heal`]'s implementation, callable from the maintenance
@@ -688,6 +758,31 @@ impl Server {
         }
     }
 
+    /// Snapshot of model `name`'s per-stage latency histograms, or
+    /// `Ok(None)` when the server runs without telemetry.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`EbError::Config`] for an unknown name.
+    pub fn stage_histograms(&self, name: &str) -> Result<Option<StageHistograms>, EbError> {
+        let models = read_recovering(&self.inner.models);
+        match models.get(name) {
+            Some(entry) => Ok(entry.pool.stage_snapshot()),
+            None => {
+                drop(models);
+                Err(self.inner.unknown_model(name))
+            }
+        }
+    }
+
+    /// The metrics registry this server records into — render it for a
+    /// Prometheus scrape, or share it across servers by passing it to
+    /// [`ServerBuilder::telemetry`]. `None` when the server was built
+    /// with [`ServerBuilder::no_telemetry`].
+    pub fn telemetry(&self) -> Option<Arc<MetricsRegistry>> {
+        self.inner.telemetry.clone()
+    }
+
     /// The [`ModelOpts`] applied by [`Server::deploy`].
     pub fn defaults(&self) -> &ModelOpts {
         &self.inner.defaults
@@ -715,6 +810,11 @@ pub struct ServerBuilder {
     defaults: ModelOpts,
     models: Vec<(String, Bnn, Option<ModelOpts>)>,
     maintenance: Option<MaintenanceConfig>,
+    /// An externally supplied registry to record into; `None` means
+    /// mint a fresh one at [`ServerBuilder::serve`] (telemetry is on by
+    /// default).
+    telemetry: Option<Arc<MetricsRegistry>>,
+    telemetry_off: bool,
 }
 
 impl ServerBuilder {
@@ -765,6 +865,25 @@ impl ServerBuilder {
         self
     }
 
+    /// Records this server's metrics into `registry` instead of a
+    /// freshly minted one — how several servers (or a server and other
+    /// instrumented components) share one scrape surface.
+    pub fn telemetry(mut self, registry: Arc<MetricsRegistry>) -> Self {
+        self.telemetry = Some(registry);
+        self.telemetry_off = false;
+        self
+    }
+
+    /// Disables telemetry entirely: no registry, no per-request trace
+    /// stamps, no counters — the serving hot path is exactly the
+    /// pre-telemetry one. `GET /metrics` on a frontend over this server
+    /// answers 404.
+    pub fn no_telemetry(mut self) -> Self {
+        self.telemetry = None;
+        self.telemetry_off = true;
+        self
+    }
+
     /// Prepares every registered model's pool and starts the server.
     ///
     /// # Errors
@@ -773,11 +892,20 @@ impl ServerBuilder {
     /// prepare-time [`EbError`] from a substrate; pools already started
     /// are drained and torn down in that case.
     pub fn serve(self) -> Result<Server, EbError> {
+        let telemetry = if self.telemetry_off {
+            None
+        } else {
+            Some(
+                self.telemetry
+                    .unwrap_or_else(|| Arc::new(MetricsRegistry::new())),
+            )
+        };
         let server = Server {
             maintenance: Mutex::new(None),
             inner: Arc::new(ServerInner {
                 models: RwLock::new(HashMap::new()),
                 defaults: self.defaults,
+                telemetry,
             }),
         };
         for (name, net, opts) in self.models {
@@ -1162,6 +1290,63 @@ mod tests {
         assert!(finals.degradations >= 1);
         assert!(finals.heals >= 1);
         assert!(server.maintenance_stats().is_none());
+    }
+
+    #[test]
+    fn telemetry_is_on_by_default_and_tracks_lifecycle_events() {
+        let net = mlp(21);
+        let server = Server::builder().model("m", &net).serve().unwrap();
+        let registry = server.telemetry().expect("telemetry defaults to on");
+        let x = x();
+        server.handle("m").unwrap().infer(&x).unwrap();
+        let text = registry.render();
+        assert!(
+            text.contains("eb_model_deploys_total{model=\"m\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("eb_requests_served_total{model=\"m\"} 1"),
+            "{text}"
+        );
+        // A swap accumulates into the *same* series: the model served
+        // one request before and serves one after, so the counter
+        // reads 2 across the generation change.
+        server.swap("m", &mlp(22)).unwrap();
+        server.handle("m").unwrap().infer(&x).unwrap();
+        let text = registry.render();
+        assert!(
+            text.contains("eb_model_swaps_total{model=\"m\"} 1"),
+            "{text}"
+        );
+        assert!(
+            text.contains("eb_requests_served_total{model=\"m\"} 2"),
+            "counters must survive swaps:\n{text}"
+        );
+        let stages = server.stage_histograms("m").unwrap().unwrap();
+        assert_eq!(
+            stages.e2e_us.count(),
+            2,
+            "stage histograms accumulate across swaps, matching served_total"
+        );
+        server.retire("m").unwrap();
+        assert!(server
+            .telemetry()
+            .unwrap()
+            .render()
+            .contains("eb_model_retires_total{model=\"m\"} 1"));
+    }
+
+    #[test]
+    fn no_telemetry_disables_registry_and_snapshots() {
+        let net = mlp(23);
+        let server = Server::builder()
+            .no_telemetry()
+            .model("m", &net)
+            .serve()
+            .unwrap();
+        assert!(server.telemetry().is_none());
+        server.handle("m").unwrap().infer(&x()).unwrap();
+        assert!(server.stage_histograms("m").unwrap().is_none());
     }
 
     #[test]

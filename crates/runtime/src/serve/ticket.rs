@@ -27,6 +27,7 @@
 use crate::error::EbError;
 use crate::serve::{lock_recovering, pool_gone};
 use eb_bitnn::Tensor;
+use eb_telemetry::{Stage, Trace};
 use std::fmt;
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 use std::time::{Duration, Instant};
@@ -98,6 +99,7 @@ pub struct RequestOpts {
 pub struct Request {
     x: Tensor,
     opts: RequestOpts,
+    trace: Option<Trace>,
 }
 
 impl Request {
@@ -106,12 +108,17 @@ impl Request {
         Self {
             x,
             opts: RequestOpts::default(),
+            trace: None,
         }
     }
 
     /// A request with explicit options.
     pub fn with_opts(x: Tensor, opts: RequestOpts) -> Self {
-        Self { x, opts }
+        Self {
+            x,
+            opts,
+            trace: None,
+        }
     }
 
     /// Sets the deadline (see [`RequestOpts::deadline`]).
@@ -123,6 +130,17 @@ impl Request {
     /// Sets the scheduling class.
     pub fn priority(mut self, priority: Priority) -> Self {
         self.opts.priority = priority;
+        self
+    }
+
+    /// Attaches a stage [`Trace`] begun upstream (the HTTP frontend
+    /// stamps `accepted`/`parsed` before submission). A pool with
+    /// telemetry enabled stamps the remaining stages as the request
+    /// moves through it and folds the spans into its per-stage
+    /// histograms at completion; without one the trace rides along
+    /// untouched.
+    pub fn trace(mut self, trace: Trace) -> Self {
+        self.trace = Some(trace);
         self
     }
 
@@ -139,7 +157,7 @@ impl Request {
     /// Splits the request into its queue-side half (input + guard, owned
     /// by the pool) and the client-side [`Ticket`].
     pub(crate) fn into_parts(self) -> (Tensor, TicketGuard, Ticket) {
-        let core = Arc::new(TicketCore::new(self.opts.deadline));
+        let core = Arc::new(TicketCore::new(self.opts.deadline, self.trace));
         (self.x, TicketGuard(Arc::clone(&core)), Ticket { core })
     }
 }
@@ -177,6 +195,11 @@ struct TicketCell {
     status: TicketStatus,
     result: Option<Result<Tensor, EbError>>,
     latency: Option<Duration>,
+    /// The request's stage trace, stamped under this cell's lock as the
+    /// pool moves the request along (so stamps need no atomics of their
+    /// own — they piggyback on lock acquisitions the lifecycle already
+    /// performs).
+    trace: Option<Trace>,
 }
 
 /// State shared between one [`Ticket`] and the pool's queue/worker side.
@@ -188,13 +211,14 @@ pub(crate) struct TicketCore {
 }
 
 impl TicketCore {
-    fn new(deadline: Option<Duration>) -> Self {
+    fn new(deadline: Option<Duration>, trace: Option<Trace>) -> Self {
         let submitted = Instant::now();
         Self {
             cell: Mutex::new(TicketCell {
                 status: TicketStatus::Pending,
                 result: None,
                 latency: None,
+                trace,
             }),
             done: Condvar::new(),
             submitted,
@@ -234,10 +258,45 @@ impl TicketCore {
                     Claim::Expired
                 } else {
                     cell.status = TicketStatus::Serving;
+                    if let Some(trace) = cell.trace.as_mut() {
+                        trace.stamp(Stage::Batched);
+                    }
                     Claim::Claimed
                 }
             }
         }
+    }
+
+    /// [`TicketCore::complete`] for the served path: stamps
+    /// [`Stage::Executed`] (at the batch-wide `executed` instant) and
+    /// [`Stage::Replied`] on the trace, then runs `record` over the
+    /// stamped trace — **under the cell lock, before the waiter can
+    /// observe completion** — iff this call completed the ticket. The
+    /// worker's `record` folds the spans into the pool's telemetry, so
+    /// a client holding its result always finds that result already
+    /// reflected in a metrics scrape (read-your-own-writes across the
+    /// whole pipeline). Returns whether this call completed the ticket.
+    fn complete_served(
+        &self,
+        result: Result<Tensor, EbError>,
+        executed: Instant,
+        record: impl FnOnce(&Trace),
+    ) -> bool {
+        let mut cell = lock_recovering(&self.cell);
+        if cell.status == TicketStatus::Done {
+            return false;
+        }
+        cell.status = TicketStatus::Done;
+        cell.result = Some(result);
+        cell.latency = Some(self.submitted.elapsed());
+        if let Some(trace) = cell.trace.as_mut() {
+            trace.stamp_at(Stage::Executed, executed);
+            trace.stamp(Stage::Replied);
+            record(trace);
+        }
+        drop(cell);
+        self.done.notify_all();
+        true
     }
 
     /// `Pending → Done(Cancelled)`; `false` once serving has started or
@@ -344,6 +403,14 @@ impl Ticket {
     pub fn latency(&self) -> Option<Duration> {
         lock_recovering(&self.core.cell).latency
     }
+
+    /// The request's stage [`Trace`] — attached via [`Request::trace`]
+    /// or begun by a telemetry-enabled pool at enqueue, and fully
+    /// stamped once the request is served. `None` when neither side
+    /// started one.
+    pub fn trace(&self) -> Option<Trace> {
+        lock_recovering(&self.core.cell).trace
+    }
 }
 
 /// The queue-side half of a ticket, owned by the pool while the request
@@ -362,6 +429,36 @@ impl TicketGuard {
     /// completed, e.g. cancelled after claiming raced the claim).
     pub(crate) fn complete(&self, result: Result<Tensor, EbError>) {
         self.0.complete(result);
+    }
+
+    /// Publishes a served result, stamping the trace's final stages and
+    /// running `record` over it before the waiter can observe
+    /// completion — see [`TicketCore::complete_served`].
+    pub(crate) fn complete_served(
+        &self,
+        result: Result<Tensor, EbError>,
+        executed: Instant,
+        record: impl FnOnce(&Trace),
+    ) -> bool {
+        self.0.complete_served(result, executed, record)
+    }
+
+    /// Stamps [`Stage::Enqueued`] on the request's trace — called by a
+    /// telemetry-enabled pool as it admits the request to its queue
+    /// (and again on a hot-swap re-offer, which re-enqueues for real).
+    /// When the request carries no trace (direct pool submission, no
+    /// HTTP frontend upstream), one is begun here so every served
+    /// request contributes to the queue/batch/execute/reply histograms.
+    pub(crate) fn stamp_enqueued(&self) {
+        let mut cell = lock_recovering(&self.0.cell);
+        match cell.trace.as_mut() {
+            Some(trace) => trace.stamp(Stage::Enqueued),
+            None => {
+                let mut trace = Trace::begin();
+                trace.stamp(Stage::Enqueued);
+                cell.trace = Some(trace);
+            }
+        }
     }
 }
 

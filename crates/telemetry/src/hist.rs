@@ -1,14 +1,19 @@
-//! A log-bucketed latency histogram for the tail-latency harness.
+//! A log-bucketed latency histogram (promoted from eb-bench's
+//! tail-latency harness — eb-bench re-exports it unchanged).
 //!
 //! Values 0..32 are recorded exactly; above that, each power-of-two
 //! octave is split into 32 sub-buckets, so any recorded value is
 //! reconstructed within ~3% relative error while the whole `u64` range
-//! fits in under 2k buckets. Unit-agnostic — the load generator feeds
-//! it microseconds.
+//! fits in under 2k buckets. Unit-agnostic — the serving stack and the
+//! load generator both feed it microseconds.
 
 /// Sub-bucket resolution: each octave splits into `2^SUB_BITS` buckets.
 const SUB_BITS: u32 = 5;
 const SUBS: u64 = 1 << SUB_BITS;
+
+/// Buckets needed to cover the full `u64` range — the fixed size of the
+/// atomic [`Histogram`](crate::Histogram)'s bucket array.
+pub(crate) const MAX_BUCKETS: usize = bucket_index(u64::MAX) + 1;
 
 /// Fixed-memory histogram with bounded relative error (see module
 /// docs). Buckets grow lazily up to ~1.9k entries for full `u64` range.
@@ -22,13 +27,13 @@ pub struct LatencyHistogram {
 }
 
 /// Bucket index for `v`: identity below `SUBS`, log-bucketed above.
-fn bucket_index(v: u64) -> usize {
+pub(crate) const fn bucket_index(v: u64) -> usize {
     if v < SUBS {
         return v as usize;
     }
     let exp = 63 - v.leading_zeros(); // v in [2^exp, 2^exp+1), exp >= SUB_BITS
     let sub = (v >> (exp - SUB_BITS)) & (SUBS - 1);
-    (((u64::from(exp) - u64::from(SUB_BITS)) * SUBS) + SUBS + sub) as usize
+    (((exp as u64 - SUB_BITS as u64) * SUBS) + SUBS + sub) as usize
 }
 
 /// Midpoint of bucket `index` — the value quantiles report.
@@ -44,10 +49,54 @@ fn bucket_value(index: usize) -> u64 {
     (1u64 << exp) + sub * width + width / 2
 }
 
+/// Smallest value landing in bucket `index`.
+fn bucket_lower(index: usize) -> u64 {
+    let index = index as u64;
+    if index < SUBS {
+        return index;
+    }
+    let b = index - SUBS;
+    let exp = (b / SUBS) as u32 + SUB_BITS;
+    let sub = b % SUBS;
+    let width = 1u64 << (exp - SUB_BITS);
+    (1u64 << exp) + sub * width
+}
+
+/// Largest value landing in bucket `index` (inclusive).
+fn bucket_upper(index: usize) -> u64 {
+    if index + 1 >= MAX_BUCKETS {
+        u64::MAX
+    } else {
+        bucket_lower(index + 1) - 1
+    }
+}
+
 impl LatencyHistogram {
     /// An empty histogram.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Reassembles a snapshot from raw bucket counts (the atomic
+    /// [`Histogram`](crate::Histogram)'s read path). The total is
+    /// derived from the counts so the snapshot is internally consistent
+    /// even when writers raced the reads.
+    pub(crate) fn from_parts(counts: Vec<u64>, min: u64, max: u64, sum: u128) -> Self {
+        let total: u64 = counts.iter().sum();
+        if total == 0 {
+            return Self::default();
+        }
+        let mut h = Self {
+            counts,
+            total,
+            min: if min == u64::MAX { 0 } else { min },
+            max,
+            sum,
+        };
+        while h.counts.last() == Some(&0) {
+            h.counts.pop();
+        }
+        h
     }
 
     /// Records one value.
@@ -83,12 +132,31 @@ impl LatencyHistogram {
         self.max
     }
 
+    /// Exact sum of recorded values.
+    pub fn sum(&self) -> u128 {
+        self.sum
+    }
+
     /// Arithmetic mean of recorded values (exact sum), or 0 when empty.
     pub fn mean(&self) -> f64 {
         if self.total == 0 {
             return 0.0;
         }
         self.sum as f64 / self.total as f64
+    }
+
+    /// Number of recorded values whose *bucket* lies entirely at or
+    /// below `bound` — the cumulative count a Prometheus
+    /// `_bucket{le="bound"}` series reports. Monotone nondecreasing in
+    /// `bound` by construction; values in the bucket straddling `bound`
+    /// are excluded (an under-count of at most one bucket's ~3% width).
+    pub fn count_le(&self, bound: u64) -> u64 {
+        self.counts
+            .iter()
+            .enumerate()
+            .take_while(|(idx, _)| bucket_upper(*idx) <= bound)
+            .map(|(_, &count)| count)
+            .sum()
     }
 
     /// Value at quantile `q` in `[0, 1]` — the recorded value whose rank
@@ -155,6 +223,43 @@ mod tests {
                 assert!(err <= 1.0 / 32.0, "value {v} → midpoint {mid}");
             }
         }
+    }
+
+    #[test]
+    fn bucket_edges_tile_the_u64_range() {
+        assert_eq!(bucket_index(u64::MAX) + 1, MAX_BUCKETS);
+        for idx in 0..MAX_BUCKETS {
+            let lo = bucket_lower(idx);
+            let hi = bucket_upper(idx);
+            assert!(lo <= hi, "bucket {idx} inverted");
+            assert_eq!(bucket_index(lo), idx, "lower edge of {idx}");
+            assert_eq!(bucket_index(hi), idx, "upper edge of {idx}");
+            if idx + 1 < MAX_BUCKETS {
+                assert_eq!(bucket_lower(idx + 1), hi + 1, "gap after {idx}");
+            }
+        }
+    }
+
+    #[test]
+    fn count_le_is_monotone_and_exact_at_edges() {
+        let mut h = LatencyHistogram::new();
+        for v in 1..=10_000u64 {
+            h.record(v);
+        }
+        // Exact region: every bound below 32 is an exact cutoff.
+        assert_eq!(h.count_le(0), 0);
+        assert_eq!(h.count_le(31), 31);
+        // A bucket upper edge is exact by definition.
+        let edge = bucket_upper(bucket_index(5_000));
+        assert_eq!(h.count_le(edge), edge.min(10_000));
+        let mut prev = 0;
+        for bound in (0..12_000u64).step_by(97) {
+            let c = h.count_le(bound);
+            assert!(c >= prev, "count_le regressed at {bound}");
+            assert!(c <= h.count());
+            prev = c;
+        }
+        assert_eq!(h.count_le(u64::MAX), h.count());
     }
 
     #[test]

@@ -1,0 +1,234 @@
+//! Lock-free metric handles — the pre-resolved atomics the hot path
+//! touches.
+//!
+//! All three types are cheap clones of an `Arc`'d atomic core: clones
+//! handed out by the [`Registry`](crate::Registry) for the same
+//! `(name, labels)` share the same storage, so a worker thread bumping
+//! its handle and a scrape reading the registry's see one value. Every
+//! operation uses `Relaxed` ordering — telemetry rides the release/
+//! acquire chains the serving data structures already establish (queue
+//! mutexes, ticket condvars), so by the time a scrape *observes* a
+//! completed request through those structures, its counter bumps are
+//! visible too.
+
+use crate::hist::{bucket_index, LatencyHistogram, MAX_BUCKETS};
+use std::fmt;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+/// A monotonically increasing `u64` — one `AtomicU64`, `Relaxed` adds.
+#[derive(Clone, Debug, Default)]
+pub struct Counter(Arc<AtomicU64>);
+
+impl Counter {
+    /// A detached counter (not registered anywhere) starting at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds 1.
+    pub fn inc(&self) {
+        self.0.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Adds `n`.
+    pub fn add(&self, n: u64) {
+        self.0.fetch_add(n, Ordering::Relaxed);
+    }
+
+    /// Current value.
+    pub fn get(&self) -> u64 {
+        self.0.load(Ordering::Relaxed)
+    }
+}
+
+/// A settable `f64` (stored as bits in one `AtomicU64`) — queue depths,
+/// agreement ratios, uptimes.
+#[derive(Clone, Debug)]
+pub struct Gauge(Arc<AtomicU64>);
+
+impl Default for Gauge {
+    fn default() -> Self {
+        Self(Arc::new(AtomicU64::new(0f64.to_bits())))
+    }
+}
+
+impl Gauge {
+    /// A detached gauge (not registered anywhere) starting at 0.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Sets the value.
+    pub fn set(&self, v: f64) {
+        self.0.store(v.to_bits(), Ordering::Relaxed);
+    }
+
+    /// Adds `delta` (may be negative) via a CAS loop.
+    pub fn add(&self, delta: f64) {
+        let mut cur = self.0.load(Ordering::Relaxed);
+        loop {
+            let next = (f64::from_bits(cur) + delta).to_bits();
+            match self
+                .0
+                .compare_exchange_weak(cur, next, Ordering::Relaxed, Ordering::Relaxed)
+            {
+                Ok(_) => return,
+                Err(seen) => cur = seen,
+            }
+        }
+    }
+
+    /// Current value.
+    pub fn get(&self) -> f64 {
+        f64::from_bits(self.0.load(Ordering::Relaxed))
+    }
+}
+
+/// The concurrent twin of [`LatencyHistogram`]: a fixed array of
+/// `AtomicU64` buckets (every bucket the log scheme can ever address,
+/// ~15 KB) plus sum/min/max atomics. [`Histogram::record`] is four
+/// `Relaxed` atomic RMWs with no branches on shared state — safe to
+/// call from any number of threads; [`Histogram::snapshot`] reassembles
+/// a mergeable [`LatencyHistogram`] whose total is derived from the
+/// bucket counts, so a snapshot racing writers is still internally
+/// consistent.
+#[derive(Clone)]
+pub struct Histogram(Arc<HistogramCore>);
+
+struct HistogramCore {
+    buckets: Vec<AtomicU64>,
+    sum: AtomicU64,
+    min: AtomicU64,
+    max: AtomicU64,
+}
+
+impl fmt::Debug for Histogram {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.debug_struct("Histogram")
+            .field("count", &self.snapshot().count())
+            .finish()
+    }
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self(Arc::new(HistogramCore {
+            buckets: (0..MAX_BUCKETS).map(|_| AtomicU64::new(0)).collect(),
+            sum: AtomicU64::new(0),
+            min: AtomicU64::new(u64::MAX),
+            max: AtomicU64::new(0),
+        }))
+    }
+}
+
+impl Histogram {
+    /// A detached histogram (not registered anywhere), empty.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records one value: bucket, sum, min, max — four `Relaxed` RMWs.
+    pub fn record(&self, v: u64) {
+        self.0.buckets[bucket_index(v)].fetch_add(1, Ordering::Relaxed);
+        self.0.sum.fetch_add(v, Ordering::Relaxed);
+        self.0.min.fetch_min(v, Ordering::Relaxed);
+        self.0.max.fetch_max(v, Ordering::Relaxed);
+    }
+
+    /// A point-in-time [`LatencyHistogram`] of everything recorded so
+    /// far (total derived from the bucket counts — see type docs).
+    pub fn snapshot(&self) -> LatencyHistogram {
+        let counts: Vec<u64> = self
+            .0
+            .buckets
+            .iter()
+            .map(|b| b.load(Ordering::Relaxed))
+            .collect();
+        LatencyHistogram::from_parts(
+            counts,
+            self.0.min.load(Ordering::Relaxed),
+            self.0.max.load(Ordering::Relaxed),
+            u128::from(self.0.sum.load(Ordering::Relaxed)),
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Barrier;
+    use std::thread;
+
+    #[test]
+    fn counter_and_gauge_share_storage_across_clones() {
+        let c = Counter::new();
+        let c2 = c.clone();
+        c.inc();
+        c2.add(9);
+        assert_eq!(c.get(), 10);
+
+        let g = Gauge::new();
+        let g2 = g.clone();
+        g.set(2.5);
+        g2.add(-1.0);
+        assert!((g.get() - 1.5).abs() < f64::EPSILON);
+    }
+
+    #[test]
+    fn atomic_histogram_snapshot_matches_sequential_recording() {
+        let h = Histogram::new();
+        let mut want = LatencyHistogram::new();
+        for v in [0u64, 1, 31, 32, 1000, 123_456, 9_999_999_999] {
+            h.record(v);
+            want.record(v);
+        }
+        assert_eq!(h.snapshot(), want);
+    }
+
+    #[test]
+    fn extreme_values_keep_counts_and_bounds_exact() {
+        // The atomic sum is a u64 and wraps on astronomical totals (a
+        // non-issue for microsecond latencies); counts, min, max, and
+        // quantiles stay exact regardless.
+        let h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(0);
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), 2);
+        assert_eq!(snap.min(), 0);
+        assert_eq!(snap.max(), u64::MAX);
+        assert!(snap.quantile(1.0) >= u64::MAX / 33 * 32);
+    }
+
+    #[test]
+    fn empty_snapshot_is_the_default_histogram() {
+        assert_eq!(Histogram::new().snapshot(), LatencyHistogram::new());
+    }
+
+    #[test]
+    fn concurrent_recording_loses_nothing() {
+        let h = Histogram::new();
+        let threads = 4;
+        let per_thread = 5_000u64;
+        let barrier = Barrier::new(threads);
+        thread::scope(|s| {
+            for t in 0..threads as u64 {
+                let h = h.clone();
+                let barrier = &barrier;
+                s.spawn(move || {
+                    barrier.wait();
+                    for i in 0..per_thread {
+                        h.record(t * per_thread + i);
+                    }
+                });
+            }
+        });
+        let snap = h.snapshot();
+        assert_eq!(snap.count(), threads as u64 * per_thread);
+        let n = threads as u64 * per_thread;
+        assert_eq!(snap.sum(), u128::from(n) * u128::from(n - 1) / 2);
+        assert_eq!(snap.min(), 0);
+        assert_eq!(snap.max(), n - 1);
+    }
+}

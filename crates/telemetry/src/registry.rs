@@ -1,0 +1,374 @@
+//! The process-wide metric registry: `(name, labels)` → handle, plus
+//! the Prometheus text renderer.
+//!
+//! # Cardinality rules
+//!
+//! The registry never expires series, so label values must come from
+//! small closed sets decided at deploy time: model names, replica
+//! indices, error classes, stage names. Never label by request
+//! content, client address, or anything unbounded.
+
+use crate::hist::LatencyHistogram;
+use crate::metrics::{Counter, Gauge, Histogram};
+use std::collections::BTreeMap;
+use std::fmt;
+use std::fmt::Write as _;
+use std::sync::{Mutex, PoisonError};
+
+/// Cumulative-bucket upper bounds the renderer exposes, in the unit the
+/// histogram was recorded in (the serving stack records microseconds):
+/// a coarse 1-2.5-5 ladder from 1 µs to 10 s, plus `+Inf`.
+const LE_BOUNDS: [u64; 22] = [
+    1, 2, 5, 10, 25, 50, 100, 250, 500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000,
+    250_000, 500_000, 1_000_000, 2_500_000, 5_000_000, 10_000_000,
+];
+
+#[derive(Clone, Copy, PartialEq, Eq)]
+enum Kind {
+    Counter,
+    Gauge,
+    Histogram,
+}
+
+impl Kind {
+    fn as_str(self) -> &'static str {
+        match self {
+            Self::Counter => "counter",
+            Self::Gauge => "gauge",
+            Self::Histogram => "histogram",
+        }
+    }
+}
+
+enum Series {
+    Counter(Counter),
+    Gauge(Gauge),
+    Histogram(Histogram),
+}
+
+/// One metric name: its kind, help text, and every label combination
+/// registered under it. Label sets are sorted by label name, so render
+/// order is deterministic.
+struct Family {
+    kind: Kind,
+    help: String,
+    series: BTreeMap<Vec<(String, String)>, Series>,
+}
+
+/// The `(metric name, label set)` → atomic-handle map (see module docs
+/// for the cardinality rules). Handle lookup takes the registry lock —
+/// do it once at spin-up and keep the returned [`Counter`]/[`Gauge`]/
+/// [`Histogram`] clones on the hot path, which then never locks.
+///
+/// Asking twice for the same `(name, labels)` returns handles sharing
+/// the same storage. Asking for a name that exists under a *different*
+/// kind is a caller bug: the registry returns a detached handle (valid
+/// to use, visible nowhere) rather than corrupting the family, and
+/// debug builds panic.
+#[derive(Default)]
+pub struct Registry {
+    families: Mutex<BTreeMap<String, Family>>,
+}
+
+impl fmt::Debug for Registry {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let families = self.lock();
+        f.debug_struct("Registry")
+            .field("families", &families.len())
+            .field(
+                "series",
+                &families.values().map(|fam| fam.series.len()).sum::<usize>(),
+            )
+            .finish()
+    }
+}
+
+fn label_key(labels: &[(&str, &str)]) -> Vec<(String, String)> {
+    let mut key: Vec<(String, String)> = labels
+        .iter()
+        .map(|(k, v)| ((*k).to_owned(), (*v).to_owned()))
+        .collect();
+    key.sort();
+    key
+}
+
+impl Registry {
+    /// An empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, BTreeMap<String, Family>> {
+        self.families.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn series<H: Default + Clone>(
+        &self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        kind: Kind,
+        wrap: impl Fn(H) -> Series,
+        unwrap: impl Fn(&Series) -> Option<H>,
+    ) -> H {
+        let mut families = self.lock();
+        let family = families.entry(name.to_owned()).or_insert_with(|| Family {
+            kind,
+            help: help.to_owned(),
+            series: BTreeMap::new(),
+        });
+        if family.kind != kind {
+            debug_assert!(
+                false,
+                "metric {name} registered as {} but requested as {}",
+                family.kind.as_str(),
+                kind.as_str()
+            );
+            return H::default();
+        }
+        let entry = family
+            .series
+            .entry(label_key(labels))
+            .or_insert_with(|| wrap(H::default()));
+        // The `None` arm is unreachable: the family kind check above
+        // already gates the variant. Hand back a detached handle anyway.
+        unwrap(entry).unwrap_or_default()
+    }
+
+    /// The counter `name{labels}`, creating it (starting at 0) on first
+    /// request. `help` is recorded on first registration of `name`.
+    pub fn counter(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Counter {
+        self.series(
+            name,
+            help,
+            labels,
+            Kind::Counter,
+            Series::Counter,
+            |s| match s {
+                Series::Counter(c) => Some(c.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// The gauge `name{labels}`, creating it (at 0) on first request.
+    pub fn gauge(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Gauge {
+        self.series(
+            name,
+            help,
+            labels,
+            Kind::Gauge,
+            Series::Gauge,
+            |s| match s {
+                Series::Gauge(g) => Some(g.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// The histogram `name{labels}`, creating it (empty) on first
+    /// request.
+    pub fn histogram(&self, name: &str, help: &str, labels: &[(&str, &str)]) -> Histogram {
+        self.series(
+            name,
+            help,
+            labels,
+            Kind::Histogram,
+            Series::Histogram,
+            |s| match s {
+                Series::Histogram(h) => Some(h.clone()),
+                _ => None,
+            },
+        )
+    }
+
+    /// Snapshot of the histogram `name{labels}` if that series exists
+    /// (without creating it) — how the serving layers read back stage
+    /// distributions for JSON summaries.
+    pub fn histogram_snapshot(
+        &self,
+        name: &str,
+        labels: &[(&str, &str)],
+    ) -> Option<LatencyHistogram> {
+        let families = self.lock();
+        match families.get(name)?.series.get(&label_key(labels))? {
+            Series::Histogram(h) => Some(h.snapshot()),
+            _ => None,
+        }
+    }
+
+    /// Renders every registered series in the Prometheus text
+    /// exposition format (version 0.0.4): families sorted by name, each
+    /// with `# HELP`/`# TYPE` headers; histogram series expand into
+    /// cumulative `_bucket{le=...}` lines (monotone by construction —
+    /// each bound counts the internal buckets lying entirely at or
+    /// below it), `_sum`, and `_count`.
+    pub fn render(&self) -> String {
+        let mut out = String::new();
+        let families = self.lock();
+        for (name, family) in families.iter() {
+            let _ = writeln!(out, "# HELP {name} {}", escape_help(&family.help));
+            let _ = writeln!(out, "# TYPE {name} {}", family.kind.as_str());
+            for (labels, series) in &family.series {
+                match series {
+                    Series::Counter(c) => {
+                        let _ = writeln!(out, "{name}{} {}", render_labels(labels, None), c.get());
+                    }
+                    Series::Gauge(g) => {
+                        let _ = writeln!(out, "{name}{} {}", render_labels(labels, None), g.get());
+                    }
+                    Series::Histogram(h) => {
+                        let snap = h.snapshot();
+                        for bound in LE_BOUNDS {
+                            let _ = writeln!(
+                                out,
+                                "{name}_bucket{} {}",
+                                render_labels(labels, Some(&bound.to_string())),
+                                snap.count_le(bound)
+                            );
+                        }
+                        let _ = writeln!(
+                            out,
+                            "{name}_bucket{} {}",
+                            render_labels(labels, Some("+Inf")),
+                            snap.count()
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{name}_sum{} {}",
+                            render_labels(labels, None),
+                            snap.sum()
+                        );
+                        let _ = writeln!(
+                            out,
+                            "{name}_count{} {}",
+                            render_labels(labels, None),
+                            snap.count()
+                        );
+                    }
+                }
+            }
+        }
+        out
+    }
+}
+
+/// `{a="x",b="y"}`, with `le` appended last when given; empty string
+/// for a label-free series.
+fn render_labels(labels: &[(String, String)], le: Option<&str>) -> String {
+    if labels.is_empty() && le.is_none() {
+        return String::new();
+    }
+    let mut out = String::from("{");
+    for (i, (k, v)) in labels.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        let _ = write!(out, "{k}=\"{}\"", escape_label(v));
+    }
+    if let Some(le) = le {
+        if !labels.is_empty() {
+            out.push(',');
+        }
+        let _ = write!(out, "le=\"{le}\"");
+    }
+    out.push('}');
+    out
+}
+
+/// Label-value escaping per the exposition format: backslash, double
+/// quote, and newline.
+fn escape_label(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Help-text escaping: backslash and newline (quotes are legal there).
+fn escape_help(v: &str) -> String {
+    let mut out = String::with_capacity(v.len());
+    for c in v.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_name_and_labels_share_storage() {
+        let r = Registry::new();
+        r.counter("hits_total", "Hits.", &[("model", "a")]).inc();
+        r.counter("hits_total", "Hits.", &[("model", "a")]).add(2);
+        // Label order must not matter.
+        let c = r.counter("x", "X.", &[("b", "2"), ("a", "1")]);
+        c.inc();
+        assert_eq!(r.counter("x", "X.", &[("a", "1"), ("b", "2")]).get(), 1);
+        assert!(r.render().contains("hits_total{model=\"a\"} 3"));
+    }
+
+    #[test]
+    fn distinct_labels_are_distinct_series() {
+        let r = Registry::new();
+        r.counter("hits_total", "Hits.", &[("model", "a")]).inc();
+        r.counter("hits_total", "Hits.", &[("model", "b")]).add(5);
+        let text = r.render();
+        assert!(text.contains("hits_total{model=\"a\"} 1"));
+        assert!(text.contains("hits_total{model=\"b\"} 5"));
+        // One family header for both series.
+        assert_eq!(text.matches("# TYPE hits_total counter").count(), 1);
+    }
+
+    #[test]
+    fn render_covers_all_three_kinds() {
+        let r = Registry::new();
+        r.counter("c_total", "A counter.", &[]).inc();
+        r.gauge("g", "A gauge.", &[]).set(0.75);
+        let h = r.histogram("h_us", "A histogram.", &[("model", "m")]);
+        h.record(3);
+        h.record(40);
+        let text = r.render();
+        assert!(text.contains("# TYPE c_total counter"));
+        assert!(text.contains("c_total 1"));
+        assert!(text.contains("g 0.75"));
+        assert!(text.contains("# TYPE h_us histogram"));
+        // 3 ≤ 5 exactly; 40 lands in the straddling [40,41] bucket which
+        // is entirely ≤ 50.
+        assert!(text.contains("h_us_bucket{model=\"m\",le=\"5\"} 1"));
+        assert!(text.contains("h_us_bucket{model=\"m\",le=\"50\"} 2"));
+        assert!(text.contains("h_us_bucket{model=\"m\",le=\"+Inf\"} 2"));
+        assert!(text.contains("h_us_sum{model=\"m\"} 43"));
+        assert!(text.contains("h_us_count{model=\"m\"} 2"));
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let r = Registry::new();
+        r.counter("e_total", "Esc.", &[("v", "a\"b\\c\nd")]).inc();
+        assert!(r.render().contains("e_total{v=\"a\\\"b\\\\c\\nd\"} 1"));
+    }
+
+    #[test]
+    fn histogram_snapshot_reads_without_creating() {
+        let r = Registry::new();
+        assert!(r.histogram_snapshot("lat_us", &[("model", "m")]).is_none());
+        r.histogram("lat_us", "Latency.", &[("model", "m")])
+            .record(7);
+        let snap = r.histogram_snapshot("lat_us", &[("model", "m")]).unwrap();
+        assert_eq!(snap.count(), 1);
+        assert_eq!(snap.min(), 7);
+    }
+}

@@ -1,0 +1,186 @@
+//! Per-request stage traces: one `Instant` plus six nanosecond
+//! offsets, stamped as a request moves through the serving pipeline.
+
+use std::time::Instant;
+
+/// The pipeline stages a request moves through, in order. Net-served
+/// requests stamp all six; requests submitted directly to a pool start
+/// life at [`Stage::Enqueued`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Stage {
+    /// Request read off the wire (HTTP head + body complete).
+    Accepted = 0,
+    /// Body parsed and validated into a tensor.
+    Parsed = 1,
+    /// Admitted into a pool's queue (re-stamped if a hot swap re-offers
+    /// the request to a successor pool).
+    Enqueued = 2,
+    /// Claimed by a replica worker into a micro-batch.
+    Batched = 3,
+    /// Substrate execution of the micro-batch finished.
+    Executed = 4,
+    /// Result published to the ticket (waiter wakeable).
+    Replied = 5,
+}
+
+impl Stage {
+    /// Number of stages.
+    pub const COUNT: usize = 6;
+
+    /// All stages, pipeline order.
+    pub const ALL: [Stage; Stage::COUNT] = [
+        Stage::Accepted,
+        Stage::Parsed,
+        Stage::Enqueued,
+        Stage::Batched,
+        Stage::Executed,
+        Stage::Replied,
+    ];
+
+    /// Lower-case stage name (label-value material).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Stage::Accepted => "accepted",
+            Stage::Parsed => "parsed",
+            Stage::Enqueued => "enqueued",
+            Stage::Batched => "batched",
+            Stage::Executed => "executed",
+            Stage::Replied => "replied",
+        }
+    }
+}
+
+/// Offset value marking a stage as not yet stamped.
+const UNSET: u64 = u64::MAX;
+
+/// A per-request stage clock: the `Instant` the request entered the
+/// pipeline plus one nanosecond offset per [`Stage`]. `Copy` and
+/// lock-free by construction — the trace travels *inside* the request
+/// through the queues, so stamping is a plain array write by whichever
+/// thread owns the request at that stage; only the final fold into the
+/// shared histograms touches atomics.
+#[derive(Clone, Copy, Debug)]
+pub struct Trace {
+    start: Instant,
+    stamps: [u64; Stage::COUNT],
+}
+
+impl Trace {
+    /// Starts a trace now, stamping [`Stage::Accepted`] at offset 0.
+    pub fn begin() -> Self {
+        let mut stamps = [UNSET; Stage::COUNT];
+        stamps[Stage::Accepted as usize] = 0;
+        Self {
+            start: Instant::now(),
+            stamps,
+        }
+    }
+
+    /// Stamps `stage` at the current instant (overwriting any earlier
+    /// stamp — a swap re-offer legitimately re-enqueues).
+    pub fn stamp(&mut self, stage: Stage) {
+        self.stamp_at(stage, Instant::now());
+    }
+
+    /// Stamps `stage` at `at` — lets one `Instant::now()` call stamp a
+    /// whole micro-batch.
+    pub fn stamp_at(&mut self, stage: Stage, at: Instant) {
+        let ns = at.saturating_duration_since(self.start).as_nanos();
+        self.stamps[stage as usize] = ns.min(u128::from(UNSET - 1)) as u64;
+    }
+
+    /// Whether `stage` has been stamped.
+    pub fn stamped(&self, stage: Stage) -> bool {
+        self.stamps[stage as usize] != UNSET
+    }
+
+    /// Nanosecond offset of `stage` from the trace start, if stamped.
+    pub fn stamp_ns(&self, stage: Stage) -> Option<u64> {
+        match self.stamps[stage as usize] {
+            UNSET => None,
+            ns => Some(ns),
+        }
+    }
+
+    /// Nanosecond offset of an arbitrary `Instant` from the trace start
+    /// (saturating at zero for instants before it) — how a worker
+    /// relates a batch-wide timestamp to a request's stage stamps.
+    pub fn offset_ns(&self, at: Instant) -> u64 {
+        let ns = at.saturating_duration_since(self.start).as_nanos();
+        ns.min(u128::from(UNSET - 1)) as u64
+    }
+
+    /// Nanoseconds from `from` to `to`, if both are stamped in order.
+    pub fn span_ns(&self, from: Stage, to: Stage) -> Option<u64> {
+        let (a, b) = (self.stamps[from as usize], self.stamps[to as usize]);
+        if a == UNSET || b == UNSET || b < a {
+            return None;
+        }
+        Some(b - a)
+    }
+
+    /// Microseconds from `from` to `to`, if both are stamped in order.
+    pub fn span_us(&self, from: Stage, to: Stage) -> Option<u64> {
+        self.span_ns(from, to).map(|ns| ns / 1_000)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::time::Duration;
+
+    #[test]
+    fn stages_stamp_in_order_and_span() {
+        let mut t = Trace::begin();
+        assert!(t.stamped(Stage::Accepted));
+        assert!(!t.stamped(Stage::Enqueued));
+        assert_eq!(t.span_us(Stage::Accepted, Stage::Replied), None);
+
+        let base = Instant::now();
+        t.stamp_at(Stage::Parsed, base + Duration::from_micros(10));
+        t.stamp_at(Stage::Enqueued, base + Duration::from_micros(20));
+        t.stamp_at(Stage::Batched, base + Duration::from_micros(120));
+        t.stamp_at(Stage::Executed, base + Duration::from_micros(620));
+        t.stamp_at(Stage::Replied, base + Duration::from_micros(630));
+
+        let queue = t.span_us(Stage::Enqueued, Stage::Batched).unwrap();
+        assert!((100..=101).contains(&queue), "queue span {queue}");
+        let exec = t.span_us(Stage::Batched, Stage::Executed).unwrap();
+        assert!((500..=501).contains(&exec), "execute span {exec}");
+        assert!(t.span_ns(Stage::Accepted, Stage::Replied).unwrap() > 0);
+    }
+
+    #[test]
+    fn reversed_or_missing_stamps_yield_none() {
+        let mut t = Trace::begin();
+        let base = Instant::now();
+        t.stamp_at(Stage::Executed, base + Duration::from_micros(50));
+        t.stamp_at(Stage::Batched, base + Duration::from_micros(500));
+        assert_eq!(t.span_ns(Stage::Batched, Stage::Executed), None);
+        assert_eq!(t.span_ns(Stage::Enqueued, Stage::Batched), None);
+    }
+
+    #[test]
+    fn reenqueue_overwrites_the_stamp() {
+        let mut t = Trace::begin();
+        let base = Instant::now();
+        t.stamp_at(Stage::Enqueued, base + Duration::from_micros(5));
+        let first = t.span_ns(Stage::Accepted, Stage::Enqueued).unwrap();
+        t.stamp_at(Stage::Enqueued, base + Duration::from_micros(500));
+        assert!(t.span_ns(Stage::Accepted, Stage::Enqueued).unwrap() > first);
+    }
+
+    #[test]
+    fn stamp_before_start_saturates_to_zero() {
+        let mut t = Trace::begin();
+        // An Instant taken before the trace started must not panic or
+        // underflow.
+        let earlier = Instant::now()
+            .checked_sub(Duration::from_secs(1))
+            .unwrap_or_else(Instant::now);
+        t.stamp_at(Stage::Parsed, earlier);
+        assert!(t.stamped(Stage::Parsed));
+        assert_eq!(t.span_ns(Stage::Accepted, Stage::Parsed), Some(0));
+    }
+}

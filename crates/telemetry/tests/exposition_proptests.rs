@@ -1,0 +1,198 @@
+//! Property tests for the Prometheus text exposition renderer: every
+//! line is well-formed, histogram cumulative buckets are monotone with
+//! `+Inf` equal to the count, and arbitrary label values survive the
+//! escape/unescape round trip.
+
+use eb_telemetry::Registry;
+use proptest::prelude::*;
+
+/// A parsed sample line: metric name, labels (unescaped), value.
+#[derive(Debug)]
+struct Sample {
+    name: String,
+    labels: Vec<(String, String)>,
+    value: f64,
+}
+
+fn is_valid_metric_name(s: &str) -> bool {
+    !s.is_empty()
+        && s.chars()
+            .next()
+            .is_some_and(|c| c.is_ascii_alphabetic() || c == '_')
+        && s.chars()
+            .all(|c| c.is_ascii_alphanumeric() || c == '_' || c == ':')
+}
+
+/// Parses one `name{labels} value` sample line, unescaping label
+/// values; panics (failing the property) on any malformed syntax.
+fn parse_sample(line: &str) -> Sample {
+    let (name_and_labels, value) = line.rsplit_once(' ').expect("sample has a value");
+    let value: f64 = value.parse().expect("numeric value");
+    let (name, labels) = match name_and_labels.split_once('{') {
+        None => (name_and_labels.to_owned(), Vec::new()),
+        Some((name, rest)) => {
+            let body = rest.strip_suffix('}').expect("closing brace");
+            let mut labels = Vec::new();
+            let mut chars = body.chars().peekable();
+            loop {
+                // label name up to '='
+                let mut key = String::new();
+                for c in chars.by_ref() {
+                    if c == '=' {
+                        break;
+                    }
+                    key.push(c);
+                }
+                assert!(is_valid_metric_name(&key), "label name {key:?}");
+                assert_eq!(chars.next(), Some('"'), "opening quote");
+                // escaped value up to the closing quote
+                let mut val = String::new();
+                loop {
+                    match chars.next().expect("unterminated label value") {
+                        '"' => break,
+                        '\\' => match chars.next().expect("dangling escape") {
+                            '\\' => val.push('\\'),
+                            '"' => val.push('"'),
+                            'n' => val.push('\n'),
+                            other => panic!("bad escape \\{other}"),
+                        },
+                        '\n' => panic!("raw newline in label value"),
+                        c => val.push(c),
+                    }
+                }
+                labels.push((key, val));
+                match chars.next() {
+                    None => break,
+                    Some(',') => continue,
+                    Some(other) => panic!("unexpected {other:?} after label"),
+                }
+            }
+            (name.to_owned(), labels)
+        }
+    };
+    assert!(is_valid_metric_name(&name), "metric name {name:?}");
+    Sample {
+        name,
+        labels,
+        value,
+    }
+}
+
+/// Parses a full exposition: checks HELP/TYPE headers and returns all
+/// sample lines.
+fn parse_exposition(text: &str) -> Vec<Sample> {
+    let mut samples = Vec::new();
+    for line in text.lines() {
+        assert!(!line.is_empty(), "no blank lines");
+        if let Some(rest) = line.strip_prefix("# ") {
+            let (keyword, rest) = rest.split_once(' ').expect("comment keyword");
+            assert!(keyword == "HELP" || keyword == "TYPE", "keyword {keyword}");
+            let name = rest.split(' ').next().expect("metric name");
+            assert!(is_valid_metric_name(name), "header name {name:?}");
+            if keyword == "TYPE" {
+                let kind = rest.split(' ').nth(1).expect("type kind");
+                assert!(
+                    ["counter", "gauge", "histogram"].contains(&kind),
+                    "kind {kind}"
+                );
+            }
+        } else {
+            samples.push(parse_sample(line));
+        }
+    }
+    samples
+}
+
+fn label_value() -> impl Strategy<Value = String> {
+    // Printable ASCII plus the three characters the escaper must
+    // handle, and a few multi-byte ones.
+    proptest::collection::vec(
+        prop_oneof![
+            (32u8..127).prop_map(|b| b as char),
+            Just('"'),
+            Just('\\'),
+            Just('\n'),
+            Just('µ'),
+        ],
+        0..12,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+proptest! {
+    #[test]
+    fn counters_and_gauges_render_and_round_trip(
+        entries in proptest::collection::vec(
+            (0usize..4, label_value(), 0u64..1_000_000), 1..8),
+        gauge_v in -1e9f64..1e9,
+    ) {
+        let names = ["requests_total", "errors_total", "served_total", "shed_total"];
+        let registry = Registry::new();
+        for (which, label, v) in &entries {
+            registry
+                .counter(names[*which], "A counter.", &[("model", label)])
+                .add(*v);
+        }
+        registry.gauge("depth", "A gauge.", &[]).set(gauge_v);
+        let samples = parse_exposition(&registry.render());
+
+        // Every registered (name, label) series appears exactly once,
+        // with the label value restored verbatim by unescaping.
+        for (which, label, _) in &entries {
+            let matching: Vec<&Sample> = samples
+                .iter()
+                .filter(|s| {
+                    s.name == names[*which]
+                        && s.labels == vec![("model".to_owned(), label.clone())]
+                })
+                .collect();
+            prop_assert_eq!(matching.len(), 1, "series {}/{:?}", names[*which], label);
+        }
+        let g = samples.iter().find(|s| s.name == "depth").expect("gauge");
+        prop_assert!((g.value - gauge_v).abs() <= gauge_v.abs() * 1e-12 + 1e-9);
+    }
+
+    #[test]
+    fn histogram_buckets_are_monotone_and_sum_to_count(
+        values in proptest::collection::vec(0u64..50_000_000, 0..200),
+    ) {
+        let registry = Registry::new();
+        let h = registry.histogram("lat_us", "Latency.", &[("model", "m")]);
+        for v in &values {
+            h.record(*v);
+        }
+        let samples = parse_exposition(&registry.render());
+
+        let le_of = |s: &Sample| -> Option<String> {
+            s.labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.clone())
+        };
+        let buckets: Vec<&Sample> = samples
+            .iter()
+            .filter(|s| s.name == "lat_us_bucket")
+            .collect();
+        prop_assert!(buckets.len() >= 2, "at least one bound plus +Inf");
+        // Cumulative counts are monotone in render order (ascending le).
+        let mut prev = 0.0;
+        for b in &buckets {
+            prop_assert!(b.value >= prev, "bucket regressed at le={:?}", le_of(b));
+            prev = b.value;
+        }
+        let inf = buckets.last().expect("+Inf bucket");
+        let inf_le = le_of(inf);
+        prop_assert_eq!(inf_le.as_deref(), Some("+Inf"));
+        let count = samples
+            .iter()
+            .find(|s| s.name == "lat_us_count")
+            .expect("count");
+        prop_assert_eq!(inf.value, count.value);
+        prop_assert_eq!(count.value, values.len() as f64);
+        let sum = samples
+            .iter()
+            .find(|s| s.name == "lat_us_sum")
+            .expect("sum");
+        prop_assert_eq!(sum.value, values.iter().sum::<u64>() as f64);
+    }
+}

@@ -15,6 +15,9 @@
 //!   [`Session`] API.
 //! * [`artifact`] — versioned, checksummed `.ebm` model artifacts with
 //!   deploy-from-file serving.
+//! * [`telemetry`] — the observability subsystem: a lock-free metrics
+//!   registry (counters, gauges, log-bucketed histograms), per-request
+//!   stage traces, and Prometheus text exposition for `GET /metrics`.
 //!
 //! The runtime types are also re-exported at the crate root, so serving a
 //! trained network on any substrate needs nothing but the facade:
@@ -52,15 +55,16 @@ pub use eb_core as core;
 pub use eb_mapping as mapping;
 pub use eb_photonics as photonics;
 pub use eb_runtime as runtime;
+pub use eb_telemetry as telemetry;
 pub use eb_xbar as xbar;
 
 pub use eb_runtime::{
     derived_model_seed, predict, Artifact, ArtifactError, ArtifactInfo, Backend, BackendKind,
-    DynamicBatcher, EbError, EpcmBackend, HealthProbe, HealthReport, MaintenanceConfig,
-    MaintenanceStats, ModelHandle, ModelOpts, NetConfig, NetServer, NetStats, NoiseConfig,
-    NoiseProfile, PhotonicBackend, PoolConfig, PoolHandle, PoolStats, Prepared, Priority, Rejected,
-    Request, RequestOpts, Runtime, RuntimeBuilder, ServePool, Server, ServerBuilder, Session,
-    SessionMemory, SessionOpts, SessionStats, SimulatorBackend, SoftwareBackend, Ticket,
-    TicketStatus,
+    Counter, DynamicBatcher, EbError, EpcmBackend, Gauge, HealthProbe, HealthReport, Histogram,
+    MaintenanceConfig, MaintenanceStats, MetricsRegistry, ModelHandle, ModelOpts, NetConfig,
+    NetServer, NetStats, NoiseConfig, NoiseProfile, PhotonicBackend, PoolConfig, PoolHandle,
+    PoolStats, Prepared, Priority, Rejected, Request, RequestOpts, Runtime, RuntimeBuilder,
+    ServePool, Server, ServerBuilder, Session, SessionMemory, SessionOpts, SessionStats,
+    SimulatorBackend, SoftwareBackend, Stage, StageHistograms, Ticket, TicketStatus, Trace,
 };
 pub use eb_xbar::{CellFault, FaultConfig};
